@@ -1,0 +1,93 @@
+// E10 — extension ablation: slab placement policy.
+//
+// Same workload as E7 (4 clients streaming one 64 MiB region on 4
+// servers, 4 MiB slabs), swapping the master's placement policy:
+//
+//   stripe  round-robin (RStore's default — the choice behind E3's
+//           aggregate bandwidth),
+//   pack    fill one server first (fewest QPs / machines touched),
+//   random  uniform per slab.
+//
+// Expected shape: stripe engages every server port and wins; pack
+// serializes all four readers behind one port; random lands between,
+// losing to stripe by its placement imbalance.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+namespace rstore::bench {
+namespace {
+
+void RunPolicy(benchmark::State& state, core::PlacementPolicy policy) {
+  constexpr uint64_t kRegionBytes = 64ULL << 20;
+  constexpr uint32_t kClients = 4;
+  constexpr int kPasses = 4;
+
+  double gbps = 0;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 4;
+    cfg.client_nodes = kClients;
+    cfg.server_capacity = kRegionBytes;
+    cfg.master.slab_size = 4ULL << 20;
+    cfg.master.placement = policy;
+    core::TestCluster cluster(cfg);
+    sim::Nanos t_begin = sim::kNever, t_end = 0;
+    for (uint32_t c = 0; c < kClients; ++c) {
+      cluster.SpawnClient(c, [&, c](core::RStoreClient& client) {
+        if (c == 0) {
+          if (!client.Ralloc("r", kRegionBytes).ok()) return;
+          (void)client.NotifyInc("alloc");
+        } else {
+          (void)client.WaitNotify("alloc", 1);
+        }
+        auto region = client.Rmap("r");
+        if (!region.ok()) return;
+        auto buf = client.AllocBuffer(kRegionBytes);
+        if (!buf.ok()) return;
+        (void)(*region)->Read(0, buf->data);  // warm
+        (void)client.NotifyInc("warm");
+        (void)client.WaitNotify("warm", kClients);
+        const sim::Nanos t0 = sim::Now();
+        std::vector<core::IoFuture> futures;
+        for (int p = 0; p < kPasses; ++p) {
+          auto f = (*region)->ReadAsync(0, buf->data);
+          if (!f.ok()) return;
+          futures.push_back(std::move(*f));
+        }
+        for (auto& f : futures) (void)f.Wait();
+        t_begin = std::min(t_begin, t0);
+        t_end = std::max(t_end, sim::Now());
+      });
+    }
+    cluster.sim().Run();
+    const double secs = sim::ToSeconds(t_end - t_begin);
+    gbps = kClients * kPasses * kRegionBytes * 8.0 / secs / 1e9;
+    ReportVirtualTime(state, secs);
+  }
+  state.counters["aggregate_Gbps"] = gbps;
+}
+
+void E10_Stripe(benchmark::State& state) {
+  RunPolicy(state, core::PlacementPolicy::kStripe);
+}
+void E10_Pack(benchmark::State& state) {
+  RunPolicy(state, core::PlacementPolicy::kPack);
+}
+void E10_Random(benchmark::State& state) {
+  RunPolicy(state, core::PlacementPolicy::kRandom);
+}
+
+BENCHMARK(E10_Stripe)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(E10_Pack)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(E10_Random)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

@@ -1,0 +1,104 @@
+// E11 — extension: YCSB-style mixed workloads on RKV.
+//
+// The standard cloud-serving benchmark mixes, run by 4 client machines
+// against one shared RKV table with Zipf(0.99)-distributed keys
+// (YCSB's default skew), 100-byte values:
+//
+//   A  50% read / 50% update
+//   B  95% read /  5% update
+//   C  100% read
+//
+// Reported: aggregate throughput (kops/s of virtual time) and the
+// seqlock conflict count — contention concentrates on the Zipf head, so
+// workload A on a skewed keyspace is where the RDMA seqlock has to earn
+// its keep.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "kv/kv.h"
+
+namespace rstore::bench {
+namespace {
+
+constexpr uint32_t kClients = 4;
+constexpr uint64_t kKeys = 2048;
+constexpr int kOpsPerClient = 400;
+
+void RunMix(benchmark::State& state, double read_fraction) {
+  double kops = 0;
+  uint64_t conflicts = 0;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 4;
+    cfg.client_nodes = kClients;
+    cfg.server_capacity = 16ULL << 20;
+    cfg.master.slab_size = 1ULL << 20;
+    core::TestCluster cluster(cfg);
+    sim::Nanos t_begin = sim::kNever, t_end = 0;
+    uint64_t total_conflicts = 0;
+    for (uint32_t c = 0; c < kClients; ++c) {
+      cluster.SpawnClient(c, [&, c](core::RStoreClient& client) {
+        Result<std::unique_ptr<kv::KvStore>> kv(ErrorCode::kInternal, "");
+        kv::KvOptions opts;
+        opts.buckets = 4 * kKeys;
+        if (c == 0) {
+          kv = kv::KvStore::Create(client, "ycsb", opts);
+          if (!kv.ok()) return;
+          // Load phase: populate every key.
+          std::vector<std::byte> value(100);
+          for (uint64_t k = 0; k < kKeys; ++k) {
+            (void)(*kv)->Put("user" + std::to_string(k), value);
+          }
+          (void)client.NotifyInc("loaded");
+        } else {
+          (void)client.WaitNotify("loaded", 1);
+          kv = kv::KvStore::Open(client, "ycsb");
+          if (!kv.ok()) return;
+        }
+        (void)client.NotifyInc("armed");
+        (void)client.WaitNotify("armed", kClients);
+
+        ZipfGenerator zipf(kKeys, 0.99, 1000 + c);
+        Rng dice(2000 + c);
+        std::vector<std::byte> value(100);
+        const sim::Nanos t0 = sim::Now();
+        for (int i = 0; i < kOpsPerClient; ++i) {
+          const std::string key = "user" + std::to_string(zipf.Next());
+          if (dice.NextDouble() < read_fraction) {
+            (void)(*kv)->Get(key);
+          } else {
+            Status st = (*kv)->Put(key, value);
+            if (!st.ok() && st.code() == ErrorCode::kAborted) --i;  // retry
+          }
+        }
+        t_begin = std::min(t_begin, t0);
+        t_end = std::max(t_end, sim::Now());
+        total_conflicts += (*kv)->stats().version_retries;
+      });
+    }
+    cluster.sim().Run();
+    const double secs = sim::ToSeconds(t_end - t_begin);
+    kops = kClients * kOpsPerClient / secs / 1e3;
+    conflicts = total_conflicts;
+    ReportVirtualTime(state, secs);
+  }
+  state.counters["kops_per_s"] = kops;
+  state.counters["seqlock_conflicts"] = static_cast<double>(conflicts);
+}
+
+void E11_WorkloadA(benchmark::State& state) { RunMix(state, 0.50); }
+void E11_WorkloadB(benchmark::State& state) { RunMix(state, 0.95); }
+void E11_WorkloadC(benchmark::State& state) { RunMix(state, 1.00); }
+
+BENCHMARK(E11_WorkloadA)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(E11_WorkloadB)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(E11_WorkloadC)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

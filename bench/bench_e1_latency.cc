@@ -1,0 +1,168 @@
+// E1 — "close-to-hardware latency" (paper abstract; data-path latency
+// figure). Read/write latency vs transfer size for three systems:
+//
+//   verbs    raw one-sided RDMA READ/WRITE on a connected QP — the
+//            hardware floor,
+//   rstore   RStore rread/rwrite through a mapped region (adds client
+//            bookkeeping + striping arithmetic, no extra messages),
+//   rpc      the two-sided RPC store (server CPU on the data path).
+//
+// Expected shape: rstore tracks verbs within a small constant; both
+// converge at large sizes (wire-limited); rpc pays handler + marshalling
+// and stays strictly above. The benchmark reports the virtual-time
+// latency of each op as manual time; `bytes` is a counter.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/rpcstore/rpcstore.h"
+#include "bench/bench_util.h"
+#include "core/cluster.h"
+#include "verbs/verbs.h"
+
+namespace rstore::bench {
+namespace {
+
+constexpr int kOpsPerMeasurement = 32;
+
+// Raw verbs latency: one client QP to one server MR.
+void E1_RawVerbs(benchmark::State& state) {
+  const auto size = static_cast<uint64_t>(state.range(0));
+  const bool is_read = state.range(1) != 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    verbs::Network net(sim);
+    auto& server = sim.AddNode("server");
+    auto& client = sim.AddNode("client");
+    auto& sdev = net.AddDevice(server);
+    auto& cdev = net.AddDevice(client);
+
+    std::vector<std::byte> remote(size), local(size);
+    auto* rmr = *sdev.CreatePd().RegisterMemory(
+        remote.data(), remote.size(),
+        verbs::kLocalWrite | verbs::kRemoteRead | verbs::kRemoteWrite);
+    auto* lmr = *cdev.CreatePd().RegisterMemory(
+        local.data(), local.size(), verbs::kLocalWrite);
+
+    net.Listen(sdev, 1);
+    server.Spawn("srv", [&] { (void)net.Listen(sdev, 1).Accept(); });
+    double seconds = 0;
+    client.Spawn("cli", [&] {
+      auto qp = net.Connect(cdev, server.id(), 1);
+      if (!qp.ok()) return;
+      Stopwatch watch;
+      for (int i = 0; i < kOpsPerMeasurement; ++i) {
+        watch.Start();
+        (void)(*qp)->PostSend(verbs::SendWr{
+            .wr_id = 1,
+            .opcode = is_read ? verbs::Opcode::kRdmaRead
+                              : verbs::Opcode::kRdmaWrite,
+            .local = {local.data(), static_cast<uint32_t>(size),
+                      lmr->lkey()},
+            .remote_addr = rmr->remote_addr(),
+            .rkey = rmr->rkey()});
+        (void)(*qp)->send_cq().WaitOne();
+        watch.Stop();
+      }
+      seconds = watch.seconds() / kOpsPerMeasurement;
+      sim::CurrentNode().sim().RequestStop();
+    });
+    sim.Run();
+    ReportVirtualTime(state, seconds);
+  }
+  state.counters["bytes"] = static_cast<double>(size);
+}
+
+// RStore rread/rwrite through a mapped region.
+void E1_RStore(benchmark::State& state) {
+  const auto size = static_cast<uint64_t>(state.range(0));
+  const bool is_read = state.range(1) != 0;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 1;
+    cfg.client_nodes = 1;
+    cfg.server_capacity = 64ULL << 20;
+    core::TestCluster cluster(cfg);
+    double seconds = 0;
+    cluster.RunClient([&](core::RStoreClient& client) {
+      if (!client.Ralloc("r", 8ULL << 20).ok()) return;
+      auto region = client.Rmap("r");
+      if (!region.ok()) return;
+      auto buf = client.AllocBuffer(size);
+      if (!buf.ok()) return;
+      // Warm the data connection: setup is E2's subject, not E1's.
+      (void)(*region)->Read(0, std::span<std::byte>(buf->begin(), 1));
+      Stopwatch watch;
+      for (int i = 0; i < kOpsPerMeasurement; ++i) {
+        watch.Start();
+        if (is_read) {
+          (void)(*region)->Read(0, buf->data);
+        } else {
+          (void)(*region)->Write(0, buf->data);
+        }
+        watch.Stop();
+      }
+      seconds = watch.seconds() / kOpsPerMeasurement;
+    });
+    ReportVirtualTime(state, seconds);
+  }
+  state.counters["bytes"] = static_cast<double>(size);
+}
+
+// Two-sided RPC store GET/PUT.
+void E1_RpcStore(benchmark::State& state) {
+  const auto size = static_cast<uint64_t>(state.range(0));
+  const bool is_read = state.range(1) != 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    verbs::Network net(sim);
+    auto& server = sim.AddNode("server");
+    auto& client = sim.AddNode("client");
+    auto& sdev = net.AddDevice(server);
+    auto& cdev = net.AddDevice(client);
+    baselines::RpcStoreOptions opts;
+    opts.max_io_bytes = 8ULL << 20;
+    baselines::RpcStoreServer store(sdev, opts);
+    store.Start();
+    double seconds = 0;
+    client.Spawn("cli", [&] {
+      auto c = baselines::RpcStoreClient::Connect(cdev, server.id(), opts);
+      if (!c.ok()) return;
+      std::vector<std::byte> buf(size);
+      (void)(*c)->Put(0, buf);  // warm
+      Stopwatch watch;
+      for (int i = 0; i < kOpsPerMeasurement; ++i) {
+        watch.Start();
+        if (is_read) {
+          (void)(*c)->Get(0, buf);
+        } else {
+          (void)(*c)->Put(0, buf);
+        }
+        watch.Stop();
+      }
+      seconds = watch.seconds() / kOpsPerMeasurement;
+      sim::CurrentNode().sim().RequestStop();
+    });
+    sim.Run();
+    ReportVirtualTime(state, seconds);
+  }
+  state.counters["bytes"] = static_cast<double>(size);
+}
+
+void Sizes(benchmark::internal::Benchmark* b) {
+  for (int64_t rw : {1, 0}) {  // 1 = read, 0 = write
+    for (int64_t size = 8; size <= (4 << 20); size *= 8) {
+      b->Args({size, rw});
+    }
+  }
+  b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(E1_RawVerbs)->Apply(Sizes);
+BENCHMARK(E1_RStore)->Apply(Sizes);
+BENCHMARK(E1_RpcStore)->Apply(Sizes);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

@@ -1,0 +1,150 @@
+// E2 — control-path vs data-path separation (the paper's core design
+// argument: "carefully separating resource setup from IO operations").
+//
+// Series:
+//   E2_Ralloc        allocate a named region of S bytes (master RPC +
+//                    slab bookkeeping) — milliseconds-class, amortized
+//   E2_RmapCold      first map: master round trip for the slab table
+//   E2_RmapCached    subsequent map: pure client cache hit (zero time)
+//   E2_Rfree         teardown
+//   E2_ConnectSetup  data-QP establishment to one memory server
+//   E2_DataOp4K      a 4 KiB rread for contrast — microseconds-class
+//
+// Expected shape: setup operations cost 100x-1000x a data operation and
+// scale with region size only logarithmically (slab count), which is why
+// RStore keeps them off the hot path.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace rstore::bench {
+namespace {
+
+core::ClusterConfig Cfg() {
+  core::ClusterConfig cfg;
+  cfg.memory_servers = 8;
+  cfg.client_nodes = 1;
+  cfg.server_capacity = 64ULL << 20;
+  cfg.master.slab_size = 1ULL << 20;
+  return cfg;
+}
+
+void MeasureControlOp(
+    benchmark::State& state,
+    const std::function<double(core::RStoreClient&, uint64_t)>& measure) {
+  const auto region_bytes = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    core::TestCluster cluster(Cfg());
+    double seconds = 0;
+    cluster.RunClient([&](core::RStoreClient& client) {
+      seconds = measure(client, region_bytes);
+    });
+    ReportVirtualTime(state, seconds);
+  }
+  state.counters["region_bytes"] = static_cast<double>(region_bytes);
+  state.counters["slabs"] =
+      static_cast<double>((region_bytes + (1ULL << 20) - 1) / (1ULL << 20));
+}
+
+void E2_Ralloc(benchmark::State& state) {
+  MeasureControlOp(state, [](core::RStoreClient& client, uint64_t bytes) {
+    Stopwatch watch;
+    watch.Start();
+    (void)client.Ralloc("r", bytes);
+    watch.Stop();
+    return watch.seconds();
+  });
+}
+
+void E2_RmapCold(benchmark::State& state) {
+  MeasureControlOp(state, [](core::RStoreClient& client, uint64_t bytes) {
+    (void)client.Ralloc("r", bytes);
+    Stopwatch watch;
+    watch.Start();
+    (void)client.Rmap("r");
+    watch.Stop();
+    return watch.seconds();
+  });
+}
+
+void E2_RmapCached(benchmark::State& state) {
+  MeasureControlOp(state, [](core::RStoreClient& client, uint64_t bytes) {
+    (void)client.Ralloc("r", bytes);
+    (void)client.Rmap("r");
+    Stopwatch watch;
+    watch.Start();
+    for (int i = 0; i < 1000; ++i) (void)client.Rmap("r");
+    watch.Stop();
+    return watch.seconds() / 1000;
+  });
+}
+
+void E2_Rfree(benchmark::State& state) {
+  MeasureControlOp(state, [](core::RStoreClient& client, uint64_t bytes) {
+    (void)client.Ralloc("r", bytes);
+    Stopwatch watch;
+    watch.Start();
+    (void)client.Rfree("r");
+    watch.Stop();
+    return watch.seconds();
+  });
+}
+
+void E2_ConnectSetup(benchmark::State& state) {
+  MeasureControlOp(state, [](core::RStoreClient& client, uint64_t bytes) {
+    (void)client.Ralloc("r", bytes);
+    auto region = client.Rmap("r");
+    auto buf = client.AllocBuffer(8);
+    if (!region.ok() || !buf.ok()) return 0.0;
+    // First tiny read pays lazy QP setup; second shows the data floor.
+    Stopwatch watch;
+    watch.Start();
+    (void)(*region)->Read(0, buf->data);
+    watch.Stop();
+    return watch.seconds();
+  });
+}
+
+void E2_DataOp4K(benchmark::State& state) {
+  MeasureControlOp(state, [](core::RStoreClient& client, uint64_t bytes) {
+    (void)client.Ralloc("r", bytes);
+    auto region = client.Rmap("r");
+    auto buf = client.AllocBuffer(4096);
+    if (!region.ok() || !buf.ok()) return 0.0;
+    (void)(*region)->Read(0, buf->data);  // warm connection
+    Stopwatch watch;
+    for (int i = 0; i < 64; ++i) {
+      watch.Start();
+      (void)(*region)->Read(0, buf->data);
+      watch.Stop();
+    }
+    return watch.seconds() / 64;
+  });
+}
+
+void RegionSizes(benchmark::internal::Benchmark* b) {
+  for (int64_t mb : {4, 16, 64, 256, 448}) {
+    b->Arg(mb << 20);
+  }
+  b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(E2_Ralloc)->Apply(RegionSizes);
+BENCHMARK(E2_RmapCold)->Apply(RegionSizes);
+BENCHMARK(E2_RmapCached)->Apply(RegionSizes);
+BENCHMARK(E2_Rfree)->Apply(RegionSizes);
+BENCHMARK(E2_ConnectSetup)
+    ->Arg(64 << 20)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(E2_DataOp4K)
+    ->Arg(64 << 20)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

@@ -1,0 +1,92 @@
+// E3 — "705 Gb/s aggregate bandwidth on our 12-machine testbed"
+// (paper abstract; aggregate-bandwidth-vs-machines figure).
+//
+// N client machines each map a large region striped across N memory
+// servers and stream it with big one-sided reads; aggregate delivered
+// bandwidth is total bytes / makespan. Expected shape: near-linear in N
+// (every machine contributes its NIC), reaching ~705 Gb/s at N = 12 with
+// the paper's per-port 58.8 Gb/s.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+namespace rstore::bench {
+namespace {
+
+void E3_AggregateReadBandwidth(benchmark::State& state) {
+  const auto machines = static_cast<uint32_t>(state.range(0));
+  // One 4 MiB slab per memory server: every client streams from every
+  // server, the all-to-all the paper's aggregate figure measures.
+  const uint64_t kRegionBytes = machines * (4ULL << 20);
+  constexpr int kPasses = 24;
+
+  double total_gbps = 0;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = machines;
+    cfg.client_nodes = machines;
+    cfg.server_capacity =
+        (kRegionBytes * machines) / machines + (8ULL << 20);
+    cfg.master.slab_size = 4ULL << 20;
+    core::TestCluster cluster(cfg);
+
+    sim::Nanos t_begin = sim::kNever;
+    sim::Nanos t_end = 0;
+    for (uint32_t c = 0; c < machines; ++c) {
+      cluster.SpawnClient(c, [&, c](core::RStoreClient& client) {
+        const std::string name = "r" + std::to_string(c);
+        if (!client.Ralloc(name, kRegionBytes).ok()) return;
+        auto region = client.Rmap(name);
+        if (!region.ok()) return;
+        auto buf = client.AllocBuffer(kRegionBytes);
+        if (!buf.ok()) return;
+        // Warm all data connections, then rendezvous.
+        (void)(*region)->Read(0, buf->data);
+        (void)client.NotifyInc("warm");
+        (void)client.WaitNotify("warm", machines);
+        const sim::Nanos t0 = sim::Now();
+        // Deep pipeline: all passes posted up front so the NIC never
+        // idles on a straggler fragment (reading into the same buffer is
+        // fine — only throughput is observed).
+        std::vector<core::IoFuture> futures;
+        for (int pass = 0; pass < kPasses; ++pass) {
+          auto f = (*region)->ReadAsync(0, buf->data);
+          if (!f.ok()) return;
+          futures.push_back(std::move(*f));
+        }
+        for (auto& f : futures) (void)f.Wait();
+        t_begin = std::min(t_begin, t0);
+        t_end = std::max(t_end, sim::Now());
+      });
+    }
+    cluster.sim().Run();
+
+    const double seconds = sim::ToSeconds(t_end - t_begin);
+    const double bits =
+        static_cast<double>(machines) * kPasses * kRegionBytes * 8.0;
+    total_gbps = bits / seconds / 1e9;
+    ReportVirtualTime(state, seconds);
+  }
+  state.counters["machines"] = machines;
+  state.counters["aggregate_Gbps"] = total_gbps;
+  state.counters["per_machine_Gbps"] = total_gbps / machines;
+}
+
+BENCHMARK(E3_AggregateReadBandwidth)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(10)
+    ->Arg(12)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

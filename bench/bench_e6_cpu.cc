@@ -1,0 +1,132 @@
+// E6 — the architectural argument for direct access: one-sided reads vs
+// two-sided RPC GETs against a single server under increasing client
+// load.
+//
+// Series, per client count 1..8 (64 KiB reads, 64 per client):
+//   E6_OneSided   RStore rread: throughput scales with the server NIC;
+//                 server CPU stays flat at zero,
+//   E6_TwoSided   RPC-store GET: every byte moves through the server CPU
+//                 (handler + marshal + memcpy), which saturates first.
+//
+// Counters: aggregate client-observed throughput (MB/s of virtual time)
+// and server CPU microseconds burned per MB served.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "baselines/rpcstore/rpcstore.h"
+#include "bench/bench_util.h"
+
+namespace rstore::bench {
+namespace {
+
+constexpr uint64_t kIoBytes = 64 << 10;
+constexpr int kOpsPerClient = 64;
+
+void E6_OneSided(benchmark::State& state) {
+  const auto clients = static_cast<uint32_t>(state.range(0));
+  double mb_per_s = 0;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 1;
+    cfg.client_nodes = clients;
+    cfg.server_capacity = 64ULL << 20;
+    core::TestCluster cluster(cfg);
+    sim::Nanos t_begin = sim::kNever, t_end = 0;
+    for (uint32_t c = 0; c < clients; ++c) {
+      cluster.SpawnClient(c, [&, c](core::RStoreClient& client) {
+        if (c == 0) (void)client.Ralloc("r", 16ULL << 20);
+        auto region = client.Rmap("r");
+        while (!region.ok()) {
+          sim::Sleep(sim::Millis(1));
+          region = client.Rmap("r");
+        }
+        auto buf = client.AllocBuffer(kIoBytes);
+        if (!buf.ok()) return;
+        (void)(*region)->Read(0, buf->data);  // warm
+        (void)client.NotifyInc("go");
+        (void)client.WaitNotify("go", clients);
+        const sim::Nanos t0 = sim::Now();
+        for (int i = 0; i < kOpsPerClient; ++i) {
+          (void)(*region)->Read((c * kOpsPerClient + i) % 128 * kIoBytes,
+                                buf->data);
+        }
+        t_begin = std::min(t_begin, t0);
+        t_end = std::max(t_end, sim::Now());
+      });
+    }
+    cluster.sim().Run();
+    const double secs = sim::ToSeconds(t_end - t_begin);
+    mb_per_s = clients * kOpsPerClient * kIoBytes / 1e6 / secs;
+    ReportVirtualTime(state, secs);
+  }
+  state.counters["clients"] = clients;
+  state.counters["MB_per_s"] = mb_per_s;
+  state.counters["server_cpu_us_per_MB"] = 0.0;  // one-sided: by design
+}
+
+void E6_TwoSided(benchmark::State& state) {
+  const auto clients = static_cast<uint32_t>(state.range(0));
+  double mb_per_s = 0;
+  double cpu_us_per_mb = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    verbs::Network net(sim);
+    auto& server_node = sim.AddNode("server");
+    auto& sdev = net.AddDevice(server_node);
+    baselines::RpcStoreOptions opts;
+    opts.max_io_bytes = 1 << 20;
+    auto store = std::make_unique<baselines::RpcStoreServer>(sdev, opts);
+    store->Start();
+
+    std::vector<sim::Node*> cnodes;
+    for (uint32_t c = 0; c < clients; ++c) {
+      cnodes.push_back(&sim.AddNode("c" + std::to_string(c)));
+      net.AddDevice(*cnodes.back());
+    }
+    sim::Nanos t_begin = sim::kNever, t_end = 0;
+    uint32_t done = 0;
+    uint32_t armed = 0;
+    for (uint32_t c = 0; c < clients; ++c) {
+      cnodes[c]->Spawn("cli", [&, c] {
+        auto cli = baselines::RpcStoreClient::Connect(
+            net.device(cnodes[c]->id()), server_node.id(), opts);
+        if (!cli.ok()) return;
+        std::vector<std::byte> buf(kIoBytes);
+        (void)(*cli)->Get(0, buf);  // warm
+        ++armed;
+        while (armed < clients) sim::Sleep(sim::Micros(100));
+        const sim::Nanos t0 = sim::Now();
+        for (int i = 0; i < kOpsPerClient; ++i) {
+          (void)(*cli)->Get((c * kOpsPerClient + i) % 128 * kIoBytes, buf);
+        }
+        t_begin = std::min(t_begin, t0);
+        t_end = std::max(t_end, sim::Now());
+        if (++done == clients) sim::CurrentNode().sim().RequestStop();
+      });
+    }
+    sim.Run();
+    const double secs = sim::ToSeconds(t_end - t_begin);
+    const double mb = clients * kOpsPerClient * kIoBytes / 1e6;
+    mb_per_s = mb / secs;
+    cpu_us_per_mb = sim::ToMicros(store->cpu_time()) / mb;
+    ReportVirtualTime(state, secs);
+  }
+  state.counters["clients"] = clients;
+  state.counters["MB_per_s"] = mb_per_s;
+  state.counters["server_cpu_us_per_MB"] = cpu_us_per_mb;
+}
+
+void Clients(benchmark::internal::Benchmark* b) {
+  for (int64_t c : {1, 2, 4, 8}) b->Arg(c);
+  b->UseManualTime()->Iterations(1)->Unit(benchmark::kMillisecond);
+}
+
+BENCHMARK(E6_OneSided)->Apply(Clients);
+BENCHMARK(E6_TwoSided)->Apply(Clients);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

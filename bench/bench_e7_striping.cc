@@ -1,0 +1,92 @@
+// E7 — striping/slab-size ablation (design choice called out in
+// DESIGN.md: slab granularity trades metadata size and mapping cost
+// against parallel bandwidth).
+//
+// Four clients concurrently stream the *same* 64 MiB region hosted by 4
+// memory servers while the slab size sweeps 1..64 MiB. With small slabs
+// the region spreads over all servers and the clients' aggregate
+// bandwidth approaches 4 NIC ports; at 64 MiB the whole region sits on
+// one server and every reader queues behind a single egress port.
+//
+// Counters: aggregate read bandwidth, slab-table entries, cold-rmap cost.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+namespace rstore::bench {
+namespace {
+
+void E7_SlabSize(benchmark::State& state) {
+  const auto slab_bytes = static_cast<uint64_t>(state.range(0));
+  constexpr uint64_t kRegionBytes = 64ULL << 20;
+  constexpr uint32_t kClients = 4;
+  constexpr int kPasses = 4;
+
+  double gbps = 0;
+  double rmap_us = 0;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 4;
+    cfg.client_nodes = kClients;
+    cfg.server_capacity = kRegionBytes;
+    cfg.master.slab_size = slab_bytes;
+    core::TestCluster cluster(cfg);
+    sim::Nanos t_begin = sim::kNever, t_end = 0;
+    for (uint32_t c = 0; c < kClients; ++c) {
+      cluster.SpawnClient(c, [&, c](core::RStoreClient& client) {
+        if (c == 0) {
+          if (!client.Ralloc("r", kRegionBytes).ok()) return;
+          (void)client.NotifyInc("alloc");
+        } else {
+          (void)client.WaitNotify("alloc", 1);
+        }
+        Stopwatch map_watch;
+        map_watch.Start();
+        auto region = client.Rmap("r");
+        map_watch.Stop();
+        if (c == 0) rmap_us = sim::ToMicros(map_watch.elapsed());
+        if (!region.ok()) return;
+        auto buf = client.AllocBuffer(kRegionBytes);
+        if (!buf.ok()) return;
+        (void)(*region)->Read(0, buf->data);  // warm connections
+        (void)client.NotifyInc("warm");
+        (void)client.WaitNotify("warm", kClients);
+        const sim::Nanos t0 = sim::Now();
+        std::vector<core::IoFuture> futures;
+        for (int p = 0; p < kPasses; ++p) {
+          auto f = (*region)->ReadAsync(0, buf->data);
+          if (!f.ok()) return;
+          futures.push_back(std::move(*f));
+        }
+        for (auto& f : futures) (void)f.Wait();
+        t_begin = std::min(t_begin, t0);
+        t_end = std::max(t_end, sim::Now());
+      });
+    }
+    cluster.sim().Run();
+    const double secs = sim::ToSeconds(t_end - t_begin);
+    gbps = kClients * kPasses * kRegionBytes * 8.0 / secs / 1e9;
+    ReportVirtualTime(state, secs);
+  }
+  state.counters["slab_MiB"] = static_cast<double>(slab_bytes >> 20);
+  state.counters["slab_table_entries"] =
+      static_cast<double>(kRegionBytes / slab_bytes);
+  state.counters["aggregate_Gbps"] = gbps;
+  state.counters["rmap_cold_us"] = rmap_us;
+}
+
+BENCHMARK(E7_SlabSize)
+    ->Arg(1 << 20)
+    ->Arg(4 << 20)
+    ->Arg(16 << 20)
+    ->Arg(64 << 20)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

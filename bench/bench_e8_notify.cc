@@ -1,0 +1,116 @@
+// E8 — synchronization path: the master-hosted notification channels
+// that Carafe's barriers and RSort's phase transitions are built on.
+//
+// Series:
+//   E8_NotifyInc   latency of a single increment (one control RPC),
+//   E8_Barrier     full-barrier latency (arrive + release) vs number of
+//                  participating clients 2..12,
+//   E8_FetchAddSync an RStore remote atomic for comparison — the
+//                  one-sided alternative for small synchronization state.
+//
+// Expected shape: barrier cost grows mildly with participants (the
+// master serializes increments); a one-sided fetch-add is cheaper than a
+// notification RPC because it bypasses the master's CPU.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench/bench_util.h"
+
+namespace rstore::bench {
+namespace {
+
+void E8_NotifyInc(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 1;
+    cfg.client_nodes = 1;
+    core::TestCluster cluster(cfg);
+    double seconds = 0;
+    cluster.RunClient([&](core::RStoreClient& client) {
+      (void)client.NotifyInc("warm");
+      Stopwatch watch;
+      for (int i = 0; i < 64; ++i) {
+        watch.Start();
+        (void)client.NotifyInc("chan");
+        watch.Stop();
+      }
+      seconds = watch.seconds() / 64;
+    });
+    ReportVirtualTime(state, seconds);
+  }
+}
+
+void E8_Barrier(benchmark::State& state) {
+  const auto participants = static_cast<uint32_t>(state.range(0));
+  constexpr int kRounds = 16;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 1;
+    cfg.client_nodes = participants;
+    core::TestCluster cluster(cfg);
+    sim::Nanos slowest = 0;
+    for (uint32_t c = 0; c < participants; ++c) {
+      cluster.SpawnClient(c, [&, c](core::RStoreClient& client) {
+        (void)client.NotifyInc("arm");
+        (void)client.WaitNotify("arm", participants);
+        const sim::Nanos t0 = sim::Now();
+        for (int round = 0; round < kRounds; ++round) {
+          const std::string chan = "b" + std::to_string(round);
+          (void)client.NotifyInc(chan);
+          (void)client.WaitNotify(chan, participants);
+        }
+        slowest = std::max(slowest, sim::Now() - t0);
+      });
+    }
+    cluster.sim().Run();
+    ReportVirtualTime(state, sim::ToSeconds(slowest) / kRounds);
+  }
+  state.counters["participants"] = participants;
+}
+
+void E8_FetchAddSync(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 1;
+    cfg.client_nodes = 1;
+    core::TestCluster cluster(cfg);
+    double seconds = 0;
+    cluster.RunClient([&](core::RStoreClient& client) {
+      if (!client.Ralloc("ctr", 4096).ok()) return;
+      auto region = client.Rmap("ctr");
+      if (!region.ok()) return;
+      (void)(*region)->FetchAdd(0, 1);  // warm the data QP
+      Stopwatch watch;
+      for (int i = 0; i < 64; ++i) {
+        watch.Start();
+        (void)(*region)->FetchAdd(0, 1);
+        watch.Stop();
+      }
+      seconds = watch.seconds() / 64;
+    });
+    ReportVirtualTime(state, seconds);
+  }
+}
+
+BENCHMARK(E8_NotifyInc)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(E8_Barrier)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(E8_FetchAddSync)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

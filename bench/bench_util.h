@@ -1,0 +1,56 @@
+// Shared plumbing for the experiment benchmarks.
+//
+// Every benchmark runs a fresh simulated cluster and reports *virtual*
+// time: wall-clock on the host is meaningless, so benchmarks use
+// google-benchmark's manual-time mode with the simulation clock, and the
+// interesting figures (Gb/s, microseconds, speedups) appear as counters.
+// Each binary prints the series of exactly one paper experiment; the
+// mapping to the paper's tables/figures lives in DESIGN.md and the
+// measured-vs-paper record in EXPERIMENTS.md.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "common/log.h"
+#include "core/cluster.h"
+#include "sim/time.h"
+
+namespace rstore::bench {
+
+// Runs `body` on client 0 of a fresh cluster and returns the virtual time
+// it spent inside the innermost Measure() bracket.
+class Stopwatch {
+ public:
+  void Start() { start_ = sim::Now(); }
+  void Stop() { elapsed_ += sim::Now() - start_; }
+  [[nodiscard]] sim::Nanos elapsed() const noexcept { return elapsed_; }
+  [[nodiscard]] double seconds() const noexcept {
+    return sim::ToSeconds(elapsed_);
+  }
+
+ private:
+  sim::Nanos start_ = 0;
+  sim::Nanos elapsed_ = 0;
+};
+
+// Applies one simulated-time measurement to a manual-time benchmark
+// iteration.
+inline void ReportVirtualTime(benchmark::State& state, double seconds) {
+  state.SetIterationTime(seconds);
+}
+
+}  // namespace rstore::bench
+
+// BENCHMARK_MAIN with the cluster's INFO chatter silenced.
+#define RSTORE_BENCH_MAIN()                                   \
+  int main(int argc, char** argv) {                           \
+    ::rstore::SetLogLevel(::rstore::LogLevel::kWarn);         \
+    ::benchmark::Initialize(&argc, argv);                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::benchmark::Shutdown();                                  \
+    return 0;                                                 \
+  }

@@ -1,0 +1,96 @@
+#include "baselines/rpcstore/rpcstore.h"
+
+#include <cstring>
+
+#include "sim/cost_model.h"
+
+namespace rstore::baselines {
+
+RpcStoreServer::RpcStoreServer(verbs::Device& device, RpcStoreOptions options)
+    : device_(device), options_(options) {}
+
+void RpcStoreServer::Start() {
+  store_.resize(options_.capacity);
+  rpc::RpcOptions rpc_opts;
+  rpc_opts.buffer_size = options_.max_io_bytes + 64;
+  rpc_opts.recv_buffers = 8;
+  rpc_ = std::make_unique<rpc::RpcServer>(device_, kRpcStoreService,
+                                          rpc_opts);
+  const sim::CpuCostModel& cpu = device_.network().cpu_model();
+
+  rpc_->RegisterHandler(kGet, [this, &cpu](rpc::Reader& req,
+                                           rpc::Writer& resp) {
+    uint64_t offset = 0, length = 0;
+    if (!req.U64(&offset) || !req.U64(&length)) {
+      return Status(ErrorCode::kInvalidArgument, "bad get");
+    }
+    if (offset > store_.size() || length > store_.size() - offset) {
+      return Status(ErrorCode::kOutOfRange, "get outside store");
+    }
+    // The server CPU moves the bytes: store -> response buffer.
+    const sim::Nanos copy = sim::MemcpyCost(cpu, length);
+    extra_cpu_ += copy;
+    sim::ChargeCpu(copy);
+    resp.Bytes({store_.data() + offset, length});
+    return Status::Ok();
+  });
+
+  rpc_->RegisterHandler(kPut, [this, &cpu](rpc::Reader& req,
+                                           rpc::Writer& resp) {
+    uint64_t offset = 0;
+    std::span<const std::byte> data;
+    if (!req.U64(&offset) || !req.BytesView(&data)) {
+      return Status(ErrorCode::kInvalidArgument, "bad put");
+    }
+    if (offset > store_.size() || data.size() > store_.size() - offset) {
+      return Status(ErrorCode::kOutOfRange, "put outside store");
+    }
+    const sim::Nanos copy = sim::MemcpyCost(cpu, data.size());
+    extra_cpu_ += copy;
+    sim::ChargeCpu(copy);
+    if (!data.empty()) {
+      std::memcpy(store_.data() + offset, data.data(), data.size());
+    }
+    resp.Bool(true);
+    return Status::Ok();
+  });
+
+  rpc_->Start();
+}
+
+Result<std::unique_ptr<RpcStoreClient>> RpcStoreClient::Connect(
+    verbs::Device& device, uint32_t server_node, RpcStoreOptions options) {
+  rpc::RpcOptions rpc_opts;
+  rpc_opts.buffer_size = options.max_io_bytes + 64;
+  rpc_opts.recv_buffers = 8;
+  auto rpc = rpc::RpcClient::Connect(device, server_node, kRpcStoreService,
+                                     rpc_opts);
+  if (!rpc.ok()) return rpc.status();
+  return std::unique_ptr<RpcStoreClient>(
+      new RpcStoreClient(std::move(rpc).value()));
+}
+
+Status RpcStoreClient::Get(uint64_t offset, std::span<std::byte> dst) {
+  rpc::Writer req;
+  req.U64(offset);
+  req.U64(dst.size());
+  auto resp = rpc_->Call(kGet, req);
+  if (!resp.ok()) return resp.status();
+  rpc::Reader r(*resp);
+  std::span<const std::byte> data;
+  if (!r.BytesView(&data) || data.size() != dst.size()) {
+    return Status(ErrorCode::kInternal, "short get response");
+  }
+  if (!data.empty()) std::memcpy(dst.data(), data.data(), data.size());
+  return Status::Ok();
+}
+
+Status RpcStoreClient::Put(uint64_t offset, std::span<const std::byte> src) {
+  rpc::Writer req;
+  req.U64(offset);
+  req.Bytes(src);
+  auto resp = rpc_->Call(kPut, req);
+  return resp.status();
+}
+
+}  // namespace rstore::baselines

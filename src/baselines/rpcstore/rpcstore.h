@@ -1,0 +1,79 @@
+// Baseline: a two-sided DRAM store (RAMCloud-flavoured).
+//
+// Same storage semantics as an RStore region — a byte-addressable block
+// of server DRAM — but every read and write is an RPC through the server
+// CPU: request marshalling, handler dispatch, a memcpy into/out of the
+// store, and a response. This is the architecture RStore's one-sided
+// data path is measured against in E1 (latency vs size) and E6 (server
+// CPU cost and throughput under load).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "rpc/rpc.h"
+#include "verbs/verbs.h"
+
+namespace rstore::baselines {
+
+inline constexpr uint32_t kRpcStoreService = 20;
+
+enum RpcStoreMethod : uint32_t {
+  kGet = 1,
+  kPut = 2,
+};
+
+struct RpcStoreOptions {
+  uint64_t capacity = 64ULL << 20;
+  // Must exceed the largest single IO plus framing.
+  uint32_t max_io_bytes = 4ULL << 20;
+};
+
+// The server: donates DRAM like a memory server, but fronts it with a
+// GET/PUT RPC service whose handlers run on its CPU.
+class RpcStoreServer {
+ public:
+  RpcStoreServer(verbs::Device& device, RpcStoreOptions options = {});
+
+  void Start();
+
+  [[nodiscard]] uint64_t capacity() const noexcept {
+    return options_.capacity;
+  }
+  // Server CPU nanoseconds burned on the data path — what one-sided
+  // access avoids (E6's second series).
+  [[nodiscard]] sim::Nanos cpu_time() const noexcept {
+    return rpc_ ? rpc_->cpu_time() + extra_cpu_ : extra_cpu_;
+  }
+  [[nodiscard]] uint64_t ops() const noexcept {
+    return rpc_ ? rpc_->calls_served() : 0;
+  }
+
+ private:
+  verbs::Device& device_;
+  RpcStoreOptions options_;
+  std::vector<std::byte> store_;
+  std::unique_ptr<rpc::RpcServer> rpc_;
+  sim::Nanos extra_cpu_ = 0;
+};
+
+// The client: blocking byte-granular Get/Put against one server.
+class RpcStoreClient {
+ public:
+  static Result<std::unique_ptr<RpcStoreClient>> Connect(
+      verbs::Device& device, uint32_t server_node,
+      RpcStoreOptions options = {});
+
+  Status Get(uint64_t offset, std::span<std::byte> dst);
+  Status Put(uint64_t offset, std::span<const std::byte> src);
+
+ private:
+  explicit RpcStoreClient(std::unique_ptr<rpc::RpcClient> rpc)
+      : rpc_(std::move(rpc)) {}
+  std::unique_ptr<rpc::RpcClient> rpc_;
+};
+
+}  // namespace rstore::baselines

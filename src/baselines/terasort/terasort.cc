@@ -1,0 +1,201 @@
+#include "baselines/terasort/terasort.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "sim/simulation.h"
+
+namespace rstore::baselines {
+
+using sort::kKeyBytes;
+using sort::kRecordBytes;
+
+struct TeraSortWorker::SpillState {
+  explicit SpillState(sim::Simulation& s) : ready(s) {}
+  bool map_done = false;
+  // One "spill file" per reduce partition.
+  std::vector<std::vector<std::byte>> partitions;
+  sim::CondVar ready;
+};
+
+TeraSortWorker::TeraSortWorker(verbs::Device& device, TeraSortConfig config)
+    : device_(device), config_(std::move(config)),
+      disk_(device.network().sim(), config_.disk) {
+  const uint64_t n = config_.total_records;
+  rlo_ = n * config_.worker_id / config_.num_workers;
+  rhi_ = n * (config_.worker_id + 1) / config_.num_workers;
+}
+
+TeraSortWorker::~TeraSortWorker() = default;
+
+Status TeraSortWorker::GenerateInput() {
+  const uint64_t count = rhi_ - rlo_;
+  input_.resize(count * kRecordBytes);
+  sort::GenerateRecords(config_.seed, rlo_, count, input_.data());
+  sim::ChargeCpu(sim::ScanCost(device_.network().cpu_model(), input_.size()));
+  disk_.Write(input_.size(), /*sequential=*/true);
+  return Status::Ok();
+}
+
+void TeraSortWorker::StartService() {
+  spill_ = std::make_unique<SpillState>(device_.network().sim());
+  spill_->partitions.resize(config_.num_workers);
+
+  rpc::RpcOptions opts;
+  opts.buffer_size = config_.shuffle_chunk_bytes + 128;
+  opts.recv_buffers = 2 * config_.num_workers + 4;
+  server_ = std::make_unique<rpc::RpcServer>(device_, kTeraShuffleService,
+                                             opts);
+  // Method 1: fetch(reducer, offset, max) -> bytes of my spill for that
+  // reducer. Blocks until the map phase has produced the spill.
+  server_->RegisterHandler(1, [this](rpc::Reader& req, rpc::Writer& resp) {
+    uint32_t reducer = 0;
+    uint64_t offset = 0;
+    uint32_t max_bytes = 0;
+    if (!req.U32(&reducer) || !req.U64(&offset) || !req.U32(&max_bytes) ||
+        reducer >= config_.num_workers) {
+      return Status(ErrorCode::kInvalidArgument, "bad fetch");
+    }
+    spill_->ready.WaitUntil([&] { return spill_->map_done; });
+    const std::vector<std::byte>& part = spill_->partitions[reducer];
+    if (offset > part.size()) {
+      return Status(ErrorCode::kOutOfRange, "fetch past spill end");
+    }
+    const uint64_t n =
+        std::min<uint64_t>(max_bytes, part.size() - offset);
+    // The mapper's disk re-reads the spill: seek on the first chunk of a
+    // (mapper, reducer) stream, streaming after.
+    disk_.Read(n, /*sequential=*/offset != 0);
+    resp.U64(part.size());
+    resp.Bytes({part.data() + offset, n});
+    return Status::Ok();
+  });
+  server_->Start();
+}
+
+Result<TeraSortStats> TeraSortWorker::Sort() {
+  if (!spill_) {
+    return Result<TeraSortStats>(ErrorCode::kInvalidArgument,
+                                 "call StartService() first");
+  }
+  const sim::CpuCostModel& cpu = device_.network().cpu_model();
+  const uint32_t W = config_.num_workers;
+  const uint64_t my_count = rhi_ - rlo_;
+  TeraSortStats stats;
+  const sim::Nanos t0 = sim::Now();
+
+  // Task launch (framework overhead).
+  sim::Sleep(config_.task_startup);
+
+  // ---- splitters -------------------------------------------------------
+  // TeraSort's InputSampler: sample the input stream; identical on every
+  // worker because the stream is a pure function of the seed.
+  const uint64_t n_samples =
+      static_cast<uint64_t>(config_.samples_per_worker) * W;
+  std::vector<std::array<std::byte, kKeyBytes>> sample_keys(n_samples);
+  {
+    std::array<std::byte, kRecordBytes> rec;
+    for (uint64_t s = 0; s < n_samples; ++s) {
+      const uint64_t idx = s * config_.total_records / n_samples;
+      sort::GenerateRecord(config_.seed, idx, rec.data());
+      std::memcpy(sample_keys[s].data(), rec.data(), kKeyBytes);
+    }
+    std::sort(sample_keys.begin(), sample_keys.end(),
+              [](const auto& a, const auto& b) {
+                return std::memcmp(a.data(), b.data(), kKeyBytes) < 0;
+              });
+    sim::ChargeCpu(sim::SortCost(cpu, n_samples) +
+                   sim::ScanCost(cpu, n_samples * kRecordBytes));
+  }
+  std::vector<std::array<std::byte, kKeyBytes>> splitters(W - 1);
+  for (uint32_t j = 0; j + 1 < W; ++j) {
+    splitters[j] = sample_keys[(j + 1) * n_samples / W];
+  }
+  auto bucket_of = [&](const std::byte* key) -> uint32_t {
+    uint32_t lo = 0, hi = W - 1;
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (std::memcmp(key, splitters[mid].data(), kKeyBytes) < 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+
+  // ---- map: disk read, classify, spill per partition --------------------
+  disk_.Read(my_count * kRecordBytes, /*sequential=*/true);
+  for (uint64_t i = 0; i < my_count; ++i) {
+    const std::byte* rec = input_.data() + i * kRecordBytes;
+    auto& part = spill_->partitions[bucket_of(rec)];
+    part.insert(part.end(), rec, rec + kRecordBytes);
+  }
+  sim::ChargeCpu(sim::ScanCost(cpu, my_count * kRecordBytes) +
+                 sim::MemcpyCost(cpu, my_count * kRecordBytes));
+  for (uint32_t d = 0; d < W; ++d) {
+    if (!spill_->partitions[d].empty()) {
+      disk_.Write(spill_->partitions[d].size(), /*sequential=*/false);
+    }
+  }
+  spill_->map_done = true;
+  spill_->ready.NotifyAll();
+  stats.map_time = sim::Now() - t0;
+
+  // ---- shuffle: pull my partition from every mapper ----------------------
+  const sim::Nanos t_shuffle = sim::Now();
+  output_.clear();
+  rpc::RpcOptions opts;
+  opts.buffer_size = config_.shuffle_chunk_bytes + 128;
+  opts.recv_buffers = 2 * W + 4;
+  for (uint32_t m = 0; m < W; ++m) {
+    if (m == config_.worker_id) {
+      // Local partition still comes off the local disk.
+      spill_->ready.WaitUntil([&] { return spill_->map_done; });
+      const auto& part = spill_->partitions[config_.worker_id];
+      disk_.Read(part.size(), /*sequential=*/false);
+      output_.insert(output_.end(), part.begin(), part.end());
+      continue;
+    }
+    auto peer = rpc::RpcClient::Connect(
+        device_, config_.worker_nodes[m], kTeraShuffleService, opts);
+    if (!peer.ok()) return peer.status();
+    uint64_t offset = 0;
+    uint64_t spill_size = std::numeric_limits<uint64_t>::max();
+    while (offset < spill_size) {
+      rpc::Writer req;
+      req.U32(config_.worker_id);
+      req.U64(offset);
+      req.U32(config_.shuffle_chunk_bytes);
+      auto resp = (*peer)->Call(1, req);
+      if (!resp.ok()) return resp.status();
+      rpc::Reader r(*resp);
+      std::span<const std::byte> data;
+      if (!r.U64(&spill_size) || !r.BytesView(&data)) {
+        return Result<TeraSortStats>(ErrorCode::kInternal,
+                                     "bad fetch response");
+      }
+      output_.insert(output_.end(), data.begin(), data.end());
+      offset += data.size();
+      if (data.empty() && offset < spill_size) {
+        return Result<TeraSortStats>(ErrorCode::kInternal, "stalled fetch");
+      }
+    }
+  }
+  stats.shuffle_time = sim::Now() - t_shuffle;
+
+  // ---- reduce: sort and write output -------------------------------------
+  const sim::Nanos t_reduce = sim::Now();
+  const uint64_t out_count = output_.size() / kRecordBytes;
+  stats.records_out = out_count;
+  sort::SortRecords(output_.data(), out_count);
+  sim::ChargeCpu(sim::SortCost(cpu, out_count) +
+                 sim::MemcpyCost(cpu, output_.size()));
+  disk_.Write(output_.size(), /*sequential=*/true);
+  stats.reduce_time = sim::Now() - t_reduce;
+  stats.total_time = sim::Now() - t0;
+  return stats;
+}
+
+}  // namespace rstore::baselines

@@ -1,0 +1,91 @@
+// Baseline: Hadoop-TeraSort-flavoured disk MapReduce sorter.
+//
+// The comparator for RSort in experiment E5. Structurally faithful to a
+// MapReduce sort on 2014-class hardware:
+//
+//   map     read the input split from local disk, classify records by
+//           splitter, spill one file per reduce partition back to disk
+//   shuffle each reducer pulls its partition from every mapper: a disk
+//           read on the mapper plus a chunked two-sided transfer through
+//           both CPUs
+//   reduce  sort the fetched partition and write the output to disk
+//
+// Every byte crosses the disk four times (input read, spill write,
+// spill read, output write) and the network once through the RPC stack —
+// versus RSort's single DRAM-to-DRAM one-sided pass. A per-worker task
+// startup cost models framework/JVM launch. The data movement is real:
+// outputs validate exactly like RSort's.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "rpc/rpc.h"
+#include "rsort/records.h"
+#include "sim/cost_model.h"
+#include "verbs/verbs.h"
+
+namespace rstore::baselines {
+
+inline constexpr uint32_t kTeraShuffleService = 40;
+
+struct TeraSortConfig {
+  uint32_t worker_id = 0;
+  uint32_t num_workers = 1;
+  uint64_t total_records = 0;
+  uint64_t seed = 42;
+  std::vector<uint32_t> worker_nodes;  // node id per worker
+  // Hadoop data nodes of the period ran multi-disk JBODs; default models
+  // a 2-disk node (aggregate ~300 MB/s read, ~250 MB/s write).
+  sim::DiskCostModel disk{.read_bps = 2.4e9, .write_bps = 2.0e9};
+  // Framework/task launch overhead per worker (JVM spin-up, scheduling).
+  sim::Nanos task_startup = sim::Seconds(1.5);
+  uint32_t samples_per_worker = 128;
+  uint32_t shuffle_chunk_bytes = 1 << 20;
+};
+
+struct TeraSortStats {
+  sim::Nanos map_time = 0;
+  sim::Nanos shuffle_time = 0;
+  sim::Nanos reduce_time = 0;
+  sim::Nanos total_time = 0;
+  uint64_t records_out = 0;
+};
+
+class TeraSortWorker {
+ public:
+  TeraSortWorker(verbs::Device& device, TeraSortConfig config);
+  ~TeraSortWorker();
+
+  // "TeraGen": materializes this worker's input split on its disk
+  // (charged as a sequential disk write; bytes kept in host memory).
+  Status GenerateInput();
+
+  // Starts the shuffle service; call on every worker before Sort().
+  void StartService();
+
+  // Runs the full map/shuffle/reduce job on this worker.
+  Result<TeraSortStats> Sort();
+
+  // The sorted output partition (for validation).
+  [[nodiscard]] const std::vector<std::byte>& output() const noexcept {
+    return output_;
+  }
+
+ private:
+  struct SpillState;
+
+  verbs::Device& device_;
+  TeraSortConfig config_;
+  uint64_t rlo_ = 0, rhi_ = 0;
+
+  sim::SimDisk disk_;
+  std::vector<std::byte> input_;   // contents of the input split "file"
+  std::unique_ptr<SpillState> spill_;
+  std::unique_ptr<rpc::RpcServer> server_;
+  std::vector<std::byte> output_;
+};
+
+}  // namespace rstore::baselines

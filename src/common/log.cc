@@ -1,0 +1,61 @@
+#include "common/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace rstore {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+std::function<uint64_t()> g_now;  // virtual-time source, optional
+
+const char* LevelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+uint64_t NowNanos() {
+  if (g_now) return g_now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level = level; }
+
+void SetTimestampSource(std::function<uint64_t()> now_nanos) {
+  g_now = std::move(now_nanos);
+}
+
+namespace log_internal {
+
+LogLevel GlobalLevel() noexcept { return g_level; }
+
+void Emit(LogLevel level, const std::string& message) {
+  const uint64_t t = NowNanos();
+  std::fprintf(stderr, "[%s %9.3fms] %s\n", LevelTag(level),
+               static_cast<double>(t) / 1e6, message.c_str());
+}
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  // Strip directories from __FILE__ for compact output.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ':' << line << "] ";
+}
+
+LogLine::~LogLine() { Emit(level_, stream_.str()); }
+
+}  // namespace log_internal
+}  // namespace rstore

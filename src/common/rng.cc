@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace rstore {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::Reseed(uint64_t seed) noexcept {
+  uint64_t x = seed;
+  for (auto& w : s_) w = SplitMix64(x);
+}
+
+uint64_t Rng::Next() noexcept {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's method: multiply-shift with rejection of the biased low zone.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    const uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) noexcept {
+  const auto span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const uint64_t draw = (span == 0) ? Next() : NextBelow(span);
+  return lo + static_cast<int64_t>(draw);
+}
+
+double Rng::NextDouble() noexcept {
+  // 53 high bits → uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+void Rng::Fill(void* dst, size_t n) noexcept {
+  auto* p = static_cast<unsigned char*>(dst);
+  while (n >= sizeof(uint64_t)) {
+    const uint64_t v = Next();
+    std::memcpy(p, &v, sizeof(v));
+    p += sizeof(v);
+    n -= sizeof(v);
+  }
+  if (n > 0) {
+    const uint64_t v = Next();
+    std::memcpy(p, &v, n);
+  }
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : rng_(seed), cdf_(n) {
+  double total = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  double acc = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = acc / total;
+  }
+  if (n > 0) cdf_[n - 1] = 1.0;  // guard against FP drift
+}
+
+uint64_t ZipfGenerator::Next() noexcept {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+uint64_t ZipfGenerator::n() const noexcept { return cdf_.size(); }
+
+uint64_t StableHash64(std::string_view s) noexcept {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace rstore

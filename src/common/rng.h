@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the repository (workload generation, graph
+// synthesis, sampling splitters, scheduler tie-breaking jitter) draws from
+// an explicitly seeded Rng so that tests and benchmarks are exactly
+// reproducible run-to-run. We implement xoshiro256** (public domain,
+// Blackman & Vigna) rather than relying on std::mt19937 so the bit stream
+// is stable across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+namespace rstore {
+
+class Rng {
+ public:
+  // Seeds the four 64-bit words of state via SplitMix64, per the xoshiro
+  // authors' recommendation. Any seed (including 0) is valid.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { Reseed(seed); }
+
+  void Reseed(uint64_t seed) noexcept;
+
+  // Uniform over the full 64-bit range.
+  uint64_t Next() noexcept;
+
+  // Uniform in [0, bound). bound == 0 returns 0. Uses Lemire's unbiased
+  // multiply-shift rejection method.
+  uint64_t NextBelow(uint64_t bound) noexcept;
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  // Bernoulli trial.
+  bool NextBool(double p_true) noexcept { return NextDouble() < p_true; }
+
+  // Fills `n` bytes at `dst` with pseudo-random data.
+  void Fill(void* dst, size_t n) noexcept;
+
+  // Derives an independent child stream; used to give each simulated node
+  // its own generator from a single experiment seed.
+  Rng Fork() noexcept { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+  // UniformRandomBitGenerator interface so the Rng composes with
+  // std::shuffle and <algorithm>.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  result_type operator()() noexcept { return Next(); }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Stable 64-bit hash for strings (FNV-1a); used to derive per-entity seeds
+// from names so that, e.g., region contents are a pure function of
+// (experiment seed, region name).
+uint64_t StableHash64(std::string_view s) noexcept;
+
+// Zipf-distributed key picker over [0, n): item i has probability
+// proportional to 1/(i+1)^theta. Exact sampling via a precomputed CDF and
+// binary search — n is bounded in our workloads, so O(n) memory is fine.
+// theta ~0.99 is the YCSB default skew.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed);
+
+  // Draws one key in [0, n).
+  uint64_t Next() noexcept;
+
+  [[nodiscard]] uint64_t n() const noexcept;
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;  // cdf_[i] = P(key <= i)
+};
+
+}  // namespace rstore

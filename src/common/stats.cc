@@ -1,0 +1,153 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rstore {
+
+void SummaryStats::Add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double SummaryStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double SummaryStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram(double growth)
+    : log_growth_(std::log(growth)) {
+  assert(growth > 1.0);
+}
+
+size_t LatencyHistogram::BucketFor(uint64_t value) const {
+  if (value <= 1) return 0;
+  return static_cast<size_t>(std::log(static_cast<double>(value)) /
+                             log_growth_);
+}
+
+uint64_t LatencyHistogram::BucketLow(size_t bucket) const {
+  return static_cast<uint64_t>(
+      std::exp(static_cast<double>(bucket) * log_growth_));
+}
+
+void LatencyHistogram::Add(uint64_t value_ns) {
+  const size_t b = BucketFor(value_ns);
+  if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+  ++buckets_[b];
+  if (count_ == 0) {
+    min_ = max_ = value_ns;
+  } else {
+    min_ = std::min(min_, value_ns);
+    max_ = std::max(max_, value_ns);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value_ns);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  assert(log_growth_ == other.log_growth_);
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile among `count_` ordered samples.
+  const auto rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      // Midpoint of the bucket, clamped to the observed extremes.
+      const uint64_t lo = BucketLow(b);
+      const uint64_t hi = BucketLow(b + 1);
+      return std::clamp((lo + hi) / 2, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu p50=%s p90=%s p99=%s max=%s",
+                static_cast<unsigned long long>(count_),
+                FormatDuration(Quantile(0.50)).c_str(),
+                FormatDuration(Quantile(0.90)).c_str(),
+                FormatDuration(Quantile(0.99)).c_str(),
+                FormatDuration(max()).c_str());
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  size_t u = 0;
+  while (v >= 1024.0 && u + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[48];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", v, kUnits[u]);
+  }
+  return buf;
+}
+
+std::string FormatGbps(double bits_per_second) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f Gb/s", bits_per_second / 1e9);
+  return buf;
+}
+
+std::string FormatDuration(uint64_t nanos) {
+  char buf[48];
+  const double v = static_cast<double>(nanos);
+  if (nanos < 1'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%llu ns",
+                  static_cast<unsigned long long>(nanos));
+  } else if (nanos < 1'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", v / 1e3);
+  } else if (nanos < 1'000'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", v / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", v / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace rstore

@@ -1,0 +1,77 @@
+// Small statistics toolkit used by benchmarks and tests: streaming summary
+// statistics and a log-scaled latency histogram with quantile queries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rstore {
+
+// Streaming mean/variance/min/max via Welford's algorithm. O(1) memory.
+class SummaryStats {
+ public:
+  void Add(double x) noexcept;
+
+  [[nodiscard]] uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Latency histogram with geometric buckets: value v lands in bucket
+// floor(log(v)/log(growth)). Supports approximate quantiles with bounded
+// relative error (= growth - 1 per bucket). Values are in arbitrary units;
+// the simulator records nanoseconds.
+class LatencyHistogram {
+ public:
+  // growth must be > 1; default 1.04 gives ~4% relative quantile error.
+  explicit LatencyHistogram(double growth = 1.04);
+
+  void Add(uint64_t value_ns);
+  void Merge(const LatencyHistogram& other);
+
+  [[nodiscard]] uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] uint64_t max() const noexcept { return count_ ? max_ : 0; }
+
+  // Approximate q-quantile, q in [0, 1]. Returns 0 on an empty histogram.
+  [[nodiscard]] uint64_t Quantile(double q) const;
+
+  // "p50=... p99=... max=..." one-liner for bench output.
+  [[nodiscard]] std::string Summary() const;
+
+ private:
+  [[nodiscard]] size_t BucketFor(uint64_t value) const;
+  [[nodiscard]] uint64_t BucketLow(size_t bucket) const;
+
+  double log_growth_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+// Formats a byte count as a human-readable string ("4.0 KiB", "705 Gb/s"
+// style helpers live here so bench output is consistent).
+std::string FormatBytes(uint64_t bytes);
+// Formats bits-per-second as "Gb/s" with two decimals.
+std::string FormatGbps(double bits_per_second);
+// Formats nanoseconds adaptively (ns / us / ms / s).
+std::string FormatDuration(uint64_t nanos);
+
+}  // namespace rstore

@@ -1,0 +1,137 @@
+// Lightweight Status / Result<T> error-handling vocabulary used across the
+// whole code base. Follows the Core Guidelines preference for explicit,
+// value-based error channels on expected failures (E.2, E.3): exceptions are
+// reserved for programming errors; anticipated failures (remote access
+// violations, allocation exhaustion, lost connections) travel as values.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace rstore {
+
+// Error taxonomy shared by every layer (verbs completions, RPC outcomes,
+// RStore client results). Kept deliberately small; the message string
+// carries specifics.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,    // caller bug or malformed request
+  kNotFound,           // unknown region / key / node
+  kAlreadyExists,      // namespace collision on ralloc
+  kOutOfMemory,        // cluster cannot satisfy an allocation
+  kPermissionDenied,   // rkey / access-flag violation
+  kOutOfRange,         // offset/length outside a region or MR
+  kUnavailable,        // peer down, QP not connected, lease expired
+  kTimedOut,           // waited past a deadline
+  kAborted,            // operation cancelled (e.g. region freed mid-map)
+  kInternal,           // invariant violation on the remote side
+};
+
+std::string_view ToString(ErrorCode code) noexcept;
+
+// Status: success or (code, message).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  // Human-readable one-liner, e.g. "PERMISSION_DENIED: bad rkey 0x2a".
+  [[nodiscard]] std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Result<T>: either a value or an error Status. A minimal std::expected
+// stand-in (we target C++20; std::expected is C++23).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: lets `return value;` and `return status;`
+  // both work inside functions returning Result<T>.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "cannot construct Result<T> from an OK status without a value");
+  }
+  Result(ErrorCode code, std::string message)
+      : rep_(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool ok() const noexcept { return rep_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+
+  // Status view: Ok when a value is present.
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(rep_);
+  }
+  [[nodiscard]] ErrorCode code() const noexcept {
+    return ok() ? ErrorCode::kOk : std::get<Status>(rep_).code();
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// RETURN_IF_ERROR(expr): early-return the Status of a failing expression.
+#define RSTORE_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    if (auto _st = (expr); !_st.ok()) return _st;     \
+  } while (0)
+
+// ASSIGN_OR_RETURN-style helper (two-level paste so __LINE__ expands).
+#define RSTORE_CONCAT_INNER(a, b) a##b
+#define RSTORE_CONCAT(a, b) RSTORE_CONCAT_INNER(a, b)
+#define RSTORE_ASSIGN_OR_RETURN(lhs, expr)                            \
+  RSTORE_ASSIGN_OR_RETURN_IMPL(lhs, expr,                             \
+                               RSTORE_CONCAT(_rstore_res_, __LINE__))
+#define RSTORE_ASSIGN_OR_RETURN_IMPL(lhs, expr, tmp) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace rstore

@@ -1,0 +1,512 @@
+#include "core/client.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.h"
+#include "sim/simulation.h"
+
+namespace rstore::core {
+
+// Shared completion state of one logical IO (possibly many fragments).
+struct IoFuture::State {
+  explicit State(sim::Simulation& s) : cv(s) {}
+  uint32_t expected = 0;
+  uint32_t completed = 0;
+  Status first_error;
+  bool failed = false;
+  sim::CondVar cv;
+
+  [[nodiscard]] bool done() const noexcept { return completed >= expected; }
+};
+
+Status IoFuture::Wait() {
+  if (!state_) return Status(ErrorCode::kInvalidArgument, "empty IoFuture");
+  return client_->WaitFuture(state_);
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+RStoreClient::RStoreClient(verbs::Device& device, uint32_t master_node,
+                           ClientOptions options)
+    : device_(device), master_node_(master_node), options_(options) {}
+
+Result<std::unique_ptr<RStoreClient>> RStoreClient::Connect(
+    verbs::Device& device, uint32_t master_node, ClientOptions options) {
+  auto client = std::unique_ptr<RStoreClient>(
+      new RStoreClient(device, master_node, options));
+
+  rpc::RpcOptions rpc_opts;
+  rpc_opts.call_timeout = options.control_timeout;
+  auto master = rpc::RpcClient::Connect(device, master_node, kMasterService,
+                                        rpc_opts);
+  if (!master.ok()) return master.status();
+  client->master_ = std::move(master).value();
+
+  client->pd_ = &device.CreatePd();
+  client->data_cq_ = &device.CreateCq();
+
+  // Scratch slots for atomic results.
+  constexpr uint32_t kAtomicSlots = 256;
+  client->atomic_arena_.resize(kAtomicSlots * 8);
+  auto mr = client->pd_->RegisterMemory(client->atomic_arena_.data(),
+                                        client->atomic_arena_.size(),
+                                        verbs::kLocalWrite);
+  if (!mr.ok()) return mr.status();
+  client->atomic_mr_ = *mr;
+  for (uint32_t i = 0; i < kAtomicSlots; ++i) {
+    client->free_atomic_slots_.push_back(i);
+  }
+  return client;
+}
+
+RStoreClient::~RStoreClient() {
+  for (auto& [node, conn] : connections_) {
+    if (conn.qp != nullptr) conn.qp->Close();
+  }
+  for (auto& [addr, mr] : pinned_) (void)pd_->DeregisterMemory(mr);
+  if (atomic_mr_ != nullptr) (void)pd_->DeregisterMemory(atomic_mr_);
+}
+
+// ---------------------------------------------------------------------------
+// Control path
+// ---------------------------------------------------------------------------
+Result<std::vector<std::byte>> RStoreClient::CallMaster(
+    uint32_t method, const rpc::Writer& req) {
+  ++control_calls_;
+  return master_->Call(method, req);
+}
+
+Status RStoreClient::Ralloc(const std::string& name, uint64_t size,
+                            uint32_t copies) {
+  rpc::Writer req;
+  req.Str(name);
+  req.U64(size);
+  req.U32(copies);
+  return CallMaster(kAlloc, req).status();
+}
+
+Result<MappedRegion*> RStoreClient::Rmap(const std::string& name,
+                                         bool allow_degraded, bool fresh) {
+  if (!fresh) {
+    auto it = mappings_.find(name);
+    if (it != mappings_.end()) {
+      ++map_cache_hits_;
+      return it->second.get();
+    }
+  }
+  rpc::Writer req;
+  req.Str(name);
+  req.Bool(allow_degraded);
+  auto resp = CallMaster(kMap, req);
+  if (!resp.ok()) return resp.status();
+  rpc::Reader r(*resp);
+  RegionDesc desc;
+  if (!RegionDesc::Decode(r, &desc)) {
+    return Result<MappedRegion*>(ErrorCode::kInternal,
+                                 "malformed map response");
+  }
+  auto region = std::unique_ptr<MappedRegion>(
+      new MappedRegion(*this, std::move(desc)));
+  MappedRegion* raw = region.get();
+  mappings_[name] = std::move(region);
+  return raw;
+}
+
+Status RStoreClient::Rgrow(const std::string& name, uint64_t new_size) {
+  rpc::Writer req;
+  req.Str(name);
+  req.U64(new_size);
+  auto resp = CallMaster(kGrow, req);
+  if (!resp.ok()) return resp.status();
+  rpc::Reader r(*resp);
+  RegionDesc desc;
+  if (!RegionDesc::Decode(r, &desc)) {
+    return Status(ErrorCode::kInternal, "malformed grow response");
+  }
+  // Refresh the cached mapping in place so existing MappedRegion
+  // pointers observe the new size.
+  auto it = mappings_.find(name);
+  if (it != mappings_.end()) {
+    it->second->desc_ = std::move(desc);
+  }
+  return Status::Ok();
+}
+
+Status RStoreClient::Runmap(const std::string& name) {
+  return mappings_.erase(name) > 0
+             ? Status::Ok()
+             : Status(ErrorCode::kNotFound, "'" + name + "' is not mapped");
+}
+
+Status RStoreClient::Rfree(const std::string& name) {
+  mappings_.erase(name);
+  rpc::Writer req;
+  req.Str(name);
+  return CallMaster(kFree, req).status();
+}
+
+Result<ClusterStat> RStoreClient::Stat() {
+  auto resp = CallMaster(kStat, rpc::Writer{});
+  if (!resp.ok()) return resp.status();
+  rpc::Reader r(*resp);
+  ClusterStat stat;
+  if (!ClusterStat::Decode(r, &stat)) {
+    return Result<ClusterStat>(ErrorCode::kInternal, "malformed stat");
+  }
+  return stat;
+}
+
+Status RStoreClient::RegisterBuffer(std::span<std::byte> buffer) {
+  if (buffer.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty buffer");
+  }
+  // Evict registrations that overlap the new range: they necessarily
+  // refer to freed buffers whose addresses the allocator reused (live
+  // application buffers cannot overlap).
+  const auto a = reinterpret_cast<uintptr_t>(buffer.data());
+  const uintptr_t b = a + buffer.size();
+  auto it = pinned_.lower_bound(a);
+  if (it != pinned_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second->length() > a) {
+      (void)pd_->DeregisterMemory(prev->second);
+      pinned_.erase(prev);
+    }
+  }
+  while (it != pinned_.end() && it->first < b) {
+    (void)pd_->DeregisterMemory(it->second);
+    it = pinned_.erase(it);
+  }
+
+  auto mr = pd_->RegisterMemory(buffer.data(), buffer.size(),
+                                verbs::kLocalWrite);
+  if (!mr.ok()) return mr.status();
+  pinned_.emplace(a, *mr);
+  return Status::Ok();
+}
+
+Status RStoreClient::UnregisterBuffer(std::span<std::byte> buffer) {
+  const auto a = reinterpret_cast<uintptr_t>(buffer.data());
+  auto it = pinned_.find(a);
+  if (it == pinned_.end()) {
+    return Status(ErrorCode::kNotFound, "buffer was not registered");
+  }
+  (void)pd_->DeregisterMemory(it->second);
+  pinned_.erase(it);
+  return Status::Ok();
+}
+
+Result<PinnedBuffer> RStoreClient::AllocBuffer(size_t bytes) {
+  auto storage = std::make_unique<std::vector<std::byte>>(bytes);
+  std::span<std::byte> span(*storage);
+  RSTORE_RETURN_IF_ERROR(RegisterBuffer(span));
+  owned_buffers_.push_back(std::move(storage));
+  return PinnedBuffer{span};
+}
+
+verbs::MemoryRegion* RStoreClient::FindPinned(const std::byte* addr,
+                                              uint64_t len) const {
+  const auto a = reinterpret_cast<uintptr_t>(addr);
+  auto it = pinned_.upper_bound(a);
+  if (it == pinned_.begin()) return nullptr;
+  --it;
+  verbs::MemoryRegion* mr = it->second;
+  return mr->Covers(a, len) ? mr : nullptr;
+}
+
+Status RStoreClient::NotifyInc(const std::string& channel, uint64_t delta) {
+  rpc::Writer req;
+  req.Str(channel);
+  req.U64(delta);
+  return CallMaster(kNotifyInc, req).status();
+}
+
+Result<uint64_t> RStoreClient::WaitNotify(const std::string& channel,
+                                          uint64_t target) {
+  rpc::Writer req;
+  req.Str(channel);
+  req.U64(target);
+  auto resp = CallMaster(kWaitNotify, req);
+  if (!resp.ok()) return resp.status();
+  rpc::Reader r(*resp);
+  uint64_t value = 0;
+  if (!r.U64(&value)) {
+    return Result<uint64_t>(ErrorCode::kInternal, "malformed wait response");
+  }
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+Result<RStoreClient::Connection*> RStoreClient::ConnectionTo(
+    uint32_t server_node) {
+  auto it = connections_.find(server_node);
+  if (it != connections_.end() && it->second.healthy) {
+    return &it->second;
+  }
+  // (Re)connect: data QPs share the client's data CQ for send-side
+  // completions; the receive side is unused (one-sided traffic only).
+  auto qp = device_.network().Connect(device_, server_node, kDataService, {},
+                                      data_cq_, nullptr);
+  if (!qp.ok()) return qp.status();
+  Connection conn{*qp, true};
+  auto [pos, unused] = connections_.insert_or_assign(server_node, conn);
+  (void)unused;
+  return &pos->second;
+}
+
+Result<IoFuture> RStoreClient::SubmitIo(const RegionDesc& desc,
+                                        uint64_t offset, std::byte* buffer,
+                                        uint64_t length, bool is_read) {
+  auto state = std::make_shared<IoFuture::State>(device_.network().sim());
+  IoFuture future(state, this);
+  RSTORE_RETURN_IF_ERROR(
+      PostFragments(state, desc, offset, buffer, length, is_read));
+  return future;
+}
+
+Result<IoFuture> RStoreClient::SubmitVector(const RegionDesc& desc,
+                                            std::span<const IoVec> segments,
+                                            bool is_read) {
+  auto state = std::make_shared<IoFuture::State>(device_.network().sim());
+  IoFuture future(state, this);
+  for (const IoVec& seg : segments) {
+    RSTORE_RETURN_IF_ERROR(PostFragments(state, desc, seg.offset, seg.local,
+                                         seg.length, is_read));
+  }
+  return future;
+}
+
+Status RStoreClient::PostFragments(
+    const std::shared_ptr<IoFuture::State>& state, const RegionDesc& desc,
+    uint64_t offset, std::byte* buffer, uint64_t length, bool is_read) {
+  if (offset > desc.size || length > desc.size - offset) {
+    return Status(ErrorCode::kOutOfRange,
+                  "IO past end of region '" + desc.name + "'");
+  }
+  if (length == 0) return Status::Ok();
+
+  verbs::MemoryRegion* pinned = FindPinned(buffer, length);
+  if (pinned == nullptr) {
+    return Status(
+        ErrorCode::kInvalidArgument,
+        "IO buffer is not registered (call RegisterBuffer/AllocBuffer)");
+  }
+
+  ++data_ops_;
+  if (is_read) {
+    bytes_read_ += length;
+  } else {
+    bytes_written_ += length;
+  }
+
+  // Split the byte range over the slab table and post one work request
+  // per fragment. Backpressure: when a send queue fills, drain
+  // completions and retry.
+  uint64_t cursor = offset;
+  uint64_t remaining = length;
+  std::byte* local = buffer;
+  while (remaining > 0) {
+    const uint64_t slab_idx = cursor / desc.slab_size;
+    const uint64_t in_slab = cursor % desc.slab_size;
+    const uint64_t frag =
+        std::min(remaining, desc.slab_size - in_slab);
+    const SlabLocation& slab = desc.slabs.at(slab_idx);
+
+    // Reads hit the primary copy; writes fan out to every copy so
+    // replicas stay byte-identical.
+    auto post_one = [&](const SlabLocation& target) -> Status {
+      auto target_conn = ConnectionTo(target.server_node);
+      if (!target_conn.ok()) return target_conn.status();
+      const uint64_t wr_id = next_wr_id_++;
+      verbs::SendWr wr{
+          .wr_id = wr_id,
+          .opcode = is_read ? verbs::Opcode::kRdmaRead
+                            : verbs::Opcode::kRdmaWrite,
+          .local = {local, static_cast<uint32_t>(frag), pinned->lkey()},
+          .remote_addr = target.remote_addr + in_slab,
+          .rkey = target.rkey,
+      };
+      Status posted = (*target_conn)->qp->PostSend(wr);
+      while (!posted.ok() && posted.code() == ErrorCode::kOutOfMemory) {
+        PumpData(options_.io_timeout);
+        posted = (*target_conn)->qp->PostSend(wr);
+      }
+      if (!posted.ok()) {
+        (*target_conn)->healthy = false;
+        return posted;
+      }
+      state->expected += 1;
+      pending_io_.emplace(wr_id, state);
+      return Status::Ok();
+    };
+    RSTORE_RETURN_IF_ERROR(post_one(slab));
+    if (!is_read) {
+      for (const auto& replica : desc.replicas) {
+        RSTORE_RETURN_IF_ERROR(post_one(replica.at(slab_idx)));
+      }
+    }
+
+    cursor += frag;
+    local += frag;
+    remaining -= frag;
+  }
+  return Status::Ok();
+}
+
+void RStoreClient::PumpData(sim::Nanos timeout) {
+  auto wcs = data_cq_->WaitPoll(16, timeout);
+  for (const auto& wc : wcs) {
+    auto it = pending_io_.find(wc.wr_id);
+    if (it == pending_io_.end()) continue;  // e.g. atomics handled inline
+    std::shared_ptr<IoFuture::State> state = it->second;
+    pending_io_.erase(it);
+    state->completed += 1;
+    if (!wc.ok() && !state->failed) {
+      state->failed = true;
+      state->first_error =
+          Status(wc.status == verbs::WcStatus::kRemAccessErr
+                     ? ErrorCode::kPermissionDenied
+                     : ErrorCode::kUnavailable,
+                 std::string("data path error: ") +
+                     std::string(verbs::ToString(wc.status)));
+      // Mark the connection unhealthy so the next IO reconnects.
+      for (auto& [node, conn] : connections_) {
+        if (conn.qp != nullptr && conn.qp->qp_num() == wc.qp_num) {
+          conn.healthy = false;
+        }
+      }
+    }
+    if (state->done()) state->cv.NotifyAll();
+  }
+}
+
+Status RStoreClient::WaitFuture(const std::shared_ptr<IoFuture::State>& state) {
+  const sim::Nanos deadline = sim::Now() + options_.io_timeout;
+  while (!state->done()) {
+    if (sim::Now() >= deadline) {
+      return Status(ErrorCode::kTimedOut, "IO did not complete in time");
+    }
+    if (!pumping_) {
+      pumping_ = true;
+      PumpData(deadline - sim::Now());
+      pumping_ = false;
+      // Hand the pump to another waiter if we are done but others wait.
+      if (!pending_io_.empty()) {
+        pending_io_.begin()->second->cv.NotifyAll();
+      }
+    } else {
+      (void)state->cv.WaitFor(deadline - sim::Now());
+    }
+  }
+  return state->failed ? state->first_error : Status::Ok();
+}
+
+Result<uint64_t> RStoreClient::SubmitAtomic(const RegionDesc& desc,
+                                            uint64_t offset, verbs::Opcode op,
+                                            uint64_t compare,
+                                            uint64_t swap_or_add) {
+  if (offset % 8 != 0 || offset + 8 > desc.size) {
+    return Result<uint64_t>(ErrorCode::kInvalidArgument,
+                            "atomic offset must be 8-aligned and in range");
+  }
+  if (desc.copies > 1) {
+    return Result<uint64_t>(
+        ErrorCode::kInvalidArgument,
+        "remote atomics are not defined on replicated regions");
+  }
+  const uint64_t slab_idx = offset / desc.slab_size;
+  const uint64_t in_slab = offset % desc.slab_size;
+  const SlabLocation& slab = desc.slabs.at(slab_idx);
+
+  auto conn = ConnectionTo(slab.server_node);
+  if (!conn.ok()) return conn.status();
+
+  if (free_atomic_slots_.empty()) {
+    return Result<uint64_t>(ErrorCode::kOutOfMemory,
+                            "too many outstanding atomics");
+  }
+  const uint32_t slot = free_atomic_slots_.back();
+  free_atomic_slots_.pop_back();
+  std::byte* result = atomic_arena_.data() + slot * 8;
+
+  auto state = std::make_shared<IoFuture::State>(device_.network().sim());
+  const uint64_t wr_id = next_wr_id_++;
+  Status posted = (*conn)->qp->PostSend(verbs::SendWr{
+      .wr_id = wr_id,
+      .opcode = op,
+      .local = {result, 8, atomic_mr_->lkey()},
+      .remote_addr = slab.remote_addr + in_slab,
+      .rkey = slab.rkey,
+      .compare = compare,
+      .swap_or_add = swap_or_add,
+  });
+  if (!posted.ok()) {
+    free_atomic_slots_.push_back(slot);
+    (*conn)->healthy = false;
+    return posted;
+  }
+  state->expected = 1;
+  pending_io_.emplace(wr_id, state);
+  Status st = WaitFuture(state);
+  uint64_t old = 0;
+  std::memcpy(&old, result, 8);
+  free_atomic_slots_.push_back(slot);
+  if (!st.ok()) return st;
+  return old;
+}
+
+// ---------------------------------------------------------------------------
+// MappedRegion forwarding
+// ---------------------------------------------------------------------------
+Status MappedRegion::Read(uint64_t offset, std::span<std::byte> dst) {
+  auto future = client_.SubmitIo(desc_, offset, dst.data(), dst.size(),
+                                 /*is_read=*/true);
+  if (!future.ok()) return future.status();
+  return future->Wait();
+}
+
+Status MappedRegion::Write(uint64_t offset, std::span<const std::byte> src) {
+  // One-sided writes read the source buffer; it stays logically const.
+  auto future = client_.SubmitIo(desc_, offset,
+                                 const_cast<std::byte*>(src.data()),
+                                 src.size(), /*is_read=*/false);
+  if (!future.ok()) return future.status();
+  return future->Wait();
+}
+
+Result<IoFuture> MappedRegion::ReadAsync(uint64_t offset,
+                                         std::span<std::byte> dst) {
+  return client_.SubmitIo(desc_, offset, dst.data(), dst.size(), true);
+}
+
+Result<IoFuture> MappedRegion::WriteAsync(uint64_t offset,
+                                          std::span<const std::byte> src) {
+  return client_.SubmitIo(desc_, offset, const_cast<std::byte*>(src.data()),
+                          src.size(), false);
+}
+
+Result<IoFuture> MappedRegion::ReadV(std::span<const IoVec> segments) {
+  return client_.SubmitVector(desc_, segments, /*is_read=*/true);
+}
+
+Result<IoFuture> MappedRegion::WriteV(std::span<const IoVec> segments) {
+  return client_.SubmitVector(desc_, segments, /*is_read=*/false);
+}
+
+Result<uint64_t> MappedRegion::FetchAdd(uint64_t offset, uint64_t delta) {
+  return client_.SubmitAtomic(desc_, offset, verbs::Opcode::kFetchAdd, 0,
+                              delta);
+}
+
+Result<uint64_t> MappedRegion::CompareSwap(uint64_t offset, uint64_t expected,
+                                           uint64_t desired) {
+  return client_.SubmitAtomic(desc_, offset, verbs::Opcode::kCompareSwap,
+                              expected, desired);
+}
+
+}  // namespace rstore::core

@@ -1,0 +1,259 @@
+// RStore client: the memory-like API.
+//
+// The client embodies the paper's separation philosophy:
+//
+//   control path (through the master, milliseconds, infrequent):
+//     Ralloc(name, size, copies)  create a named (optionally replicated)
+//                                 distributed region
+//     Rmap(name)               fetch its slab table; cached thereafter
+//     Rgrow(name, new_size)    extend a region in place
+//     Rfree(name)              tear it down
+//     RegisterBuffer(...)      pin local IO buffers (verbs registration)
+//     NotifyInc / WaitNotify   cross-client synchronization
+//
+//   data path (one-sided RDMA to memory servers, microseconds, hot):
+//     MappedRegion::Read / Write          sync, any offset/length
+//     MappedRegion::ReadAsync/WriteAsync  overlapped, IoFuture to wait
+//     MappedRegion::ReadV / WriteV        vectored scatter/gather
+//     MappedRegion::FetchAdd/CompareSwap  8-byte remote atomics
+//
+// After Rmap returns, a read or write never contacts the master: the
+// client splits the byte range over the slab table, posts one-sided
+// verbs to each memory server involved (connections are created lazily
+// and cached), and waits for completions. No server CPU runs on its
+// behalf — that is what "direct access" means.
+//
+// Local buffers used for IO must lie inside a region previously pinned
+// with RegisterBuffer (or obtained from AllocBuffer); this mirrors real
+// RDMA, where unregistered memory cannot be DMA'd.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "rpc/rpc.h"
+#include "verbs/verbs.h"
+
+namespace rstore::core {
+
+class RStoreClient;
+
+struct ClientOptions {
+  // Control-path RPC sizing and timeout (WaitNotify long-polls, so this
+  // bounds the longest barrier an application may wait on).
+  sim::Nanos control_timeout = sim::Seconds(600);
+  // Data-path IO deadline.
+  sim::Nanos io_timeout = sim::Seconds(60);
+};
+
+// Completion handle for asynchronous IO. Wait() is idempotent; the
+// future may outlive the client call scope (shared state) but not the
+// client itself.
+class IoFuture {
+ public:
+  IoFuture() = default;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  // Blocks until every fragment of the IO completed; returns the first
+  // error if any fragment failed.
+  Status Wait();
+
+ private:
+  friend class RStoreClient;
+  struct State;
+  explicit IoFuture(std::shared_ptr<State> state, RStoreClient* client)
+      : state_(std::move(state)), client_(client) {}
+  std::shared_ptr<State> state_;
+  RStoreClient* client_ = nullptr;
+};
+
+// One segment of a vectored IO: `length` bytes at region offset `offset`
+// moving to/from `local`.
+struct IoVec {
+  uint64_t offset = 0;
+  std::byte* local = nullptr;
+  uint64_t length = 0;
+};
+
+// A mapped distributed region. Obtained from RStoreClient::Rmap; owned by
+// the client (pointers stay valid until Runmap/Rfree or client teardown).
+class MappedRegion {
+ public:
+  [[nodiscard]] const RegionDesc& desc() const noexcept { return desc_; }
+  [[nodiscard]] uint64_t size() const noexcept { return desc_.size; }
+  [[nodiscard]] const std::string& name() const noexcept {
+    return desc_.name;
+  }
+
+  // Synchronous byte-granular IO at any offset.
+  Status Read(uint64_t offset, std::span<std::byte> dst);
+  Status Write(uint64_t offset, std::span<const std::byte> src);
+
+  // Overlapped IO: returns once the work is posted.
+  Result<IoFuture> ReadAsync(uint64_t offset, std::span<std::byte> dst);
+  Result<IoFuture> WriteAsync(uint64_t offset,
+                              std::span<const std::byte> src);
+
+  // Vectored IO: every segment posted at once, one future for the lot —
+  // the natural shape for scattered accesses (slot tables, per-worker
+  // slices) where per-segment round trips would dominate.
+  Result<IoFuture> ReadV(std::span<const IoVec> segments);
+  Result<IoFuture> WriteV(std::span<const IoVec> segments);
+
+  // Remote 8-byte atomics (offset must be 8-aligned). Return the value
+  // observed at the memory server before the operation.
+  Result<uint64_t> FetchAdd(uint64_t offset, uint64_t delta);
+  Result<uint64_t> CompareSwap(uint64_t offset, uint64_t expected,
+                               uint64_t desired);
+
+ private:
+  friend class RStoreClient;
+  MappedRegion(RStoreClient& client, RegionDesc desc)
+      : client_(client), desc_(std::move(desc)) {}
+
+  RStoreClient& client_;
+  RegionDesc desc_;
+};
+
+// A registered local buffer owned by the client (AllocBuffer).
+struct PinnedBuffer {
+  std::span<std::byte> data;
+
+  [[nodiscard]] std::byte* begin() const noexcept { return data.data(); }
+  [[nodiscard]] size_t size() const noexcept { return data.size(); }
+};
+
+class RStoreClient {
+ public:
+  // Connects the control path to the master; blocks the calling thread.
+  static Result<std::unique_ptr<RStoreClient>> Connect(
+      verbs::Device& device, uint32_t master_node, ClientOptions options = {});
+
+  ~RStoreClient();
+  RStoreClient(const RStoreClient&) = delete;
+  RStoreClient& operator=(const RStoreClient&) = delete;
+
+  // ---------------- control path --------------------------------------
+  // Allocates a named region. `copies` > 1 replicates every slab on that
+  // many distinct servers: writes fan out to all copies; reads hit the
+  // primary, and the master promotes a live replica to primary at map
+  // time when servers fail (see Rmap(fresh) for recovery).
+  Status Ralloc(const std::string& name, uint64_t size, uint32_t copies = 1);
+  // Cached after the first call; `fresh` forces a master round trip
+  // (used to pick up healed/re-located regions).
+  Result<MappedRegion*> Rmap(const std::string& name,
+                             bool allow_degraded = false, bool fresh = false);
+  // Grows an (unreplicated) region to `new_size` bytes in place; existing
+  // data is untouched. The local mapping is refreshed on success; other
+  // clients pick the growth up at their next fresh Rmap.
+  Status Rgrow(const std::string& name, uint64_t new_size);
+  // Drops the local mapping (cache entry); remote region unaffected.
+  Status Runmap(const std::string& name);
+  // Frees the region cluster-wide (and unmaps locally).
+  Status Rfree(const std::string& name);
+  Result<ClusterStat> Stat();
+
+  // Pins an application buffer for one-sided IO. Registration is a
+  // control-path operation: do it at setup, not per IO. Re-registering a
+  // range that overlaps a previous registration evicts the old one (the
+  // old buffer was necessarily freed; allocators reuse addresses).
+  Status RegisterBuffer(std::span<std::byte> buffer);
+  // Unpins a buffer previously passed to RegisterBuffer (same start).
+  Status UnregisterBuffer(std::span<std::byte> buffer);
+  // Allocates and pins a buffer owned by the client.
+  Result<PinnedBuffer> AllocBuffer(size_t bytes);
+
+  // ---------------- synchronization ------------------------------------
+  // Named monotonic counters hosted by the master.
+  Status NotifyInc(const std::string& channel, uint64_t delta = 1);
+  // Blocks until the channel value reaches `target`; returns the value.
+  Result<uint64_t> WaitNotify(const std::string& channel, uint64_t target);
+
+  // ---------------- statistics ----------------------------------------
+  [[nodiscard]] uint64_t bytes_read() const noexcept { return bytes_read_; }
+  [[nodiscard]] uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+  [[nodiscard]] uint64_t data_ops() const noexcept { return data_ops_; }
+  [[nodiscard]] uint64_t control_calls() const noexcept {
+    return control_calls_;
+  }
+  [[nodiscard]] uint64_t map_cache_hits() const noexcept {
+    return map_cache_hits_;
+  }
+
+  [[nodiscard]] verbs::Device& device() noexcept { return device_; }
+
+ private:
+  friend class MappedRegion;
+  friend class IoFuture;
+
+  struct Connection {
+    verbs::QueuePair* qp = nullptr;
+    bool healthy = false;
+  };
+
+  RStoreClient(verbs::Device& device, uint32_t master_node,
+               ClientOptions options);
+
+  // Data-path engine.
+  Result<IoFuture> SubmitIo(const RegionDesc& desc, uint64_t offset,
+                            std::byte* buffer, uint64_t length, bool is_read);
+  Result<IoFuture> SubmitVector(const RegionDesc& desc,
+                                std::span<const IoVec> segments,
+                                bool is_read);
+  // Splits one byte range over the slab table and posts the fragments
+  // into `state`.
+  Status PostFragments(const std::shared_ptr<IoFuture::State>& state,
+                       const RegionDesc& desc, uint64_t offset,
+                       std::byte* buffer, uint64_t length, bool is_read);
+  Result<uint64_t> SubmitAtomic(const RegionDesc& desc, uint64_t offset,
+                                verbs::Opcode op, uint64_t compare,
+                                uint64_t swap_or_add);
+  Result<Connection*> ConnectionTo(uint32_t server_node);
+  // Finds the registration covering [addr, addr+len); null if none.
+  [[nodiscard]] verbs::MemoryRegion* FindPinned(const std::byte* addr,
+                                                uint64_t len) const;
+  void PumpData(sim::Nanos timeout);
+  Status WaitFuture(const std::shared_ptr<IoFuture::State>& state);
+
+  Result<std::vector<std::byte>> CallMaster(uint32_t method,
+                                            const rpc::Writer& req);
+
+  verbs::Device& device_;
+  uint32_t master_node_;
+  ClientOptions options_;
+
+  std::unique_ptr<rpc::RpcClient> master_;
+  verbs::ProtectionDomain* pd_ = nullptr;
+  verbs::CompletionQueue* data_cq_ = nullptr;
+
+  std::map<std::string, std::unique_ptr<MappedRegion>> mappings_;
+  std::map<uint32_t, Connection> connections_;  // by server node
+  // Pinned local buffers, keyed by start address for range lookup.
+  std::map<uintptr_t, verbs::MemoryRegion*> pinned_;
+  std::vector<std::unique_ptr<std::vector<std::byte>>> owned_buffers_;
+
+  // Scratch slots for atomic results (registered, 8 bytes each).
+  std::vector<std::byte> atomic_arena_;
+  verbs::MemoryRegion* atomic_mr_ = nullptr;
+  std::vector<uint32_t> free_atomic_slots_;
+
+  std::unordered_map<uint64_t, std::shared_ptr<IoFuture::State>> pending_io_;
+  uint64_t next_wr_id_ = 1;
+  bool pumping_ = false;
+
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t data_ops_ = 0;
+  uint64_t control_calls_ = 0;
+  uint64_t map_cache_hits_ = 0;
+};
+
+}  // namespace rstore::core

@@ -1,0 +1,85 @@
+#include "core/memory_server.h"
+
+#include "common/log.h"
+
+namespace rstore::core {
+
+MemoryServer::MemoryServer(verbs::Device& device, uint32_t master_node,
+                           MemoryServerOptions options)
+    : device_(device), master_node_(master_node), options_(options) {}
+
+void MemoryServer::Start() {
+  // Donate the arena: allocate, register for one-sided access.
+  arena_.resize(options_.capacity);
+  verbs::ProtectionDomain& pd = device_.CreatePd();
+  auto mr = pd.RegisterMemory(
+      arena_.data(), arena_.size(),
+      verbs::kLocalWrite | verbs::kRemoteRead | verbs::kRemoteWrite |
+          verbs::kRemoteAtomic);
+  if (!mr.ok()) {
+    LOG_ERROR << "memory server: arena registration failed: " << mr.status();
+    return;
+  }
+  arena_mr_ = *mr;
+
+  // Data-plane acceptor: accept client QPs and forget about them — all
+  // traffic on them is one-sided.
+  verbs::Network& net = device_.network();
+  net.Listen(device_, kDataService);
+  device_.node().Spawn("mem-accept", [this] {
+    auto& listener = device_.network().Listen(device_, kDataService);
+    while (true) {
+      auto qp = listener.Accept();
+      if (!qp.ok()) return;
+    }
+  });
+
+  device_.node().Spawn("mem-register", [this] { RegistrationLoop(); });
+}
+
+void MemoryServer::RegistrationLoop() {
+  while (true) {
+    auto client = rpc::RpcClient::Connect(device_, master_node_,
+                                          kMasterService);
+    if (!client.ok()) {
+      LOG_WARN << "memory server " << device_.node_id()
+               << ": master unreachable, retrying";
+      sim::Sleep(sim::Millis(100));
+      continue;
+    }
+    master_ = std::move(client).value();
+
+    rpc::Writer reg;
+    reg.U32(device_.node_id());
+    reg.U64(arena_mr_->remote_addr());
+    reg.U32(arena_mr_->rkey());
+    reg.U64(options_.capacity);
+    auto resp = master_->Call(kRegisterServer, reg);
+    if (!resp.ok()) {
+      LOG_WARN << "memory server " << device_.node_id()
+               << ": registration failed: " << resp.status();
+      sim::Sleep(sim::Millis(100));
+      continue;
+    }
+    registered_ = true;
+    LOG_DEBUG << "memory server " << device_.node_id() << " registered";
+
+    // Heartbeat until the master revokes the lease or goes away; then
+    // fall out and re-register.
+    while (true) {
+      sim::Sleep(options_.heartbeat_interval);
+      rpc::Writer hb;
+      hb.U32(device_.node_id());
+      auto beat = master_->Call(kHeartbeat, hb);
+      if (!beat.ok()) {
+        LOG_WARN << "memory server " << device_.node_id()
+                 << ": heartbeat failed (" << beat.status()
+                 << "), re-registering";
+        registered_ = false;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace rstore::core

@@ -1,0 +1,67 @@
+// RStore memory server: donates DRAM and then gets out of the way.
+//
+// A memory server registers a slab arena with the master and accepts data
+// queue pairs from clients — and that is all. Its CPU never touches the
+// data path: reads and writes land as one-sided RDMA against the
+// registered arena. This asymmetry (stateful master, dumb-but-fast
+// memory servers, smart clients) is the paper's architecture.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "rpc/rpc.h"
+#include "verbs/verbs.h"
+
+namespace rstore::core {
+
+struct MemoryServerOptions {
+  // Bytes of DRAM donated to the store.
+  uint64_t capacity = 256ULL << 20;
+  // Heartbeat period; must stay well under the master's lease timeout.
+  sim::Nanos heartbeat_interval = sim::Millis(50);
+};
+
+class MemoryServer {
+ public:
+  MemoryServer(verbs::Device& device, uint32_t master_node,
+               MemoryServerOptions options = {});
+
+  MemoryServer(const MemoryServer&) = delete;
+  MemoryServer& operator=(const MemoryServer&) = delete;
+
+  // Spawns the server threads: data-QP acceptor, master registration and
+  // heartbeat loop. Returns after spawning (registration happens on the
+  // server's own thread in simulated time).
+  void Start();
+
+  // True once the master has acknowledged registration.
+  [[nodiscard]] bool registered() const noexcept { return registered_; }
+  [[nodiscard]] uint64_t capacity() const noexcept {
+    return options_.capacity;
+  }
+  // The arena is interesting to tests (peeking at what clients wrote).
+  [[nodiscard]] const std::byte* arena() const noexcept {
+    return arena_.data();
+  }
+  [[nodiscard]] uint32_t arena_rkey() const noexcept {
+    return arena_mr_ ? arena_mr_->rkey() : 0;
+  }
+
+ private:
+  void RegistrationLoop();
+
+  verbs::Device& device_;
+  uint32_t master_node_;
+  MemoryServerOptions options_;
+
+  std::vector<std::byte> arena_;
+  verbs::MemoryRegion* arena_mr_ = nullptr;
+  std::unique_ptr<rpc::RpcClient> master_;
+  bool registered_ = false;
+};
+
+}  // namespace rstore::core

@@ -1,0 +1,71 @@
+#include "core/types.h"
+
+namespace rstore::core {
+
+namespace {
+
+void EncodeSlabs(rpc::Writer& w, const std::vector<SlabLocation>& slabs) {
+  w.U32(static_cast<uint32_t>(slabs.size()));
+  for (const SlabLocation& s : slabs) {
+    w.U32(s.server_node);
+    w.U64(s.remote_addr);
+    w.U32(s.rkey);
+  }
+}
+
+bool DecodeSlabs(rpc::Reader& r, std::vector<SlabLocation>* out) {
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SlabLocation s;
+    if (!r.U32(&s.server_node) || !r.U64(&s.remote_addr) || !r.U32(&s.rkey)) {
+      return false;
+    }
+    out->push_back(s);
+  }
+  return true;
+}
+
+}  // namespace
+
+void RegionDesc::Encode(rpc::Writer& w) const {
+  w.U64(id);
+  w.Str(name);
+  w.U64(size);
+  w.U64(slab_size);
+  w.U32(copies);
+  EncodeSlabs(w, slabs);
+  for (const auto& copy : replicas) EncodeSlabs(w, copy);
+}
+
+bool RegionDesc::Decode(rpc::Reader& r, RegionDesc* out) {
+  if (!r.U64(&out->id) || !r.Str(&out->name) || !r.U64(&out->size) ||
+      !r.U64(&out->slab_size) || !r.U32(&out->copies)) {
+    return false;
+  }
+  if (out->copies == 0) return false;
+  if (!DecodeSlabs(r, &out->slabs)) return false;
+  out->replicas.clear();
+  out->replicas.resize(out->copies - 1);
+  for (auto& copy : out->replicas) {
+    if (!DecodeSlabs(r, &copy)) return false;
+    if (copy.size() != out->slabs.size()) return false;
+  }
+  return true;
+}
+
+void ClusterStat::Encode(rpc::Writer& w) const {
+  w.U32(live_servers);
+  w.U64(total_bytes);
+  w.U64(free_bytes);
+  w.U32(regions);
+}
+
+bool ClusterStat::Decode(rpc::Reader& r, ClusterStat* out) {
+  return r.U32(&out->live_servers) && r.U64(&out->total_bytes) &&
+         r.U64(&out->free_bytes) && r.U32(&out->regions);
+}
+
+}  // namespace rstore::core

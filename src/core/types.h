@@ -1,0 +1,86 @@
+// Shared vocabulary of the RStore control protocol.
+//
+// RStore extends RDMA's separation philosophy to the cluster: *control*
+// operations (allocate, map, free, synchronize) go through a master over
+// two-sided RPC and are allowed to be slow and infrequent; *data*
+// operations (read, write, atomics) go directly to memory servers over
+// one-sided RDMA carrying no per-IO metadata traffic. The structures here
+// are what the control path hands to the data path: a region described as
+// an ordered list of slabs, each slab a (server, remote address, rkey)
+// triple the client can hit with one-sided verbs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/wire.h"
+
+namespace rstore::core {
+
+// Control-protocol method ids (master RPC service).
+enum Method : uint32_t {
+  kRegisterServer = 1,
+  kHeartbeat = 2,
+  kAlloc = 3,
+  kMap = 4,
+  kFree = 5,
+  kStat = 6,
+  kNotifyInc = 7,
+  kWaitNotify = 8,
+  kListRegions = 9,
+  kGrow = 10,
+};
+
+// Well-known verbs service ids.
+inline constexpr uint32_t kMasterService = 1;      // master RPC
+inline constexpr uint32_t kDataService = 2;        // memory-server data QPs
+
+// One slab of a distributed memory region: `slab_size` bytes of donated
+// DRAM on one memory server, addressable with one-sided verbs.
+struct SlabLocation {
+  uint32_t server_node = 0;  // node id of the memory server
+  uint64_t remote_addr = 0;  // base VA of the slab on that server
+  uint32_t rkey = 0;         // rkey of the covering memory region
+
+  friend bool operator==(const SlabLocation&, const SlabLocation&) = default;
+};
+
+// A mapped region descriptor — everything a client needs to run the data
+// path without ever talking to the master again.
+//
+// Replication (an extension beyond the paper, in the spirit of its
+// future-work discussion): a region may carry `copies` > 1, in which
+// case every slab has `copies` placements on distinct servers. `slabs`
+// holds the *primary* copy of each slab — reads go there — and
+// `replicas[r]` holds the (r+2)-th copy of every slab; writes fan out to
+// all copies. The master reorders copies at map time so the primary is
+// always a live server when one exists.
+struct RegionDesc {
+  uint64_t id = 0;
+  std::string name;
+  uint64_t size = 0;       // bytes visible to the application
+  uint64_t slab_size = 0;  // striping granularity
+  uint32_t copies = 1;     // total placements per slab (1 = unreplicated)
+  std::vector<SlabLocation> slabs;  // primary copy, ceil(size/slab_size)
+  // replicas[r][i] = copy r+2 of slab i; outer size = copies - 1.
+  std::vector<std::vector<SlabLocation>> replicas;
+
+  [[nodiscard]] uint64_t slab_count() const noexcept { return slabs.size(); }
+
+  void Encode(rpc::Writer& w) const;
+  [[nodiscard]] static bool Decode(rpc::Reader& r, RegionDesc* out);
+};
+
+// Cluster statistics returned by kStat.
+struct ClusterStat {
+  uint32_t live_servers = 0;
+  uint64_t total_bytes = 0;
+  uint64_t free_bytes = 0;
+  uint32_t regions = 0;
+
+  void Encode(rpc::Writer& w) const;
+  [[nodiscard]] static bool Decode(rpc::Reader& r, ClusterStat* out);
+};
+
+}  // namespace rstore::core

@@ -1,0 +1,303 @@
+#include "kv/kv.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "sim/simulation.h"
+
+namespace rstore::kv {
+namespace {
+
+// Slot layout (offsets within the slot):
+//   0  u64 version   even = stable, odd = writer holds the seqlock;
+//                    0 with key_len 0 = never used (ends probe chains)
+//   8  u16 key_len   0 with version > 0 = tombstone
+//  10  u16 (pad)
+//  12  u32 val_len
+//  16  (pad to 24)
+//  24  key bytes, then value bytes
+constexpr uint64_t kVersionOff = 0;
+constexpr uint64_t kKeyLenOff = 8;
+constexpr uint64_t kValLenOff = 12;
+constexpr uint64_t kPayloadOff = 24;
+
+}  // namespace
+
+KvStore::KvStore(core::RStoreClient& client, core::MappedRegion* region,
+                 KvOptions options)
+    : client_(client), region_(region), options_(options) {}
+
+Result<std::unique_ptr<KvStore>> KvStore::Create(core::RStoreClient& client,
+                                                 const std::string& name,
+                                                 KvOptions options) {
+  if (options.buckets == 0 || options.slot_bytes <= kSlotHeader ||
+      options.max_probe == 0) {
+    return Result<std::unique_ptr<KvStore>>(ErrorCode::kInvalidArgument,
+                                            "bad table geometry");
+  }
+  const uint64_t bytes =
+      kHeaderBytes + options.buckets * options.slot_bytes;
+  RSTORE_RETURN_IF_ERROR(client.Ralloc(name, bytes));
+  auto region = client.Rmap(name);
+  if (!region.ok()) return region.status();
+
+  // Header: magic, buckets, slot_bytes, max_probe. Slots rely on the
+  // arena being zero-initialized (version 0 = never used).
+  auto hdr = client.AllocBuffer(kHeaderBytes);
+  if (!hdr.ok()) return hdr.status();
+  std::memset(hdr->begin(), 0, kHeaderBytes);
+  std::memcpy(hdr->begin(), &kMagic, 8);
+  std::memcpy(hdr->begin() + 8, &options.buckets, 8);
+  std::memcpy(hdr->begin() + 16, &options.slot_bytes, 4);
+  std::memcpy(hdr->begin() + 20, &options.max_probe, 4);
+  RSTORE_RETURN_IF_ERROR((*region)->Write(0, hdr->data));
+
+  auto store = std::unique_ptr<KvStore>(
+      new KvStore(client, *region, options));
+  RSTORE_ASSIGN_OR_RETURN(store->scratch_,
+                          client.AllocBuffer(options.slot_bytes));
+  RSTORE_ASSIGN_OR_RETURN(store->write_buf_,
+                          client.AllocBuffer(options.slot_bytes));
+  RSTORE_ASSIGN_OR_RETURN(store->version_buf_, client.AllocBuffer(8));
+  return store;
+}
+
+Result<std::unique_ptr<KvStore>> KvStore::Open(core::RStoreClient& client,
+                                               const std::string& name) {
+  auto region = client.Rmap(name);
+  if (!region.ok()) return region.status();
+  auto hdr = client.AllocBuffer(kHeaderBytes);
+  if (!hdr.ok()) return hdr.status();
+  RSTORE_RETURN_IF_ERROR((*region)->Read(0, hdr->data));
+  uint64_t magic = 0;
+  KvOptions options;
+  std::memcpy(&magic, hdr->begin(), 8);
+  if (magic != kMagic) {
+    return Result<std::unique_ptr<KvStore>>(
+        ErrorCode::kInvalidArgument,
+        "region '" + name + "' does not hold an RKV table");
+  }
+  std::memcpy(&options.buckets, hdr->begin() + 8, 8);
+  std::memcpy(&options.slot_bytes, hdr->begin() + 16, 4);
+  std::memcpy(&options.max_probe, hdr->begin() + 20, 4);
+
+  auto store = std::unique_ptr<KvStore>(
+      new KvStore(client, *region, options));
+  RSTORE_ASSIGN_OR_RETURN(store->scratch_,
+                          client.AllocBuffer(options.slot_bytes));
+  RSTORE_ASSIGN_OR_RETURN(store->write_buf_,
+                          client.AllocBuffer(options.slot_bytes));
+  RSTORE_ASSIGN_OR_RETURN(store->version_buf_, client.AllocBuffer(8));
+  return store;
+}
+
+KvStore::SlotView KvStore::Parse(const std::byte* slot) const {
+  SlotView view{};
+  std::memcpy(&view.version, slot + kVersionOff, 8);
+  std::memcpy(&view.key_len, slot + kKeyLenOff, 2);
+  std::memcpy(&view.val_len, slot + kValLenOff, 4);
+  view.key = slot + kPayloadOff;
+  view.value = slot + kPayloadOff + view.key_len;
+  return view;
+}
+
+Result<uint64_t> KvStore::ReadSlot(uint64_t slot, std::byte* dst) {
+  ++stats_.probe_reads;
+  RSTORE_RETURN_IF_ERROR(region_->Read(
+      SlotOffset(slot), std::span<std::byte>(dst, options_.slot_bytes)));
+  uint64_t version = 0;
+  std::memcpy(&version, dst + kVersionOff, 8);
+  // Seqlock validation: re-read the version word; if it moved (or was
+  // odd), a writer raced us and the payload may be torn.
+  RSTORE_RETURN_IF_ERROR(region_->Read(
+      SlotOffset(slot) + kVersionOff,
+      std::span<std::byte>(version_buf_.begin(), 8)));
+  uint64_t check = 0;
+  std::memcpy(&check, version_buf_.begin(), 8);
+  if (version % 2 == 1 || check != version) {
+    ++stats_.version_retries;
+    return Result<uint64_t>(ErrorCode::kAborted, "slot is being written");
+  }
+  return version;
+}
+
+Status KvStore::ReadSlotRaw(uint64_t slot, std::byte* dst) {
+  ++stats_.probe_reads;
+  return region_->Read(SlotOffset(slot),
+                       std::span<std::byte>(dst, options_.slot_bytes));
+}
+
+Result<uint64_t> KvStore::LockSlot(uint64_t slot) {
+  constexpr int kMaxAttempts = 64;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    RSTORE_RETURN_IF_ERROR(region_->Read(
+        SlotOffset(slot) + kVersionOff,
+        std::span<std::byte>(version_buf_.begin(), 8)));
+    uint64_t current = 0;
+    std::memcpy(&current, version_buf_.begin(), 8);
+    if (current % 2 == 1) {
+      ++stats_.version_retries;
+      sim::Sleep(sim::Micros(5));
+      continue;
+    }
+    auto old = region_->CompareSwap(SlotOffset(slot) + kVersionOff, current,
+                                    current + 1);
+    if (!old.ok()) return old.status();
+    if (*old == current) return current + 1;  // we hold the lock
+    ++stats_.version_retries;
+  }
+  return Result<uint64_t>(ErrorCode::kAborted,
+                          "could not take slot seqlock (hot contention)");
+}
+
+Status KvStore::UnlockSlot(uint64_t slot, uint64_t locked_version) {
+  const uint64_t released = locked_version + 1;  // odd -> next even
+  std::memcpy(version_buf_.begin(), &released, 8);
+  return region_->Write(SlotOffset(slot) + kVersionOff,
+                        std::span<const std::byte>(version_buf_.begin(), 8));
+}
+
+Result<std::vector<std::byte>> KvStore::Get(std::string_view key) {
+  ++stats_.gets;
+  const uint64_t home = StableHash64(key) % options_.buckets;
+  for (uint32_t probe = 0; probe < options_.max_probe; ++probe) {
+    const uint64_t slot = (home + probe) % options_.buckets;
+    Result<uint64_t> version(0ULL);
+    // Retry transient seqlock conflicts on this slot.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      version = ReadSlot(slot, scratch_.begin());
+      if (version.ok() || version.code() != ErrorCode::kAborted) break;
+      sim::Sleep(sim::Micros(5));
+    }
+    if (!version.ok()) return version.status();
+    const SlotView view = Parse(scratch_.begin());
+    if (view.version == 0 && view.key_len == 0) {
+      return Result<std::vector<std::byte>>(ErrorCode::kNotFound,
+                                            "key not found");
+    }
+    if (view.key_len == key.size() &&
+        std::memcmp(view.key, key.data(), key.size()) == 0) {
+      return std::vector<std::byte>(view.value, view.value + view.val_len);
+    }
+    // Tombstone or other key: keep probing.
+  }
+  return Result<std::vector<std::byte>>(ErrorCode::kNotFound,
+                                        "key not found (probe window)");
+}
+
+Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
+  ++stats_.puts;
+  if (key.empty() ||
+      kSlotHeader + key.size() + value.size() > options_.slot_bytes) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "key/value exceed slot capacity");
+  }
+  const uint64_t home = StableHash64(key) % options_.buckets;
+  // Pass 1: find the key (overwrite) or the first reusable slot.
+  int64_t target = -1;
+  for (uint32_t probe = 0; probe < options_.max_probe; ++probe) {
+    const uint64_t slot = (home + probe) % options_.buckets;
+    auto version = ReadSlot(slot, scratch_.begin());
+    if (!version.ok() && version.code() == ErrorCode::kAborted) {
+      // A writer is on this slot; it is occupied — remember nothing,
+      // keep probing (if it held our key we will fail below and the
+      // caller retries, as in any lock-free structure).
+      continue;
+    }
+    if (!version.ok()) return version.status();
+    const SlotView view = Parse(scratch_.begin());
+    if (view.key_len == key.size() &&
+        std::memcmp(view.key, key.data(), key.size()) == 0) {
+      target = static_cast<int64_t>(slot);  // overwrite in place
+      break;
+    }
+    if (target < 0 && (view.key_len == 0)) {
+      target = static_cast<int64_t>(slot);  // empty or tombstone
+      if (view.version == 0) break;         // end of chain anyway
+    }
+  }
+  if (target < 0) {
+    return Status(ErrorCode::kOutOfMemory, "probe window full");
+  }
+
+  const auto slot = static_cast<uint64_t>(target);
+  RSTORE_ASSIGN_OR_RETURN(const uint64_t locked, LockSlot(slot));
+  // Re-check under the lock: between the probe and the CAS another
+  // client may have claimed this slot for a different key.
+  RSTORE_RETURN_IF_ERROR(ReadSlotRaw(slot, scratch_.begin()));
+  {
+    const SlotView now = Parse(scratch_.begin());
+    const bool ours = now.key_len == key.size() &&
+                      std::memcmp(now.key, key.data(), key.size()) == 0;
+    const bool reusable = now.key_len == 0;
+    if (!ours && !reusable) {
+      (void)UnlockSlot(slot, locked);
+      return Status(ErrorCode::kAborted,
+                    "slot claimed concurrently; retry the put");
+    }
+  }
+  // Compose the payload (everything after the version word) and write it
+  // while the lock is held, then release by bumping the version.
+  std::byte* out = write_buf_.begin();
+  std::memset(out, 0, kSlotHeader);
+  const auto key_len = static_cast<uint16_t>(key.size());
+  const auto val_len = static_cast<uint32_t>(value.size());
+  std::memcpy(out + kKeyLenOff, &key_len, 2);
+  std::memcpy(out + kValLenOff, &val_len, 4);
+  std::memcpy(out + kPayloadOff, key.data(), key.size());
+  if (!value.empty()) {
+    std::memcpy(out + kPayloadOff + key.size(), value.data(), value.size());
+  }
+  Status wrote = region_->Write(
+      SlotOffset(slot) + kKeyLenOff,
+      std::span<const std::byte>(out + kKeyLenOff,
+                                 kSlotHeader - kKeyLenOff + key.size() +
+                                     value.size()));
+  if (!wrote.ok()) {
+    (void)UnlockSlot(slot, locked);
+    return wrote;
+  }
+  return UnlockSlot(slot, locked);
+}
+
+Status KvStore::Delete(std::string_view key) {
+  ++stats_.deletes;
+  const uint64_t home = StableHash64(key) % options_.buckets;
+  for (uint32_t probe = 0; probe < options_.max_probe; ++probe) {
+    const uint64_t slot = (home + probe) % options_.buckets;
+    auto version = ReadSlot(slot, scratch_.begin());
+    if (!version.ok() && version.code() == ErrorCode::kAborted) continue;
+    if (!version.ok()) return version.status();
+    const SlotView view = Parse(scratch_.begin());
+    if (view.version == 0 && view.key_len == 0) break;  // end of chain
+    if (view.key_len != key.size() ||
+        std::memcmp(view.key, key.data(), key.size()) != 0) {
+      continue;
+    }
+    RSTORE_ASSIGN_OR_RETURN(const uint64_t locked, LockSlot(slot));
+    // Re-check under the lock: the slot may have been rewritten.
+    RSTORE_RETURN_IF_ERROR(ReadSlotRaw(slot, scratch_.begin()));
+    const SlotView now = Parse(scratch_.begin());
+    const bool still_ours =
+        now.key_len == key.size() &&
+        std::memcmp(now.key, key.data(), key.size()) == 0;
+    if (!still_ours) {
+      (void)UnlockSlot(slot, locked);
+      return Status(ErrorCode::kNotFound, "key vanished during delete");
+    }
+    // Tombstone: key_len = 0 (version stays > 0 so probes continue past).
+    std::byte* out = write_buf_.begin();
+    std::memset(out, 0, 16);
+    Status wrote = region_->Write(
+        SlotOffset(slot) + kKeyLenOff,
+        std::span<const std::byte>(out, 8));  // clears key_len + val_len
+    if (!wrote.ok()) {
+      (void)UnlockSlot(slot, locked);
+      return wrote;
+    }
+    return UnlockSlot(slot, locked);
+  }
+  return Status(ErrorCode::kNotFound, "key not found");
+}
+
+}  // namespace rstore::kv

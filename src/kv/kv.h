@@ -1,0 +1,123 @@
+// RKV: a key-value store built entirely on the RStore memory-like API —
+// the kind of client-side data structure the paper's abstract positions
+// RStore for ("a DRAM-based data store ... unique memory-like API").
+//
+// Design (Pilaf/FaRM-flavoured, all client-side):
+//   * one RStore region holds a fixed-size open-addressing hash table;
+//     slot i lives at a fixed byte offset, so every operation translates
+//     to one-sided IO against computable addresses;
+//   * each slot is guarded by an RDMA seqlock: an 8-byte version word
+//     that writers take odd via remote compare-and-swap and release even
+//     (+2) after the payload write. Readers validate that the version
+//     was even and unchanged around the payload read, so torn reads
+//     retry instead of returning garbage;
+//   * collisions use linear probing with tombstones; an all-zero slot
+//     terminates a probe chain.
+//
+// Every client maps the region once and then operates with no master
+// involvement: GET costs one slot read (plus a version validate), PUT a
+// CAS + two writes. Multiple clients on multiple machines can operate
+// concurrently on the same table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/client.h"
+
+namespace rstore::kv {
+
+struct KvOptions {
+  uint64_t buckets = 4096;   // slots in the table (fixed at create time)
+  uint32_t slot_bytes = 256; // per-slot storage incl. 24-byte header
+  uint32_t max_probe = 16;   // linear-probe window before "table full"
+};
+
+struct KvStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t probe_reads = 0;     // slot reads issued (≥ ops)
+  uint64_t version_retries = 0; // seqlock conflicts observed
+};
+
+class KvStore {
+ public:
+  // Creates a new table in a fresh region named `name`.
+  static Result<std::unique_ptr<KvStore>> Create(core::RStoreClient& client,
+                                                 const std::string& name,
+                                                 KvOptions options = {});
+  // Opens an existing table (reads its header from the region).
+  static Result<std::unique_ptr<KvStore>> Open(core::RStoreClient& client,
+                                               const std::string& name);
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  // Returns the value, or kNotFound.
+  Result<std::vector<std::byte>> Get(std::string_view key);
+  // Inserts or overwrites. Fails with kOutOfMemory when the probe window
+  // is full, kInvalidArgument when key+value exceed the slot.
+  Status Put(std::string_view key, std::span<const std::byte> value);
+  Status Put(std::string_view key, std::string_view value) {
+    return Put(key, std::span<const std::byte>(
+                        reinterpret_cast<const std::byte*>(value.data()),
+                        value.size()));
+  }
+  // Removes the key; kNotFound if absent.
+  Status Delete(std::string_view key);
+
+  [[nodiscard]] const KvStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const KvOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] uint32_t max_value_bytes() const noexcept {
+    return options_.slot_bytes - kSlotHeader;
+  }
+
+ private:
+  static constexpr uint64_t kMagic = 0x524b563144424d53ULL;  // "RKV1DBMS"
+  static constexpr uint64_t kHeaderBytes = 64;
+  static constexpr uint32_t kSlotHeader = 24;  // version + key_len + val_len
+
+  KvStore(core::RStoreClient& client, core::MappedRegion* region,
+          KvOptions options);
+
+  [[nodiscard]] uint64_t SlotOffset(uint64_t slot) const noexcept {
+    return kHeaderBytes + slot * options_.slot_bytes;
+  }
+  // Reads slot into scratch; returns its version word. Fails with
+  // kAborted when the slot's seqlock indicates a concurrent writer.
+  Result<uint64_t> ReadSlot(uint64_t slot, std::byte* dst);
+  // Unvalidated slot read, for re-checks while holding the seqlock.
+  Status ReadSlotRaw(uint64_t slot, std::byte* dst);
+  // Takes the slot's seqlock (even -> odd). Retries while writers hold
+  // it; fails after too many conflicts.
+  Result<uint64_t> LockSlot(uint64_t slot);
+  Status UnlockSlot(uint64_t slot, uint64_t locked_version);
+
+  struct SlotView {
+    uint64_t version;
+    uint16_t key_len;
+    uint32_t val_len;
+    const std::byte* key;
+    const std::byte* value;
+  };
+  [[nodiscard]] SlotView Parse(const std::byte* slot) const;
+
+  core::RStoreClient& client_;
+  core::MappedRegion* region_;
+  KvOptions options_;
+  core::PinnedBuffer scratch_{};  // one slot for reads
+  core::PinnedBuffer write_buf_{};
+  core::PinnedBuffer version_buf_{};  // 8-byte pinned word for seqlock IO
+  KvStats stats_;
+};
+
+}  // namespace rstore::kv

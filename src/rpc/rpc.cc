@@ -1,0 +1,380 @@
+#include "rpc/rpc.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace rstore::rpc {
+namespace {
+
+constexpr size_t kFrameHeader = 16;  // u64 id + u32 method/status + u32 len
+
+struct Frame {
+  uint64_t rpc_id;
+  uint32_t code;  // method (request) or status (response)
+  std::span<const std::byte> payload;
+};
+
+bool ParseFrame(std::span<const std::byte> buf, uint32_t byte_len, Frame* out) {
+  if (byte_len < kFrameHeader || byte_len > buf.size()) return false;
+  std::memcpy(&out->rpc_id, buf.data(), 8);
+  std::memcpy(&out->code, buf.data() + 8, 4);
+  uint32_t len = 0;
+  std::memcpy(&len, buf.data() + 12, 4);
+  if (kFrameHeader + len > byte_len) return false;
+  out->payload = buf.subspan(kFrameHeader, len);
+  return true;
+}
+
+void WriteFrame(std::byte* dst, uint64_t rpc_id, uint32_t code,
+                std::span<const std::byte> payload) {
+  std::memcpy(dst, &rpc_id, 8);
+  std::memcpy(dst + 8, &code, 4);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(dst + 12, &len, 4);
+  if (!payload.empty()) {
+    std::memcpy(dst + kFrameHeader, payload.data(), payload.size());
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RpcServer
+// ---------------------------------------------------------------------------
+struct RpcServer::Connection {
+  std::vector<std::byte> arena;
+  verbs::MemoryRegion* mr = nullptr;
+};
+
+RpcServer::RpcServer(verbs::Device& device, uint32_t service_id,
+                     RpcOptions options)
+    : device_(device), service_id_(service_id), options_(options) {}
+
+RpcServer::~RpcServer() = default;
+
+void RpcServer::RegisterHandler(uint32_t method, Handler handler) {
+  assert(!started_ && "register handlers before Start()");
+  handlers_[method] = std::move(handler);
+}
+
+void RpcServer::Start() {
+  started_ = true;
+  verbs::Network& net = device_.network();
+  net.Listen(device_, service_id_);
+  device_.node().Spawn("rpc-accept:" + std::to_string(service_id_), [this] {
+    verbs::Network& net = device_.network();
+    auto& listener = net.Listen(device_, service_id_);
+    while (true) {
+      auto qp = listener.Accept();
+      if (!qp.ok()) return;
+      verbs::QueuePair* conn_qp = *qp;
+      device_.node().Spawn(
+          "rpc-conn:" + std::to_string(service_id_),
+          [this, conn_qp] { ServeConnection(conn_qp); });
+    }
+  });
+}
+
+void RpcServer::ServeConnection(verbs::QueuePair* qp) {
+  const sim::CpuCostModel& cpu = device_.network().cpu_model();
+  auto conn = std::make_unique<Connection>();
+  const uint32_t n_recv = options_.recv_buffers;
+  const size_t slot = options_.buffer_size;
+  conn->arena.resize(static_cast<size_t>(n_recv) * 2 * slot);
+
+  verbs::ProtectionDomain& pd = device_.CreatePd();
+  auto mr = pd.RegisterMemory(conn->arena.data(), conn->arena.size(),
+                              verbs::kLocalWrite);
+  if (!mr.ok()) return;
+  conn->mr = *mr;
+  Connection& c = *conn;
+  connections_.push_back(std::move(conn));
+
+  auto recv_slot = [&](uint32_t i) { return c.arena.data() + i * slot; };
+  auto send_slot = [&](uint32_t i) {
+    return c.arena.data() + (n_recv + i) * slot;
+  };
+  for (uint32_t i = 0; i < n_recv; ++i) {
+    (void)qp->PostRecv(verbs::RecvWr{
+        .wr_id = i,
+        .local = {recv_slot(i), static_cast<uint32_t>(slot), c.mr->lkey()}});
+  }
+  std::vector<uint32_t> free_send;
+  for (uint32_t i = 0; i < n_recv; ++i) free_send.push_back(i);
+
+  auto charge = [&](sim::Nanos ns) {
+    cpu_time_ += ns;
+    sim::ChargeCpu(ns);
+  };
+
+  // Requests that arrived while we were stalled on a send slot.
+  std::deque<verbs::WorkCompletion> backlog;
+
+  // Reclaims response slots; send completions land on the QP's send CQ.
+  auto drain_send_cq = [&](bool blocking) -> bool {
+    auto wcs = blocking ? qp->send_cq().WaitPoll(64) : qp->send_cq().Poll(64);
+    for (const auto& wc : wcs) {
+      if (!wc.ok()) return false;
+      if (wc.wr_id >= n_recv) {
+        free_send.push_back(static_cast<uint32_t>(wc.wr_id - n_recv));
+      }
+    }
+    return true;
+  };
+
+  while (true) {
+    if (!drain_send_cq(/*blocking=*/false)) return;
+    std::vector<verbs::WorkCompletion> wcs;
+    if (!backlog.empty()) {
+      wcs.push_back(backlog.front());
+      backlog.pop_front();
+    } else {
+      wcs = qp->recv_cq().WaitPoll();
+    }
+    for (const auto& wc : wcs) {
+      if (!wc.ok()) return;  // peer gone or QP flushed: end service thread
+      if (wc.opcode != verbs::Opcode::kRecv) continue;
+      const auto recv_idx = static_cast<uint32_t>(wc.wr_id);
+      Frame frame{};
+      if (!ParseFrame({recv_slot(recv_idx), slot}, wc.byte_len, &frame)) {
+        LOG_WARN << "rpc: malformed frame on service " << service_id_;
+        (void)qp->PostRecv(verbs::RecvWr{
+            .wr_id = recv_idx,
+            .local = {recv_slot(recv_idx), static_cast<uint32_t>(slot),
+                      c.mr->lkey()}});
+        continue;
+      }
+
+      // Two-sided costs: handler dispatch plus unmarshalling the request.
+      charge(cpu.rpc_handler_ns + sim::MarshalCost(cpu, frame.payload.size()));
+
+      Writer response;
+      Status status;
+      auto it = handlers_.find(frame.code);
+      if (it == handlers_.end()) {
+        status = Status(ErrorCode::kNotFound,
+                        "no handler for method " + std::to_string(frame.code));
+      } else {
+        Reader reader(frame.payload);
+        status = it->second(reader, response);
+      }
+      ++calls_served_;
+
+      std::vector<std::byte> error_payload;
+      std::span<const std::byte> payload = response.buffer();
+      if (!status.ok()) {
+        const std::string& msg = status.message();
+        error_payload.resize(msg.size());
+        std::memcpy(error_payload.data(), msg.data(), msg.size());
+        payload = error_payload;
+      }
+      if (kFrameHeader + payload.size() > slot) {
+        status = Status(ErrorCode::kInvalidArgument, "response too large");
+        payload = {};
+      }
+
+      // Re-post the receive before replying so a fast client can pipeline.
+      (void)qp->PostRecv(verbs::RecvWr{
+          .wr_id = recv_idx,
+          .local = {recv_slot(recv_idx), static_cast<uint32_t>(slot),
+                    c.mr->lkey()}});
+
+      // Wait for a free send slot if the client has many calls in flight.
+      while (free_send.empty()) {
+        if (!drain_send_cq(/*blocking=*/true)) return;
+      }
+      const uint32_t sidx = free_send.back();
+      free_send.pop_back();
+
+      charge(sim::MarshalCost(cpu, payload.size()));
+      WriteFrame(send_slot(sidx), frame.rpc_id,
+                 static_cast<uint32_t>(status.code()), payload);
+      (void)qp->PostSend(verbs::SendWr{
+          .wr_id = n_recv + sidx,
+          .opcode = verbs::Opcode::kSend,
+          .local = {send_slot(sidx),
+                    static_cast<uint32_t>(kFrameHeader + payload.size()),
+                    c.mr->lkey()}});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RpcClient
+// ---------------------------------------------------------------------------
+RpcClient::RpcClient(verbs::Device& device, uint32_t server_node,
+                     RpcOptions options)
+    : device_(device), server_node_(server_node), options_(options) {}
+
+Result<std::unique_ptr<RpcClient>> RpcClient::Connect(verbs::Device& device,
+                                                      uint32_t server_node,
+                                                      uint32_t service_id,
+                                                      RpcOptions options) {
+  auto client = std::unique_ptr<RpcClient>(
+      new RpcClient(device, server_node, options));
+  verbs::Network& net = device.network();
+  verbs::CompletionQueue& cq = device.CreateCq();
+  auto qp = net.Connect(device, server_node, service_id, {}, &cq, &cq);
+  if (!qp.ok()) return qp.status();
+  client->qp_ = *qp;
+  RSTORE_RETURN_IF_ERROR(client->SetupBuffers());
+  return client;
+}
+
+RpcClient::~RpcClient() {
+  if (qp_ != nullptr) qp_->Close();
+  if (pd_ != nullptr && arena_mr_ != nullptr) {
+    (void)pd_->DeregisterMemory(arena_mr_);
+  }
+}
+
+Status RpcClient::SetupBuffers() {
+  const uint32_t n = options_.recv_buffers;
+  const size_t slot = options_.buffer_size;
+  arena_.resize(static_cast<size_t>(n) * 2 * slot);
+  pd_ = &device_.CreatePd();
+  verbs::ProtectionDomain& pd = *pd_;
+  auto mr = pd.RegisterMemory(arena_.data(), arena_.size(),
+                              verbs::kLocalWrite);
+  if (!mr.ok()) return mr.status();
+  arena_mr_ = *mr;
+  for (uint32_t i = 0; i < n; ++i) {
+    RSTORE_RETURN_IF_ERROR(qp_->PostRecv(verbs::RecvWr{
+        .wr_id = i,
+        .local = {arena_.data() + i * slot, static_cast<uint32_t>(slot),
+                  arena_mr_->lkey()}}));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    free_send_bufs_.push_back(arena_.data() + (n + i) * slot);
+  }
+  return Status::Ok();
+}
+
+void RpcClient::FailAllPending(const Status& status) {
+  for (auto& [id, call] : pending_) {
+    call->done = true;
+    call->status = status;
+    call->cv.NotifyAll();
+  }
+  pending_.clear();
+}
+
+void RpcClient::PumpCompletions(sim::Nanos timeout) {
+  const size_t slot = options_.buffer_size;
+  const uint32_t n = options_.recv_buffers;
+  auto wcs = qp_->recv_cq().WaitPoll(16, timeout);
+  for (const auto& wc : wcs) {
+    if (!wc.ok()) {
+      FailAllPending(Status(ErrorCode::kUnavailable,
+                            std::string("rpc transport error: ") +
+                                std::string(verbs::ToString(wc.status))));
+      return;
+    }
+    if (wc.opcode != verbs::Opcode::kRecv) {
+      // Send completion: wr_id is the arena offset of the send slot.
+      free_send_bufs_.push_back(arena_.data() + wc.wr_id);
+      continue;
+    }
+    const auto recv_idx = static_cast<uint32_t>(wc.wr_id);
+    std::byte* buf = arena_.data() + recv_idx * slot;
+    Frame frame{};
+    if (ParseFrame({buf, slot}, wc.byte_len, &frame)) {
+      auto it = pending_.find(frame.rpc_id);
+      if (it != pending_.end()) {
+        PendingCall* call = it->second;
+        pending_.erase(it);
+        const auto code = static_cast<ErrorCode>(frame.code);
+        if (code == ErrorCode::kOk) {
+          call->payload.assign(frame.payload.begin(), frame.payload.end());
+        } else {
+          call->status = Status(
+              code, std::string(reinterpret_cast<const char*>(
+                                    frame.payload.data()),
+                                frame.payload.size()));
+        }
+        call->done = true;
+        call->cv.NotifyAll();
+      }
+    }
+    (void)qp_->PostRecv(verbs::RecvWr{
+        .wr_id = recv_idx,
+        .local = {buf, static_cast<uint32_t>(slot), arena_mr_->lkey()}});
+  }
+  (void)n;
+}
+
+Result<std::vector<std::byte>> RpcClient::Call(uint32_t method,
+                                               const Writer& request) {
+  return CallRaw(method, request.buffer());
+}
+
+Result<std::vector<std::byte>> RpcClient::CallRaw(
+    uint32_t method, std::span<const std::byte> request) {
+  const size_t slot = options_.buffer_size;
+  if (kFrameHeader + request.size() > slot) {
+    return Result<std::vector<std::byte>>(
+        ErrorCode::kInvalidArgument, "request exceeds rpc buffer size");
+  }
+  if (qp_->state() != verbs::QueuePair::State::kRts) {
+    return Result<std::vector<std::byte>>(ErrorCode::kUnavailable,
+                                          "rpc connection is down");
+  }
+
+  const sim::CpuCostModel& cpu = device_.network().cpu_model();
+  sim::ChargeCpu(sim::MarshalCost(cpu, request.size()));
+
+  const sim::Nanos deadline = sim::Now() + options_.call_timeout;
+  while (free_send_bufs_.empty()) {
+    if (sim::Now() >= deadline) {
+      return Result<std::vector<std::byte>>(ErrorCode::kTimedOut,
+                                            "no free rpc send buffer");
+    }
+    PumpCompletions(deadline - sim::Now());
+  }
+  std::byte* send_buf = free_send_bufs_.back();
+  free_send_bufs_.pop_back();
+
+  const uint64_t rpc_id = next_rpc_id_++;
+  WriteFrame(send_buf, rpc_id, method, request);
+
+  PendingCall call(device_.network().sim());
+  pending_[rpc_id] = &call;
+
+  Status posted = qp_->PostSend(verbs::SendWr{
+      .wr_id = static_cast<uint64_t>(send_buf - arena_.data()),
+      .opcode = verbs::Opcode::kSend,
+      .local = {send_buf,
+                static_cast<uint32_t>(kFrameHeader + request.size()),
+                arena_mr_->lkey()}});
+  if (!posted.ok()) {
+    pending_.erase(rpc_id);
+    return posted;
+  }
+
+  // One thread pumps the shared completion queue at a time; the others
+  // park on their call's condvar and take over pumping when poked.
+  while (!call.done) {
+    if (sim::Now() >= deadline) {
+      pending_.erase(rpc_id);
+      return Result<std::vector<std::byte>>(ErrorCode::kTimedOut,
+                                            "rpc call timed out");
+    }
+    if (!pumping_) {
+      pumping_ = true;
+      PumpCompletions(deadline - sim::Now());
+      pumping_ = false;
+      // Hand the pump to another waiter if our call just finished.
+      if (!pending_.empty()) pending_.begin()->second->cv.NotifyAll();
+    } else {
+      (void)call.cv.WaitFor(deadline - sim::Now());
+    }
+  }
+  if (!call.status.ok()) return call.status;
+  // Unmarshal cost for the response payload.
+  sim::ChargeCpu(sim::MarshalCost(cpu, call.payload.size()));
+  return std::move(call.payload);
+}
+
+}  // namespace rstore::rpc

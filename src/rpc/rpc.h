@@ -1,0 +1,146 @@
+// Two-sided RPC over rverbs SEND/RECV.
+//
+// Used for everything that is *supposed* to be two-sided: RStore's
+// control path (allocation, mapping, leases, notifications through the
+// master) and the comparison baselines whose data paths flow through
+// server CPUs. Each RPC charges the server the per-message handler cost
+// and both ends the marshalling cost from the CPU model — exactly the
+// overhead that one-sided RStore IO avoids on its data path.
+//
+// Wire format (inside a verbs SEND):
+//   request : [u64 rpc_id][u32 method][u32 payload_len][payload]
+//   response: [u64 rpc_id][u32 status][u32 payload_len][payload]
+//
+// Concurrency: an RpcClient may be shared by several threads on one node;
+// responses are matched by rpc_id, and whichever thread is polling the
+// completion queue dispatches for the others.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rpc/wire.h"
+#include "sim/cost_model.h"
+#include "verbs/verbs.h"
+
+namespace rstore::rpc {
+
+struct RpcOptions {
+  // Size of each registered message buffer; bounds the largest request or
+  // response payload (minus the 16-byte frame header).
+  uint32_t buffer_size = 64 * 1024;
+  // Receive buffers pre-posted per connection (max in-flight inbound).
+  uint32_t recv_buffers = 32;
+  // Give up on a call after this long (peer death shows up earlier via
+  // QP errors; this catches hung handlers).
+  sim::Nanos call_timeout = sim::Seconds(30);
+};
+
+// Server-side handler: parse the request from `req`, write the response
+// into `resp`, return the application status. Runs on a per-connection
+// thread on the server node, so it may block (sleep, nested RPC, verbs).
+using Handler = std::function<Status(Reader& req, Writer& resp)>;
+
+class RpcServer {
+ public:
+  // Creates the server and its verbs listener; call Start() to begin
+  // accepting. `service_id` is the rendezvous port.
+  RpcServer(verbs::Device& device, uint32_t service_id, RpcOptions options = {});
+  ~RpcServer();  // out of line: Connection is an incomplete type here
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  // Registers a method handler; must precede Start() for that method to
+  // be visible (no locking — registration is setup-time only).
+  void RegisterHandler(uint32_t method, Handler handler);
+
+  // Spawns the accept loop on the server node. Each accepted connection
+  // gets its own service thread.
+  void Start();
+
+  [[nodiscard]] uint32_t service_id() const noexcept { return service_id_; }
+  [[nodiscard]] uint64_t calls_served() const noexcept {
+    return calls_served_;
+  }
+  // Cumulative CPU nanoseconds charged to this server for RPC handling —
+  // the "server CPU cost" series of experiment E6.
+  [[nodiscard]] sim::Nanos cpu_time() const noexcept { return cpu_time_; }
+
+ private:
+  struct Connection;
+  void ServeConnection(verbs::QueuePair* qp);
+
+  verbs::Device& device_;
+  uint32_t service_id_;
+  RpcOptions options_;
+  std::map<uint32_t, Handler> handlers_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  uint64_t calls_served_ = 0;
+  sim::Nanos cpu_time_ = 0;
+  bool started_ = false;
+};
+
+class RpcClient {
+ public:
+  // Connects to (server_node, service_id); blocks the calling thread.
+  static Result<std::unique_ptr<RpcClient>> Connect(verbs::Device& device,
+                                                    uint32_t server_node,
+                                                    uint32_t service_id,
+                                                    RpcOptions options = {});
+
+  // Disarms the transport: closes the QP (flushing posted receives) and
+  // deregisters the message arena, so late responses from slow handlers
+  // NAK instead of landing in freed memory.
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Issues one call and blocks until the response (or failure) arrives.
+  // On success the returned bytes are the handler's response payload.
+  Result<std::vector<std::byte>> Call(uint32_t method,
+                                      const Writer& request);
+  // Same, with a pre-encoded request payload.
+  Result<std::vector<std::byte>> CallRaw(uint32_t method,
+                                         std::span<const std::byte> payload);
+
+  [[nodiscard]] uint32_t server_node() const noexcept { return server_node_; }
+  [[nodiscard]] bool healthy() const noexcept {
+    return qp_->state() == verbs::QueuePair::State::kRts;
+  }
+
+ private:
+  RpcClient(verbs::Device& device, uint32_t server_node, RpcOptions options);
+
+  struct PendingCall {
+    explicit PendingCall(sim::Simulation& s) : cv(s) {}
+    sim::CondVar cv;
+    bool done = false;
+    Status status;
+    std::vector<std::byte> payload;
+  };
+
+  Status SetupBuffers();
+  void PumpCompletions(sim::Nanos timeout);
+  void FailAllPending(const Status& status);
+
+  verbs::Device& device_;
+  uint32_t server_node_;
+  RpcOptions options_;
+  verbs::QueuePair* qp_ = nullptr;
+  verbs::ProtectionDomain* pd_ = nullptr;
+  verbs::MemoryRegion* arena_mr_ = nullptr;
+  std::vector<std::byte> arena_;
+  std::vector<std::byte*> free_send_bufs_;
+  uint64_t next_rpc_id_ = 1;
+  std::map<uint64_t, PendingCall*> pending_;
+  bool pumping_ = false;
+};
+
+}  // namespace rstore::rpc

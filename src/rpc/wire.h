@@ -1,0 +1,118 @@
+// Byte-stream serialization for control-path messages.
+//
+// Deliberately boring: explicit little-endian scalar writes and length-
+// prefixed strings/blobs, with a Reader that fails closed (any underflow
+// or malformed length poisons the reader, and all subsequent reads return
+// false). No reflection, no allocation tricks — control messages are tiny
+// and rare by design (that is the paper's thesis), so clarity wins.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rstore::rpc {
+
+class Writer {
+ public:
+  void U8(uint8_t v) { Append(&v, 1); }
+  void U32(uint32_t v) { Append(&v, 4); }
+  void U64(uint64_t v) { Append(&v, 8); }
+  void I64(int64_t v) { Append(&v, 8); }
+  void F64(double v) { Append(&v, 8); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Append(s.data(), s.size());
+  }
+  void Bytes(std::span<const std::byte> b) {
+    U32(static_cast<uint32_t>(b.size()));
+    Append(b.data(), b.size());
+  }
+  // Splices pre-encoded bytes without a length prefix.
+  void AppendRaw(std::span<const std::byte> b) { Append(b.data(), b.size()); }
+
+  [[nodiscard]] const std::vector<std::byte>& buffer() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::byte> Take() noexcept {
+    return std::move(buf_);
+  }
+  [[nodiscard]] size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void Append(const void* p, size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  bool U8(uint8_t* v) { return Fixed(v, 1); }
+  bool U32(uint32_t* v) { return Fixed(v, 4); }
+  bool U64(uint64_t* v) { return Fixed(v, 8); }
+  bool I64(int64_t* v) { return Fixed(v, 8); }
+  bool F64(double* v) { return Fixed(v, 8); }
+  bool Bool(bool* v) {
+    uint8_t b = 0;
+    if (!U8(&b)) return false;
+    *v = (b != 0);
+    return true;
+  }
+
+  bool Str(std::string* out) {
+    uint32_t n = 0;
+    if (!U32(&n) || n > Remaining()) return Fail();
+    out->assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool Bytes(std::vector<std::byte>* out) {
+    uint32_t n = 0;
+    if (!U32(&n) || n > Remaining()) return Fail();
+    out->assign(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  // Zero-copy view of a length-prefixed blob (valid while the underlying
+  // buffer lives).
+  bool BytesView(std::span<const std::byte>* out) {
+    uint32_t n = 0;
+    if (!U32(&n) || n > Remaining()) return Fail();
+    *out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  [[nodiscard]] size_t Remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+ private:
+  bool Fixed(void* v, size_t n) {
+    if (failed_ || Remaining() < n) return Fail();
+    std::memcpy(v, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Fail() noexcept {
+    failed_ = true;
+    return false;
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace rstore::rpc

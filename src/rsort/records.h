@@ -1,0 +1,55 @@
+// TeraSort-format records and deterministic workload generation for
+// RSort (the paper's second application study: "sorts 256 GB in 31.7 s").
+//
+// A record is 100 bytes: a 10-byte binary key and a 90-byte payload, the
+// classic TeraGen layout. Generation is a pure function of (seed, record
+// index), so any node can produce any slice of the input independently —
+// and validation can recompute what the input multiset must have been.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rstore::sort {
+
+inline constexpr size_t kKeyBytes = 10;
+inline constexpr size_t kRecordBytes = 100;
+
+struct RecordRef {
+  const std::byte* data;
+
+  [[nodiscard]] std::span<const std::byte> key() const noexcept {
+    return {data, kKeyBytes};
+  }
+};
+
+// Compares two 10-byte keys lexicographically.
+[[nodiscard]] inline int CompareKeys(const std::byte* a,
+                                     const std::byte* b) noexcept {
+  return std::memcmp(a, b, kKeyBytes);
+}
+
+// Writes record `index` of the stream identified by `seed` into `out`
+// (exactly kRecordBytes).
+void GenerateRecord(uint64_t seed, uint64_t index, std::byte* out);
+
+// Generates records [first, first+count) into a contiguous buffer.
+void GenerateRecords(uint64_t seed, uint64_t first, uint64_t count,
+                     std::byte* out);
+
+// True if `records` (count x kRecordBytes) is sorted by key.
+[[nodiscard]] bool IsSorted(const std::byte* records, uint64_t count);
+
+// Order-independent checksum over keys+payloads, for multiset equality
+// between input and output.
+[[nodiscard]] uint64_t UnorderedChecksum(const std::byte* records,
+                                         uint64_t count);
+
+// In-place sort of a contiguous record buffer by key.
+void SortRecords(std::byte* records, uint64_t count);
+
+}  // namespace rstore::sort

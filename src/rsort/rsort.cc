@@ -1,0 +1,286 @@
+#include "rsort/rsort.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "sim/cost_model.h"
+#include "sim/simulation.h"
+
+namespace rstore::sort {
+namespace {
+
+constexpr size_t kPaddedKey = 16;  // keys padded for the samples region
+
+template <typename T>
+std::span<std::byte> AsBytes(std::vector<T>& v) {
+  return {reinterpret_cast<std::byte*>(v.data()), v.size() * sizeof(T)};
+}
+
+}  // namespace
+
+SortWorker::SortWorker(core::RStoreClient& client, SortConfig config)
+    : client_(client), config_(std::move(config)) {
+  const uint64_t n = config_.total_records;
+  rlo_ = n * config_.worker_id / config_.num_workers;
+  rhi_ = n * (config_.worker_id + 1) / config_.num_workers;
+}
+
+Status SortWorker::EnsureRegion(const std::string& name, uint64_t size) {
+  Status st = client_.Ralloc(name, size);
+  if (st.code() == ErrorCode::kAlreadyExists) return Status::Ok();
+  return st;
+}
+
+Status SortWorker::Barrier(const std::string& name) {
+  const std::string chan = config_.job + "/" + name;
+  RSTORE_RETURN_IF_ERROR(client_.NotifyInc(chan));
+  return client_.WaitNotify(chan, config_.num_workers).status();
+}
+
+Status SortWorker::GenerateInput() {
+  const uint64_t total_bytes = config_.total_records * kRecordBytes;
+  RSTORE_RETURN_IF_ERROR(EnsureRegion(R("input"), total_bytes));
+  core::MappedRegion* input;
+  RSTORE_ASSIGN_OR_RETURN(input, client_.Rmap(R("input")));
+
+  const uint64_t count = rhi_ - rlo_;
+  if (count == 0) return Status::Ok();
+  std::vector<std::byte> buf(count * kRecordBytes);
+  GenerateRecords(config_.seed, rlo_, count, buf.data());
+  sim::ChargeCpu(sim::ScanCost(client_.device().network().cpu_model(),
+                               buf.size()));
+  RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(buf));
+  Status st = input->Write(rlo_ * kRecordBytes, buf);
+  (void)client_.UnregisterBuffer(buf);
+  return st;
+}
+
+Result<SortStats> SortWorker::Sort() {
+  const sim::CpuCostModel& cpu = client_.device().network().cpu_model();
+  const uint32_t W = config_.num_workers;
+  const uint32_t w = config_.worker_id;
+  const uint64_t total_bytes = config_.total_records * kRecordBytes;
+  const uint64_t my_count = rhi_ - rlo_;
+  const uint32_t S = config_.samples_per_worker;
+
+  SortStats stats;
+  stats.records_in = my_count;
+  const sim::Nanos t_start = sim::Now();
+
+  RSTORE_RETURN_IF_ERROR(
+      EnsureRegion(R("samples"), static_cast<uint64_t>(W) * S * kPaddedKey));
+  RSTORE_RETURN_IF_ERROR(
+      EnsureRegion(R("counts"), static_cast<uint64_t>(W) * W * 8));
+  RSTORE_RETURN_IF_ERROR(EnsureRegion(R("exchange"), total_bytes));
+  RSTORE_RETURN_IF_ERROR(EnsureRegion(R("output"), total_bytes));
+
+  core::MappedRegion *input, *samples, *counts, *exchange, *output;
+  RSTORE_ASSIGN_OR_RETURN(input, client_.Rmap(R("input")));
+  RSTORE_ASSIGN_OR_RETURN(samples, client_.Rmap(R("samples")));
+  RSTORE_ASSIGN_OR_RETURN(counts, client_.Rmap(R("counts")));
+  RSTORE_ASSIGN_OR_RETURN(exchange, client_.Rmap(R("exchange")));
+  RSTORE_ASSIGN_OR_RETURN(output, client_.Rmap(R("output")));
+
+  // ---- fetch my input slice -------------------------------------------
+  std::vector<std::byte> mine(std::max<uint64_t>(my_count, 1) * kRecordBytes);
+  RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(mine));
+  if (my_count > 0) {
+    RSTORE_RETURN_IF_ERROR(input->Read(
+        rlo_ * kRecordBytes, std::span<std::byte>(mine.data(),
+                                                  my_count * kRecordBytes)));
+  }
+
+  // ---- phase 1: sampling & splitters ----------------------------------
+  {
+    std::vector<std::byte> my_samples(S * kPaddedKey, std::byte{0});
+    for (uint32_t s = 0; s < S; ++s) {
+      const uint64_t idx = my_count ? (s * my_count / S) : 0;
+      if (my_count > 0) {
+        std::memcpy(my_samples.data() + s * kPaddedKey,
+                    mine.data() + idx * kRecordBytes, kKeyBytes);
+      }
+    }
+    RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(my_samples));
+    RSTORE_RETURN_IF_ERROR(
+        samples->Write(static_cast<uint64_t>(w) * S * kPaddedKey,
+                       my_samples));
+    RSTORE_RETURN_IF_ERROR(Barrier("sampled"));
+    (void)client_.UnregisterBuffer(my_samples);
+  }
+
+  std::vector<std::byte> all_samples(static_cast<uint64_t>(W) * S *
+                                     kPaddedKey);
+  RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(all_samples));
+  RSTORE_RETURN_IF_ERROR(samples->Read(0, all_samples));
+  const uint64_t n_samples = static_cast<uint64_t>(W) * S;
+  std::vector<uint32_t> order(n_samples);
+  for (uint32_t i = 0; i < n_samples; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return std::memcmp(all_samples.data() + a * kPaddedKey,
+                       all_samples.data() + b * kPaddedKey, kKeyBytes) < 0;
+  });
+  // Splitter j: upper bound of bucket j (j in [0, W-1)).
+  std::vector<std::array<std::byte, kKeyBytes>> splitters(W - 1);
+  for (uint32_t j = 0; j + 1 < W; ++j) {
+    const uint64_t pos = (j + 1) * n_samples / W;
+    std::memcpy(splitters[j].data(),
+                all_samples.data() + order[pos] * kPaddedKey, kKeyBytes);
+  }
+  sim::ChargeCpu(sim::SortCost(cpu, n_samples));
+  stats.sample_time = sim::Now() - t_start;
+
+  // ---- phase 2: classify & one-sided shuffle --------------------------
+  const sim::Nanos t_shuffle = sim::Now();
+  auto bucket_of = [&](const std::byte* key) -> uint32_t {
+    uint32_t lo = 0, hi = W - 1;  // buckets [0, W)
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (std::memcmp(key, splitters[mid].data(), kKeyBytes) < 0) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  };
+
+  std::vector<uint64_t> my_counts(W, 0);
+  std::vector<uint32_t> record_bucket(std::max<uint64_t>(my_count, 1));
+  for (uint64_t i = 0; i < my_count; ++i) {
+    const uint32_t b = bucket_of(mine.data() + i * kRecordBytes);
+    record_bucket[i] = b;
+    ++my_counts[b];
+  }
+  // Classification cost: one scan plus log2(W) key compares per record.
+  sim::ChargeCpu(sim::ScanCost(cpu, my_count * kRecordBytes));
+
+  // Gather buckets contiguously into a staging buffer.
+  std::vector<std::byte> staged(std::max<uint64_t>(my_count, 1) *
+                                kRecordBytes);
+  {
+    std::vector<uint64_t> cursor(W, 0);
+    for (uint32_t b = 1; b < W; ++b) {
+      cursor[b] = cursor[b - 1] + my_counts[b - 1];
+    }
+    for (uint64_t i = 0; i < my_count; ++i) {
+      std::memcpy(staged.data() + cursor[record_bucket[i]] * kRecordBytes,
+                  mine.data() + i * kRecordBytes, kRecordBytes);
+      ++cursor[record_bucket[i]];
+    }
+    sim::ChargeCpu(sim::MemcpyCost(cpu, my_count * kRecordBytes));
+  }
+  RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(staged));
+
+  // Publish my counts row, then read the full matrix.
+  std::vector<uint64_t> counts_row = my_counts;
+  RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(AsBytes(counts_row)));
+  RSTORE_RETURN_IF_ERROR(
+      counts->Write(static_cast<uint64_t>(w) * W * 8, AsBytes(counts_row)));
+  RSTORE_RETURN_IF_ERROR(Barrier("counted"));
+  std::vector<uint64_t> matrix(static_cast<uint64_t>(W) * W);
+  RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(AsBytes(matrix)));
+  RSTORE_RETURN_IF_ERROR(counts->Read(0, AsBytes(matrix)));
+
+  // Exchange layout: [dest d][sender s] contiguous. Compute, for each
+  // destination, where my chunk starts, then write each bucket with one
+  // one-sided write.
+  std::vector<uint64_t> dest_total(W, 0);
+  for (uint32_t d = 0; d < W; ++d) {
+    for (uint32_t s = 0; s < W; ++s) dest_total[d] += matrix[s * W + d];
+  }
+  std::vector<uint64_t> dest_base(W, 0);
+  for (uint32_t d = 1; d < W; ++d) {
+    dest_base[d] = dest_base[d - 1] + dest_total[d - 1];
+  }
+  {
+    uint64_t staged_off = 0;
+    std::vector<core::IoFuture> futures;
+    for (uint32_t d = 0; d < W; ++d) {
+      uint64_t within = 0;  // my offset inside dest d's area
+      for (uint32_t s = 0; s < w; ++s) within += matrix[s * W + d];
+      const uint64_t bytes = my_counts[d] * kRecordBytes;
+      if (bytes > 0) {
+        auto f = exchange->WriteAsync(
+            (dest_base[d] + within) * kRecordBytes,
+            std::span<const std::byte>(staged.data() + staged_off, bytes));
+        if (!f.ok()) return f.status();
+        futures.push_back(std::move(*f));
+      }
+      staged_off += bytes;
+    }
+    for (auto& f : futures) RSTORE_RETURN_IF_ERROR(f.Wait());
+  }
+  RSTORE_RETURN_IF_ERROR(Barrier("shuffled"));
+  stats.shuffle_time = sim::Now() - t_shuffle;
+
+  // ---- phase 3: fetch my partition, sort, emit -------------------------
+  const sim::Nanos t_sort = sim::Now();
+  const uint64_t out_count = dest_total[w];
+  stats.records_out = out_count;
+  std::vector<std::byte> run(std::max<uint64_t>(out_count, 1) * kRecordBytes);
+  RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(run));
+  if (out_count > 0) {
+    RSTORE_RETURN_IF_ERROR(exchange->Read(
+        dest_base[w] * kRecordBytes,
+        std::span<std::byte>(run.data(), out_count * kRecordBytes)));
+    SortRecords(run.data(), out_count);
+    sim::ChargeCpu(sim::SortCost(cpu, out_count) +
+                   sim::MemcpyCost(cpu, out_count * kRecordBytes));
+    RSTORE_RETURN_IF_ERROR(output->Write(
+        dest_base[w] * kRecordBytes,
+        std::span<const std::byte>(run.data(), out_count * kRecordBytes)));
+  }
+  RSTORE_RETURN_IF_ERROR(Barrier("done"));
+  stats.sort_time = sim::Now() - t_sort;
+  stats.total_time = sim::Now() - t_start;
+  return stats;
+}
+
+Status ValidateSortedOutput(core::RStoreClient& client,
+                            const SortConfig& config) {
+  auto region = client.Rmap(config.job + "/output");
+  if (!region.ok()) return region.status();
+  const uint64_t total = config.total_records;
+  constexpr uint64_t kChunkRecords = 1 << 16;
+
+  auto buf = client.AllocBuffer(kChunkRecords * kRecordBytes);
+  if (!buf.ok()) return buf.status();
+
+  std::array<std::byte, kKeyBytes> prev_key{};
+  bool have_prev = false;
+  uint64_t checksum = 0;
+  for (uint64_t at = 0; at < total; at += kChunkRecords) {
+    const uint64_t n = std::min(kChunkRecords, total - at);
+    RSTORE_RETURN_IF_ERROR((*region)->Read(
+        at * kRecordBytes, std::span<std::byte>(buf->begin(),
+                                                n * kRecordBytes)));
+    if (have_prev &&
+        CompareKeys(prev_key.data(), buf->begin()) > 0) {
+      return Status(ErrorCode::kInternal, "output not sorted at chunk edge");
+    }
+    if (!IsSorted(buf->begin(), n)) {
+      return Status(ErrorCode::kInternal, "output not sorted within chunk");
+    }
+    checksum += UnorderedChecksum(buf->begin(), n);
+    std::memcpy(prev_key.data(), buf->begin() + (n - 1) * kRecordBytes,
+                kKeyBytes);
+    have_prev = true;
+  }
+
+  // The input multiset is a pure function of the seed: recompute.
+  std::vector<std::byte> regen(kChunkRecords * kRecordBytes);
+  uint64_t expected = 0;
+  for (uint64_t at = 0; at < total; at += kChunkRecords) {
+    const uint64_t n = std::min(kChunkRecords, total - at);
+    GenerateRecords(config.seed, at, n, regen.data());
+    expected += UnorderedChecksum(regen.data(), n);
+  }
+  if (checksum != expected) {
+    return Status(ErrorCode::kInternal,
+                  "output multiset differs from generated input");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rstore::sort

@@ -1,0 +1,83 @@
+// RSort: a distributed key-value sorter on RStore (the paper's second
+// application; abstract: 256 GB sorted in 31.7 s, 8x Hadoop TeraSort).
+//
+// Classic sample sort, with every bulk data movement expressed as
+// one-sided RStore IO:
+//
+//   1. sample    each worker publishes evenly spaced keys from its input
+//                slice into a shared region; everyone reads them all and
+//                derives identical splitters.
+//   2. shuffle   workers classify their records and *write* each bucket
+//                directly into the exchange region at offsets computed
+//                from the shared count matrix — an all-to-all over RDMA
+//                with no receiver CPU involvement at all.
+//   3. sort      each worker reads its exchange area, sorts locally, and
+//                writes the run to its place in the output region.
+//
+// Synchronization uses the master's notification channels; data never
+// touches a disk or a server CPU. Input is TeraGen-style (records.h) so
+// any worker generates its own slice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/client.h"
+#include "rsort/records.h"
+#include "sim/time.h"
+
+namespace rstore::sort {
+
+struct SortConfig {
+  uint32_t worker_id = 0;
+  uint32_t num_workers = 1;
+  uint64_t total_records = 0;
+  uint64_t seed = 42;  // input generation seed
+  // Samples each worker contributes; W*this keys determine splitters.
+  uint32_t samples_per_worker = 128;
+  std::string job = "rsort";
+};
+
+struct SortStats {
+  sim::Nanos sample_time = 0;
+  sim::Nanos shuffle_time = 0;
+  sim::Nanos sort_time = 0;
+  sim::Nanos total_time = 0;
+  uint64_t records_in = 0;   // records this worker started with
+  uint64_t records_out = 0;  // records this worker emitted
+};
+
+class SortWorker {
+ public:
+  SortWorker(core::RStoreClient& client, SortConfig config);
+
+  // Allocates the input region (idempotent across workers) and writes
+  // this worker's slice of the TeraGen stream into it.
+  Status GenerateInput();
+
+  // Runs the measured sort. All workers must call concurrently.
+  Result<SortStats> Sort();
+
+  [[nodiscard]] uint64_t record_lo() const noexcept { return rlo_; }
+  [[nodiscard]] uint64_t record_hi() const noexcept { return rhi_; }
+
+ private:
+  [[nodiscard]] std::string R(const std::string& what) const {
+    return config_.job + "/" + what;
+  }
+  Status Barrier(const std::string& name);
+  Status EnsureRegion(const std::string& name, uint64_t size);
+
+  core::RStoreClient& client_;
+  SortConfig config_;
+  uint64_t rlo_ = 0, rhi_ = 0;  // my input records [rlo, rhi)
+};
+
+// Driver-side check: output region is globally sorted and holds exactly
+// the multiset TeraGen(seed) would have produced. Reads the output in
+// chunks through `client`.
+Status ValidateSortedOutput(core::RStoreClient& client,
+                            const SortConfig& config);
+
+}  // namespace rstore::sort

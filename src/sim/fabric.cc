@@ -1,0 +1,139 @@
+#include "sim/fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rstore::sim {
+
+Fabric::Fabric(Simulation& sim, NicConfig config)
+    : sim_(sim), config_(config) {}
+
+Fabric::PortState& Fabric::port(uint32_t node) {
+  if (node >= ports_.size()) ports_.resize(node + 1);
+  return ports_[node];
+}
+
+void Fabric::SetLinkDown(uint32_t a, uint32_t b, bool down) {
+  if (down) {
+    down_links_.insert(LinkKey(a, b));
+  } else {
+    down_links_.erase(LinkKey(a, b));
+  }
+}
+
+bool Fabric::LinkUp(uint32_t a, uint32_t b) const {
+  return !down_links_.contains(LinkKey(a, b));
+}
+
+uint64_t Fabric::bytes_out(uint32_t node) const {
+  return node < ports_.size() ? ports_[node].bytes_out : 0;
+}
+uint64_t Fabric::bytes_in(uint32_t node) const {
+  return node < ports_.size() ? ports_[node].bytes_in : 0;
+}
+uint64_t Fabric::messages_out(uint32_t node) const {
+  return node < ports_.size() ? ports_[node].messages_out : 0;
+}
+
+void Fabric::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes,
+                  std::function<void()> on_delivered,
+                  std::function<void()> on_dropped) {
+  const Nanos now = sim_.NowNanos();
+
+  const bool path_up = LinkUp(src, dst) && sim_.node(src).alive() &&
+                       sim_.node(dst).alive();
+  if (!path_up) {
+    if (on_dropped) {
+      sim_.At(now + config_.drop_detect_latency, std::move(on_dropped));
+    }
+    return;
+  }
+
+  PortState& sp = port(src);
+  sp.bytes_out += payload_bytes;
+  sp.messages_out += 1;
+  port(dst).bytes_in += payload_bytes;
+  total_bytes_ += payload_bytes;
+
+  if (src == dst) {
+    // Node-local loopback: bypasses the port model entirely.
+    sim_.At(now + config_.loopback_latency, std::move(on_delivered));
+    return;
+  }
+
+  const uint64_t wire_bytes = payload_bytes + config_.header_overhead_bytes;
+  const Nanos wire_time = TransferTime(wire_bytes, config_.bandwidth_bps);
+
+  Message msg{src,
+              dst,
+              wire_time,
+              std::max(wire_time, config_.per_message_gap),
+              std::move(on_delivered),
+              std::move(on_dropped),
+              now};
+  port(src).egress_queues[dst].push_back(std::move(msg));
+  PumpEgress(src);
+}
+
+void Fabric::PumpEgress(uint32_t node) {
+  PortState& p = port(node);
+  if (p.egress_busy) return;
+
+  // Round-robin over destinations with queued traffic, starting after the
+  // last destination served (deterministic: map iterates in key order).
+  auto it = p.egress_queues.upper_bound(p.rr_cursor);
+  if (it == p.egress_queues.end()) it = p.egress_queues.begin();
+  if (it == p.egress_queues.end()) return;  // nothing queued
+
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  p.rr_cursor = it->first;
+  if (it->second.empty()) p.egress_queues.erase(it);
+
+  p.egress_busy = true;
+  const Nanos start_tx = sim_.NowNanos();
+  const Nanos service = msg.service_time;
+  const Nanos first_bit = start_tx + config_.base_latency;
+  const uint32_t dst = msg.dst;
+
+  // First bit reaches the destination's ingress after the base latency
+  // (cut-through: ingress service overlaps egress transmission).
+  sim_.At(first_bit, [this, dst, m = std::move(msg)]() mutable {
+    EnqueueIngress(dst, std::move(m));
+  });
+  sim_.At(start_tx + service, [this, node] {
+    port(node).egress_busy = false;
+    PumpEgress(node);
+  });
+}
+
+void Fabric::EnqueueIngress(uint32_t node, Message msg) {
+  port(node).ingress_queue.push_back(std::move(msg));
+  PumpIngress(node);
+}
+
+void Fabric::PumpIngress(uint32_t node) {
+  PortState& p = port(node);
+  if (p.ingress_busy || p.ingress_queue.empty()) return;
+  Message msg = std::move(p.ingress_queue.front());
+  p.ingress_queue.pop_front();
+  p.ingress_busy = true;
+  const Nanos done = sim_.NowNanos() + msg.wire_time;
+  sim_.At(done, [this, node, m = std::move(msg)]() mutable {
+    port(node).ingress_busy = false;
+    Deliver(std::move(m));
+    PumpIngress(node);
+  });
+}
+
+void Fabric::Deliver(Message msg) {
+  // The destination may have died (or the link partitioned) in flight.
+  if (sim_.node(msg.dst).alive() && LinkUp(msg.src, msg.dst)) {
+    msg.on_delivered();
+  } else if (msg.on_dropped) {
+    const Nanos detect = msg.sent_at + config_.drop_detect_latency;
+    sim_.At(std::max(detect, sim_.NowNanos()), std::move(msg.on_dropped));
+  }
+}
+
+}  // namespace rstore::sim

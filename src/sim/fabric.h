@@ -1,0 +1,129 @@
+// Fabric: the modelled RDMA interconnect.
+//
+// Model: every node owns one full-duplex NIC port attached to a
+// non-blocking switch (the common single-switch testbed topology of the
+// paper). Ports are event-driven queueing stations:
+//
+//   egress   per-destination queues served round-robin at message
+//            granularity — the QP arbitration real HCAs perform, which
+//            keeps concurrent flows fair instead of convoying;
+//   ingress  FIFO in first-bit arrival order.
+//
+// A message of B payload bytes occupies each port for
+// wire_time(B) = (B + header_overhead) * 8 / bandwidth, and its first bit
+// reaches the destination base_latency after transmission starts. This
+// reproduces the first-order behaviours the paper's evaluation rests on:
+//   * uncontended latency = base_latency + size/bandwidth   (E1),
+//   * per-port saturation and fair sharing under fan-in/out (E3, E6),
+//   * cut-through pipelining of back-to-back transfers.
+//
+// Failure injection: links can be partitioned and nodes die; affected
+// messages invoke the drop callback after a detection delay, which the
+// verbs layer maps to retry-exhausted work completions, just like an RC
+// QP on a real HCA.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace rstore::sim {
+
+struct NicConfig {
+  // Per-port full-duplex bandwidth. Default 58.8 Gb/s: the paper's
+  // aggregate 705 Gb/s over 12 machines (705/12 ≈ 58.75) — effectively an
+  // FDR 4x port plus encoding headroom.
+  double bandwidth_bps = 58.8e9;
+  // One-way base latency (propagation + switch + NIC processing); the
+  // paper reports "close-to-hardware" latency against verbs on FDR,
+  // ~1.3 us one-way for small messages.
+  Nanos base_latency = Micros(1.3);
+  // Wire overhead added to every message (transport headers, CRCs).
+  uint64_t header_overhead_bytes = 42;
+  // Minimum spacing between message starts on one port; caps the small-
+  // message rate (~150 M msg/s, in the range of modern HCAs).
+  Nanos per_message_gap = 6;
+  // Latency of node-local loopback transfers (bypasses the port model).
+  Nanos loopback_latency = 300;
+  // How long a sender takes to declare a message lost (RC retry budget).
+  Nanos drop_detect_latency = Millis(4);
+};
+
+class Fabric {
+ public:
+  Fabric(Simulation& sim, NicConfig config);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // Models one message. `on_delivered` runs in scheduler context at the
+  // delivery instant; `on_dropped` (optional) runs if the path is down or
+  // the destination is dead. Exactly one of the two callbacks fires.
+  void Send(uint32_t src, uint32_t dst, uint64_t payload_bytes,
+            std::function<void()> on_delivered,
+            std::function<void()> on_dropped = {});
+
+  // Partitions (or heals) the bidirectional link between a and b.
+  void SetLinkDown(uint32_t a, uint32_t b, bool down);
+  [[nodiscard]] bool LinkUp(uint32_t a, uint32_t b) const;
+
+  [[nodiscard]] const NicConfig& config() const noexcept { return config_; }
+  [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+
+  // Cumulative statistics, for tests and bandwidth accounting.
+  [[nodiscard]] uint64_t bytes_out(uint32_t node) const;
+  [[nodiscard]] uint64_t bytes_in(uint32_t node) const;
+  [[nodiscard]] uint64_t messages_out(uint32_t node) const;
+  [[nodiscard]] uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+ private:
+  struct Message {
+    uint32_t src;
+    uint32_t dst;
+    Nanos wire_time;
+    Nanos service_time;  // max(wire_time, per_message_gap)
+    std::function<void()> on_delivered;
+    std::function<void()> on_dropped;
+    Nanos sent_at;
+  };
+
+  struct PortState {
+    // Egress: one queue per destination, served round-robin.
+    std::map<uint32_t, std::deque<Message>> egress_queues;
+    uint32_t rr_cursor = 0;  // last destination served (exclusive start)
+    bool egress_busy = false;
+    // Ingress: FIFO in first-bit order.
+    std::deque<Message> ingress_queue;
+    bool ingress_busy = false;
+
+    uint64_t bytes_out = 0;
+    uint64_t bytes_in = 0;
+    uint64_t messages_out = 0;
+  };
+
+  PortState& port(uint32_t node);
+  void PumpEgress(uint32_t node);
+  void EnqueueIngress(uint32_t node, Message msg);
+  void PumpIngress(uint32_t node);
+  void Deliver(Message msg);
+  [[nodiscard]] static uint64_t LinkKey(uint32_t a, uint32_t b) noexcept {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  Simulation& sim_;
+  NicConfig config_;
+  // deque: grows without invalidating references (delivery callbacks can
+  // trigger nested Sends that add ports).
+  std::deque<PortState> ports_;
+  std::unordered_set<uint64_t> down_links_;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace rstore::sim

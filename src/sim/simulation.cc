@@ -1,0 +1,366 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "common/log.h"
+
+namespace rstore::sim {
+
+// ---------------------------------------------------------------------------
+// SimThread: one cooperative thread. The handoff protocol keeps the
+// invariant that at any instant exactly one of {scheduler, one SimThread}
+// is executing:
+//
+//   scheduler -> thread : set sim.active_ = t (under mu_), notify t->cv_
+//   thread -> scheduler : set sim.active_ = nullptr (under mu_),
+//                         notify sim.scheduler_cv_
+//
+// A thread "yields" by calling Block(), which performs the second handoff
+// and waits to be re-activated. Wake events carry the generation number of
+// the block instance they intend to end; stale wakes are ignored.
+// ---------------------------------------------------------------------------
+class SimThread {
+ public:
+  enum WakeReason : int { kNotify = 0, kTimeout = 1, kKilled = 2, kStart = 3 };
+
+  SimThread(Node& node, std::string name, std::function<void()> fn)
+      : node_(node),
+        sim_(node.sim()),
+        name_(std::move(name)),
+        fn_(std::move(fn)),
+        os_thread_([this] { ThreadMain(); }) {}
+
+  ~SimThread() {
+    assert(exited_ && "simulation must unwind threads before destruction");
+    if (os_thread_.joinable()) os_thread_.join();
+  }
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  [[nodiscard]] bool exited() const noexcept { return exited_; }
+  [[nodiscard]] bool blocked() const noexcept { return blocked_; }
+  [[nodiscard]] uint64_t gen() const noexcept { return gen_; }
+  [[nodiscard]] Node& node() noexcept { return node_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // Called from the thread itself: yield to the scheduler until woken.
+  // Throws ThreadKilled when the node died, so stacks unwind via RAII —
+  // unless an exception is already in flight, in which case it returns
+  // kKilled silently (throwing during unwind would terminate).
+  WakeReason Block() {
+    if (!node_.alive() || ShuttingDown()) {
+      if (std::uncaught_exceptions() > 0) return kKilled;
+      throw ThreadKilled{};
+    }
+    YieldToScheduler();
+    if (!node_.alive() || ShuttingDown()) {
+      if (std::uncaught_exceptions() > 0) return kKilled;
+      throw ThreadKilled{};
+    }
+    return wake_reason_;
+  }
+
+ private:
+  friend class Simulation;
+
+  [[nodiscard]] bool ShuttingDown() const noexcept;
+
+  void YieldToScheduler() {
+    std::unique_lock<std::mutex> lock(sim_.mu_);
+    blocked_ = true;
+    sim_.active_ = nullptr;
+    sim_.scheduler_cv_.notify_one();
+    cv_.wait(lock, [this] { return sim_.active_ == this; });
+    blocked_ = false;
+    ++gen_;  // invalidate any other pending wakes for the finished block
+  }
+
+  void ThreadMain();
+
+  Node& node_;
+  Simulation& sim_;
+  const std::string name_;
+  std::function<void()> fn_;
+
+  std::condition_variable cv_;
+  bool blocked_ = true;  // starts "blocked", ended by the kStart wake
+  bool exited_ = false;
+  uint64_t gen_ = 0;
+  WakeReason wake_reason_ = kStart;
+
+  std::thread os_thread_;  // last member: starts after state is ready
+};
+
+namespace {
+thread_local SimThread* g_current_thread = nullptr;
+
+SimThread* Current() {
+  SimThread* t = g_current_thread;
+  if (t == nullptr) {
+    std::fprintf(stderr,
+                 "fatal: sim primitive called from outside a simulated "
+                 "thread\n");
+    std::abort();
+  }
+  return t;
+}
+}  // namespace
+
+bool SimThread::ShuttingDown() const noexcept { return sim_.shutting_down_; }
+
+void SimThread::ThreadMain() {
+  g_current_thread = this;
+  {
+    // First activation mirrors the tail of YieldToScheduler().
+    std::unique_lock<std::mutex> lock(sim_.mu_);
+    cv_.wait(lock, [this] { return sim_.active_ == this; });
+    blocked_ = false;
+    ++gen_;
+  }
+  if (node_.alive() && !ShuttingDown()) {
+    try {
+      fn_();
+    } catch (const ThreadKilled&) {
+      // Normal teardown path.
+    } catch (const std::exception& e) {
+      LOG_ERROR << "uncaught exception in sim thread '" << name_
+                << "' on node " << node_.name() << ": " << e.what();
+    }
+  }
+  // Exit handoff: give control back to the scheduler permanently.
+  std::lock_guard<std::mutex> lock(sim_.mu_);
+  exited_ = true;
+  sim_.active_ = nullptr;
+  sim_.scheduler_cv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+Node::Node(Simulation& sim, uint32_t id, std::string name, uint64_t seed)
+    : sim_(sim), id_(id), name_(std::move(name)), rng_(seed) {}
+
+Node::~Node() = default;
+
+void Node::Spawn(std::string thread_name, std::function<void()> fn) {
+  auto thread =
+      std::make_unique<SimThread>(*this, std::move(thread_name), std::move(fn));
+  SimThread* t = thread.get();
+  threads_.push_back(std::move(thread));
+  sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kStart);
+}
+
+size_t Node::live_threads() const noexcept {
+  size_t n = 0;
+  for (const auto& t : threads_) {
+    if (!t->exited()) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Free functions for node code
+// ---------------------------------------------------------------------------
+Nanos Now() { return Current()->node().sim().NowNanos(); }
+
+void Sleep(Nanos d) {
+  SimThread* t = Current();
+  Simulation& sim = t->node().sim();
+  sim.ScheduleWake(t, t->gen(), sim.NowNanos() + d, SimThread::kTimeout);
+  t->Block();
+}
+
+void Yield() { Sleep(0); }
+
+Node& CurrentNode() { return Current()->node(); }
+
+bool InSimThread() noexcept { return g_current_thread != nullptr; }
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+void CondVar::Wait() {
+  SimThread* t = Current();
+  waiters_.push_back(t);
+  try {
+    t->Block();
+  } catch (...) {
+    std::erase(waiters_, t);
+    throw;
+  }
+}
+
+bool CondVar::WaitFor(Nanos timeout) {
+  // An effectively infinite timeout blocks without a timeout event (a wake
+  // at kNever would outlive the simulation horizon).
+  if (timeout >= kNever - sim_.NowNanos()) {
+    Wait();
+    return true;
+  }
+  SimThread* t = Current();
+  waiters_.push_back(t);
+  sim_.ScheduleWake(t, t->gen(), sim_.NowNanos() + timeout,
+                    SimThread::kTimeout);
+  int reason;
+  try {
+    reason = t->Block();
+  } catch (...) {
+    std::erase(waiters_, t);
+    throw;
+  }
+  if (reason == SimThread::kTimeout) {
+    std::erase(waiters_, t);
+    return false;
+  }
+  return true;
+}
+
+void CondVar::NotifyOne() {
+  if (waiters_.empty()) return;
+  SimThread* t = waiters_.front();
+  waiters_.pop_front();
+  sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kNotify);
+}
+
+void CondVar::NotifyAll() {
+  while (!waiters_.empty()) NotifyOne();
+}
+
+Nanos CondVar::DeadlineFrom(Nanos timeout) const {
+  const Nanos now = sim_.NowNanos();
+  return timeout > kNever - now ? kNever : now + timeout;
+}
+
+Nanos CondVar::NowInternal() const { return sim_.NowNanos(); }
+
+// ---------------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------------
+Simulation::Simulation(SimConfig config)
+    : config_(config), seeder_(config.seed) {}
+
+Simulation::~Simulation() { Shutdown(); }
+
+Node& Simulation::AddNode(std::string name) {
+  const auto id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(
+      std::make_unique<Node>(*this, id, std::move(name), seeder_.Next()));
+  return *nodes_.back();
+}
+
+void Simulation::At(Nanos t, std::function<void()> fn) {
+  events_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+}
+
+void Simulation::After(Nanos delay, std::function<void()> fn) {
+  At(now_ + delay, std::move(fn));
+}
+
+void Simulation::ScheduleWake(SimThread* t, uint64_t gen, Nanos at,
+                              int reason) {
+  Event e;
+  e.t = std::max(at, now_);
+  e.seq = next_seq_++;
+  e.wake_target = t;
+  e.wake_gen = gen;
+  e.wake_reason = reason;
+  events_.push(std::move(e));
+}
+
+void Simulation::RunThreadSlice(SimThread* t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_ = t;
+  }
+  t->cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mu_);
+  scheduler_cv_.wait(lock, [this] { return active_ == nullptr; });
+}
+
+void Simulation::Run() { RunUntil(kNever); }
+
+void Simulation::RunUntil(Nanos deadline) {
+  assert(!InSimThread() && "Run must be driven from outside the simulation");
+  stop_requested_ = false;
+  while (!events_.empty() && !stop_requested_) {
+    // priority_queue::top is const; moving out right before pop is safe.
+    Event e = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    if (e.wake_target != nullptr) {
+      SimThread* t = e.wake_target;
+      if (t->exited() || !t->blocked() || t->gen() != e.wake_gen) {
+        continue;  // stale wake: discard without touching the clock
+      }
+    }
+    if (e.t > deadline) {
+      // Put it back and stop at the deadline.
+      events_.push(std::move(e));
+      now_ = std::max(now_, deadline);
+      return;
+    }
+    if (e.t > config_.horizon) {
+      std::fprintf(stderr,
+                   "fatal: simulation passed its horizon (%.3f s) — likely "
+                   "livelock\n",
+                   ToSeconds(config_.horizon));
+      std::abort();
+    }
+    now_ = std::max(now_, e.t);
+    if (e.wake_target != nullptr) {
+      e.wake_target->wake_reason_ =
+          static_cast<SimThread::WakeReason>(e.wake_reason);
+      RunThreadSlice(e.wake_target);
+    } else {
+      e.fn();
+    }
+  }
+}
+
+void Simulation::KillNode(uint32_t id) {
+  Node& node = *nodes_.at(id);
+  if (!node.alive_) return;
+  node.alive_ = false;
+  // Sweep at the current instant: wake every still-blocked thread so it
+  // unwinds. Gens are read at fire time, so threads that ran in between
+  // are still caught (their next Block() throws on the alive_ check).
+  At(now_, [this, &node] {
+    for (auto& t : node.threads_) {
+      if (!t->exited() && t->blocked()) {
+        t->wake_reason_ = SimThread::kKilled;
+        RunThreadSlice(t.get());
+      }
+    }
+  });
+}
+
+size_t Simulation::live_thread_count() const noexcept {
+  size_t n = 0;
+  for (const auto& node : nodes_) n += node->live_threads();
+  return n;
+}
+
+void Simulation::Shutdown() {
+  shutting_down_ = true;
+  for (auto& node : nodes_) {
+    node->alive_ = false;
+    for (auto& t : node->threads_) {
+      if (!t->exited() && t->blocked()) {
+        t->wake_reason_ = SimThread::kKilled;
+        RunThreadSlice(t.get());
+      }
+    }
+  }
+  // All threads have exited; their destructors join the OS threads.
+  for (auto& node : nodes_) {
+    for ([[maybe_unused]] auto& t : node->threads_) {
+      assert(t->exited());
+    }
+  }
+}
+
+}  // namespace rstore::sim

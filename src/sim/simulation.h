@@ -1,0 +1,253 @@
+// Deterministic virtual-time cluster simulator.
+//
+// The simulator lets *real* C++ node programs (RStore master, memory
+// servers, clients, sorters, graph workers) run against a modelled network
+// without real hardware. Each simulated node hosts one or more cooperative
+// threads; a discrete-event scheduler guarantees that exactly one thread
+// (or event callback) executes at a time, and that execution order is a
+// pure function of the event timeline — so every run is bit-reproducible.
+//
+// Concurrency model
+// -----------------
+//   * Node code runs on OS threads, but cooperatively: the scheduler hands
+//     control to one thread at a time and regains it when the thread blocks
+//     (Sleep, CondVar::Wait, ...) or exits. There is therefore no data race
+//     between node programs, the fabric, or the scheduler, even though the
+//     code "looks" multithreaded.
+//   * Virtual time advances only in the scheduler, between thread slices.
+//     Pure computation inside a thread is instantaneous in virtual time;
+//     code charges compute costs explicitly via Sleep()/cost models
+//     (see cost_model.h) — which keeps performance accounting explicit,
+//     documented, and machine-independent.
+//
+// Failure injection
+// -----------------
+//   Simulation::KillNode tears a node down: its blocked threads are woken
+//   with ThreadKilled (an exception type user code must not swallow), so
+//   stacks unwind through RAII. Running threads die at their next blocking
+//   call. The fabric drops traffic from/to dead nodes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/time.h"
+
+namespace rstore::sim {
+
+class Simulation;
+class Node;
+class SimThread;
+
+// Thrown out of blocking calls when the hosting node has been killed (or
+// the simulation is shutting down). Node programs should let it propagate;
+// Node::Spawn catches it at the top of every thread.
+struct ThreadKilled {};
+
+// ---------------------------------------------------------------------------
+// Node: a simulated machine. Owns its threads and a deterministic RNG
+// forked from the simulation seed.
+// ---------------------------------------------------------------------------
+class Node {
+ public:
+  Node(Simulation& sim, uint32_t id, std::string name, uint64_t seed);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+
+  // Starts a new cooperative thread on this node at the current virtual
+  // time. `fn` runs as if it were a process on the machine.
+  void Spawn(std::string thread_name, std::function<void()> fn);
+
+  // Number of this node's threads that have not yet exited.
+  [[nodiscard]] size_t live_threads() const noexcept;
+
+ private:
+  friend class Simulation;
+
+  Simulation& sim_;
+  const uint32_t id_;
+  const std::string name_;
+  Rng rng_;
+  bool alive_ = true;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+};
+
+// ---------------------------------------------------------------------------
+// Calls available from inside node threads (free functions so application
+// code reads naturally). All of them abort if called from outside a
+// simulated thread.
+// ---------------------------------------------------------------------------
+
+// Current virtual time.
+[[nodiscard]] Nanos Now();
+// Blocks the calling thread for `d` virtual nanoseconds. Also the primitive
+// through which compute costs are charged.
+void Sleep(Nanos d);
+// Yields without advancing time (reschedules at the same instant, after
+// already-queued same-time events).
+void Yield();
+// The node hosting the calling thread.
+[[nodiscard]] Node& CurrentNode();
+// True when called from within a simulated thread.
+[[nodiscard]] bool InSimThread() noexcept;
+
+// ---------------------------------------------------------------------------
+// CondVar: virtual-time condition variable. The only blocking primitive
+// besides Sleep; everything higher (completion queues, RPC futures, BSP
+// barriers) is built from it.
+// ---------------------------------------------------------------------------
+class CondVar {
+ public:
+  explicit CondVar(Simulation& sim) : sim_(sim) {}
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified. May wake spuriously only in the sense that the
+  // condition the caller associates with it may no longer hold; use the
+  // predicate overloads for loops.
+  void Wait();
+  // Blocks until notified or `timeout` elapses; true = notified.
+  bool WaitFor(Nanos timeout);
+
+  template <typename Pred>
+  void WaitUntil(Pred pred) {
+    while (!pred()) Wait();
+  }
+  // True if pred became true before the deadline.
+  template <typename Pred>
+  bool WaitUntilFor(Pred pred, Nanos timeout) {
+    const Nanos deadline = DeadlineFrom(timeout);
+    while (!pred()) {
+      const Nanos now = NowInternal();
+      if (now >= deadline) return false;
+      if (!WaitFor(deadline - now) && !pred()) return false;
+    }
+    return true;
+  }
+
+  // Wakes one / all waiters. Safe to call from node threads and from
+  // scheduler-context callbacks (e.g. fabric delivery).
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  Nanos DeadlineFrom(Nanos timeout) const;
+  Nanos NowInternal() const;
+
+  Simulation& sim_;
+  std::deque<SimThread*> waiters_;
+};
+
+// ---------------------------------------------------------------------------
+// Simulation: owns the clock, the event queue, and the nodes.
+// ---------------------------------------------------------------------------
+struct SimConfig {
+  uint64_t seed = 1;
+  // Safety valve: Run() aborts the process if virtual time passes this.
+  Nanos horizon = Seconds(36000);
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig config = {});
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Adds a machine to the cluster. Stable pointers; nodes live as long as
+  // the simulation.
+  Node& AddNode(std::string name);
+
+  [[nodiscard]] Node& node(uint32_t id) { return *nodes_.at(id); }
+  [[nodiscard]] size_t node_count() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] Nanos NowNanos() const noexcept { return now_; }
+  [[nodiscard]] uint64_t seed() const noexcept { return config_.seed; }
+
+  // Schedules `fn` to run in scheduler context at virtual time `t`
+  // (clamped to now). Callbacks must not block; they may notify CondVars
+  // and schedule further events.
+  void At(Nanos t, std::function<void()> fn);
+  void After(Nanos delay, std::function<void()> fn);
+
+  // Runs until the event queue drains (quiescence: every thread exited or
+  // blocked indefinitely with no pending event that could wake it) or a
+  // stop is requested.
+  void Run();
+  // Runs until quiescence, a requested stop, or until virtual time would
+  // exceed `deadline`.
+  void RunUntil(Nanos deadline);
+
+  // Asks the dispatch loop to return after the current slice. Callable
+  // from node threads and scheduler callbacks; the natural way for a
+  // workload driver to end a simulation whose background services
+  // (heartbeats, sweepers) would otherwise generate events forever.
+  void RequestStop() noexcept { stop_requested_ = true; }
+
+  // Failure injection: marks the node dead and unwinds its threads.
+  void KillNode(uint32_t id);
+
+  // Total threads ever spawned / still live, for tests.
+  [[nodiscard]] size_t live_thread_count() const noexcept;
+
+ private:
+  friend class Node;
+  friend class SimThread;
+  friend class CondVar;
+  friend Nanos Now();
+  friend void Sleep(Nanos);
+  friend void Yield();
+
+  // Two event kinds share the queue: callback events (fn set) and thread
+  // wakes (wake_target set). Wakes carry the generation of the block they
+  // intend to end; a stale wake is discarded *without* advancing the
+  // clock, so cancelled timeouts and killed threads leave no time skew.
+  struct Event {
+    Nanos t;
+    uint64_t seq;
+    std::function<void()> fn;
+    SimThread* wake_target = nullptr;
+    uint64_t wake_gen = 0;
+    int wake_reason = 0;
+    bool operator>(const Event& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  // Scheduler internals (see .cc for the handoff protocol).
+  void RunThreadSlice(SimThread* t);
+  void ScheduleWake(SimThread* t, uint64_t gen, Nanos at, int reason);
+  void Shutdown();
+
+  SimConfig config_;
+  Rng seeder_;
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool shutting_down_ = false;
+  bool stop_requested_ = false;
+
+  // Handoff state: protects active_ and the per-thread runnable flags.
+  std::mutex mu_;
+  std::condition_variable scheduler_cv_;
+  SimThread* active_ = nullptr;
+};
+
+}  // namespace rstore::sim

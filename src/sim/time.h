@@ -1,0 +1,47 @@
+// Virtual-time vocabulary for the cluster simulator. All simulated time is
+// carried as unsigned nanoseconds since simulation start; helpers below make
+// literals readable at call sites (Micros(1.3), Millis(5), ...).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rstore::sim {
+
+// Virtual nanoseconds. 2^64 ns ≈ 584 years of simulated time, so overflow
+// is not a practical concern.
+using Nanos = uint64_t;
+
+inline constexpr Nanos kNever = std::numeric_limits<Nanos>::max();
+
+constexpr Nanos Nanoseconds(uint64_t n) noexcept { return n; }
+constexpr Nanos Micros(double us) noexcept {
+  return static_cast<Nanos>(us * 1e3);
+}
+constexpr Nanos Millis(double ms) noexcept {
+  return static_cast<Nanos>(ms * 1e6);
+}
+constexpr Nanos Seconds(double s) noexcept {
+  return static_cast<Nanos>(s * 1e9);
+}
+
+constexpr double ToSeconds(Nanos n) noexcept {
+  return static_cast<double>(n) / 1e9;
+}
+constexpr double ToMillis(Nanos n) noexcept {
+  return static_cast<double>(n) / 1e6;
+}
+constexpr double ToMicros(Nanos n) noexcept {
+  return static_cast<double>(n) / 1e3;
+}
+
+// Time to push `bytes` through a link of `bits_per_second`, rounded up to
+// a whole nanosecond so that zero-cost transfers cannot exist.
+constexpr Nanos TransferTime(uint64_t bytes, double bits_per_second) noexcept {
+  const double secs =
+      (static_cast<double>(bytes) * 8.0) / bits_per_second;
+  const auto n = static_cast<Nanos>(secs * 1e9);
+  return n == 0 && bytes > 0 ? 1 : n;
+}
+
+}  // namespace rstore::sim

@@ -1,0 +1,624 @@
+#include "verbs/verbs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace rstore::verbs {
+
+std::string_view ToString(WcStatus status) noexcept {
+  switch (status) {
+    case WcStatus::kSuccess: return "SUCCESS";
+    case WcStatus::kLocalProtErr: return "LOCAL_PROT_ERR";
+    case WcStatus::kRemAccessErr: return "REM_ACCESS_ERR";
+    case WcStatus::kRemOpErr: return "REM_OP_ERR";
+    case WcStatus::kRetryExceeded: return "RETRY_EXCEEDED";
+    case WcStatus::kRnrRetryExceeded: return "RNR_RETRY_EXCEEDED";
+    case WcStatus::kWrFlushErr: return "WR_FLUSH_ERR";
+  }
+  return "UNKNOWN";
+}
+
+std::string_view ToString(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kSend: return "SEND";
+    case Opcode::kRecv: return "RECV";
+    case Opcode::kRdmaWrite: return "RDMA_WRITE";
+    case Opcode::kRdmaWriteWithImm: return "RDMA_WRITE_WITH_IMM";
+    case Opcode::kRdmaRead: return "RDMA_READ";
+    case Opcode::kCompareSwap: return "COMPARE_SWAP";
+    case Opcode::kFetchAdd: return "FETCH_ADD";
+  }
+  return "UNKNOWN";
+}
+
+// ---------------------------------------------------------------------------
+// MemoryRegion
+// ---------------------------------------------------------------------------
+bool MemoryRegion::Covers(uint64_t addr, uint64_t len) const noexcept {
+  const uint64_t base = remote_addr();
+  if (addr < base) return false;
+  const uint64_t off = addr - base;
+  return off <= length_ && len <= length_ - off;
+}
+
+// ---------------------------------------------------------------------------
+// CompletionQueue
+// ---------------------------------------------------------------------------
+void CompletionQueue::Push(WorkCompletion wc) {
+  entries_.push_back(wc);
+  ready_.NotifyAll();
+}
+
+std::vector<WorkCompletion> CompletionQueue::Poll(size_t max_entries) {
+  std::vector<WorkCompletion> out;
+  while (!entries_.empty() && out.size() < max_entries) {
+    out.push_back(entries_.front());
+    entries_.pop_front();
+  }
+  return out;
+}
+
+std::vector<WorkCompletion> CompletionQueue::WaitPoll(size_t max_entries,
+                                                      sim::Nanos timeout) {
+  if (entries_.empty()) {
+    ready_.WaitUntilFor([this] { return !entries_.empty(); }, timeout);
+  }
+  return Poll(max_entries);
+}
+
+Result<WorkCompletion> CompletionQueue::WaitOne(sim::Nanos timeout) {
+  auto wcs = WaitPoll(1, timeout);
+  if (wcs.empty()) {
+    return Result<WorkCompletion>(ErrorCode::kTimedOut,
+                                  "no completion before deadline");
+  }
+  return wcs.front();
+}
+
+// ---------------------------------------------------------------------------
+// ProtectionDomain
+// ---------------------------------------------------------------------------
+Result<MemoryRegion*> ProtectionDomain::RegisterMemory(std::byte* addr,
+                                                       uint64_t length,
+                                                       uint32_t access) {
+  if (addr == nullptr || length == 0) {
+    return Result<MemoryRegion*>(ErrorCode::kInvalidArgument,
+                                 "null or empty registration");
+  }
+  Device& dev = device_;
+  const uint32_t lkey = dev.next_key_++;
+  const uint32_t rkey = dev.next_key_++;
+  auto mr = std::unique_ptr<MemoryRegion>(
+      new MemoryRegion(addr, length, lkey, rkey, access));
+  MemoryRegion* raw = mr.get();
+  dev.mrs_by_lkey_.emplace(lkey, std::move(mr));
+  dev.mrs_by_rkey_.emplace(rkey, raw);
+  return raw;
+}
+
+Status ProtectionDomain::DeregisterMemory(MemoryRegion* mr) {
+  Device& dev = device_;
+  auto it = dev.mrs_by_lkey_.find(mr->lkey());
+  if (it == dev.mrs_by_lkey_.end() || it->second.get() != mr) {
+    return Status(ErrorCode::kNotFound, "unknown memory region");
+  }
+  dev.mrs_by_rkey_.erase(mr->rkey());
+  dev.mrs_by_lkey_.erase(it);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Device
+// ---------------------------------------------------------------------------
+Device::Device(Network& network, sim::Node& node)
+    : network_(network), node_(node) {}
+
+ProtectionDomain& Device::CreatePd() {
+  pds_.push_back(std::make_unique<ProtectionDomain>(*this));
+  return *pds_.back();
+}
+
+CompletionQueue& Device::CreateCq() {
+  cqs_.push_back(std::make_unique<CompletionQueue>(network_.sim()));
+  return *cqs_.back();
+}
+
+QueuePair& Device::CreateQueuePair(QpConfig config, CompletionQueue* send_cq,
+                                   CompletionQueue* recv_cq) {
+  const uint32_t num = network_.next_qp_num_++;
+  auto qp = std::unique_ptr<QueuePair>(
+      new QueuePair(*this, num, send_cq, recv_cq, config));
+  QueuePair* raw = qp.get();
+  qps_.emplace(num, std::move(qp));
+  return *raw;
+}
+
+MemoryRegion* Device::FindMrByRkey(uint32_t rkey) {
+  auto it = mrs_by_rkey_.find(rkey);
+  return it == mrs_by_rkey_.end() ? nullptr : it->second;
+}
+
+MemoryRegion* Device::FindMrByLkey(uint32_t lkey) {
+  auto it = mrs_by_lkey_.find(lkey);
+  return it == mrs_by_lkey_.end() ? nullptr : it->second.get();
+}
+
+QueuePair* Device::FindQp(uint32_t qp_num) {
+  auto it = qps_.find(qp_num);
+  return it == qps_.end() ? nullptr : it->second.get();
+}
+
+Status Device::ValidateLocal(const Sge& sge, bool will_write) {
+  if (sge.length == 0) return Status::Ok();
+  MemoryRegion* mr = FindMrByLkey(sge.lkey);
+  if (mr == nullptr) {
+    return Status(ErrorCode::kPermissionDenied, "unknown lkey");
+  }
+  if (!mr->Covers(reinterpret_cast<uint64_t>(sge.addr), sge.length)) {
+    return Status(ErrorCode::kOutOfRange, "SGE outside memory region");
+  }
+  if (will_write && (mr->access() & kLocalWrite) == 0) {
+    return Status(ErrorCode::kPermissionDenied, "MR not LOCAL_WRITE");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// QueuePair
+// ---------------------------------------------------------------------------
+QueuePair::QueuePair(Device& device, uint32_t qp_num, CompletionQueue* send_cq,
+                     CompletionQueue* recv_cq, QpConfig config)
+    : device_(device), qp_num_(qp_num), config_(config) {
+  if (send_cq == nullptr) {
+    owned_send_cq_ = std::make_unique<CompletionQueue>(device.network().sim());
+    send_cq = owned_send_cq_.get();
+  }
+  if (recv_cq == nullptr) {
+    owned_recv_cq_ = std::make_unique<CompletionQueue>(device.network().sim());
+    recv_cq = owned_recv_cq_.get();
+  }
+  send_cq_ = send_cq;
+  recv_cq_ = recv_cq;
+}
+
+void QueuePair::ConnectTo(uint32_t peer_node, uint32_t peer_qp_num) {
+  peer_node_ = peer_node;
+  peer_qp_num_ = peer_qp_num;
+  state_ = State::kRts;
+}
+
+namespace {
+// Wire sizes of the non-payload parts of each op (request headers beyond
+// the fabric's generic per-message overhead).
+constexpr uint64_t kReadRequestBytes = 16;
+constexpr uint64_t kAtomicRequestBytes = 32;
+constexpr uint64_t kAtomicResponseBytes = 8;
+}  // namespace
+
+Status QueuePair::PostSend(const SendWr& wr) {
+  if (state_ != State::kRts) {
+    return Status(ErrorCode::kUnavailable,
+                  state_ == State::kError ? "QP in error state"
+                                          : "QP not connected");
+  }
+  if (sq_.size() >= config_.max_send_wr) {
+    return Status(ErrorCode::kOutOfMemory, "send queue full");
+  }
+  switch (wr.opcode) {
+    case Opcode::kSend:
+    case Opcode::kRdmaWrite:
+    case Opcode::kRdmaWriteWithImm:
+      RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(wr.local, false));
+      break;
+    case Opcode::kRdmaRead:
+      RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(wr.local, true));
+      break;
+    case Opcode::kCompareSwap:
+    case Opcode::kFetchAdd:
+      if (wr.local.length != 8) {
+        return Status(ErrorCode::kInvalidArgument,
+                      "atomic result buffer must be 8 bytes");
+      }
+      RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(wr.local, true));
+      break;
+    case Opcode::kRecv:
+      return Status(ErrorCode::kInvalidArgument, "RECV posted to send queue");
+  }
+
+  const uint64_t seq = sq_next_seq_++;
+  sq_.push_back(SqEntry{wr, false, WcStatus::kSuccess, 0});
+
+  Network& net = device_.network();
+  sim::Simulation& sim = net.sim();
+  const uint32_t src = device_.node_id();
+  const uint32_t dst = peer_node_;
+  const uint32_t dst_qp = peer_qp_num_;
+
+  uint64_t request_bytes = 0;
+  switch (wr.opcode) {
+    case Opcode::kSend:
+    case Opcode::kRdmaWrite:
+    case Opcode::kRdmaWriteWithImm:
+      request_bytes = wr.local.length;
+      break;
+    case Opcode::kRdmaRead:
+      request_bytes = kReadRequestBytes;
+      break;
+    default:
+      request_bytes = kAtomicRequestBytes;
+      break;
+  }
+
+  // Initiator post cost (descriptor write + doorbell), then the wire.
+  sim.After(net.cpu_model().verbs_post_ns, [this, wr, seq, src, dst, dst_qp,
+                                            request_bytes, &net] {
+    net.fabric().Send(
+        src, dst, request_bytes,
+        /*on_delivered=*/
+        [this, wr, seq, src, dst, dst_qp, &net] {
+          Device& target = net.device(dst);
+          QueuePair* tqp = target.FindQp(dst_qp);
+          if (tqp == nullptr || tqp->state_ == State::kError) {
+            CompleteSq(seq, WcStatus::kRetryExceeded, 0);
+            return;
+          }
+          ExecuteAtTarget(net, target, *tqp, wr, seq, src);
+        },
+        /*on_dropped=*/
+        [this, seq] { CompleteSq(seq, WcStatus::kRetryExceeded, 0); });
+  });
+  return Status::Ok();
+}
+
+// Target-side execution of an arriving request, in scheduler context.
+// Static-shaped helper (member via friend-free function) so the lambda
+// above stays readable.
+void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
+                                const SendWr& wr, uint64_t seq,
+                                uint32_t src_node) {
+  switch (wr.opcode) {
+    case Opcode::kSend:
+      tqp.AcceptSend(wr, src_node,
+                     [this, seq](WcStatus st, uint32_t len) {
+                       CompleteSq(seq, st, len);
+                     },
+                     /*data_already_placed=*/false);
+      return;
+
+    case Opcode::kRdmaWrite:
+    case Opcode::kRdmaWriteWithImm: {
+      MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
+      if (mr == nullptr || !mr->Covers(wr.remote_addr, wr.local.length) ||
+          (mr->access() & kRemoteWrite) == 0) {
+        CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        return;
+      }
+      if (wr.local.length > 0) {
+        std::memcpy(reinterpret_cast<void*>(wr.remote_addr), wr.local.addr,
+                    wr.local.length);
+      }
+      if (wr.opcode == Opcode::kRdmaWriteWithImm) {
+        tqp.AcceptSend(wr, src_node,
+                       [this, seq](WcStatus st, uint32_t len) {
+                         CompleteSq(seq, st, len);
+                       },
+                       /*data_already_placed=*/true);
+      } else {
+        CompleteSq(seq, WcStatus::kSuccess, wr.local.length);
+      }
+      return;
+    }
+
+    case Opcode::kRdmaRead: {
+      MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
+      if (mr == nullptr || !mr->Covers(wr.remote_addr, wr.local.length) ||
+          (mr->access() & kRemoteRead) == 0) {
+        CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        return;
+      }
+      // Response: payload travels target -> initiator; bytes are copied
+      // at response delivery (initiator buffer contents are undefined
+      // until the completion, per RDMA semantics).
+      const uint64_t remote_addr = wr.remote_addr;
+      net.fabric().Send(
+          target.node_id(), device_.node_id(), wr.local.length,
+          [this, wr, seq, remote_addr] {
+            if (wr.local.length > 0) {
+              std::memcpy(wr.local.addr,
+                          reinterpret_cast<const void*>(remote_addr),
+                          wr.local.length);
+            }
+            CompleteSq(seq, WcStatus::kSuccess, wr.local.length);
+          },
+          [this, seq] { CompleteSq(seq, WcStatus::kRetryExceeded, 0); });
+      return;
+    }
+
+    case Opcode::kCompareSwap:
+    case Opcode::kFetchAdd: {
+      MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
+      if (mr == nullptr || !mr->Covers(wr.remote_addr, 8) ||
+          (mr->access() & kRemoteAtomic) == 0) {
+        CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        return;
+      }
+      if (wr.remote_addr % 8 != 0) {
+        CompleteSq(seq, WcStatus::kRemOpErr, 0);
+        return;
+      }
+      auto* cell = reinterpret_cast<uint64_t*>(wr.remote_addr);
+      const uint64_t old = *cell;
+      if (wr.opcode == Opcode::kCompareSwap) {
+        if (old == wr.compare) *cell = wr.swap_or_add;
+      } else {
+        *cell = old + wr.swap_or_add;
+      }
+      net.fabric().Send(
+          target.node_id(), device_.node_id(), kAtomicResponseBytes,
+          [this, wr, seq, old] {
+            std::memcpy(wr.local.addr, &old, 8);
+            CompleteSq(seq, WcStatus::kSuccess, 8);
+          },
+          [this, seq] { CompleteSq(seq, WcStatus::kRetryExceeded, 0); });
+      return;
+    }
+
+    case Opcode::kRecv:
+      break;  // unreachable: rejected at post time
+  }
+}
+
+// Target side of SEND / WRITE_WITH_IMM: consume a posted RECV or park in
+// the RNR buffer. `on_executed` reports the initiator completion.
+void QueuePair::AcceptSend(const SendWr& wr, uint32_t src_node,
+                           std::function<void(WcStatus, uint32_t)> on_executed,
+                           bool data_already_placed) {
+  if (rq_.empty()) {
+    if (rnr_buffer_.size() >= kMaxRnrBuffered) {
+      on_executed(WcStatus::kRnrRetryExceeded, 0);
+      EnterError();
+      return;
+    }
+    rnr_buffer_.push_back(
+        RnrEntry{wr, src_node, std::move(on_executed), data_already_placed});
+    return;
+  }
+  MatchRecv(wr, src_node, std::move(on_executed), data_already_placed);
+}
+
+void QueuePair::MatchRecv(const SendWr& wr, uint32_t src_node,
+                          const std::function<void(WcStatus, uint32_t)>& done,
+                          bool data_already_placed) {
+  RecvWr recv = rq_.front();
+  rq_.pop_front();
+  if (!data_already_placed) {
+    if (recv.local.length < wr.local.length) {
+      // Receive buffer too small: local length error on the receiver,
+      // remote-op error for the sender.
+      recv_cq_->Push(WorkCompletion{recv.wr_id, WcStatus::kLocalProtErr,
+                                    Opcode::kRecv, 0, std::nullopt, qp_num_,
+                                    src_node});
+      done(WcStatus::kRemOpErr, 0);
+      EnterError();
+      return;
+    }
+    if (wr.local.length > 0) {
+      std::memcpy(recv.local.addr, wr.local.addr, wr.local.length);
+    }
+  }
+  recv_cq_->Push(WorkCompletion{
+      recv.wr_id, WcStatus::kSuccess,
+      data_already_placed ? Opcode::kRdmaWriteWithImm : Opcode::kRecv,
+      wr.local.length, wr.imm, qp_num_, src_node});
+  done(WcStatus::kSuccess, wr.local.length);
+}
+
+Status QueuePair::PostRecv(const RecvWr& wr) {
+  if (state_ == State::kError) {
+    return Status(ErrorCode::kUnavailable, "QP in error state");
+  }
+  if (rq_.size() >= config_.max_recv_wr) {
+    return Status(ErrorCode::kOutOfMemory, "receive queue full");
+  }
+  RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(wr.local, true));
+  rq_.push_back(wr);
+  // Drain any sender that arrived before this buffer (RNR retry succeeds).
+  while (!rq_.empty() && !rnr_buffer_.empty()) {
+    RnrEntry entry = std::move(rnr_buffer_.front());
+    rnr_buffer_.pop_front();
+    MatchRecv(entry.wr, entry.src_node, entry.on_executed,
+              entry.data_already_placed);
+  }
+  return Status::Ok();
+}
+
+void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
+  if (seq < sq_base_seq_) return;  // already flushed
+  const size_t idx = seq - sq_base_seq_;
+  if (idx >= sq_.size()) return;
+  SqEntry& entry = sq_[idx];
+  entry.done = true;
+  entry.status = status;
+  entry.byte_len = byte_len;
+
+  if (status != WcStatus::kSuccess) {
+    // An error moves the QP to the error state at once: every queued WR
+    // completes in post order — finished ones with their recorded
+    // status, unfinished ones flushed (their wire callbacks, if any,
+    // arrive later with stale sequence numbers and are ignored).
+    while (!sq_.empty()) {
+      SqEntry e = std::move(sq_.front());
+      sq_.pop_front();
+      ++sq_base_seq_;
+      const WcStatus st = e.done ? e.status : WcStatus::kWrFlushErr;
+      if (st != WcStatus::kSuccess || e.wr.signaled) {
+        send_cq_->Push(WorkCompletion{e.wr.wr_id, st, e.wr.opcode,
+                                      e.byte_len, std::nullopt, qp_num_,
+                                      peer_node_});
+      }
+    }
+    EnterError();
+    return;
+  }
+
+  // Emit the done prefix so completions are in post order.
+  while (!sq_.empty() && sq_.front().done) {
+    SqEntry e = std::move(sq_.front());
+    sq_.pop_front();
+    ++sq_base_seq_;
+    if (e.wr.signaled) {
+      send_cq_->Push(WorkCompletion{e.wr.wr_id, e.status, e.wr.opcode,
+                                    e.byte_len, std::nullopt, qp_num_,
+                                    peer_node_});
+    }
+  }
+}
+
+void QueuePair::FlushAll(WcStatus status) {
+  while (!sq_.empty()) {
+    SqEntry e = std::move(sq_.front());
+    sq_.pop_front();
+    ++sq_base_seq_;
+    send_cq_->Push(WorkCompletion{e.wr.wr_id, status, e.wr.opcode, 0,
+                                  std::nullopt, qp_num_, peer_node_});
+  }
+  while (!rq_.empty()) {
+    RecvWr r = rq_.front();
+    rq_.pop_front();
+    recv_cq_->Push(WorkCompletion{r.wr_id, status, Opcode::kRecv, 0,
+                                  std::nullopt, qp_num_, peer_node_});
+  }
+}
+
+void QueuePair::EnterError() {
+  if (state_ == State::kError) return;
+  state_ = State::kError;
+  FlushAll(WcStatus::kWrFlushErr);
+}
+
+// ---------------------------------------------------------------------------
+// Network & connection management
+// ---------------------------------------------------------------------------
+Network::Network(sim::Simulation& sim, sim::NicConfig nic,
+                 sim::CpuCostModel cpu)
+    : sim_(sim), fabric_(sim, nic), cpu_(cpu) {}
+
+Device& Network::AddDevice(sim::Node& node) {
+  const uint32_t id = node.id();
+  if (id >= devices_.size()) devices_.resize(id + 1);
+  if (!devices_[id]) {
+    devices_[id] = std::unique_ptr<Device>(new Device(*this, node));
+  }
+  return *devices_[id];
+}
+
+Device& Network::device(uint32_t node_id) {
+  assert(node_id < devices_.size() && devices_[node_id] != nullptr &&
+         "no device on node");
+  return *devices_[node_id];
+}
+
+Network::Listener::Listener(Network& net, Device& dev, uint32_t service_id,
+                            QpConfig config, CompletionQueue* send_cq,
+                            CompletionQueue* recv_cq)
+    : net_(net), dev_(dev), service_id_(service_id), config_(config),
+      send_cq_(send_cq), recv_cq_(recv_cq), ready_(net.sim()) {}
+
+Result<QueuePair*> Network::Listener::Accept(sim::Nanos timeout) {
+  if (!ready_.WaitUntilFor([this] { return !pending_.empty(); }, timeout)) {
+    return Result<QueuePair*>(ErrorCode::kTimedOut, "no incoming connection");
+  }
+  QueuePair* qp = pending_.front();
+  pending_.pop_front();
+  return qp;
+}
+
+Network::Listener& Network::Listen(Device& device, uint32_t service_id,
+                                   QpConfig config, CompletionQueue* send_cq,
+                                   CompletionQueue* recv_cq) {
+  const uint64_t key =
+      (static_cast<uint64_t>(device.node_id()) << 32) | service_id;
+  auto it = listeners_.find(key);
+  if (it == listeners_.end()) {
+    it = listeners_
+             .emplace(key, std::unique_ptr<Listener>(new Listener(
+                               *this, device, service_id, config, send_cq,
+                               recv_cq)))
+             .first;
+  }
+  return *it->second;
+}
+
+Result<QueuePair*> Network::Connect(Device& device, uint32_t remote_node,
+                                    uint32_t service_id, QpConfig config,
+                                    CompletionQueue* send_cq,
+                                    CompletionQueue* recv_cq) {
+  // Client-side QP programming cost.
+  sim::Sleep(qp_setup_cost());
+  QueuePair& client_qp = device.CreateQueuePair(config, send_cq, recv_cq);
+
+  struct ConnectState {
+    explicit ConnectState(sim::Simulation& s) : cv(s) {}
+    sim::CondVar cv;
+    bool done = false;
+    bool accepted = false;
+    uint32_t server_qp_num = 0;
+  };
+  auto state = std::make_shared<ConnectState>(sim_);
+
+  const uint64_t key = (static_cast<uint64_t>(remote_node) << 32) | service_id;
+  const uint32_t client_node = device.node_id();
+  const uint32_t client_qp_num = client_qp.qp_num();
+  constexpr uint64_t kCmMessageBytes = 64;
+
+  fabric_.Send(
+      client_node, remote_node, kCmMessageBytes,
+      /*on_delivered=*/
+      [this, key, client_node, client_qp_num, remote_node, state] {
+        auto it = listeners_.find(key);
+        if (it == listeners_.end()) {
+          // Reject travels back as a CM message.
+          fabric_.Send(remote_node, client_node, kCmMessageBytes, [state] {
+            state->done = true;
+            state->cv.NotifyAll();
+          });
+          return;
+        }
+        Listener& listener = *it->second;
+        // Server-side QP programming, then the accept reply.
+        sim_.After(qp_setup_cost(), [this, &listener, client_node,
+                                     client_qp_num, state] {
+          QueuePair& server_qp = listener.dev_.CreateQueuePair(
+              listener.config_, listener.send_cq_, listener.recv_cq_);
+          server_qp.ConnectTo(client_node, client_qp_num);
+          listener.pending_.push_back(&server_qp);
+          listener.ready_.NotifyAll();
+          const uint32_t server_qp_num = server_qp.qp_num();
+          fabric_.Send(listener.dev_.node_id(), client_node, kCmMessageBytes,
+                       [state, server_qp_num] {
+                         state->done = true;
+                         state->accepted = true;
+                         state->server_qp_num = server_qp_num;
+                         state->cv.NotifyAll();
+                       });
+        });
+      },
+      /*on_dropped=*/
+      [state] {
+        state->done = true;
+        state->cv.NotifyAll();
+      });
+
+  state->cv.WaitUntil([&] { return state->done; });
+  if (!state->accepted) {
+    return Result<QueuePair*>(ErrorCode::kUnavailable,
+                              "connection rejected or peer unreachable");
+  }
+  client_qp.ConnectTo(remote_node, state->server_qp_num);
+  return &client_qp;
+}
+
+}  // namespace rstore::verbs

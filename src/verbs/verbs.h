@@ -1,0 +1,413 @@
+// rverbs: an ibverbs-like RDMA API over the simulated fabric.
+//
+// The RStore layers above are written against this API exactly as they
+// would be against OFED verbs: applications register memory regions (MRs)
+// with a protection domain, exchange (remote_addr, rkey) pairs out of
+// band, connect reliable-connection queue pairs (QPs), and then post
+// work requests — two-sided SEND/RECV and one-sided RDMA READ / WRITE /
+// WRITE_WITH_IMM plus 8-byte atomics — whose completions surface on
+// completion queues (CQs).
+//
+// Modelled semantics (the subset RC hardware guarantees that matters
+// here):
+//   * Work requests on one QP execute and complete in post order.
+//   * One-sided operations never involve the target CPU; the simulator
+//     executes them in scheduler context against the target MR, charging
+//     only fabric time (this is precisely the paper's "direct access").
+//   * rkey, bounds and access-flag violations produce an error completion
+//     on the initiator and move the QP to the error state; outstanding
+//     and subsequent work flushes with kWrFlushErr, as on real HCAs.
+//   * Lost messages (partition, dead peer) surface as kRetryExceeded
+//     after the fabric's drop-detection delay (RC retry budget).
+//   * A SEND with no posted RECV waits in a bounded RNR buffer.
+//
+// Cost model: each posted work request pays CpuCostModel::verbs_post_ns
+// of initiator-side latency before entering the wire model (descriptor +
+// doorbell). Completion-queue polling is free (busy polling is the
+// norm for RDMA applications and overlaps with progress).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cost_model.h"
+#include "sim/fabric.h"
+#include "sim/simulation.h"
+
+namespace rstore::verbs {
+
+class Device;
+class ProtectionDomain;
+class CompletionQueue;
+class QueuePair;
+class Network;
+
+// Access permissions for memory regions, OR-able.
+enum Access : uint32_t {
+  kLocalWrite = 1u << 0,
+  kRemoteRead = 1u << 1,
+  kRemoteWrite = 1u << 2,
+  kRemoteAtomic = 1u << 3,
+};
+
+enum class Opcode : uint8_t {
+  kSend,
+  kRecv,
+  kRdmaWrite,
+  kRdmaWriteWithImm,
+  kRdmaRead,
+  kCompareSwap,
+  kFetchAdd,
+};
+
+enum class WcStatus : uint8_t {
+  kSuccess,
+  kLocalProtErr,    // bad lkey / local bounds
+  kRemAccessErr,    // bad rkey, remote bounds, or missing access flag
+  kRemOpErr,        // remote peer could not execute (e.g. misaligned atomic)
+  kRetryExceeded,   // transport gave up (partition / dead peer)
+  kRnrRetryExceeded,  // receiver never posted a buffer
+  kWrFlushErr,      // QP entered error state before this WR executed
+};
+
+std::string_view ToString(WcStatus status) noexcept;
+std::string_view ToString(Opcode op) noexcept;
+
+// A completed work request.
+struct WorkCompletion {
+  uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  Opcode opcode = Opcode::kSend;
+  uint32_t byte_len = 0;            // bytes transferred (recv/read)
+  std::optional<uint32_t> imm;      // present for recv of WRITE_WITH_IMM/SEND w/ imm
+  uint32_t qp_num = 0;
+  uint32_t src_node = 0;            // peer node id (recv side convenience)
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == WcStatus::kSuccess;
+  }
+};
+
+// Registered memory region.
+class MemoryRegion {
+ public:
+  [[nodiscard]] std::byte* addr() const noexcept { return addr_; }
+  [[nodiscard]] uint64_t length() const noexcept { return length_; }
+  [[nodiscard]] uint32_t lkey() const noexcept { return lkey_; }
+  [[nodiscard]] uint32_t rkey() const noexcept { return rkey_; }
+  [[nodiscard]] uint32_t access() const noexcept { return access_; }
+  // Address as it travels on the wire (the simulated "remote VA").
+  [[nodiscard]] uint64_t remote_addr() const noexcept {
+    return reinterpret_cast<uint64_t>(addr_);
+  }
+  [[nodiscard]] bool Covers(uint64_t addr, uint64_t len) const noexcept;
+
+ private:
+  friend class ProtectionDomain;
+  MemoryRegion(std::byte* addr, uint64_t length, uint32_t lkey, uint32_t rkey,
+               uint32_t access)
+      : addr_(addr), length_(length), lkey_(lkey), rkey_(rkey),
+        access_(access) {}
+
+  std::byte* addr_;
+  uint64_t length_;
+  uint32_t lkey_;
+  uint32_t rkey_;
+  uint32_t access_;
+};
+
+// Local scatter-gather element.
+struct Sge {
+  std::byte* addr = nullptr;
+  uint32_t length = 0;
+  uint32_t lkey = 0;
+};
+
+// Send-queue work request.
+struct SendWr {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kSend;
+  Sge local;                 // source (send/write) or destination (read)
+  uint64_t remote_addr = 0;  // one-sided ops & atomics
+  uint32_t rkey = 0;
+  std::optional<uint32_t> imm = std::nullopt;  // SEND and WRITE_WITH_IMM
+  uint64_t compare = 0;      // kCompareSwap
+  uint64_t swap_or_add = 0;  // kCompareSwap / kFetchAdd
+  bool signaled = true;      // errors always complete, success only if set
+};
+
+// Receive-queue work request.
+struct RecvWr {
+  uint64_t wr_id = 0;
+  Sge local;
+};
+
+// Completion queue. Unbounded (real CQ overflow is a provisioning bug the
+// simulation treats as out of scope).
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(sim::Simulation& sim) : ready_(sim) {}
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  // Non-blocking: moves up to max_entries completions out.
+  std::vector<WorkCompletion> Poll(size_t max_entries = 16);
+  // Blocking: waits until at least one completion or timeout; empty vector
+  // on timeout. Must be called from a simulated thread.
+  std::vector<WorkCompletion> WaitPoll(size_t max_entries = 16,
+                                       sim::Nanos timeout = sim::kNever);
+  // Convenience: wait for exactly one completion.
+  Result<WorkCompletion> WaitOne(sim::Nanos timeout = sim::kNever);
+
+  [[nodiscard]] size_t pending() const noexcept { return entries_.size(); }
+
+ private:
+  friend class QueuePair;
+  friend class Device;
+  void Push(WorkCompletion wc);
+
+  std::deque<WorkCompletion> entries_;
+  sim::CondVar ready_;
+};
+
+// Protection domain: scopes MRs and QPs, hands out keys.
+class ProtectionDomain {
+ public:
+  explicit ProtectionDomain(Device& device) : device_(device) {}
+  ProtectionDomain(const ProtectionDomain&) = delete;
+  ProtectionDomain& operator=(const ProtectionDomain&) = delete;
+
+  // Registers [addr, addr+length) with the given access flags. The caller
+  // keeps ownership of the memory and must keep it alive until
+  // deregistration. Returns a stable, device-owned handle.
+  Result<MemoryRegion*> RegisterMemory(std::byte* addr, uint64_t length,
+                                       uint32_t access);
+  Status DeregisterMemory(MemoryRegion* mr);
+
+  [[nodiscard]] Device& device() noexcept { return device_; }
+
+ private:
+  Device& device_;
+};
+
+struct QpConfig {
+  uint32_t max_send_wr = 512;   // outstanding send-queue WRs
+  uint32_t max_recv_wr = 4096;  // posted receive buffers
+};
+
+// Reliable-connection queue pair. Create via Device::CreateQueuePair, then
+// connect both ends via the Network/Connector helpers (which mirror
+// rdma_cm). After Connect the QP is in RTS and accepts posts.
+class QueuePair {
+ public:
+  enum class State : uint8_t { kInit, kRts, kError };
+
+  Status PostSend(const SendWr& wr);
+  Status PostRecv(const RecvWr& wr);
+
+  // Tears the QP down (ibv_destroy_qp analogue): moves it to the error
+  // state and flushes all posted work. Arriving wire traffic is NAKed to
+  // the sender from then on. Call before freeing buffers that are still
+  // posted to this QP.
+  void Close() { EnterError(); }
+
+  [[nodiscard]] uint32_t qp_num() const noexcept { return qp_num_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] uint32_t peer_node() const noexcept { return peer_node_; }
+  [[nodiscard]] uint32_t peer_qp_num() const noexcept { return peer_qp_num_; }
+  [[nodiscard]] CompletionQueue& send_cq() noexcept { return *send_cq_; }
+  [[nodiscard]] CompletionQueue& recv_cq() noexcept { return *recv_cq_; }
+  [[nodiscard]] Device& device() noexcept { return device_; }
+
+  // Number of send WRs posted but not yet completed.
+  [[nodiscard]] size_t outstanding() const noexcept { return sq_.size(); }
+
+ private:
+  friend class Device;
+  friend class Network;
+
+  struct SqEntry {
+    SendWr wr;
+    bool done = false;
+    WcStatus status = WcStatus::kSuccess;
+    uint32_t byte_len = 0;
+  };
+
+  struct RnrEntry {
+    SendWr wr;
+    uint32_t src_node;
+    std::function<void(WcStatus, uint32_t)> on_executed;
+    bool data_already_placed;
+  };
+
+  QueuePair(Device& device, uint32_t qp_num, CompletionQueue* send_cq,
+            CompletionQueue* recv_cq, QpConfig config);
+
+  void ConnectTo(uint32_t peer_node, uint32_t peer_qp_num);
+  // Target-side execution of an arriving op (scheduler context). `this`
+  // is the *initiator* QP; `tqp` the target QP (only used for two-sided).
+  void ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
+                       const SendWr& wr, uint64_t seq, uint32_t src_node);
+  // Target side of SEND / WRITE_WITH_IMM: consume a RECV or park in RNR.
+  void AcceptSend(const SendWr& wr, uint32_t src_node,
+                  std::function<void(WcStatus, uint32_t)> on_executed,
+                  bool data_already_placed);
+  void MatchRecv(const SendWr& wr, uint32_t src_node,
+                 const std::function<void(WcStatus, uint32_t)>& done,
+                 bool data_already_placed);
+  // Initiator-side completion of sq entry `seq` (scheduler context).
+  void CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len);
+  void FlushAll(WcStatus status);
+  void EnterError();
+
+  Device& device_;
+  const uint32_t qp_num_;
+  QpConfig config_;
+  State state_ = State::kInit;
+  uint32_t peer_node_ = 0;
+  uint32_t peer_qp_num_ = 0;
+
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  std::unique_ptr<CompletionQueue> owned_send_cq_;
+  std::unique_ptr<CompletionQueue> owned_recv_cq_;
+
+  // Send queue in post order; completions drain the done prefix so CQEs
+  // are in order even when the wire reorders logically (e.g. read vs
+  // write round trips).
+  std::deque<SqEntry> sq_;
+  uint64_t sq_base_seq_ = 0;  // seq of sq_.front()
+  uint64_t sq_next_seq_ = 0;
+
+  std::deque<RecvWr> rq_;
+  // SENDs that arrived before a RECV was posted (RNR buffer).
+  std::deque<RnrEntry> rnr_buffer_;
+  static constexpr size_t kMaxRnrBuffered = 1024;
+};
+
+// The per-node HCA. Owns PDs, MRs, CQs and QPs; routes arriving one-sided
+// operations against the MR table.
+class Device {
+ public:
+  [[nodiscard]] uint32_t node_id() const noexcept { return node_.id(); }
+  [[nodiscard]] sim::Node& node() noexcept { return node_; }
+  [[nodiscard]] Network& network() noexcept { return network_; }
+
+  ProtectionDomain& CreatePd();
+  CompletionQueue& CreateCq();
+  // QP with private CQs (send_cq/recv_cq null) or caller-shared CQs.
+  QueuePair& CreateQueuePair(QpConfig config = {},
+                             CompletionQueue* send_cq = nullptr,
+                             CompletionQueue* recv_cq = nullptr);
+
+  // MR lookup used by the simulated wire (target side).
+  [[nodiscard]] MemoryRegion* FindMrByRkey(uint32_t rkey);
+  [[nodiscard]] MemoryRegion* FindMrByLkey(uint32_t lkey);
+  [[nodiscard]] QueuePair* FindQp(uint32_t qp_num);
+
+  // Validates a local SGE against the MR table (lkey, bounds, and —
+  // when writing into it — kLocalWrite).
+  [[nodiscard]] Status ValidateLocal(const Sge& sge, bool will_write);
+
+ private:
+  friend class Network;
+  friend class ProtectionDomain;
+  friend class QueuePair;
+
+  Device(Network& network, sim::Node& node);
+
+  Network& network_;
+  sim::Node& node_;
+  uint32_t next_key_ = 1;
+
+  std::vector<std::unique_ptr<ProtectionDomain>> pds_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::unordered_map<uint32_t, std::unique_ptr<MemoryRegion>> mrs_by_lkey_;
+  std::unordered_map<uint32_t, MemoryRegion*> mrs_by_rkey_;
+  std::unordered_map<uint32_t, std::unique_ptr<QueuePair>> qps_;
+};
+
+// Network: the verbs-visible cluster — one Device per node over one
+// Fabric, plus the rdma_cm-style connection establishment service.
+class Network {
+ public:
+  Network(sim::Simulation& sim, sim::NicConfig nic = {},
+          sim::CpuCostModel cpu = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // One device per node; idempotent per node.
+  Device& AddDevice(sim::Node& node);
+  [[nodiscard]] Device& device(uint32_t node_id);
+
+  [[nodiscard]] sim::Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] sim::Fabric& fabric() noexcept { return fabric_; }
+  [[nodiscard]] const sim::CpuCostModel& cpu_model() const noexcept {
+    return cpu_;
+  }
+
+  // --- Connection management (rdma_cm flavoured) ---------------------
+  // A Listener accepts connections on (node, service_id). Accept blocks
+  // the calling (server) thread until a peer connects; the returned QP is
+  // in RTS. Connection setup costs ~3 control RTTs plus QP programming
+  // time on both ends — deliberately heavyweight, as on real hardware;
+  // RStore's control/data separation exists precisely to amortize this.
+  class Listener {
+   public:
+    Result<QueuePair*> Accept(sim::Nanos timeout = sim::kNever);
+    [[nodiscard]] size_t backlog() const noexcept { return pending_.size(); }
+
+   private:
+    friend class Network;
+    Listener(Network& net, Device& dev, uint32_t service_id, QpConfig config,
+             CompletionQueue* send_cq, CompletionQueue* recv_cq);
+    Network& net_;
+    Device& dev_;
+    uint32_t service_id_;
+    QpConfig config_;
+    CompletionQueue* send_cq_;
+    CompletionQueue* recv_cq_;
+    std::deque<QueuePair*> pending_;
+    sim::CondVar ready_;
+  };
+
+  // Creates (or returns the existing) listener for (device, service_id).
+  Listener& Listen(Device& device, uint32_t service_id, QpConfig config = {},
+                   CompletionQueue* send_cq = nullptr,
+                   CompletionQueue* recv_cq = nullptr);
+
+  // Client side: blocks until the QP pair is established (or fails when
+  // the peer is unreachable / not listening).
+  Result<QueuePair*> Connect(Device& device, uint32_t remote_node,
+                             uint32_t service_id, QpConfig config = {},
+                             CompletionQueue* send_cq = nullptr,
+                             CompletionQueue* recv_cq = nullptr);
+
+  // Time to program a QP into RTS on one end (control-path cost).
+  [[nodiscard]] sim::Nanos qp_setup_cost() const noexcept {
+    return sim::Micros(40);
+  }
+
+ private:
+  friend class QueuePair;
+  friend class ProtectionDomain;
+  friend class Device;
+
+  sim::Simulation& sim_;
+  sim::Fabric fabric_;
+  sim::CpuCostModel cpu_;
+  std::vector<std::unique_ptr<Device>> devices_;             // by node id
+  std::unordered_map<uint64_t, std::unique_ptr<Listener>> listeners_;
+  uint32_t next_qp_num_ = 100;
+};
+
+}  // namespace rstore::verbs

@@ -1,0 +1,454 @@
+// Tests for Carafe: graph generators, single-machine references, RStore
+// graph storage, and the distributed BSP engine validated against the
+// references (PageRank, BFS, connected components).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "carafe/engine.h"
+#include "carafe/graph.h"
+#include "carafe/storage.h"
+#include "core/cluster.h"
+
+namespace rstore::carafe {
+namespace {
+
+using core::ClusterConfig;
+using core::RStoreClient;
+using core::TestCluster;
+
+// ----------------------------------------------------------- generators --
+TEST(GraphGenTest, UniformGraphHasRequestedShape) {
+  Graph g = UniformRandomGraph(1000, 8.0, 1);
+  EXPECT_EQ(g.num_vertices(), 1000u);
+  EXPECT_EQ(g.num_edges(), 8000u);
+  uint64_t total = 0;
+  for (uint64_t v = 0; v < g.num_vertices(); ++v) total += g.out_degree(v);
+  EXPECT_EQ(total, g.num_edges());
+  for (const uint32_t t : g.targets) EXPECT_LT(t, 1000u);
+}
+
+TEST(GraphGenTest, GeneratorsAreDeterministic) {
+  Graph a = UniformRandomGraph(500, 4.0, 7);
+  Graph b = UniformRandomGraph(500, 4.0, 7);
+  EXPECT_EQ(a.offsets, b.offsets);
+  EXPECT_EQ(a.targets, b.targets);
+  Graph c = UniformRandomGraph(500, 4.0, 8);
+  EXPECT_NE(a.targets, c.targets);
+  Graph r1 = RmatGraph(10, 8.0, 3);
+  Graph r2 = RmatGraph(10, 8.0, 3);
+  EXPECT_EQ(r1.targets, r2.targets);
+}
+
+TEST(GraphGenTest, RmatIsSkewedUniformIsNot) {
+  Graph rmat = RmatGraph(12, 16.0, 5);
+  Graph uni = UniformRandomGraph(1 << 12, 16.0, 5);
+  auto max_degree = [](const Graph& g) {
+    uint64_t best = 0;
+    for (uint64_t v = 0; v < g.num_vertices(); ++v) {
+      best = std::max(best, g.out_degree(v));
+    }
+    return best;
+  };
+  // Power-law graphs have hubs far above the mean degree.
+  EXPECT_GT(max_degree(rmat), 4 * max_degree(uni));
+}
+
+TEST(GraphGenTest, TransposeInvertsEdges) {
+  Graph g = UniformRandomGraph(200, 5.0, 11);
+  Graph t = Transpose(g);
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  // Every edge (u,v) appears as (v,u) in the transpose.
+  std::multiset<std::pair<uint32_t, uint32_t>> fwd, rev;
+  for (uint64_t u = 0; u < g.num_vertices(); ++u) {
+    const auto [lo, hi] = g.edge_range(u);
+    for (uint64_t e = lo; e < hi; ++e) {
+      fwd.emplace(static_cast<uint32_t>(u), g.targets[e]);
+    }
+  }
+  for (uint64_t u = 0; u < t.num_vertices(); ++u) {
+    const auto [lo, hi] = t.edge_range(u);
+    for (uint64_t e = lo; e < hi; ++e) {
+      rev.emplace(t.targets[e], static_cast<uint32_t>(u));
+    }
+  }
+  EXPECT_EQ(fwd, rev);
+  // Transpose twice = original (up to CSR canonical order).
+  Graph tt = Transpose(t);
+  uint64_t total = 0;
+  for (uint64_t v = 0; v < tt.num_vertices(); ++v) {
+    total += tt.out_degree(v);
+    EXPECT_EQ(tt.out_degree(v), g.out_degree(v)) << v;
+  }
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(GraphGenTest, MakeSymmetricAddsReverses) {
+  Graph g;
+  g.offsets = {0, 2, 2, 3};
+  g.targets = {1, 2, 0};  // 0->1, 0->2, 2->0
+  Graph s = MakeSymmetric(g);
+  EXPECT_EQ(s.num_vertices(), 3u);
+  // Unique undirected edges {0,1}, {0,2} → 4 directed edges.
+  EXPECT_EQ(s.num_edges(), 4u);
+  EXPECT_EQ(s.out_degree(0), 2u);
+  EXPECT_EQ(s.out_degree(1), 1u);
+  EXPECT_EQ(s.out_degree(2), 1u);
+}
+
+// ----------------------------------------------------------- references --
+TEST(ReferenceTest, PageRankSumsToOne) {
+  Graph g = RmatGraph(10, 8.0, 2);
+  auto rank = ReferencePageRank(g, 30);
+  const double sum = std::accumulate(rank.begin(), rank.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (const double r : rank) EXPECT_GT(r, 0.0);
+}
+
+TEST(ReferenceTest, PageRankOnStarFavorsCenter) {
+  // Star: every leaf points at vertex 0.
+  const uint64_t n = 50;
+  Graph g;
+  g.offsets.assign(n + 1, 0);
+  for (uint64_t v = 1; v < n; ++v) g.offsets[v + 1] = v;
+  g.offsets[1] = 0;
+  g.targets.assign(n - 1, 0);
+  auto rank = ReferencePageRank(g, 50);
+  for (uint64_t v = 1; v < n; ++v) EXPECT_GT(rank[0], 10 * rank[v]);
+}
+
+TEST(ReferenceTest, BfsDistancesOnAChain) {
+  const uint64_t n = 10;
+  Graph g;
+  g.offsets.resize(n + 1);
+  for (uint64_t v = 0; v < n; ++v) g.offsets[v + 1] = std::min(v + 1, n - 1);
+  g.targets.resize(n - 1);
+  for (uint64_t v = 0; v + 1 < n; ++v) g.targets[v] = static_cast<uint32_t>(v + 1);
+  auto dist = ReferenceBfs(g, 0);
+  for (uint64_t v = 0; v < n; ++v) EXPECT_EQ(dist[v], v);
+  auto from_tail = ReferenceBfs(g, n - 1);
+  EXPECT_EQ(from_tail[0], std::numeric_limits<uint32_t>::max());
+}
+
+TEST(ReferenceTest, ComponentsOnDisjointCliques) {
+  // Two triangles: {0,1,2} and {3,4,5}.
+  Graph g;
+  g.offsets = {0, 2, 4, 6, 8, 10, 12};
+  g.targets = {1, 2, 0, 2, 0, 1, 4, 5, 3, 5, 3, 4};
+  auto label = ReferenceComponents(g);
+  EXPECT_EQ(label[0], 0u);
+  EXPECT_EQ(label[1], 0u);
+  EXPECT_EQ(label[2], 0u);
+  EXPECT_EQ(label[3], 3u);
+  EXPECT_EQ(label[4], 3u);
+  EXPECT_EQ(label[5], 3u);
+}
+
+// -------------------------------------------------------------- storage --
+ClusterConfig GraphCluster(uint32_t clients) {
+  ClusterConfig cfg;
+  cfg.memory_servers = 4;
+  cfg.client_nodes = clients;
+  cfg.server_capacity = 32ULL << 20;
+  cfg.master.slab_size = 1ULL << 20;
+  return cfg;
+}
+
+TEST(StorageTest, UploadOpenDropRoundTrip) {
+  TestCluster cluster(GraphCluster(1));
+  cluster.RunClient([&](RStoreClient& client) {
+    Graph g = UniformRandomGraph(2000, 8.0, 3);
+    ASSERT_TRUE(UploadGraph(client, "g", g).ok());
+    auto opened = OpenGraph(client, "g");
+    ASSERT_TRUE(opened.ok()) << opened.status();
+    EXPECT_EQ(opened->n, 2000u);
+    EXPECT_EQ(opened->m, g.num_edges());
+    ASSERT_TRUE(DropGraph(client, "g").ok());
+    EXPECT_EQ(OpenGraph(client, "g").code(), ErrorCode::kNotFound);
+  });
+}
+
+TEST(StorageTest, WorkerPartitionsCoverAllVertices) {
+  TestCluster cluster(GraphCluster(1));
+  cluster.RunClient([&](RStoreClient& client) {
+    Graph g = UniformRandomGraph(1003, 6.0, 9);  // deliberately not a
+                                                 // multiple of workers
+    ASSERT_TRUE(UploadGraph(client, "g", g).ok());
+    uint64_t covered = 0;
+    for (uint32_t w = 0; w < 5; ++w) {
+      Worker worker(client, "g", WorkerConfig{w, 5, "t"});
+      ASSERT_TRUE(worker.Init().ok());
+      covered += worker.vertex_hi() - worker.vertex_lo();
+      if (w > 0) {
+        Worker prev(client, "g", WorkerConfig{w - 1, 5, "t"});
+        ASSERT_TRUE(prev.Init().ok());
+        EXPECT_EQ(prev.vertex_hi(), worker.vertex_lo());
+      }
+    }
+    EXPECT_EQ(covered, 1003u);
+  });
+}
+
+// ------------------------------------------------- distributed vs. ref --
+struct EngineParam {
+  uint32_t workers;
+  bool rmat;
+};
+
+class EngineFixture : public ::testing::TestWithParam<EngineParam> {};
+
+TEST_P(EngineFixture, DistributedPageRankMatchesReference) {
+  const EngineParam p = GetParam();
+  Graph g = p.rmat ? RmatGraph(10, 8.0, 4)
+                   : UniformRandomGraph(1 << 10, 8.0, 4);
+  auto expected = ReferencePageRank(g, 10);
+
+  ClusterConfig cfg = GraphCluster(p.workers);
+  TestCluster cluster(cfg);
+  std::vector<std::vector<double>> results(p.workers);
+  for (uint32_t w = 0; w < p.workers; ++w) {
+    cluster.SpawnClient(w, [&, w](RStoreClient& client) {
+      if (w == 0) {
+        ASSERT_TRUE(UploadGraph(client, "g", g).ok());
+        ASSERT_TRUE(client.NotifyInc("uploaded").ok());
+      } else {
+        ASSERT_TRUE(client.WaitNotify("uploaded", 1).ok());
+      }
+      Worker worker(client, "g", WorkerConfig{w, p.workers, "pr"});
+      ASSERT_TRUE(worker.Init().ok());
+      auto ranks = worker.PageRank({.iterations = 10});
+      ASSERT_TRUE(ranks.ok()) << ranks.status();
+      results[w] = std::move(*ranks);
+    });
+  }
+  cluster.sim().Run();
+
+  for (uint32_t w = 0; w < p.workers; ++w) {
+    ASSERT_EQ(results[w].size(), expected.size()) << "worker " << w;
+    for (size_t v = 0; v < expected.size(); ++v) {
+      ASSERT_NEAR(results[w][v], expected[v], 1e-10)
+          << "worker " << w << " vertex " << v;
+    }
+  }
+}
+
+TEST_P(EngineFixture, DistributedBfsMatchesReference) {
+  const EngineParam p = GetParam();
+  Graph g = p.rmat ? RmatGraph(10, 8.0, 6)
+                   : UniformRandomGraph(1 << 10, 8.0, 6);
+  const uint64_t source = 1;
+  auto expected = ReferenceBfs(g, source);
+
+  TestCluster cluster(GraphCluster(p.workers));
+  std::vector<std::vector<uint32_t>> results(p.workers);
+  for (uint32_t w = 0; w < p.workers; ++w) {
+    cluster.SpawnClient(w, [&, w](RStoreClient& client) {
+      if (w == 0) {
+        ASSERT_TRUE(UploadGraph(client, "g", g).ok());
+        ASSERT_TRUE(client.NotifyInc("uploaded").ok());
+      } else {
+        ASSERT_TRUE(client.WaitNotify("uploaded", 1).ok());
+      }
+      Worker worker(client, "g", WorkerConfig{w, p.workers, "bfs"});
+      ASSERT_TRUE(worker.Init().ok());
+      auto dist = worker.Bfs(source);
+      ASSERT_TRUE(dist.ok()) << dist.status();
+      results[w] = std::move(*dist);
+    });
+  }
+  cluster.sim().Run();
+  for (uint32_t w = 0; w < p.workers; ++w) {
+    EXPECT_EQ(results[w], expected) << "worker " << w;
+  }
+}
+
+TEST_P(EngineFixture, DistributedComponentsMatchReference) {
+  const EngineParam p = GetParam();
+  // Sparse so several components exist.
+  Graph base = p.rmat ? RmatGraph(9, 1.1, 8)
+                      : UniformRandomGraph(1 << 9, 1.1, 8);
+  Graph g = MakeSymmetric(base);
+  auto expected = ReferenceComponents(g);
+
+  TestCluster cluster(GraphCluster(p.workers));
+  std::vector<std::vector<uint64_t>> results(p.workers);
+  for (uint32_t w = 0; w < p.workers; ++w) {
+    cluster.SpawnClient(w, [&, w](RStoreClient& client) {
+      if (w == 0) {
+        ASSERT_TRUE(UploadGraph(client, "g", g).ok());
+        ASSERT_TRUE(client.NotifyInc("uploaded").ok());
+      } else {
+        ASSERT_TRUE(client.WaitNotify("uploaded", 1).ok());
+      }
+      Worker worker(client, "g", WorkerConfig{w, p.workers, "cc"});
+      ASSERT_TRUE(worker.Init().ok());
+      auto labels = worker.Components();
+      ASSERT_TRUE(labels.ok()) << labels.status();
+      results[w] = std::move(*labels);
+    });
+  }
+  cluster.sim().Run();
+  for (uint32_t w = 0; w < p.workers; ++w) {
+    EXPECT_EQ(results[w], expected) << "worker " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkerCounts, EngineFixture,
+    ::testing::Values(EngineParam{1, false}, EngineParam{2, false},
+                      EngineParam{4, false}, EngineParam{4, true}),
+    [](const ::testing::TestParamInfo<EngineParam>& info) {
+      return std::string(info.param.rmat ? "rmat" : "uniform") +
+             std::to_string(info.param.workers) + "w";
+    });
+
+
+// ------------------------------------------------------------- weighted --
+TEST(WeightedTest, AddRandomWeightsIsDeterministicAndBounded) {
+  Graph a = UniformRandomGraph(500, 4.0, 7);
+  Graph b = a;
+  AddRandomWeights(a, 3, 50);
+  AddRandomWeights(b, 3, 50);
+  EXPECT_EQ(a.weights, b.weights);
+  ASSERT_EQ(a.weights.size(), a.num_edges());
+  for (uint32_t w : a.weights) {
+    EXPECT_GE(w, 1u);
+    EXPECT_LE(w, 50u);
+  }
+  AddRandomWeights(b, 4, 50);
+  EXPECT_NE(a.weights, b.weights);
+}
+
+TEST(WeightedTest, TransposeCarriesWeights) {
+  Graph g;
+  g.offsets = {0, 2, 3};
+  g.targets = {1, 0, 0};  // 0->1(w=5), 0->0(w=7), 1->0(w=9)
+  g.weights = {5, 7, 9};
+  Graph t = Transpose(g);
+  ASSERT_TRUE(t.weighted());
+  // In t: vertex 0's in-edges were 0->0(7) and 1->0(9); vertex 1's was
+  // 0->1(5).
+  std::multiset<std::pair<uint32_t, uint32_t>> v0;
+  const auto [lo, hi] = t.edge_range(0);
+  for (uint64_t e = lo; e < hi; ++e) v0.emplace(t.targets[e], t.weights[e]);
+  EXPECT_EQ(v0, (std::multiset<std::pair<uint32_t, uint32_t>>{{0, 7},
+                                                              {1, 9}}));
+  EXPECT_EQ(t.weights[t.offsets[1]], 5u);
+}
+
+TEST(WeightedTest, ReferenceSsspOnKnownGraph) {
+  // 0 -5-> 1 -1-> 2, 0 -10-> 2: shortest 0->2 is 6 via 1.
+  Graph g;
+  g.offsets = {0, 2, 3, 3};
+  g.targets = {1, 2, 2};
+  g.weights = {5, 10, 1};
+  auto dist = ReferenceSssp(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 5u);
+  EXPECT_EQ(dist[2], 6u);
+  auto from1 = ReferenceSssp(g, 1);
+  EXPECT_EQ(from1[0], std::numeric_limits<uint64_t>::max());
+}
+
+TEST(WeightedTest, StorageRoundTripsWeightedFlag) {
+  TestCluster cluster(GraphCluster(1));
+  cluster.RunClient([&](RStoreClient& client) {
+    Graph g = UniformRandomGraph(300, 4.0, 3);
+    AddRandomWeights(g, 8, 30);
+    ASSERT_TRUE(UploadGraph(client, "wg", g).ok());
+    auto opened = OpenGraph(client, "wg");
+    ASSERT_TRUE(opened.ok());
+    EXPECT_TRUE(opened->weighted);
+
+    Graph u = UniformRandomGraph(300, 4.0, 3);
+    ASSERT_TRUE(UploadGraph(client, "ug", u).ok());
+    auto opened_u = OpenGraph(client, "ug");
+    ASSERT_TRUE(opened_u.ok());
+    EXPECT_FALSE(opened_u->weighted);
+    ASSERT_TRUE(DropGraph(client, "wg").ok());
+    ASSERT_TRUE(DropGraph(client, "ug").ok());
+  });
+}
+
+TEST_P(EngineFixture, DistributedSsspMatchesReference) {
+  const EngineParam p = GetParam();
+  Graph g = p.rmat ? RmatGraph(10, 6.0, 12)
+                   : UniformRandomGraph(1 << 10, 6.0, 12);
+  AddRandomWeights(g, 21, 40);
+  const uint64_t source = 3;
+  auto expected = ReferenceSssp(g, source);
+
+  TestCluster cluster(GraphCluster(p.workers));
+  std::vector<std::vector<uint64_t>> results(p.workers);
+  for (uint32_t w = 0; w < p.workers; ++w) {
+    cluster.SpawnClient(w, [&, w](RStoreClient& client) {
+      if (w == 0) {
+        ASSERT_TRUE(UploadGraph(client, "g", g).ok());
+        ASSERT_TRUE(client.NotifyInc("uploaded").ok());
+      } else {
+        ASSERT_TRUE(client.WaitNotify("uploaded", 1).ok());
+      }
+      Worker worker(client, "g", WorkerConfig{w, p.workers, "sssp"});
+      ASSERT_TRUE(worker.Init().ok());
+      auto dist = worker.Sssp(source);
+      ASSERT_TRUE(dist.ok()) << dist.status();
+      results[w] = std::move(*dist);
+    });
+  }
+  cluster.sim().Run();
+  for (uint32_t w = 0; w < p.workers; ++w) {
+    EXPECT_EQ(results[w], expected) << "worker " << w;
+  }
+}
+
+TEST(EngineTest, SsspRequiresWeights) {
+  TestCluster cluster(GraphCluster(1));
+  cluster.RunClient([&](RStoreClient& client) {
+    Graph g = UniformRandomGraph(100, 4.0, 1);
+    ASSERT_TRUE(UploadGraph(client, "g", g).ok());
+    Worker worker(client, "g", WorkerConfig{0, 1, "x"});
+    ASSERT_TRUE(worker.Init().ok());
+    EXPECT_EQ(worker.Sssp(0).code(), ErrorCode::kInvalidArgument);
+  });
+}
+
+TEST(EngineTest, MoreWorkersFinishFasterOnBigGraphs) {
+  // The scaling claim behind E4: distributed PageRank gets faster with
+  // workers because per-iteration compute and reads split W ways.
+  auto run = [](uint32_t workers) {
+    Graph g = RmatGraph(13, 16.0, 4);
+    ClusterConfig cfg = GraphCluster(workers);
+    cfg.memory_servers = 8;
+    TestCluster cluster(cfg);
+    sim::Nanos elapsed = 0;
+    for (uint32_t w = 0; w < workers; ++w) {
+      cluster.SpawnClient(w, [&, w, workers](RStoreClient& client) {
+        if (w == 0) {
+          ASSERT_TRUE(UploadGraph(client, "g", g).ok());
+          ASSERT_TRUE(client.NotifyInc("uploaded").ok());
+        } else {
+          ASSERT_TRUE(client.WaitNotify("uploaded", 1).ok());
+        }
+        Worker worker(client, "g", WorkerConfig{w, workers, "s"});
+        ASSERT_TRUE(worker.Init().ok());
+        ASSERT_TRUE(client.NotifyInc("ready").ok());
+        ASSERT_TRUE(client.WaitNotify("ready", workers).ok());
+        const sim::Nanos t0 = sim::Now();
+        ASSERT_TRUE(worker.PageRank({.iterations = 5}).ok());
+        if (w == 0) elapsed = sim::Now() - t0;
+      });
+    }
+    cluster.sim().Run();
+    return elapsed;
+  };
+  const sim::Nanos one = run(1);
+  const sim::Nanos four = run(4);
+  EXPECT_LT(four, one * 2 / 3);
+}
+
+}  // namespace
+}  // namespace rstore::carafe

@@ -1,0 +1,299 @@
+// Edge cases and end-to-end failure scenarios that the per-module suites
+// do not reach: transient network partitions with lease loss and
+// re-registration, RNR buffer exhaustion, multiple RPC services per node,
+// ListRegions, IO timeouts, and scheduler stop semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "rpc/rpc.h"
+#include "sim/simulation.h"
+#include "verbs/verbs.h"
+
+namespace rstore {
+namespace {
+
+using core::ClusterConfig;
+using core::RStoreClient;
+using core::TestCluster;
+using sim::Micros;
+using sim::Millis;
+using sim::Seconds;
+
+// ------------------------------------------------ partition heal cycle --
+TEST(PartitionTest, TransientPartitionDegradesThenHeals) {
+  ClusterConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.client_nodes = 1;
+  cfg.server_capacity = 8ULL << 20;
+  cfg.master.slab_size = 1ULL << 20;
+  cfg.master.lease_timeout = Millis(120);
+  cfg.master.sweep_interval = Millis(30);
+  TestCluster cluster(cfg);
+
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 2ULL << 20).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    const uint32_t victim = (*region)->desc().slabs[0].server_node;
+    const uint32_t master_node = cluster.master_node_id();
+
+    // Partition the server from the master: heartbeats die, lease lapses.
+    cluster.net().fabric().SetLinkDown(victim, master_node, true);
+    sim::Sleep(Millis(500));
+    EXPECT_EQ(cluster.master().live_servers(), 1u);
+    EXPECT_EQ(client.Rmap("r", false, true).code(), ErrorCode::kUnavailable);
+
+    // Heal: the server's registration loop reconnects, re-registers with
+    // the same arena and rkey, and the region un-degrades.
+    cluster.net().fabric().SetLinkDown(victim, master_node, false);
+    sim::Sleep(Millis(500));
+    EXPECT_EQ(cluster.master().live_servers(), 2u);
+    auto healed = client.Rmap("r", false, /*fresh=*/true);
+    EXPECT_TRUE(healed.ok()) << healed.status();
+
+    // And data written before the partition is still there (the server
+    // process never died).
+    auto buf = client.AllocBuffer(4096);
+    ASSERT_TRUE(buf.ok());
+    EXPECT_TRUE((*healed)->Read(0, buf->data).ok());
+  });
+}
+
+TEST(PartitionTest, SlabsNotDoubleAllocatedAcrossReRegistration) {
+  ClusterConfig cfg;
+  cfg.memory_servers = 1;
+  cfg.client_nodes = 1;
+  cfg.server_capacity = 4ULL << 20;
+  cfg.master.slab_size = 1ULL << 20;
+  cfg.master.lease_timeout = Millis(120);
+  cfg.master.sweep_interval = Millis(30);
+  TestCluster cluster(cfg);
+
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("held", 3ULL << 20).ok());  // 3 of 4 slabs
+    const uint32_t server = cluster.server_node(0).id();
+    cluster.net().fabric().SetLinkDown(server, cluster.master_node_id(),
+                                       true);
+    sim::Sleep(Millis(500));
+    cluster.net().fabric().SetLinkDown(server, cluster.master_node_id(),
+                                       false);
+    sim::Sleep(Millis(500));
+    // After re-registration only the 1 unowned slab is offered.
+    EXPECT_EQ(cluster.master().free_slabs(), 1u);
+    EXPECT_EQ(client.Ralloc("toobig", 2ULL << 20).code(),
+              ErrorCode::kOutOfMemory);
+    EXPECT_TRUE(client.Ralloc("fits", 1ULL << 20).ok());
+  });
+}
+
+// ------------------------------------------------------- control extras --
+TEST(ControlTest, ListRegionsReportsNamesAndDegradation) {
+  ClusterConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.client_nodes = 1;
+  cfg.server_capacity = 8ULL << 20;
+  cfg.master.slab_size = 1ULL << 20;
+  TestCluster cluster(cfg);
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("alpha", 1ULL << 20).ok());
+    ASSERT_TRUE(client.Ralloc("beta", 2ULL << 20).ok());
+    auto stat = client.Stat();
+    ASSERT_TRUE(stat.ok());
+    EXPECT_EQ(stat->regions, 2u);
+  });
+  EXPECT_EQ(cluster.master().region_count(), 2u);
+}
+
+TEST(ControlTest, IoTimesOutInsteadOfHangingWhenPeerStalls) {
+  // A region on a server that is partitioned from the CLIENT (but not
+  // the master, so the lease stays live): IO must fail by retry/timeout,
+  // not hang.
+  ClusterConfig cfg;
+  cfg.memory_servers = 1;
+  cfg.client_nodes = 1;
+  cfg.server_capacity = 4ULL << 20;
+  cfg.master.slab_size = 1ULL << 20;
+  TestCluster cluster(cfg);
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 1ULL << 20).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    auto buf = client.AllocBuffer(4096);
+    ASSERT_TRUE(buf.ok());
+    ASSERT_TRUE((*region)->Write(0, buf->data).ok());  // connection up
+    const uint32_t server = (*region)->desc().slabs[0].server_node;
+    cluster.net().fabric().SetLinkDown(sim::CurrentNode().id(), server,
+                                       true);
+    const sim::Nanos t0 = sim::Now();
+    Status st = (*region)->Write(0, buf->data);
+    EXPECT_FALSE(st.ok());
+    EXPECT_LT(sim::Now() - t0, Seconds(10));  // bounded, not hung
+  });
+}
+
+// ------------------------------------------------------------ verbs RNR --
+TEST(VerbsEdgeTest, RnrBufferOverflowErrorsTheSender) {
+  sim::Simulation sim;
+  verbs::Network net(sim);
+  auto& server = sim.AddNode("server");
+  auto& client = sim.AddNode("client");
+  auto& sdev = net.AddDevice(server);
+  auto& cdev = net.AddDevice(client);
+  net.Listen(sdev, 1);
+  server.Spawn("srv", [&] {
+    (void)net.Listen(sdev, 1).Accept();
+    // Never posts a receive.
+  });
+  bool saw_rnr = false;
+  client.Spawn("cli", [&] {
+    verbs::QpConfig deep;
+    deep.max_send_wr = 2048;  // enough outstanding to overrun the RNR cap
+    auto qp = net.Connect(cdev, server.id(), 1, deep);
+    ASSERT_TRUE(qp.ok());
+    std::vector<std::byte> buf(8);
+    auto* mr = *cdev.CreatePd().RegisterMemory(buf.data(), buf.size(),
+                                               verbs::kLocalWrite);
+    // Flood well past the RNR buffer (1024).
+    for (int i = 0; i < 1200; ++i) {
+      Status posted = (*qp)->PostSend(verbs::SendWr{
+          .wr_id = static_cast<uint64_t>(i),
+          .opcode = verbs::Opcode::kSend,
+          .local = {buf.data(), 8, mr->lkey()}});
+      if (!posted.ok()) break;  // SQ depth or QP error: fine
+      for (const auto& wc : (*qp)->send_cq().Poll(16)) {
+        if (wc.status == verbs::WcStatus::kRnrRetryExceeded) saw_rnr = true;
+      }
+      if (saw_rnr) break;
+    }
+    // Drain outstanding completions for a bounded time.
+    const sim::Nanos deadline = sim::Now() + Seconds(1);
+    while (!saw_rnr && sim::Now() < deadline) {
+      for (const auto& wc :
+           (*qp)->send_cq().WaitPoll(16, deadline - sim::Now())) {
+        if (wc.status == verbs::WcStatus::kRnrRetryExceeded) saw_rnr = true;
+      }
+    }
+  });
+  sim.Run();
+  EXPECT_TRUE(saw_rnr);
+}
+
+TEST(VerbsEdgeTest, ClosedQpNaksArrivingTraffic) {
+  sim::Simulation sim;
+  verbs::Network net(sim);
+  auto& a = sim.AddNode("a");
+  auto& b = sim.AddNode("b");
+  auto& adev = net.AddDevice(a);
+  auto& bdev = net.AddDevice(b);
+  std::vector<std::byte> remote(4096);
+  auto* rmr = *bdev.CreatePd().RegisterMemory(
+      remote.data(), remote.size(), verbs::kLocalWrite | verbs::kRemoteWrite);
+  net.Listen(bdev, 1);
+  verbs::QueuePair* server_qp = nullptr;
+  b.Spawn("srv", [&] {
+    auto qp = net.Listen(bdev, 1).Accept();
+    ASSERT_TRUE(qp.ok());
+    server_qp = *qp;
+  });
+  a.Spawn("cli", [&] {
+    auto qp = net.Connect(adev, b.id(), 1);
+    ASSERT_TRUE(qp.ok());
+    std::vector<std::byte> buf(64);
+    auto* mr = *adev.CreatePd().RegisterMemory(buf.data(), buf.size(),
+                                               verbs::kLocalWrite);
+    sim::Sleep(Micros(10));
+    ASSERT_NE(server_qp, nullptr);
+    server_qp->Close();  // destination torn down
+    ASSERT_TRUE((*qp)->PostSend(verbs::SendWr{
+        .wr_id = 1,
+        .opcode = verbs::Opcode::kRdmaWrite,
+        .local = {buf.data(), 64, mr->lkey()},
+        .remote_addr = rmr->remote_addr(),
+        .rkey = rmr->rkey()}).ok());
+    auto wc = (*qp)->send_cq().WaitOne();
+    ASSERT_TRUE(wc.ok());
+    EXPECT_EQ(wc->status, verbs::WcStatus::kRetryExceeded);
+  });
+  sim.Run();
+}
+
+// ----------------------------------------------------- multiple services --
+TEST(RpcEdgeTest, TwoServicesOnOneNodeAreIndependent) {
+  sim::Simulation sim;
+  verbs::Network net(sim);
+  auto& server = sim.AddNode("server");
+  auto& client = sim.AddNode("client");
+  auto& sdev = net.AddDevice(server);
+  auto& cdev = net.AddDevice(client);
+
+  rpc::RpcServer s1(sdev, 100), s2(sdev, 200);
+  s1.RegisterHandler(1, [](rpc::Reader&, rpc::Writer& resp) {
+    resp.Str("service-one");
+    return Status::Ok();
+  });
+  s2.RegisterHandler(1, [](rpc::Reader&, rpc::Writer& resp) {
+    resp.Str("service-two");
+    return Status::Ok();
+  });
+  s1.Start();
+  s2.Start();
+
+  bool done = false;
+  client.Spawn("cli", [&] {
+    auto c1 = rpc::RpcClient::Connect(cdev, server.id(), 100);
+    auto c2 = rpc::RpcClient::Connect(cdev, server.id(), 200);
+    ASSERT_TRUE(c1.ok() && c2.ok());
+    auto r1 = (*c1)->Call(1, rpc::Writer{});
+    auto r2 = (*c2)->Call(1, rpc::Writer{});
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    std::string a, b;
+    rpc::Reader ra(*r1), rb(*r2);
+    ASSERT_TRUE(ra.Str(&a) && rb.Str(&b));
+    EXPECT_EQ(a, "service-one");
+    EXPECT_EQ(b, "service-two");
+    done = true;
+    sim::CurrentNode().sim().RequestStop();
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+// ----------------------------------------------------------- scheduler --
+TEST(SchedulerEdgeTest, RequestStopReturnsPromptlyAndResumes) {
+  sim::Simulation sim;
+  auto& n = sim.AddNode("a");
+  int ticks = 0;
+  n.Spawn("ticker", [&] {
+    for (int i = 0; i < 100; ++i) {
+      sim::Sleep(Millis(1));
+      ++ticks;
+      if (ticks == 10) sim::CurrentNode().sim().RequestStop();
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(ticks, 10);
+  sim.Run();  // resumes where it left off
+  EXPECT_EQ(ticks, 100);
+}
+
+TEST(SchedulerEdgeTest, RunUntilThenRunCompletes) {
+  sim::Simulation sim;
+  auto& n = sim.AddNode("a");
+  sim::Nanos finished = 0;
+  n.Spawn("w", [&] {
+    sim::Sleep(Millis(50));
+    finished = sim::Now();
+  });
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(finished, 0u);
+  sim.RunUntil(Millis(20));
+  EXPECT_EQ(finished, 0u);
+  sim.Run();
+  EXPECT_EQ(finished, Millis(50));
+}
+
+}  // namespace
+}  // namespace rstore

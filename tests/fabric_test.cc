@@ -1,0 +1,220 @@
+// Tests for the fabric model: latency/bandwidth arithmetic, port
+// contention (fan-in and fan-out saturation), pipelining, loopback,
+// partitions and node death.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fabric.h"
+#include "sim/simulation.h"
+
+namespace rstore::sim {
+namespace {
+
+struct FabricFixture : ::testing::Test {
+  FabricFixture() : fabric(sim, NicConfig{}) {
+    for (int i = 0; i < 13; ++i) sim.AddNode("n" + std::to_string(i));
+  }
+  Simulation sim;
+  Fabric fabric;
+};
+
+TEST_F(FabricFixture, UncontendedLatencyIsBasePlusWire) {
+  const NicConfig& cfg = fabric.config();
+  Nanos delivered_at = kNever;
+  const uint64_t payload = 4096;
+  fabric.Send(0, 1, payload, [&] { delivered_at = sim.NowNanos(); });
+  sim.Run();
+  const Nanos expect =
+      cfg.base_latency +
+      TransferTime(payload + cfg.header_overhead_bytes, cfg.bandwidth_bps);
+  EXPECT_EQ(delivered_at, expect);
+}
+
+TEST_F(FabricFixture, SmallMessageLatencyIsDominatedByBaseLatency) {
+  Nanos delivered_at = kNever;
+  fabric.Send(0, 1, 8, [&] { delivered_at = sim.NowNanos(); });
+  sim.Run();
+  EXPECT_GE(delivered_at, fabric.config().base_latency);
+  EXPECT_LT(delivered_at, fabric.config().base_latency + Nanos(100));
+}
+
+TEST_F(FabricFixture, BackToBackTransfersPipeline) {
+  // N messages from one source to one destination: total time ≈
+  // latency + N * wire_time, not N * (latency + wire_time).
+  const int kMessages = 16;
+  const uint64_t kSize = 1 << 20;
+  int delivered = 0;
+  Nanos last = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    fabric.Send(0, 1, kSize, [&] {
+      ++delivered;
+      last = sim.NowNanos();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, kMessages);
+  const NicConfig& cfg = fabric.config();
+  const Nanos wire =
+      TransferTime(kSize + cfg.header_overhead_bytes, cfg.bandwidth_bps);
+  EXPECT_NEAR(static_cast<double>(last),
+              static_cast<double>(cfg.base_latency + kMessages * wire),
+              static_cast<double>(wire));
+}
+
+TEST_F(FabricFixture, FanInSaturatesDestinationPort) {
+  // 4 senders each push 64 MiB to node 0 simultaneously: the receiving
+  // port is the bottleneck, so finish time ≈ total_bytes / bandwidth.
+  const uint64_t kSize = 64ULL << 20;
+  int delivered = 0;
+  Nanos last = 0;
+  for (uint32_t src = 1; src <= 4; ++src) {
+    fabric.Send(src, 0, kSize, [&] {
+      ++delivered;
+      last = sim.NowNanos();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 4);
+  const double expected_s =
+      static_cast<double>(4 * kSize * 8) / fabric.config().bandwidth_bps;
+  EXPECT_NEAR(ToSeconds(last), expected_s, expected_s * 0.02);
+}
+
+TEST_F(FabricFixture, FanOutSaturatesSourcePort) {
+  const uint64_t kSize = 64ULL << 20;
+  int delivered = 0;
+  Nanos last = 0;
+  for (uint32_t dst = 1; dst <= 4; ++dst) {
+    fabric.Send(0, dst, kSize, [&] {
+      ++delivered;
+      last = sim.NowNanos();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 4);
+  const double expected_s =
+      static_cast<double>(4 * kSize * 8) / fabric.config().bandwidth_bps;
+  EXPECT_NEAR(ToSeconds(last), expected_s, expected_s * 0.02);
+}
+
+TEST_F(FabricFixture, DisjointPairsDoNotContend) {
+  // 0->1 and 2->3 share no port: both must complete in single-transfer time.
+  const uint64_t kSize = 64ULL << 20;
+  std::vector<Nanos> done;
+  fabric.Send(0, 1, kSize, [&] { done.push_back(sim.NowNanos()); });
+  fabric.Send(2, 3, kSize, [&] { done.push_back(sim.NowNanos()); });
+  sim.Run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], done[1]);
+  const double single_s =
+      static_cast<double>(kSize * 8) / fabric.config().bandwidth_bps;
+  EXPECT_NEAR(ToSeconds(done[0]), single_s, single_s * 0.05);
+}
+
+TEST_F(FabricFixture, AggregateBandwidthScalesWithNodeCount) {
+  // Ring traffic i -> (i+1): aggregate delivered bandwidth grows linearly
+  // with the number of participating nodes. This is the mechanism behind
+  // experiment E3 (705 Gb/s on 12 machines).
+  auto run_ring = [&](uint32_t nodes) {
+    Simulation s;
+    for (uint32_t i = 0; i < nodes; ++i) s.AddNode("m");
+    Fabric f(s, NicConfig{});
+    const uint64_t kSize = 256ULL << 20;
+    Nanos last = 0;
+    for (uint32_t i = 0; i < nodes; ++i) {
+      f.Send(i, (i + 1) % nodes, kSize, [&] { last = s.NowNanos(); });
+    }
+    s.Run();
+    return static_cast<double>(nodes * kSize * 8) / ToSeconds(last);
+  };
+  const double bw4 = run_ring(4);
+  const double bw12 = run_ring(12);
+  EXPECT_NEAR(bw12 / bw4, 3.0, 0.1);
+  EXPECT_NEAR(bw12, 12 * fabric.config().bandwidth_bps,
+              0.05 * 12 * fabric.config().bandwidth_bps);
+}
+
+TEST_F(FabricFixture, LoopbackBypassesPortModel) {
+  Nanos delivered_at = kNever;
+  fabric.Send(5, 5, 1 << 20, [&] { delivered_at = sim.NowNanos(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, fabric.config().loopback_latency);
+}
+
+TEST_F(FabricFixture, PerMessageGapCapsMessageRate) {
+  // Zero-byte messages still cannot exceed 1/per_message_gap rate.
+  const int kMessages = 1000;
+  Nanos last = 0;
+  int delivered = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    fabric.Send(0, 1, 0, [&] {
+      ++delivered;
+      last = sim.NowNanos();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, kMessages);
+  EXPECT_GE(last, (kMessages - 1) * fabric.config().per_message_gap);
+}
+
+TEST_F(FabricFixture, PartitionDropsWithDetectionDelay) {
+  fabric.SetLinkDown(0, 1, true);
+  EXPECT_FALSE(fabric.LinkUp(0, 1));
+  EXPECT_FALSE(fabric.LinkUp(1, 0));  // bidirectional
+  bool delivered = false;
+  Nanos dropped_at = 0;
+  fabric.Send(0, 1, 64, [&] { delivered = true; },
+              [&] { dropped_at = sim.NowNanos(); });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(dropped_at, fabric.config().drop_detect_latency);
+}
+
+TEST_F(FabricFixture, HealedLinkDeliversAgain) {
+  fabric.SetLinkDown(0, 1, true);
+  fabric.SetLinkDown(0, 1, false);
+  bool delivered = false;
+  fabric.Send(0, 1, 64, [&] { delivered = true; });
+  sim.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(FabricFixture, SendToDeadNodeDrops) {
+  sim.KillNode(3);
+  bool delivered = false;
+  bool dropped = false;
+  sim.Run();  // let the kill sweep run
+  fabric.Send(0, 3, 64, [&] { delivered = true; }, [&] { dropped = true; });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+}
+
+TEST_F(FabricFixture, DeathMidFlightDropsAtDelivery) {
+  // Node dies while a long transfer is in flight: sender gets the drop
+  // callback, not the delivery.
+  const uint64_t kSize = 64ULL << 20;  // ~91 ms wire time
+  bool delivered = false;
+  bool dropped = false;
+  fabric.Send(0, 1, kSize, [&] { delivered = true; }, [&] { dropped = true; });
+  sim.After(Millis(1), [&] { sim.KillNode(1); });
+  sim.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+}
+
+TEST_F(FabricFixture, StatisticsAccumulate) {
+  fabric.Send(0, 1, 100, [] {});
+  fabric.Send(0, 2, 200, [] {});
+  fabric.Send(1, 0, 50, [] {});
+  sim.Run();
+  EXPECT_EQ(fabric.bytes_out(0), 300u);
+  EXPECT_EQ(fabric.bytes_in(0), 50u);
+  EXPECT_EQ(fabric.bytes_in(1), 100u);
+  EXPECT_EQ(fabric.messages_out(0), 2u);
+  EXPECT_EQ(fabric.total_bytes(), 350u);
+}
+
+}  // namespace
+}  // namespace rstore::sim

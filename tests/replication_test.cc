@@ -1,0 +1,235 @@
+// Tests for region replication (the fault-tolerance extension): placement
+// invariants, write fan-out, primary failover at map time, accounting,
+// and the atomics restriction.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "common/rng.h"
+#include "core/cluster.h"
+
+namespace rstore::core {
+namespace {
+
+using sim::Millis;
+
+ClusterConfig ReplCluster() {
+  ClusterConfig cfg;
+  cfg.memory_servers = 4;
+  cfg.client_nodes = 2;
+  cfg.server_capacity = 16ULL << 20;
+  cfg.master.slab_size = 1ULL << 20;
+  cfg.master.lease_timeout = Millis(120);
+  cfg.master.sweep_interval = Millis(30);
+  return cfg;
+}
+
+void FillPattern(std::span<std::byte> buf, uint64_t seed) {
+  Rng rng(seed);
+  rng.Fill(buf.data(), buf.size());
+}
+
+TEST(ReplicationTest, CopiesLandOnDistinctServers) {
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 4ULL << 20, /*copies=*/3).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    const RegionDesc& desc = (*region)->desc();
+    EXPECT_EQ(desc.copies, 3u);
+    ASSERT_EQ(desc.replicas.size(), 2u);
+    for (size_t i = 0; i < desc.slabs.size(); ++i) {
+      std::set<uint32_t> servers{desc.slabs[i].server_node};
+      for (const auto& replica : desc.replicas) {
+        servers.insert(replica[i].server_node);
+      }
+      EXPECT_EQ(servers.size(), 3u) << "slab " << i;
+    }
+  });
+}
+
+TEST(ReplicationTest, ReplicationConsumesProportionalSlabs) {
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    const uint64_t before = cluster.master().free_slabs();
+    ASSERT_TRUE(client.Ralloc("r", 4ULL << 20, 2).ok());
+    EXPECT_EQ(cluster.master().free_slabs(), before - 8);
+    ASSERT_TRUE(client.Rfree("r").ok());
+    EXPECT_EQ(cluster.master().free_slabs(), before);
+  });
+}
+
+TEST(ReplicationTest, FactorBeyondServersRejected) {
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    EXPECT_EQ(client.Ralloc("r", 1ULL << 20, 5).code(),
+              ErrorCode::kInvalidArgument);
+  });
+}
+
+TEST(ReplicationTest, WritesFanOutToAllCopies) {
+  // White-box: write through the region, then check every copy's server
+  // arena holds the same bytes.
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 1ULL << 20, 3).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    auto buf = client.AllocBuffer(64 << 10);
+    ASSERT_TRUE(buf.ok());
+    FillPattern(buf->data, 99);
+    ASSERT_TRUE((*region)->Write(4096, buf->data).ok());
+
+    auto arena_bytes_at = [&](const SlabLocation& slab) -> const std::byte* {
+      for (size_t s = 0; s < cluster.server_count(); ++s) {
+        if (cluster.server_node(s).id() == slab.server_node) {
+          const MemoryServer& server = cluster.server(s);
+          const uint64_t base = reinterpret_cast<uint64_t>(server.arena());
+          return server.arena() + (slab.remote_addr - base);
+        }
+      }
+      return nullptr;
+    };
+    const RegionDesc& desc = (*region)->desc();
+    std::vector<SlabLocation> all{desc.slabs[0]};
+    for (const auto& replica : desc.replicas) all.push_back(replica[0]);
+    ASSERT_EQ(all.size(), 3u);
+    for (const SlabLocation& slab : all) {
+      const std::byte* arena = arena_bytes_at(slab);
+      ASSERT_NE(arena, nullptr);
+      EXPECT_EQ(std::memcmp(arena + 4096, buf->begin(), buf->size()), 0);
+    }
+  });
+}
+
+TEST(ReplicationTest, ReadsSurviveServerDeathAfterRemap) {
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 2ULL << 20, 2).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    auto buf = client.AllocBuffer(1 << 20);
+    ASSERT_TRUE(buf.ok());
+    FillPattern(buf->data, 7);
+    ASSERT_TRUE((*region)->Write(0, buf->data).ok());
+
+    // Kill the primary of slab 0; wait for the lease to lapse.
+    const uint32_t victim = (*region)->desc().slabs[0].server_node;
+    sim::CurrentNode().sim().KillNode(victim);
+    sim::Sleep(Millis(400));
+
+    // A fresh map must promote the replica and the data must read back.
+    auto fresh = client.Rmap("r", false, /*fresh=*/true);
+    ASSERT_TRUE(fresh.ok()) << fresh.status();
+    EXPECT_NE((*fresh)->desc().slabs[0].server_node, victim);
+    auto back = client.AllocBuffer(1 << 20);
+    ASSERT_TRUE(back.ok());
+    ASSERT_TRUE((*fresh)->Read(0, back->data).ok());
+    EXPECT_EQ(std::memcmp(back->begin(), buf->begin(), 1 << 20), 0);
+  });
+  EXPECT_EQ(cluster.master().live_servers(), 3u);
+}
+
+TEST(ReplicationTest, UnreplicatedRegionStillFailsOnServerLoss) {
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 1ULL << 20, 1).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    const uint32_t victim = (*region)->desc().slabs[0].server_node;
+    sim::CurrentNode().sim().KillNode(victim);
+    sim::Sleep(Millis(400));
+    EXPECT_EQ(client.Rmap("r", false, true).code(), ErrorCode::kUnavailable);
+    // allow_degraded still hands out the stale table.
+    EXPECT_TRUE(client.Rmap("r", true, true).ok());
+  });
+}
+
+TEST(ReplicationTest, DoubleFailureExhaustsCopies) {
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 1ULL << 20, 2).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    const RegionDesc& desc = (*region)->desc();
+    sim::CurrentNode().sim().KillNode(desc.slabs[0].server_node);
+    sim::CurrentNode().sim().KillNode(desc.replicas[0][0].server_node);
+    sim::Sleep(Millis(400));
+    EXPECT_EQ(client.Rmap("r", false, true).code(), ErrorCode::kUnavailable);
+  });
+}
+
+TEST(ReplicationTest, AtomicsRejectedOnReplicatedRegions) {
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 4096, 2).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    EXPECT_EQ((*region)->FetchAdd(0, 1).code(), ErrorCode::kInvalidArgument);
+    EXPECT_EQ((*region)->CompareSwap(0, 0, 1).code(),
+              ErrorCode::kInvalidArgument);
+  });
+}
+
+TEST(ReplicationTest, SecondClientSeesPromotedPrimary) {
+  TestCluster cluster(ReplCluster());
+  cluster.SpawnClient(0, [&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("shared", 1ULL << 20, 2).ok());
+    auto region = client.Rmap("shared");
+    ASSERT_TRUE(region.ok());
+    auto buf = client.AllocBuffer(4096);
+    ASSERT_TRUE(buf.ok());
+    FillPattern(buf->data, 55);
+    ASSERT_TRUE((*region)->Write(0, buf->data).ok());
+    sim::CurrentNode().sim().KillNode((*region)->desc().slabs[0].server_node);
+    sim::Sleep(Millis(400));
+    ASSERT_TRUE(client.NotifyInc("killed").ok());
+  });
+  bool verified = false;
+  cluster.SpawnClient(1, [&](RStoreClient& client) {
+    ASSERT_TRUE(client.WaitNotify("killed", 1).ok());
+    auto region = client.Rmap("shared");  // first map on this client
+    ASSERT_TRUE(region.ok()) << region.status();
+    auto buf = client.AllocBuffer(4096);
+    ASSERT_TRUE(buf.ok());
+    ASSERT_TRUE((*region)->Read(0, buf->data).ok());
+    std::vector<std::byte> expect(4096);
+    FillPattern(expect, 55);
+    EXPECT_EQ(std::memcmp(buf->begin(), expect.data(), 4096), 0);
+    verified = true;
+  });
+  cluster.sim().Run();
+  EXPECT_TRUE(verified);
+}
+
+TEST(ReplicationTest, ReplicatedWriteCostsMoreThanUnreplicated) {
+  TestCluster cluster(ReplCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r1", 1ULL << 20, 1).ok());
+    ASSERT_TRUE(client.Ralloc("r3", 1ULL << 20, 3).ok());
+    auto one = client.Rmap("r1");
+    auto three = client.Rmap("r3");
+    ASSERT_TRUE(one.ok() && three.ok());
+    auto buf = client.AllocBuffer(1 << 20);
+    ASSERT_TRUE(buf.ok());
+    (void)(*one)->Write(0, buf->data);    // warm connections
+    (void)(*three)->Write(0, buf->data);
+    const sim::Nanos t0 = sim::Now();
+    ASSERT_TRUE((*one)->Write(0, buf->data).ok());
+    const sim::Nanos single = sim::Now() - t0;
+    const sim::Nanos t1 = sim::Now();
+    ASSERT_TRUE((*three)->Write(0, buf->data).ok());
+    const sim::Nanos repl = sim::Now() - t1;
+    // 3x the egress bytes through one client NIC: ~3x the time.
+    EXPECT_GT(repl, 2 * single);
+    // Reads are unaffected (primary only).
+    const sim::Nanos t2 = sim::Now();
+    ASSERT_TRUE((*three)->Read(0, buf->data).ok());
+    const sim::Nanos r3 = sim::Now() - t2;
+    EXPECT_LT(r3, single * 3 / 2);
+  });
+}
+
+}  // namespace
+}  // namespace rstore::core

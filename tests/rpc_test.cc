@@ -1,0 +1,383 @@
+// Tests for the wire serialization and the two-sided RPC layer: request/
+// response round trips, error propagation, concurrency, pipelining, server
+// CPU accounting, and failure handling.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/rpc.h"
+#include "rpc/wire.h"
+#include "sim/simulation.h"
+
+namespace rstore::rpc {
+namespace {
+
+using sim::Micros;
+using sim::Millis;
+using sim::Nanos;
+
+// ------------------------------------------------------------------ wire --
+TEST(WireTest, RoundTripsScalars) {
+  Writer w;
+  w.U8(7);
+  w.U32(123456);
+  w.U64(0xDEADBEEFCAFEBABEULL);
+  w.I64(-42);
+  w.F64(3.25);
+  w.Bool(true);
+  Reader r(w.buffer());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f64 = 0;
+  bool b = false;
+  EXPECT_TRUE(r.U8(&u8));
+  EXPECT_TRUE(r.U32(&u32));
+  EXPECT_TRUE(r.U64(&u64));
+  EXPECT_TRUE(r.I64(&i64));
+  EXPECT_TRUE(r.F64(&f64));
+  EXPECT_TRUE(r.Bool(&b));
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(f64, 3.25);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(r.Remaining(), 0u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireTest, RoundTripsStringsAndBytes) {
+  Writer w;
+  w.Str("hello rstore");
+  w.Str("");
+  std::vector<std::byte> blob(300);
+  for (size_t i = 0; i < blob.size(); ++i) blob[i] = std::byte(i & 0xFF);
+  w.Bytes(blob);
+  Reader r(w.buffer());
+  std::string a, b;
+  std::vector<std::byte> out;
+  EXPECT_TRUE(r.Str(&a));
+  EXPECT_TRUE(r.Str(&b));
+  EXPECT_TRUE(r.Bytes(&out));
+  EXPECT_EQ(a, "hello rstore");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(out, blob);
+}
+
+TEST(WireTest, BytesViewIsZeroCopy) {
+  Writer w;
+  std::vector<std::byte> blob(64, std::byte{0x42});
+  w.Bytes(blob);
+  Reader r(w.buffer());
+  std::span<const std::byte> view;
+  EXPECT_TRUE(r.BytesView(&view));
+  EXPECT_EQ(view.size(), 64u);
+  EXPECT_EQ(view.data(), w.buffer().data() + 4);  // after length prefix
+}
+
+TEST(WireTest, UnderflowFailsClosed) {
+  Writer w;
+  w.U32(7);
+  Reader r(w.buffer());
+  uint64_t v;
+  EXPECT_FALSE(r.U64(&v));  // only 4 bytes present
+  EXPECT_FALSE(r.ok());
+  uint32_t u;
+  EXPECT_FALSE(r.U32(&u));  // poisoned
+}
+
+TEST(WireTest, TruncatedStringFailsClosed) {
+  Writer w;
+  w.U32(1000);  // claims 1000 bytes, provides none
+  Reader r(w.buffer());
+  std::string s;
+  EXPECT_FALSE(r.Str(&s));
+  EXPECT_FALSE(r.ok());
+}
+
+// ------------------------------------------------------------------- rpc --
+class RpcFixture : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kService = 42;
+  static constexpr uint32_t kEcho = 1;
+  static constexpr uint32_t kAdd = 2;
+  static constexpr uint32_t kFailing = 3;
+  static constexpr uint32_t kSlow = 4;
+
+  RpcFixture() : net(sim) {
+    server_node = &sim.AddNode("server");
+    client_node = &sim.AddNode("client");
+    server_dev = &net.AddDevice(*server_node);
+    client_dev = &net.AddDevice(*client_node);
+    server = std::make_unique<RpcServer>(*server_dev, kService);
+    server->RegisterHandler(kEcho, [](Reader& req, Writer& resp) {
+      std::vector<std::byte> data;
+      if (!req.Bytes(&data)) {
+        return Status(ErrorCode::kInvalidArgument, "bad echo request");
+      }
+      resp.Bytes(data);
+      return Status::Ok();
+    });
+    server->RegisterHandler(kAdd, [](Reader& req, Writer& resp) {
+      uint64_t a = 0, b = 0;
+      if (!req.U64(&a) || !req.U64(&b)) {
+        return Status(ErrorCode::kInvalidArgument, "bad add request");
+      }
+      resp.U64(a + b);
+      return Status::Ok();
+    });
+    server->RegisterHandler(kFailing, [](Reader&, Writer&) {
+      return Status(ErrorCode::kPermissionDenied, "computer says no");
+    });
+    server->RegisterHandler(kSlow, [](Reader&, Writer& resp) {
+      sim::Sleep(sim::Seconds(120));  // beyond default call timeout
+      resp.U64(1);
+      return Status::Ok();
+    });
+    server->Start();
+  }
+
+  std::unique_ptr<RpcClient> MustConnect() {
+    auto c = RpcClient::Connect(*client_dev, server_node->id(), kService);
+    EXPECT_TRUE(c.ok()) << c.status();
+    return std::move(c).value();
+  }
+
+  sim::Simulation sim;
+  verbs::Network net;
+  sim::Node* server_node;
+  sim::Node* client_node;
+  verbs::Device* server_dev;
+  verbs::Device* client_dev;
+  std::unique_ptr<RpcServer> server;
+};
+
+TEST_F(RpcFixture, EchoRoundTrip) {
+  bool done = false;
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    Writer req;
+    std::vector<std::byte> payload(100, std::byte{0x61});
+    req.Bytes(payload);
+    auto resp = client->Call(kEcho, req);
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    Reader r(*resp);
+    std::vector<std::byte> out;
+    ASSERT_TRUE(r.Bytes(&out));
+    EXPECT_EQ(out, payload);
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(server->calls_served(), 1u);
+}
+
+TEST_F(RpcFixture, TypedHandler) {
+  bool done = false;
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    Writer req;
+    req.U64(30);
+    req.U64(12);
+    auto resp = client->Call(kAdd, req);
+    ASSERT_TRUE(resp.ok());
+    Reader r(*resp);
+    uint64_t sum = 0;
+    ASSERT_TRUE(r.U64(&sum));
+    EXPECT_EQ(sum, 42u);
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(RpcFixture, HandlerErrorPropagatesCodeAndMessage) {
+  bool done = false;
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    auto resp = client->Call(kFailing, Writer{});
+    EXPECT_FALSE(resp.ok());
+    EXPECT_EQ(resp.code(), ErrorCode::kPermissionDenied);
+    EXPECT_EQ(resp.status().message(), "computer says no");
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(RpcFixture, UnknownMethodReturnsNotFound) {
+  bool done = false;
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    auto resp = client->Call(999, Writer{});
+    EXPECT_EQ(resp.code(), ErrorCode::kNotFound);
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(RpcFixture, ManySequentialCalls) {
+  bool done = false;
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    for (uint64_t i = 0; i < 200; ++i) {
+      Writer req;
+      req.U64(i);
+      req.U64(i);
+      auto resp = client->Call(kAdd, req);
+      ASSERT_TRUE(resp.ok());
+      Reader r(*resp);
+      uint64_t sum = 0;
+      ASSERT_TRUE(r.U64(&sum));
+      ASSERT_EQ(sum, 2 * i);
+    }
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(server->calls_served(), 200u);
+}
+
+TEST_F(RpcFixture, ConcurrentCallersShareOneClient) {
+  int completed = 0;
+  client_node->Spawn("main", [&] {
+    auto client = MustConnect();
+    RpcClient* raw = client.get();
+    auto worker = [&completed, raw](uint64_t base) {
+      for (uint64_t i = 0; i < 20; ++i) {
+        Writer req;
+        req.U64(base);
+        req.U64(i);
+        auto resp = raw->Call(kAdd, req);
+        ASSERT_TRUE(resp.ok()) << resp.status();
+        Reader r(*resp);
+        uint64_t sum = 0;
+        ASSERT_TRUE(r.U64(&sum));
+        ASSERT_EQ(sum, base + i);
+        ++completed;
+      }
+    };
+    // Spawn three sibling threads sharing the client, then use it too.
+    sim::Node& node = sim::CurrentNode();
+    node.Spawn("w1", [&worker] { worker(1000); });
+    node.Spawn("w2", [&worker] { worker(2000); });
+    node.Spawn("w3", [&worker] { worker(3000); });
+    worker(4000);
+    // Keep the client alive until the siblings drain.
+    while (completed < 80) sim::Sleep(Millis(1));
+  });
+  sim.Run();
+  EXPECT_EQ(completed, 80);
+}
+
+TEST_F(RpcFixture, TwoClientsAreServedConcurrently) {
+  sim::Node* client2_node = &sim.AddNode("client2");
+  verbs::Device* client2_dev = &net.AddDevice(*client2_node);
+  int done = 0;
+  auto spawn_client = [&](sim::Node* n, verbs::Device* d) {
+    n->Spawn("c", [&, d] {
+      auto c = RpcClient::Connect(*d, server_node->id(), kService);
+      ASSERT_TRUE(c.ok());
+      Writer req;
+      req.U64(1);
+      req.U64(2);
+      ASSERT_TRUE((*c)->Call(kAdd, req).ok());
+      ++done;
+    });
+  };
+  spawn_client(client_node, client_dev);
+  spawn_client(client2_node, client2_dev);
+  sim.Run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(server->calls_served(), 2u);
+}
+
+TEST_F(RpcFixture, CallToDeadServerFails) {
+  bool done = false;
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    sim::CurrentNode().sim().KillNode(server_node->id());
+    sim::Sleep(Micros(10));
+    auto resp = client->Call(kEcho, Writer{});
+    EXPECT_FALSE(resp.ok());
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(RpcFixture, SlowHandlerTimesOutClientSide) {
+  bool done = false;
+  client_node->Spawn("client", [&] {
+    RpcOptions opts;
+    opts.call_timeout = Millis(50);
+    auto c = RpcClient::Connect(*client_dev, server_node->id(), kService,
+                                opts);
+    ASSERT_TRUE(c.ok());
+    auto resp = (*c)->Call(kSlow, Writer{});
+    EXPECT_EQ(resp.code(), ErrorCode::kTimedOut);
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(RpcFixture, OversizedRequestRejectedLocally) {
+  bool done = false;
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    Writer req;
+    std::vector<std::byte> big(128 * 1024);  // > default 64 KiB buffer
+    req.Bytes(big);
+    auto resp = client->Call(kEcho, req);
+    EXPECT_EQ(resp.code(), ErrorCode::kInvalidArgument);
+    done = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(done);
+}
+
+TEST_F(RpcFixture, ServerChargesCpuPerCall) {
+  // The whole point of the baseline: two-sided calls consume server CPU.
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    for (int i = 0; i < 50; ++i) {
+      Writer req;
+      std::vector<std::byte> payload(1024);
+      req.Bytes(payload);
+      ASSERT_TRUE(client->Call(kEcho, req).ok());
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(server->calls_served(), 50u);
+  // >= 50 * handler cost; marshalling adds more.
+  EXPECT_GE(server->cpu_time(), 50 * net.cpu_model().rpc_handler_ns);
+}
+
+TEST_F(RpcFixture, RpcLatencyIsWorseThanRawVerbs) {
+  // Architectural sanity check for E1/E6: a 4 KiB echo costs more than
+  // 2x the one-way base latency plus handler costs.
+  Nanos rpc_latency = 0;
+  client_node->Spawn("client", [&] {
+    auto client = MustConnect();
+    Writer req;
+    std::vector<std::byte> payload(4096);
+    req.Bytes(payload);
+    ASSERT_TRUE(client->Call(kEcho, req).ok());  // warm
+    const Nanos t0 = sim::Now();
+    ASSERT_TRUE(client->Call(kEcho, req).ok());
+    rpc_latency = sim::Now() - t0;
+  });
+  sim.Run();
+  const auto& nic = net.fabric().config();
+  EXPECT_GT(rpc_latency,
+            2 * nic.base_latency + net.cpu_model().rpc_handler_ns);
+}
+
+}  // namespace
+}  // namespace rstore::rpc
