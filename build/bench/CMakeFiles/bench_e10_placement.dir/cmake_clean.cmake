@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_placement.dir/bench_e10_placement.cc.o"
+  "CMakeFiles/bench_e10_placement.dir/bench_e10_placement.cc.o.d"
+  "bench_e10_placement"
+  "bench_e10_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

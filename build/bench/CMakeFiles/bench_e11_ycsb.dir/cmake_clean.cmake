@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_ycsb.dir/bench_e11_ycsb.cc.o"
+  "CMakeFiles/bench_e11_ycsb.dir/bench_e11_ycsb.cc.o.d"
+  "bench_e11_ycsb"
+  "bench_e11_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

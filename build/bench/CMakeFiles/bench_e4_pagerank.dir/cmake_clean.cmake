@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_pagerank.dir/bench_e4_pagerank.cc.o"
+  "CMakeFiles/bench_e4_pagerank.dir/bench_e4_pagerank.cc.o.d"
+  "bench_e4_pagerank"
+  "bench_e4_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e6_cpu.cc" "bench/CMakeFiles/bench_e6_cpu.dir/bench_e6_cpu.cc.o" "gcc" "bench/CMakeFiles/bench_e6_cpu.dir/bench_e6_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rstore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/carafe/CMakeFiles/carafe.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsort/CMakeFiles/rsort.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/verbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

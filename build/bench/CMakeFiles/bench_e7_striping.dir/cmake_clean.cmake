@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_striping.dir/bench_e7_striping.cc.o"
+  "CMakeFiles/bench_e7_striping.dir/bench_e7_striping.cc.o.d"
+  "bench_e7_striping"
+  "bench_e7_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

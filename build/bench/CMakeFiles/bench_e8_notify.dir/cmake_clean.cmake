@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_notify.dir/bench_e8_notify.cc.o"
+  "CMakeFiles/bench_e8_notify.dir/bench_e8_notify.cc.o.d"
+  "bench_e8_notify"
+  "bench_e8_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

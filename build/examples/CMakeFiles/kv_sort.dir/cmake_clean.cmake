@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_sort.dir/kv_sort.cpp.o"
+  "CMakeFiles/kv_sort.dir/kv_sort.cpp.o.d"
+  "kv_sort"
+  "kv_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

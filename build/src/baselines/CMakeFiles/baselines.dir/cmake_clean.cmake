@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines.dir/bsp/msg_bsp.cc.o"
+  "CMakeFiles/baselines.dir/bsp/msg_bsp.cc.o.d"
+  "CMakeFiles/baselines.dir/rpcstore/rpcstore.cc.o"
+  "CMakeFiles/baselines.dir/rpcstore/rpcstore.cc.o.d"
+  "CMakeFiles/baselines.dir/terasort/terasort.cc.o"
+  "CMakeFiles/baselines.dir/terasort/terasort.cc.o.d"
+  "libbaselines.a"
+  "libbaselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

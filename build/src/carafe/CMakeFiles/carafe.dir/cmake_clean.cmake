@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carafe.dir/engine.cc.o"
+  "CMakeFiles/carafe.dir/engine.cc.o.d"
+  "CMakeFiles/carafe.dir/graph.cc.o"
+  "CMakeFiles/carafe.dir/graph.cc.o.d"
+  "CMakeFiles/carafe.dir/storage.cc.o"
+  "CMakeFiles/carafe.dir/storage.cc.o.d"
+  "libcarafe.a"
+  "libcarafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common.dir/log.cc.o"
+  "CMakeFiles/common.dir/log.cc.o.d"
+  "CMakeFiles/common.dir/rng.cc.o"
+  "CMakeFiles/common.dir/rng.cc.o.d"
+  "CMakeFiles/common.dir/stats.cc.o"
+  "CMakeFiles/common.dir/stats.cc.o.d"
+  "CMakeFiles/common.dir/status.cc.o"
+  "CMakeFiles/common.dir/status.cc.o.d"
+  "libcommon.a"
+  "libcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

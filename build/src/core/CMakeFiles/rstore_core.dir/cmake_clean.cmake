@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rstore_core.dir/client.cc.o"
+  "CMakeFiles/rstore_core.dir/client.cc.o.d"
+  "CMakeFiles/rstore_core.dir/master.cc.o"
+  "CMakeFiles/rstore_core.dir/master.cc.o.d"
+  "CMakeFiles/rstore_core.dir/memory_server.cc.o"
+  "CMakeFiles/rstore_core.dir/memory_server.cc.o.d"
+  "CMakeFiles/rstore_core.dir/types.cc.o"
+  "CMakeFiles/rstore_core.dir/types.cc.o.d"
+  "librstore_core.a"
+  "librstore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rstore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

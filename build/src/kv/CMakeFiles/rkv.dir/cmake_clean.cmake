@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rkv.dir/kv.cc.o"
+  "CMakeFiles/rkv.dir/kv.cc.o.d"
+  "librkv.a"
+  "librkv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rkv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

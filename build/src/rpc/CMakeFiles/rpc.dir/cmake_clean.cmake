@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc.dir/rpc.cc.o"
+  "CMakeFiles/rpc.dir/rpc.cc.o.d"
+  "librpc.a"
+  "librpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsort.dir/records.cc.o"
+  "CMakeFiles/rsort.dir/records.cc.o.d"
+  "CMakeFiles/rsort.dir/rsort.cc.o"
+  "CMakeFiles/rsort.dir/rsort.cc.o.d"
+  "librsort.a"
+  "librsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

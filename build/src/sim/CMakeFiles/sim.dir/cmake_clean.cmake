@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/cost_model.cc.o"
+  "CMakeFiles/sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/sim.dir/fabric.cc.o"
+  "CMakeFiles/sim.dir/fabric.cc.o.d"
+  "CMakeFiles/sim.dir/simulation.cc.o"
+  "CMakeFiles/sim.dir/simulation.cc.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

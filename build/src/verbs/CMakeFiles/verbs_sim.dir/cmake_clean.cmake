@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verbs_sim.dir/verbs.cc.o"
+  "CMakeFiles/verbs_sim.dir/verbs.cc.o.d"
+  "libverbs_sim.a"
+  "libverbs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verbs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

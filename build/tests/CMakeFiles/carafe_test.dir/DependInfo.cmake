@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/carafe_test.cc" "tests/CMakeFiles/carafe_test.dir/carafe_test.cc.o" "gcc" "tests/CMakeFiles/carafe_test.dir/carafe_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/carafe/CMakeFiles/carafe.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rstore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/verbs/CMakeFiles/verbs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

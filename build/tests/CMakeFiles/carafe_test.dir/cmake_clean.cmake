@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/carafe_test.dir/carafe_test.cc.o"
+  "CMakeFiles/carafe_test.dir/carafe_test.cc.o.d"
+  "carafe_test"
+  "carafe_test.pdb"
+  "carafe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/carafe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsort_test.dir/rsort_test.cc.o"
+  "CMakeFiles/rsort_test.dir/rsort_test.cc.o.d"
+  "rsort_test"
+  "rsort_test.pdb"
+  "rsort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_test[1]_include.cmake")
+include("/root/repo/build/tests/verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/carafe_test[1]_include.cmake")
+include("/root/repo/build/tests/rsort_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/replication_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
