@@ -1,0 +1,59 @@
+// HugeBuffer: a large, zero-initialised byte buffer backed by huge pages
+// when the host offers them.
+//
+// The simulated cluster's data plane is dominated by a handful of very
+// large allocations — memory-server slab arenas and client DMA buffers,
+// hundreds of megabytes per cluster. Backing those with ordinary heap
+// pages makes first-touch cost the top line of any wall-clock profile:
+// one minor fault per 4 KiB page, hundreds of thousands of faults per
+// cluster construction. Mapping them with mmap + MADV_HUGEPAGE lets the
+// kernel satisfy first touch with 2 MiB pages (512x fewer faults) and
+// keeps TLB pressure down for the memcpy-heavy data path.
+//
+// Semantics match std::vector<std::byte>(size): zero-initialised (mmap
+// anonymous memory is zero-filled on demand), fixed size, released on
+// destruction. Falls back to operator new on non-Linux hosts or when
+// mmap fails.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+namespace rstore::common {
+
+class HugeBuffer {
+ public:
+  HugeBuffer() = default;
+  explicit HugeBuffer(size_t size);
+  ~HugeBuffer();
+
+  HugeBuffer(HugeBuffer&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        mapped_bytes_(std::exchange(o.mapped_bytes_, 0)) {}
+  HugeBuffer& operator=(HugeBuffer&& o) noexcept {
+    if (this != &o) {
+      Release();
+      data_ = std::exchange(o.data_, nullptr);
+      size_ = std::exchange(o.size_, 0);
+      mapped_bytes_ = std::exchange(o.mapped_bytes_, 0);
+    }
+    return *this;
+  }
+  HugeBuffer(const HugeBuffer&) = delete;
+  HugeBuffer& operator=(const HugeBuffer&) = delete;
+
+  [[nodiscard]] std::byte* data() noexcept { return data_; }
+  [[nodiscard]] const std::byte* data() const noexcept { return data_; }
+  [[nodiscard]] size_t size() const noexcept { return size_; }
+
+ private:
+  void Release() noexcept;
+
+  std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  // Bytes handed to mmap (0 when the operator-new fallback was used).
+  size_t mapped_bytes_ = 0;
+};
+
+}  // namespace rstore::common

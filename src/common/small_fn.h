@@ -1,0 +1,135 @@
+// SmallFn: a move-only callable wrapper with inline small-buffer storage.
+//
+// The simulator's hot path (one entry in the event heap, two callbacks on
+// every fabric message) used to carry std::function, whose small-object
+// buffer in common implementations is 16 bytes and whose copyability
+// requirement forbids move-only captures. Simulator callbacks routinely
+// capture {object pointer, pooled-message pointer, a couple of scalars},
+// so SmallFn gives them a larger inline buffer (no heap allocation when
+// the callable fits), accepts move-only captures, and falls back to the
+// heap for oversized callables instead of failing to compile — keeping
+// cold paths (error handling, connection setup) unconstrained.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rstore::common {
+
+template <typename Signature, size_t InlineBytes = 48>
+class SmallFn;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+ public:
+  SmallFn() noexcept = default;
+  SmallFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, SmallFn> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      manage_ = &ManageInline<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      manage_ = &ManageHeap<Fn>;
+    }
+    invoke_ = &Invoke<Fn>;
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) noexcept {
+    Reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return invoke_(Target(), std::forward<Args>(args)...);
+  }
+
+  void Reset() noexcept {
+    if (manage_ != nullptr) {
+      manage_(this, nullptr);
+      manage_ = nullptr;
+      invoke_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+ private:
+  using InvokeFn = R (*)(void*, Args&&...);
+  // dst == nullptr: destroy self. dst != nullptr: move self into dst's
+  // storage (dst's invoke_/manage_ are copied by MoveFrom).
+  using ManageFn = void (*)(SmallFn*, SmallFn*);
+
+  [[nodiscard]] void* Target() noexcept {
+    return heap_ != nullptr ? heap_ : static_cast<void*>(buf_);
+  }
+
+  template <typename Fn>
+  static R Invoke(void* target, Args&&... args) {
+    return (*static_cast<Fn*>(target))(std::forward<Args>(args)...);
+  }
+
+  template <typename Fn>
+  static void ManageInline(SmallFn* self, SmallFn* dst) {
+    auto* obj = std::launder(reinterpret_cast<Fn*>(self->buf_));
+    if (dst != nullptr) {
+      ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*obj));
+    }
+    obj->~Fn();
+  }
+
+  template <typename Fn>
+  static void ManageHeap(SmallFn* self, SmallFn* dst) {
+    if (dst != nullptr) {
+      dst->heap_ = self->heap_;
+      self->heap_ = nullptr;
+    } else {
+      delete static_cast<Fn*>(self->heap_);
+    }
+  }
+
+  void MoveFrom(SmallFn& other) noexcept {
+    if (other.manage_ == nullptr) return;
+    other.manage_(&other, this);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+  void* heap_ = nullptr;
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace rstore::common

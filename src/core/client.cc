@@ -9,16 +9,23 @@
 
 namespace rstore::core {
 
-// Shared completion state of one logical IO (possibly many fragments).
+// Shared completion state of one logical IO (possibly many work
+// requests, all carrying io_id as their wr_id). `sealed` flips once the
+// last WR is posted; only then can completed==expected mean "done" —
+// backpressure drains completions while posting is still in progress.
 struct IoFuture::State {
-  explicit State(sim::Simulation& s) : cv(s) {}
+  explicit State(sim::Simulation& s, uint64_t id) : io_id(id), cv(s) {}
+  const uint64_t io_id;
   uint32_t expected = 0;
   uint32_t completed = 0;
+  bool sealed = false;
   Status first_error;
   bool failed = false;
   sim::CondVar cv;
 
-  [[nodiscard]] bool done() const noexcept { return completed >= expected; }
+  [[nodiscard]] bool done() const noexcept {
+    return sealed && completed >= expected;
+  }
 };
 
 Status IoFuture::Wait() {
@@ -166,6 +173,7 @@ Status RStoreClient::RegisterBuffer(std::span<std::byte> buffer) {
   // Evict registrations that overlap the new range: they necessarily
   // refer to freed buffers whose addresses the allocator reused (live
   // application buffers cannot overlap).
+  last_pinned_ = nullptr;  // may be about to evict the cached entry
   const auto a = reinterpret_cast<uintptr_t>(buffer.data());
   const uintptr_t b = a + buffer.size();
   auto it = pinned_.lower_bound(a);
@@ -194,14 +202,15 @@ Status RStoreClient::UnregisterBuffer(std::span<std::byte> buffer) {
   if (it == pinned_.end()) {
     return Status(ErrorCode::kNotFound, "buffer was not registered");
   }
+  if (last_pinned_ == it->second) last_pinned_ = nullptr;
   (void)pd_->DeregisterMemory(it->second);
   pinned_.erase(it);
   return Status::Ok();
 }
 
 Result<PinnedBuffer> RStoreClient::AllocBuffer(size_t bytes) {
-  auto storage = std::make_unique<std::vector<std::byte>>(bytes);
-  std::span<std::byte> span(*storage);
+  common::HugeBuffer storage(bytes);
+  std::span<std::byte> span(storage.data(), storage.size());
   RSTORE_RETURN_IF_ERROR(RegisterBuffer(span));
   owned_buffers_.push_back(std::move(storage));
   return PinnedBuffer{span};
@@ -210,11 +219,16 @@ Result<PinnedBuffer> RStoreClient::AllocBuffer(size_t bytes) {
 verbs::MemoryRegion* RStoreClient::FindPinned(const std::byte* addr,
                                               uint64_t len) const {
   const auto a = reinterpret_cast<uintptr_t>(addr);
+  if (last_pinned_ != nullptr && last_pinned_->Covers(a, len)) {
+    return last_pinned_;
+  }
   auto it = pinned_.upper_bound(a);
   if (it == pinned_.begin()) return nullptr;
   --it;
   verbs::MemoryRegion* mr = it->second;
-  return mr->Covers(a, len) ? mr : nullptr;
+  if (!mr->Covers(a, len)) return nullptr;
+  last_pinned_ = mr;
+  return mr;
 }
 
 Status RStoreClient::NotifyInc(const std::string& channel, uint64_t delta) {
@@ -244,8 +258,14 @@ Result<uint64_t> RStoreClient::WaitNotify(const std::string& channel,
 // ---------------------------------------------------------------------------
 Result<RStoreClient::Connection*> RStoreClient::ConnectionTo(
     uint32_t server_node) {
+  if (server_node == last_conn_node_ && last_conn_ != nullptr &&
+      last_conn_->healthy) {
+    return last_conn_;
+  }
   auto it = connections_.find(server_node);
   if (it != connections_.end() && it->second.healthy) {
+    last_conn_node_ = server_node;
+    last_conn_ = &it->second;
     return &it->second;
   }
   // (Re)connect: data QPs share the client's data CQ for send-side
@@ -256,34 +276,52 @@ Result<RStoreClient::Connection*> RStoreClient::ConnectionTo(
   Connection conn{*qp, true};
   auto [pos, unused] = connections_.insert_or_assign(server_node, conn);
   (void)unused;
+  last_conn_node_ = server_node;
+  last_conn_ = &pos->second;  // map nodes are address-stable
   return &pos->second;
 }
 
 Result<IoFuture> RStoreClient::SubmitIo(const RegionDesc& desc,
                                         uint64_t offset, std::byte* buffer,
                                         uint64_t length, bool is_read) {
-  auto state = std::make_shared<IoFuture::State>(device_.network().sim());
+  auto state = std::make_shared<IoFuture::State>(device_.network().sim(),
+                                                 next_wr_id_++);
   IoFuture future(state, this);
-  RSTORE_RETURN_IF_ERROR(
-      PostFragments(state, desc, offset, buffer, length, is_read));
+  std::vector<Fragment> frags = std::move(frag_scratch_);
+  frags.clear();
+  Status st = CollectFragments(desc, offset, buffer, length, is_read, frags);
+  if (st.ok()) st = PostCoalesced(state, frags, is_read);
+  frag_scratch_ = std::move(frags);
+  SealIo(state);
+  if (!st.ok()) return st;
   return future;
 }
 
 Result<IoFuture> RStoreClient::SubmitVector(const RegionDesc& desc,
                                             std::span<const IoVec> segments,
                                             bool is_read) {
-  auto state = std::make_shared<IoFuture::State>(device_.network().sim());
+  auto state = std::make_shared<IoFuture::State>(device_.network().sim(),
+                                                 next_wr_id_++);
   IoFuture future(state, this);
+  std::vector<Fragment> frags = std::move(frag_scratch_);
+  frags.clear();
+  Status st;
   for (const IoVec& seg : segments) {
-    RSTORE_RETURN_IF_ERROR(PostFragments(state, desc, seg.offset, seg.local,
-                                         seg.length, is_read));
+    st = CollectFragments(desc, seg.offset, seg.local, seg.length, is_read,
+                          frags);
+    if (!st.ok()) break;
   }
+  if (st.ok()) st = PostCoalesced(state, frags, is_read);
+  frag_scratch_ = std::move(frags);
+  SealIo(state);
+  if (!st.ok()) return st;
   return future;
 }
 
-Status RStoreClient::PostFragments(
-    const std::shared_ptr<IoFuture::State>& state, const RegionDesc& desc,
-    uint64_t offset, std::byte* buffer, uint64_t length, bool is_read) {
+Status RStoreClient::CollectFragments(const RegionDesc& desc, uint64_t offset,
+                                      std::byte* buffer, uint64_t length,
+                                      bool is_read,
+                                      std::vector<Fragment>& out) {
   if (offset > desc.size || length > desc.size - offset) {
     return Status(ErrorCode::kOutOfRange,
                   "IO past end of region '" + desc.name + "'");
@@ -296,6 +334,7 @@ Status RStoreClient::PostFragments(
         ErrorCode::kInvalidArgument,
         "IO buffer is not registered (call RegisterBuffer/AllocBuffer)");
   }
+  const uint32_t lkey = pinned->lkey();
 
   ++data_ops_;
   if (is_read) {
@@ -304,50 +343,24 @@ Status RStoreClient::PostFragments(
     bytes_written_ += length;
   }
 
-  // Split the byte range over the slab table and post one work request
-  // per fragment. Backpressure: when a send queue fills, drain
-  // completions and retry.
   uint64_t cursor = offset;
   uint64_t remaining = length;
   std::byte* local = buffer;
   while (remaining > 0) {
     const uint64_t slab_idx = cursor / desc.slab_size;
     const uint64_t in_slab = cursor % desc.slab_size;
-    const uint64_t frag =
-        std::min(remaining, desc.slab_size - in_slab);
+    const uint64_t frag = std::min(remaining, desc.slab_size - in_slab);
     const SlabLocation& slab = desc.slabs.at(slab_idx);
 
     // Reads hit the primary copy; writes fan out to every copy so
     // replicas stay byte-identical.
-    auto post_one = [&](const SlabLocation& target) -> Status {
-      auto target_conn = ConnectionTo(target.server_node);
-      if (!target_conn.ok()) return target_conn.status();
-      const uint64_t wr_id = next_wr_id_++;
-      verbs::SendWr wr{
-          .wr_id = wr_id,
-          .opcode = is_read ? verbs::Opcode::kRdmaRead
-                            : verbs::Opcode::kRdmaWrite,
-          .local = {local, static_cast<uint32_t>(frag), pinned->lkey()},
-          .remote_addr = target.remote_addr + in_slab,
-          .rkey = target.rkey,
-      };
-      Status posted = (*target_conn)->qp->PostSend(wr);
-      while (!posted.ok() && posted.code() == ErrorCode::kOutOfMemory) {
-        PumpData(options_.io_timeout);
-        posted = (*target_conn)->qp->PostSend(wr);
-      }
-      if (!posted.ok()) {
-        (*target_conn)->healthy = false;
-        return posted;
-      }
-      state->expected += 1;
-      pending_io_.emplace(wr_id, state);
-      return Status::Ok();
-    };
-    RSTORE_RETURN_IF_ERROR(post_one(slab));
+    out.push_back(Fragment{slab.server_node, slab.rkey,
+                           slab.remote_addr + in_slab, local, frag, lkey});
     if (!is_read) {
       for (const auto& replica : desc.replicas) {
-        RSTORE_RETURN_IF_ERROR(post_one(replica.at(slab_idx)));
+        const SlabLocation& r = replica.at(slab_idx);
+        out.push_back(Fragment{r.server_node, r.rkey, r.remote_addr + in_slab,
+                               local, frag, lkey});
       }
     }
 
@@ -358,13 +371,144 @@ Status RStoreClient::PostFragments(
   return Status::Ok();
 }
 
-void RStoreClient::PumpData(sim::Nanos timeout) {
-  auto wcs = data_cq_->WaitPoll(16, timeout);
+Status RStoreClient::PostCoalesced(const std::shared_ptr<IoFuture::State>& state,
+                                   std::span<const Fragment> frags,
+                                   bool is_read) {
+  if (frags.empty()) return Status::Ok();
+  const verbs::Opcode opcode =
+      is_read ? verbs::Opcode::kRdmaRead : verbs::Opcode::kRdmaWrite;
+
+  std::vector<verbs::SendWr> wrs = std::move(wr_scratch_);
+  std::vector<uint32_t> wr_server = std::move(wr_server_scratch_);
+  wrs.clear();
+  wr_server.clear();
+
+  // Coalesce: a fragment extending the remote range of an earlier WR to
+  // the same server (same rkey, remote-contiguous) merges into it —
+  // growing the last SGE when the local side is contiguous too, else
+  // adding an SGE. Everything else opens a new WR. WR count per IO is
+  // typically the number of distinct servers touched.
+  for (const Fragment& f : frags) {
+    verbs::SendWr* open = nullptr;
+    for (size_t i = wrs.size(); i-- > 0;) {
+      if (wr_server[i] == f.server_node) {
+        open = &wrs[i];
+        break;
+      }
+    }
+    if (open != nullptr && open->rkey == f.rkey &&
+        open->remote_addr + open->total_length() == f.remote_addr &&
+        f.length <= UINT32_MAX) {
+      verbs::Sge& tail = open->last_sge();
+      if (tail.lkey == f.lkey && tail.addr + tail.length == f.local &&
+          static_cast<uint64_t>(tail.length) + f.length <= UINT32_MAX) {
+        tail.length += static_cast<uint32_t>(f.length);
+        continue;
+      }
+      if (open->AppendSge(
+              {f.local, static_cast<uint32_t>(f.length), f.lkey})) {
+        continue;
+      }
+    }
+    wrs.push_back(verbs::SendWr{
+        .wr_id = state->io_id,
+        .opcode = opcode,
+        .local = {f.local, static_cast<uint32_t>(f.length), f.lkey},
+        .remote_addr = f.remote_addr,
+        .rkey = f.rkey,
+    });
+    wr_server.push_back(f.server_node);
+  }
+
+  // Post one doorbell chain per server (in first-use order), splitting
+  // chains that would not fit the send queue.
+  constexpr size_t kMaxChain = 32;
+  constexpr uint32_t kPosted = UINT32_MAX;
+  Status st;
+  for (size_t start = 0; start < wrs.size() && st.ok(); ++start) {
+    const uint32_t server = wr_server[start];
+    if (server == kPosted) continue;
+    auto conn = ConnectionTo(server);
+    if (!conn.ok()) {
+      st = conn.status();
+      break;
+    }
+    verbs::SendWr* head = nullptr;
+    verbs::SendWr* tail = nullptr;
+    uint32_t chain = 0;
+    for (size_t j = start; j < wrs.size(); ++j) {
+      if (wr_server[j] != server) continue;
+      wr_server[j] = kPosted;
+      wrs[j].next = nullptr;
+      if (tail != nullptr) {
+        tail->next = &wrs[j];
+      } else {
+        head = &wrs[j];
+      }
+      tail = &wrs[j];
+      ++chain;
+      if (chain == kMaxChain) {
+        st = PostChain(*conn, state, *head, chain);
+        if (!st.ok()) break;
+        head = tail = nullptr;
+        chain = 0;
+      }
+    }
+    if (st.ok() && head != nullptr) st = PostChain(*conn, state, *head, chain);
+  }
+
+  wr_scratch_ = std::move(wrs);
+  wr_server_scratch_ = std::move(wr_server);
+  return st;
+}
+
+Status RStoreClient::PostChain(Connection* conn,
+                               const std::shared_ptr<IoFuture::State>& state,
+                               const verbs::SendWr& head, uint32_t count) {
+  // Backpressure: when the send queue fills, drain completions and retry.
+  Status posted = conn->qp->PostSend(head);
+  while (!posted.ok() && posted.code() == ErrorCode::kOutOfMemory) {
+    PumpData(options_.io_timeout);
+    posted = conn->qp->PostSend(head);
+  }
+  if (!posted.ok()) {
+    conn->healthy = false;
+    return posted;
+  }
+  if (state->expected == 0) pending_io_.emplace(state->io_id, state);
+  state->expected += count;
+  return Status::Ok();
+}
+
+void RStoreClient::SealIo(const std::shared_ptr<IoFuture::State>& state) {
+  state->sealed = true;
+  // Backpressure pumping may have drained every completion before the
+  // seal; reap the pending entry here, since PumpData no longer can.
+  if (state->expected > 0 && state->completed >= state->expected) {
+    pending_io_.erase(state->io_id);
+    state->cv.NotifyAll();
+  }
+}
+
+void RStoreClient::PumpData(sim::Nanos timeout, size_t min_entries) {
+  std::vector<verbs::WorkCompletion> wcs = std::move(wc_scratch_);
+  wcs.clear();
+  data_cq_->WaitPollInto(wcs, min_entries, SIZE_MAX, timeout);
+  // One logical IO produces runs of completions with the same wr_id;
+  // remember the previous lookup instead of searching the map per entry.
+  uint64_t cached_id = 0;
+  std::shared_ptr<IoFuture::State> cached;
   for (const auto& wc : wcs) {
-    auto it = pending_io_.find(wc.wr_id);
-    if (it == pending_io_.end()) continue;  // e.g. atomics handled inline
-    std::shared_ptr<IoFuture::State> state = it->second;
-    pending_io_.erase(it);
+    std::shared_ptr<IoFuture::State> state;
+    if (cached != nullptr && wc.wr_id == cached_id) {
+      state = cached;
+    } else {
+      auto it = pending_io_.find(wc.wr_id);
+      if (it == pending_io_.end()) continue;  // e.g. reaped atomics
+      state = it->second;
+      cached_id = wc.wr_id;
+      cached = state;
+    }
     state->completed += 1;
     if (!wc.ok() && !state->failed) {
       state->failed = true;
@@ -381,8 +525,12 @@ void RStoreClient::PumpData(sim::Nanos timeout) {
         }
       }
     }
-    if (state->done()) state->cv.NotifyAll();
+    if (state->done()) {
+      pending_io_.erase(state->io_id);
+      state->cv.NotifyAll();
+    }
   }
+  wc_scratch_ = std::move(wcs);
 }
 
 Status RStoreClient::WaitFuture(const std::shared_ptr<IoFuture::State>& state) {
@@ -393,7 +541,15 @@ Status RStoreClient::WaitFuture(const std::shared_ptr<IoFuture::State>& state) {
     }
     if (!pumping_) {
       pumping_ = true;
-      PumpData(deadline - sim::Now());
+      // Wake threshold: this future needs `expected - completed` more
+      // completions, so let that many accumulate before waking (one
+      // thread wake per IO instead of one per fragment). Completions for
+      // other IOs sharing the CQ only make the wake earlier, never later.
+      const size_t remaining =
+          state->expected > state->completed
+              ? static_cast<size_t>(state->expected - state->completed)
+              : 1;
+      PumpData(deadline - sim::Now(), remaining);
       pumping_ = false;
       // Hand the pump to another waiter if we are done but others wait.
       if (!pending_io_.empty()) {
@@ -434,10 +590,10 @@ Result<uint64_t> RStoreClient::SubmitAtomic(const RegionDesc& desc,
   free_atomic_slots_.pop_back();
   std::byte* result = atomic_arena_.data() + slot * 8;
 
-  auto state = std::make_shared<IoFuture::State>(device_.network().sim());
-  const uint64_t wr_id = next_wr_id_++;
+  auto state = std::make_shared<IoFuture::State>(device_.network().sim(),
+                                                 next_wr_id_++);
   Status posted = (*conn)->qp->PostSend(verbs::SendWr{
-      .wr_id = wr_id,
+      .wr_id = state->io_id,
       .opcode = op,
       .local = {result, 8, atomic_mr_->lkey()},
       .remote_addr = slab.remote_addr + in_slab,
@@ -451,7 +607,8 @@ Result<uint64_t> RStoreClient::SubmitAtomic(const RegionDesc& desc,
     return posted;
   }
   state->expected = 1;
-  pending_io_.emplace(wr_id, state);
+  state->sealed = true;
+  pending_io_.emplace(state->io_id, state);
   Status st = WaitFuture(state);
   uint64_t old = 0;
   std::memcpy(&old, result, 8);

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/huge_buffer.h"
 #include "common/status.h"
 #include "core/types.h"
 #include "rpc/rpc.h"
@@ -199,20 +200,42 @@ class RStoreClient {
     bool healthy = false;
   };
 
+  // One slab-resolved piece of a logical IO, before coalescing.
+  struct Fragment {
+    uint32_t server_node;
+    uint32_t rkey;
+    uint64_t remote_addr;
+    std::byte* local;
+    uint64_t length;
+    uint32_t lkey;
+  };
+
   RStoreClient(verbs::Device& device, uint32_t master_node,
                ClientOptions options);
 
-  // Data-path engine.
+  // Data-path engine. A logical IO (one SubmitIo / SubmitVector call)
+  // resolves to fragments, which are coalesced into multi-SGE work
+  // requests and posted as one doorbell chain per memory server. All WRs
+  // of the IO share one wr_id (the state's io_id).
   Result<IoFuture> SubmitIo(const RegionDesc& desc, uint64_t offset,
                             std::byte* buffer, uint64_t length, bool is_read);
   Result<IoFuture> SubmitVector(const RegionDesc& desc,
                                 std::span<const IoVec> segments,
                                 bool is_read);
-  // Splits one byte range over the slab table and posts the fragments
-  // into `state`.
-  Status PostFragments(const std::shared_ptr<IoFuture::State>& state,
-                       const RegionDesc& desc, uint64_t offset,
-                       std::byte* buffer, uint64_t length, bool is_read);
+  // Splits one byte range over the slab table into `out` (primary copy
+  // first, then replicas when writing).
+  Status CollectFragments(const RegionDesc& desc, uint64_t offset,
+                          std::byte* buffer, uint64_t length, bool is_read,
+                          std::vector<Fragment>& out);
+  // Coalesces `frags` (merging slab-adjacent ranges into multi-SGE WRs)
+  // and posts one chained doorbell per server involved.
+  Status PostCoalesced(const std::shared_ptr<IoFuture::State>& state,
+                       std::span<const Fragment> frags, bool is_read);
+  Status PostChain(Connection* conn,
+                   const std::shared_ptr<IoFuture::State>& state,
+                   const verbs::SendWr& head, uint32_t count);
+  // Marks the IO fully posted and reaps it if completions already drained.
+  void SealIo(const std::shared_ptr<IoFuture::State>& state);
   Result<uint64_t> SubmitAtomic(const RegionDesc& desc, uint64_t offset,
                                 verbs::Opcode op, uint64_t compare,
                                 uint64_t swap_or_add);
@@ -220,7 +243,9 @@ class RStoreClient {
   // Finds the registration covering [addr, addr+len); null if none.
   [[nodiscard]] verbs::MemoryRegion* FindPinned(const std::byte* addr,
                                                 uint64_t len) const;
-  void PumpData(sim::Nanos timeout);
+  // Drains ready data-path completions into the pending-IO table,
+  // blocking until at least `min_entries` are ready (or timeout).
+  void PumpData(sim::Nanos timeout, size_t min_entries = 1);
   Status WaitFuture(const std::shared_ptr<IoFuture::State>& state);
 
   Result<std::vector<std::byte>> CallMaster(uint32_t method,
@@ -238,7 +263,24 @@ class RStoreClient {
   std::map<uint32_t, Connection> connections_;  // by server node
   // Pinned local buffers, keyed by start address for range lookup.
   std::map<uintptr_t, verbs::MemoryRegion*> pinned_;
-  std::vector<std::unique_ptr<std::vector<std::byte>>> owned_buffers_;
+  // Huge-page backed (see common/huge_buffer.h): these are the client's
+  // DMA staging areas, typically many megabytes each.
+  std::vector<common::HugeBuffer> owned_buffers_;
+
+  // Last-hit caches: IO fragment streams hit the same server and the
+  // same pinned buffer run after run, so remember the previous answer
+  // before searching the maps (map entries are address-stable).
+  uint32_t last_conn_node_ = UINT32_MAX;
+  Connection* last_conn_ = nullptr;
+  mutable verbs::MemoryRegion* last_pinned_ = nullptr;
+
+  // Reusable data-path scratch. Moved out while in use and moved back
+  // after, so a second thread entering the data path while the first is
+  // blocked in PumpData transparently falls back to fresh vectors.
+  std::vector<Fragment> frag_scratch_;
+  std::vector<verbs::SendWr> wr_scratch_;
+  std::vector<uint32_t> wr_server_scratch_;
+  std::vector<verbs::WorkCompletion> wc_scratch_;
 
   // Scratch slots for atomic results (registered, 8 bytes each).
   std::vector<std::byte> atomic_arena_;

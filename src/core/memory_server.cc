@@ -10,7 +10,7 @@ MemoryServer::MemoryServer(verbs::Device& device, uint32_t master_node,
 
 void MemoryServer::Start() {
   // Donate the arena: allocate, register for one-sided access.
-  arena_.resize(options_.capacity);
+  arena_ = common::HugeBuffer(options_.capacity);
   verbs::ProtectionDomain& pd = device_.CreatePd();
   auto mr = pd.RegisterMemory(
       arena_.data(), arena_.size(),

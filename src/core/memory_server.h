@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/huge_buffer.h"
 #include "common/status.h"
 #include "core/types.h"
 #include "rpc/rpc.h"
@@ -58,7 +59,9 @@ class MemoryServer {
   uint32_t master_node_;
   MemoryServerOptions options_;
 
-  std::vector<std::byte> arena_;
+  // Huge-page backed: the arena is the store's entire data plane, and
+  // 4 KiB first-touch faults on it dominate cluster start-up otherwise.
+  common::HugeBuffer arena_;
   verbs::MemoryRegion* arena_mr_ = nullptr;
   std::unique_ptr<rpc::RpcClient> master_;
   bool registered_ = false;

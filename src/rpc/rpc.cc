@@ -44,7 +44,7 @@ void WriteFrame(std::byte* dst, uint64_t rpc_id, uint32_t code,
 // RpcServer
 // ---------------------------------------------------------------------------
 struct RpcServer::Connection {
-  std::vector<std::byte> arena;
+  common::HugeBuffer arena;
   verbs::MemoryRegion* mr = nullptr;
 };
 
@@ -82,7 +82,7 @@ void RpcServer::ServeConnection(verbs::QueuePair* qp) {
   auto conn = std::make_unique<Connection>();
   const uint32_t n_recv = options_.recv_buffers;
   const size_t slot = options_.buffer_size;
-  conn->arena.resize(static_cast<size_t>(n_recv) * 2 * slot);
+  conn->arena = common::HugeBuffer(static_cast<size_t>(n_recv) * 2 * slot);
 
   verbs::ProtectionDomain& pd = device_.CreatePd();
   auto mr = pd.RegisterMemory(conn->arena.data(), conn->arena.size(),
@@ -233,7 +233,7 @@ RpcClient::~RpcClient() {
 Status RpcClient::SetupBuffers() {
   const uint32_t n = options_.recv_buffers;
   const size_t slot = options_.buffer_size;
-  arena_.resize(static_cast<size_t>(n) * 2 * slot);
+  arena_ = common::HugeBuffer(static_cast<size_t>(n) * 2 * slot);
   pd_ = &device_.CreatePd();
   verbs::ProtectionDomain& pd = *pd_;
   auto mr = pd.RegisterMemory(arena_.data(), arena_.size(),

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/huge_buffer.h"
 #include "common/status.h"
 #include "rpc/wire.h"
 #include "sim/cost_model.h"
@@ -136,7 +137,9 @@ class RpcClient {
   verbs::QueuePair* qp_ = nullptr;
   verbs::ProtectionDomain* pd_ = nullptr;
   verbs::MemoryRegion* arena_mr_ = nullptr;
-  std::vector<std::byte> arena_;
+  // Message slots; HugeBuffer so the few-MiB arena comes from the pooled
+  // mapping cache instead of being faulted fresh per connection.
+  common::HugeBuffer arena_;
   std::vector<std::byte*> free_send_bufs_;
   uint64_t next_rpc_id_ = 1;
   std::map<uint64_t, PendingCall*> pending_;

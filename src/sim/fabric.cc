@@ -13,6 +13,22 @@ Fabric::PortState& Fabric::port(uint32_t node) {
   return ports_[node];
 }
 
+Fabric::Message* Fabric::AcquireMessage() {
+  if (free_messages_.empty()) {
+    message_arena_.emplace_back();
+    return &message_arena_.back();
+  }
+  Message* msg = free_messages_.back();
+  free_messages_.pop_back();
+  return msg;
+}
+
+void Fabric::ReleaseMessage(Message* msg) {
+  msg->on_delivered.Reset();
+  msg->on_dropped.Reset();
+  free_messages_.push_back(msg);
+}
+
 void Fabric::SetLinkDown(uint32_t a, uint32_t b, bool down) {
   if (down) {
     down_links_.insert(LinkKey(a, b));
@@ -36,8 +52,7 @@ uint64_t Fabric::messages_out(uint32_t node) const {
 }
 
 void Fabric::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes,
-                  std::function<void()> on_delivered,
-                  std::function<void()> on_dropped) {
+                  FabricFn on_delivered, FabricFn on_dropped) {
   const Nanos now = sim_.NowNanos();
 
   const bool path_up = LinkUp(src, dst) && sim_.node(src).alive() &&
@@ -64,75 +79,89 @@ void Fabric::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes,
   const uint64_t wire_bytes = payload_bytes + config_.header_overhead_bytes;
   const Nanos wire_time = TransferTime(wire_bytes, config_.bandwidth_bps);
 
-  Message msg{src,
-              dst,
-              wire_time,
-              std::max(wire_time, config_.per_message_gap),
-              std::move(on_delivered),
-              std::move(on_dropped),
-              now};
-  port(src).egress_queues[dst].push_back(std::move(msg));
+  Message* msg = AcquireMessage();
+  msg->src = src;
+  msg->dst = dst;
+  msg->wire_time = wire_time;
+  msg->service_time = std::max(wire_time, config_.per_message_gap);
+  msg->on_delivered = std::move(on_delivered);
+  msg->on_dropped = std::move(on_dropped);
+  msg->sent_at = now;
+
+  if (dst >= sp.egress_by_dst.size()) sp.egress_by_dst.resize(dst + 1);
+  sp.egress_by_dst[dst].push_back(msg);
+  sp.egress_backlog += 1;
   PumpEgress(src);
 }
 
-void Fabric::PumpEgress(uint32_t node) {
-  PortState& p = port(node);
-  if (p.egress_busy) return;
-
-  // Round-robin over destinations with queued traffic, starting after the
-  // last destination served (deterministic: map iterates in key order).
-  auto it = p.egress_queues.upper_bound(p.rr_cursor);
-  if (it == p.egress_queues.end()) it = p.egress_queues.begin();
-  if (it == p.egress_queues.end()) return;  // nothing queued
-
-  Message msg = std::move(it->second.front());
-  it->second.pop_front();
-  p.rr_cursor = it->first;
-  if (it->second.empty()) p.egress_queues.erase(it);
-
-  p.egress_busy = true;
-  const Nanos start_tx = sim_.NowNanos();
-  const Nanos service = msg.service_time;
-  const Nanos first_bit = start_tx + config_.base_latency;
-  const uint32_t dst = msg.dst;
-
-  // First bit reaches the destination's ingress after the base latency
-  // (cut-through: ingress service overlaps egress transmission).
-  sim_.At(first_bit, [this, dst, m = std::move(msg)]() mutable {
-    EnqueueIngress(dst, std::move(m));
-  });
-  sim_.At(start_tx + service, [this, node] {
-    port(node).egress_busy = false;
+void Fabric::SchedulePump(uint32_t node, Nanos at) {
+  port(node).pump_scheduled = true;
+  sim_.At(at, [this, node] {
+    port(node).pump_scheduled = false;
     PumpEgress(node);
   });
 }
 
-void Fabric::EnqueueIngress(uint32_t node, Message msg) {
-  port(node).ingress_queue.push_back(std::move(msg));
-  PumpIngress(node);
-}
-
-void Fabric::PumpIngress(uint32_t node) {
+void Fabric::PumpEgress(uint32_t node) {
   PortState& p = port(node);
-  if (p.ingress_busy || p.ingress_queue.empty()) return;
-  Message msg = std::move(p.ingress_queue.front());
-  p.ingress_queue.pop_front();
-  p.ingress_busy = true;
-  const Nanos done = sim_.NowNanos() + msg.wire_time;
-  sim_.At(done, [this, node, m = std::move(msg)]() mutable {
-    port(node).ingress_busy = false;
-    Deliver(std::move(m));
-    PumpIngress(node);
-  });
+  if (p.pump_scheduled || p.egress_backlog == 0) return;
+  const Nanos now = sim_.NowNanos();
+  if (now < p.egress_free_at) {
+    // Port mid-transmission and no pump pending (the previous pump saw an
+    // empty backlog): revive the done-event for the waiting message.
+    SchedulePump(node, p.egress_free_at);
+    return;
+  }
+
+  // Round-robin over destinations with queued traffic, starting after the
+  // last destination served. The scan over destination ids reproduces the
+  // old ordered-map iteration (deterministic, key order) at vector-index
+  // cost.
+  const auto n = static_cast<uint32_t>(p.egress_by_dst.size());
+  uint32_t dst = n;  // invalid
+  for (uint32_t step = 1; step <= n; ++step) {
+    const uint32_t cand = (p.rr_cursor + step) % n;
+    if (!p.egress_by_dst[cand].empty()) {
+      dst = cand;
+      break;
+    }
+  }
+  if (dst == n) return;  // nothing queued (backlog said otherwise; safety)
+
+  Message* msg = p.egress_by_dst[dst].front();
+  p.egress_by_dst[dst].pop_front();
+  p.egress_backlog -= 1;
+  p.rr_cursor = dst;
+  p.egress_free_at = now + msg->service_time;
+
+  // First bit reaches the destination base_latency after transmission
+  // starts (cut-through: ingress service overlaps egress transmission);
+  // the ingress port then serves messages back to back in first-bit
+  // order, which the reservation timestamp reproduces directly.
+  PortState& q = port(msg->dst);
+  const Nanos first_bit = now + config_.base_latency;
+  const Nanos service_start = std::max(first_bit, q.ingress_free_at);
+  q.ingress_free_at = service_start + msg->wire_time;
+  sim_.At(q.ingress_free_at, [this, msg] { Deliver(msg); });
+
+  if (p.egress_backlog > 0) SchedulePump(node, p.egress_free_at);
 }
 
-void Fabric::Deliver(Message msg) {
-  // The destination may have died (or the link partitioned) in flight.
-  if (sim_.node(msg.dst).alive() && LinkUp(msg.src, msg.dst)) {
-    msg.on_delivered();
-  } else if (msg.on_dropped) {
-    const Nanos detect = msg.sent_at + config_.drop_detect_latency;
-    sim_.At(std::max(detect, sim_.NowNanos()), std::move(msg.on_dropped));
+void Fabric::Deliver(Message* msg) {
+  // Move the callback out and recycle the message *before* invoking it:
+  // delivery handlers routinely send nested messages (read responses),
+  // which can then reuse the slot.
+  if (sim_.node(msg->dst).alive() && LinkUp(msg->src, msg->dst)) {
+    FabricFn cb = std::move(msg->on_delivered);
+    ReleaseMessage(msg);
+    cb();
+  } else if (msg->on_dropped) {
+    // The destination died (or the link partitioned) in flight.
+    const Nanos detect = msg->sent_at + config_.drop_detect_latency;
+    sim_.At(std::max(detect, sim_.NowNanos()), std::move(msg->on_dropped));
+    ReleaseMessage(msg);
+  } else {
+    ReleaseMessage(msg);
   }
 }
 

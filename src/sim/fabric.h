@@ -25,15 +25,20 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <map>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
+#include "common/small_fn.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
 
 namespace rstore::sim {
+
+// Delivery/drop callbacks on fabric messages. 56 bytes of inline capture
+// covers the verbs layer's {network, pooled wire-op} pointers plus a few
+// scalars without heap allocation.
+using FabricFn = common::SmallFn<void(), 56>;
 
 struct NicConfig {
   // Per-port full-duplex bandwidth. Default 58.8 Gb/s: the paper's
@@ -66,8 +71,7 @@ class Fabric {
   // delivery instant; `on_dropped` (optional) runs if the path is down or
   // the destination is dead. Exactly one of the two callbacks fires.
   void Send(uint32_t src, uint32_t dst, uint64_t payload_bytes,
-            std::function<void()> on_delivered,
-            std::function<void()> on_dropped = {});
+            FabricFn on_delivered, FabricFn on_dropped = {});
 
   // Partitions (or heals) the bidirectional link between a and b.
   void SetLinkDown(uint32_t a, uint32_t b, bool down);
@@ -83,24 +87,42 @@ class Fabric {
   [[nodiscard]] uint64_t total_bytes() const noexcept { return total_bytes_; }
 
  private:
+  // Messages are pooled: acquired on Send, released after delivery/drop.
+  // The event-queue callbacks then capture only {fabric, message*}, which
+  // fits every layer's inline callback storage — the steady-state data
+  // path performs no heap allocation in the fabric.
   struct Message {
     uint32_t src;
     uint32_t dst;
     Nanos wire_time;
     Nanos service_time;  // max(wire_time, per_message_gap)
-    std::function<void()> on_delivered;
-    std::function<void()> on_dropped;
+    FabricFn on_delivered;
+    FabricFn on_dropped;
     Nanos sent_at;
   };
 
   struct PortState {
-    // Egress: one queue per destination, served round-robin.
-    std::map<uint32_t, std::deque<Message>> egress_queues;
+    // Egress: one queue per destination, served round-robin in
+    // destination-id order (the QP arbitration real HCAs perform). The
+    // queues are a flat vector indexed by destination node id — node ids
+    // are small and dense — so serving a message is an index plus a short
+    // scan instead of ordered-map traversal.
+    std::vector<std::deque<Message*>> egress_by_dst;
     uint32_t rr_cursor = 0;  // last destination served (exclusive start)
-    bool egress_busy = false;
-    // Ingress: FIFO in first-bit order.
-    std::deque<Message> ingress_queue;
-    bool ingress_busy = false;
+    uint64_t egress_backlog = 0;  // queued messages across all dsts
+    // The port is transmitting until this instant. Busy/done bookkeeping
+    // is a timestamp, not an event: a "transmission finished" event is
+    // scheduled only when another message is actually waiting, so an
+    // uncontended message costs a single scheduler event end to end.
+    Nanos egress_free_at = 0;
+    bool pump_scheduled = false;  // a pump event exists at egress_free_at
+    // Ingress service is likewise a reservation timestamp. Messages are
+    // served in first-bit arrival order; since base_latency is one global
+    // constant, first-bit order equals transmission-start order, so
+    // reserving the ingress port at egress-pump time (which runs in
+    // virtual-time order) is exactly FIFO-by-first-bit — without an
+    // arrival event or a queue.
+    Nanos ingress_free_at = 0;
 
     uint64_t bytes_out = 0;
     uint64_t bytes_in = 0;
@@ -108,10 +130,11 @@ class Fabric {
   };
 
   PortState& port(uint32_t node);
+  Message* AcquireMessage();
+  void ReleaseMessage(Message* msg);
   void PumpEgress(uint32_t node);
-  void EnqueueIngress(uint32_t node, Message msg);
-  void PumpIngress(uint32_t node);
-  void Deliver(Message msg);
+  void SchedulePump(uint32_t node, Nanos at);
+  void Deliver(Message* msg);
   [[nodiscard]] static uint64_t LinkKey(uint32_t a, uint32_t b) noexcept {
     if (a > b) std::swap(a, b);
     return (static_cast<uint64_t>(a) << 32) | b;
@@ -124,6 +147,10 @@ class Fabric {
   std::deque<PortState> ports_;
   std::unordered_set<uint64_t> down_links_;
   uint64_t total_bytes_ = 0;
+
+  // Message pool (stable storage + freelist).
+  std::deque<Message> message_arena_;
+  std::vector<Message*> free_messages_;
 };
 
 }  // namespace rstore::sim

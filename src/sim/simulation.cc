@@ -73,9 +73,11 @@ class SimThread {
   void YieldToScheduler() {
     std::unique_lock<std::mutex> lock(sim_.mu_);
     blocked_ = true;
-    sim_.active_ = nullptr;
+    sim_.active_.store(nullptr, std::memory_order_release);
     sim_.scheduler_cv_.notify_one();
-    cv_.wait(lock, [this] { return sim_.active_ == this; });
+    cv_.wait(lock, [this] {
+      return sim_.active_.load(std::memory_order_relaxed) == this;
+    });
     blocked_ = false;
     ++gen_;  // invalidate any other pending wakes for the finished block
   }
@@ -118,7 +120,9 @@ void SimThread::ThreadMain() {
   {
     // First activation mirrors the tail of YieldToScheduler().
     std::unique_lock<std::mutex> lock(sim_.mu_);
-    cv_.wait(lock, [this] { return sim_.active_ == this; });
+    cv_.wait(lock, [this] {
+      return sim_.active_.load(std::memory_order_relaxed) == this;
+    });
     blocked_ = false;
     ++gen_;
   }
@@ -135,7 +139,7 @@ void SimThread::ThreadMain() {
   // Exit handoff: give control back to the scheduler permanently.
   std::lock_guard<std::mutex> lock(sim_.mu_);
   exited_ = true;
-  sim_.active_ = nullptr;
+  sim_.active_.store(nullptr, std::memory_order_release);
   sim_.scheduler_cv_.notify_one();
 }
 
@@ -184,15 +188,16 @@ bool InSimThread() noexcept { return g_current_thread != nullptr; }
 // ---------------------------------------------------------------------------
 // CondVar
 // ---------------------------------------------------------------------------
+// A ThreadKilled unwind must NOT touch waiters_: the kill may be part of
+// simulation teardown, in which case the object owning this CondVar can
+// already be gone (threads blocked in a server's accept loop outlive the
+// server object until Shutdown unwinds them). The stale waiter entry is
+// harmless — SimThread objects live until the simulation is destroyed,
+// and NotifyOne skips entries whose thread has exited.
 void CondVar::Wait() {
   SimThread* t = Current();
   waiters_.push_back(t);
-  try {
-    t->Block();
-  } catch (...) {
-    std::erase(waiters_, t);
-    throw;
-  }
+  t->Block();
 }
 
 bool CondVar::WaitFor(Nanos timeout) {
@@ -206,14 +211,7 @@ bool CondVar::WaitFor(Nanos timeout) {
   waiters_.push_back(t);
   sim_.ScheduleWake(t, t->gen(), sim_.NowNanos() + timeout,
                     SimThread::kTimeout);
-  int reason;
-  try {
-    reason = t->Block();
-  } catch (...) {
-    std::erase(waiters_, t);
-    throw;
-  }
-  if (reason == SimThread::kTimeout) {
+  if (t->Block() == SimThread::kTimeout) {
     std::erase(waiters_, t);
     return false;
   }
@@ -221,10 +219,13 @@ bool CondVar::WaitFor(Nanos timeout) {
 }
 
 void CondVar::NotifyOne() {
-  if (waiters_.empty()) return;
-  SimThread* t = waiters_.front();
-  waiters_.pop_front();
-  sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kNotify);
+  while (!waiters_.empty()) {
+    SimThread* t = waiters_.front();
+    waiters_.pop_front();
+    if (t->exited()) continue;  // killed while waiting; entry went stale
+    sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kNotify);
+    return;
+  }
 }
 
 void CondVar::NotifyAll() {
@@ -242,7 +243,9 @@ Nanos CondVar::NowInternal() const { return sim_.NowNanos(); }
 // Simulation
 // ---------------------------------------------------------------------------
 Simulation::Simulation(SimConfig config)
-    : config_(config), seeder_(config.seed) {}
+    : config_(config), seeder_(config.seed) {
+  events_.reserve(1024);
+}
 
 Simulation::~Simulation() { Shutdown(); }
 
@@ -253,11 +256,27 @@ Node& Simulation::AddNode(std::string name) {
   return *nodes_.back();
 }
 
-void Simulation::At(Nanos t, std::function<void()> fn) {
-  events_.push(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+void Simulation::PushEvent(Event e) {
+  events_.push_back(std::move(e));
+  std::push_heap(events_.begin(), events_.end(), std::greater<>{});
 }
 
-void Simulation::After(Nanos delay, std::function<void()> fn) {
+Simulation::Event Simulation::PopEvent() {
+  std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
+  Event e = std::move(events_.back());
+  events_.pop_back();
+  return e;
+}
+
+void Simulation::At(Nanos t, EventFn fn) {
+  Event e;
+  e.t = std::max(t, now_);
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  PushEvent(std::move(e));
+}
+
+void Simulation::After(Nanos delay, EventFn fn) {
   At(now_ + delay, std::move(fn));
 }
 
@@ -269,17 +288,45 @@ void Simulation::ScheduleWake(SimThread* t, uint64_t gen, Nanos at,
   e.wake_target = t;
   e.wake_gen = gen;
   e.wake_reason = reason;
-  events_.push(std::move(e));
+  PushEvent(std::move(e));
 }
 
 void Simulation::RunThreadSlice(SimThread* t) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    active_ = t;
+    active_.store(t, std::memory_order_release);
   }
   t->cv_.notify_one();
+  // Slices are typically a few microseconds of real work, so poll for the
+  // handback before parking on the condvar: most slices end while we
+  // watch, which halves the OS handoff cost (one futex round trip instead
+  // of two). *How* to poll depends on the host: with spare cores the
+  // slice proceeds in parallel, so pause-spin; on a uniprocessor the
+  // woken thread cannot run while we occupy the core — spinning only
+  // delays it — so donate the core with sched_yield and check between
+  // reschedules.
+  static const bool kUniprocessor = std::thread::hardware_concurrency() == 1;
+  if (kUniprocessor) {
+    constexpr int kYieldIters = 64;
+    for (int i = 0; i < kYieldIters; ++i) {
+      if (active_.load(std::memory_order_acquire) == nullptr) return;
+      std::this_thread::yield();
+    }
+  } else {
+    constexpr int kSpinIters = 4096;
+    for (int i = 0; i < kSpinIters; ++i) {
+      if (active_.load(std::memory_order_acquire) == nullptr) return;
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#elif defined(__aarch64__)
+      asm volatile("yield");
+#endif
+    }
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  scheduler_cv_.wait(lock, [this] { return active_ == nullptr; });
+  scheduler_cv_.wait(lock, [this] {
+    return active_.load(std::memory_order_relaxed) == nullptr;
+  });
 }
 
 void Simulation::Run() { RunUntil(kNever); }
@@ -288,9 +335,7 @@ void Simulation::RunUntil(Nanos deadline) {
   assert(!InSimThread() && "Run must be driven from outside the simulation");
   stop_requested_ = false;
   while (!events_.empty() && !stop_requested_) {
-    // priority_queue::top is const; moving out right before pop is safe.
-    Event e = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
+    Event e = PopEvent();
     if (e.wake_target != nullptr) {
       SimThread* t = e.wake_target;
       if (t->exited() || !t->blocked() || t->gen() != e.wake_gen) {
@@ -299,7 +344,7 @@ void Simulation::RunUntil(Nanos deadline) {
     }
     if (e.t > deadline) {
       // Put it back and stop at the deadline.
-      events_.push(std::move(e));
+      PushEvent(std::move(e));
       now_ = std::max(now_, deadline);
       return;
     }
@@ -311,7 +356,9 @@ void Simulation::RunUntil(Nanos deadline) {
       std::abort();
     }
     now_ = std::max(now_, e.t);
+    ++events_processed_;
     if (e.wake_target != nullptr) {
+      ++thread_slices_;
       e.wake_target->wake_reason_ =
           static_cast<SimThread::WakeReason>(e.wake_reason);
       RunThreadSlice(e.wake_target);

@@ -28,21 +28,28 @@
 //   call. The fabric drops traffic from/to dead nodes.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/small_fn.h"
 #include "sim/time.h"
 
 namespace rstore::sim {
+
+// Event callbacks live inline in the event heap: 48 bytes of capture
+// space covers every hot-path callback (a couple of pointers and
+// scalars) without a heap allocation; larger captures fall back to the
+// heap transparently.
+using EventFn = common::SmallFn<void(), 48>;
 
 class Simulation;
 class Node;
@@ -180,11 +187,23 @@ class Simulation {
   [[nodiscard]] Nanos NowNanos() const noexcept { return now_; }
   [[nodiscard]] uint64_t seed() const noexcept { return config_.seed; }
 
+  // Events dispatched so far (callbacks run + thread slices; stale wakes
+  // excluded). The denominator of the wall-clock harness's events/sec.
+  [[nodiscard]] uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+  // Subset of events_processed() that handed control to an OS thread —
+  // each costs a real context-switch round trip, so the slice share of
+  // the event mix is what wall-clock tuning watches.
+  [[nodiscard]] uint64_t thread_slices() const noexcept {
+    return thread_slices_;
+  }
+
   // Schedules `fn` to run in scheduler context at virtual time `t`
   // (clamped to now). Callbacks must not block; they may notify CondVars
   // and schedule further events.
-  void At(Nanos t, std::function<void()> fn);
-  void After(Nanos delay, std::function<void()> fn);
+  void At(Nanos t, EventFn fn);
+  void After(Nanos delay, EventFn fn);
 
   // Runs until the event queue drains (quiescence: every thread exited or
   // blocked indefinitely with no pending event that could wake it) or a
@@ -202,6 +221,11 @@ class Simulation {
 
   // Failure injection: marks the node dead and unwinds its threads.
   void KillNode(uint32_t id);
+
+  // True once destruction has begun and threads are being unwound. Blocking
+  // primitives use this to decide whether the object they were waiting on
+  // is still safe to touch while a ThreadKilled exception propagates.
+  [[nodiscard]] bool shutting_down() const noexcept { return shutting_down_; }
 
   // Total threads ever spawned / still live, for tests.
   [[nodiscard]] size_t live_thread_count() const noexcept;
@@ -221,7 +245,7 @@ class Simulation {
   struct Event {
     Nanos t;
     uint64_t seq;
-    std::function<void()> fn;
+    EventFn fn;
     SimThread* wake_target = nullptr;
     uint64_t wake_gen = 0;
     int wake_reason = 0;
@@ -233,21 +257,30 @@ class Simulation {
   // Scheduler internals (see .cc for the handoff protocol).
   void RunThreadSlice(SimThread* t);
   void ScheduleWake(SimThread* t, uint64_t gen, Nanos at, int reason);
+  void PushEvent(Event e);
+  Event PopEvent();
   void Shutdown();
 
   SimConfig config_;
   Rng seeder_;
   Nanos now_ = 0;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  uint64_t events_processed_ = 0;
+  uint64_t thread_slices_ = 0;
+  // Event queue as a manual binary min-heap over a reserved vector: the
+  // storage is pooled across the run (no reallocation churn once warm)
+  // and the top entry can be moved out instead of copied.
+  std::vector<Event> events_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool shutting_down_ = false;
   bool stop_requested_ = false;
 
-  // Handoff state: protects active_ and the per-thread runnable flags.
+  // Handoff state: mu_ orders the handoff edges; active_ is additionally
+  // atomic so the scheduler can spin-wait for the slice end without
+  // taking the mutex (see RunThreadSlice).
   std::mutex mu_;
   std::condition_variable scheduler_cv_;
-  SimThread* active_ = nullptr;
+  std::atomic<SimThread*> active_ = nullptr;
 };
 
 }  // namespace rstore::sim

@@ -49,7 +49,35 @@ bool MemoryRegion::Covers(uint64_t addr, uint64_t len) const noexcept {
 // ---------------------------------------------------------------------------
 void CompletionQueue::Push(WorkCompletion wc) {
   entries_.push_back(wc);
-  ready_.NotifyAll();
+  // Wake waiters only when the shallowest outstanding threshold is met
+  // (NotifyAll with no waiters would be a no-op anyway, so consulting the
+  // registered minima loses nothing).
+  if (!waiter_minima_.empty() &&
+      entries_.size() >=
+          *std::min_element(waiter_minima_.begin(), waiter_minima_.end())) {
+    ready_.NotifyAll();
+  }
+}
+
+void CompletionQueue::WaitReady(size_t min_entries, sim::Nanos timeout) {
+  // Copy the simulation reference to the stack: during global shutdown this
+  // queue may already be destroyed (teardown frees devices before the
+  // simulation unwinds blocked threads), so the unwinding path below must
+  // not read anything through `this`.
+  sim::Simulation& sim = sim_;
+  waiter_minima_.push_back(min_entries);
+  try {
+    ready_.WaitUntilFor(
+        [this, min_entries] { return entries_.size() >= min_entries; },
+        timeout);
+  } catch (...) {
+    // ThreadKilled. A mid-run kill (failure injection) leaves the queue
+    // alive, so clean up the registration; a shutdown unwind must leave
+    // the (possibly freed) queue untouched.
+    if (!sim.shutting_down()) std::erase(waiter_minima_, min_entries);
+    throw;
+  }
+  std::erase(waiter_minima_, min_entries);
 }
 
 std::vector<WorkCompletion> CompletionQueue::Poll(size_t max_entries) {
@@ -63,9 +91,7 @@ std::vector<WorkCompletion> CompletionQueue::Poll(size_t max_entries) {
 
 std::vector<WorkCompletion> CompletionQueue::WaitPoll(size_t max_entries,
                                                       sim::Nanos timeout) {
-  if (entries_.empty()) {
-    ready_.WaitUntilFor([this] { return !entries_.empty(); }, timeout);
-  }
+  if (entries_.empty()) WaitReady(1, timeout);
   return Poll(max_entries);
 }
 
@@ -76,6 +102,25 @@ Result<WorkCompletion> CompletionQueue::WaitOne(sim::Nanos timeout) {
                                   "no completion before deadline");
   }
   return wcs.front();
+}
+
+size_t CompletionQueue::PollInto(std::vector<WorkCompletion>& out,
+                                 size_t max_entries) {
+  size_t n = 0;
+  while (!entries_.empty() && n < max_entries) {
+    out.push_back(entries_.front());
+    entries_.pop_front();
+    ++n;
+  }
+  return n;
+}
+
+size_t CompletionQueue::WaitPollInto(std::vector<WorkCompletion>& out,
+                                     size_t min_entries, size_t max_entries,
+                                     sim::Nanos timeout) {
+  if (min_entries == 0) min_entries = 1;
+  if (entries_.size() < min_entries) WaitReady(min_entries, timeout);
+  return PollInto(out, max_entries);
 }
 
 // ---------------------------------------------------------------------------
@@ -101,13 +146,19 @@ Result<MemoryRegion*> ProtectionDomain::RegisterMemory(std::byte* addr,
 
 Status ProtectionDomain::DeregisterMemory(MemoryRegion* mr) {
   Device& dev = device_;
-  auto it = dev.mrs_by_lkey_.find(mr->lkey());
-  if (it == dev.mrs_by_lkey_.end() || it->second.get() != mr) {
-    return Status(ErrorCode::kNotFound, "unknown memory region");
+  // Look the region up by pointer identity rather than by reading keys
+  // through `mr`: a double-deregister hands in a dangling pointer, which
+  // must be rejected without ever being dereferenced. Registered-region
+  // counts are small, so the scan is cheap.
+  for (auto it = dev.mrs_by_lkey_.begin(); it != dev.mrs_by_lkey_.end();
+       ++it) {
+    if (it->second.get() == mr) {
+      dev.mrs_by_rkey_.erase(it->second->rkey());
+      dev.mrs_by_lkey_.erase(it);
+      return Status::Ok();
+    }
   }
-  dev.mrs_by_rkey_.erase(mr->rkey());
-  dev.mrs_by_lkey_.erase(it);
-  return Status::Ok();
+  return Status(ErrorCode::kNotFound, "unknown memory region");
 }
 
 // ---------------------------------------------------------------------------
@@ -204,136 +255,200 @@ Status QueuePair::PostSend(const SendWr& wr) {
                   state_ == State::kError ? "QP in error state"
                                           : "QP not connected");
   }
-  if (sq_.size() >= config_.max_send_wr) {
+  // Validate the whole doorbell chain before enqueueing any of it: a
+  // rejected post enqueues nothing (all-or-nothing, as ibv_post_send
+  // reports via bad_wr).
+  uint32_t chain_len = 0;
+  for (const SendWr* w = &wr; w != nullptr; w = w->next) {
+    ++chain_len;
+    if (w->num_sge == 0 || w->num_sge > SendWr::kMaxSge) {
+      return Status(ErrorCode::kInvalidArgument, "bad num_sge");
+    }
+    switch (w->opcode) {
+      case Opcode::kSend:
+      case Opcode::kRdmaWrite:
+      case Opcode::kRdmaWriteWithImm:
+        for (uint32_t i = 0; i < w->num_sge; ++i) {
+          RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(w->sge(i), false));
+        }
+        break;
+      case Opcode::kRdmaRead:
+        for (uint32_t i = 0; i < w->num_sge; ++i) {
+          RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(w->sge(i), true));
+        }
+        break;
+      case Opcode::kCompareSwap:
+      case Opcode::kFetchAdd:
+        if (w->num_sge != 1 || w->local.length != 8) {
+          return Status(ErrorCode::kInvalidArgument,
+                        "atomic result buffer must be 8 bytes");
+        }
+        RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(w->local, true));
+        break;
+      case Opcode::kRecv:
+        return Status(ErrorCode::kInvalidArgument, "RECV posted to send queue");
+    }
+  }
+  if (sq_.size() + chain_len > config_.max_send_wr) {
     return Status(ErrorCode::kOutOfMemory, "send queue full");
   }
-  switch (wr.opcode) {
-    case Opcode::kSend:
-    case Opcode::kRdmaWrite:
-    case Opcode::kRdmaWriteWithImm:
-      RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(wr.local, false));
-      break;
-    case Opcode::kRdmaRead:
-      RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(wr.local, true));
-      break;
-    case Opcode::kCompareSwap:
-    case Opcode::kFetchAdd:
-      if (wr.local.length != 8) {
-        return Status(ErrorCode::kInvalidArgument,
-                      "atomic result buffer must be 8 bytes");
-      }
-      RSTORE_RETURN_IF_ERROR(device_.ValidateLocal(wr.local, true));
-      break;
-    case Opcode::kRecv:
-      return Status(ErrorCode::kInvalidArgument, "RECV posted to send queue");
+
+  const uint64_t first_seq = sq_next_seq_;
+  for (const SendWr* w = &wr; w != nullptr; w = w->next) {
+    ++sq_next_seq_;
+    sq_.push_back(SqEntry{*w, false, WcStatus::kSuccess, 0});
+    sq_.back().wr.next = nullptr;  // chain pointers don't outlive the post
   }
 
-  const uint64_t seq = sq_next_seq_++;
-  sq_.push_back(SqEntry{wr, false, WcStatus::kSuccess, 0});
-
+  // One initiator post cost (descriptor writes + a single doorbell) for
+  // the whole chain, then every WR enters the wire.
   Network& net = device_.network();
-  sim::Simulation& sim = net.sim();
-  const uint32_t src = device_.node_id();
-  const uint32_t dst = peer_node_;
-  const uint32_t dst_qp = peer_qp_num_;
-
-  uint64_t request_bytes = 0;
-  switch (wr.opcode) {
-    case Opcode::kSend:
-    case Opcode::kRdmaWrite:
-    case Opcode::kRdmaWriteWithImm:
-      request_bytes = wr.local.length;
-      break;
-    case Opcode::kRdmaRead:
-      request_bytes = kReadRequestBytes;
-      break;
-    default:
-      request_bytes = kAtomicRequestBytes;
-      break;
-  }
-
-  // Initiator post cost (descriptor write + doorbell), then the wire.
-  sim.After(net.cpu_model().verbs_post_ns, [this, wr, seq, src, dst, dst_qp,
-                                            request_bytes, &net] {
-    net.fabric().Send(
-        src, dst, request_bytes,
-        /*on_delivered=*/
-        [this, wr, seq, src, dst, dst_qp, &net] {
-          Device& target = net.device(dst);
-          QueuePair* tqp = target.FindQp(dst_qp);
-          if (tqp == nullptr || tqp->state_ == State::kError) {
-            CompleteSq(seq, WcStatus::kRetryExceeded, 0);
-            return;
-          }
-          ExecuteAtTarget(net, target, *tqp, wr, seq, src);
-        },
-        /*on_dropped=*/
-        [this, seq] { CompleteSq(seq, WcStatus::kRetryExceeded, 0); });
+  net.sim().After(net.cpu_model().verbs_post_ns, [this, first_seq, chain_len] {
+    IssueDoorbell(first_seq, chain_len);
   });
   return Status::Ok();
 }
 
+void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
+  Network& net = device_.network();
+  Network* pnet = &net;
+  const uint32_t src = device_.node_id();
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t seq = first_seq + i;
+    if (seq < sq_base_seq_) continue;  // flushed while the doorbell was queued
+    const size_t idx = seq - sq_base_seq_;
+    if (idx >= sq_.size()) continue;
+    const SendWr& wr = sq_[idx].wr;
+
+    uint64_t request_bytes = 0;
+    switch (wr.opcode) {
+      case Opcode::kSend:
+      case Opcode::kRdmaWrite:
+      case Opcode::kRdmaWriteWithImm:
+        request_bytes = wr.total_length();
+        break;
+      case Opcode::kRdmaRead:
+        request_bytes = kReadRequestBytes;
+        break;
+      default:
+        request_bytes = kAtomicRequestBytes;
+        break;
+    }
+
+    WireOp* op = net.AcquireWireOp();
+    op->initiator = this;
+    op->wr = wr;
+    op->seq = seq;
+    op->src_node = src;
+    op->dst_node = peer_node_;
+    op->dst_qp = peer_qp_num_;
+
+    net.fabric().Send(
+        src, peer_node_, request_bytes,
+        /*on_delivered=*/
+        [pnet, op] {
+          Device& target = pnet->device(op->dst_node);
+          QueuePair* tqp = target.FindQp(op->dst_qp);
+          if (tqp == nullptr || tqp->state_ == State::kError) {
+            op->initiator->CompleteSq(op->seq, WcStatus::kRetryExceeded, 0);
+            pnet->ReleaseWireOp(op);
+            return;
+          }
+          op->initiator->ExecuteAtTarget(*pnet, target, *tqp, op);
+        },
+        /*on_dropped=*/
+        [pnet, op] {
+          op->initiator->CompleteSq(op->seq, WcStatus::kRetryExceeded, 0);
+          pnet->ReleaseWireOp(op);
+        });
+  }
+}
+
 // Target-side execution of an arriving request, in scheduler context.
-// Static-shaped helper (member via friend-free function) so the lambda
-// above stays readable.
+// Owns `op`: every path releases it exactly once — immediately for ops
+// that finish here, or when the response message's wire event fires.
 void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
-                                const SendWr& wr, uint64_t seq,
-                                uint32_t src_node) {
+                                WireOp* op) {
+  const SendWr& wr = op->wr;
+  const uint64_t seq = op->seq;
   switch (wr.opcode) {
     case Opcode::kSend:
-      tqp.AcceptSend(wr, src_node,
+      tqp.AcceptSend(wr, op->src_node,
                      [this, seq](WcStatus st, uint32_t len) {
                        CompleteSq(seq, st, len);
                      },
                      /*data_already_placed=*/false);
+      net.ReleaseWireOp(op);
       return;
 
     case Opcode::kRdmaWrite:
     case Opcode::kRdmaWriteWithImm: {
+      const uint64_t total = wr.total_length();
       MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
-      if (mr == nullptr || !mr->Covers(wr.remote_addr, wr.local.length) ||
+      if (mr == nullptr || !mr->Covers(wr.remote_addr, total) ||
           (mr->access() & kRemoteWrite) == 0) {
         CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        net.ReleaseWireOp(op);
         return;
       }
-      if (wr.local.length > 0) {
-        std::memcpy(reinterpret_cast<void*>(wr.remote_addr), wr.local.addr,
-                    wr.local.length);
+      // Gather: local SGEs land back-to-back in the remote range.
+      auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
+      for (uint32_t i = 0; i < wr.num_sge; ++i) {
+        const Sge& s = wr.sge(i);
+        if (s.length > 0) {
+          std::memcpy(dst, s.addr, s.length);
+          dst += s.length;
+        }
       }
       if (wr.opcode == Opcode::kRdmaWriteWithImm) {
-        tqp.AcceptSend(wr, src_node,
+        tqp.AcceptSend(wr, op->src_node,
                        [this, seq](WcStatus st, uint32_t len) {
                          CompleteSq(seq, st, len);
                        },
                        /*data_already_placed=*/true);
       } else {
-        CompleteSq(seq, WcStatus::kSuccess, wr.local.length);
+        CompleteSq(seq, WcStatus::kSuccess, static_cast<uint32_t>(total));
       }
+      net.ReleaseWireOp(op);
       return;
     }
 
     case Opcode::kRdmaRead: {
+      const uint64_t total = wr.total_length();
       MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
-      if (mr == nullptr || !mr->Covers(wr.remote_addr, wr.local.length) ||
+      if (mr == nullptr || !mr->Covers(wr.remote_addr, total) ||
           (mr->access() & kRemoteRead) == 0) {
         CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        net.ReleaseWireOp(op);
         return;
       }
       // Response: payload travels target -> initiator; bytes are copied
       // at response delivery (initiator buffer contents are undefined
-      // until the completion, per RDMA semantics).
-      const uint64_t remote_addr = wr.remote_addr;
+      // until the completion, per RDMA semantics). The op carries the
+      // scatter list until then.
+      Network* pnet = &net;
       net.fabric().Send(
-          target.node_id(), device_.node_id(), wr.local.length,
-          [this, wr, seq, remote_addr] {
-            if (wr.local.length > 0) {
-              std::memcpy(wr.local.addr,
-                          reinterpret_cast<const void*>(remote_addr),
-                          wr.local.length);
+          target.node_id(), device_.node_id(), total,
+          [pnet, op] {
+            const SendWr& w = op->wr;
+            // Scatter: the contiguous remote range fills the SGEs in order.
+            const auto* src = reinterpret_cast<const std::byte*>(w.remote_addr);
+            for (uint32_t i = 0; i < w.num_sge; ++i) {
+              const Sge& s = w.sge(i);
+              if (s.length > 0) {
+                std::memcpy(s.addr, src, s.length);
+                src += s.length;
+              }
             }
-            CompleteSq(seq, WcStatus::kSuccess, wr.local.length);
+            op->initiator->CompleteSq(
+                op->seq, WcStatus::kSuccess,
+                static_cast<uint32_t>(w.total_length()));
+            pnet->ReleaseWireOp(op);
           },
-          [this, seq] { CompleteSq(seq, WcStatus::kRetryExceeded, 0); });
+          [pnet, op] {
+            op->initiator->CompleteSq(op->seq, WcStatus::kRetryExceeded, 0);
+            pnet->ReleaseWireOp(op);
+          });
       return;
     }
 
@@ -343,10 +458,12 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       if (mr == nullptr || !mr->Covers(wr.remote_addr, 8) ||
           (mr->access() & kRemoteAtomic) == 0) {
         CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        net.ReleaseWireOp(op);
         return;
       }
       if (wr.remote_addr % 8 != 0) {
         CompleteSq(seq, WcStatus::kRemOpErr, 0);
+        net.ReleaseWireOp(op);
         return;
       }
       auto* cell = reinterpret_cast<uint64_t*>(wr.remote_addr);
@@ -356,10 +473,14 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       } else {
         *cell = old + wr.swap_or_add;
       }
+      // The response needs only scalars; the op can go back to the pool
+      // before the wire event fires.
+      std::byte* result_addr = wr.local.addr;
+      net.ReleaseWireOp(op);
       net.fabric().Send(
           target.node_id(), device_.node_id(), kAtomicResponseBytes,
-          [this, wr, seq, old] {
-            std::memcpy(wr.local.addr, &old, 8);
+          [this, seq, result_addr, old] {
+            std::memcpy(result_addr, &old, 8);
             CompleteSq(seq, WcStatus::kSuccess, 8);
           },
           [this, seq] { CompleteSq(seq, WcStatus::kRetryExceeded, 0); });
@@ -367,6 +488,7 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
     }
 
     case Opcode::kRecv:
+      net.ReleaseWireOp(op);
       break;  // unreachable: rejected at post time
   }
 }
@@ -374,7 +496,7 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
 // Target side of SEND / WRITE_WITH_IMM: consume a posted RECV or park in
 // the RNR buffer. `on_executed` reports the initiator completion.
 void QueuePair::AcceptSend(const SendWr& wr, uint32_t src_node,
-                           std::function<void(WcStatus, uint32_t)> on_executed,
+                           CompletionFn on_executed,
                            bool data_already_placed) {
   if (rq_.empty()) {
     if (rnr_buffer_.size() >= kMaxRnrBuffered) {
@@ -384,18 +506,19 @@ void QueuePair::AcceptSend(const SendWr& wr, uint32_t src_node,
     }
     rnr_buffer_.push_back(
         RnrEntry{wr, src_node, std::move(on_executed), data_already_placed});
+    rnr_buffer_.back().wr.next = nullptr;
     return;
   }
-  MatchRecv(wr, src_node, std::move(on_executed), data_already_placed);
+  MatchRecv(wr, src_node, on_executed, data_already_placed);
 }
 
 void QueuePair::MatchRecv(const SendWr& wr, uint32_t src_node,
-                          const std::function<void(WcStatus, uint32_t)>& done,
-                          bool data_already_placed) {
+                          CompletionFn& done, bool data_already_placed) {
   RecvWr recv = rq_.front();
   rq_.pop_front();
+  const auto total = static_cast<uint32_t>(wr.total_length());
   if (!data_already_placed) {
-    if (recv.local.length < wr.local.length) {
+    if (recv.local.length < total) {
       // Receive buffer too small: local length error on the receiver,
       // remote-op error for the sender.
       recv_cq_->Push(WorkCompletion{recv.wr_id, WcStatus::kLocalProtErr,
@@ -405,15 +528,20 @@ void QueuePair::MatchRecv(const SendWr& wr, uint32_t src_node,
       EnterError();
       return;
     }
-    if (wr.local.length > 0) {
-      std::memcpy(recv.local.addr, wr.local.addr, wr.local.length);
+    std::byte* dst = recv.local.addr;
+    for (uint32_t i = 0; i < wr.num_sge; ++i) {
+      const Sge& s = wr.sge(i);
+      if (s.length > 0) {
+        std::memcpy(dst, s.addr, s.length);
+        dst += s.length;
+      }
     }
   }
   recv_cq_->Push(WorkCompletion{
       recv.wr_id, WcStatus::kSuccess,
       data_already_placed ? Opcode::kRdmaWriteWithImm : Opcode::kRecv,
-      wr.local.length, wr.imm, qp_num_, src_node});
-  done(WcStatus::kSuccess, wr.local.length);
+      total, wr.imm, qp_num_, src_node});
+  done(WcStatus::kSuccess, total);
 }
 
 Status QueuePair::PostRecv(const RecvWr& wr) {
@@ -520,6 +648,18 @@ Device& Network::device(uint32_t node_id) {
          "no device on node");
   return *devices_[node_id];
 }
+
+WireOp* Network::AcquireWireOp() {
+  if (free_wire_ops_.empty()) {
+    wire_op_arena_.emplace_back();
+    return &wire_op_arena_.back();
+  }
+  WireOp* op = free_wire_ops_.back();
+  free_wire_ops_.pop_back();
+  return op;
+}
+
+void Network::ReleaseWireOp(WireOp* op) { free_wire_ops_.push_back(op); }
 
 Network::Listener::Listener(Network& net, Device& dev, uint32_t service_id,
                             QpConfig config, CompletionQueue* send_cq,

@@ -27,16 +27,17 @@
 // norm for RDMA applications and overlaps with progress).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/small_fn.h"
 #include "common/status.h"
 #include "sim/cost_model.h"
 #include "sim/fabric.h"
@@ -49,6 +50,7 @@ class ProtectionDomain;
 class CompletionQueue;
 class QueuePair;
 class Network;
+struct WireOp;
 
 // Access permissions for memory regions, OR-able.
 enum Access : uint32_t {
@@ -80,6 +82,11 @@ enum class WcStatus : uint8_t {
 
 std::string_view ToString(WcStatus status) noexcept;
 std::string_view ToString(Opcode op) noexcept;
+
+// Callback reporting the initiator-side outcome of a target-side step
+// (status, bytes transferred). Small-buffer: the hot path captures only
+// {queue pair, sequence number}.
+using CompletionFn = common::SmallFn<void(WcStatus, uint32_t), 32>;
 
 // A completed work request.
 struct WorkCompletion {
@@ -132,7 +139,21 @@ struct Sge {
 };
 
 // Send-queue work request.
+//
+// Gather/scatter: a WR carries up to kMaxSge local elements — `local`
+// is SGE 0, `sge_tail` holds the rest (appended after the original
+// fields so existing designated initializers keep compiling). For WRITE
+// the SGEs gather into one contiguous remote range; for READ the remote
+// range scatters across them. Atomics and zero-length ops use SGE 0
+// only.
+//
+// Doorbell batching: `next` links WRs into a chain; PostSend posts the
+// whole chain under a single doorbell (one initiator post cost), as
+// ibv_post_send does. The chain is consumed synchronously — the pointed
+// -to WRs need only outlive the PostSend call.
 struct SendWr {
+  static constexpr uint32_t kMaxSge = 4;
+
   uint64_t wr_id = 0;
   Opcode opcode = Opcode::kSend;
   Sge local;                 // source (send/write) or destination (read)
@@ -142,6 +163,29 @@ struct SendWr {
   uint64_t compare = 0;      // kCompareSwap
   uint64_t swap_or_add = 0;  // kCompareSwap / kFetchAdd
   bool signaled = true;      // errors always complete, success only if set
+  uint32_t num_sge = 1;      // SGEs in use: `local` + (num_sge-1) of tail
+  std::array<Sge, kMaxSge - 1> sge_tail{};
+  const SendWr* next = nullptr;  // doorbell chain; not owned
+
+  [[nodiscard]] const Sge& sge(uint32_t i) const noexcept {
+    return i == 0 ? local : sge_tail[i - 1];
+  }
+  [[nodiscard]] Sge& sge(uint32_t i) noexcept {
+    return i == 0 ? local : sge_tail[i - 1];
+  }
+  [[nodiscard]] Sge& last_sge() noexcept { return sge(num_sge - 1); }
+  [[nodiscard]] uint64_t total_length() const noexcept {
+    uint64_t n = 0;
+    for (uint32_t i = 0; i < num_sge; ++i) n += sge(i).length;
+    return n;
+  }
+  // Appends a gather/scatter element; false when the WR is full.
+  bool AppendSge(const Sge& s) noexcept {
+    if (num_sge >= kMaxSge) return false;
+    sge_tail[num_sge - 1] = s;
+    ++num_sge;
+    return true;
+  }
 };
 
 // Receive-queue work request.
@@ -150,11 +194,24 @@ struct RecvWr {
   Sge local;
 };
 
+// Internal: one operation in flight on the wire. Pooled by the Network so
+// fabric callbacks capture only {network, op} — two pointers, well within
+// the fabric's inline callback storage. Acquired at doorbell time,
+// released exactly once when the op's last wire event fires.
+struct WireOp {
+  QueuePair* initiator = nullptr;
+  SendWr wr;  // chain pointer cleared; SGE array owned by value
+  uint64_t seq = 0;
+  uint32_t src_node = 0;
+  uint32_t dst_node = 0;
+  uint32_t dst_qp = 0;
+};
+
 // Completion queue. Unbounded (real CQ overflow is a provisioning bug the
 // simulation treats as out of scope).
 class CompletionQueue {
  public:
-  explicit CompletionQueue(sim::Simulation& sim) : ready_(sim) {}
+  explicit CompletionQueue(sim::Simulation& sim) : sim_(sim), ready_(sim) {}
   CompletionQueue(const CompletionQueue&) = delete;
   CompletionQueue& operator=(const CompletionQueue&) = delete;
 
@@ -167,14 +224,39 @@ class CompletionQueue {
   // Convenience: wait for exactly one completion.
   Result<WorkCompletion> WaitOne(sim::Nanos timeout = sim::kNever);
 
+  // Allocation-free variants: append up to max_entries completions into
+  // `out` (which the caller clears and reuses across polls), returning the
+  // number appended. One wake drains everything ready — the batch analogue
+  // of ibv_poll_cq into a caller-owned WC array.
+  //
+  // `min_entries` is the wake threshold (interrupt moderation): the wait
+  // does not wake until that many completions are ready, so a caller that
+  // knows it needs N more completions pays one thread wake instead of N.
+  // Virtual-time semantics are unchanged — the Nth completion arrives at
+  // the same instant whether the queue was drained eagerly or not — and a
+  // timeout still fires even if the threshold is never reached. With
+  // concurrent waiters the threshold degrades conservatively (extra
+  // wakes, never missed ones).
+  size_t PollInto(std::vector<WorkCompletion>& out,
+                  size_t max_entries = SIZE_MAX);
+  size_t WaitPollInto(std::vector<WorkCompletion>& out,
+                      size_t min_entries = 1, size_t max_entries = SIZE_MAX,
+                      sim::Nanos timeout = sim::kNever);
+
   [[nodiscard]] size_t pending() const noexcept { return entries_.size(); }
 
  private:
   friend class QueuePair;
   friend class Device;
   void Push(WorkCompletion wc);
+  // Registers the caller's threshold, blocks until reached or timeout.
+  void WaitReady(size_t min_entries, sim::Nanos timeout);
 
+  sim::Simulation& sim_;
   std::deque<WorkCompletion> entries_;
+  // min_entries of every blocked waiter; Push notifies only when the
+  // smallest registered threshold is met.
+  std::vector<size_t> waiter_minima_;
   sim::CondVar ready_;
 };
 
@@ -244,7 +326,7 @@ class QueuePair {
   struct RnrEntry {
     SendWr wr;
     uint32_t src_node;
-    std::function<void(WcStatus, uint32_t)> on_executed;
+    CompletionFn on_executed;
     bool data_already_placed;
   };
 
@@ -252,16 +334,19 @@ class QueuePair {
             CompletionQueue* recv_cq, QpConfig config);
 
   void ConnectTo(uint32_t peer_node, uint32_t peer_qp_num);
+  // Rings the doorbell for sq entries [first_seq, first_seq+count):
+  // issues one fabric message per WR (scheduler context, after the post
+  // cost). Entries flushed in the interim are skipped.
+  void IssueDoorbell(uint64_t first_seq, uint32_t count);
   // Target-side execution of an arriving op (scheduler context). `this`
   // is the *initiator* QP; `tqp` the target QP (only used for two-sided).
+  // Takes ownership of `op` (released when its last wire event fires).
   void ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
-                       const SendWr& wr, uint64_t seq, uint32_t src_node);
+                       WireOp* op);
   // Target side of SEND / WRITE_WITH_IMM: consume a RECV or park in RNR.
   void AcceptSend(const SendWr& wr, uint32_t src_node,
-                  std::function<void(WcStatus, uint32_t)> on_executed,
-                  bool data_already_placed);
-  void MatchRecv(const SendWr& wr, uint32_t src_node,
-                 const std::function<void(WcStatus, uint32_t)>& done,
+                  CompletionFn on_executed, bool data_already_placed);
+  void MatchRecv(const SendWr& wr, uint32_t src_node, CompletionFn& done,
                  bool data_already_placed);
   // Initiator-side completion of sq entry `seq` (scheduler context).
   void CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len);
@@ -402,12 +487,18 @@ class Network {
   friend class ProtectionDomain;
   friend class Device;
 
+  // Wire-op pool (stable storage + freelist); see WireOp.
+  WireOp* AcquireWireOp();
+  void ReleaseWireOp(WireOp* op);
+
   sim::Simulation& sim_;
   sim::Fabric fabric_;
   sim::CpuCostModel cpu_;
   std::vector<std::unique_ptr<Device>> devices_;             // by node id
   std::unordered_map<uint64_t, std::unique_ptr<Listener>> listeners_;
   uint32_t next_qp_num_ = 100;
+  std::deque<WireOp> wire_op_arena_;
+  std::vector<WireOp*> free_wire_ops_;
 };
 
 }  // namespace rstore::verbs

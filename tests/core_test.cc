@@ -849,6 +849,103 @@ TEST(VectoredIoTest, BadSegmentFailsWholeCall) {
   });
 }
 
+TEST(VectoredIoTest, CoalescedWriteThenBoundarySpanningReadVRoundTrips) {
+  // A full-region write is fragmented per slab and coalesced into one
+  // multi-SGE post per server (two slabs of this region live on each of
+  // the four servers). Reading back with segments deliberately straddling
+  // every slab boundary must reproduce the bytes exactly.
+  TestCluster cluster(SmallCluster());
+  cluster.RunClient([&](RStoreClient& client) {
+    const uint64_t kRegion = 8ULL << 20;  // 8 slabs over 4 servers
+    const uint64_t kSlab = 1ULL << 20;
+    ASSERT_TRUE(client.Ralloc("r", kRegion).ok());
+    auto region = client.Rmap("r");
+    ASSERT_TRUE(region.ok());
+    auto buf = client.AllocBuffer(kRegion);
+    ASSERT_TRUE(buf.ok());
+    FillPattern(buf->data, 7);
+    ASSERT_TRUE((*region)->Write(0, buf->data).ok());
+
+    // One 8 KiB segment across each of the seven interior slab
+    // boundaries, plus the region's first and last 4 KiB.
+    auto back = client.AllocBuffer(kRegion);
+    ASSERT_TRUE(back.ok());
+    std::memset(back->begin(), 0xee, back->data.size());
+    std::vector<IoVec> segs;
+    for (uint64_t b = 1; b < 8; ++b) {
+      const uint64_t off = b * kSlab - 4096;
+      segs.push_back(IoVec{off, back->begin() + off, 8192});
+    }
+    segs.push_back(IoVec{0, back->begin(), 4096});
+    segs.push_back(IoVec{kRegion - 4096, back->begin() + kRegion - 4096,
+                         4096});
+    auto rf = (*region)->ReadV(segs);
+    ASSERT_TRUE(rf.ok());
+    ASSERT_TRUE(rf->Wait().ok());
+    for (const auto& seg : segs) {
+      EXPECT_EQ(std::memcmp(buf->begin() + seg.offset, seg.local,
+                            seg.length),
+                0)
+          << "mismatch in segment at offset " << seg.offset;
+    }
+  });
+}
+
+TEST(DeterminismTest, BatchedDataPathTimelineIsReproducible) {
+  // Same-seed runs of a workload that exercises the coalesced multi-SGE
+  // path, scattered vectored IO and atomics must agree on the complete
+  // observable timeline: finish time, fabric byte totals and data-op
+  // counts.
+  struct Fingerprint {
+    Nanos done_at = 0;
+    uint64_t fabric_bytes = 0;
+    uint64_t data_ops = 0;
+    bool operator==(const Fingerprint&) const = default;
+  };
+  auto run = [](uint64_t seed) {
+    ClusterConfig cfg = SmallCluster();
+    cfg.seed = seed;
+    TestCluster cluster(cfg);
+    Fingerprint fp;
+    cluster.RunClient([&](RStoreClient& client) {
+      ASSERT_TRUE(client.Ralloc("r", 8ULL << 20).ok());
+      auto region = client.Rmap("r");
+      ASSERT_TRUE(region.ok());
+      auto buf = client.AllocBuffer(8ULL << 20);
+      ASSERT_TRUE(buf.ok());
+      FillPattern(buf->data, 5);
+      std::vector<IoFuture> futures;
+      for (int pass = 0; pass < 3; ++pass) {
+        auto w = (*region)->WriteAsync(0, buf->data);
+        ASSERT_TRUE(w.ok());
+        futures.push_back(std::move(*w));
+      }
+      for (auto& f : futures) ASSERT_TRUE(f.Wait().ok());
+      std::vector<IoVec> segs;
+      for (int s = 0; s < 16; ++s) {
+        segs.push_back(IoVec{static_cast<uint64_t>(s) * (512 << 10),
+                             buf->begin() + s * 4096, 4096});
+      }
+      auto rv = (*region)->ReadV(segs);
+      ASSERT_TRUE(rv.ok());
+      ASSERT_TRUE(rv->Wait().ok());
+      for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE((*region)->FetchAdd(0, 3).ok());
+      }
+      fp.done_at = sim::Now();
+      fp.data_ops = client.data_ops();
+    });
+    fp.fabric_bytes = cluster.net().fabric().total_bytes();
+    return fp;
+  };
+  const Fingerprint a = run(1234);
+  const Fingerprint b = run(1234);
+  EXPECT_EQ(a.done_at, b.done_at);
+  EXPECT_EQ(a.fabric_bytes, b.fabric_bytes);
+  EXPECT_EQ(a.data_ops, b.data_ops);
+  EXPECT_GT(a.fabric_bytes, 0u);
+}
+
 // ------------------------------------------------------------ placement --
 TEST(PlacementTest, PackConcentratesStripeSpreads) {
   auto servers_touched = [](PlacementPolicy policy) {
