@@ -25,9 +25,11 @@ constexpr uint32_t kClients = 4;
 constexpr uint64_t kKeys = 2048;
 constexpr int kOpsPerClient = 400;
 
-void RunMix(benchmark::State& state, double read_fraction) {
+void RunMix(benchmark::State& state, double read_fraction,
+            uint32_t cache_slots = 0) {
   double kops = 0;
   uint64_t conflicts = 0;
+  uint64_t cache_hits = 0;
   for (auto _ : state) {
     core::ClusterConfig cfg;
     cfg.memory_servers = 4;
@@ -42,6 +44,7 @@ void RunMix(benchmark::State& state, double read_fraction) {
         Result<std::unique_ptr<kv::KvStore>> kv(ErrorCode::kInternal, "");
         kv::KvOptions opts;
         opts.buckets = 4 * kKeys;
+        opts.cache_slots = cache_slots;
         if (c == 0) {
           kv = kv::KvStore::Create(client, "ycsb", opts);
           if (!kv.ok()) return;
@@ -53,7 +56,7 @@ void RunMix(benchmark::State& state, double read_fraction) {
           (void)client.NotifyInc("loaded");
         } else {
           (void)client.WaitNotify("loaded", 1);
-          kv = kv::KvStore::Open(client, "ycsb");
+          kv = kv::KvStore::Open(client, "ycsb", cache_slots);
           if (!kv.ok()) return;
         }
         (void)client.NotifyInc("armed");
@@ -75,6 +78,7 @@ void RunMix(benchmark::State& state, double read_fraction) {
         t_begin = std::min(t_begin, t0);
         t_end = std::max(t_end, sim::Now());
         total_conflicts += (*kv)->stats().version_retries;
+        cache_hits += (*kv)->stats().cache_hits;
       });
     }
     cluster.sim().Run();
@@ -85,17 +89,38 @@ void RunMix(benchmark::State& state, double read_fraction) {
   }
   state.counters["kops_per_s"] = kops;
   state.counters["seqlock_conflicts"] = static_cast<double>(conflicts);
+  if (cache_slots > 0) {
+    state.counters["cache_hits"] = static_cast<double>(cache_hits);
+  }
 }
 
 void E11_WorkloadA(benchmark::State& state) { RunMix(state, 0.50); }
 void E11_WorkloadB(benchmark::State& state) { RunMix(state, 0.95); }
 void E11_WorkloadC(benchmark::State& state) { RunMix(state, 1.00); }
 
+// The same mixes with a 512-entry client-local slot cache: Zipf-head
+// GETs validate in 8 bytes instead of re-reading the slot.
+void E11_WorkloadACached(benchmark::State& state) {
+  RunMix(state, 0.50, 512);
+}
+void E11_WorkloadBCached(benchmark::State& state) {
+  RunMix(state, 0.95, 512);
+}
+void E11_WorkloadCCached(benchmark::State& state) {
+  RunMix(state, 1.00, 512);
+}
+
 BENCHMARK(E11_WorkloadA)->UseManualTime()->Iterations(1)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(E11_WorkloadB)->UseManualTime()->Iterations(1)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(E11_WorkloadC)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(E11_WorkloadACached)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(E11_WorkloadBCached)->UseManualTime()->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(E11_WorkloadCCached)->UseManualTime()->Iterations(1)->Unit(
     benchmark::kMillisecond);
 
 }  // namespace

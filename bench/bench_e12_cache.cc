@@ -1,0 +1,101 @@
+// E12 — extension: the client-side region cache (src/cache/) under a
+// controlled skewed read workload.
+//
+// One client maps a 16 MiB region and issues 4 KiB reads whose page is
+// Zipf(0.99)-distributed — the standard skew used across the KV
+// experiments — so the hot head fits in a small cache while the tail
+// forces fills and evictions. The sweep crosses:
+//
+//   consistency mode   kNone (today's behavior, every read remote),
+//                      kImmutable, and kEpoch with a bump every 512
+//                      reads (the bump invalidates every cached page,
+//                      modelling a barrier);
+//   cache budget       2 / 8 / 32 MiB against the 16 MiB working set
+//                      (budget pressure, the paper-default, and
+//                      everything-fits).
+//
+// Reported: virtual time per read plus hit rate, fills, and evictions.
+// The kNone rows double as the regression anchor — they must match a
+// build without the cache exactly.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+
+namespace rstore::bench {
+namespace {
+
+constexpr uint64_t kRegionBytes = 16ULL << 20;
+constexpr uint64_t kPageBytes = 64ULL << 10;
+constexpr uint64_t kReadBytes = 4096;
+constexpr int kOps = 4096;
+constexpr int kEpochEvery = 512;  // reads per epoch in kEpoch mode
+
+void E12_ZipfReads(benchmark::State& state) {
+  const auto mode = static_cast<cache::CacheMode>(state.range(0));
+  const uint64_t budget = static_cast<uint64_t>(state.range(1)) << 20;
+  cache::CacheStats stats;
+  for (auto _ : state) {
+    core::ClusterConfig cfg;
+    cfg.memory_servers = 4;
+    cfg.client_nodes = 1;
+    cfg.server_capacity = 64ULL << 20;
+    cfg.master.slab_size = 1ULL << 20;
+    core::TestCluster cluster(cfg);
+    core::ClientOptions copts;
+    copts.cache.capacity_bytes = budget;
+    double seconds = 0;
+    cluster.RunClient(
+        [&](core::RStoreClient& client) {
+          if (!client.Ralloc("w", kRegionBytes).ok()) return;
+          core::RmapOptions ropts;
+          ropts.cache_mode = mode;
+          auto region = client.Rmap("w", ropts);
+          if (!region.ok()) return;
+          auto buf = client.AllocBuffer(kRegionBytes);
+          if (!buf.ok()) return;
+          if (!(*region)->Write(0, buf->data).ok()) return;
+
+          ZipfGenerator zipf(kRegionBytes / kPageBytes, 0.99, 12);
+          Rng rng(34);
+          Stopwatch watch;
+          for (int i = 0; i < kOps; ++i) {
+            if (mode == cache::CacheMode::kEpoch && i % kEpochEvery == 0) {
+              (*region)->BumpEpoch();
+            }
+            const uint64_t page = zipf.Next();
+            const uint64_t slot = rng.Next() % (kPageBytes / kReadBytes);
+            const uint64_t off = page * kPageBytes + slot * kReadBytes;
+            watch.Start();
+            (void)(*region)->Read(off,
+                                  std::span(buf->begin(), kReadBytes));
+            watch.Stop();
+          }
+          seconds = watch.seconds() / kOps;
+          stats = client.cache_stats();
+        },
+        copts);
+    ReportVirtualTime(state, seconds);
+  }
+  state.SetLabel(std::string(cache::ToString(mode)));
+  ReportCacheCounters(state, stats);
+}
+
+void Sweep(benchmark::internal::Benchmark* b) {
+  for (int64_t mode : {0, 1, 2}) {
+    for (int64_t budget_mib : {2, 8, 32}) {
+      b->Args({mode, budget_mib});
+    }
+  }
+  b->UseManualTime()->Iterations(1)->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(E12_ZipfReads)->Apply(Sweep);
+
+}  // namespace
+}  // namespace rstore::bench
+
+RSTORE_BENCH_MAIN()

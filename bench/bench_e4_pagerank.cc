@@ -39,9 +39,10 @@ carafe::Graph MakeGraph(bool rmat, int64_t scale) {
               : carafe::UniformRandomGraph(1ULL << scale, 16.0, 7);
 }
 
-void E4_Carafe(benchmark::State& state) {
+void RunCarafe(benchmark::State& state, bool cached) {
   const bool rmat = state.range(1) != 0;
   carafe::Graph graph = MakeGraph(rmat, state.range(0));
+  cache::CacheStats cache_total;
   for (auto _ : state) {
     core::ClusterConfig cfg;
     cfg.memory_servers = 8;
@@ -58,14 +59,21 @@ void E4_Carafe(benchmark::State& state) {
         } else {
           (void)client.WaitNotify("up", 1);
         }
-        carafe::Worker worker(client, "g",
-                              carafe::WorkerConfig{w, kWorkers, "e4"});
+        carafe::WorkerConfig wc{w, kWorkers, "e4"};
+        wc.cache = cached;
+        carafe::Worker worker(client, "g", wc);
         if (!worker.Init().ok()) return;
         (void)client.NotifyInc("ready");
         (void)client.WaitNotify("ready", kWorkers);
         const sim::Nanos t0 = sim::Now();
         (void)worker.PageRank({.iterations = kIterations});
         elapsed = std::max(elapsed, sim::Now() - t0);
+        const auto& cs = client.cache_stats();
+        cache_total.hits += cs.hits;
+        cache_total.misses += cs.misses;
+        cache_total.fills += cs.fills;
+        cache_total.evictions += cs.evictions;
+        cache_total.bypass_reads += cs.bypass_reads;
       });
     }
     cluster.sim().Run();
@@ -73,7 +81,11 @@ void E4_Carafe(benchmark::State& state) {
   }
   state.counters["vertices"] = static_cast<double>(graph.num_vertices());
   state.counters["edges"] = static_cast<double>(graph.num_edges());
+  if (cached) ReportCacheCounters(state, cache_total);
 }
+
+void E4_Carafe(benchmark::State& state) { RunCarafe(state, false); }
+void E4_CarafeCached(benchmark::State& state) { RunCarafe(state, true); }
 
 void RunMessagePassing(benchmark::State& state, double per_message_ns) {
   const bool rmat = state.range(1) != 0;
@@ -133,6 +145,7 @@ void GraphShapes(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(E4_Carafe)->Apply(GraphShapes);
+BENCHMARK(E4_CarafeCached)->Apply(GraphShapes);
 BENCHMARK(E4_MessagePassingLean)->Apply(GraphShapes);
 BENCHMARK(E4_MessagePassingHeavy)->Apply(GraphShapes);
 

@@ -13,6 +13,7 @@
 
 #include <functional>
 
+#include "cache/region_cache.h"
 #include "common/log.h"
 #include "core/cluster.h"
 #include "sim/time.h"
@@ -39,6 +40,20 @@ class Stopwatch {
 // iteration.
 inline void ReportVirtualTime(benchmark::State& state, double seconds) {
   state.SetIterationTime(seconds);
+}
+
+// Publishes a client's region-cache counters; aggregate stats from every
+// participating client before calling (counters are totals, hit_rate is
+// hits / (hits + misses)).
+inline void ReportCacheCounters(benchmark::State& state,
+                                const cache::CacheStats& stats) {
+  state.counters["cache_hits"] = static_cast<double>(stats.hits);
+  state.counters["cache_fills"] = static_cast<double>(stats.fills);
+  state.counters["cache_evictions"] = static_cast<double>(stats.evictions);
+  state.counters["cache_bypass"] = static_cast<double>(stats.bypass_reads);
+  const double lookups = static_cast<double>(stats.hits + stats.misses);
+  state.counters["cache_hit_rate"] =
+      lookups > 0 ? static_cast<double>(stats.hits) / lookups : 0.0;
 }
 
 }  // namespace rstore::bench

@@ -1,0 +1,207 @@
+#include "cache/region_cache.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rstore::cache {
+
+const char* ToString(CacheMode mode) noexcept {
+  switch (mode) {
+    case CacheMode::kNone:
+      return "none";
+    case CacheMode::kImmutable:
+      return "immutable";
+    case CacheMode::kEpoch:
+      return "epoch";
+  }
+  return "?";
+}
+
+RegionCache::RegionCache(CacheConfig config, ArenaAllocator alloc)
+    : config_(config), alloc_(std::move(alloc)) {
+  if (config_.page_bytes == 0) config_.page_bytes = 64ULL << 10;
+  if (config_.capacity_bytes < config_.page_bytes) {
+    config_.capacity_bytes = config_.page_bytes;
+  }
+}
+
+void RegionCache::LruPushFront(Frame* frame) noexcept {
+  frame->lru_prev = nullptr;
+  frame->lru_next = lru_head_;
+  if (lru_head_ != nullptr) lru_head_->lru_prev = frame;
+  lru_head_ = frame;
+  if (lru_tail_ == nullptr) lru_tail_ = frame;
+}
+
+void RegionCache::LruUnlink(Frame* frame) noexcept {
+  if (frame->lru_prev != nullptr) {
+    frame->lru_prev->lru_next = frame->lru_next;
+  } else {
+    lru_head_ = frame->lru_next;
+  }
+  if (frame->lru_next != nullptr) {
+    frame->lru_next->lru_prev = frame->lru_prev;
+  } else {
+    lru_tail_ = frame->lru_prev;
+  }
+  frame->lru_prev = frame->lru_next = nullptr;
+}
+
+void RegionCache::Recycle(Frame* frame, bool counts_as_eviction) {
+  index_.erase(PageKey{frame->region_id, frame->page});
+  LruUnlink(frame);
+  frame->resident = false;
+  free_.push_back(frame);
+  if (counts_as_eviction) {
+    ++stats_.evictions;
+  } else {
+    ++stats_.invalidations;
+  }
+}
+
+RegionCache::Frame* RegionCache::Find(uint64_t region_id, uint64_t page,
+                                      uint64_t epoch) {
+  auto it = index_.find(PageKey{region_id, page});
+  if (it == index_.end() || it->second->epoch != epoch) return nullptr;
+  Frame* frame = it->second;
+  if (frame != lru_head_) {
+    LruUnlink(frame);
+    LruPushFront(frame);
+  }
+  return frame;
+}
+
+RegionCache::Frame* RegionCache::Acquire() {
+  Frame* frame = nullptr;
+  if (!free_.empty()) {
+    frame = free_.back();
+    free_.pop_back();
+  } else if (allocated_pages_ * config_.page_bytes < config_.capacity_bytes) {
+    // Grow the pool one arena at a time (up to 32 pages) so small budgets
+    // do not over-allocate and big ones amortize registration.
+    const uint64_t budget_pages = config_.capacity_bytes / config_.page_bytes;
+    const uint64_t want =
+        std::min<uint64_t>(32, budget_pages - allocated_pages_);
+    std::byte* arena = alloc_(want * config_.page_bytes);
+    if (arena == nullptr) return nullptr;
+    allocated_pages_ += want;
+    for (uint64_t i = 0; i < want; ++i) {
+      frames_.push_back(std::make_unique<Frame>());
+      frames_.back()->data = arena + i * config_.page_bytes;
+      free_.push_back(frames_.back().get());
+    }
+    frame = free_.back();
+    free_.pop_back();
+  } else {
+    // Budget exhausted: evict the coldest resident frame.
+    if (lru_tail_ == nullptr) return nullptr;
+    frame = lru_tail_;
+    Recycle(frame, /*counts_as_eviction=*/true);
+    free_.pop_back();  // Recycle pushed it; we take it right back
+  }
+  frame->pinned = true;
+  frame->resident = false;
+  return frame;
+}
+
+void RegionCache::Install(Frame* frame, uint64_t region_id, uint64_t page,
+                          uint64_t epoch, uint32_t valid_bytes) {
+  auto it = index_.find(PageKey{region_id, page});
+  if (it != index_.end() && it->second != frame) {
+    // A stale (or concurrently refilled) copy exists; the new fill wins.
+    Recycle(it->second, /*counts_as_eviction=*/false);
+  }
+  frame->region_id = region_id;
+  frame->page = page;
+  frame->epoch = epoch;
+  frame->valid_bytes = valid_bytes;
+  frame->pinned = false;
+  frame->resident = true;
+  index_[PageKey{region_id, page}] = frame;
+  LruPushFront(frame);
+}
+
+void RegionCache::Abandon(Frame* frame) {
+  frame->pinned = false;
+  frame->resident = false;
+  free_.push_back(frame);
+}
+
+uint64_t RegionCache::ApplyWrite(uint64_t region_id, uint64_t epoch,
+                                 uint64_t offset,
+                                 std::span<const std::byte> src) {
+  if (src.empty()) return 0;
+  const uint64_t P = config_.page_bytes;
+  uint64_t copied = 0;
+  uint64_t cursor = offset;
+  const std::byte* from = src.data();
+  uint64_t remaining = src.size();
+  while (remaining > 0) {
+    const uint64_t page = cursor / P;
+    const uint64_t in_page = cursor % P;
+    const uint64_t chunk = std::min(remaining, P - in_page);
+    auto it = index_.find(PageKey{region_id, page});
+    if (it != index_.end()) {
+      Frame* frame = it->second;
+      const bool covers_frame =
+          in_page == 0 && chunk >= frame->valid_bytes;
+      if (frame->epoch == epoch || covers_frame) {
+        const uint64_t n =
+            std::min<uint64_t>(chunk, frame->valid_bytes > in_page
+                                          ? frame->valid_bytes - in_page
+                                          : 0);
+        if (n > 0) {
+          std::memcpy(frame->data + in_page, from, n);
+          copied += n;
+          ++stats_.write_updates;
+        }
+        frame->epoch = epoch;
+        if (frame != lru_head_) {
+          LruUnlink(frame);
+          LruPushFront(frame);
+        }
+      } else {
+        // Stale frame, partial overwrite: the untouched bytes would stay
+        // stale, so the page cannot be trusted anymore.
+        Recycle(frame, /*counts_as_eviction=*/false);
+      }
+    } else if (in_page == 0 && chunk == P && !free_.empty()) {
+      // Write-allocate full pages when a frame is free anyway: the common
+      // producer pattern (write your slice, read it back after a barrier)
+      // then hits without ever fetching. Never evicts — a pure write
+      // stream must not wash out the read-hot set.
+      Frame* frame = free_.back();
+      free_.pop_back();
+      std::memcpy(frame->data, from, chunk);
+      copied += chunk;
+      ++stats_.write_updates;
+      Install(frame, region_id, page, epoch, static_cast<uint32_t>(chunk));
+    }
+    cursor += chunk;
+    from += chunk;
+    remaining -= chunk;
+  }
+  return copied;
+}
+
+void RegionCache::DropPage(uint64_t region_id, uint64_t page) {
+  auto it = index_.find(PageKey{region_id, page});
+  if (it != index_.end()) Recycle(it->second, /*counts_as_eviction=*/false);
+}
+
+void RegionCache::DropRegion(uint64_t region_id) {
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->first.region_id == region_id) {
+      Frame* frame = it->second;
+      it = index_.erase(it);
+      LruUnlink(frame);
+      frame->resident = false;
+      free_.push_back(frame);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rstore::cache

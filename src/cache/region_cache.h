@@ -1,0 +1,210 @@
+// Client-side region cache: version-safe local DRAM caching for the
+// one-sided data path.
+//
+// RStore's data path is already at the hardware floor per byte moved; the
+// next win is *moving fewer bytes*. A RegionCache sits under
+// MappedRegion::Read/ReadV and keeps recently fetched slab pages in local
+// DRAM (pooled HugeBuffer arenas, registered once so fills can DMA
+// straight into them). Whether a region may be cached — and what staleness
+// its reader tolerates — is a per-region choice made at Rmap time:
+//
+//   CacheMode::kNone       today's behavior; every read goes remote.
+//   CacheMode::kImmutable  write-once data (CSR topology, sealed sort
+//                          partitions): pages never go stale, cache until
+//                          evicted.
+//   CacheMode::kEpoch      bulk-synchronous scratch: remote writers exist
+//                          but only become visible at explicit epoch
+//                          bumps (MappedRegion::BumpEpoch, called at
+//                          barriers). Between bumps a reader sees the
+//                          last fetch plus its *own* write-throughs.
+//
+// Consistency machinery is an epoch tag per frame: a frame whose tag
+// differs from the region's current epoch is a miss (its storage is
+// reused in place), so BumpEpoch is O(1) and never walks pages. Local
+// writes go through to the servers unconditionally and additionally
+// update (or, when they cover a whole page, populate) resident frames,
+// stamping them with the current epoch. A frame stamped this epoch is
+// therefore trusted on hit — which is exactly the Epoch contract: pages a
+// client wrote itself this epoch must not be written remotely until the
+// next bump (Carafe's disjoint per-worker slices satisfy this by
+// construction).
+//
+// Cost honesty: the simulator charges virtual time for every byte a hit
+// copies out of the cache (CacheCopyCost — local DRAM bandwidth, never
+// free) and for every byte a fill copies from a frame to the caller, so
+// cached runs remain comparable with uncached ones. Long miss runs
+// (>= CacheConfig::bypass_bytes) stream directly into the caller's buffer
+// and are not cached at all — the copy-in/copy-out tax on a byte used
+// once would exceed the network time it saves, and a scan would evict the
+// hot set (the classic scan-resistance argument).
+//
+// This class is a pure data structure: the client owns IO orchestration
+// (what to fetch, where to charge) and calls in to find/acquire/install
+// frames. It is not thread-safe by itself; the owning client serializes
+// access (simulated threads on one node are cooperatively scheduled).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace rstore::cache {
+
+// Per-region consistency mode, chosen at Rmap time.
+enum class CacheMode : uint8_t { kNone = 0, kImmutable, kEpoch };
+
+[[nodiscard]] const char* ToString(CacheMode mode) noexcept;
+
+struct CacheConfig {
+  // Total byte budget for cached pages. Frames are carved from pooled
+  // HugeBuffer arenas allocated lazily, so an idle cache costs nothing.
+  uint64_t capacity_bytes = 8ULL << 20;
+  // Cache granularity. Fills read whole pages (clamped at the region
+  // tail), so small random reads trade fill amplification for hit rate.
+  uint64_t page_bytes = 64ULL << 10;
+  // A contiguous run of missing bytes at least this long streams directly
+  // to the caller instead of being cached (scan resistance; also avoids
+  // paying copy-out on bytes that are read once). 0 disables bypass.
+  uint64_t bypass_bytes = 256ULL << 10;
+};
+
+struct CacheStats {
+  uint64_t hits = 0;            // page lookups served locally
+  uint64_t misses = 0;          // page lookups that went remote
+  uint64_t fills = 0;           // pages fetched into frames
+  uint64_t evictions = 0;       // frames recycled under budget pressure
+  uint64_t invalidations = 0;   // frames dropped (unmap/free/grow/atomics)
+  uint64_t write_updates = 0;   // write-throughs applied to resident pages
+  uint64_t bypass_reads = 0;    // miss runs streamed around the cache
+  uint64_t bytes_from_cache = 0;  // bytes served from frames (hits)
+  uint64_t bytes_filled = 0;      // bytes fetched into frames
+};
+
+class RegionCache {
+ public:
+  // One cached page. `data` points into a pooled arena and holds
+  // `valid_bytes` of region [page * page_bytes, ...) — short only at the
+  // region tail. A pinned frame has a fill in flight: it is not indexed,
+  // not evictable, and not visible to concurrent lookups.
+  struct Frame {
+    uint64_t region_id = 0;
+    uint64_t page = 0;
+    uint64_t epoch = 0;
+    uint32_t valid_bytes = 0;
+    bool pinned = false;
+    bool resident = false;
+    std::byte* data = nullptr;
+    Frame* lru_prev = nullptr;
+    Frame* lru_next = nullptr;
+  };
+
+  // Returns `bytes` of memory usable as a fill target (the client
+  // registers it for one-sided IO), or nullptr when none is available.
+  using ArenaAllocator = std::function<std::byte*(uint64_t bytes)>;
+
+  RegionCache(CacheConfig config, ArenaAllocator alloc);
+  RegionCache(const RegionCache&) = delete;
+  RegionCache& operator=(const RegionCache&) = delete;
+
+  [[nodiscard]] uint64_t page_bytes() const noexcept {
+    return config_.page_bytes;
+  }
+  [[nodiscard]] uint64_t bypass_bytes() const noexcept {
+    return config_.bypass_bytes;
+  }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] size_t resident_frames() const noexcept {
+    return index_.size();
+  }
+
+  // Read-side lookup. Returns the frame holding `page` of `region_id` at
+  // exactly `epoch` (LRU-touched), or nullptr. A resident frame with a
+  // stale epoch stays resident — a later Acquire may recycle it, and
+  // Install of a fresh fill replaces it.
+  Frame* Find(uint64_t region_id, uint64_t page, uint64_t epoch);
+
+  // Grabs a frame for filling: free list first, then a new arena while
+  // under budget, then the LRU victim. The frame comes back pinned and
+  // unindexed; returns nullptr when every frame is pinned (caller falls
+  // back to a direct read) or the allocator fails.
+  Frame* Acquire();
+
+  // Publishes a filled frame at (region_id, page, epoch); any previously
+  // resident frame for that page is recycled. Unpins.
+  void Install(Frame* frame, uint64_t region_id, uint64_t page,
+               uint64_t epoch, uint32_t valid_bytes);
+
+  // Returns an acquired frame whose fill failed to the free list.
+  void Abandon(Frame* frame);
+
+  // Write-through update: applies `src` at region byte `offset` to every
+  // affected page. Current-epoch frames are updated in place; stale
+  // frames are overwritten and re-stamped when the write covers all their
+  // valid bytes, dropped otherwise; whole-page writes populate fresh
+  // frames (write-allocate) when one is free without eviction. Returns
+  // the number of bytes copied locally so the caller can charge CPU.
+  uint64_t ApplyWrite(uint64_t region_id, uint64_t epoch, uint64_t offset,
+                      std::span<const std::byte> src);
+
+  // Drops every frame of one page (e.g. under a remote atomic).
+  void DropPage(uint64_t region_id, uint64_t page);
+
+  // Drops every frame of a region (Runmap/Rfree/Rgrow, mode changes).
+  void DropRegion(uint64_t region_id);
+
+  // Stat helpers for the owning client (it sees request geometry the
+  // cache does not).
+  void NoteHit(uint64_t bytes) noexcept {
+    ++stats_.hits;
+    stats_.bytes_from_cache += bytes;
+  }
+  void NoteMiss() noexcept { ++stats_.misses; }
+  void NoteFill(uint64_t bytes) noexcept {
+    ++stats_.fills;
+    stats_.bytes_filled += bytes;
+  }
+  void NoteBypass() noexcept { ++stats_.bypass_reads; }
+
+ private:
+  struct PageKey {
+    uint64_t region_id;
+    uint64_t page;
+    bool operator==(const PageKey&) const = default;
+  };
+  struct PageKeyHash {
+    size_t operator()(const PageKey& k) const noexcept {
+      // splitmix-style combine; region ids are small and monotonic.
+      uint64_t x = k.region_id * 0x9e3779b97f4a7c15ULL ^ k.page;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      return static_cast<size_t>(x);
+    }
+  };
+
+  void LruPushFront(Frame* frame) noexcept;
+  void LruUnlink(Frame* frame) noexcept;
+  // Removes a resident frame from index + LRU and frees it.
+  void Recycle(Frame* frame, bool counts_as_eviction);
+
+  CacheConfig config_;
+  ArenaAllocator alloc_;
+
+  std::unordered_map<PageKey, Frame*, PageKeyHash> index_;
+  std::vector<Frame*> free_;
+  // All frames ever created (owned; arena storage owned by the client).
+  std::vector<std::unique_ptr<Frame>> frames_;
+  uint64_t allocated_pages_ = 0;
+
+  // Intrusive LRU: head = most recent.
+  Frame* lru_head_ = nullptr;
+  Frame* lru_tail_ = nullptr;
+
+  CacheStats stats_;
+};
+
+}  // namespace rstore::cache

@@ -30,6 +30,13 @@ std::string Worker::Chan(const std::string& what, uint64_t seq) const {
   return Scratch(what) + "/" + std::to_string(seq);
 }
 
+Result<core::MappedRegion*> Worker::MapScratch(const std::string& name) {
+  core::RmapOptions opts;
+  opts.cache_mode = config_.cache ? cache::CacheMode::kEpoch
+                                  : cache::CacheMode::kNone;
+  return client_.Rmap(name, opts);
+}
+
 Status Worker::EnsureRegion(const std::string& name, uint64_t size) {
   Status st = client_.Ralloc(name, size);
   if (st.code() == ErrorCode::kAlreadyExists) return Status::Ok();
@@ -72,7 +79,13 @@ Status Worker::Init() {
                    std::span<std::byte> dst) -> Status {
     if (dst.empty()) return Status::Ok();
     RSTORE_RETURN_IF_ERROR(client_.RegisterBuffer(dst));
-    auto region = client_.Rmap(region_name);
+    // Topology is write-once once loaded, so it may cache as kImmutable;
+    // these bulk partition fetches mostly stream around the cache
+    // (bypass), but later random topology reads would hit.
+    core::RmapOptions opts;
+    opts.cache_mode = config_.cache ? cache::CacheMode::kImmutable
+                                    : cache::CacheMode::kNone;
+    auto region = client_.Rmap(region_name, opts);
     if (!region.ok()) return region.status();
     return (*region)->Read(byte_off, dst);
   };
@@ -131,11 +144,11 @@ Result<std::vector<double>> Worker::PageRank(const PageRankOptions& options) {
   core::MappedRegion* dangling[2];
   for (int b = 0; b < 2; ++b) {
     RSTORE_ASSIGN_OR_RETURN(contrib[b],
-                            client_.Rmap(Scratch("contrib" +
-                                                 std::to_string(b))));
+                            MapScratch(Scratch("contrib" +
+                                               std::to_string(b))));
     RSTORE_ASSIGN_OR_RETURN(dangling[b],
-                            client_.Rmap(Scratch("dangling" +
-                                                 std::to_string(b))));
+                            MapScratch(Scratch("dangling" +
+                                               std::to_string(b))));
   }
   core::MappedRegion* rank_region;
   RSTORE_ASSIGN_OR_RETURN(rank_region, client_.Rmap(Scratch("rank")));
@@ -156,6 +169,13 @@ Result<std::vector<double>> Worker::PageRank(const PageRankOptions& options) {
 
   for (uint32_t iter = 0; iter < options.iterations; ++iter) {
     const int buf = static_cast<int>(iter & 1);
+    if (config_.cache) {
+      // New epoch for the buffer about to be rewritten — before the
+      // local writes, so this worker's write-throughs stay trusted while
+      // every other worker's slice becomes a miss.
+      contrib[buf]->BumpEpoch();
+      dangling[buf]->BumpEpoch();
+    }
 
     // Publish contributions of my vertices for this iteration.
     dangling_mine[0] = 0;
@@ -238,6 +258,10 @@ Result<std::vector<uint32_t>> Worker::Bfs(uint64_t source) {
         Scratch("bfs-next" + std::to_string(b)), static_cast<uint64_t>(W) * n));
   }
   RSTORE_RETURN_IF_ERROR(EnsureRegion(Scratch("bfs-dist"), n * 4));
+  // BFS bitmaps stay uncached even when config_.cache is set: the merge
+  // reads below touch one short slice per peer bitmap exactly once per
+  // level, so page-granular fills would fetch far more than the slice
+  // (fill amplification) with no reuse to pay it back.
   core::MappedRegion* next_region[2];
   for (int b = 0; b < 2; ++b) {
     RSTORE_ASSIGN_OR_RETURN(next_region[b],
@@ -346,8 +370,8 @@ Result<std::vector<uint64_t>> Worker::Components() {
   core::MappedRegion* label_region[2];
   for (int b = 0; b < 2; ++b) {
     RSTORE_ASSIGN_OR_RETURN(label_region[b],
-                            client_.Rmap(Scratch("label" +
-                                                 std::to_string(b))));
+                            MapScratch(Scratch("label" +
+                                               std::to_string(b))));
   }
   core::MappedRegion* cc_region;
   RSTORE_ASSIGN_OR_RETURN(cc_region, client_.Rmap(Scratch("cc")));
@@ -362,6 +386,7 @@ Result<std::vector<uint64_t>> Worker::Components() {
   uint64_t iter = 0;
   while (true) {
     const int buf = static_cast<int>(iter & 1);
+    if (config_.cache) label_region[buf]->BumpEpoch();
     if (cnt > 0) {
       RSTORE_RETURN_IF_ERROR(label_region[buf]->Write(
           lo_ * 8, std::span<const std::byte>(
@@ -436,8 +461,8 @@ Result<std::vector<uint64_t>> Worker::Sssp(uint64_t source) {
   core::MappedRegion* dist_region[2];
   for (int b = 0; b < 2; ++b) {
     RSTORE_ASSIGN_OR_RETURN(dist_region[b],
-                            client_.Rmap(Scratch("dist" +
-                                                 std::to_string(b))));
+                            MapScratch(Scratch("dist" +
+                                               std::to_string(b))));
   }
   core::MappedRegion* result_region;
   RSTORE_ASSIGN_OR_RETURN(result_region, client_.Rmap(Scratch("sssp")));
@@ -452,6 +477,7 @@ Result<std::vector<uint64_t>> Worker::Sssp(uint64_t source) {
   uint64_t round = 0;
   while (true) {
     const int buf = static_cast<int>(round & 1);
+    if (config_.cache) dist_region[buf]->BumpEpoch();
     if (cnt > 0) {
       RSTORE_RETURN_IF_ERROR(dist_region[buf]->Write(
           lo_ * 8, std::span<const std::byte>(

@@ -34,6 +34,13 @@ struct WorkerConfig {
   // Distinguishes concurrent/successive runs on the same graph (scratch
   // regions and channels are namespaced by it).
   std::string run_tag = "run0";
+  // Client-side region caching (cache/region_cache.h): topology regions
+  // map kImmutable and double-buffered scratch maps kEpoch, with an
+  // epoch bump at the start of every superstep. Workers write disjoint
+  // slices between barriers, so the epoch contract holds by
+  // construction. Off by default: virtual times are then bit-identical
+  // to a build without the cache.
+  bool cache = false;
 };
 
 struct PageRankOptions {
@@ -71,6 +78,8 @@ class Worker {
   [[nodiscard]] std::string Chan(const std::string& what,
                                  uint64_t seq) const;
 
+  // Rmap for double-buffered scratch: kEpoch when caching is enabled.
+  Result<core::MappedRegion*> MapScratch(const std::string& name);
   // Ralloc that treats kAlreadyExists as success (idempotent across
   // workers racing to create shared scratch).
   Status EnsureRegion(const std::string& name, uint64_t size);

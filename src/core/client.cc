@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "sim/cost_model.h"
 #include "sim/simulation.h"
 
 namespace rstore::core {
@@ -97,16 +98,34 @@ Status RStoreClient::Ralloc(const std::string& name, uint64_t size,
 
 Result<MappedRegion*> RStoreClient::Rmap(const std::string& name,
                                          bool allow_degraded, bool fresh) {
-  if (!fresh) {
+  // Mode-preserving overload: remapping through the short form keeps
+  // whatever cache mode the mapping was created with.
+  RmapOptions options;
+  options.allow_degraded = allow_degraded;
+  options.fresh = fresh;
+  auto it = mappings_.find(name);
+  if (it != mappings_.end()) options.cache_mode = it->second->cache_mode_;
+  return Rmap(name, options);
+}
+
+Result<MappedRegion*> RStoreClient::Rmap(const std::string& name,
+                                         const RmapOptions& options) {
+  if (!options.fresh) {
     auto it = mappings_.find(name);
     if (it != mappings_.end()) {
       ++map_cache_hits_;
-      return it->second.get();
+      MappedRegion* region = it->second.get();
+      if (region->cache_mode_ != options.cache_mode) {
+        // Mode change: pages cached under the old contract are dropped.
+        DropCachedRegion(region->desc_.id);
+        region->cache_mode_ = options.cache_mode;
+      }
+      return region;
     }
   }
   rpc::Writer req;
   req.Str(name);
-  req.Bool(allow_degraded);
+  req.Bool(options.allow_degraded);
   auto resp = CallMaster(kMap, req);
   if (!resp.ok()) return resp.status();
   rpc::Reader r(*resp);
@@ -115,8 +134,12 @@ Result<MappedRegion*> RStoreClient::Rmap(const std::string& name,
     return Result<MappedRegion*>(ErrorCode::kInternal,
                                  "malformed map response");
   }
+  // A fresh remap may have moved slabs (healing); anything cached under
+  // the previous mapping of this region is stale.
+  DropCachedRegion(desc.id);
   auto region = std::unique_ptr<MappedRegion>(
       new MappedRegion(*this, std::move(desc)));
+  region->cache_mode_ = options.cache_mode;
   MappedRegion* raw = region.get();
   mappings_[name] = std::move(region);
   return raw;
@@ -133,6 +156,10 @@ Status RStoreClient::Rgrow(const std::string& name, uint64_t new_size) {
   if (!RegionDesc::Decode(r, &desc)) {
     return Status(ErrorCode::kInternal, "malformed grow response");
   }
+  // Growth may append slabs on servers already holding cached pages and
+  // changes the tail page's valid length; drop the region's cache state
+  // before refreshing the mapping.
+  DropCachedRegion(desc.id);
   // Refresh the cached mapping in place so existing MappedRegion
   // pointers observe the new size.
   auto it = mappings_.find(name);
@@ -143,13 +170,21 @@ Status RStoreClient::Rgrow(const std::string& name, uint64_t new_size) {
 }
 
 Status RStoreClient::Runmap(const std::string& name) {
-  return mappings_.erase(name) > 0
-             ? Status::Ok()
-             : Status(ErrorCode::kNotFound, "'" + name + "' is not mapped");
+  auto it = mappings_.find(name);
+  if (it == mappings_.end()) {
+    return Status(ErrorCode::kNotFound, "'" + name + "' is not mapped");
+  }
+  DropCachedRegion(it->second->desc_.id);
+  mappings_.erase(it);
+  return Status::Ok();
 }
 
 Status RStoreClient::Rfree(const std::string& name) {
-  mappings_.erase(name);
+  auto it = mappings_.find(name);
+  if (it != mappings_.end()) {
+    DropCachedRegion(it->second->desc_.id);
+    mappings_.erase(it);
+  }
   rpc::Writer req;
   req.Str(name);
   return CallMaster(kFree, req).status();
@@ -562,10 +597,11 @@ Status RStoreClient::WaitFuture(const std::shared_ptr<IoFuture::State>& state) {
   return state->failed ? state->first_error : Status::Ok();
 }
 
-Result<uint64_t> RStoreClient::SubmitAtomic(const RegionDesc& desc,
+Result<uint64_t> RStoreClient::SubmitAtomic(MappedRegion& region,
                                             uint64_t offset, verbs::Opcode op,
                                             uint64_t compare,
                                             uint64_t swap_or_add) {
+  const RegionDesc& desc = region.desc_;
   if (offset % 8 != 0 || offset + 8 > desc.size) {
     return Result<uint64_t>(ErrorCode::kInvalidArgument,
                             "atomic offset must be 8-aligned and in range");
@@ -613,14 +649,220 @@ Result<uint64_t> RStoreClient::SubmitAtomic(const RegionDesc& desc,
   uint64_t old = 0;
   std::memcpy(&old, result, 8);
   free_atomic_slots_.push_back(slot);
+  // A remote atomic mutates bytes under any cached copy regardless of
+  // mode; drop the affected page so the next read refetches it.
+  if (region.cache_mode_ != cache::CacheMode::kNone && cache_ != nullptr) {
+    cache_->DropPage(desc.id, offset / cache_->page_bytes());
+  }
   if (!st.ok()) return st;
   return old;
+}
+
+// ---------------------------------------------------------------------------
+// Region cache
+// ---------------------------------------------------------------------------
+cache::RegionCache* RStoreClient::EnsureCache() {
+  if (cache_ == nullptr) {
+    cache_ = std::make_unique<cache::RegionCache>(
+        options_.cache, [this](uint64_t bytes) -> std::byte* {
+          // Arenas come from AllocBuffer so frames live in registered
+          // memory and fills can DMA straight into them.
+          auto buf = AllocBuffer(bytes);
+          if (!buf.ok()) return nullptr;
+          return buf->begin();
+        });
+  }
+  return cache_.get();
+}
+
+void RStoreClient::DropCachedRegion(uint64_t region_id) {
+  if (cache_ != nullptr) cache_->DropRegion(region_id);
+}
+
+const cache::CacheStats& RStoreClient::cache_stats() const noexcept {
+  static const cache::CacheStats kZero{};
+  return cache_ != nullptr ? cache_->stats() : kZero;
+}
+
+IoFuture RStoreClient::CompletedFuture() {
+  auto state = std::make_shared<IoFuture::State>(device_.network().sim(),
+                                                 next_wr_id_++);
+  state->sealed = true;  // expected == completed == 0: done on arrival
+  return IoFuture(state, this);
+}
+
+Status RStoreClient::CachedRead(MappedRegion& region,
+                                std::span<const IoVec> segments) {
+  const RegionDesc& desc = region.desc_;
+  // Same contract as the uncached path: bounds-checked, registered
+  // buffers only — even for segments the cache could serve, so a request
+  // never starts failing when its pages happen to fall out of cache.
+  for (const IoVec& seg : segments) {
+    if (seg.offset > desc.size || seg.length > desc.size - seg.offset) {
+      return Status(ErrorCode::kOutOfRange,
+                    "IO past end of region '" + desc.name + "'");
+    }
+    if (seg.length != 0 && FindPinned(seg.local, seg.length) == nullptr) {
+      return Status(
+          ErrorCode::kInvalidArgument,
+          "IO buffer is not registered (call RegisterBuffer/AllocBuffer)");
+    }
+  }
+  cache::RegionCache* cache = EnsureCache();
+  const uint64_t page_bytes = cache->page_bytes();
+  const uint64_t bypass = cache->bypass_bytes();
+  const uint64_t epoch = region.cache_epoch_;
+  const uint64_t id = desc.id;
+
+  // Copies deferred until a fill lands, and the fills themselves
+  // (installed only after the vectored read succeeds).
+  struct CopyOut {
+    cache::RegionCache::Frame* frame;
+    uint64_t frame_off;
+    std::byte* dst;
+    uint64_t length;
+  };
+  struct Fill {
+    cache::RegionCache::Frame* frame;
+    uint64_t page;
+    uint32_t valid;
+  };
+  std::vector<CopyOut> copies;
+  std::vector<Fill> fills;
+  // Pages this op is already fetching (overlapping segments), so each
+  // page is fetched at most once per call.
+  std::unordered_map<uint64_t, cache::RegionCache::Frame*> filling;
+
+  std::vector<IoVec> remote = std::move(cache_io_scratch_);
+  remote.clear();
+  uint64_t local_bytes = 0;  // bytes memcpy'd between frames and caller
+
+  // A run of consecutive missing pages within one segment, buffered so
+  // the flush can weigh the run's total length against the bypass
+  // threshold before committing to frame fills.
+  struct MissRange {
+    uint64_t page;
+    uint64_t in_page;  // offset of the wanted bytes within the page
+    uint64_t length;   // wanted bytes (<= page_bytes - in_page)
+    std::byte* dst;
+  };
+  std::vector<MissRange> run;
+
+  auto flush_run = [&] {
+    if (run.empty()) return;
+    uint64_t run_bytes = 0;
+    for (const MissRange& m : run) run_bytes += m.length;
+    if (bypass != 0 && run_bytes >= bypass) {
+      // Stream the run straight into the caller's buffer, uncached: the
+      // copy-in/copy-out tax on bytes used once exceeds the network time
+      // saved, and a scan would evict the hot set. Runs never span
+      // segments, so the remote range is contiguous.
+      remote.push_back(IoVec{
+          run.front().page * page_bytes + run.front().in_page,
+          run.front().dst, run_bytes});
+      cache->NoteBypass();
+      for (size_t i = 0; i < run.size(); ++i) cache->NoteMiss();
+      run.clear();
+      return;
+    }
+    for (const MissRange& m : run) {
+      cache->NoteMiss();
+      cache::RegionCache::Frame* frame = cache->Acquire();
+      if (frame == nullptr) {
+        // Every frame is pinned or the arena allocator failed: read the
+        // wanted bytes directly, uncached.
+        remote.push_back(
+            IoVec{m.page * page_bytes + m.in_page, m.dst, m.length});
+        continue;
+      }
+      const uint32_t valid = static_cast<uint32_t>(
+          std::min<uint64_t>(page_bytes, desc.size - m.page * page_bytes));
+      remote.push_back(IoVec{m.page * page_bytes, frame->data, valid});
+      fills.push_back(Fill{frame, m.page, valid});
+      filling.emplace(m.page, frame);
+      copies.push_back(CopyOut{frame, m.in_page, m.dst, m.length});
+    }
+    run.clear();
+  };
+
+  for (const IoVec& seg : segments) {
+    uint64_t cursor = seg.offset;
+    uint64_t remaining = seg.length;
+    std::byte* dst = seg.local;
+    while (remaining > 0) {
+      const uint64_t page = cursor / page_bytes;
+      const uint64_t in_page = cursor % page_bytes;
+      const uint64_t take = std::min(remaining, page_bytes - in_page);
+      cache::RegionCache::Frame* frame = cache->Find(id, page, epoch);
+      // A frame short of the requested range (tail page cached before the
+      // region grew) cannot serve the hit; Rgrow drops such frames, so
+      // this is a defensive miss, not an expected path.
+      if (frame != nullptr && in_page + take <= frame->valid_bytes) {
+        flush_run();
+        std::memcpy(dst, frame->data + in_page, take);
+        local_bytes += take;
+        cache->NoteHit(take);
+      } else if (auto it = filling.find(page); it != filling.end()) {
+        flush_run();
+        copies.push_back(CopyOut{it->second, in_page, dst, take});
+        cache->NoteHit(take);  // shares the in-flight fill
+      } else {
+        run.push_back(MissRange{page, in_page, take, dst});
+      }
+      cursor += take;
+      dst += take;
+      remaining -= take;
+    }
+    flush_run();
+  }
+
+  Status st = Status::Ok();
+  if (!remote.empty()) {
+    auto future = SubmitVector(desc, remote, /*is_read=*/true);
+    st = future.ok() ? future->Wait() : future.status();
+  }
+  cache_io_scratch_ = std::move(remote);
+  if (!st.ok()) {
+    for (const Fill& f : fills) cache->Abandon(f.frame);
+    return st;
+  }
+  for (const Fill& f : fills) {
+    cache->Install(f.frame, id, f.page, epoch, f.valid);
+    cache->NoteFill(f.valid);
+  }
+  for (const CopyOut& c : copies) {
+    std::memcpy(c.dst, c.frame->data + c.frame_off, c.length);
+    local_bytes += c.length;
+  }
+  // Locally copied bytes are never free: local DRAM bandwidth, one
+  // charge per logical op.
+  if (local_bytes > 0) {
+    sim::ChargeCpu(
+        sim::CacheCopyCost(device_.network().cpu_model(), local_bytes));
+  }
+  return Status::Ok();
+}
+
+void RStoreClient::CacheApplyWrite(MappedRegion& region, uint64_t offset,
+                                   std::span<const std::byte> src) {
+  if (region.cache_mode_ == cache::CacheMode::kNone || src.empty()) return;
+  cache::RegionCache* cache = EnsureCache();
+  const uint64_t copied =
+      cache->ApplyWrite(region.desc_.id, region.cache_epoch_, offset, src);
+  if (copied > 0) {
+    sim::ChargeCpu(
+        sim::CacheCopyCost(device_.network().cpu_model(), copied));
+  }
 }
 
 // ---------------------------------------------------------------------------
 // MappedRegion forwarding
 // ---------------------------------------------------------------------------
 Status MappedRegion::Read(uint64_t offset, std::span<std::byte> dst) {
+  if (cache_mode_ != cache::CacheMode::kNone) {
+    const IoVec seg{offset, dst.data(), dst.size()};
+    return client_.CachedRead(*this, std::span<const IoVec>(&seg, 1));
+  }
   auto future = client_.SubmitIo(desc_, offset, dst.data(), dst.size(),
                                  /*is_read=*/true);
   if (!future.ok()) return future.status();
@@ -633,9 +875,16 @@ Status MappedRegion::Write(uint64_t offset, std::span<const std::byte> src) {
                                  const_cast<std::byte*>(src.data()),
                                  src.size(), /*is_read=*/false);
   if (!future.ok()) return future.status();
-  return future->Wait();
+  Status st = future->Wait();
+  // Write-through: the remote copy is authoritative, so the local update
+  // happens only once the write is known durable.
+  if (st.ok()) client_.CacheApplyWrite(*this, offset, src);
+  return st;
 }
 
+// ReadAsync intentionally bypasses the cache: the caller's buffer is not
+// filled until the future completes, so there is no moment at which a
+// consistent local copy could be taken without blocking the post path.
 Result<IoFuture> MappedRegion::ReadAsync(uint64_t offset,
                                          std::span<std::byte> dst) {
   return client_.SubmitIo(desc_, offset, dst.data(), dst.size(), true);
@@ -643,26 +892,43 @@ Result<IoFuture> MappedRegion::ReadAsync(uint64_t offset,
 
 Result<IoFuture> MappedRegion::WriteAsync(uint64_t offset,
                                           std::span<const std::byte> src) {
-  return client_.SubmitIo(desc_, offset, const_cast<std::byte*>(src.data()),
-                          src.size(), false);
+  auto future = client_.SubmitIo(desc_, offset,
+                                 const_cast<std::byte*>(src.data()),
+                                 src.size(), false);
+  // Applied at post time: if the write later fails the connection is
+  // marked unhealthy and remote state is undefined anyway.
+  if (future.ok()) client_.CacheApplyWrite(*this, offset, src);
+  return future;
 }
 
 Result<IoFuture> MappedRegion::ReadV(std::span<const IoVec> segments) {
+  if (cache_mode_ != cache::CacheMode::kNone) {
+    RSTORE_RETURN_IF_ERROR(client_.CachedRead(*this, segments));
+    return client_.CompletedFuture();
+  }
   return client_.SubmitVector(desc_, segments, /*is_read=*/true);
 }
 
 Result<IoFuture> MappedRegion::WriteV(std::span<const IoVec> segments) {
-  return client_.SubmitVector(desc_, segments, /*is_read=*/false);
+  auto future = client_.SubmitVector(desc_, segments, /*is_read=*/false);
+  if (future.ok() && cache_mode_ != cache::CacheMode::kNone) {
+    for (const IoVec& seg : segments) {
+      client_.CacheApplyWrite(
+          *this, seg.offset,
+          std::span<const std::byte>(seg.local, seg.length));
+    }
+  }
+  return future;
 }
 
 Result<uint64_t> MappedRegion::FetchAdd(uint64_t offset, uint64_t delta) {
-  return client_.SubmitAtomic(desc_, offset, verbs::Opcode::kFetchAdd, 0,
+  return client_.SubmitAtomic(*this, offset, verbs::Opcode::kFetchAdd, 0,
                               delta);
 }
 
 Result<uint64_t> MappedRegion::CompareSwap(uint64_t offset, uint64_t expected,
                                            uint64_t desired) {
-  return client_.SubmitAtomic(desc_, offset, verbs::Opcode::kCompareSwap,
+  return client_.SubmitAtomic(*this, offset, verbs::Opcode::kCompareSwap,
                               expected, desired);
 }
 

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/region_cache.h"
 #include "common/huge_buffer.h"
 #include "common/status.h"
 #include "core/types.h"
@@ -52,6 +53,19 @@ struct ClientOptions {
   sim::Nanos control_timeout = sim::Seconds(600);
   // Data-path IO deadline.
   sim::Nanos io_timeout = sim::Seconds(60);
+  // Region-cache sizing (see cache/region_cache.h). The cache itself is
+  // built lazily, the first time a region is mapped with a CacheMode
+  // other than kNone; until then these are inert.
+  cache::CacheConfig cache;
+};
+
+// Per-Rmap knobs. The cache mode is a property of *this client's* mapping
+// of the region, chosen here because map time is when the application
+// knows what the region holds (write-once topology vs. mutable scratch).
+struct RmapOptions {
+  bool allow_degraded = false;
+  bool fresh = false;
+  cache::CacheMode cache_mode = cache::CacheMode::kNone;
 };
 
 // Completion handle for asynchronous IO. Wait() is idempotent; the
@@ -113,6 +127,19 @@ class MappedRegion {
   Result<uint64_t> CompareSwap(uint64_t offset, uint64_t expected,
                                uint64_t desired);
 
+  // ---------------- client-side caching --------------------------------
+  // Mode chosen at Rmap time (RmapOptions::cache_mode). kNone = every
+  // read goes remote (the default and today's behavior).
+  [[nodiscard]] cache::CacheMode cache_mode() const noexcept {
+    return cache_mode_;
+  }
+  // Epoch-mode invalidation: O(1) — advances this mapping's epoch so
+  // every cached page of the region becomes a miss. Call at barriers
+  // (before the local writes of the new epoch, so write-throughs are
+  // stamped fresh). Harmless no-op on uncached mappings.
+  void BumpEpoch() noexcept { ++cache_epoch_; }
+  [[nodiscard]] uint64_t cache_epoch() const noexcept { return cache_epoch_; }
+
  private:
   friend class RStoreClient;
   MappedRegion(RStoreClient& client, RegionDesc desc)
@@ -120,6 +147,8 @@ class MappedRegion {
 
   RStoreClient& client_;
   RegionDesc desc_;
+  cache::CacheMode cache_mode_ = cache::CacheMode::kNone;
+  uint64_t cache_epoch_ = 0;
 };
 
 // A registered local buffer owned by the client (AllocBuffer).
@@ -150,6 +179,11 @@ class RStoreClient {
   // (used to pick up healed/re-located regions).
   Result<MappedRegion*> Rmap(const std::string& name,
                              bool allow_degraded = false, bool fresh = false);
+  // Full-option variant; chooses the mapping's cache mode. Remapping an
+  // already-mapped region with a different mode applies the new mode and
+  // drops any pages cached under the old one.
+  Result<MappedRegion*> Rmap(const std::string& name,
+                             const RmapOptions& options);
   // Grows an (unreplicated) region to `new_size` bytes in place; existing
   // data is untouched. The local mapping is refreshed on success; other
   // clients pick the growth up at their next fresh Rmap.
@@ -188,6 +222,8 @@ class RStoreClient {
   [[nodiscard]] uint64_t map_cache_hits() const noexcept {
     return map_cache_hits_;
   }
+  // Region-cache counters (all-zero until a region maps with caching).
+  [[nodiscard]] const cache::CacheStats& cache_stats() const noexcept;
 
   [[nodiscard]] verbs::Device& device() noexcept { return device_; }
 
@@ -236,9 +272,24 @@ class RStoreClient {
                    const verbs::SendWr& head, uint32_t count);
   // Marks the IO fully posted and reaps it if completions already drained.
   void SealIo(const std::shared_ptr<IoFuture::State>& state);
-  Result<uint64_t> SubmitAtomic(const RegionDesc& desc, uint64_t offset,
+  Result<uint64_t> SubmitAtomic(MappedRegion& region, uint64_t offset,
                                 verbs::Opcode op, uint64_t compare,
                                 uint64_t swap_or_add);
+  // Read-through cache path (region.cache_mode() != kNone): serves hits
+  // from cache frames, batches page fills and bypass runs into one
+  // vectored read, and charges modeled copy cost for every locally
+  // copied byte. Used by MappedRegion::Read and ReadV.
+  Status CachedRead(MappedRegion& region, std::span<const IoVec> segments);
+  // Write-through local update for cached mappings (before the remote
+  // write is posted); charges copy cost for bytes applied.
+  void CacheApplyWrite(MappedRegion& region, uint64_t offset,
+                       std::span<const std::byte> src);
+  // Lazily constructs the region cache (arena allocation + registration).
+  cache::RegionCache* EnsureCache();
+  // An already-completed future, for vectored reads served by the cache.
+  IoFuture CompletedFuture();
+  // Drops cached pages of a region id (grow/unmap/free/mode change).
+  void DropCachedRegion(uint64_t region_id);
   Result<Connection*> ConnectionTo(uint32_t server_node);
   // Finds the registration covering [addr, addr+len); null if none.
   [[nodiscard]] verbs::MemoryRegion* FindPinned(const std::byte* addr,
@@ -290,6 +341,13 @@ class RStoreClient {
   std::unordered_map<uint64_t, std::shared_ptr<IoFuture::State>> pending_io_;
   uint64_t next_wr_id_ = 1;
   bool pumping_ = false;
+
+  // Client-side region cache (see cache/region_cache.h). Null until the
+  // first Rmap with a cache mode; arenas come from owned_buffers_ via
+  // AllocBuffer so fills DMA into registered memory.
+  std::unique_ptr<cache::RegionCache> cache_;
+  // Scratch for CachedRead (same move-out discipline as frag_scratch_).
+  std::vector<IoVec> cache_io_scratch_;
 
   uint64_t bytes_read_ = 0;
   uint64_t bytes_written_ = 0;

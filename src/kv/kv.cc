@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/rng.h"
+#include "sim/cost_model.h"
 #include "sim/simulation.h"
 
 namespace rstore::kv {
@@ -63,7 +64,8 @@ Result<std::unique_ptr<KvStore>> KvStore::Create(core::RStoreClient& client,
 }
 
 Result<std::unique_ptr<KvStore>> KvStore::Open(core::RStoreClient& client,
-                                               const std::string& name) {
+                                               const std::string& name,
+                                               uint32_t cache_slots) {
   auto region = client.Rmap(name);
   if (!region.ok()) return region.status();
   auto hdr = client.AllocBuffer(kHeaderBytes);
@@ -80,6 +82,7 @@ Result<std::unique_ptr<KvStore>> KvStore::Open(core::RStoreClient& client,
   std::memcpy(&options.buckets, hdr->begin() + 8, 8);
   std::memcpy(&options.slot_bytes, hdr->begin() + 16, 4);
   std::memcpy(&options.max_probe, hdr->begin() + 20, 4);
+  options.cache_slots = cache_slots;  // client-local, not table geometry
 
   auto store = std::unique_ptr<KvStore>(
       new KvStore(client, *region, options));
@@ -101,8 +104,66 @@ KvStore::SlotView KvStore::Parse(const std::byte* slot) const {
   return view;
 }
 
+void KvStore::CacheStore(uint64_t slot, uint64_t version,
+                         const std::byte* bytes) {
+  auto it = slot_cache_.find(slot);
+  if (it == slot_cache_.end()) {
+    if (slot_cache_.size() >= options_.cache_slots) {
+      const uint64_t victim = slot_lru_.back();
+      slot_lru_.pop_back();
+      slot_cache_.erase(victim);
+    }
+    slot_lru_.push_front(slot);
+    it = slot_cache_.emplace(slot, CachedSlot{}).first;
+    it->second.lru = slot_lru_.begin();
+    it->second.bytes.resize(options_.slot_bytes);
+  } else if (it->second.lru != slot_lru_.begin()) {
+    slot_lru_.splice(slot_lru_.begin(), slot_lru_, it->second.lru);
+  }
+  it->second.version = version;
+  std::memcpy(it->second.bytes.data(), bytes, options_.slot_bytes);
+  // Populating the cache copies a slot locally; never free.
+  sim::ChargeCpu(sim::CacheCopyCost(client_.device().network().cpu_model(),
+                                    options_.slot_bytes));
+}
+
+void KvStore::CacheErase(uint64_t slot) {
+  auto it = slot_cache_.find(slot);
+  if (it == slot_cache_.end()) return;
+  slot_lru_.erase(it->second.lru);
+  slot_cache_.erase(it);
+  ++stats_.cache_invalidations;
+}
+
 Result<uint64_t> KvStore::ReadSlot(uint64_t slot, std::byte* dst) {
   ++stats_.probe_reads;
+  if (options_.cache_slots > 0) {
+    auto it = slot_cache_.find(slot);
+    if (it != slot_cache_.end()) {
+      // Validate-on-hit: one 8-byte read of the seqlock word. Unchanged
+      // and even means the remote slot is byte-identical to the cached
+      // image (every writer bumps the version), so serving the cached
+      // bytes is indistinguishable from a full read that validated.
+      RSTORE_RETURN_IF_ERROR(region_->Read(
+          SlotOffset(slot) + kVersionOff,
+          std::span<std::byte>(version_buf_.begin(), 8)));
+      uint64_t current = 0;
+      std::memcpy(&current, version_buf_.begin(), 8);
+      if (current == it->second.version && current % 2 == 0) {
+        ++stats_.cache_hits;
+        std::memcpy(dst, it->second.bytes.data(), options_.slot_bytes);
+        sim::ChargeCpu(sim::CacheCopyCost(
+            client_.device().network().cpu_model(), options_.slot_bytes));
+        if (it->second.lru != slot_lru_.begin()) {
+          slot_lru_.splice(slot_lru_.begin(), slot_lru_, it->second.lru);
+        }
+        return current;
+      }
+      // Stale (a writer moved the version): drop and fall through.
+      CacheErase(slot);
+    }
+    ++stats_.cache_misses;
+  }
   RSTORE_RETURN_IF_ERROR(region_->Read(
       SlotOffset(slot), std::span<std::byte>(dst, options_.slot_bytes)));
   uint64_t version = 0;
@@ -118,6 +179,7 @@ Result<uint64_t> KvStore::ReadSlot(uint64_t slot, std::byte* dst) {
     ++stats_.version_retries;
     return Result<uint64_t>(ErrorCode::kAborted, "slot is being written");
   }
+  if (options_.cache_slots > 0) CacheStore(slot, version, dst);
   return version;
 }
 
@@ -257,7 +319,18 @@ Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
     (void)UnlockSlot(slot, locked);
     return wrote;
   }
-  return UnlockSlot(slot, locked);
+  Status unlocked = UnlockSlot(slot, locked);
+  if (unlocked.ok() && options_.cache_slots > 0) {
+    // scratch_ still holds the slot as read under the lock; grafting the
+    // bytes just written plus the released version yields the exact
+    // remote image, so the next GET of this key hits.
+    const uint64_t released = locked + 1;
+    std::memcpy(scratch_.begin() + kVersionOff, &released, 8);
+    std::memcpy(scratch_.begin() + kKeyLenOff, out + kKeyLenOff,
+                kSlotHeader - kKeyLenOff + key.size() + value.size());
+    CacheStore(slot, released, scratch_.begin());
+  }
+  return unlocked;
 }
 
 Status KvStore::Delete(std::string_view key) {
@@ -295,6 +368,7 @@ Status KvStore::Delete(std::string_view key) {
       (void)UnlockSlot(slot, locked);
       return wrote;
     }
+    CacheErase(slot);
     return UnlockSlot(slot, locked);
   }
   return Status(ErrorCode::kNotFound, "key not found");

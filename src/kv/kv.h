@@ -21,11 +21,13 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -37,6 +39,14 @@ struct KvOptions {
   uint64_t buckets = 4096;   // slots in the table (fixed at create time)
   uint32_t slot_bytes = 256; // per-slot storage incl. 24-byte header
   uint32_t max_probe = 16;   // linear-probe window before "table full"
+  // Client-local slot cache (0 = off; not part of the table geometry).
+  // A cached slot is validated on every hit with one 8-byte remote read
+  // of its seqlock word: version unchanged and even means the cached
+  // payload is byte-identical to the remote slot, so a hot GET costs one
+  // tiny read instead of a slot-sized read plus a validate read — and
+  // linearizability is untouched because the validate is exactly the
+  // seqlock check an uncached read performs.
+  uint32_t cache_slots = 0;
 };
 
 struct KvStats {
@@ -45,6 +55,9 @@ struct KvStats {
   uint64_t deletes = 0;
   uint64_t probe_reads = 0;     // slot reads issued (≥ ops)
   uint64_t version_retries = 0; // seqlock conflicts observed
+  uint64_t cache_hits = 0;      // slot reads served locally (validated)
+  uint64_t cache_misses = 0;    // lookups that fell back to a full read
+  uint64_t cache_invalidations = 0;  // entries dropped (delete/stale)
 };
 
 class KvStore {
@@ -54,8 +67,11 @@ class KvStore {
                                                  const std::string& name,
                                                  KvOptions options = {});
   // Opens an existing table (reads its header from the region).
+  // `cache_slots` is this client's local slot-cache size; the table
+  // geometry always comes from the header.
   static Result<std::unique_ptr<KvStore>> Open(core::RStoreClient& client,
-                                               const std::string& name);
+                                               const std::string& name,
+                                               uint32_t cache_slots = 0);
 
   KvStore(const KvStore&) = delete;
   KvStore& operator=(const KvStore&) = delete;
@@ -94,6 +110,7 @@ class KvStore {
   }
   // Reads slot into scratch; returns its version word. Fails with
   // kAborted when the slot's seqlock indicates a concurrent writer.
+  // Serves from the slot cache (validate-on-hit) when one is configured.
   Result<uint64_t> ReadSlot(uint64_t slot, std::byte* dst);
   // Unvalidated slot read, for re-checks while holding the seqlock.
   Status ReadSlotRaw(uint64_t slot, std::byte* dst);
@@ -111,12 +128,24 @@ class KvStore {
   };
   [[nodiscard]] SlotView Parse(const std::byte* slot) const;
 
+  // Slot-cache bookkeeping (only active when options_.cache_slots > 0).
+  struct CachedSlot {
+    uint64_t version = 0;
+    std::vector<std::byte> bytes;  // full slot image at `version`
+    std::list<uint64_t>::iterator lru;
+  };
+  // Upserts the cache entry for `slot` (LRU-evicting at capacity).
+  void CacheStore(uint64_t slot, uint64_t version, const std::byte* bytes);
+  void CacheErase(uint64_t slot);
+
   core::RStoreClient& client_;
   core::MappedRegion* region_;
   KvOptions options_;
   core::PinnedBuffer scratch_{};  // one slot for reads
   core::PinnedBuffer write_buf_{};
   core::PinnedBuffer version_buf_{};  // 8-byte pinned word for seqlock IO
+  std::unordered_map<uint64_t, CachedSlot> slot_cache_;
+  std::list<uint64_t> slot_lru_;  // front = most recently used
   KvStats stats_;
 };
 

@@ -28,6 +28,10 @@ Nanos GraphEdgeCost(const CpuCostModel& m, uint64_t edges) noexcept {
   return static_cast<Nanos>(static_cast<double>(edges) * m.graph_ns_per_edge);
 }
 
+Nanos CacheCopyCost(const CpuCostModel& m, uint64_t bytes) noexcept {
+  return TransferTime(bytes, m.cache_copy_bps);
+}
+
 void ChargeCpu(Nanos cost) {
   if (cost > 0) Sleep(cost);
 }

@@ -37,6 +37,12 @@ struct CpuCostModel {
   // Per-byte marshalling cost for two-sided messages (serialize + copy
   // into send buffers), ns per byte.
   double msg_marshal_ns_per_byte = 0.25;
+  // Copy bandwidth out of the client-side region cache, bits/s. Hit
+  // copies stream out of pages the client touched moments ago (warm in
+  // cache/TLB, single stream, no parsing), so they run at hot-copy rather
+  // than cold-bulk (memcpy_bps) rate. Cache hits are charged this — never
+  // zero — so cached and uncached runs stay comparable.
+  double cache_copy_bps = 80e9;  // ~10 GB/s
 };
 
 // Convenience cost functions. All return virtual nanoseconds.
@@ -47,6 +53,8 @@ struct CpuCostModel {
                                 uint64_t bytes) noexcept;
 [[nodiscard]] Nanos GraphEdgeCost(const CpuCostModel& m,
                                   uint64_t edges) noexcept;
+[[nodiscard]] Nanos CacheCopyCost(const CpuCostModel& m,
+                                  uint64_t bytes) noexcept;
 
 // Charges `cost` to the calling simulated thread (must run in one).
 void ChargeCpu(Nanos cost);
