@@ -28,6 +28,7 @@ void RunPolicy(benchmark::State& state, core::PlacementPolicy policy) {
   double gbps = 0;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 4;
     cfg.client_nodes = kClients;
     cfg.server_capacity = kRegionBytes;

@@ -32,6 +32,7 @@ void RunMix(benchmark::State& state, double read_fraction,
   uint64_t cache_hits = 0;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 4;
     cfg.client_nodes = kClients;
     cfg.server_capacity = 16ULL << 20;

@@ -40,6 +40,7 @@ void E12_ZipfReads(benchmark::State& state) {
   cache::CacheStats stats;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 4;
     cfg.client_nodes = 1;
     cfg.server_capacity = 64ULL << 20;

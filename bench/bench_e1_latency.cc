@@ -31,6 +31,7 @@ void E1_RawVerbs(benchmark::State& state) {
   const bool is_read = state.range(1) != 0;
   for (auto _ : state) {
     sim::Simulation sim;
+    sim.AttachTelemetry(ActiveTelemetry());
     verbs::Network net(sim);
     auto& server = sim.AddNode("server");
     auto& client = sim.AddNode("client");
@@ -79,6 +80,7 @@ void E1_RStore(benchmark::State& state) {
   const bool is_read = state.range(1) != 0;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 1;
     cfg.client_nodes = 1;
     cfg.server_capacity = 64ULL << 20;
@@ -115,6 +117,7 @@ void E1_RpcStore(benchmark::State& state) {
   const bool is_read = state.range(1) != 0;
   for (auto _ : state) {
     sim::Simulation sim;
+    sim.AttachTelemetry(ActiveTelemetry());
     verbs::Network net(sim);
     auto& server = sim.AddNode("server");
     auto& client = sim.AddNode("client");

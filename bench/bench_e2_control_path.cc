@@ -22,6 +22,7 @@ namespace {
 
 core::ClusterConfig Cfg() {
   core::ClusterConfig cfg;
+  cfg.telemetry = ActiveTelemetry();
   cfg.memory_servers = 8;
   cfg.client_nodes = 1;
   cfg.server_capacity = 64ULL << 20;

@@ -25,6 +25,7 @@ void E3_AggregateReadBandwidth(benchmark::State& state) {
   double total_gbps = 0;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = machines;
     cfg.client_nodes = machines;
     cfg.server_capacity =

@@ -45,6 +45,7 @@ void RunCarafe(benchmark::State& state, bool cached) {
   cache::CacheStats cache_total;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 8;
     cfg.client_nodes = kWorkers;
     cfg.server_capacity = 96ULL << 20;
@@ -92,6 +93,7 @@ void RunMessagePassing(benchmark::State& state, double per_message_ns) {
   carafe::Graph graph = MakeGraph(rmat, state.range(0));
   for (auto _ : state) {
     sim::Simulation sim;
+    sim.AttachTelemetry(ActiveTelemetry());
     verbs::Network net(sim);
     std::vector<sim::Node*> nodes;
     std::vector<uint32_t> ids;

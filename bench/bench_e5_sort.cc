@@ -28,6 +28,7 @@ constexpr uint32_t kWorkers = 12;
 // Measured seconds for RSort at `records`, or a failure.
 double RunRSort(uint64_t records) {
   core::ClusterConfig cfg;
+  cfg.telemetry = ActiveTelemetry();
   cfg.memory_servers = kWorkers;
   cfg.client_nodes = kWorkers;
   // input + exchange + output regions plus slack.
@@ -57,6 +58,7 @@ double RunRSort(uint64_t records) {
 
 double RunTeraSort(uint64_t records) {
   sim::Simulation sim;
+  sim.AttachTelemetry(ActiveTelemetry());
   verbs::Network net(sim);
   std::vector<sim::Node*> nodes;
   std::vector<uint32_t> ids;

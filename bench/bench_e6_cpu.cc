@@ -29,6 +29,7 @@ void E6_OneSided(benchmark::State& state) {
   double mb_per_s = 0;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 1;
     cfg.client_nodes = clients;
     cfg.server_capacity = 64ULL << 20;
@@ -72,6 +73,7 @@ void E6_TwoSided(benchmark::State& state) {
   double cpu_us_per_mb = 0;
   for (auto _ : state) {
     sim::Simulation sim;
+    sim.AttachTelemetry(ActiveTelemetry());
     verbs::Network net(sim);
     auto& server_node = sim.AddNode("server");
     auto& sdev = net.AddDevice(server_node);

@@ -28,6 +28,7 @@ void E7_SlabSize(benchmark::State& state) {
   double rmap_us = 0;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 4;
     cfg.client_nodes = kClients;
     cfg.server_capacity = kRegionBytes;

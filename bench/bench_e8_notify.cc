@@ -23,6 +23,7 @@ namespace {
 void E8_NotifyInc(benchmark::State& state) {
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 1;
     cfg.client_nodes = 1;
     core::TestCluster cluster(cfg);
@@ -46,6 +47,7 @@ void E8_Barrier(benchmark::State& state) {
   constexpr int kRounds = 16;
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 1;
     cfg.client_nodes = participants;
     core::TestCluster cluster(cfg);
@@ -72,6 +74,7 @@ void E8_Barrier(benchmark::State& state) {
 void E8_FetchAddSync(benchmark::State& state) {
   for (auto _ : state) {
     core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
     cfg.memory_servers = 1;
     cfg.client_nodes = 1;
     core::TestCluster cluster(cfg);

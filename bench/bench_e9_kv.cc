@@ -29,7 +29,9 @@ constexpr uint32_t kValueBytes = 64;
 
 void E9_RkvGet(benchmark::State& state) {
   for (auto _ : state) {
-    core::TestCluster cluster(core::ClusterConfig{});
+    core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
+    core::TestCluster cluster(cfg);
     double seconds = 0;
     cluster.RunClient([&](core::RStoreClient& client) {
       auto kv = kv::KvStore::Create(client, "t");
@@ -54,7 +56,9 @@ void E9_RkvGet(benchmark::State& state) {
 // seqlock validate instead of a slot-sized read plus validate.
 void E9_RkvGetCached(benchmark::State& state) {
   for (auto _ : state) {
-    core::TestCluster cluster(core::ClusterConfig{});
+    core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
+    core::TestCluster cluster(cfg);
     double seconds = 0;
     uint64_t hits = 0;
     cluster.RunClient([&](core::RStoreClient& client) {
@@ -82,7 +86,9 @@ void E9_RkvGetCached(benchmark::State& state) {
 
 void E9_RkvPut(benchmark::State& state) {
   for (auto _ : state) {
-    core::TestCluster cluster(core::ClusterConfig{});
+    core::ClusterConfig cfg;
+    cfg.telemetry = ActiveTelemetry();
+    core::TestCluster cluster(cfg);
     double seconds = 0;
     cluster.RunClient([&](core::RStoreClient& client) {
       auto kv = kv::KvStore::Create(client, "t");
@@ -104,6 +110,7 @@ void E9_RkvPut(benchmark::State& state) {
 void RunRpcKv(benchmark::State& state, bool is_get) {
   for (auto _ : state) {
     sim::Simulation sim;
+    sim.AttachTelemetry(ActiveTelemetry());
     verbs::Network net(sim);
     auto& server = sim.AddNode("server");
     auto& client_node = sim.AddNode("client");

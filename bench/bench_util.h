@@ -7,15 +7,34 @@
 // Each binary prints the series of exactly one paper experiment; the
 // mapping to the paper's tables/figures lives in DESIGN.md and the
 // measured-vs-paper record in EXPERIMENTS.md.
+// Telemetry flags (stripped before google-benchmark sees argv):
+//
+//   --json <path>   attach an obs::Telemetry to every cluster the binary
+//                   builds (via ActiveTelemetry()) and write a JSON file
+//                   with the run results and the merged metrics registry.
+//   --trace <path>  additionally enable span tracing and export a Chrome
+//                   trace_event file (chrome://tracing, Perfetto).
+//
+// Without either flag ActiveTelemetry() is null and the benchmarks run
+// exactly as before — virtual times are bit-identical either way (see
+// obs/metrics.h's probe-effect rule).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "cache/region_cache.h"
 #include "common/log.h"
 #include "core/cluster.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/time.h"
 
 namespace rstore::bench {
@@ -56,16 +75,165 @@ inline void ReportCacheCounters(benchmark::State& state,
       lookups > 0 ? static_cast<double>(stats.hits) / lookups : 0.0;
 }
 
+// ---------------------------------------------------------------------------
+// Telemetry plumbing (--json / --trace)
+// ---------------------------------------------------------------------------
+
+struct ObsConfig {
+  std::string binary_name;
+  std::string json_path;
+  std::string trace_path;
+};
+
+inline ObsConfig& GetObsConfig() {
+  static ObsConfig config;
+  return config;
+}
+
+// The binary-wide telemetry sink, or null when neither flag was given.
+// Benchmarks pass this as ClusterConfig::telemetry (or AttachTelemetry it
+// onto hand-built simulations); one sink aggregates every iteration.
+inline obs::Telemetry* ActiveTelemetry() {
+  ObsConfig& config = GetObsConfig();
+  if (config.json_path.empty() && config.trace_path.empty()) return nullptr;
+  static obs::Telemetry telemetry;
+  telemetry.EnableTracing(!config.trace_path.empty());
+  return &telemetry;
+}
+
+// Strips --json/--trace (space- or =-separated) from argv before
+// benchmark::Initialize, which rejects unknown flags.
+inline void ParseObsArgs(int* argc, char** argv) {
+  ObsConfig& config = GetObsConfig();
+  if (*argc > 0) {
+    const char* slash = std::strrchr(argv[0], '/');
+    config.binary_name = slash != nullptr ? slash + 1 : argv[0];
+  }
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if ((arg == "--json" || arg == "--trace") && i + 1 < *argc) {
+      (arg == "--json" ? config.json_path : config.trace_path) = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = std::string(arg.substr(7));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      config.trace_path = std::string(arg.substr(8));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+// One finished benchmark run, captured for the --json report.
+struct CollectedRun {
+  std::string name;
+  int64_t iterations = 0;
+  double real_time_s = 0;  // per-iteration virtual time (manual time)
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+inline std::vector<CollectedRun>& CollectedRuns() {
+  static std::vector<CollectedRun> runs;
+  return runs;
+}
+
+// Console reporter that also records each run for the JSON report.
+class RunCollector : public benchmark::ConsoleReporter {
+ public:
+  using ConsoleReporter::ConsoleReporter;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      CollectedRun c;
+      c.name = run.benchmark_name();
+      c.iterations = run.iterations;
+      c.real_time_s = run.iterations > 0
+                          ? run.real_accumulated_time /
+                                static_cast<double>(run.iterations)
+                          : 0.0;
+      for (const auto& [key, counter] : run.counters) {
+        c.counters.emplace_back(key, static_cast<double>(counter));
+      }
+      CollectedRuns().push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+// Writes the --json report ({binary, runs, metrics}) and the --trace
+// Chrome trace file. Called by RSTORE_BENCH_MAIN after the run.
+inline int WriteObsOutputs() {
+  const ObsConfig& config = GetObsConfig();
+  obs::Telemetry* telemetry = ActiveTelemetry();
+  int rc = 0;
+  if (!config.json_path.empty() && telemetry != nullptr) {
+    std::string out = "{\"binary\":";
+    obs::AppendJsonString(out, config.binary_name);
+    out += ",\"runs\":[";
+    bool first = true;
+    for (const CollectedRun& run : CollectedRuns()) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":";
+      obs::AppendJsonString(out, run.name);
+      out += ",\"iterations\":" + std::to_string(run.iterations);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, ",\"real_time_s\":%.9g",
+                    run.real_time_s);
+      out += buf;
+      out += ",\"counters\":{";
+      bool cfirst = true;
+      for (const auto& [key, value] : run.counters) {
+        if (!cfirst) out += ',';
+        cfirst = false;
+        obs::AppendJsonString(out, key);
+        std::snprintf(buf, sizeof buf, ":%.17g", value);
+        out += buf;
+      }
+      out += "}}";
+    }
+    out += "],\"metrics\":" + telemetry->DumpMetricsJson() + "}\n";
+    std::FILE* f = std::fopen(config.json_path.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(out.data(), 1, out.size(), f) != out.size()) {
+      std::fprintf(stderr, "failed to write %s\n", config.json_path.c_str());
+      rc = 1;
+    }
+    if (f != nullptr) std::fclose(f);
+  }
+  if (!config.trace_path.empty() && telemetry != nullptr) {
+    Status st = telemetry->WriteTrace(config.trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n",
+                   config.trace_path.c_str(), st.message().c_str());
+      rc = 1;
+    }
+    if (telemetry->tracer().dropped() > 0) {
+      std::fprintf(stderr,
+                   "trace capacity reached: %llu events dropped\n",
+                   static_cast<unsigned long long>(
+                       telemetry->tracer().dropped()));
+    }
+  }
+  return rc;
+}
+
 }  // namespace rstore::bench
 
-// BENCHMARK_MAIN with the cluster's INFO chatter silenced.
+// BENCHMARK_MAIN with the cluster's INFO chatter silenced, plus the
+// --json/--trace telemetry flags (see the header comment).
 #define RSTORE_BENCH_MAIN()                                   \
   int main(int argc, char** argv) {                           \
     ::rstore::SetLogLevel(::rstore::LogLevel::kWarn);         \
+    ::rstore::bench::ParseObsArgs(&argc, argv);               \
     ::benchmark::Initialize(&argc, argv);                     \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
       return 1;                                               \
-    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::rstore::bench::RunCollector reporter;                   \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);           \
+    const int obs_rc = ::rstore::bench::WriteObsOutputs();    \
     ::benchmark::Shutdown();                                  \
-    return 0;                                                 \
+    return obs_rc;                                            \
   }

@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
+#include "sim/simulation.h"
 
 namespace rstore::carafe {
 namespace {
@@ -168,6 +170,16 @@ Result<std::vector<double>> Worker::PageRank(const PageRankOptions& options) {
   const uint64_t my_in_edges = in_targets_.size();
 
   for (uint32_t iter = 0; iter < options.iterations; ++iter) {
+    obs::Telemetry* tel = client_.device().network().sim().telemetry();
+    obs::ObsSpan step_span(tel, client_.device().node_id(), "app",
+                           "pr.superstep");
+    step_span.Arg("iteration", static_cast<double>(iter));
+    if (tel != nullptr) {
+      tel->metrics()
+          .ForNode(client_.device().node_id())
+          .GetCounter("carafe.supersteps")
+          .Inc();
+    }
     const int buf = static_cast<int>(iter & 1);
     if (config_.cache) {
       // New epoch for the buffer about to be rewritten — before the

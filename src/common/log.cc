@@ -9,6 +9,8 @@ namespace {
 
 LogLevel g_level = LogLevel::kInfo;
 std::function<uint64_t()> g_now;  // virtual-time source, optional
+std::function<void(LogLevel)> g_emit_hook;
+uint64_t g_emit_counts[4] = {0, 0, 0, 0};
 
 const char* LevelTag(LogLevel level) noexcept {
   switch (level) {
@@ -36,11 +38,25 @@ void SetTimestampSource(std::function<uint64_t()> now_nanos) {
   g_now = std::move(now_nanos);
 }
 
+uint64_t LogEmitCount(LogLevel level) noexcept {
+  return g_emit_counts[static_cast<int>(level)];
+}
+
+void ResetLogEmitCounts() noexcept {
+  for (uint64_t& c : g_emit_counts) c = 0;
+}
+
+void SetLogEmitHook(std::function<void(LogLevel)> hook) {
+  g_emit_hook = std::move(hook);
+}
+
 namespace log_internal {
 
 LogLevel GlobalLevel() noexcept { return g_level; }
 
 void Emit(LogLevel level, const std::string& message) {
+  ++g_emit_counts[static_cast<int>(level)];
+  if (g_emit_hook) g_emit_hook(level);
   const uint64_t t = NowNanos();
   std::fprintf(stderr, "[%s %9.3fms] %s\n", LevelTag(level),
                static_cast<double>(t) / 1e6, message.c_str());

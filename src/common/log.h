@@ -44,6 +44,17 @@ void SetLogLevel(LogLevel level) noexcept;
 // Installs a virtual-clock source; pass nullptr to revert to wall time.
 void SetTimestampSource(std::function<uint64_t()> now_nanos);
 
+// Cumulative count of lines emitted at `level` (lines filtered out by the
+// global level are not counted). Always on — lets tests and benches
+// assert "no warnings" without scraping stderr.
+[[nodiscard]] uint64_t LogEmitCount(LogLevel level) noexcept;
+void ResetLogEmitCounts() noexcept;
+
+// Observer invoked on every emitted line, after the level filter. The
+// simulator routes this into the telemetry registry (a counter per level,
+// attributed to the emitting node); pass nullptr to uninstall.
+void SetLogEmitHook(std::function<void(LogLevel)> hook);
+
 #define RSTORE_LOG(level)                                               \
   if (static_cast<int>(level) <                                         \
       static_cast<int>(::rstore::log_internal::GlobalLevel())) {        \

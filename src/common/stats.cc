@@ -28,7 +28,7 @@ double SummaryStats::variance() const noexcept {
 double SummaryStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 LatencyHistogram::LatencyHistogram(double growth)
-    : log_growth_(std::log(growth)) {
+    : growth_(growth), log_growth_(std::log(growth)) {
   assert(growth > 1.0);
 }
 
@@ -58,13 +58,29 @@ void LatencyHistogram::Add(uint64_t value_ns) {
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  assert(log_growth_ == other.log_growth_);
   if (other.count_ == 0) return;
-  if (other.buckets_.size() > buckets_.size()) {
-    buckets_.resize(other.buckets_.size(), 0);
-  }
-  for (size_t i = 0; i < other.buckets_.size(); ++i) {
-    buckets_[i] += other.buckets_[i];
+  if (growth_ == other.growth_) {
+    // Same bucket boundaries: bucket-wise addition is lossless.
+    if (other.buckets_.size() > buckets_.size()) {
+      buckets_.resize(other.buckets_.size(), 0);
+    }
+    for (size_t i = 0; i < other.buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+  } else {
+    // Different growth factors: re-bucket each of other's buckets at its
+    // midpoint (clamped to other's observed range, so a sparse histogram
+    // cannot smear counts past its own extremes).
+    for (size_t i = 0; i < other.buckets_.size(); ++i) {
+      const uint64_t n = other.buckets_[i];
+      if (n == 0) continue;
+      const uint64_t mid =
+          std::clamp((other.BucketLow(i) + other.BucketLow(i + 1)) / 2,
+                     other.min_, other.max_);
+      const size_t b = BucketFor(mid);
+      if (b >= buckets_.size()) buckets_.resize(b + 1, 0);
+      buckets_[b] += n;
+    }
   }
   if (count_ == 0) {
     min_ = other.min_;
@@ -88,13 +104,18 @@ uint64_t LatencyHistogram::Quantile(double q) const {
   const auto rank = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
   uint64_t seen = 0;
   for (size_t b = 0; b < buckets_.size(); ++b) {
-    seen += buckets_[b];
-    if (seen > rank) {
-      // Midpoint of the bucket, clamped to the observed extremes.
-      const uint64_t lo = BucketLow(b);
-      const uint64_t hi = BucketLow(b + 1);
-      return std::clamp((lo + hi) / 2, min_, max_);
+    if (buckets_[b] == 0) continue;
+    if (seen + buckets_[b] > rank) {
+      // Interpolate within the bucket: samples are assumed uniform, so
+      // the k-th of n bucket samples sits at fraction (k + 0.5) / n.
+      const auto lo = static_cast<double>(BucketLow(b));
+      const auto hi = static_cast<double>(BucketLow(b + 1));
+      const double frac = (static_cast<double>(rank - seen) + 0.5) /
+                          static_cast<double>(buckets_[b]);
+      const auto v = static_cast<uint64_t>(lo + frac * (hi - lo));
+      return std::clamp(v, min_, max_);
     }
+    seen += buckets_[b];
   }
   return max_;
 }

@@ -41,14 +41,21 @@ class LatencyHistogram {
   explicit LatencyHistogram(double growth = 1.04);
 
   void Add(uint64_t value_ns);
+  // Merges `other` into this histogram. Equal growth factors merge
+  // bucket-wise (lossless); differing growths re-bucket `other`'s counts
+  // at their bucket midpoints, which preserves count/sum exactly and
+  // quantiles to within the coarser histogram's relative error.
   void Merge(const LatencyHistogram& other);
 
+  [[nodiscard]] double growth() const noexcept { return growth_; }
   [[nodiscard]] uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept;
   [[nodiscard]] uint64_t min() const noexcept { return count_ ? min_ : 0; }
   [[nodiscard]] uint64_t max() const noexcept { return count_ ? max_ : 0; }
 
   // Approximate q-quantile, q in [0, 1]. Returns 0 on an empty histogram.
+  // Interpolates linearly within the selected bucket by the quantile's
+  // rank among that bucket's samples, clamped to the observed extremes.
   [[nodiscard]] uint64_t Quantile(double q) const;
 
   // "p50=... p99=... max=..." one-liner for bench output.
@@ -58,6 +65,7 @@ class LatencyHistogram {
   [[nodiscard]] size_t BucketFor(uint64_t value) const;
   [[nodiscard]] uint64_t BucketLow(size_t bucket) const;
 
+  double growth_;
   double log_growth_;
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;

@@ -5,10 +5,51 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/simulation.h"
 
 namespace rstore::core {
+
+namespace {
+// Attaches the client node's fabric-time deltas (egress queueing, wire
+// serialization, propagation + ingress wait) accumulated while a span
+// was open. The counters are per-node, so concurrent client threads on
+// the same node fold into one another's breakdown — fine for traces,
+// which show the per-message fabric.msg spans alongside.
+class FabricBreakdown {
+ public:
+  FabricBreakdown(obs::ObsSpan& span, obs::Counter* queue, obs::Counter* ser,
+                  obs::Counter* wire)
+      : span_(span), queue_(queue), ser_(ser), wire_(wire) {
+    if (span_.active() && queue_ != nullptr) {
+      queue0_ = queue_->value();
+      ser0_ = ser_->value();
+      wire0_ = wire_->value();
+    }
+  }
+  ~FabricBreakdown() {
+    if (span_.active() && queue_ != nullptr) {
+      span_.Arg("fabric_queue_ns",
+                static_cast<double>(queue_->value() - queue0_));
+      span_.Arg("fabric_serialization_ns",
+                static_cast<double>(ser_->value() - ser0_));
+      span_.Arg("fabric_wire_ns", static_cast<double>(wire_->value() - wire0_));
+    }
+  }
+  FabricBreakdown(const FabricBreakdown&) = delete;
+  FabricBreakdown& operator=(const FabricBreakdown&) = delete;
+
+ private:
+  obs::ObsSpan& span_;
+  obs::Counter* queue_;
+  obs::Counter* ser_;
+  obs::Counter* wire_;
+  uint64_t queue0_ = 0;
+  uint64_t ser0_ = 0;
+  uint64_t wire0_ = 0;
+};
+}  // namespace
 
 // Shared completion state of one logical IO (possibly many work
 // requests, all carrying io_id as their wr_id). `sealed` flips once the
@@ -79,6 +120,50 @@ RStoreClient::~RStoreClient() {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry plumbing
+// ---------------------------------------------------------------------------
+obs::Telemetry* RStoreClient::ObsTelemetry() {
+  obs::Telemetry* tel = device_.network().sim().telemetry();
+  if (tel != obs_owner_) {
+    obs_owner_ = tel;
+    if (tel == nullptr) {
+      obs_ops_ = obs_bytes_read_ = obs_bytes_written_ = nullptr;
+      obs_fab_queue_ = obs_fab_ser_ = obs_fab_wire_ = nullptr;
+    } else {
+      obs::NodeMetrics& m = tel->metrics().ForNode(device_.node_id());
+      obs_ops_ = &m.GetCounter("client.data_ops");
+      obs_bytes_read_ = &m.GetCounter("client.bytes_read");
+      obs_bytes_written_ = &m.GetCounter("client.bytes_written");
+      obs_fab_queue_ = &m.GetCounter("fabric.queue_ns");
+      obs_fab_ser_ = &m.GetCounter("fabric.serialization_ns");
+      obs_fab_wire_ = &m.GetCounter("fabric.wire_ns");
+    }
+  }
+  return tel;
+}
+
+RStoreClient::CacheModeObs& RStoreClient::ObsForCacheMode(
+    cache::CacheMode mode) {
+  CacheModeObs& co = cache_obs_[static_cast<size_t>(mode)];
+  obs::Telemetry* tel = ObsTelemetry();
+  if (co.owner != tel) {
+    co.owner = tel;
+    if (tel == nullptr) {
+      co.hits = co.misses = co.fills = co.bypass = co.invalidations = nullptr;
+    } else {
+      obs::NodeMetrics& m = tel->metrics().ForNode(device_.node_id());
+      const std::string prefix = std::string("cache.") + cache::ToString(mode);
+      co.hits = &m.GetCounter(prefix + ".hits");
+      co.misses = &m.GetCounter(prefix + ".misses");
+      co.fills = &m.GetCounter(prefix + ".fills");
+      co.bypass = &m.GetCounter(prefix + ".bypass");
+      co.invalidations = &m.GetCounter(prefix + ".invalidations");
+    }
+  }
+  return co;
+}
+
+// ---------------------------------------------------------------------------
 // Control path
 // ---------------------------------------------------------------------------
 Result<std::vector<std::byte>> RStoreClient::CallMaster(
@@ -117,7 +202,7 @@ Result<MappedRegion*> RStoreClient::Rmap(const std::string& name,
       MappedRegion* region = it->second.get();
       if (region->cache_mode_ != options.cache_mode) {
         // Mode change: pages cached under the old contract are dropped.
-        DropCachedRegion(region->desc_.id);
+        DropCachedRegion(region->desc_.id, region->cache_mode_);
         region->cache_mode_ = options.cache_mode;
       }
       return region;
@@ -136,7 +221,12 @@ Result<MappedRegion*> RStoreClient::Rmap(const std::string& name,
   }
   // A fresh remap may have moved slabs (healing); anything cached under
   // the previous mapping of this region is stale.
-  DropCachedRegion(desc.id);
+  {
+    auto prev = mappings_.find(name);
+    DropCachedRegion(desc.id, prev != mappings_.end()
+                                  ? prev->second->cache_mode_
+                                  : cache::CacheMode::kNone);
+  }
   auto region = std::unique_ptr<MappedRegion>(
       new MappedRegion(*this, std::move(desc)));
   region->cache_mode_ = options.cache_mode;
@@ -159,10 +249,12 @@ Status RStoreClient::Rgrow(const std::string& name, uint64_t new_size) {
   // Growth may append slabs on servers already holding cached pages and
   // changes the tail page's valid length; drop the region's cache state
   // before refreshing the mapping.
-  DropCachedRegion(desc.id);
+  auto it = mappings_.find(name);
+  DropCachedRegion(desc.id, it != mappings_.end()
+                                ? it->second->cache_mode_
+                                : cache::CacheMode::kNone);
   // Refresh the cached mapping in place so existing MappedRegion
   // pointers observe the new size.
-  auto it = mappings_.find(name);
   if (it != mappings_.end()) {
     it->second->desc_ = std::move(desc);
   }
@@ -174,7 +266,7 @@ Status RStoreClient::Runmap(const std::string& name) {
   if (it == mappings_.end()) {
     return Status(ErrorCode::kNotFound, "'" + name + "' is not mapped");
   }
-  DropCachedRegion(it->second->desc_.id);
+  DropCachedRegion(it->second->desc_.id, it->second->cache_mode_);
   mappings_.erase(it);
   return Status::Ok();
 }
@@ -182,7 +274,7 @@ Status RStoreClient::Runmap(const std::string& name) {
 Status RStoreClient::Rfree(const std::string& name) {
   auto it = mappings_.find(name);
   if (it != mappings_.end()) {
-    DropCachedRegion(it->second->desc_.id);
+    DropCachedRegion(it->second->desc_.id, it->second->cache_mode_);
     mappings_.erase(it);
   }
   rpc::Writer req;
@@ -319,6 +411,8 @@ Result<RStoreClient::Connection*> RStoreClient::ConnectionTo(
 Result<IoFuture> RStoreClient::SubmitIo(const RegionDesc& desc,
                                         uint64_t offset, std::byte* buffer,
                                         uint64_t length, bool is_read) {
+  obs::ObsSpan span(ObsTelemetry(), device_.node_id(), "client", "io.post");
+  span.Arg("bytes", static_cast<double>(length));
   auto state = std::make_shared<IoFuture::State>(device_.network().sim(),
                                                  next_wr_id_++);
   IoFuture future(state, this);
@@ -335,6 +429,8 @@ Result<IoFuture> RStoreClient::SubmitIo(const RegionDesc& desc,
 Result<IoFuture> RStoreClient::SubmitVector(const RegionDesc& desc,
                                             std::span<const IoVec> segments,
                                             bool is_read) {
+  obs::ObsSpan span(ObsTelemetry(), device_.node_id(), "client", "io.post");
+  span.Arg("segments", static_cast<double>(segments.size()));
   auto state = std::make_shared<IoFuture::State>(device_.network().sim(),
                                                  next_wr_id_++);
   IoFuture future(state, this);
@@ -376,6 +472,10 @@ Status RStoreClient::CollectFragments(const RegionDesc& desc, uint64_t offset,
     bytes_read_ += length;
   } else {
     bytes_written_ += length;
+  }
+  if (ObsTelemetry() != nullptr) {
+    obs_ops_->Inc();
+    (is_read ? obs_bytes_read_ : obs_bytes_written_)->Inc(length);
   }
 
   uint64_t cursor = offset;
@@ -569,6 +669,7 @@ void RStoreClient::PumpData(sim::Nanos timeout, size_t min_entries) {
 }
 
 Status RStoreClient::WaitFuture(const std::shared_ptr<IoFuture::State>& state) {
+  obs::ObsSpan span(ObsTelemetry(), device_.node_id(), "client", "io.wait");
   const sim::Nanos deadline = sim::Now() + options_.io_timeout;
   while (!state->done()) {
     if (sim::Now() >= deadline) {
@@ -653,6 +754,8 @@ Result<uint64_t> RStoreClient::SubmitAtomic(MappedRegion& region,
   // mode; drop the affected page so the next read refetches it.
   if (region.cache_mode_ != cache::CacheMode::kNone && cache_ != nullptr) {
     cache_->DropPage(desc.id, offset / cache_->page_bytes());
+    CacheModeObs& co = ObsForCacheMode(region.cache_mode_);
+    if (co.invalidations != nullptr) co.invalidations->Inc();
   }
   if (!st.ok()) return st;
   return old;
@@ -675,8 +778,14 @@ cache::RegionCache* RStoreClient::EnsureCache() {
   return cache_.get();
 }
 
-void RStoreClient::DropCachedRegion(uint64_t region_id) {
-  if (cache_ != nullptr) cache_->DropRegion(region_id);
+void RStoreClient::DropCachedRegion(uint64_t region_id,
+                                    cache::CacheMode mode) {
+  if (cache_ == nullptr) return;
+  cache_->DropRegion(region_id);
+  if (mode != cache::CacheMode::kNone) {
+    CacheModeObs& co = ObsForCacheMode(mode);
+    if (co.invalidations != nullptr) co.invalidations->Inc();
+  }
 }
 
 const cache::CacheStats& RStoreClient::cache_stats() const noexcept {
@@ -708,6 +817,8 @@ Status RStoreClient::CachedRead(MappedRegion& region,
           "IO buffer is not registered (call RegisterBuffer/AllocBuffer)");
     }
   }
+  obs::ObsSpan span(ObsTelemetry(), device_.node_id(), "cache", "cache.read");
+  CacheModeObs& co = ObsForCacheMode(region.cache_mode_);
   cache::RegionCache* cache = EnsureCache();
   const uint64_t page_bytes = cache->page_bytes();
   const uint64_t bypass = cache->bypass_bytes();
@@ -761,12 +872,15 @@ Status RStoreClient::CachedRead(MappedRegion& region,
           run.front().page * page_bytes + run.front().in_page,
           run.front().dst, run_bytes});
       cache->NoteBypass();
+      if (co.bypass != nullptr) co.bypass->Inc();
       for (size_t i = 0; i < run.size(); ++i) cache->NoteMiss();
+      if (co.misses != nullptr) co.misses->Inc(run.size());
       run.clear();
       return;
     }
     for (const MissRange& m : run) {
       cache->NoteMiss();
+      if (co.misses != nullptr) co.misses->Inc();
       cache::RegionCache::Frame* frame = cache->Acquire();
       if (frame == nullptr) {
         // Every frame is pinned or the arena allocator failed: read the
@@ -802,10 +916,12 @@ Status RStoreClient::CachedRead(MappedRegion& region,
         std::memcpy(dst, frame->data + in_page, take);
         local_bytes += take;
         cache->NoteHit(take);
+        if (co.hits != nullptr) co.hits->Inc();
       } else if (auto it = filling.find(page); it != filling.end()) {
         flush_run();
         copies.push_back(CopyOut{it->second, in_page, dst, take});
         cache->NoteHit(take);  // shares the in-flight fill
+        if (co.hits != nullptr) co.hits->Inc();
       } else {
         run.push_back(MissRange{page, in_page, take, dst});
       }
@@ -830,6 +946,7 @@ Status RStoreClient::CachedRead(MappedRegion& region,
     cache->Install(f.frame, id, f.page, epoch, f.valid);
     cache->NoteFill(f.valid);
   }
+  if (co.fills != nullptr) co.fills->Inc(fills.size());
   for (const CopyOut& c : copies) {
     std::memcpy(c.dst, c.frame->data + c.frame_off, c.length);
     local_bytes += c.length;
@@ -840,6 +957,9 @@ Status RStoreClient::CachedRead(MappedRegion& region,
     sim::ChargeCpu(
         sim::CacheCopyCost(device_.network().cpu_model(), local_bytes));
   }
+  span.Arg("mode", cache::ToString(region.cache_mode_));
+  span.Arg("segments", static_cast<double>(segments.size()));
+  span.Arg("local_bytes", static_cast<double>(local_bytes));
   return Status::Ok();
 }
 
@@ -859,6 +979,11 @@ void RStoreClient::CacheApplyWrite(MappedRegion& region, uint64_t offset,
 // MappedRegion forwarding
 // ---------------------------------------------------------------------------
 Status MappedRegion::Read(uint64_t offset, std::span<std::byte> dst) {
+  obs::ObsSpan span(client_.ObsTelemetry(), client_.device_.node_id(),
+                    "client", "client.read");
+  span.Arg("bytes", static_cast<double>(dst.size()));
+  FabricBreakdown breakdown(span, client_.obs_fab_queue_,
+                            client_.obs_fab_ser_, client_.obs_fab_wire_);
   if (cache_mode_ != cache::CacheMode::kNone) {
     const IoVec seg{offset, dst.data(), dst.size()};
     return client_.CachedRead(*this, std::span<const IoVec>(&seg, 1));
@@ -870,6 +995,11 @@ Status MappedRegion::Read(uint64_t offset, std::span<std::byte> dst) {
 }
 
 Status MappedRegion::Write(uint64_t offset, std::span<const std::byte> src) {
+  obs::ObsSpan span(client_.ObsTelemetry(), client_.device_.node_id(),
+                    "client", "client.write");
+  span.Arg("bytes", static_cast<double>(src.size()));
+  FabricBreakdown breakdown(span, client_.obs_fab_queue_,
+                            client_.obs_fab_ser_, client_.obs_fab_wire_);
   // One-sided writes read the source buffer; it stays logically const.
   auto future = client_.SubmitIo(desc_, offset,
                                  const_cast<std::byte*>(src.data()),
@@ -902,6 +1032,9 @@ Result<IoFuture> MappedRegion::WriteAsync(uint64_t offset,
 }
 
 Result<IoFuture> MappedRegion::ReadV(std::span<const IoVec> segments) {
+  obs::ObsSpan span(client_.ObsTelemetry(), client_.device_.node_id(),
+                    "client", "client.readv");
+  span.Arg("segments", static_cast<double>(segments.size()));
   if (cache_mode_ != cache::CacheMode::kNone) {
     RSTORE_RETURN_IF_ERROR(client_.CachedRead(*this, segments));
     return client_.CompletedFuture();

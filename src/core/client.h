@@ -43,6 +43,11 @@
 #include "rpc/rpc.h"
 #include "verbs/verbs.h"
 
+namespace rstore::obs {
+class Counter;
+class Telemetry;
+}  // namespace rstore::obs
+
 namespace rstore::core {
 
 class RStoreClient;
@@ -289,7 +294,10 @@ class RStoreClient {
   // An already-completed future, for vectored reads served by the cache.
   IoFuture CompletedFuture();
   // Drops cached pages of a region id (grow/unmap/free/mode change).
-  void DropCachedRegion(uint64_t region_id);
+  // `mode` is the mode the pages were cached under, when the caller
+  // knows it — used only to attribute the invalidation in telemetry.
+  void DropCachedRegion(uint64_t region_id,
+                        cache::CacheMode mode = cache::CacheMode::kNone);
   Result<Connection*> ConnectionTo(uint32_t server_node);
   // Finds the registration covering [addr, addr+len); null if none.
   [[nodiscard]] verbs::MemoryRegion* FindPinned(const std::byte* addr,
@@ -354,6 +362,30 @@ class RStoreClient {
   uint64_t data_ops_ = 0;
   uint64_t control_calls_ = 0;
   uint64_t map_cache_hits_ = 0;
+
+  // Telemetry instruments (see obs/trace.h), resolved lazily against the
+  // simulation's attached obs::Telemetry. All pointers are null while
+  // detached, so the instrumented paths cost one pointer compare. The
+  // fabric.* counters alias the fabric's own instruments for this node
+  // (same registry names) and feed the per-span latency breakdown.
+  obs::Telemetry* ObsTelemetry();
+  struct CacheModeObs {
+    obs::Telemetry* owner = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* fills = nullptr;
+    obs::Counter* bypass = nullptr;
+    obs::Counter* invalidations = nullptr;
+  };
+  CacheModeObs& ObsForCacheMode(cache::CacheMode mode);
+  obs::Telemetry* obs_owner_ = nullptr;
+  obs::Counter* obs_ops_ = nullptr;
+  obs::Counter* obs_bytes_read_ = nullptr;
+  obs::Counter* obs_bytes_written_ = nullptr;
+  obs::Counter* obs_fab_queue_ = nullptr;
+  obs::Counter* obs_fab_ser_ = nullptr;
+  obs::Counter* obs_fab_wire_ = nullptr;
+  CacheModeObs cache_obs_[3];  // indexed by cache::CacheMode
 };
 
 }  // namespace rstore::core

@@ -27,6 +27,10 @@ struct ClusterConfig {
   sim::NicConfig nic;
   sim::CpuCostModel cpu;
   uint64_t seed = 1;
+  // Optional observability sink (caller-owned, may outlive the cluster).
+  // Attaching it never changes virtual time — see Simulation's
+  // AttachTelemetry contract.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class TestCluster {
@@ -35,6 +39,7 @@ class TestCluster {
       : config_(config),
         sim_(sim::SimConfig{.seed = config.seed}),
         net_(sim_, config.nic, config.cpu) {
+    if (config.telemetry != nullptr) sim_.AttachTelemetry(config.telemetry);
     master_node_ = &sim_.AddNode("master");
     master_ = std::make_unique<Master>(net_.AddDevice(*master_node_),
                                        config.master);

@@ -17,16 +17,16 @@ void Master::Start() {
       return (this->*fn)(req, resp);
     };
   };
-  rpc_->RegisterHandler(kRegisterServer, bind(&Master::HandleRegister));
-  rpc_->RegisterHandler(kHeartbeat, bind(&Master::HandleHeartbeat));
-  rpc_->RegisterHandler(kAlloc, bind(&Master::HandleAlloc));
-  rpc_->RegisterHandler(kMap, bind(&Master::HandleMap));
-  rpc_->RegisterHandler(kFree, bind(&Master::HandleFree));
-  rpc_->RegisterHandler(kStat, bind(&Master::HandleStat));
-  rpc_->RegisterHandler(kNotifyInc, bind(&Master::HandleNotifyInc));
-  rpc_->RegisterHandler(kWaitNotify, bind(&Master::HandleWaitNotify));
-  rpc_->RegisterHandler(kListRegions, bind(&Master::HandleListRegions));
-  rpc_->RegisterHandler(kGrow, bind(&Master::HandleGrow));
+  rpc_->RegisterHandler(kRegisterServer, "register", bind(&Master::HandleRegister));
+  rpc_->RegisterHandler(kHeartbeat, "heartbeat", bind(&Master::HandleHeartbeat));
+  rpc_->RegisterHandler(kAlloc, "ralloc", bind(&Master::HandleAlloc));
+  rpc_->RegisterHandler(kMap, "rmap", bind(&Master::HandleMap));
+  rpc_->RegisterHandler(kFree, "rfree", bind(&Master::HandleFree));
+  rpc_->RegisterHandler(kStat, "rstat", bind(&Master::HandleStat));
+  rpc_->RegisterHandler(kNotifyInc, "notify_inc", bind(&Master::HandleNotifyInc));
+  rpc_->RegisterHandler(kWaitNotify, "wait_notify", bind(&Master::HandleWaitNotify));
+  rpc_->RegisterHandler(kListRegions, "list_regions", bind(&Master::HandleListRegions));
+  rpc_->RegisterHandler(kGrow, "rgrow", bind(&Master::HandleGrow));
   rpc_->Start();
 
   device_.node().Spawn("master-lease-sweeper", [this] {

@@ -1,6 +1,8 @@
 #include "core/memory_server.h"
 
 #include "common/log.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
 
 namespace rstore::core {
 
@@ -71,6 +73,12 @@ void MemoryServer::RegistrationLoop() {
       rpc::Writer hb;
       hb.U32(device_.node_id());
       auto beat = master_->Call(kHeartbeat, hb);
+      if (obs::Telemetry* tel = device_.network().sim().telemetry()) {
+        tel->metrics()
+            .ForNode(device_.node_id())
+            .GetCounter("server.heartbeats")
+            .Inc();
+      }
       if (!beat.ok()) {
         LOG_WARN << "memory server " << device_.node_id()
                  << ": heartbeat failed (" << beat.status()

@@ -3,11 +3,42 @@
 #include <cstring>
 
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/simulation.h"
 
 namespace rstore::kv {
 namespace {
+
+// Per-operation telemetry: bumps a call counter and records the op's
+// virtual-time latency on destruction. Inert when no Telemetry is
+// attached to the simulation.
+struct OpObs {
+  OpObs(core::RStoreClient& client, const char* counter, const char* timer)
+      : tel(client.device().network().sim().telemetry()) {
+    if (tel != nullptr) {
+      node = client.device().node_id();
+      obs::NodeMetrics& m = tel->metrics().ForNode(node);
+      calls = &m.GetCounter(counter);
+      latency = &m.GetTimer(timer);
+      t0 = tel->NowNs();
+    }
+  }
+  ~OpObs() {
+    if (tel != nullptr) {
+      calls->Inc();
+      latency->Record(tel->NowNs() - t0);
+    }
+  }
+  OpObs(const OpObs&) = delete;
+  OpObs& operator=(const OpObs&) = delete;
+
+  obs::Telemetry* tel;
+  uint32_t node = 0;
+  obs::Counter* calls = nullptr;
+  obs::Timer* latency = nullptr;
+  uint64_t t0 = 0;
+};
 
 // Slot layout (offsets within the slot):
 //   0  u64 version   even = stable, odd = writer holds the seqlock;
@@ -221,6 +252,8 @@ Status KvStore::UnlockSlot(uint64_t slot, uint64_t locked_version) {
 
 Result<std::vector<std::byte>> KvStore::Get(std::string_view key) {
   ++stats_.gets;
+  OpObs obs(client_, "kv.gets", "kv.get_ns");
+  obs::ObsSpan span(obs.tel, obs.node, "app", "kv.get");
   const uint64_t home = StableHash64(key) % options_.buckets;
   for (uint32_t probe = 0; probe < options_.max_probe; ++probe) {
     const uint64_t slot = (home + probe) % options_.buckets;
@@ -249,6 +282,8 @@ Result<std::vector<std::byte>> KvStore::Get(std::string_view key) {
 
 Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
   ++stats_.puts;
+  OpObs obs(client_, "kv.puts", "kv.put_ns");
+  obs::ObsSpan span(obs.tel, obs.node, "app", "kv.put");
   if (key.empty() ||
       kSlotHeader + key.size() + value.size() > options_.slot_bytes) {
     return Status(ErrorCode::kInvalidArgument,

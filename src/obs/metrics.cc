@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace rstore::obs {
+namespace {
+
+template <typename Map, typename... Args>
+auto& Lookup(Map& map, std::string_view name) {
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name),
+                     std::make_unique<typename Map::mapped_type::element_type>())
+             .first;
+  }
+  return *it->second;
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendI64(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+Counter& NodeMetrics::GetCounter(std::string_view name) {
+  return Lookup(counters_, name);
+}
+
+Gauge& NodeMetrics::GetGauge(std::string_view name) {
+  return Lookup(gauges_, name);
+}
+
+Timer& NodeMetrics::GetTimer(std::string_view name) {
+  return Lookup(timers_, name);
+}
+
+void NodeMetrics::MergeFrom(const NodeMetrics& other) {
+  for (const auto& [name, c] : other.counters_) {
+    GetCounter(name).Inc(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    GetGauge(name).MergeFrom(*g);
+  }
+  for (const auto& [name, t] : other.timers_) {
+    GetTimer(name).Merge(*t);
+  }
+}
+
+void NodeMetrics::AppendJson(std::string& out) const {
+  out += "{\"id\":";
+  AppendU64(out, id_);
+  out += ",\"name\":";
+  AppendJsonString(out, name_);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ':';
+    AppendU64(out, c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, name);
+    out += ":{\"value\":";
+    AppendI64(out, g->value());
+    out += ",\"high_water\":";
+    AppendI64(out, g->high_water());
+    out += '}';
+  }
+  out += "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    if (!first) out += ',';
+    first = false;
+    const LatencyHistogram& h = t->hist();
+    AppendJsonString(out, name);
+    out += ":{\"count\":";
+    AppendU64(out, h.count());
+    out += ",\"mean\":";
+    AppendDouble(out, h.mean());
+    out += ",\"min\":";
+    AppendU64(out, h.min());
+    out += ",\"max\":";
+    AppendU64(out, h.max());
+    out += ",\"p50\":";
+    AppendU64(out, h.Quantile(0.50));
+    out += ",\"p90\":";
+    AppendU64(out, h.Quantile(0.90));
+    out += ",\"p99\":";
+    AppendU64(out, h.Quantile(0.99));
+    out += '}';
+  }
+  out += "}}";
+}
+
+NodeMetrics& MetricsRegistry::ForNode(uint32_t id, std::string_view name) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    it = nodes_
+             .emplace(id, std::make_unique<NodeMetrics>(
+                              id, name.empty() ? "node" + std::to_string(id)
+                                               : std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+NodeMetrics MetricsRegistry::Merged() const {
+  NodeMetrics merged(0, "cluster");
+  for (const auto& [id, node] : nodes_) {
+    merged.MergeFrom(*node);
+  }
+  return merged;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out;
+  out += "{\"nodes\":[";
+  bool first = true;
+  for (const auto& [id, node] : nodes_) {
+    if (!first) out += ',';
+    first = false;
+    node->AppendJson(out);
+  }
+  out += "],\"cluster\":";
+  Merged().AppendJson(out);
+  out += '}';
+  return out;
+}
+
+}  // namespace rstore::obs

@@ -1,0 +1,163 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace rstore::obs {
+namespace {
+
+void AppendArgs(std::string& out, const std::vector<TraceArg>& args) {
+  out += "\"args\":{";
+  bool first = true;
+  for (const TraceArg& a : args) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(out, a.key);
+    out += ':';
+    if (a.is_number) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", a.number);
+      out += buf;
+    } else {
+      AppendJsonString(out, a.text);
+    }
+  }
+  out += '}';
+}
+
+// chrome://tracing wants microsecond timestamps; keep nanosecond
+// resolution through the fraction.
+void AppendMicros(std::string& out, uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+}  // namespace
+
+void Tracer::RegisterNode(uint32_t id, std::string_view name) {
+  node_names_[id] = std::string(name);
+}
+
+void Tracer::SetThreadName(uint32_t node, uint64_t tid,
+                           std::string_view name) {
+  thread_names_[{node, tid}] = std::string(name);
+}
+
+void Tracer::RecordSpan(uint32_t node, uint64_t tid, std::string_view category,
+                        std::string_view name, uint64_t start_ns,
+                        uint64_t end_ns, std::vector<TraceArg> args) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.phase = 'X';
+  e.node = node;
+  e.tid = tid;
+  e.ts_ns = start_ns;
+  e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  e.category = std::string(category);
+  e.name = std::string(name);
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::Instant(uint32_t node, uint64_t tid, std::string_view category,
+                     std::string_view name, uint64_t ts_ns,
+                     std::vector<TraceArg> args) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.phase = 'i';
+  e.node = node;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.category = std::string(category);
+  e.name = std::string(name);
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "w"), &std::fclose);
+  if (!file) {
+    return Status(ErrorCode::kUnavailable, "cannot open trace file " + path);
+  }
+  std::string out;
+  out.reserve(1u << 16);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto flush_chunk = [&]() -> bool {
+    if (out.size() < (1u << 20)) return true;
+    const bool ok = std::fwrite(out.data(), 1, out.size(), file.get()) ==
+                    out.size();
+    out.clear();
+    return ok;
+  };
+  for (const auto& [id, name] : node_names_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(id);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    AppendJsonString(out, name);
+    out += "}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    out += std::to_string(key.first);
+    out += ",\"tid\":";
+    out += std::to_string(key.second);
+    out += ",\"args\":{\"name\":";
+    AppendJsonString(out, name);
+    out += "}}";
+  }
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.phase;
+    out += "\",\"name\":";
+    AppendJsonString(out, e.name);
+    out += ",\"cat\":";
+    AppendJsonString(out, e.category);
+    out += ",\"pid\":";
+    out += std::to_string(e.node);
+    out += ",\"tid\":";
+    out += std::to_string(e.tid);
+    out += ",\"ts\":";
+    AppendMicros(out, e.ts_ns);
+    if (e.phase == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(out, e.dur_ns);
+    } else {
+      out += ",\"s\":\"t\"";  // instant scoped to its thread
+    }
+    out += ',';
+    AppendArgs(out, e.args);
+    out += '}';
+    if (!flush_chunk()) {
+      return Status(ErrorCode::kUnavailable, "short write to " + path);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}\n";
+  if (std::fwrite(out.data(), 1, out.size(), file.get()) != out.size()) {
+    return Status(ErrorCode::kUnavailable, "short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace rstore::obs

@@ -1,0 +1,62 @@
+// Minimal JSON parser + Chrome trace_event validator.
+//
+// Just enough JSON to round-trip what this repo emits (DumpJson snapshots
+// and WriteChromeTrace files) so tests and the `trace_check` CI tool can
+// verify well-formedness without an external dependency. Not a general
+// JSON library: numbers parse as double, \uXXXX escapes outside ASCII are
+// preserved verbatim as their escape text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rstore::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion order preserved (duplicate keys keep the last value).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+  [[nodiscard]] bool Is(Type t) const noexcept { return type == t; }
+};
+
+// Parses a complete JSON document; trailing garbage is an error.
+[[nodiscard]] Result<JsonValue> ParseJson(std::string_view text);
+
+// What ValidateChromeTrace saw, for assertions and human output.
+struct TraceCheckSummary {
+  size_t total_events = 0;     // spans + instants (metadata excluded)
+  size_t complete_spans = 0;   // ph == "X"
+  size_t processes = 0;        // distinct pids with a process_name
+  std::map<std::string, size_t> events_by_category;
+
+  [[nodiscard]] bool HasCategory(std::string_view cat) const {
+    return events_by_category.contains(std::string(cat));
+  }
+};
+
+// Structural validation of an exported trace: top-level object with a
+// traceEvents array; every event has string ph/name, numeric pid/tid/ts;
+// "X" events carry a non-negative dur.
+[[nodiscard]] Result<TraceCheckSummary> ValidateChromeTrace(
+    const JsonValue& root);
+
+// Convenience: read `path`, parse, validate.
+[[nodiscard]] Result<TraceCheckSummary> ValidateChromeTraceFile(
+    const std::string& path);
+
+}  // namespace rstore::obs

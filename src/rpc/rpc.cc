@@ -59,6 +59,35 @@ void RpcServer::RegisterHandler(uint32_t method, Handler handler) {
   handlers_[method] = std::move(handler);
 }
 
+void RpcServer::RegisterHandler(uint32_t method, std::string name,
+                                Handler handler) {
+  method_names_[method] = std::move(name);
+  RegisterHandler(method, std::move(handler));
+}
+
+RpcServer::MethodObs* RpcServer::ObsForMethod(uint32_t method,
+                                              obs::Telemetry* telemetry) {
+  if (telemetry != obs_owner_) {
+    obs_owner_ = telemetry;
+    method_obs_.clear();
+  }
+  if (telemetry == nullptr) return nullptr;
+  auto it = method_obs_.find(method);
+  if (it == method_obs_.end()) {
+    auto name_it = method_names_.find(method);
+    const std::string name = name_it != method_names_.end()
+                                 ? name_it->second
+                                 : "m" + std::to_string(method);
+    obs::NodeMetrics& m = telemetry->metrics().ForNode(device_.node_id());
+    MethodObs obs;
+    obs.span_name = "rpc." + name;
+    obs.calls = &m.GetCounter(obs.span_name + ".calls");
+    obs.latency = &m.GetTimer(obs.span_name + "_ns");
+    it = method_obs_.emplace(method, std::move(obs)).first;
+  }
+  return &it->second;
+}
+
 void RpcServer::Start() {
   started_ = true;
   verbs::Network& net = device_.network();
@@ -148,6 +177,15 @@ void RpcServer::ServeConnection(verbs::QueuePair* qp) {
       }
 
       // Two-sided costs: handler dispatch plus unmarshalling the request.
+      // The telemetry span brackets the whole server-side op — dispatch,
+      // handler, response marshal, reply post — on the connection thread.
+      obs::Telemetry* tel = device_.network().sim().telemetry();
+      MethodObs* mobs = ObsForMethod(frame.code, tel);
+      const uint64_t obs_t0 = tel != nullptr ? tel->NowNs() : 0;
+      obs::ObsSpan span(tel, device_.node_id(), "rpc",
+                        mobs != nullptr ? std::string_view(mobs->span_name)
+                                        : std::string_view("rpc.call"));
+      span.Arg("bytes_in", static_cast<double>(frame.payload.size()));
       charge(cpu.rpc_handler_ns + sim::MarshalCost(cpu, frame.payload.size()));
 
       Writer response;
@@ -197,6 +235,10 @@ void RpcServer::ServeConnection(verbs::QueuePair* qp) {
           .local = {send_slot(sidx),
                     static_cast<uint32_t>(kFrameHeader + payload.size()),
                     c.mr->lkey()}});
+      if (mobs != nullptr) {
+        mobs->calls->Inc();
+        mobs->latency->Record(tel->NowNs() - obs_t0);
+      }
     }
   }
 }
@@ -323,6 +365,34 @@ Result<std::vector<std::byte>> RpcClient::CallRaw(
   }
 
   const sim::CpuCostModel& cpu = device_.network().cpu_model();
+  obs::Telemetry* tel = device_.network().sim().telemetry();
+  if (tel != obs_owner_) {
+    obs_owner_ = tel;
+    if (tel != nullptr) {
+      obs::NodeMetrics& m = tel->metrics().ForNode(device_.node_id());
+      obs_calls_ = &m.GetCounter("rpc.calls");
+      obs_call_ns_ = &m.GetTimer("rpc.call_ns");
+    } else {
+      obs_calls_ = nullptr;
+      obs_call_ns_ = nullptr;
+    }
+  }
+  const uint64_t obs_t0 = tel != nullptr ? tel->NowNs() : 0;
+  obs::ObsSpan span(tel, device_.node_id(), "rpc", "rpc.call");
+  span.Arg("method", static_cast<double>(method));
+  span.Arg("server", static_cast<double>(server_node_));
+  // Records the call count + latency on every exit path.
+  struct CallObs {
+    RpcClient* client;
+    obs::Telemetry* tel;
+    uint64_t t0;
+    ~CallObs() {
+      if (tel != nullptr && client->obs_calls_ != nullptr) {
+        client->obs_calls_->Inc();
+        client->obs_call_ns_->Record(tel->NowNs() - t0);
+      }
+    }
+  } call_obs{this, tel, obs_t0};
   sim::ChargeCpu(sim::MarshalCost(cpu, request.size()));
 
   const sim::Nanos deadline = sim::Now() + options_.call_timeout;

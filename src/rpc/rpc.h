@@ -25,6 +25,7 @@
 
 #include "common/huge_buffer.h"
 #include "common/status.h"
+#include "obs/trace.h"
 #include "rpc/wire.h"
 #include "sim/cost_model.h"
 #include "verbs/verbs.h"
@@ -60,6 +61,10 @@ class RpcServer {
   // Registers a method handler; must precede Start() for that method to
   // be visible (no locking — registration is setup-time only).
   void RegisterHandler(uint32_t method, Handler handler);
+  // Same, with a human-readable method name used for telemetry: per-opcode
+  // call counters, latency histograms, and control-path spans are emitted
+  // as "rpc.<name>" when the hosting simulation has telemetry attached.
+  void RegisterHandler(uint32_t method, std::string name, Handler handler);
 
   // Spawns the accept loop on the server node. Each accepted connection
   // gets its own service thread.
@@ -77,10 +82,21 @@ class RpcServer {
   struct Connection;
   void ServeConnection(verbs::QueuePair* qp);
 
+  // Per-method telemetry instruments, resolved lazily per attach.
+  struct MethodObs {
+    std::string span_name;  // "rpc.<name>"; stable for span lifetimes
+    obs::Counter* calls = nullptr;
+    obs::Timer* latency = nullptr;
+  };
+  MethodObs* ObsForMethod(uint32_t method, obs::Telemetry* telemetry);
+
   verbs::Device& device_;
   uint32_t service_id_;
   RpcOptions options_;
   std::map<uint32_t, Handler> handlers_;
+  std::map<uint32_t, std::string> method_names_;
+  std::map<uint32_t, MethodObs> method_obs_;
+  obs::Telemetry* obs_owner_ = nullptr;
   std::vector<std::unique_ptr<Connection>> connections_;
   uint64_t calls_served_ = 0;
   sim::Nanos cpu_time_ = 0;
@@ -134,6 +150,10 @@ class RpcClient {
   verbs::Device& device_;
   uint32_t server_node_;
   RpcOptions options_;
+  // Client-side telemetry instruments, resolved lazily per attach.
+  obs::Telemetry* obs_owner_ = nullptr;
+  obs::Counter* obs_calls_ = nullptr;
+  obs::Timer* obs_call_ns_ = nullptr;
   verbs::QueuePair* qp_ = nullptr;
   verbs::ProtectionDomain* pd_ = nullptr;
   verbs::MemoryRegion* arena_mr_ = nullptr;

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstring>
 
+#include "obs/trace.h"
 #include "sim/cost_model.h"
 #include "sim/simulation.h"
 
@@ -68,6 +69,22 @@ Result<SortStats> SortWorker::Sort() {
   stats.records_in = my_count;
   const sim::Nanos t_start = sim::Now();
 
+  // Phase telemetry: a latency sample per phase, plus a trace span when
+  // tracing is on. Reads the clock only — never advances it.
+  obs::Telemetry* tel = client_.device().network().sim().telemetry();
+  const uint32_t obs_node = client_.device().node_id();
+  auto note_phase = [&](const char* name, sim::Nanos begin,
+                        const char* timer) {
+    if (tel == nullptr) return;
+    tel->metrics().ForNode(obs_node).GetTimer(timer).Record(
+        static_cast<uint64_t>(sim::Now() - begin));
+    if (tel->tracing()) {
+      tel->tracer().RecordSpan(obs_node, tel->CurrentTid(), "app", name,
+                               static_cast<uint64_t>(begin),
+                               static_cast<uint64_t>(sim::Now()));
+    }
+  };
+
   RSTORE_RETURN_IF_ERROR(
       EnsureRegion(R("samples"), static_cast<uint64_t>(W) * S * kPaddedKey));
   RSTORE_RETURN_IF_ERROR(
@@ -129,6 +146,7 @@ Result<SortStats> SortWorker::Sort() {
   }
   sim::ChargeCpu(sim::SortCost(cpu, n_samples));
   stats.sample_time = sim::Now() - t_start;
+  note_phase("sort.sample", t_start, "sort.sample_ns");
 
   // ---- phase 2: classify & one-sided shuffle --------------------------
   const sim::Nanos t_shuffle = sim::Now();
@@ -213,6 +231,7 @@ Result<SortStats> SortWorker::Sort() {
   }
   RSTORE_RETURN_IF_ERROR(Barrier("shuffled"));
   stats.shuffle_time = sim::Now() - t_shuffle;
+  note_phase("sort.shuffle", t_shuffle, "sort.shuffle_ns");
 
   // ---- phase 3: fetch my partition, sort, emit -------------------------
   const sim::Nanos t_sort = sim::Now();
@@ -233,6 +252,7 @@ Result<SortStats> SortWorker::Sort() {
   }
   RSTORE_RETURN_IF_ERROR(Barrier("done"));
   stats.sort_time = sim::Now() - t_sort;
+  note_phase("sort.sortmerge", t_sort, "sort.sortmerge_ns");
   stats.total_time = sim::Now() - t_start;
   return stats;
 }

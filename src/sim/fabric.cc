@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace rstore::sim {
 
 Fabric::Fabric(Simulation& sim, NicConfig config)
@@ -11,6 +13,30 @@ Fabric::Fabric(Simulation& sim, NicConfig config)
 Fabric::PortState& Fabric::port(uint32_t node) {
   if (node >= ports_.size()) ports_.resize(node + 1);
   return ports_[node];
+}
+
+void Fabric::EnsureObs(uint32_t node, PortState& p) {
+  obs::Telemetry* tel = sim_.telemetry();
+  if (tel == p.obs_owner) return;
+  p.obs_owner = tel;
+  if (tel == nullptr) {
+    p.obs_bytes_out = p.obs_msgs_out = p.obs_bytes_in = nullptr;
+    p.obs_queue_ns = p.obs_ser_ns = p.obs_wire_ns = p.obs_rr_rounds = nullptr;
+    p.obs_egress_depth = nullptr;
+    return;
+  }
+  obs::NodeMetrics& m =
+      tel->metrics().ForNode(node, node < sim_.node_count()
+                                       ? sim_.node(node).name()
+                                       : std::string_view{});
+  p.obs_bytes_out = &m.GetCounter("fabric.bytes_out");
+  p.obs_msgs_out = &m.GetCounter("fabric.msgs_out");
+  p.obs_bytes_in = &m.GetCounter("fabric.bytes_in");
+  p.obs_queue_ns = &m.GetCounter("fabric.queue_ns");
+  p.obs_ser_ns = &m.GetCounter("fabric.serialization_ns");
+  p.obs_wire_ns = &m.GetCounter("fabric.wire_ns");
+  p.obs_rr_rounds = &m.GetCounter("fabric.rr_rounds");
+  p.obs_egress_depth = &m.GetGauge("fabric.egress_depth");
 }
 
 Fabric::Message* Fabric::AcquireMessage() {
@@ -67,8 +93,16 @@ void Fabric::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes,
   PortState& sp = port(src);
   sp.bytes_out += payload_bytes;
   sp.messages_out += 1;
-  port(dst).bytes_in += payload_bytes;
+  PortState& dp = port(dst);
+  dp.bytes_in += payload_bytes;
   total_bytes_ += payload_bytes;
+  EnsureObs(src, sp);
+  if (sp.obs_bytes_out != nullptr) {
+    sp.obs_bytes_out->Inc(payload_bytes);
+    sp.obs_msgs_out->Inc();
+    EnsureObs(dst, dp);
+    dp.obs_bytes_in->Inc(payload_bytes);
+  }
 
   if (src == dst) {
     // Node-local loopback: bypasses the port model entirely.
@@ -82,15 +116,20 @@ void Fabric::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes,
   Message* msg = AcquireMessage();
   msg->src = src;
   msg->dst = dst;
+  msg->payload_bytes = payload_bytes;
   msg->wire_time = wire_time;
   msg->service_time = std::max(wire_time, config_.per_message_gap);
   msg->on_delivered = std::move(on_delivered);
   msg->on_dropped = std::move(on_dropped);
   msg->sent_at = now;
+  msg->tx_start = now;
 
   if (dst >= sp.egress_by_dst.size()) sp.egress_by_dst.resize(dst + 1);
   sp.egress_by_dst[dst].push_back(msg);
   sp.egress_backlog += 1;
+  if (sp.obs_egress_depth != nullptr) {
+    sp.obs_egress_depth->Set(static_cast<int64_t>(sp.egress_backlog));
+  }
   PumpEgress(src);
 }
 
@@ -133,6 +172,13 @@ void Fabric::PumpEgress(uint32_t node) {
   p.egress_backlog -= 1;
   p.rr_cursor = dst;
   p.egress_free_at = now + msg->service_time;
+  msg->tx_start = now;
+  if (p.obs_rr_rounds != nullptr && p.obs_owner == sim_.telemetry()) {
+    p.obs_rr_rounds->Inc();
+    p.obs_queue_ns->Inc(static_cast<uint64_t>(now - msg->sent_at));
+    p.obs_ser_ns->Inc(static_cast<uint64_t>(msg->wire_time));
+    p.obs_egress_depth->Set(static_cast<int64_t>(p.egress_backlog));
+  }
 
   // First bit reaches the destination base_latency after transmission
   // starts (cut-through: ingress service overlaps egress transmission);
@@ -152,6 +198,33 @@ void Fabric::Deliver(Message* msg) {
   // delivery handlers routinely send nested messages (read responses),
   // which can then reuse the slot.
   if (sim_.node(msg->dst).alive() && LinkUp(msg->src, msg->dst)) {
+    obs::Telemetry* tel = sim_.telemetry();
+    if (tel != nullptr) {
+      const Nanos now = sim_.NowNanos();
+      // Propagation plus any ingress-port wait: everything between the
+      // end of egress queueing/serialization and delivery.
+      const Nanos wire = now - msg->tx_start - msg->wire_time;
+      PortState& sp = port(msg->src);
+      EnsureObs(msg->src, sp);
+      if (sp.obs_wire_ns != nullptr) {
+        sp.obs_wire_ns->Inc(static_cast<uint64_t>(wire));
+      }
+      if (tel->tracing()) {
+        std::vector<obs::TraceArg> args;
+        args.push_back({"dst", true, static_cast<double>(msg->dst), {}});
+        args.push_back(
+            {"bytes", true, static_cast<double>(msg->payload_bytes), {}});
+        args.push_back({"queue_ns", true,
+                        static_cast<double>(msg->tx_start - msg->sent_at),
+                        {}});
+        args.push_back({"serialization_ns", true,
+                        static_cast<double>(msg->wire_time), {}});
+        args.push_back({"wire_ns", true, static_cast<double>(wire), {}});
+        tel->tracer().RecordSpan(msg->src, 0, "fabric", "fabric.msg",
+                                 static_cast<uint64_t>(msg->sent_at),
+                                 static_cast<uint64_t>(now), std::move(args));
+      }
+    }
     FabricFn cb = std::move(msg->on_delivered);
     ReleaseMessage(msg);
     cb();

@@ -33,6 +33,12 @@
 #include "sim/simulation.h"
 #include "sim/time.h"
 
+namespace rstore::obs {
+class Counter;
+class Gauge;
+class Telemetry;
+}  // namespace rstore::obs
+
 namespace rstore::sim {
 
 // Delivery/drop callbacks on fabric messages. 56 bytes of inline capture
@@ -94,11 +100,13 @@ class Fabric {
   struct Message {
     uint32_t src;
     uint32_t dst;
+    uint64_t payload_bytes;
     Nanos wire_time;
     Nanos service_time;  // max(wire_time, per_message_gap)
     FabricFn on_delivered;
     FabricFn on_dropped;
     Nanos sent_at;
+    Nanos tx_start;  // egress transmission start (set by PumpEgress)
   };
 
   struct PortState {
@@ -127,9 +135,23 @@ class Fabric {
     uint64_t bytes_out = 0;
     uint64_t bytes_in = 0;
     uint64_t messages_out = 0;
+
+    // Telemetry instruments, resolved lazily against the simulation's
+    // attached obs::Telemetry (null while detached — recording is then a
+    // single pointer test). `obs_owner` detects attach/detach.
+    obs::Telemetry* obs_owner = nullptr;
+    obs::Counter* obs_bytes_out = nullptr;
+    obs::Counter* obs_msgs_out = nullptr;
+    obs::Counter* obs_bytes_in = nullptr;
+    obs::Counter* obs_queue_ns = nullptr;
+    obs::Counter* obs_ser_ns = nullptr;
+    obs::Counter* obs_wire_ns = nullptr;
+    obs::Counter* obs_rr_rounds = nullptr;
+    obs::Gauge* obs_egress_depth = nullptr;
   };
 
   PortState& port(uint32_t node);
+  void EnsureObs(uint32_t node, PortState& p);
   Message* AcquireMessage();
   void ReleaseMessage(Message* msg);
   void PumpEgress(uint32_t node);

@@ -7,6 +7,7 @@
 #include <exception>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace rstore::sim {
 
@@ -27,10 +28,12 @@ class SimThread {
  public:
   enum WakeReason : int { kNotify = 0, kTimeout = 1, kKilled = 2, kStart = 3 };
 
-  SimThread(Node& node, std::string name, std::function<void()> fn)
+  SimThread(Node& node, std::string name, uint64_t tid,
+            std::function<void()> fn)
       : node_(node),
         sim_(node.sim()),
         name_(std::move(name)),
+        tid_(tid),
         fn_(std::move(fn)),
         os_thread_([this] { ThreadMain(); }) {}
 
@@ -47,6 +50,7 @@ class SimThread {
   [[nodiscard]] uint64_t gen() const noexcept { return gen_; }
   [[nodiscard]] Node& node() noexcept { return node_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] uint64_t tid() const noexcept { return tid_; }
 
   // Called from the thread itself: yield to the scheduler until woken.
   // Throws ThreadKilled when the node died, so stacks unwind via RAII —
@@ -87,6 +91,7 @@ class SimThread {
   Node& node_;
   Simulation& sim_;
   const std::string name_;
+  const uint64_t tid_;  // simulation-unique id for trace attribution
   std::function<void()> fn_;
 
   std::condition_variable cv_;
@@ -152,8 +157,11 @@ Node::Node(Simulation& sim, uint32_t id, std::string name, uint64_t seed)
 Node::~Node() = default;
 
 void Node::Spawn(std::string thread_name, std::function<void()> fn) {
-  auto thread =
-      std::make_unique<SimThread>(*this, std::move(thread_name), std::move(fn));
+  if (obs::Telemetry* tel = sim_.telemetry(); tel != nullptr) {
+    tel->tracer().SetThreadName(id_, sim_.next_tid_, thread_name);
+  }
+  auto thread = std::make_unique<SimThread>(
+      *this, std::move(thread_name), sim_.AllocateTid(), std::move(fn));
   SimThread* t = thread.get();
   threads_.push_back(std::move(thread));
   sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kStart);
@@ -253,7 +261,45 @@ Node& Simulation::AddNode(std::string name) {
   const auto id = static_cast<uint32_t>(nodes_.size());
   nodes_.push_back(
       std::make_unique<Node>(*this, id, std::move(name), seeder_.Next()));
-  return *nodes_.back();
+  Node& node = *nodes_.back();
+  if (telemetry_ != nullptr) {
+    (void)telemetry_->metrics().ForNode(id, node.name());
+    telemetry_->tracer().RegisterNode(id, node.name());
+  }
+  return node;
+}
+
+void Simulation::AttachTelemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr && telemetry == nullptr) {
+    telemetry_->SetClock({});
+    telemetry_->SetTidSource({});
+    SetLogEmitHook({});
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  // The clock and thread-id sources read scheduler state only; they are
+  // observation hooks, never inputs to the event timeline.
+  telemetry_->SetClock([this] { return static_cast<uint64_t>(now_); });
+  telemetry_->SetTidSource([]() -> uint64_t {
+    return g_current_thread != nullptr ? g_current_thread->tid() : 0;
+  });
+  for (const auto& node : nodes_) {
+    (void)telemetry_->metrics().ForNode(node->id(), node->name());
+    telemetry_->tracer().RegisterNode(node->id(), node->name());
+  }
+  // Route log emissions into a per-level counter on the emitting node
+  // (scheduler-context lines land on a synthetic "host" row).
+  SetLogEmitHook([this](LogLevel level) {
+    if (telemetry_ == nullptr) return;
+    static constexpr std::string_view kCounterNames[] = {
+        "log.debug", "log.info", "log.warn", "log.error"};
+    obs::NodeMetrics& node =
+        g_current_thread != nullptr
+            ? telemetry_->metrics().ForNode(g_current_thread->node().id(),
+                                            g_current_thread->node().name())
+            : telemetry_->metrics().ForNode(~0u, "host");
+    node.GetCounter(kCounterNames[static_cast<int>(level)]).Inc();
+  });
 }
 
 void Simulation::PushEvent(Event e) {
@@ -408,6 +454,9 @@ void Simulation::Shutdown() {
       assert(t->exited());
     }
   }
+  // Detach telemetry last: teardown may still log, and the hooks capture
+  // `this`.
+  AttachTelemetry(nullptr);
 }
 
 }  // namespace rstore::sim

@@ -43,6 +43,10 @@
 #include "common/small_fn.h"
 #include "sim/time.h"
 
+namespace rstore::obs {
+class Telemetry;
+}  // namespace rstore::obs
+
 namespace rstore::sim {
 
 // Event callbacks live inline in the event heap: 48 bytes of capture
@@ -222,6 +226,18 @@ class Simulation {
   // Failure injection: marks the node dead and unwinds its threads.
   void KillNode(uint32_t id);
 
+  // Connects an observability sink (owned by the caller, may outlive this
+  // simulation and aggregate several runs). Installs the virtual clock and
+  // thread-id sources, registers existing and future nodes, and routes
+  // log emissions into per-level counters. Telemetry observes only — it
+  // never schedules events or charges the cost model, so attaching it
+  // cannot change any simulated outcome. Detached automatically at
+  // destruction; pass nullptr to detach early.
+  void AttachTelemetry(obs::Telemetry* telemetry);
+  [[nodiscard]] obs::Telemetry* telemetry() const noexcept {
+    return telemetry_;
+  }
+
   // True once destruction has begun and threads are being unwound. Blocking
   // primitives use this to decide whether the object they were waiting on
   // is still safe to touch while a ThreadKilled exception propagates.
@@ -260,6 +276,7 @@ class Simulation {
   void PushEvent(Event e);
   Event PopEvent();
   void Shutdown();
+  [[nodiscard]] uint64_t AllocateTid() noexcept { return next_tid_++; }
 
   SimConfig config_;
   Rng seeder_;
@@ -274,6 +291,8 @@ class Simulation {
   std::vector<std::unique_ptr<Node>> nodes_;
   bool shutting_down_ = false;
   bool stop_requested_ = false;
+  obs::Telemetry* telemetry_ = nullptr;
+  uint64_t next_tid_ = 1;  // SimThread trace ids; 0 = scheduler context
 
   // Handoff state: mu_ orders the handoff edges; active_ is additionally
   // atomic so the scheduler can spin-wait for the slice end without

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace rstore::verbs {
 
@@ -80,12 +81,26 @@ void CompletionQueue::WaitReady(size_t min_entries, sim::Nanos timeout) {
   std::erase(waiter_minima_, min_entries);
 }
 
+void CompletionQueue::RecordBatch(size_t n) {
+  if (n == 0 || node_id_ == kNoNode) return;
+  obs::Telemetry* tel = sim_.telemetry();
+  if (tel != obs_owner_) {
+    obs_owner_ = tel;
+    obs_batch_ = tel != nullptr
+                     ? &tel->metrics().ForNode(node_id_).GetTimer(
+                           "verbs.cq_batch")
+                     : nullptr;
+  }
+  if (obs_batch_ != nullptr) obs_batch_->Record(n);
+}
+
 std::vector<WorkCompletion> CompletionQueue::Poll(size_t max_entries) {
   std::vector<WorkCompletion> out;
   while (!entries_.empty() && out.size() < max_entries) {
     out.push_back(entries_.front());
     entries_.pop_front();
   }
+  RecordBatch(out.size());
   return out;
 }
 
@@ -112,6 +127,7 @@ size_t CompletionQueue::PollInto(std::vector<WorkCompletion>& out,
     entries_.pop_front();
     ++n;
   }
+  RecordBatch(n);
   return n;
 }
 
@@ -173,7 +189,8 @@ ProtectionDomain& Device::CreatePd() {
 }
 
 CompletionQueue& Device::CreateCq() {
-  cqs_.push_back(std::make_unique<CompletionQueue>(network_.sim()));
+  cqs_.push_back(
+      std::make_unique<CompletionQueue>(network_.sim(), node_.id()));
   return *cqs_.back();
 }
 
@@ -224,11 +241,13 @@ QueuePair::QueuePair(Device& device, uint32_t qp_num, CompletionQueue* send_cq,
                      CompletionQueue* recv_cq, QpConfig config)
     : device_(device), qp_num_(qp_num), config_(config) {
   if (send_cq == nullptr) {
-    owned_send_cq_ = std::make_unique<CompletionQueue>(device.network().sim());
+    owned_send_cq_ = std::make_unique<CompletionQueue>(device.network().sim(),
+                                                       device.node_id());
     send_cq = owned_send_cq_.get();
   }
   if (recv_cq == nullptr) {
-    owned_recv_cq_ = std::make_unique<CompletionQueue>(device.network().sim());
+    owned_recv_cq_ = std::make_unique<CompletionQueue>(device.network().sim(),
+                                                       device.node_id());
     recv_cq = owned_recv_cq_.get();
   }
   send_cq_ = send_cq;
@@ -259,8 +278,10 @@ Status QueuePair::PostSend(const SendWr& wr) {
   // rejected post enqueues nothing (all-or-nothing, as ibv_post_send
   // reports via bad_wr).
   uint32_t chain_len = 0;
+  uint32_t chain_sges = 0;
   for (const SendWr* w = &wr; w != nullptr; w = w->next) {
     ++chain_len;
+    chain_sges += w->num_sge;
     if (w->num_sge == 0 || w->num_sge > SendWr::kMaxSge) {
       return Status(ErrorCode::kInvalidArgument, "bad num_sge");
     }
@@ -303,6 +324,31 @@ Status QueuePair::PostSend(const SendWr& wr) {
   // One initiator post cost (descriptor writes + a single doorbell) for
   // the whole chain, then every WR enters the wire.
   Network& net = device_.network();
+  if (obs::Telemetry* tel = net.sim().telemetry(); tel != nullptr) {
+    if (tel != obs_owner_) {
+      obs_owner_ = tel;
+      obs::NodeMetrics& m = tel->metrics().ForNode(device_.node_id());
+      obs_doorbells_ = &m.GetCounter("verbs.doorbells");
+      obs_wrs_ = &m.GetCounter("verbs.wrs_posted");
+      obs_wrs_per_doorbell_ = &m.GetTimer("verbs.wrs_per_doorbell");
+      obs_sges_per_doorbell_ = &m.GetTimer("verbs.sges_per_doorbell");
+    }
+    obs_doorbells_->Inc();
+    obs_wrs_->Inc(chain_len);
+    obs_wrs_per_doorbell_->Record(chain_len);
+    obs_sges_per_doorbell_->Record(chain_sges);
+    if (tel->tracing()) {
+      // The post span covers the modelled descriptor + doorbell cost.
+      const auto now = static_cast<uint64_t>(net.sim().NowNanos());
+      std::vector<obs::TraceArg> args;
+      args.push_back({"wrs", true, static_cast<double>(chain_len), {}});
+      args.push_back({"sges", true, static_cast<double>(chain_sges), {}});
+      tel->tracer().RecordSpan(
+          device_.node_id(), tel->CurrentTid(), "verbs", "verbs.post", now,
+          now + static_cast<uint64_t>(net.cpu_model().verbs_post_ns),
+          std::move(args));
+    }
+  }
   net.sim().After(net.cpu_model().verbs_post_ns, [this, first_seq, chain_len] {
     IssueDoorbell(first_seq, chain_len);
   });

@@ -43,6 +43,12 @@
 #include "sim/fabric.h"
 #include "sim/simulation.h"
 
+namespace rstore::obs {
+class Counter;
+class Timer;
+class Telemetry;
+}  // namespace rstore::obs
+
 namespace rstore::verbs {
 
 class Device;
@@ -211,7 +217,11 @@ struct WireOp {
 // simulation treats as out of scope).
 class CompletionQueue {
  public:
-  explicit CompletionQueue(sim::Simulation& sim) : sim_(sim), ready_(sim) {}
+  // `node_id` attributes telemetry (CQ batch-size distribution) to the
+  // owning node; kNoNode skips attribution.
+  static constexpr uint32_t kNoNode = ~0u;
+  explicit CompletionQueue(sim::Simulation& sim, uint32_t node_id = kNoNode)
+      : sim_(sim), node_id_(node_id), ready_(sim) {}
   CompletionQueue(const CompletionQueue&) = delete;
   CompletionQueue& operator=(const CompletionQueue&) = delete;
 
@@ -251,9 +261,14 @@ class CompletionQueue {
   void Push(WorkCompletion wc);
   // Registers the caller's threshold, blocks until reached or timeout.
   void WaitReady(size_t min_entries, sim::Nanos timeout);
+  void RecordBatch(size_t n);
 
   sim::Simulation& sim_;
+  const uint32_t node_id_;
   std::deque<WorkCompletion> entries_;
+  // Lazily resolved telemetry instrument (see fabric.h for the pattern).
+  obs::Telemetry* obs_owner_ = nullptr;
+  obs::Timer* obs_batch_ = nullptr;
   // min_entries of every blocked waiter; Push notifies only when the
   // smallest registered threshold is met.
   std::vector<size_t> waiter_minima_;
@@ -376,6 +391,13 @@ class QueuePair {
   // SENDs that arrived before a RECV was posted (RNR buffer).
   std::deque<RnrEntry> rnr_buffer_;
   static constexpr size_t kMaxRnrBuffered = 1024;
+
+  // Lazily resolved telemetry instruments for the post path.
+  obs::Telemetry* obs_owner_ = nullptr;
+  obs::Counter* obs_doorbells_ = nullptr;
+  obs::Counter* obs_wrs_ = nullptr;
+  obs::Timer* obs_wrs_per_doorbell_ = nullptr;
+  obs::Timer* obs_sges_per_doorbell_ = nullptr;
 };
 
 // The per-node HCA. Owns PDs, MRs, CQs and QPs; routes arriving one-sided

@@ -198,6 +198,61 @@ TEST(LatencyHistogramTest, MergeEqualsCombinedStream) {
   EXPECT_EQ(a.Quantile(0.99), both.Quantile(0.99));
 }
 
+TEST(LatencyHistogramTest, MergeAcrossGrowthFactorsPreservesMoments) {
+  LatencyHistogram fine(1.02), coarse(1.5);
+  Rng rng(41);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 4000; ++i) {
+    uint64_t v = 10 + rng.NextBelow(1u << 18);
+    values.push_back(v);
+    ((i % 2) ? fine : coarse).Add(v);
+  }
+  std::sort(values.begin(), values.end());
+  const uint64_t n = values.size();
+  double sum = 0;
+  for (uint64_t v : values) sum += static_cast<double>(v);
+
+  fine.Merge(coarse);
+  // Count, extremes, and mean survive re-bucketing exactly.
+  EXPECT_EQ(fine.count(), n);
+  EXPECT_EQ(fine.min(), values.front());
+  EXPECT_EQ(fine.max(), values.back());
+  EXPECT_NEAR(fine.mean(), sum / static_cast<double>(n),
+              sum / static_cast<double>(n) * 1e-12);
+  // Quantiles stay within the coarser histogram's relative error band.
+  for (double q : {0.5, 0.9, 0.99}) {
+    const uint64_t truth = values[static_cast<size_t>(q * (n - 1))];
+    EXPECT_NEAR(static_cast<double>(fine.Quantile(q)),
+                static_cast<double>(truth),
+                static_cast<double>(truth) * 0.5)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, QuantileInterpolatesWithinBucket) {
+  // One coarse bucket ([1024, 4096) at growth 4) holding a uniform
+  // spread: without in-bucket interpolation every quantile would
+  // collapse to one point.
+  LatencyHistogram h(4.0);
+  for (uint64_t v = 1024; v < 4096; v += 3) h.Add(v);
+  const uint64_t p10 = h.Quantile(0.1);
+  const uint64_t p50 = h.Quantile(0.5);
+  const uint64_t p90 = h.Quantile(0.9);
+  EXPECT_LT(p10, p50);
+  EXPECT_LT(p50, p90);
+  // Interpolated results track the uniform spread, not the bucket edge.
+  EXPECT_NEAR(static_cast<double>(p50), 2560.0, 320.0);
+  // All results stay inside the observed range.
+  EXPECT_GE(p10, h.min());
+  EXPECT_LE(p90, h.max());
+  // A single-sample histogram pins every quantile to that sample.
+  LatencyHistogram one(4.0);
+  one.Add(777);
+  EXPECT_EQ(one.Quantile(0.0), 777u);
+  EXPECT_EQ(one.Quantile(0.5), 777u);
+  EXPECT_EQ(one.Quantile(1.0), 777u);
+}
+
 TEST(LatencyHistogramTest, EmptyIsZero) {
   LatencyHistogram h;
   EXPECT_EQ(h.Quantile(0.5), 0u);

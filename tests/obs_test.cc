@@ -1,0 +1,255 @@
+// Tests for the observability layer: registry semantics and merge, JSON
+// dumps, span recording and Chrome trace export, full-cluster layer
+// coverage, and the zero-probe-effect guarantee (telemetry attached or
+// not, virtual times are bit-identical).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "carafe/engine.h"
+#include "carafe/graph.h"
+#include "carafe/storage.h"
+#include "core/cluster.h"
+#include "kv/kv.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+
+namespace rstore {
+namespace {
+
+using core::ClusterConfig;
+using core::RStoreClient;
+using core::TestCluster;
+
+// ------------------------------------------------------------- registry --
+TEST(MetricsRegistryTest, MergeAggregatesAcrossNodes) {
+  obs::MetricsRegistry reg;
+  obs::NodeMetrics& a = reg.ForNode(1, "a");
+  obs::NodeMetrics& b = reg.ForNode(2, "b");
+  a.GetCounter("ops").Inc(3);
+  b.GetCounter("ops").Inc(4);
+  b.GetCounter("only_b").Inc();
+  a.GetGauge("depth").Set(7);
+  a.GetGauge("depth").Set(2);  // level drops, high-water stays
+  b.GetGauge("depth").Set(5);
+  a.GetTimer("lat_ns").Record(100);
+  b.GetTimer("lat_ns").Record(300);
+
+  obs::NodeMetrics merged = reg.Merged();
+  EXPECT_EQ(merged.GetCounter("ops").value(), 7u);
+  EXPECT_EQ(merged.GetCounter("only_b").value(), 1u);
+  EXPECT_EQ(merged.GetGauge("depth").value(), 7);       // 2 + 5
+  EXPECT_EQ(merged.GetGauge("depth").high_water(), 7);  // max(7, 5)
+  EXPECT_EQ(merged.GetTimer("lat_ns").hist().count(), 2u);
+  EXPECT_EQ(merged.GetTimer("lat_ns").hist().min(), 100u);
+  EXPECT_EQ(merged.GetTimer("lat_ns").hist().max(), 300u);
+}
+
+TEST(MetricsRegistryTest, InstrumentPointersAreStable) {
+  obs::MetricsRegistry reg;
+  obs::Counter* first = &reg.ForNode(0).GetCounter("x");
+  for (uint32_t n = 1; n < 50; ++n) {
+    (void)reg.ForNode(n).GetCounter("x");
+    (void)reg.ForNode(0).GetCounter("y" + std::to_string(n));
+  }
+  EXPECT_EQ(first, &reg.ForNode(0).GetCounter("x"));
+}
+
+TEST(MetricsRegistryTest, DumpJsonIsWellFormed) {
+  obs::MetricsRegistry reg;
+  reg.ForNode(0, "master").GetCounter("rpc.calls").Inc(12);
+  reg.ForNode(1, "with \"quotes\"\n").GetGauge("depth").Set(-3);
+  reg.ForNode(1).GetTimer("lat_ns").Record(5000);
+
+  auto parsed = obs::ParseJson(reg.DumpJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue* nodes = parsed->Find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_TRUE(nodes->Is(obs::JsonValue::Type::kArray));
+  ASSERT_EQ(nodes->array.size(), 2u);
+  const obs::JsonValue* cluster = parsed->Find("cluster");
+  ASSERT_NE(cluster, nullptr);
+  const obs::JsonValue* counters = cluster->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* calls = counters->Find("rpc.calls");
+  ASSERT_NE(calls, nullptr);
+  EXPECT_EQ(calls->number, 12.0);
+}
+
+// ---------------------------------------------------------------- spans --
+TEST(TracerTest, SpansNestAndExport) {
+  obs::Telemetry tel;
+  tel.EnableTracing(true);
+  uint64_t now = 0;
+  tel.SetClock([&now] { return now; });
+
+  {
+    obs::ObsSpan outer(&tel, 3, "app", "outer");
+    now = 100;
+    {
+      obs::ObsSpan inner(&tel, 3, "client", "inner");
+      inner.Arg("bytes", 4096.0);
+      now = 250;
+    }
+    now = 400;
+  }
+  // Inner recorded first (RAII order), properly nested inside outer.
+  const auto& events = tel.tracer().events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].ts_ns, 100u);
+  EXPECT_EQ(events[0].dur_ns, 150u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].ts_ns, 0u);
+  EXPECT_EQ(events[1].dur_ns, 400u);
+  EXPECT_GE(events[1].ts_ns, 0u);
+  EXPECT_LE(events[1].ts_ns, events[0].ts_ns);
+  EXPECT_GE(events[1].ts_ns + events[1].dur_ns,
+            events[0].ts_ns + events[0].dur_ns);
+
+  const std::string path = ::testing::TempDir() + "/span_nest_trace.json";
+  ASSERT_TRUE(tel.WriteTrace(path).ok());
+  auto summary = obs::ValidateChromeTraceFile(path);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->complete_spans, 2u);
+  EXPECT_TRUE(summary->HasCategory("app"));
+  EXPECT_TRUE(summary->HasCategory("client"));
+}
+
+TEST(TracerTest, DisabledTracingRecordsNothing) {
+  obs::Telemetry tel;  // tracing off
+  {
+    obs::ObsSpan span(&tel, 0, "app", "never");
+    span.Arg("x", 1.0);
+  }
+  obs::ObsSpan null_span(nullptr, 0, "app", "also never");
+  EXPECT_FALSE(null_span.active());
+  EXPECT_TRUE(tel.tracer().events().empty());
+}
+
+TEST(TracerTest, CapacityCapCountsDrops) {
+  obs::Telemetry tel;
+  tel.EnableTracing(true);
+  tel.tracer().SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    tel.tracer().RecordSpan(0, 0, "app", "s", 0, 1);
+  }
+  EXPECT_EQ(tel.tracer().events().size(), 4u);
+  EXPECT_EQ(tel.tracer().dropped(), 6u);
+}
+
+// ------------------------------------------------------- cluster traces --
+// One small workload that touches every instrumented layer: cached reads
+// (cache), rread/rwrite (client), one-sided verbs (verbs), master RPCs
+// (rpc), the modelled wire (fabric), and the KV app (app).
+TEST(ClusterTraceTest, EveryLayerEmitsSpans) {
+  obs::Telemetry tel;
+  tel.EnableTracing(true);
+  ClusterConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.telemetry = &tel;
+  TestCluster cluster(cfg);
+  cluster.RunClient([](RStoreClient& client) {
+    ASSERT_TRUE(client.Ralloc("r", 1ULL << 20).ok());
+    auto buf = client.AllocBuffer(8192);
+    ASSERT_TRUE(buf.ok());
+    {
+      auto plain = client.Rmap("r");
+      ASSERT_TRUE(plain.ok());
+      ASSERT_TRUE((*plain)->Write(0, buf->data).ok());
+    }
+    core::RmapOptions opts;
+    opts.cache_mode = cache::CacheMode::kImmutable;
+    auto region = client.Rmap("r", opts);
+    ASSERT_TRUE(region.ok());
+    ASSERT_TRUE((*region)->Read(0, buf->data).ok());  // fill
+    ASSERT_TRUE((*region)->Read(0, buf->data).ok());  // hit
+
+    auto kv = kv::KvStore::Create(client, "t");
+    ASSERT_TRUE(kv.ok());
+    std::vector<std::byte> value(64);
+    ASSERT_TRUE((*kv)->Put("k", value).ok());
+    ASSERT_TRUE((*kv)->Get("k").ok());
+    // Outlive one 50ms heartbeat period so the server-side control path
+    // (server.heartbeats) shows up in the snapshot too.
+    sim::Sleep(sim::Millis(60));
+  });
+
+  const std::string path = ::testing::TempDir() + "/cluster_trace.json";
+  ASSERT_TRUE(tel.WriteTrace(path).ok());
+  auto summary = obs::ValidateChromeTraceFile(path);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  for (const char* category :
+       {"fabric", "verbs", "rpc", "client", "cache", "app"}) {
+    EXPECT_TRUE(summary->HasCategory(category)) << category;
+  }
+  // One "process" per simulated node: master + 2 servers + 1 client.
+  EXPECT_EQ(summary->processes, 4u);
+
+  // The registry saw the same run: spot-check one counter per layer.
+  obs::NodeMetrics merged = tel.metrics().Merged();
+  EXPECT_GT(merged.GetCounter("fabric.msgs_out").value(), 0u);
+  EXPECT_GT(merged.GetCounter("verbs.doorbells").value(), 0u);
+  EXPECT_GT(merged.GetCounter("rpc.rmap.calls").value(), 0u);
+  EXPECT_GT(merged.GetCounter("client.data_ops").value(), 0u);
+  EXPECT_GT(merged.GetCounter("cache.immutable.hits").value(), 0u);
+  EXPECT_GT(merged.GetCounter("kv.gets").value(), 0u);
+  EXPECT_GT(merged.GetCounter("server.heartbeats").value(), 0u);
+}
+
+// -------------------------------------------------------- probe effect --
+// Runs the E4-style distributed PageRank and returns the final virtual
+// time. The run must be bit-identical whether telemetry is detached,
+// attached, or attached with tracing on.
+uint64_t RunPageRank(obs::Telemetry* telemetry) {
+  carafe::Graph g = carafe::UniformRandomGraph(1 << 8, 4.0, 4);
+  constexpr uint32_t kWorkers = 2;
+  ClusterConfig cfg;
+  cfg.memory_servers = 2;
+  cfg.client_nodes = kWorkers;
+  cfg.server_capacity = 32ULL << 20;
+  cfg.master.slab_size = 1ULL << 20;
+  cfg.telemetry = telemetry;
+  TestCluster cluster(cfg);
+  for (uint32_t w = 0; w < kWorkers; ++w) {
+    cluster.SpawnClient(w, [&, w](RStoreClient& client) {
+      if (w == 0) {
+        ASSERT_TRUE(carafe::UploadGraph(client, "g", g).ok());
+        ASSERT_TRUE(client.NotifyInc("uploaded").ok());
+      } else {
+        ASSERT_TRUE(client.WaitNotify("uploaded", 1).ok());
+      }
+      carafe::Worker worker(client, "g",
+                            carafe::WorkerConfig{w, kWorkers, "pr"});
+      ASSERT_TRUE(worker.Init().ok());
+      ASSERT_TRUE(worker.PageRank({.iterations = 5}).ok());
+    });
+  }
+  cluster.sim().Run();
+  return static_cast<uint64_t>(cluster.sim().NowNanos());
+}
+
+TEST(ProbeEffectTest, PageRankVirtualTimeIdenticalWithTelemetry) {
+  const uint64_t detached = RunPageRank(nullptr);
+  ASSERT_GT(detached, 0u);
+
+  obs::Telemetry metrics_only;
+  EXPECT_EQ(RunPageRank(&metrics_only), detached);
+  EXPECT_GT(metrics_only.metrics().node_count(), 0u);
+
+  obs::Telemetry tracing;
+  tracing.EnableTracing(true);
+  EXPECT_EQ(RunPageRank(&tracing), detached);
+  EXPECT_FALSE(tracing.tracer().events().empty());
+  EXPECT_GT(tracing.metrics()
+                .Merged()
+                .GetCounter("carafe.supersteps")
+                .value(),
+            0u);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -1,0 +1,60 @@
+// trace_check: validates a Chrome trace_event JSON file exported by the
+// obs layer (bench --trace). Exits 0 and prints a summary when the file
+// is structurally valid; exits 1 with a diagnostic otherwise.
+//
+//   trace_check trace.json [--require-category cat]...
+//
+// --require-category fails the check unless at least one span/instant of
+// that category is present — CI uses it to assert every instrumented
+// layer actually emitted.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.h"
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-category" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: trace_check <trace.json> "
+                   "[--require-category cat]...\n");
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "trace_check: no trace file given\n");
+    return 1;
+  }
+
+  auto summary = rstore::obs::ValidateChromeTraceFile(path);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "trace_check: %s: %s\n", path.c_str(),
+                 summary.status().message().c_str());
+    return 1;
+  }
+
+  std::printf("%s: %zu events (%zu spans) across %zu processes\n",
+              path.c_str(), summary->total_events, summary->complete_spans,
+              summary->processes);
+  for (const auto& [category, count] : summary->events_by_category) {
+    std::printf("  %-10s %zu\n", category.c_str(), count);
+  }
+
+  int rc = 0;
+  for (const std::string& category : required) {
+    if (!summary->HasCategory(category)) {
+      std::fprintf(stderr, "trace_check: missing required category '%s'\n",
+                   category.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
+}
