@@ -23,6 +23,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -101,7 +102,7 @@ inline obs::Telemetry* ActiveTelemetry() {
   return &telemetry;
 }
 
-// Strips --json/--trace (space- or =-separated) from argv before
+// Strips --json/--trace/--rcheck (space- or =-separated) from argv before
 // benchmark::Initialize, which rejects unknown flags.
 inline void ParseObsArgs(int* argc, char** argv) {
   ObsConfig& config = GetObsConfig();
@@ -118,6 +119,11 @@ inline void ParseObsArgs(int* argc, char** argv) {
       config.json_path = std::string(arg.substr(7));
     } else if (arg.rfind("--trace=", 0) == 0) {
       config.trace_path = std::string(arg.substr(8));
+    } else if (arg == "--rcheck") {
+      // Runs the whole binary under the happens-before checker. Set as an
+      // env var (not a global) because every Simulation the benchmarks
+      // construct reads RSTORE_RCHECK in its constructor.
+      setenv("RSTORE_RCHECK", "1", /*overwrite=*/1);
     } else {
       argv[out++] = argv[i];
     }

@@ -209,18 +209,21 @@ Result<std::vector<double>> MsgBspWorker::PageRank(uint32_t iterations,
       uint32_t s = 0, count = 0;
       double dang = 0;
       uint64_t edge_count = 0;
-      self.U32(&s);
-      self.F64(&dang);
-      self.U64(&edge_count);
-      self.U32(&count);
+      if (!self.U32(&s) || !self.F64(&dang) || !self.U64(&edge_count) ||
+          !self.U32(&count)) {
+        return Result<std::vector<double>>(ErrorCode::kInternal,
+                                           "malformed self batch header");
+      }
       sim::ChargeCpu(static_cast<sim::Nanos>(
           static_cast<double>(edge_count) * config_.per_message_ns));
       in.dangling += dang;
       for (uint32_t i = 0; i < count; ++i) {
         uint32_t v = 0;
         double val = 0;
-        self.U32(&v);
-        self.F64(&val);
+        if (!self.U32(&v) || !self.F64(&val)) {
+          return Result<std::vector<double>>(ErrorCode::kInternal,
+                                             "malformed self batch entry");
+        }
         in.acc[v - lo_] += val;
       }
       ++in.batches;
@@ -251,16 +254,19 @@ Result<std::vector<double>> MsgBspWorker::PageRank(uint32_t iterations,
       uint32_t s = 0, count = 0;
       double dang = 0;
       uint64_t edge_count = 0;
-      r.U32(&s);
-      r.F64(&dang);
-      r.U64(&edge_count);
-      r.U32(&count);
+      if (!r.U32(&s) || !r.F64(&dang) || !r.U64(&edge_count) ||
+          !r.U32(&count)) {
+        return Result<std::vector<double>>(ErrorCode::kInternal,
+                                           "malformed deferred batch header");
+      }
       in.dangling += dang;
       for (uint32_t i = 0; i < count; ++i) {
         uint32_t v = 0;
         double val = 0;
-        r.U32(&v);
-        r.F64(&val);
+        if (!r.U32(&v) || !r.F64(&val)) {
+          return Result<std::vector<double>>(ErrorCode::kInternal,
+                                             "malformed deferred batch entry");
+        }
         in.acc[v - lo_] += val;
       }
       messages_in_ += count;

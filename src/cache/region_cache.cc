@@ -57,6 +57,7 @@ void RegionCache::Recycle(Frame* frame, bool counts_as_eviction) {
   } else {
     ++stats_.invalidations;
   }
+  if (on_evict_) on_evict_(frame->region_id, frame->page);
 }
 
 RegionCache::Frame* RegionCache::Find(uint64_t region_id, uint64_t page,
@@ -198,6 +199,7 @@ void RegionCache::DropRegion(uint64_t region_id) {
       frame->resident = false;
       free_.push_back(frame);
       ++stats_.invalidations;
+      if (on_evict_) on_evict_(frame->region_id, frame->page);
     } else {
       ++it;
     }

@@ -106,6 +106,12 @@ class RegionCache {
   // registers it for one-sided IO), or nullptr when none is available.
   using ArenaAllocator = std::function<std::byte*(uint64_t bytes)>;
 
+  // Called whenever a resident page leaves the cache — eviction, replace,
+  // drop, stale write invalidation. Evictions are invisible to the owning
+  // client otherwise; the rcheck layer needs them to retire the page's
+  // consistency contract.
+  using EvictObserver = std::function<void(uint64_t region_id, uint64_t page)>;
+
   RegionCache(CacheConfig config, ArenaAllocator alloc);
   RegionCache(const RegionCache&) = delete;
   RegionCache& operator=(const RegionCache&) = delete;
@@ -119,6 +125,16 @@ class RegionCache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] size_t resident_frames() const noexcept {
     return index_.size();
+  }
+  void SetEvictObserver(EvictObserver fn) { on_evict_ = std::move(fn); }
+
+  // Const residency peek: true when `page` is resident at exactly `epoch`.
+  // Unlike Find, never touches the LRU — safe for observers that must not
+  // perturb replacement.
+  [[nodiscard]] bool Resident(uint64_t region_id, uint64_t page,
+                              uint64_t epoch) const {
+    auto it = index_.find(PageKey{region_id, page});
+    return it != index_.end() && it->second->epoch == epoch;
   }
 
   // Read-side lookup. Returns the frame holding `page` of `region_id` at
@@ -193,6 +209,7 @@ class RegionCache {
 
   CacheConfig config_;
   ArenaAllocator alloc_;
+  EvictObserver on_evict_;
 
   std::unordered_map<PageKey, Frame*, PageKeyHash> index_;
   std::vector<Frame*> free_;

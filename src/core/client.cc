@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "check/check.h"
 #include "common/log.h"
 #include "obs/trace.h"
 #include "sim/cost_model.h"
@@ -232,6 +233,9 @@ Result<MappedRegion*> RStoreClient::Rmap(const std::string& name,
   region->cache_mode_ = options.cache_mode;
   MappedRegion* raw = region.get();
   mappings_[name] = std::move(region);
+  if (check::Checker* ck = device_.network().sim().checker(); ck != nullptr) {
+    ck->OnMap(device_.node_id(), raw->desc_.id);
+  }
   return raw;
 }
 
@@ -267,6 +271,9 @@ Status RStoreClient::Runmap(const std::string& name) {
     return Status(ErrorCode::kNotFound, "'" + name + "' is not mapped");
   }
   DropCachedRegion(it->second->desc_.id, it->second->cache_mode_);
+  if (check::Checker* ck = device_.network().sim().checker(); ck != nullptr) {
+    ck->OnUnmap(device_.node_id(), it->second->desc_.id);
+  }
   mappings_.erase(it);
   return Status::Ok();
 }
@@ -702,6 +709,8 @@ Result<uint64_t> RStoreClient::SubmitAtomic(MappedRegion& region,
                                             uint64_t offset, verbs::Opcode op,
                                             uint64_t compare,
                                             uint64_t swap_or_add) {
+  check::OpLabelScope label(device_.network().sim().checker(),
+                            "client.atomic");
   const RegionDesc& desc = region.desc_;
   if (offset % 8 != 0 || offset + 8 > desc.size) {
     return Result<uint64_t>(ErrorCode::kInvalidArgument,
@@ -774,6 +783,17 @@ cache::RegionCache* RStoreClient::EnsureCache() {
           if (!buf.ok()) return nullptr;
           return buf->begin();
         });
+    // Evictions happen inside the cache (LRU pressure, stale-write
+    // invalidation) where the client cannot see them; forward each one so
+    // the checker retires the page's consistency contract.
+    cache_->SetEvictObserver([this](uint64_t region_id, uint64_t page) {
+      if (check::Checker* ck = device_.network().sim().checker();
+          ck != nullptr) {
+        const uint64_t pb = cache_->page_bytes();
+        ck->OnCacheDrop(device_.node_id(), region_id, page * pb,
+                        (page + 1) * pb);
+      }
+    });
   }
   return cache_.get();
 }
@@ -942,9 +962,19 @@ Status RStoreClient::CachedRead(MappedRegion& region,
     for (const Fill& f : fills) cache->Abandon(f.frame);
     return st;
   }
+  check::Checker* ck = device_.network().sim().checker();
   for (const Fill& f : fills) {
     cache->Install(f.frame, id, f.page, epoch, f.valid);
     cache->NoteFill(f.valid);
+    // Immutable regions promise nobody writes cached bytes; register the
+    // freshly resident range so a later remote write trips the contract.
+    // Epoch-mode read fills stay unregistered: serving stale bytes until
+    // the next BumpEpoch is legal there.
+    if (ck != nullptr && region.cache_mode_ == cache::CacheMode::kImmutable) {
+      const uint64_t pb = cache->page_bytes();
+      ck->OnCacheResident(device_.node_id(), id, f.page * pb,
+                          f.page * pb + f.valid);
+    }
   }
   if (co.fills != nullptr) co.fills->Inc(fills.size());
   for (const CopyOut& c : copies) {
@@ -973,12 +1003,43 @@ void RStoreClient::CacheApplyWrite(MappedRegion& region, uint64_t offset,
     sim::ChargeCpu(
         sim::CacheCopyCost(device_.network().cpu_model(), copied));
   }
+  if (check::Checker* ck = device_.network().sim().checker(); ck != nullptr) {
+    // Register the written bytes that landed in still-resident frames.
+    // Epoch mode: the local copy now mirrors the remote write-through, so
+    // a concurrent remote writer would silently diverge it — that is the
+    // contract rcheck enforces. Pages the cache dropped (stale partial
+    // overwrite) carry no promise and are skipped via the Resident peek.
+    const uint64_t pb = cache->page_bytes();
+    const uint64_t end = offset + src.size();
+    for (uint64_t page = offset / pb; page * pb < end; ++page) {
+      if (!cache->Resident(region.desc_.id, page, region.cache_epoch_)) {
+        continue;
+      }
+      const uint64_t lo = std::max(offset, page * pb);
+      const uint64_t hi = std::min(end, (page + 1) * pb);
+      if (region.cache_mode_ == cache::CacheMode::kEpoch) {
+        ck->OnCacheWriteThrough(device_.node_id(), region.desc_.id, lo, hi);
+      } else {
+        ck->OnCacheResident(device_.node_id(), region.desc_.id, lo, hi);
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
 // MappedRegion forwarding
 // ---------------------------------------------------------------------------
+void MappedRegion::BumpEpoch() noexcept {
+  ++cache_epoch_;
+  if (check::Checker* ck = client_.device_.network().sim().checker();
+      ck != nullptr) {
+    ck->OnEpochBump(client_.device_.node_id(), desc_.id);
+  }
+}
+
 Status MappedRegion::Read(uint64_t offset, std::span<std::byte> dst) {
+  check::OpLabelScope label(client_.device_.network().sim().checker(),
+                            "client.read");
   obs::ObsSpan span(client_.ObsTelemetry(), client_.device_.node_id(),
                     "client", "client.read");
   span.Arg("bytes", static_cast<double>(dst.size()));
@@ -995,6 +1056,8 @@ Status MappedRegion::Read(uint64_t offset, std::span<std::byte> dst) {
 }
 
 Status MappedRegion::Write(uint64_t offset, std::span<const std::byte> src) {
+  check::OpLabelScope label(client_.device_.network().sim().checker(),
+                            "client.write");
   obs::ObsSpan span(client_.ObsTelemetry(), client_.device_.node_id(),
                     "client", "client.write");
   span.Arg("bytes", static_cast<double>(src.size()));
@@ -1017,11 +1080,15 @@ Status MappedRegion::Write(uint64_t offset, std::span<const std::byte> src) {
 // consistent local copy could be taken without blocking the post path.
 Result<IoFuture> MappedRegion::ReadAsync(uint64_t offset,
                                          std::span<std::byte> dst) {
+  check::OpLabelScope label(client_.device_.network().sim().checker(),
+                            "client.read_async");
   return client_.SubmitIo(desc_, offset, dst.data(), dst.size(), true);
 }
 
 Result<IoFuture> MappedRegion::WriteAsync(uint64_t offset,
                                           std::span<const std::byte> src) {
+  check::OpLabelScope label(client_.device_.network().sim().checker(),
+                            "client.write_async");
   auto future = client_.SubmitIo(desc_, offset,
                                  const_cast<std::byte*>(src.data()),
                                  src.size(), false);
@@ -1032,6 +1099,8 @@ Result<IoFuture> MappedRegion::WriteAsync(uint64_t offset,
 }
 
 Result<IoFuture> MappedRegion::ReadV(std::span<const IoVec> segments) {
+  check::OpLabelScope label(client_.device_.network().sim().checker(),
+                            "client.readv");
   obs::ObsSpan span(client_.ObsTelemetry(), client_.device_.node_id(),
                     "client", "client.readv");
   span.Arg("segments", static_cast<double>(segments.size()));
@@ -1043,6 +1112,8 @@ Result<IoFuture> MappedRegion::ReadV(std::span<const IoVec> segments) {
 }
 
 Result<IoFuture> MappedRegion::WriteV(std::span<const IoVec> segments) {
+  check::OpLabelScope label(client_.device_.network().sim().checker(),
+                            "client.writev");
   auto future = client_.SubmitVector(desc_, segments, /*is_read=*/false);
   if (future.ok() && cache_mode_ != cache::CacheMode::kNone) {
     for (const IoVec& seg : segments) {

@@ -142,7 +142,7 @@ class MappedRegion {
   // every cached page of the region becomes a miss. Call at barriers
   // (before the local writes of the new epoch, so write-throughs are
   // stamped fresh). Harmless no-op on uncached mappings.
-  void BumpEpoch() noexcept { ++cache_epoch_; }
+  void BumpEpoch() noexcept;
   [[nodiscard]] uint64_t cache_epoch() const noexcept { return cache_epoch_; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "common/log.h"
 #include "common/rng.h"
 
@@ -282,6 +283,18 @@ Status Master::HandleAlloc(rpc::Reader& req, rpc::Writer& resp) {
     }
   }
 
+  if (check::Checker* ck = device_.network().sim().checker(); ck != nullptr) {
+    auto track = [&](const std::vector<SlabLocation>& slabs) {
+      for (size_t i = 0; i < slabs.size(); ++i) {
+        ck->OnRegionSlab(region.desc.id, name, options_.slab_size,
+                         slabs[i].server_node, slabs[i].remote_addr,
+                         slabs[i].remote_addr + options_.slab_size,
+                         i * options_.slab_size);
+      }
+    };
+    track(region.desc.slabs);
+    for (const auto& replica : region.desc.replicas) track(replica);
+  }
   region.desc.Encode(resp);
   regions_.emplace(name, std::move(region));
   return Status::Ok();
@@ -353,6 +366,9 @@ Status Master::HandleFree(rpc::Reader& req, rpc::Writer& resp) {
   for (const SlabLocation& slab : it->second.desc.slabs) give_back(slab);
   for (const auto& replica : it->second.desc.replicas) {
     for (const SlabLocation& slab : replica) give_back(slab);
+  }
+  if (check::Checker* ck = device_.network().sim().checker(); ck != nullptr) {
+    ck->OnRegionFree(it->second.desc.id);
   }
   regions_.erase(it);
   resp.Bool(true);
@@ -433,6 +449,12 @@ Status Master::HandleGrow(rpc::Reader& req, rpc::Writer& resp) {
                   "need " + std::to_string(add) + " more slabs, have " +
                       std::to_string(available));
   }
+  check::Checker* ck = device_.network().sim().checker();
+  if (ck != nullptr) {
+    // Grow races are judged before the new slabs exist: any data-path op
+    // still in flight against the region overlaps the metadata change.
+    ck->OnRegionGrow(desc.id, device_.node_id());
+  }
   size_t cursor = 0;
   for (uint64_t i = 0; i < add; ++i) {
     for (size_t probes = 0; probes <= ranked.size(); ++probes) {
@@ -444,6 +466,14 @@ Status Master::HandleGrow(rpc::Reader& req, rpc::Writer& resp) {
       desc.slabs.push_back(SlabLocation{
           s->node, s->base_addr + slab_idx * options_.slab_size, s->rkey});
       break;
+    }
+  }
+  if (ck != nullptr) {
+    for (uint64_t i = have_slabs; i < desc.slabs.size(); ++i) {
+      ck->OnRegionSlab(desc.id, name, options_.slab_size,
+                       desc.slabs[i].server_node, desc.slabs[i].remote_addr,
+                       desc.slabs[i].remote_addr + options_.slab_size,
+                       i * options_.slab_size);
     }
   }
   desc.size = new_size;

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "check/check.h"
 #include "common/rng.h"
 #include "obs/trace.h"
 #include "sim/cost_model.h"
@@ -168,6 +169,11 @@ void KvStore::CacheErase(uint64_t slot) {
 
 Result<uint64_t> KvStore::ReadSlot(uint64_t slot, std::byte* dst) {
   ++stats_.probe_reads;
+  // Seqlock readers never take the lock: the payload read may observe a
+  // concurrent writer's bytes and is discarded when the version moved.
+  // Racy by design, so every read in here is speculative for rcheck.
+  check::SpeculativeScope spec(
+      client_.device().network().sim().checker());
   if (options_.cache_slots > 0) {
     auto it = slot_cache_.find(slot);
     if (it != slot_cache_.end()) {
@@ -216,16 +222,31 @@ Result<uint64_t> KvStore::ReadSlot(uint64_t slot, std::byte* dst) {
 
 Status KvStore::ReadSlotRaw(uint64_t slot, std::byte* dst) {
   ++stats_.probe_reads;
-  return region_->Read(SlotOffset(slot),
-                       std::span<std::byte>(dst, options_.slot_bytes));
+  // Callers hold the slot seqlock, which freezes the payload but not the
+  // version cell — contending writers keep CASing it while they probe.
+  // Reading from key_len onward stays clear of that cell, so the payload
+  // read is genuinely race-free (and rcheck verifies it stays that way).
+  // No caller consumes the version word from a raw read; zero it so
+  // Parse() stays deterministic.
+  std::memset(dst, 0, kKeyLenOff);
+  return region_->Read(
+      SlotOffset(slot) + kKeyLenOff,
+      std::span<std::byte>(dst + kKeyLenOff,
+                           options_.slot_bytes - kKeyLenOff));
 }
 
 Result<uint64_t> KvStore::LockSlot(uint64_t slot) {
   constexpr int kMaxAttempts = 64;
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
-    RSTORE_RETURN_IF_ERROR(region_->Read(
-        SlotOffset(slot) + kVersionOff,
-        std::span<std::byte>(version_buf_.begin(), 8)));
+    {
+      // Optimistic peek at the version word before the CAS; a concurrent
+      // unlock write is expected and resolved by the CAS itself.
+      check::SpeculativeScope spec(
+          client_.device().network().sim().checker());
+      RSTORE_RETURN_IF_ERROR(region_->Read(
+          SlotOffset(slot) + kVersionOff,
+          std::span<std::byte>(version_buf_.begin(), 8)));
+    }
     uint64_t current = 0;
     std::memcpy(&current, version_buf_.begin(), 8);
     if (current % 2 == 1) {
@@ -246,12 +267,18 @@ Result<uint64_t> KvStore::LockSlot(uint64_t slot) {
 Status KvStore::UnlockSlot(uint64_t slot, uint64_t locked_version) {
   const uint64_t released = locked_version + 1;  // odd -> next even
   std::memcpy(version_buf_.begin(), &released, 8);
+  // The version word is the slot's seqlock: this 8-byte store is the
+  // release half of the LockSlot CAS acquire, so rcheck treats it as a
+  // synchronization cell rather than a plain data write.
+  check::SyncCellScope sync(client_.device().network().sim().checker());
   return region_->Write(SlotOffset(slot) + kVersionOff,
                         std::span<const std::byte>(version_buf_.begin(), 8));
 }
 
 Result<std::vector<std::byte>> KvStore::Get(std::string_view key) {
   ++stats_.gets;
+  check::OpLabelScope label(client_.device().network().sim().checker(),
+                            "kv.get");
   OpObs obs(client_, "kv.gets", "kv.get_ns");
   obs::ObsSpan span(obs.tel, obs.node, "app", "kv.get");
   const uint64_t home = StableHash64(key) % options_.buckets;
@@ -282,6 +309,8 @@ Result<std::vector<std::byte>> KvStore::Get(std::string_view key) {
 
 Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
   ++stats_.puts;
+  check::OpLabelScope label(client_.device().network().sim().checker(),
+                            "kv.put");
   OpObs obs(client_, "kv.puts", "kv.put_ns");
   obs::ObsSpan span(obs.tel, obs.node, "app", "kv.put");
   if (key.empty() ||
@@ -370,6 +399,8 @@ Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
 
 Status KvStore::Delete(std::string_view key) {
   ++stats_.deletes;
+  check::OpLabelScope label(client_.device().network().sim().checker(),
+                            "kv.delete");
   const uint64_t home = StableHash64(key) % options_.buckets;
   for (uint32_t probe = 0; probe < options_.max_probe; ++probe) {
     const uint64_t slot = (home + probe) % options_.buckets;

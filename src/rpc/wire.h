@@ -56,26 +56,26 @@ class Reader {
  public:
   explicit Reader(std::span<const std::byte> data) : data_(data) {}
 
-  bool U8(uint8_t* v) { return Fixed(v, 1); }
-  bool U32(uint32_t* v) { return Fixed(v, 4); }
-  bool U64(uint64_t* v) { return Fixed(v, 8); }
-  bool I64(int64_t* v) { return Fixed(v, 8); }
-  bool F64(double* v) { return Fixed(v, 8); }
-  bool Bool(bool* v) {
+  [[nodiscard]] bool U8(uint8_t* v) { return Fixed(v, 1); }
+  [[nodiscard]] bool U32(uint32_t* v) { return Fixed(v, 4); }
+  [[nodiscard]] bool U64(uint64_t* v) { return Fixed(v, 8); }
+  [[nodiscard]] bool I64(int64_t* v) { return Fixed(v, 8); }
+  [[nodiscard]] bool F64(double* v) { return Fixed(v, 8); }
+  [[nodiscard]] bool Bool(bool* v) {
     uint8_t b = 0;
     if (!U8(&b)) return false;
     *v = (b != 0);
     return true;
   }
 
-  bool Str(std::string* out) {
+  [[nodiscard]] bool Str(std::string* out) {
     uint32_t n = 0;
     if (!U32(&n) || n > Remaining()) return Fail();
     out->assign(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return true;
   }
-  bool Bytes(std::vector<std::byte>* out) {
+  [[nodiscard]] bool Bytes(std::vector<std::byte>* out) {
     uint32_t n = 0;
     if (!U32(&n) || n > Remaining()) return Fail();
     out->assign(data_.begin() + static_cast<ptrdiff_t>(pos_),
@@ -85,7 +85,7 @@ class Reader {
   }
   // Zero-copy view of a length-prefixed blob (valid while the underlying
   // buffer lives).
-  bool BytesView(std::span<const std::byte>* out) {
+  [[nodiscard]] bool BytesView(std::span<const std::byte>* out) {
     uint32_t n = 0;
     if (!U32(&n) || n > Remaining()) return Fail();
     *out = data_.subspan(pos_, n);

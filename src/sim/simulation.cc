@@ -1,11 +1,17 @@
 #include "sim/simulation.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <fstream>
+#include <iostream>
 
+#include "check/check.h"
 #include "common/log.h"
 #include "obs/trace.h"
 
@@ -45,9 +51,18 @@ class SimThread {
   SimThread(const SimThread&) = delete;
   SimThread& operator=(const SimThread&) = delete;
 
-  [[nodiscard]] bool exited() const noexcept { return exited_; }
-  [[nodiscard]] bool blocked() const noexcept { return blocked_; }
-  [[nodiscard]] uint64_t gen() const noexcept { return gen_; }
+  // The scheduler reads these after the handoff's release/acquire edge on
+  // sim.active_, but they are atomic so the ThreadSanitizer build can
+  // verify the protocol instead of trusting this comment.
+  [[nodiscard]] bool exited() const noexcept {
+    return exited_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool blocked() const noexcept {
+    return blocked_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t gen() const noexcept {
+    return gen_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] Node& node() noexcept { return node_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] uint64_t tid() const noexcept { return tid_; }
@@ -76,14 +91,15 @@ class SimThread {
 
   void YieldToScheduler() {
     std::unique_lock<std::mutex> lock(sim_.mu_);
-    blocked_ = true;
+    blocked_.store(true, std::memory_order_relaxed);
     sim_.active_.store(nullptr, std::memory_order_release);
     sim_.scheduler_cv_.notify_one();
     cv_.wait(lock, [this] {
       return sim_.active_.load(std::memory_order_relaxed) == this;
     });
-    blocked_ = false;
-    ++gen_;  // invalidate any other pending wakes for the finished block
+    blocked_.store(false, std::memory_order_relaxed);
+    // Invalidate any other pending wakes for the finished block.
+    gen_.fetch_add(1, std::memory_order_relaxed);
   }
 
   void ThreadMain();
@@ -95,9 +111,9 @@ class SimThread {
   std::function<void()> fn_;
 
   std::condition_variable cv_;
-  bool blocked_ = true;  // starts "blocked", ended by the kStart wake
-  bool exited_ = false;
-  uint64_t gen_ = 0;
+  std::atomic<bool> blocked_ = true;  // starts "blocked"; ends at kStart
+  std::atomic<bool> exited_ = false;
+  std::atomic<uint64_t> gen_ = 0;
   WakeReason wake_reason_ = kStart;
 
   std::thread os_thread_;  // last member: starts after state is ready
@@ -128,8 +144,8 @@ void SimThread::ThreadMain() {
     cv_.wait(lock, [this] {
       return sim_.active_.load(std::memory_order_relaxed) == this;
     });
-    blocked_ = false;
-    ++gen_;
+    blocked_.store(false, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_relaxed);
   }
   if (node_.alive() && !ShuttingDown()) {
     try {
@@ -143,7 +159,7 @@ void SimThread::ThreadMain() {
   }
   // Exit handoff: give control back to the scheduler permanently.
   std::lock_guard<std::mutex> lock(sim_.mu_);
-  exited_ = true;
+  exited_.store(true, std::memory_order_relaxed);
   sim_.active_.store(nullptr, std::memory_order_release);
   sim_.scheduler_cv_.notify_one();
 }
@@ -231,6 +247,13 @@ void CondVar::NotifyOne() {
     SimThread* t = waiters_.front();
     waiters_.pop_front();
     if (t->exited()) continue;  // killed while waiting; entry went stale
+    // CondVar edges are intra-node under per-node clocks (the hand-off is
+    // subsumed by the notifier's node clock); ticking keeps stamps taken
+    // around the notify distinct. Scheduler-context notifies (fabric
+    // delivery) have no owning node and are ordered by the event loop.
+    if (sim_.checker_ != nullptr && g_current_thread != nullptr) {
+      sim_.checker_->OnCondNotify(g_current_thread->node().id());
+    }
     sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kNotify);
     return;
   }
@@ -253,6 +276,14 @@ Nanos CondVar::NowInternal() const { return sim_.NowNanos(); }
 Simulation::Simulation(SimConfig config)
     : config_(config), seeder_(config.seed) {
   events_.reserve(1024);
+  // Opt-in runtime verification for whole test/bench processes: every
+  // simulation in the process gets its own checker, and Shutdown() turns
+  // any violation into a report + abort (the CI rcheck gate).
+  if (const char* e = std::getenv("RSTORE_RCHECK");
+      e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
+    owned_checker_ = std::make_unique<check::Checker>();
+    AttachChecker(owned_checker_.get());
+  }
 }
 
 Simulation::~Simulation() { Shutdown(); }
@@ -302,6 +333,14 @@ void Simulation::AttachTelemetry(obs::Telemetry* telemetry) {
   });
 }
 
+void Simulation::AttachChecker(check::Checker* checker) {
+  checker_ = checker;
+  if (checker_ != nullptr) {
+    // Observation hook only: the checker reads the clock, never drives it.
+    checker_->SetClock([this] { return static_cast<uint64_t>(now_); });
+  }
+}
+
 void Simulation::PushEvent(Event e) {
   events_.push_back(std::move(e));
   std::push_heap(events_.begin(), events_.end(), std::greater<>{});
@@ -338,6 +377,9 @@ void Simulation::ScheduleWake(SimThread* t, uint64_t gen, Nanos at,
 }
 
 void Simulation::RunThreadSlice(SimThread* t) {
+  // Scheduler hand-off edge: tick the node's clock component so shadow
+  // stamps taken on either side of the slice boundary stay distinct.
+  if (checker_ != nullptr) checker_->OnThreadSlice(t->node().id());
   {
     std::lock_guard<std::mutex> lock(mu_);
     active_.store(t, std::memory_order_release);
@@ -439,6 +481,12 @@ size_t Simulation::live_thread_count() const noexcept {
 
 void Simulation::Shutdown() {
   shutting_down_ = true;
+  // A caller-attached checker may already be destroyed by the time the
+  // simulation unwinds (it is usually declared after the TestCluster that
+  // owns us). Everything it could observe below is forced teardown, so
+  // detach it now; the owned checker lives until ~Simulation and keeps
+  // observing.
+  if (checker_ != owned_checker_.get()) checker_ = nullptr;
   for (auto& node : nodes_) {
     node->alive_ = false;
     for (auto& t : node->threads_) {
@@ -454,6 +502,32 @@ void Simulation::Shutdown() {
       assert(t->exited());
     }
   }
+  // Join now rather than from ~Node: members are destroyed in reverse
+  // declaration order, so scheduler_cv_ dies before nodes_, and an
+  // exiting thread may still be inside its final notify_one.
+  for (auto& node : nodes_) {
+    node->threads_.clear();
+  }
+  // Environment-attached checker: turn violations into a visible failure.
+  // (A programmatically attached checker belongs to the caller, who
+  // inspects violations() itself.)
+  if (owned_checker_ != nullptr && owned_checker_->violation_count() > 0) {
+    owned_checker_->PrintReports(std::cerr);
+    static int dump_seq = 0;
+    std::string path = "rcheck_report.json";
+    if (const char* out = std::getenv("RSTORE_RCHECK_OUT");
+        out != nullptr && *out != '\0') {
+      path = std::string(out) + "/rcheck-" + std::to_string(getpid()) +
+             "-" + std::to_string(dump_seq++) + ".json";
+    }
+    std::ofstream f(path);
+    if (f.is_open()) {
+      owned_checker_->DumpJson(f);
+      std::cerr << "rcheck: report written to " << path << '\n';
+    }
+    std::abort();
+  }
+  checker_ = nullptr;
   // Detach telemetry last: teardown may still log, and the hooks capture
   // `this`.
   AttachTelemetry(nullptr);

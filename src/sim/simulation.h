@@ -47,6 +47,10 @@ namespace rstore::obs {
 class Telemetry;
 }  // namespace rstore::obs
 
+namespace rstore::check {
+class Checker;
+}  // namespace rstore::check
+
 namespace rstore::sim {
 
 // Event callbacks live inline in the event heap: 48 bytes of capture
@@ -238,6 +242,18 @@ class Simulation {
     return telemetry_;
   }
 
+  // Connects the rcheck runtime-verification layer (src/check). Like
+  // telemetry, the checker observes only — every hook is synchronous and
+  // never schedules events or charges the cost model, so attaching it
+  // cannot move virtual time. Owned by the caller; pass nullptr to
+  // detach. When the RSTORE_RCHECK environment variable is set (and not
+  // "0"), the constructor attaches an owned checker automatically and
+  // Shutdown() prints its reports, dumps them as JSON (into
+  // $RSTORE_RCHECK_OUT or ./rcheck_report.json), and aborts if any
+  // violation was found — the CI gate.
+  void AttachChecker(check::Checker* checker);
+  [[nodiscard]] check::Checker* checker() const noexcept { return checker_; }
+
   // True once destruction has begun and threads are being unwound. Blocking
   // primitives use this to decide whether the object they were waiting on
   // is still safe to touch while a ThreadKilled exception propagates.
@@ -292,6 +308,8 @@ class Simulation {
   bool shutting_down_ = false;
   bool stop_requested_ = false;
   obs::Telemetry* telemetry_ = nullptr;
+  check::Checker* checker_ = nullptr;
+  std::unique_ptr<check::Checker> owned_checker_;  // RSTORE_RCHECK=1 mode
   uint64_t next_tid_ = 1;  // SimThread trace ids; 0 = scheduler context
 
   // Handoff state: mu_ orders the handoff edges; active_ is additionally

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "check/check.h"
 #include "common/log.h"
 #include "obs/trace.h"
 
@@ -96,9 +97,14 @@ void CompletionQueue::RecordBatch(size_t n) {
 
 std::vector<WorkCompletion> CompletionQueue::Poll(size_t max_entries) {
   std::vector<WorkCompletion> out;
+  check::Checker* ck = sim_.checker();
   while (!entries_.empty() && out.size() < max_entries) {
     out.push_back(entries_.front());
     entries_.pop_front();
+    if (ck != nullptr && out.back().check_ref != 0 && node_id_ != kNoNode) {
+      ck->OnObserve(out.back().check_ref, node_id_, out.back().recv_side,
+                    out.back().ok());
+    }
   }
   RecordBatch(out.size());
   return out;
@@ -122,10 +128,15 @@ Result<WorkCompletion> CompletionQueue::WaitOne(sim::Nanos timeout) {
 size_t CompletionQueue::PollInto(std::vector<WorkCompletion>& out,
                                  size_t max_entries) {
   size_t n = 0;
+  check::Checker* ck = sim_.checker();
   while (!entries_.empty() && n < max_entries) {
     out.push_back(entries_.front());
     entries_.pop_front();
     ++n;
+    if (ck != nullptr && out.back().check_ref != 0 && node_id_ != kNoNode) {
+      ck->OnObserve(out.back().check_ref, node_id_, out.back().recv_side,
+                    out.back().ok());
+    }
   }
   RecordBatch(n);
   return n;
@@ -169,6 +180,10 @@ Status ProtectionDomain::DeregisterMemory(MemoryRegion* mr) {
   for (auto it = dev.mrs_by_lkey_.begin(); it != dev.mrs_by_lkey_.end();
        ++it) {
     if (it->second.get() == mr) {
+      if (check::Checker* ck = dev.network().sim().checker(); ck != nullptr) {
+        ck->OnDeregister(dev.node_id(), it->second->remote_addr(),
+                         it->second->remote_addr() + it->second->length());
+      }
       dev.mrs_by_rkey_.erase(it->second->rkey());
       dev.mrs_by_lkey_.erase(it);
       return Status::Ok();
@@ -266,6 +281,52 @@ namespace {
 constexpr uint64_t kReadRequestBytes = 16;
 constexpr uint64_t kAtomicRequestBytes = 32;
 constexpr uint64_t kAtomicResponseBytes = 8;
+
+// Registers one queued WR with the rcheck shadow state: maps the opcode
+// onto the checker's transport classes, gathers the non-empty local SGEs,
+// and returns the pending-op reference carried by the SQ copy. SEND and
+// write-with-imm retire after two completion polls (sender + receiver CQ);
+// everything else after one.
+uint32_t CheckPost(check::Checker& ck, const SendWr& wr, uint32_t initiator,
+                   uint32_t target) {
+  check::OpClass cls = check::OpClass::kRemoteAtomic;
+  uint64_t remote_lo = 0;
+  uint64_t remote_hi = 0;
+  uint32_t expected = 1;
+  switch (wr.opcode) {
+    case Opcode::kSend:
+      cls = check::OpClass::kMessage;
+      expected = 2;
+      break;
+    case Opcode::kRdmaWriteWithImm:
+      expected = 2;
+      [[fallthrough]];
+    case Opcode::kRdmaWrite:
+      cls = check::OpClass::kRemoteWrite;
+      remote_lo = wr.remote_addr;
+      remote_hi = wr.remote_addr + wr.total_length();
+      break;
+    case Opcode::kRdmaRead:
+      cls = check::OpClass::kRemoteRead;
+      remote_lo = wr.remote_addr;
+      remote_hi = wr.remote_addr + wr.total_length();
+      break;
+    default:  // kCompareSwap / kFetchAdd
+      remote_lo = wr.remote_addr;
+      remote_hi = wr.remote_addr + 8;
+      break;
+  }
+  std::array<check::LocalRange, SendWr::kMaxSge> sges;
+  uint32_t n = 0;
+  for (uint32_t i = 0; i < wr.num_sge; ++i) {
+    const Sge& s = wr.sge(i);
+    if (s.length == 0) continue;
+    const auto lo = reinterpret_cast<uint64_t>(s.addr);
+    sges[n++] = check::LocalRange{lo, lo + s.length};
+  }
+  return ck.OnPost(initiator, target, cls, remote_lo, remote_hi, sges.data(),
+                   n, expected);
+}
 }  // namespace
 
 Status QueuePair::PostSend(const SendWr& wr) {
@@ -315,10 +376,15 @@ Status QueuePair::PostSend(const SendWr& wr) {
   }
 
   const uint64_t first_seq = sq_next_seq_;
+  check::Checker* ck = device_.network().sim().checker();
   for (const SendWr* w = &wr; w != nullptr; w = w->next) {
     ++sq_next_seq_;
     sq_.push_back(SqEntry{*w, false, WcStatus::kSuccess, 0});
     sq_.back().wr.next = nullptr;  // chain pointers don't outlive the post
+    if (ck != nullptr) {
+      sq_.back().wr.check_ref =
+          CheckPost(*ck, sq_.back().wr, device_.node_id(), peer_node_);
+    }
   }
 
   // One initiator post cost (descriptor writes + a single doorbell) for
@@ -417,6 +483,7 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
                                 WireOp* op) {
   const SendWr& wr = op->wr;
   const uint64_t seq = op->seq;
+  check::Checker* ck = net.sim().checker();
   switch (wr.opcode) {
     case Opcode::kSend:
       tqp.AcceptSend(wr, op->src_node,
@@ -437,6 +504,7 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
         net.ReleaseWireOp(op);
         return;
       }
+      if (ck != nullptr && wr.check_ref != 0) ck->OnExecute(wr.check_ref);
       // Gather: local SGEs land back-to-back in the remote range.
       auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
       for (uint32_t i = 0; i < wr.num_sge; ++i) {
@@ -468,6 +536,7 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
         net.ReleaseWireOp(op);
         return;
       }
+      if (ck != nullptr && wr.check_ref != 0) ck->OnExecute(wr.check_ref);
       // Response: payload travels target -> initiator; bytes are copied
       // at response delivery (initiator buffer contents are undefined
       // until the completion, per RDMA semantics). The op carries the
@@ -512,6 +581,7 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
         net.ReleaseWireOp(op);
         return;
       }
+      if (ck != nullptr && wr.check_ref != 0) ck->OnExecute(wr.check_ref);
       auto* cell = reinterpret_cast<uint64_t*>(wr.remote_addr);
       const uint64_t old = *cell;
       if (wr.opcode == Opcode::kCompareSwap) {
@@ -569,7 +639,8 @@ void QueuePair::MatchRecv(const SendWr& wr, uint32_t src_node,
       // remote-op error for the sender.
       recv_cq_->Push(WorkCompletion{recv.wr_id, WcStatus::kLocalProtErr,
                                     Opcode::kRecv, 0, std::nullopt, qp_num_,
-                                    src_node});
+                                    src_node, wr.check_ref,
+                                    /*recv_side=*/true});
       done(WcStatus::kRemOpErr, 0);
       EnterError();
       return;
@@ -586,7 +657,7 @@ void QueuePair::MatchRecv(const SendWr& wr, uint32_t src_node,
   recv_cq_->Push(WorkCompletion{
       recv.wr_id, WcStatus::kSuccess,
       data_already_placed ? Opcode::kRdmaWriteWithImm : Opcode::kRecv,
-      total, wr.imm, qp_num_, src_node});
+      total, wr.imm, qp_num_, src_node, wr.check_ref, /*recv_side=*/true});
   done(WcStatus::kSuccess, total);
 }
 
@@ -618,6 +689,7 @@ void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
   entry.status = status;
   entry.byte_len = byte_len;
 
+  check::Checker* ck = device_.network().sim().checker();
   if (status != WcStatus::kSuccess) {
     // An error moves the QP to the error state at once: every queued WR
     // completes in post order — finished ones with their recorded
@@ -628,10 +700,13 @@ void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
       sq_.pop_front();
       ++sq_base_seq_;
       const WcStatus st = e.done ? e.status : WcStatus::kWrFlushErr;
+      if (ck != nullptr && e.wr.check_ref != 0) {
+        ck->OnSettle(e.wr.check_ref, st == WcStatus::kSuccess);
+      }
       if (st != WcStatus::kSuccess || e.wr.signaled) {
         send_cq_->Push(WorkCompletion{e.wr.wr_id, st, e.wr.opcode,
                                       e.byte_len, std::nullopt, qp_num_,
-                                      peer_node_});
+                                      peer_node_, e.wr.check_ref});
       }
     }
     EnterError();
@@ -643,21 +718,29 @@ void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
     SqEntry e = std::move(sq_.front());
     sq_.pop_front();
     ++sq_base_seq_;
+    if (ck != nullptr && e.wr.check_ref != 0) {
+      ck->OnSettle(e.wr.check_ref, true);
+    }
     if (e.wr.signaled) {
       send_cq_->Push(WorkCompletion{e.wr.wr_id, e.status, e.wr.opcode,
                                     e.byte_len, std::nullopt, qp_num_,
-                                    peer_node_});
+                                    peer_node_, e.wr.check_ref});
     }
   }
 }
 
 void QueuePair::FlushAll(WcStatus status) {
+  check::Checker* ck = device_.network().sim().checker();
   while (!sq_.empty()) {
     SqEntry e = std::move(sq_.front());
     sq_.pop_front();
     ++sq_base_seq_;
+    if (ck != nullptr && e.wr.check_ref != 0) {
+      ck->OnSettle(e.wr.check_ref, false);
+    }
     send_cq_->Push(WorkCompletion{e.wr.wr_id, status, e.wr.opcode, 0,
-                                  std::nullopt, qp_num_, peer_node_});
+                                  std::nullopt, qp_num_, peer_node_,
+                                  e.wr.check_ref});
   }
   while (!rq_.empty()) {
     RecvWr r = rq_.front();

@@ -103,6 +103,8 @@ struct WorkCompletion {
   std::optional<uint32_t> imm;      // present for recv of WRITE_WITH_IMM/SEND w/ imm
   uint32_t qp_num = 0;
   uint32_t src_node = 0;            // peer node id (recv side convenience)
+  uint32_t check_ref = 0;           // rcheck pending-op handle (0 = untracked)
+  bool recv_side = false;           // completion surfaced on the receiver CQ
 
   [[nodiscard]] bool ok() const noexcept {
     return status == WcStatus::kSuccess;
@@ -172,6 +174,11 @@ struct SendWr {
   uint32_t num_sge = 1;      // SGEs in use: `local` + (num_sge-1) of tail
   std::array<Sge, kMaxSge - 1> sge_tail{};
   const SendWr* next = nullptr;  // doorbell chain; not owned
+  // rcheck pending-op handle. Assigned on the send-queue copy at post time
+  // (never on the caller's struct) and rides every internal copy of the WR
+  // — SqEntry, WireOp, RNR parking — so target-side execution and both
+  // completion queues can report against the same shadow operation.
+  uint32_t check_ref = 0;
 
   [[nodiscard]] const Sge& sge(uint32_t i) const noexcept {
     return i == 0 ? local : sge_tail[i - 1];

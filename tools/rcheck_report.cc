@@ -1,0 +1,111 @@
+// rcheck_report: pretty-prints rcheck violation dumps (the JSON files the
+// checker writes on shutdown, see RSTORE_RCHECK_OUT). Accepts any number
+// of report files, prints each violation with both endpoints, and exits 1
+// when any file contains a violation — CI feeds it the artifact directory
+// so a red gate also shows the human-readable reports inline.
+//
+//   rcheck_report report.json [report2.json ...]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_check.h"
+
+namespace {
+
+using rstore::obs::JsonValue;
+
+uint64_t Num(const JsonValue* v) {
+  return v != nullptr ? static_cast<uint64_t>(v->number) : 0;
+}
+
+std::string Str(const JsonValue* v) {
+  return v != nullptr ? v->str : std::string();
+}
+
+void PrintEndpoint(const char* tag, const JsonValue& e) {
+  const bool remote =
+      e.Find("remote") != nullptr && e.Find("remote")->boolean;
+  const bool pending =
+      e.Find("pending") != nullptr && e.Find("pending")->boolean;
+  std::printf("    %s: node %llu %s %s [%llu, %llu) at t=%lluns", tag,
+              static_cast<unsigned long long>(Num(e.Find("node"))),
+              remote ? "remote" : "local", Str(e.Find("kind")).c_str(),
+              static_cast<unsigned long long>(Num(e.Find("lo"))),
+              static_cast<unsigned long long>(Num(e.Find("hi"))),
+              static_cast<unsigned long long>(Num(e.Find("vtime"))));
+  const std::string label = Str(e.Find("label"));
+  if (!label.empty()) std::printf(" in %s", label.c_str());
+  if (pending) std::printf(" (completion never observed)");
+  std::printf("\n");
+}
+
+// Returns the number of violations in the file, or -1 on parse failure.
+int PrintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rcheck_report: cannot open %s\n", path.c_str());
+    return -1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto root = rstore::obs::ParseJson(text.str());
+  if (!root.ok()) {
+    std::fprintf(stderr, "rcheck_report: %s: %s\n", path.c_str(),
+                 root.status().message().c_str());
+    return -1;
+  }
+  const JsonValue* violations = root->Find("violations");
+  if (violations == nullptr ||
+      violations->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "rcheck_report: %s: no \"violations\" array\n",
+                 path.c_str());
+    return -1;
+  }
+
+  std::printf("%s: %zu violation(s)\n", path.c_str(),
+              violations->array.size());
+  int index = 0;
+  for (const JsonValue& v : violations->array) {
+    std::printf("  #%d %s on node %llu", ++index,
+                Str(v.Find("type")).c_str(),
+                static_cast<unsigned long long>(Num(v.Find("target_node"))));
+    const std::string region = Str(v.Find("region"));
+    if (!region.empty()) {
+      std::printf(" region \"%s\" bytes [%llu, %llu)", region.c_str(),
+                  static_cast<unsigned long long>(Num(v.Find("region_lo"))),
+                  static_cast<unsigned long long>(Num(v.Find("region_hi"))));
+    }
+    std::printf("\n");
+    const JsonValue* a = v.Find("a");
+    const JsonValue* b = v.Find("b");
+    if (a != nullptr) PrintEndpoint("A", *a);
+    if (b != nullptr) PrintEndpoint("B", *b);
+    const std::string detail = Str(v.Find("detail"));
+    if (!detail.empty()) std::printf("    %s\n", detail.c_str());
+  }
+  return static_cast<int>(violations->array.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: rcheck_report <report.json>...\n");
+    return 1;
+  }
+  long total = 0;
+  bool failed = false;
+  for (int i = 1; i < argc; ++i) {
+    const int n = PrintFile(argv[i]);
+    if (n < 0) {
+      failed = true;
+    } else {
+      total += n;
+    }
+  }
+  std::printf("rcheck_report: %ld violation(s) across %d file(s)\n", total,
+              argc - 1);
+  return (failed || total > 0) ? 1 : 0;
+}
