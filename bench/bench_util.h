@@ -18,6 +18,14 @@
 // Without either flag ActiveTelemetry() is null and the benchmarks run
 // exactly as before — virtual times are bit-identical either way (see
 // obs/metrics.h's probe-effect rule).
+//
+//   --explore <policy>:<seed>:<runs>[:<max_delay_ns>]
+//                   run the whole binary under schedule exploration: every
+//                   Simulation attaches a SchedulePolicy from the spec (seed
+//                   cycles across runs) plus the happens-before checker.
+//                   Implemented by exporting RSTORE_EXPLORE/RSTORE_RCHECK,
+//                   which src/sim reads per-Simulation; violating runs dump
+//                   a replayable trace for tools/rexplore.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -102,8 +110,8 @@ inline obs::Telemetry* ActiveTelemetry() {
   return &telemetry;
 }
 
-// Strips --json/--trace/--rcheck (space- or =-separated) from argv before
-// benchmark::Initialize, which rejects unknown flags.
+// Strips --json/--trace/--rcheck/--explore (space- or =-separated) from
+// argv before benchmark::Initialize, which rejects unknown flags.
 inline void ParseObsArgs(int* argc, char** argv) {
   ObsConfig& config = GetObsConfig();
   if (*argc > 0) {
@@ -123,6 +131,17 @@ inline void ParseObsArgs(int* argc, char** argv) {
       // Runs the whole binary under the happens-before checker. Set as an
       // env var (not a global) because every Simulation the benchmarks
       // construct reads RSTORE_RCHECK in its constructor.
+      setenv("RSTORE_RCHECK", "1", /*overwrite=*/1);
+    } else if ((arg == "--explore" && i + 1 < *argc) ||
+               arg.rfind("--explore=", 0) == 0) {
+      // Schedule exploration, same env-var mechanism as --rcheck: every
+      // Simulation reads RSTORE_EXPLORE in its constructor and attaches a
+      // policy built from the spec. Exploration without the checker finds
+      // nothing, so --explore implies --rcheck.
+      const std::string spec = arg == "--explore"
+                                   ? std::string(argv[++i])
+                                   : std::string(arg.substr(10));
+      setenv("RSTORE_EXPLORE", spec.c_str(), /*overwrite=*/1);
       setenv("RSTORE_RCHECK", "1", /*overwrite=*/1);
     } else {
       argv[out++] = argv[i];

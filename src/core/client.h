@@ -82,7 +82,7 @@ class IoFuture {
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
   // Blocks until every fragment of the IO completed; returns the first
   // error if any fragment failed.
-  Status Wait();
+  [[nodiscard]] Status Wait();
 
  private:
   friend class RStoreClient;
@@ -112,25 +112,27 @@ class MappedRegion {
   }
 
   // Synchronous byte-granular IO at any offset.
-  Status Read(uint64_t offset, std::span<std::byte> dst);
-  Status Write(uint64_t offset, std::span<const std::byte> src);
+  [[nodiscard]] Status Read(uint64_t offset, std::span<std::byte> dst);
+  [[nodiscard]] Status Write(uint64_t offset, std::span<const std::byte> src);
 
   // Overlapped IO: returns once the work is posted.
-  Result<IoFuture> ReadAsync(uint64_t offset, std::span<std::byte> dst);
-  Result<IoFuture> WriteAsync(uint64_t offset,
-                              std::span<const std::byte> src);
+  [[nodiscard]] Result<IoFuture> ReadAsync(uint64_t offset,
+                                         std::span<std::byte> dst);
+  [[nodiscard]] Result<IoFuture> WriteAsync(uint64_t offset,
+                                          std::span<const std::byte> src);
 
   // Vectored IO: every segment posted at once, one future for the lot —
   // the natural shape for scattered accesses (slot tables, per-worker
   // slices) where per-segment round trips would dominate.
-  Result<IoFuture> ReadV(std::span<const IoVec> segments);
-  Result<IoFuture> WriteV(std::span<const IoVec> segments);
+  [[nodiscard]] Result<IoFuture> ReadV(std::span<const IoVec> segments);
+  [[nodiscard]] Result<IoFuture> WriteV(std::span<const IoVec> segments);
 
   // Remote 8-byte atomics (offset must be 8-aligned). Return the value
   // observed at the memory server before the operation.
-  Result<uint64_t> FetchAdd(uint64_t offset, uint64_t delta);
-  Result<uint64_t> CompareSwap(uint64_t offset, uint64_t expected,
-                               uint64_t desired);
+  [[nodiscard]] Result<uint64_t> FetchAdd(uint64_t offset, uint64_t delta);
+  [[nodiscard]] Result<uint64_t> CompareSwap(uint64_t offset,
+                                             uint64_t expected,
+                                             uint64_t desired);
 
   // ---------------- client-side caching --------------------------------
   // Mode chosen at Rmap time (RmapOptions::cache_mode). kNone = every
@@ -167,7 +169,7 @@ struct PinnedBuffer {
 class RStoreClient {
  public:
   // Connects the control path to the master; blocks the calling thread.
-  static Result<std::unique_ptr<RStoreClient>> Connect(
+  [[nodiscard]] static Result<std::unique_ptr<RStoreClient>> Connect(
       verbs::Device& device, uint32_t master_node, ClientOptions options = {});
 
   ~RStoreClient();
@@ -179,41 +181,45 @@ class RStoreClient {
   // many distinct servers: writes fan out to all copies; reads hit the
   // primary, and the master promotes a live replica to primary at map
   // time when servers fail (see Rmap(fresh) for recovery).
-  Status Ralloc(const std::string& name, uint64_t size, uint32_t copies = 1);
+  [[nodiscard]] Status Ralloc(const std::string& name, uint64_t size,
+                              uint32_t copies = 1);
   // Cached after the first call; `fresh` forces a master round trip
   // (used to pick up healed/re-located regions).
-  Result<MappedRegion*> Rmap(const std::string& name,
-                             bool allow_degraded = false, bool fresh = false);
+  [[nodiscard]] Result<MappedRegion*> Rmap(const std::string& name,
+                                           bool allow_degraded = false,
+                                           bool fresh = false);
   // Full-option variant; chooses the mapping's cache mode. Remapping an
   // already-mapped region with a different mode applies the new mode and
   // drops any pages cached under the old one.
-  Result<MappedRegion*> Rmap(const std::string& name,
-                             const RmapOptions& options);
+  [[nodiscard]] Result<MappedRegion*> Rmap(const std::string& name,
+                                           const RmapOptions& options);
   // Grows an (unreplicated) region to `new_size` bytes in place; existing
   // data is untouched. The local mapping is refreshed on success; other
   // clients pick the growth up at their next fresh Rmap.
-  Status Rgrow(const std::string& name, uint64_t new_size);
+  [[nodiscard]] Status Rgrow(const std::string& name, uint64_t new_size);
   // Drops the local mapping (cache entry); remote region unaffected.
-  Status Runmap(const std::string& name);
+  [[nodiscard]] Status Runmap(const std::string& name);
   // Frees the region cluster-wide (and unmaps locally).
-  Status Rfree(const std::string& name);
-  Result<ClusterStat> Stat();
+  [[nodiscard]] Status Rfree(const std::string& name);
+  [[nodiscard]] Result<ClusterStat> Stat();
 
   // Pins an application buffer for one-sided IO. Registration is a
   // control-path operation: do it at setup, not per IO. Re-registering a
   // range that overlaps a previous registration evicts the old one (the
   // old buffer was necessarily freed; allocators reuse addresses).
-  Status RegisterBuffer(std::span<std::byte> buffer);
+  [[nodiscard]] Status RegisterBuffer(std::span<std::byte> buffer);
   // Unpins a buffer previously passed to RegisterBuffer (same start).
-  Status UnregisterBuffer(std::span<std::byte> buffer);
+  [[nodiscard]] Status UnregisterBuffer(std::span<std::byte> buffer);
   // Allocates and pins a buffer owned by the client.
-  Result<PinnedBuffer> AllocBuffer(size_t bytes);
+  [[nodiscard]] Result<PinnedBuffer> AllocBuffer(size_t bytes);
 
   // ---------------- synchronization ------------------------------------
   // Named monotonic counters hosted by the master.
-  Status NotifyInc(const std::string& channel, uint64_t delta = 1);
+  [[nodiscard]] Status NotifyInc(const std::string& channel,
+                                 uint64_t delta = 1);
   // Blocks until the channel value reaches `target`; returns the value.
-  Result<uint64_t> WaitNotify(const std::string& channel, uint64_t target);
+  [[nodiscard]] Result<uint64_t> WaitNotify(const std::string& channel,
+                                            uint64_t target);
 
   // ---------------- statistics ----------------------------------------
   [[nodiscard]] uint64_t bytes_read() const noexcept { return bytes_read_; }

@@ -1,0 +1,152 @@
+#include "explore/explorer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "check/check.h"
+#include "sim/simulation.h"
+
+namespace rstore::explore {
+
+void RunContext::Attach(sim::Simulation& sim) const {
+  if (policy != nullptr) sim.AttachPolicy(policy);
+  if (checker != nullptr) sim.AttachChecker(checker);
+}
+
+std::string Explorer::SignatureOf(const check::Violation& v) {
+  std::string s(check::ToString(v.type));
+  s += "@node";
+  s += std::to_string(v.target_node);
+  s += ':';
+  s += v.region_name.empty() ? "-" : v.region_name;
+  s += ":[";
+  s += std::to_string(v.region_lo);
+  s += ',';
+  s += std::to_string(v.region_hi);
+  s += "):a=n";
+  s += std::to_string(v.a.node);
+  s += '/';
+  s += check::ToString(v.a.kind);
+  s += ":b=n";
+  s += std::to_string(v.b.node);
+  s += '/';
+  s += check::ToString(v.b.kind);
+  return s;
+}
+
+namespace {
+
+RunOutcome RunWith(const Workload& workload, SchedulePolicy& policy,
+                   uint64_t run_index) {
+  check::Checker checker;
+  RunOutcome out;
+  RunContext ctx;
+  ctx.policy = &policy;
+  ctx.checker = &checker;
+  ctx.out_final_vtime = &out.final_vtime;
+  ctx.out_events = &out.events;
+  workload(ctx);
+  out.run_index = run_index;
+  out.seed = policy.seed();
+  out.choices = policy.choices();
+  out.divergences = policy.divergences();
+  out.violation_count = checker.violation_count();
+  out.violation_sigs.reserve(out.violation_count);
+  for (const check::Violation& v : checker.violations()) {
+    out.violation_sigs.push_back(Explorer::SignatureOf(v));
+  }
+  if (out.violation_count > 0) {
+    std::ostringstream text;
+    checker.PrintReports(text);
+    out.report_text = text.str();
+    std::ostringstream json;
+    checker.DumpJson(json);
+    out.report_json = json.str();
+  }
+  out.trace = policy.Trace();
+  return out;
+}
+
+}  // namespace
+
+ExploreReport Explorer::Explore(const Workload& workload) const {
+  ExploreSpec spec;
+  spec.policy = opts_.policy;
+  spec.seed = opts_.seed;
+  spec.runs = opts_.runs;
+  spec.pct_depth = opts_.pct_depth;
+  spec.max_delay_ns = opts_.max_delay_ns;
+
+  ExploreReport report;
+  for (uint32_t i = 0; i < opts_.runs; ++i) {
+    auto policy = spec.Instantiate(i);
+    if (policy == nullptr) break;  // unknown policy name
+    RunOutcome outcome = RunWith(workload, *policy, i);
+    ++report.runs_executed;
+    report.total_choices += outcome.choices;
+    if (outcome.violation_count == 0) continue;
+    report.violation_found = true;
+    report.violating = std::move(outcome);
+    if (opts_.minimize) {
+      report.minimized =
+          Minimize(workload, report.violating.trace,
+                   report.violating.violation_sigs, opts_.minimize_budget,
+                   &report.minimize_replays);
+    } else {
+      report.minimized = report.violating.trace;
+    }
+    break;
+  }
+  return report;
+}
+
+RunOutcome Explorer::Replay(const Workload& workload,
+                            const DecisionTrace& trace) {
+  ReplayPolicy policy(trace);
+  RunOutcome out = RunWith(workload, policy, 0);
+  // Keep the replayed trace self-describing for saved minimized files.
+  out.trace.workload = trace.workload;
+  return out;
+}
+
+DecisionTrace Explorer::Minimize(const Workload& workload,
+                                 const DecisionTrace& trace,
+                                 const std::vector<std::string>& target_sigs,
+                                 uint64_t budget, uint64_t* replays_used) {
+  uint64_t used = 0;
+  if (replays_used != nullptr) *replays_used = 0;
+  if (target_sigs.empty()) return trace;  // nothing to reproduce
+
+  const auto reproduces = [&](const DecisionTrace& candidate) {
+    ++used;
+    const RunOutcome outcome = Replay(workload, candidate);
+    return std::all_of(
+        target_sigs.begin(), target_sigs.end(), [&](const std::string& sig) {
+          return std::find(outcome.violation_sigs.begin(),
+                           outcome.violation_sigs.end(),
+                           sig) != outcome.violation_sigs.end();
+        });
+  };
+
+  DecisionTrace best = trace;
+  bool improved = true;
+  while (improved && used < budget) {
+    improved = false;
+    for (size_t i = 0; i < best.entries.size() && used < budget;) {
+      DecisionTrace candidate = best;
+      candidate.entries.erase(candidate.entries.begin() +
+                              static_cast<ptrdiff_t>(i));
+      if (reproduces(candidate)) {
+        best = std::move(candidate);
+        improved = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (replays_used != nullptr) *replays_used = used;
+  return best;
+}
+
+}  // namespace rstore::explore

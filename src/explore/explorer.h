@@ -1,0 +1,107 @@
+// The search driver: runs a workload repeatedly under different schedule
+// policies with rcheck attached as the oracle, records each schedule as a
+// replayable DecisionTrace, and greedily minimizes the first violating
+// trace to the smallest schedule that still reproduces the violation.
+//
+// A Workload is any callable that builds a sim::Simulation, calls
+// RunContext::Attach on it *before* spawning work, and runs to completion.
+// The same callable is invoked once per explored schedule, so it must be
+// re-entrant in the ordinary sense (fresh simulation per call).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "explore/policy.h"
+
+namespace rstore::check {
+class Checker;
+struct Violation;
+}  // namespace rstore::check
+namespace rstore::sim {
+class Simulation;
+}
+
+namespace rstore::explore {
+
+// What the driver injects into one workload run. Workloads should also fill
+// the out_* fields (when non-null) right after sim.Run() returns, so
+// determinism tests can compare final virtual times across schedules.
+struct RunContext {
+  SchedulePolicy* policy = nullptr;
+  check::Checker* checker = nullptr;
+  uint64_t* out_final_vtime = nullptr;
+  uint64_t* out_events = nullptr;
+
+  // Attaches policy and checker (those that are non-null) to `sim`.
+  void Attach(sim::Simulation& sim) const;
+};
+
+using Workload = std::function<void(const RunContext&)>;
+
+// Everything observed in one run of one schedule.
+struct RunOutcome {
+  uint64_t run_index = 0;
+  uint64_t seed = 0;
+  uint64_t choices = 0;
+  uint64_t divergences = 0;
+  uint64_t final_vtime = 0;
+  uint64_t events = 0;
+  size_t violation_count = 0;
+  std::vector<std::string> violation_sigs;  // stable ids, see SignatureOf
+  std::string report_text;                  // Checker::PrintReports output
+  std::string report_json;                  // Checker::DumpJson output
+  DecisionTrace trace;
+};
+
+struct ExploreOptions {
+  std::string policy = "random";
+  uint64_t seed = 1;
+  uint32_t runs = 16;
+  uint32_t pct_depth = 3;
+  uint64_t max_delay_ns = 2000;
+  bool minimize = true;
+  uint64_t minimize_budget = 256;  // max replays spent minimizing
+};
+
+struct ExploreReport {
+  uint32_t runs_executed = 0;
+  uint64_t total_choices = 0;
+  bool violation_found = false;
+  RunOutcome violating;     // meaningful only when violation_found
+  DecisionTrace minimized;  // == violating.trace when minimization is off
+  uint64_t minimize_replays = 0;
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreOptions opts) : opts_(std::move(opts)) {}
+
+  // Runs up to opts.runs schedules (derived seeds seed, seed+1, ...),
+  // stopping at the first rcheck violation, which is then minimized.
+  [[nodiscard]] ExploreReport Explore(const Workload& workload) const;
+
+  // Replays one recorded schedule under a fresh checker.
+  [[nodiscard]] static RunOutcome Replay(const Workload& workload,
+                                         const DecisionTrace& trace);
+
+  // Greedy delta-debugging over trace entries: repeatedly drop entries whose
+  // removal still reproduces every signature in `target_sigs`, to a fixed
+  // point or until `budget` replays are spent. Returns the reduced trace.
+  [[nodiscard]] static DecisionTrace Minimize(
+      const Workload& workload, const DecisionTrace& trace,
+      const std::vector<std::string>& target_sigs, uint64_t budget,
+      uint64_t* replays_used);
+
+  // Schedule-independent identity of a violation: type, nodes, region and
+  // endpoint kinds — deliberately not virtual times, which legitimately
+  // shift as the trace shrinks.
+  [[nodiscard]] static std::string SignatureOf(const check::Violation& v);
+
+ private:
+  ExploreOptions opts_;
+};
+
+}  // namespace rstore::explore

@@ -1,0 +1,436 @@
+// Schedule-exploration policies for the deterministic simulator.
+//
+// The discrete-event scheduler in src/sim is deterministic: every run of a
+// workload produces the same interleaving, so rcheck (src/check) only ever
+// observes one schedule. A SchedulePolicy turns each point where the
+// scheduler makes an arbitrary-but-fixed choice into a pluggable decision:
+//
+//   kEventTieBreak      which of several events at the same virtual instant
+//                       dispatches next (baseline: FIFO by scheduling seq)
+//   kWaiterWake         which blocked CondVar waiter a NotifyOne wakes
+//                       (baseline: longest-waiting, deque front)
+//   kEgressArbitration  which destination queue a NIC egress port serves
+//                       next (baseline: round-robin scan order)
+//   kCompletionSlot     where a new completion lands relative to held
+//                       entries of *other* QPs in a completion queue
+//                       (baseline: append; per-QP CQE order is never broken)
+//   kFabricDelay        bounded extra wire latency for one message, in ns
+//                       (baseline: 0; per-(src,dst) FIFO is preserved)
+//   kCompletionDelay    bounded hold-back before a CQ hands entries to
+//                       pollers, in ns (baseline: 0)
+//
+// Every decision is assigned a global ordinal and (when it deviates from the
+// baseline pick of 0) recorded into a DecisionTrace, which is enough to
+// replay the exact schedule later: ReplayPolicy answers recorded ordinals
+// with the recorded pick and everything else with the baseline choice. A
+// trace is therefore also the unit of minimization — dropping an entry
+// yields a strictly-more-baseline schedule that either still reproduces the
+// violation or is discarded.
+//
+// Policies must be deterministic functions of (seed, decision stream): the
+// simulator consults them on a single scheduler thread, in a fixed order, so
+// same seed => same schedule, which is what makes traces replayable.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rstore::explore {
+
+enum class DecisionKind : uint8_t {
+  kEventTieBreak = 0,
+  kWaiterWake = 1,
+  kEgressArbitration = 2,
+  kCompletionSlot = 3,
+  kFabricDelay = 4,
+  kCompletionDelay = 5,
+};
+
+[[nodiscard]] constexpr std::string_view ToString(DecisionKind kind) noexcept {
+  switch (kind) {
+    case DecisionKind::kEventTieBreak:
+      return "event_tie_break";
+    case DecisionKind::kWaiterWake:
+      return "waiter_wake";
+    case DecisionKind::kEgressArbitration:
+      return "egress_arbitration";
+    case DecisionKind::kCompletionSlot:
+      return "completion_slot";
+    case DecisionKind::kFabricDelay:
+      return "fabric_delay";
+    case DecisionKind::kCompletionDelay:
+      return "completion_delay";
+  }
+  return "unknown";
+}
+
+// Lane id passed for candidates that have no owning node (plain callbacks in
+// the event tie-break, for example). PCT treats each lane as a schedulable
+// entity with its own priority.
+inline constexpr uint32_t kNoLane = ~0u;
+
+// One non-baseline decision. Decisions that picked the baseline alternative
+// (0) are not recorded; replay reconstructs them implicitly.
+struct TraceEntry {
+  uint64_t ordinal = 0;  // global decision index within the run
+  DecisionKind kind = DecisionKind::kEventTieBreak;
+  uint64_t n = 0;     // number of alternatives (0 for delay decisions)
+  uint64_t pick = 0;  // chosen alternative, or delay in ns
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+// A replayable schedule: the policy identity plus every decision that
+// deviated from baseline. Serialized to JSON by explore/trace_json.h.
+struct DecisionTrace {
+  std::string policy;
+  uint64_t seed = 0;
+  uint32_t pct_depth = 0;
+  std::string workload;  // optional: CLI workload name for self-describing files
+  uint64_t total_choices = 0;
+  std::vector<TraceEntry> entries;
+};
+
+// Fault-injection bounds. A policy that perturbs draws a Bernoulli trial per
+// delay decision (delay_permille / 1000) and, on success, a uniform delay in
+// [1, max_*_ns]. Zero bounds disable the corresponding injection.
+struct PerturbConfig {
+  uint64_t max_fabric_delay_ns = 0;
+  uint64_t max_completion_delay_ns = 0;
+  uint32_t delay_permille = 250;
+};
+
+// Base class: owns the ordinal counter and the trace recording; concrete
+// policies only implement Choose(). Pick 0 is always the baseline choice.
+class SchedulePolicy {
+ public:
+  SchedulePolicy() = default;
+  virtual ~SchedulePolicy() = default;
+  SchedulePolicy(const SchedulePolicy&) = delete;
+  SchedulePolicy& operator=(const SchedulePolicy&) = delete;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual uint64_t seed() const noexcept { return 0; }
+  [[nodiscard]] virtual uint32_t pct_depth() const noexcept { return 0; }
+
+  // Scheduler-facing entry points. `lanes[i]` names the node that owns
+  // alternative i (kNoLane if none); the return value indexes alternatives.
+  [[nodiscard]] uint32_t PickEvent(const uint32_t* lanes, uint32_t n) {
+    return PickAmong(DecisionKind::kEventTieBreak, lanes, n);
+  }
+  [[nodiscard]] uint32_t PickWaiter(const uint32_t* lanes, uint32_t n) {
+    return PickAmong(DecisionKind::kWaiterWake, lanes, n);
+  }
+  [[nodiscard]] uint32_t PickEgressDst(const uint32_t* lanes, uint32_t n) {
+    return PickAmong(DecisionKind::kEgressArbitration, lanes, n);
+  }
+  // n alternatives: slot 0 appends (baseline), slot k>0 inserts the new
+  // completion k places before the queue tail.
+  [[nodiscard]] uint32_t PickCompletionSlot(uint32_t n) {
+    return PickAmong(DecisionKind::kCompletionSlot, nullptr, n);
+  }
+  // Extra nanoseconds to add; 0 means no perturbation.
+  [[nodiscard]] uint64_t FabricDelayNs() {
+    return Decide(DecisionKind::kFabricDelay, nullptr, 0);
+  }
+  [[nodiscard]] uint64_t CompletionDelayNs() {
+    return Decide(DecisionKind::kCompletionDelay, nullptr, 0);
+  }
+
+  [[nodiscard]] uint64_t choices() const noexcept { return choices_; }
+  [[nodiscard]] uint64_t divergences() const noexcept { return divergences_; }
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] DecisionTrace Trace() const {
+    DecisionTrace t;
+    t.policy = std::string(name());
+    t.seed = seed();
+    t.pct_depth = pct_depth();
+    t.total_choices = choices_;
+    t.entries = entries_;
+    return t;
+  }
+
+ protected:
+  // Return the chosen alternative for this decision. `lanes` is null for
+  // slot/delay decisions. Out-of-range picks are clamped to baseline (0).
+  virtual uint64_t Choose(uint64_t ordinal, DecisionKind kind,
+                          const uint32_t* lanes, uint64_t n) = 0;
+  void CountDivergence() noexcept { ++divergences_; }
+
+ private:
+  [[nodiscard]] uint32_t PickAmong(DecisionKind kind, const uint32_t* lanes,
+                                   uint32_t n) {
+    if (n < 2) return 0;  // nothing to decide; no ordinal consumed
+    const uint64_t pick = Decide(kind, lanes, n);
+    return pick < n ? static_cast<uint32_t>(pick) : 0;
+  }
+  uint64_t Decide(DecisionKind kind, const uint32_t* lanes, uint64_t n) {
+    const uint64_t ordinal = choices_++;
+    const uint64_t pick = Choose(ordinal, kind, lanes, n);
+    if (pick != 0) entries_.push_back(TraceEntry{ordinal, kind, n, pick});
+    return pick;
+  }
+
+  uint64_t choices_ = 0;
+  uint64_t divergences_ = 0;
+  std::vector<TraceEntry> entries_;
+};
+
+// Always picks the baseline alternative — bit-identical to running with no
+// policy attached (the scheduler's fast paths and this policy agree on every
+// decision by construction; explore_test pins that).
+class BaselinePolicy final : public SchedulePolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "baseline";
+  }
+
+ protected:
+  uint64_t Choose(uint64_t /*ordinal*/, DecisionKind /*kind*/,
+                  const uint32_t* /*lanes*/, uint64_t /*n*/) override {
+    return 0;
+  }
+};
+
+// Uniform random walk over the schedule space, plus Bernoulli fault
+// injection. Cheap, surprisingly effective for shallow bugs.
+class RandomWalkPolicy final : public SchedulePolicy {
+ public:
+  explicit RandomWalkPolicy(uint64_t seed, PerturbConfig perturb = {})
+      : rng_(seed), seed_(seed), perturb_(perturb) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "random";
+  }
+  [[nodiscard]] uint64_t seed() const noexcept override { return seed_; }
+
+ protected:
+  uint64_t Choose(uint64_t /*ordinal*/, DecisionKind kind,
+                  const uint32_t* /*lanes*/, uint64_t n) override {
+    switch (kind) {
+      case DecisionKind::kFabricDelay:
+        return DrawDelay(perturb_.max_fabric_delay_ns);
+      case DecisionKind::kCompletionDelay:
+        return DrawDelay(perturb_.max_completion_delay_ns);
+      default:
+        return n > 1 ? rng_.NextBelow(n) : 0;
+    }
+  }
+
+ private:
+  uint64_t DrawDelay(uint64_t max_ns) {
+    if (max_ns == 0) return 0;
+    if (rng_.NextBelow(1000) >= perturb_.delay_permille) return 0;
+    return 1 + rng_.NextBelow(max_ns);
+  }
+
+  Rng rng_;
+  uint64_t seed_;
+  PerturbConfig perturb_;
+};
+
+// PCT-style priority scheduling (Burckhardt et al., "A Randomized Scheduler
+// with Probabilistic Guarantees of Finding Bugs"). Each lane gets a random
+// high priority on first sight; every pick takes the highest-priority
+// candidate lane; at d-1 pre-sampled decision ordinals the winning lane is
+// demoted below every other priority ever issued. For a bug of depth d this
+// finds it with probability >= 1/(n * k^(d-1)) per run.
+class PctPolicy final : public SchedulePolicy {
+ public:
+  PctPolicy(uint64_t seed, uint32_t depth, PerturbConfig perturb = {},
+            uint64_t horizon = 16384)
+      : rng_(seed), seed_(seed), depth_(depth), perturb_(perturb) {
+    const uint32_t change_points = depth > 0 ? depth - 1 : 0;
+    for (uint32_t i = 0; i < change_points; ++i) {
+      change_points_.insert(rng_.NextBelow(horizon));
+    }
+  }
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "pct";
+  }
+  [[nodiscard]] uint64_t seed() const noexcept override { return seed_; }
+  [[nodiscard]] uint32_t pct_depth() const noexcept override { return depth_; }
+
+ protected:
+  uint64_t Choose(uint64_t ordinal, DecisionKind kind, const uint32_t* lanes,
+                  uint64_t n) override {
+    switch (kind) {
+      case DecisionKind::kFabricDelay:
+        return DrawDelay(perturb_.max_fabric_delay_ns);
+      case DecisionKind::kCompletionDelay:
+        return DrawDelay(perturb_.max_completion_delay_ns);
+      case DecisionKind::kCompletionSlot:
+        return 0;  // slot choice has no lane; leave CQ order to delays
+      default:
+        break;
+    }
+    if (lanes == nullptr || n == 0) return 0;
+    uint64_t best = 0;
+    for (uint64_t i = 1; i < n; ++i) {
+      if (PriorityOf(lanes[i]) > PriorityOf(lanes[best])) best = i;
+    }
+    if (change_points_.find(ordinal) != change_points_.end()) {
+      // Demotions hand out strictly decreasing values below every initial
+      // priority, so a demoted lane stays demoted until re-demoted lanes
+      // accumulate beneath it.
+      priority_[lanes[best]] = low_water_--;
+    }
+    return best;
+  }
+
+ private:
+  uint64_t PriorityOf(uint32_t lane) {
+    auto [it, inserted] = priority_.try_emplace(lane, 0);
+    if (inserted) {
+      // Initial priorities live in [2^62, 2^63); demotions count down from
+      // 2^62 - 1, so they sort below every initial priority.
+      it->second = (rng_.Next() >> 2) + (uint64_t{1} << 62);
+    }
+    return it->second;
+  }
+  uint64_t DrawDelay(uint64_t max_ns) {
+    if (max_ns == 0) return 0;
+    if (rng_.NextBelow(1000) >= perturb_.delay_permille) return 0;
+    return 1 + rng_.NextBelow(max_ns);
+  }
+
+  Rng rng_;
+  uint64_t seed_;
+  uint32_t depth_;
+  PerturbConfig perturb_;
+  std::unordered_map<uint32_t, uint64_t> priority_;
+  std::unordered_set<uint64_t> change_points_;
+  uint64_t low_water_ = (uint64_t{1} << 62) - 1;
+};
+
+// Replays a recorded DecisionTrace: recorded ordinals answer with the
+// recorded pick, everything else with baseline 0. A kind/n mismatch at a
+// recorded ordinal means the schedule diverged (the workload changed, or the
+// trace came from a different binary); the divergence is counted and the
+// baseline pick used, so replay degrades gracefully instead of wedging.
+class ReplayPolicy final : public SchedulePolicy {
+ public:
+  explicit ReplayPolicy(DecisionTrace trace) : trace_(std::move(trace)) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "replay";
+  }
+  [[nodiscard]] uint64_t seed() const noexcept override { return trace_.seed; }
+  [[nodiscard]] uint32_t pct_depth() const noexcept override {
+    return trace_.pct_depth;
+  }
+
+ protected:
+  uint64_t Choose(uint64_t ordinal, DecisionKind kind,
+                  const uint32_t* /*lanes*/, uint64_t n) override {
+    // Ordinals are consumed in increasing order; skip (and count) any
+    // recorded decisions whose ordinal was never reached as recorded.
+    while (next_ < trace_.entries.size() &&
+           trace_.entries[next_].ordinal < ordinal) {
+      ++next_;
+      CountDivergence();
+    }
+    if (next_ >= trace_.entries.size() ||
+        trace_.entries[next_].ordinal != ordinal) {
+      return 0;
+    }
+    const TraceEntry& e = trace_.entries[next_++];
+    if (e.kind != kind || e.n != n) {
+      CountDivergence();
+      return 0;
+    }
+    return e.pick;
+  }
+
+ private:
+  DecisionTrace trace_;
+  size_t next_ = 0;
+};
+
+// Parsed form of the user-facing exploration spec, shared by the
+// RSTORE_EXPLORE env variable, the bench --explore flag, and the rexplore
+// CLI:  <policy>[:<seed>[:<runs>[:<max_delay_ns>]]]  where <policy> is
+// baseline | random | pct | pct<d>. Successive simulator instances cycle
+// through `runs` derived seeds (seed, seed+1, ...), so one bench invocation
+// explores `runs` distinct schedules.
+struct ExploreSpec {
+  std::string policy = "baseline";
+  uint64_t seed = 1;
+  uint32_t runs = 1;
+  uint32_t pct_depth = 3;
+  uint64_t max_delay_ns = 2000;
+
+  [[nodiscard]] uint64_t SeedFor(uint64_t run_index) const noexcept {
+    return seed + (runs > 1 ? run_index % runs : 0);
+  }
+
+  [[nodiscard]] static bool Parse(std::string_view text, ExploreSpec* out) {
+    ExploreSpec spec;
+    std::vector<std::string_view> parts;
+    while (!text.empty()) {
+      const size_t colon = text.find(':');
+      parts.push_back(text.substr(0, colon));
+      if (colon == std::string_view::npos) break;
+      text.remove_prefix(colon + 1);
+    }
+    if (parts.empty() || parts[0].empty()) return false;
+    std::string_view pol = parts[0];
+    if (pol == "baseline" || pol == "random" || pol == "pct") {
+      spec.policy = std::string(pol);
+    } else if (pol.substr(0, 3) == "pct") {
+      uint32_t depth = 0;
+      if (!ParseInt(pol.substr(3), &depth) || depth == 0) return false;
+      spec.policy = "pct";
+      spec.pct_depth = depth;
+    } else {
+      return false;
+    }
+    if (parts.size() > 1 && !ParseInt(parts[1], &spec.seed)) return false;
+    if (parts.size() > 2 && !ParseInt(parts[2], &spec.runs)) return false;
+    if (parts.size() > 3 && !ParseInt(parts[3], &spec.max_delay_ns)) {
+      return false;
+    }
+    if (parts.size() > 4 || spec.runs == 0) return false;
+    *out = spec;
+    return true;
+  }
+
+  [[nodiscard]] std::unique_ptr<SchedulePolicy> Instantiate(
+      uint64_t run_index) const {
+    const uint64_t s = SeedFor(run_index);
+    const PerturbConfig perturb{max_delay_ns, max_delay_ns, 250};
+    if (policy == "baseline") return std::make_unique<BaselinePolicy>();
+    if (policy == "random") {
+      return std::make_unique<RandomWalkPolicy>(s, perturb);
+    }
+    if (policy == "pct") {
+      return std::make_unique<PctPolicy>(s, pct_depth, perturb);
+    }
+    return nullptr;
+  }
+
+ private:
+  template <typename T>
+  [[nodiscard]] static bool ParseInt(std::string_view s, T* out) {
+    if (s.empty()) return false;
+    T value{};
+    const auto [ptr, ec] =
+        std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+    *out = value;
+    return true;
+  }
+};
+
+}  // namespace rstore::explore

@@ -1,0 +1,149 @@
+// JSON serialization for DecisionTrace, the replayable schedule format
+// written next to rcheck reports and consumed by tools/rexplore.
+//
+// The format is a single object:
+//   {"policy":"pct","seed":"7","pct_depth":3,"workload":"race-unfenced",
+//    "total_choices":412,
+//    "entries":[{"ordinal":18,"kind":4,"n":0,"pick":61772}, ...]}
+//
+// `seed` is serialized as a decimal *string*: the dependency-free reader in
+// obs/trace_check.h parses numbers as doubles, which silently round above
+// 2^53, and seeds use all 64 bits. Everything else fits comfortably.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "explore/policy.h"
+#include "obs/metrics.h"      // AppendJsonString
+#include "obs/trace_check.h"  // dependency-free ParseJson
+
+namespace rstore::explore {
+
+[[nodiscard]] inline std::string ToJson(const DecisionTrace& trace) {
+  std::string out;
+  out.reserve(128 + trace.entries.size() * 48);
+  out += "{\"policy\":";
+  obs::AppendJsonString(out, trace.policy);
+  out += ",\"seed\":\"";
+  out += std::to_string(trace.seed);
+  out += "\",\"pct_depth\":";
+  out += std::to_string(trace.pct_depth);
+  if (!trace.workload.empty()) {
+    out += ",\"workload\":";
+    obs::AppendJsonString(out, trace.workload);
+  }
+  out += ",\"total_choices\":";
+  out += std::to_string(trace.total_choices);
+  out += ",\"entries\":[";
+  bool first = true;
+  for (const TraceEntry& e : trace.entries) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ordinal\":";
+    out += std::to_string(e.ordinal);
+    out += ",\"kind\":";
+    out += std::to_string(static_cast<unsigned>(e.kind));
+    out += ",\"n\":";
+    out += std::to_string(e.n);
+    out += ",\"pick\":";
+    out += std::to_string(e.pick);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+namespace trace_json_detail {
+
+[[nodiscard]] inline bool ReadU64(const obs::JsonValue* v, uint64_t* out) {
+  if (v == nullptr) return false;
+  if (v->Is(obs::JsonValue::Type::kNumber)) {
+    if (v->number < 0) return false;
+    *out = static_cast<uint64_t>(v->number);
+    return true;
+  }
+  if (v->Is(obs::JsonValue::Type::kString)) {
+    uint64_t value = 0;
+    const std::string& s = v->str;
+    if (s.empty()) return false;
+    for (const char c : s) {
+      if (c < '0' || c > '9') return false;
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = value;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace trace_json_detail
+
+[[nodiscard]] inline Result<DecisionTrace> TraceFromJson(
+    std::string_view text) {
+  auto parsed = obs::ParseJson(text);
+  if (!parsed.ok()) return parsed.status();
+  const obs::JsonValue& root = *parsed;
+  if (!root.Is(obs::JsonValue::Type::kObject)) {
+    return Result<DecisionTrace>(ErrorCode::kInvalidArgument,
+                                 "trace root is not an object");
+  }
+  DecisionTrace trace;
+  const obs::JsonValue* policy = root.Find("policy");
+  if (policy == nullptr || !policy->Is(obs::JsonValue::Type::kString)) {
+    return Result<DecisionTrace>(ErrorCode::kInvalidArgument,
+                                 "trace missing string field 'policy'");
+  }
+  trace.policy = policy->str;
+  if (!trace_json_detail::ReadU64(root.Find("seed"), &trace.seed)) {
+    return Result<DecisionTrace>(ErrorCode::kInvalidArgument,
+                                 "trace missing field 'seed'");
+  }
+  uint64_t depth = 0;
+  if (trace_json_detail::ReadU64(root.Find("pct_depth"), &depth)) {
+    trace.pct_depth = static_cast<uint32_t>(depth);
+  }
+  if (const obs::JsonValue* w = root.Find("workload");
+      w != nullptr && w->Is(obs::JsonValue::Type::kString)) {
+    trace.workload = w->str;
+  }
+  (void)trace_json_detail::ReadU64(root.Find("total_choices"),
+                                   &trace.total_choices);
+  const obs::JsonValue* entries = root.Find("entries");
+  if (entries == nullptr || !entries->Is(obs::JsonValue::Type::kArray)) {
+    return Result<DecisionTrace>(ErrorCode::kInvalidArgument,
+                                 "trace missing array field 'entries'");
+  }
+  trace.entries.reserve(entries->array.size());
+  for (const obs::JsonValue& item : entries->array) {
+    if (!item.Is(obs::JsonValue::Type::kObject)) {
+      return Result<DecisionTrace>(ErrorCode::kInvalidArgument,
+                                   "trace entry is not an object");
+    }
+    TraceEntry e;
+    uint64_t kind = 0;
+    if (!trace_json_detail::ReadU64(item.Find("ordinal"), &e.ordinal) ||
+        !trace_json_detail::ReadU64(item.Find("kind"), &kind) ||
+        !trace_json_detail::ReadU64(item.Find("n"), &e.n) ||
+        !trace_json_detail::ReadU64(item.Find("pick"), &e.pick)) {
+      return Result<DecisionTrace>(ErrorCode::kInvalidArgument,
+                                   "trace entry missing ordinal/kind/n/pick");
+    }
+    if (kind > static_cast<uint64_t>(DecisionKind::kCompletionDelay)) {
+      return Result<DecisionTrace>(ErrorCode::kInvalidArgument,
+                                   "trace entry has unknown decision kind");
+    }
+    e.kind = static_cast<DecisionKind>(kind);
+    trace.entries.push_back(e);
+  }
+  // ReplayPolicy consumes entries in ordinal order; tolerate shuffled files.
+  std::sort(trace.entries.begin(), trace.entries.end(),
+            [](const TraceEntry& a, const TraceEntry& b) {
+              return a.ordinal < b.ordinal;
+            });
+  return trace;
+}
+
+}  // namespace rstore::explore

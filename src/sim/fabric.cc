@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "explore/policy.h"
 #include "obs/trace.h"
 
 namespace rstore::sim {
@@ -158,14 +159,32 @@ void Fabric::PumpEgress(uint32_t node) {
   // cost.
   const auto n = static_cast<uint32_t>(p.egress_by_dst.size());
   uint32_t dst = n;  // invalid
-  for (uint32_t step = 1; step <= n; ++step) {
-    const uint32_t cand = (p.rr_cursor + step) % n;
-    if (!p.egress_by_dst[cand].empty()) {
-      dst = cand;
-      break;
+  if (explore::SchedulePolicy* pol = sim_.policy(); pol != nullptr) {
+    // Explorable arbitration (kEgressArbitration): collect every
+    // destination with queued traffic in baseline scan order; pick 0 is
+    // the baseline round-robin winner, so the baseline policy reproduces
+    // the un-explored arbitration exactly.
+    auto& cands = egress_cand_scratch_;
+    cands.clear();
+    for (uint32_t step = 1; step <= n; ++step) {
+      const uint32_t cand = (p.rr_cursor + step) % n;
+      if (!p.egress_by_dst[cand].empty()) cands.push_back(cand);
     }
+    if (cands.empty()) return;
+    dst = cands.size() > 1
+              ? cands[pol->PickEgressDst(
+                    cands.data(), static_cast<uint32_t>(cands.size()))]
+              : cands[0];
+  } else {
+    for (uint32_t step = 1; step <= n; ++step) {
+      const uint32_t cand = (p.rr_cursor + step) % n;
+      if (!p.egress_by_dst[cand].empty()) {
+        dst = cand;
+        break;
+      }
+    }
+    if (dst == n) return;  // nothing queued (backlog said otherwise; safety)
   }
-  if (dst == n) return;  // nothing queued (backlog said otherwise; safety)
 
   Message* msg = p.egress_by_dst[dst].front();
   p.egress_by_dst[dst].pop_front();
@@ -184,8 +203,19 @@ void Fabric::PumpEgress(uint32_t node) {
   // starts (cut-through: ingress service overlaps egress transmission);
   // the ingress port then serves messages back to back in first-bit
   // order, which the reservation timestamp reproduces directly.
+  //
+  // Fault injection (kFabricDelay): an exploration policy may add bounded
+  // extra propagation latency per message. Because the destination's
+  // ingress reservation (`ingress_free_at`) is monotone and reservations
+  // happen in pump order, a delayed message can push *later* arrivals at
+  // that port back but never overtake an earlier reservation — so RC-QP
+  // same-path FIFO delivery is preserved under any injected delay.
+  Nanos extra = 0;
+  if (explore::SchedulePolicy* pol = sim_.policy(); pol != nullptr) {
+    extra = pol->FabricDelayNs();
+  }
   PortState& q = port(msg->dst);
-  const Nanos first_bit = now + config_.base_latency;
+  const Nanos first_bit = now + config_.base_latency + extra;
   const Nanos service_start = std::max(first_bit, q.ingress_free_at);
   q.ingress_free_at = service_start + msg->wire_time;
   sim_.At(q.ingress_free_at, [this, msg] { Deliver(msg); });

@@ -173,6 +173,9 @@ class Fabric {
   // Message pool (stable storage + freelist).
   std::deque<Message> message_arena_;
   std::vector<Message*> free_messages_;
+
+  // Pooled scratch for the explorable egress arbitration in PumpEgress.
+  std::vector<uint32_t> egress_cand_scratch_;
 };
 
 }  // namespace rstore::sim

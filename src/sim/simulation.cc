@@ -13,6 +13,9 @@
 
 #include "check/check.h"
 #include "common/log.h"
+#include "explore/policy.h"
+#include "explore/trace_json.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace rstore::sim {
@@ -243,20 +246,40 @@ bool CondVar::WaitFor(Nanos timeout) {
 }
 
 void CondVar::NotifyOne() {
-  while (!waiters_.empty()) {
-    SimThread* t = waiters_.front();
+  // Drop entries whose thread exited (killed while waiting) from the
+  // front; deeper stale entries are inert and get skipped when reached.
+  while (!waiters_.empty() && waiters_.front()->exited()) {
     waiters_.pop_front();
-    if (t->exited()) continue;  // killed while waiting; entry went stale
-    // CondVar edges are intra-node under per-node clocks (the hand-off is
-    // subsumed by the notifier's node clock); ticking keeps stamps taken
-    // around the notify distinct. Scheduler-context notifies (fabric
-    // delivery) have no owning node and are ordered by the event loop.
-    if (sim_.checker_ != nullptr && g_current_thread != nullptr) {
-      sim_.checker_->OnCondNotify(g_current_thread->node().id());
-    }
-    sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kNotify);
-    return;
   }
+  if (waiters_.empty()) return;
+  // Baseline wakes the longest waiter (deque front). An attached
+  // exploration policy may wake any live waiter instead — this is the
+  // kWaiterWake decision point, and pick 0 is the baseline front.
+  size_t pick = 0;
+  if (explore::SchedulePolicy* pol = sim_.policy_;
+      pol != nullptr && waiters_.size() > 1) {
+    auto& live = sim_.waiter_pick_scratch_;
+    auto& lanes = sim_.waiter_lane_scratch_;
+    live.clear();
+    lanes.clear();
+    for (size_t i = 0; i < waiters_.size(); ++i) {
+      if (waiters_[i]->exited()) continue;
+      live.push_back(i);
+      lanes.push_back(waiters_[i]->node().id());
+    }
+    pick = live[pol->PickWaiter(lanes.data(),
+                                static_cast<uint32_t>(lanes.size()))];
+  }
+  SimThread* t = waiters_[pick];
+  waiters_.erase(waiters_.begin() + static_cast<ptrdiff_t>(pick));
+  // CondVar edges are intra-node under per-node clocks (the hand-off is
+  // subsumed by the notifier's node clock); ticking keeps stamps taken
+  // around the notify distinct. Scheduler-context notifies (fabric
+  // delivery) have no owning node and are ordered by the event loop.
+  if (sim_.checker_ != nullptr && g_current_thread != nullptr) {
+    sim_.checker_->OnCondNotify(g_current_thread->node().id());
+  }
+  sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kNotify);
 }
 
 void CondVar::NotifyAll() {
@@ -283,6 +306,26 @@ Simulation::Simulation(SimConfig config)
       e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
     owned_checker_ = std::make_unique<check::Checker>();
     AttachChecker(owned_checker_.get());
+  }
+  // Opt-in schedule exploration: every simulation in the process gets its
+  // own policy instance, cycling through the spec's derived seeds so one
+  // bench/test invocation covers `runs` distinct schedules.
+  if (const char* e = std::getenv("RSTORE_EXPLORE");
+      e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
+    explore::ExploreSpec spec;
+    if (explore::ExploreSpec::Parse(e, &spec)) {
+      static std::atomic<uint64_t> g_explore_instance{0};
+      const uint64_t run =
+          g_explore_instance.fetch_add(1, std::memory_order_relaxed);
+      owned_policy_ = spec.Instantiate(run);
+      policy_ = owned_policy_.get();
+    } else {
+      std::fprintf(stderr,
+                   "RSTORE_EXPLORE: unparseable spec '%s' (expected "
+                   "<policy>[:<seed>[:<runs>[:<max_delay_ns>]]], policy = "
+                   "baseline | random | pct | pct<d>); exploring nothing\n",
+                   e);
+    }
   }
 }
 
@@ -339,6 +382,10 @@ void Simulation::AttachChecker(check::Checker* checker) {
     // Observation hook only: the checker reads the clock, never drives it.
     checker_->SetClock([this] { return static_cast<uint64_t>(now_); });
   }
+}
+
+void Simulation::AttachPolicy(explore::SchedulePolicy* policy) {
+  policy_ = policy;
 }
 
 void Simulation::PushEvent(Event e) {
@@ -417,6 +464,50 @@ void Simulation::RunThreadSlice(SimThread* t) {
   });
 }
 
+Simulation::Event Simulation::ExploreTieBreak(Event first) {
+  // Gather every candidate at this instant. Stale wakes are discarded
+  // here instead of at dispatch — staleness is permanent (generations
+  // only grow), so early discard is behaviour-identical to the baseline's
+  // lazy discard and keeps the clock untouched either way.
+  tie_events_.clear();
+  tie_events_.push_back(std::move(first));
+  const Nanos t = tie_events_.front().t;
+  while (!events_.empty() && events_.front().t == t) {
+    Event e = PopEvent();
+    if (e.wake_target != nullptr) {
+      SimThread* th = e.wake_target;
+      if (th->exited() || !th->blocked() || th->gen() != e.wake_gen) {
+        continue;
+      }
+    }
+    tie_events_.push_back(std::move(e));
+  }
+  size_t pick = 0;
+  if (tie_events_.size() > 1) {
+    if (t != tie_streak_t_) {
+      tie_streak_t_ = t;
+      tie_streak_ = 0;
+    }
+    if (++tie_streak_ <= kMaxSameInstantPicks) {
+      tie_lanes_.clear();
+      for (const Event& e : tie_events_) {
+        tie_lanes_.push_back(e.wake_target != nullptr
+                                 ? e.wake_target->node().id()
+                                 : explore::kNoLane);
+      }
+      pick = policy_->PickEvent(tie_lanes_.data(),
+                                static_cast<uint32_t>(tie_lanes_.size()));
+    }
+    // else: livelock guard tripped — baseline FIFO until time advances.
+  }
+  Event chosen = std::move(tie_events_[pick]);
+  for (size_t i = 0; i < tie_events_.size(); ++i) {
+    if (i != pick) PushEvent(std::move(tie_events_[i]));
+  }
+  tie_events_.clear();
+  return chosen;
+}
+
 void Simulation::Run() { RunUntil(kNever); }
 
 void Simulation::RunUntil(Nanos deadline) {
@@ -429,6 +520,13 @@ void Simulation::RunUntil(Nanos deadline) {
       if (t->exited() || !t->blocked() || t->gen() != e.wake_gen) {
         continue;  // stale wake: discard without touching the clock
       }
+    }
+    // Same-instant tie-break: only consulted when a policy is attached
+    // and another event shares this instant, so the un-explored fast
+    // path is one branch.
+    if (policy_ != nullptr && !events_.empty() &&
+        events_.front().t == e.t && e.t <= deadline) {
+      e = ExploreTieBreak(std::move(e));
     }
     if (e.t > deadline) {
       // Put it back and stop at the deadline.
@@ -507,6 +605,41 @@ void Simulation::Shutdown() {
   // exiting thread may still be inside its final notify_one.
   for (auto& node : nodes_) {
     node->threads_.clear();
+  }
+  // Exploration accounting (the policy outlives the simulation by
+  // contract, so reading it here is safe) and, for env-attached runs that
+  // found a violation, the replayable schedule dump — written *before*
+  // the rcheck abort below so the repro trace always lands on disk.
+  // explore.violations counts the owned (env-attached) checker only; a
+  // caller-attached checker belongs to the explorer driver, which reads
+  // it directly.
+  if (policy_ != nullptr) {
+    if (telemetry_ != nullptr) {
+      obs::NodeMetrics& host = telemetry_->metrics().ForNode(~0u, "host");
+      host.GetCounter("explore.runs").Inc();
+      host.GetCounter("explore.choices").Inc(policy_->choices());
+      host.GetCounter("explore.divergences").Inc(policy_->divergences());
+      if (owned_checker_ != nullptr) {
+        host.GetCounter("explore.violations")
+            .Inc(owned_checker_->violation_count());
+      }
+    }
+    if (owned_policy_ != nullptr && owned_checker_ != nullptr &&
+        owned_checker_->violation_count() > 0) {
+      static int trace_seq = 0;
+      std::string path = "explore_trace.json";
+      if (const char* out = std::getenv("RSTORE_EXPLORE_OUT");
+          out != nullptr && *out != '\0') {
+        path = std::string(out) + "/explore-" + std::to_string(getpid()) +
+               "-" + std::to_string(trace_seq++) + ".json";
+      }
+      std::ofstream f(path);
+      if (f.is_open()) {
+        f << explore::ToJson(owned_policy_->Trace());
+        std::cerr << "rexplore: replayable schedule written to " << path
+                  << " (replay with tools/rexplore)\n";
+      }
+    }
   }
   // Environment-attached checker: turn violations into a visible failure.
   // (A programmatically attached checker belongs to the caller, who

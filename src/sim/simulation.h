@@ -51,6 +51,10 @@ namespace rstore::check {
 class Checker;
 }  // namespace rstore::check
 
+namespace rstore::explore {
+class SchedulePolicy;
+}  // namespace rstore::explore
+
 namespace rstore::sim {
 
 // Event callbacks live inline in the event heap: 48 bytes of capture
@@ -254,6 +258,25 @@ class Simulation {
   void AttachChecker(check::Checker* checker);
   [[nodiscard]] check::Checker* checker() const noexcept { return checker_; }
 
+  // Connects a schedule-exploration policy (src/explore). Unlike telemetry
+  // and the checker, a policy is an *input*: it decides scheduler
+  // tie-breaks (equal-vtime event order, CondVar waiter wake order), NIC
+  // egress arbitration, completion-queue delivery order, and bounded
+  // fault-injection delays, so attaching one other than the baseline
+  // policy legitimately changes the schedule. The policy MUST outlive the
+  // simulation — it is still consulted while Shutdown() unwinds threads.
+  // When the RSTORE_EXPLORE environment variable holds a parseable
+  // explore::ExploreSpec ("<policy>[:<seed>[:<runs>[:<max_delay_ns>]]]"),
+  // the constructor attaches an owned policy automatically; successive
+  // Simulation instances in the process cycle through `runs` derived
+  // seeds, and on an rcheck violation Shutdown() writes the replayable
+  // decision trace next to the rcheck report (into $RSTORE_EXPLORE_OUT or
+  // ./explore_trace.json) before aborting.
+  void AttachPolicy(explore::SchedulePolicy* policy);
+  [[nodiscard]] explore::SchedulePolicy* policy() const noexcept {
+    return policy_;
+  }
+
   // True once destruction has begun and threads are being unwound. Blocking
   // primitives use this to decide whether the object they were waiting on
   // is still safe to touch while a ThreadKilled exception propagates.
@@ -274,6 +297,18 @@ class Simulation {
   // wakes (wake_target set). Wakes carry the generation of the block they
   // intend to end; a stale wake is discarded *without* advancing the
   // clock, so cancelled timeouts and killed threads leave no time skew.
+  //
+  // Equal-vtime ordering (THE tie-break rule — pinned by
+  // SameInstantEventsDispatchInFifoOrder in sim_test.cc): the heap orders
+  // by (t, seq), and seq is a single monotonically increasing counter
+  // assigned at *scheduling* time (At/After/ScheduleWake all stamp
+  // next_seq_++). Events at the same virtual instant therefore dispatch
+  // in FIFO scheduling order — first scheduled, first run — regardless of
+  // kind (callback vs thread wake) or which node they belong to. An
+  // attached explore::SchedulePolicy may permute same-instant candidates
+  // (ExploreTieBreak), with pick 0 defined as exactly this baseline
+  // order, which is what makes the baseline policy bit-identical to
+  // running with no policy at all.
   struct Event {
     Nanos t;
     uint64_t seq;
@@ -291,6 +326,10 @@ class Simulation {
   void ScheduleWake(SimThread* t, uint64_t gen, Nanos at, int reason);
   void PushEvent(Event e);
   Event PopEvent();
+  // Exploration hook: `first` was popped and more events share its
+  // instant. Gathers the same-t candidates, lets policy_ pick one, and
+  // re-pushes the rest (seqs preserved, so the baseline order survives).
+  Event ExploreTieBreak(Event first);
   void Shutdown();
   [[nodiscard]] uint64_t AllocateTid() noexcept { return next_tid_++; }
 
@@ -310,6 +349,22 @@ class Simulation {
   obs::Telemetry* telemetry_ = nullptr;
   check::Checker* checker_ = nullptr;
   std::unique_ptr<check::Checker> owned_checker_;  // RSTORE_RCHECK=1 mode
+  explore::SchedulePolicy* policy_ = nullptr;
+  std::unique_ptr<explore::SchedulePolicy> owned_policy_;  // RSTORE_EXPLORE
+  // Pooled scratch for ExploreTieBreak / CondVar waiter picks — only ever
+  // touched from scheduler context / the single active thread.
+  std::vector<Event> tie_events_;
+  std::vector<uint32_t> tie_lanes_;
+  std::vector<size_t> waiter_pick_scratch_;
+  std::vector<uint32_t> waiter_lane_scratch_;
+  // Livelock guard: a policy that keeps favouring a Yield-spinning lane
+  // could pin virtual time forever. After this many consecutive
+  // same-instant tie-break consultations the scheduler falls back to the
+  // baseline FIFO pick until time advances. Deterministic (a pure
+  // function of the schedule), so replay is unaffected.
+  static constexpr uint64_t kMaxSameInstantPicks = 65536;
+  Nanos tie_streak_t_ = kNever;
+  uint64_t tie_streak_ = 0;
   uint64_t next_tid_ = 1;  // SimThread trace ids; 0 = scheduler context
 
   // Handoff state: mu_ orders the handoff edges; active_ is additionally

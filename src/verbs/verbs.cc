@@ -6,6 +6,7 @@
 
 #include "check/check.h"
 #include "common/log.h"
+#include "explore/policy.h"
 #include "obs/trace.h"
 
 namespace rstore::verbs {
@@ -50,7 +51,46 @@ bool MemoryRegion::Covers(uint64_t addr, uint64_t len) const noexcept {
 // CompletionQueue
 // ---------------------------------------------------------------------------
 void CompletionQueue::Push(WorkCompletion wc) {
+  if (explore::SchedulePolicy* pol = sim_.policy(); pol != nullptr) {
+    // kCompletionDelay: hold the queue back for a bounded virtual time —
+    // the NIC raised the CQE late. Holding is all-or-nothing: once any
+    // entry is held every later completion joins the held tail, so a
+    // held entry can never be overtaken by a direct one and per-QP CQE
+    // order is preserved by construction.
+    const uint64_t delay = pol->CompletionDelayNs();
+    if (delay > 0 || !held_.empty()) {
+      held_.push_back(wc);
+      const sim::Nanos release = sim_.NowNanos() + delay;
+      if (release > hold_release_at_ || held_.size() == 1) {
+        hold_release_at_ = std::max(hold_release_at_, release);
+        const uint64_t epoch = ++hold_epoch_;
+        sim_.At(hold_release_at_, [this, epoch] {
+          if (epoch == hold_epoch_) ReleaseHeld();
+        });
+      }
+      return;
+    }
+    // kCompletionSlot: deliver this completion *before* up to `window`
+    // trailing entries that belong to other QPs — the legal reorder
+    // window (same-QP CQEs must stay FIFO). Slot 0 appends (baseline).
+    size_t window = 0;
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      if (it->qp_num == wc.qp_num) break;
+      ++window;
+    }
+    size_t slot = 0;
+    if (window > 0) {
+      slot = pol->PickCompletionSlot(static_cast<uint32_t>(window) + 1);
+    }
+    entries_.insert(entries_.end() - static_cast<ptrdiff_t>(slot), wc);
+    NotifyIfReady();
+    return;
+  }
   entries_.push_back(wc);
+  NotifyIfReady();
+}
+
+void CompletionQueue::NotifyIfReady() {
   // Wake waiters only when the shallowest outstanding threshold is met
   // (NotifyAll with no waiters would be a no-op anyway, so consulting the
   // registered minima loses nothing).
@@ -59,6 +99,14 @@ void CompletionQueue::Push(WorkCompletion wc) {
           *std::min_element(waiter_minima_.begin(), waiter_minima_.end())) {
     ready_.NotifyAll();
   }
+}
+
+void CompletionQueue::ReleaseHeld() {
+  while (!held_.empty()) {
+    entries_.push_back(held_.front());
+    held_.pop_front();
+  }
+  NotifyIfReady();
 }
 
 void CompletionQueue::WaitReady(size_t min_entries, sim::Nanos timeout) {

@@ -266,6 +266,10 @@ class CompletionQueue {
   friend class QueuePair;
   friend class Device;
   void Push(WorkCompletion wc);
+  // Wakes waiters whose registered threshold the queue now meets.
+  void NotifyIfReady();
+  // Exploration: flushes held-back completions into the visible queue.
+  void ReleaseHeld();
   // Registers the caller's threshold, blocks until reached or timeout.
   void WaitReady(size_t min_entries, sim::Nanos timeout);
   void RecordBatch(size_t n);
@@ -273,6 +277,16 @@ class CompletionQueue {
   sim::Simulation& sim_;
   const uint32_t node_id_;
   std::deque<WorkCompletion> entries_;
+  // Exploration state (see Push): completions an attached
+  // explore::SchedulePolicy is holding back (kCompletionDelay), in NIC
+  // push order. While anything is held, *every* new completion joins the
+  // held tail — all-or-nothing holding is what keeps per-QP CQE order
+  // intact, exactly like a real CQ under interrupt moderation. The
+  // release event re-checks hold_epoch_ so extending the hold supersedes
+  // earlier release events.
+  std::deque<WorkCompletion> held_;
+  sim::Nanos hold_release_at_ = 0;
+  uint64_t hold_epoch_ = 0;
   // Lazily resolved telemetry instrument (see fabric.h for the pattern).
   obs::Telemetry* obs_owner_ = nullptr;
   obs::Timer* obs_batch_ = nullptr;

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "check/check.h"
 #include "core/cluster.h"
 #include "kv/kv.h"
+#include "obs/trace_check.h"
 
 namespace rstore {
 namespace {
@@ -123,6 +125,111 @@ TEST(CheckTest, ReadRacingUnfencedWriteReportedOnce) {
   // The report must carry the un-fenced (never observed) endpoint.
   const check::Violation& v = checker.violations().front();
   EXPECT_TRUE(v.a.pending || v.b.pending);
+}
+
+// The DumpJson schema is what tools/rcheck_report and the CI artifact
+// pipeline consume. Reproduce the un-fenced race above, dump it, parse it
+// back with the same dependency-free reader the tool uses, and pin every
+// field the tool touches against the checker's in-memory violation.
+TEST(CheckTest, DumpJsonMatchesReportSchema) {
+  check::Checker checker;
+  TestCluster cluster(TwoClientConfig());
+  cluster.sim().AttachChecker(&checker);
+
+  for (uint32_t w = 0; w < 2; ++w) {
+    cluster.SpawnClient(w, [w](RStoreClient& client) {
+      auto buf = client.AllocBuffer(64);
+      ASSERT_TRUE(buf.ok());
+      if (w == 0) {
+        ASSERT_TRUE(client.Ralloc("schema", 64 << 10).ok());
+        auto region = client.Rmap("schema");
+        ASSERT_TRUE(region.ok());
+        auto future = (*region)->WriteAsync(0, buf->data);
+        ASSERT_TRUE(future.ok());
+        ASSERT_TRUE(client.NotifyInc("posted").ok());
+        ASSERT_TRUE(client.WaitNotify("read-done", 1).ok());
+        ASSERT_TRUE(future->Wait().ok());
+      } else {
+        ASSERT_TRUE(client.WaitNotify("posted", 1).ok());
+        auto region = client.Rmap("schema");
+        ASSERT_TRUE(region.ok());
+        ASSERT_TRUE((*region)->Read(0, buf->data).ok());
+        ASSERT_TRUE(client.NotifyInc("read-done").ok());
+      }
+    });
+  }
+  cluster.sim().Run();
+  ASSERT_EQ(checker.violations().size(), 1u);
+  const check::Violation& want = checker.violations().front();
+
+  std::ostringstream os;
+  checker.DumpJson(os);
+  auto parsed = obs::ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ASSERT_TRUE(parsed->Is(obs::JsonValue::Type::kObject));
+  const obs::JsonValue* violations = parsed->Find("violations");
+  ASSERT_NE(violations, nullptr);
+  ASSERT_TRUE(violations->Is(obs::JsonValue::Type::kArray));
+  ASSERT_EQ(violations->array.size(), 1u);
+  const obs::JsonValue& v = violations->array.front();
+
+  const obs::JsonValue* type = v.Find("type");
+  ASSERT_NE(type, nullptr);
+  ASSERT_TRUE(type->Is(obs::JsonValue::Type::kString));
+  EXPECT_EQ(type->str, check::ToString(want.type));
+
+  const obs::JsonValue* target = v.Find("target_node");
+  ASSERT_NE(target, nullptr);
+  ASSERT_TRUE(target->Is(obs::JsonValue::Type::kNumber));
+  EXPECT_EQ(static_cast<uint32_t>(target->number), want.target_node);
+
+  const obs::JsonValue* region = v.Find("region");
+  ASSERT_NE(region, nullptr);
+  ASSERT_TRUE(region->Is(obs::JsonValue::Type::kString));
+  EXPECT_EQ(region->str, "schema");
+
+  const obs::JsonValue* lo = v.Find("region_lo");
+  const obs::JsonValue* hi = v.Find("region_hi");
+  ASSERT_NE(lo, nullptr);
+  ASSERT_NE(hi, nullptr);
+  ASSERT_TRUE(lo->Is(obs::JsonValue::Type::kNumber));
+  ASSERT_TRUE(hi->Is(obs::JsonValue::Type::kNumber));
+  EXPECT_LT(lo->number, hi->number);
+
+  const obs::JsonValue* detail = v.Find("detail");
+  ASSERT_NE(detail, nullptr);
+  EXPECT_TRUE(detail->Is(obs::JsonValue::Type::kString));
+
+  const auto check_endpoint = [](const obs::JsonValue* e,
+                                 const check::Endpoint& w) {
+    ASSERT_NE(e, nullptr);
+    ASSERT_TRUE(e->Is(obs::JsonValue::Type::kObject));
+    for (const char* field : {"node", "vtime", "lo", "hi"}) {
+      const obs::JsonValue* n = e->Find(field);
+      ASSERT_NE(n, nullptr) << field;
+      EXPECT_TRUE(n->Is(obs::JsonValue::Type::kNumber)) << field;
+    }
+    EXPECT_EQ(static_cast<uint32_t>(e->Find("node")->number), w.node);
+    EXPECT_EQ(static_cast<uint64_t>(e->Find("lo")->number), w.lo);
+    EXPECT_EQ(static_cast<uint64_t>(e->Find("hi")->number), w.hi);
+    const obs::JsonValue* kind = e->Find("kind");
+    ASSERT_NE(kind, nullptr);
+    ASSERT_TRUE(kind->Is(obs::JsonValue::Type::kString));
+    EXPECT_EQ(kind->str, check::ToString(w.kind));
+    const obs::JsonValue* remote = e->Find("remote");
+    ASSERT_NE(remote, nullptr);
+    ASSERT_TRUE(remote->Is(obs::JsonValue::Type::kBool));
+    EXPECT_EQ(remote->boolean, w.remote);
+    const obs::JsonValue* pending = e->Find("pending");
+    ASSERT_NE(pending, nullptr);
+    ASSERT_TRUE(pending->Is(obs::JsonValue::Type::kBool));
+    EXPECT_EQ(pending->boolean, w.pending);
+    const obs::JsonValue* label = e->Find("label");
+    ASSERT_NE(label, nullptr);
+    EXPECT_TRUE(label->Is(obs::JsonValue::Type::kString));
+  };
+  check_endpoint(v.Find("a"), want.a);
+  check_endpoint(v.Find("b"), want.b);
 }
 
 // A write lands in a region another client already freed.

@@ -1,0 +1,355 @@
+// Tests for rexplore, the schedule-exploration layer over the deterministic
+// simulator.
+//
+// The properties pinned here are the ones the design leans on:
+//   - the baseline policy is bit-identical to running with no policy,
+//   - a seeded run is deterministic (same seed => same schedule and trace),
+//   - the sparse decision-trace replays and survives JSON round-trips,
+//   - PCT at depth 3 finds a schedule-dependent un-fenced publish race that
+//     the baseline schedule can never hit, within a bounded run budget, and
+//     the greedily minimized trace still reproduces the exact report,
+//   - RSTORE_EXPLORE attaches policies per-Simulation, and exploration
+//     counters land in the telemetry registry on shutdown.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "explore/explorer.h"
+#include "explore/policy.h"
+#include "explore/trace_json.h"
+#include "explore/workloads.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace rstore {
+namespace {
+
+using explore::BaselinePolicy;
+using explore::BuiltinWorkloads;
+using explore::DecisionKind;
+using explore::DecisionTrace;
+using explore::Explorer;
+using explore::ExploreOptions;
+using explore::ExploreReport;
+using explore::ExploreSpec;
+using explore::FindWorkload;
+using explore::NamedWorkload;
+using explore::PerturbConfig;
+using explore::RandomWalkPolicy;
+using explore::ReplayPolicy;
+using explore::RunContext;
+using explore::RunOutcome;
+using explore::SchedulePolicy;
+using explore::ToJson;
+using explore::TraceEntry;
+using explore::TraceFromJson;
+using explore::Workload;
+
+// Sets (or clears, for nullptr) an environment variable for the test's
+// lifetime and restores the previous state after. The explore tests must be
+// hermetic even when the whole binary runs under RSTORE_EXPLORE (the CI
+// exploration job does exactly that).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* prev = std::getenv(name); prev != nullptr) {
+      had_prev_ = true;
+      prev_ = prev;
+    }
+    if (value != nullptr) {
+      setenv(name, value, /*overwrite=*/1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (had_prev_) {
+      setenv(name_, prev_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  const char* name_;
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+// Runs a workload once with an explicit policy (no checker), capturing the
+// final virtual time and event count.
+RunOutcome RunDirect(const Workload& workload, SchedulePolicy* policy) {
+  RunOutcome out;
+  RunContext ctx;
+  ctx.policy = policy;
+  ctx.out_final_vtime = &out.final_vtime;
+  ctx.out_events = &out.events;
+  workload(ctx);
+  return out;
+}
+
+// ------------------------------------------------------- spec parsing ----
+
+TEST(ExploreSpecTest, ParsesValidSpecs) {
+  ExploreSpec s;
+  EXPECT_TRUE(ExploreSpec::Parse("baseline", &s));
+  EXPECT_EQ(s.policy, "baseline");
+  EXPECT_TRUE(ExploreSpec::Parse("random:7:32", &s));
+  EXPECT_EQ(s.policy, "random");
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_EQ(s.runs, 32u);
+  EXPECT_TRUE(ExploreSpec::Parse("pct5:2:8:50000", &s));
+  EXPECT_EQ(s.policy, "pct");
+  EXPECT_EQ(s.pct_depth, 5u);
+  EXPECT_EQ(s.seed, 2u);
+  EXPECT_EQ(s.runs, 8u);
+  EXPECT_EQ(s.max_delay_ns, 50000u);
+  EXPECT_TRUE(ExploreSpec::Parse("pct", &s));
+  EXPECT_EQ(s.pct_depth, 3u);  // default depth
+}
+
+TEST(ExploreSpecTest, RejectsMalformedSpecs) {
+  ExploreSpec s;
+  EXPECT_FALSE(ExploreSpec::Parse("", &s));
+  EXPECT_FALSE(ExploreSpec::Parse("bogus", &s));
+  EXPECT_FALSE(ExploreSpec::Parse("random:x", &s));
+  EXPECT_FALSE(ExploreSpec::Parse("random:1:0", &s));    // zero runs
+  EXPECT_FALSE(ExploreSpec::Parse("pct0", &s));          // zero depth
+  EXPECT_FALSE(ExploreSpec::Parse("random:1:2:3:4", &s));  // too many parts
+}
+
+TEST(ExploreSpecTest, DerivedSeedsCycleThroughRuns) {
+  ExploreSpec s;
+  ASSERT_TRUE(ExploreSpec::Parse("random:10:4", &s));
+  EXPECT_EQ(s.SeedFor(0), 10u);
+  EXPECT_EQ(s.SeedFor(3), 13u);
+  EXPECT_EQ(s.SeedFor(5), 11u);  // wraps modulo runs
+}
+
+// ---------------------------------------------------- replay mechanics ----
+
+TEST(ExplorePolicyTest, ReplayAnswersRecordedOrdinalsOnly) {
+  DecisionTrace t;
+  t.policy = "replay";
+  t.entries = {{2, DecisionKind::kEventTieBreak, 3, 2}};
+  ReplayPolicy pol(t);
+  const uint32_t lanes[3] = {0, 1, 2};
+  EXPECT_EQ(pol.PickEvent(lanes, 3), 0u);  // ordinal 0: not recorded
+  EXPECT_EQ(pol.PickEvent(lanes, 3), 0u);  // ordinal 1: not recorded
+  EXPECT_EQ(pol.PickEvent(lanes, 3), 2u);  // ordinal 2: recorded pick
+  EXPECT_EQ(pol.divergences(), 0u);
+}
+
+TEST(ExplorePolicyTest, ReplayCountsKindMismatchAsDivergence) {
+  DecisionTrace t;
+  t.policy = "replay";
+  t.entries = {{0, DecisionKind::kWaiterWake, 2, 1}};
+  ReplayPolicy pol(t);
+  const uint32_t lanes[2] = {0, 1};
+  EXPECT_EQ(pol.PickEvent(lanes, 2), 0u);  // kind mismatch -> baseline
+  EXPECT_EQ(pol.divergences(), 1u);
+}
+
+TEST(ExplorePolicyTest, SingleCandidateConsumesNoOrdinal) {
+  DecisionTrace t;
+  t.policy = "replay";
+  t.entries = {{0, DecisionKind::kEventTieBreak, 2, 1}};
+  ReplayPolicy pol(t);
+  const uint32_t lane = 7;
+  EXPECT_EQ(pol.PickEvent(&lane, 1), 0u);  // n < 2: no decision
+  EXPECT_EQ(pol.choices(), 0u);
+  const uint32_t lanes[2] = {0, 1};
+  EXPECT_EQ(pol.PickEvent(lanes, 2), 1u);  // still ordinal 0
+}
+
+// -------------------------------------------------- trace JSON format ----
+
+TEST(ExploreTraceJsonTest, RoundTripsFullPrecisionSeed) {
+  DecisionTrace t;
+  t.policy = "pct";
+  t.seed = (uint64_t{1} << 60) + 12345;  // above double's 2^53 precision
+  t.pct_depth = 3;
+  t.workload = "race-unfenced";
+  t.total_choices = 99;
+  t.entries = {{4, DecisionKind::kFabricDelay, 0, 85869},
+               {7, DecisionKind::kWaiterWake, 2, 1}};
+  auto back = TraceFromJson(ToJson(t));
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->policy, t.policy);
+  EXPECT_EQ(back->seed, t.seed);
+  EXPECT_EQ(back->pct_depth, t.pct_depth);
+  EXPECT_EQ(back->workload, t.workload);
+  EXPECT_EQ(back->total_choices, t.total_choices);
+  EXPECT_EQ(back->entries, t.entries);
+}
+
+TEST(ExploreTraceJsonTest, RejectsMalformedTraces) {
+  EXPECT_FALSE(TraceFromJson("[]").ok());
+  EXPECT_FALSE(TraceFromJson(R"({"seed":"1","entries":[]})").ok());
+  EXPECT_FALSE(TraceFromJson(R"({"policy":"pct","seed":"1"})").ok());
+  EXPECT_FALSE(TraceFromJson(
+                   R"({"policy":"pct","seed":"1",
+                       "entries":[{"ordinal":0,"kind":9,"n":0,"pick":1}]})")
+                   .ok());
+}
+
+// ----------------------------------------- baseline == no policy at all ----
+
+TEST(ExploreBaselineTest, BaselinePolicyBitIdenticalToNoPolicy) {
+  EnvGuard guard("RSTORE_EXPLORE", nullptr);
+  const auto all = BuiltinWorkloads();
+  for (const char* name : {"fenced-handoff", "atomic-counter"}) {
+    const NamedWorkload* w = FindWorkload(all, name);
+    ASSERT_NE(w, nullptr);
+    const RunOutcome plain = RunDirect(w->workload, nullptr);
+    BaselinePolicy pol;
+    const RunOutcome base = RunDirect(w->workload, &pol);
+    EXPECT_EQ(plain.final_vtime, base.final_vtime) << name;
+    EXPECT_EQ(plain.events, base.events) << name;
+    EXPECT_GT(pol.choices(), 0u) << name;       // decisions were consulted
+    EXPECT_TRUE(pol.entries().empty()) << name;  // and all picked baseline
+  }
+}
+
+// -------------------------------------------------- seeded determinism ----
+
+TEST(ExploreDeterminismTest, SameSeedSameScheduleDistinctSeedsDiverge) {
+  EnvGuard guard("RSTORE_EXPLORE", nullptr);
+  const auto all = BuiltinWorkloads();
+  const Workload& w = FindWorkload(all, "atomic-counter")->workload;
+  const PerturbConfig perturb{120000, 120000, 250};
+  RandomWalkPolicy a(42, perturb);
+  RandomWalkPolicy b(42, perturb);
+  RandomWalkPolicy c(43, perturb);
+  const RunOutcome ra = RunDirect(w, &a);
+  const RunOutcome rb = RunDirect(w, &b);
+  const RunOutcome rc = RunDirect(w, &c);
+  EXPECT_EQ(ra.final_vtime, rb.final_vtime);
+  EXPECT_EQ(ra.events, rb.events);
+  EXPECT_EQ(a.choices(), b.choices());
+  EXPECT_EQ(a.entries(), b.entries());
+  EXPECT_FALSE(a.entries().empty());  // the perturbation actually fired
+  EXPECT_TRUE(c.entries() != a.entries() || rc.final_vtime != ra.final_vtime);
+}
+
+// ------------------------------- the acceptance race: PCT finds, baseline
+// ------------------------------- misses, minimized trace reproduces ----
+
+TEST(ExploreSearchTest, PctDepth3FindsUnfencedRaceBaselineMisses) {
+  EnvGuard guard("RSTORE_EXPLORE", nullptr);
+  const auto all = BuiltinWorkloads();
+  const Workload& race = FindWorkload(all, "race-unfenced")->workload;
+
+  // The baseline schedule always meets the writer's completion deadline,
+  // so the un-fenced branch never executes and rcheck sees nothing.
+  ExploreOptions base_opts;
+  base_opts.policy = "baseline";
+  base_opts.runs = 2;
+  base_opts.max_delay_ns = 0;
+  const ExploreReport clean = Explorer(base_opts).Explore(race);
+  EXPECT_FALSE(clean.violation_found);
+  EXPECT_EQ(clean.runs_executed, 2u);
+
+  // PCT with depth 3 and bounded fault injection finds it within the run
+  // budget (empirically on run 3 with this seed; the budget is headroom).
+  ExploreOptions opts;
+  opts.policy = "pct";
+  opts.pct_depth = 3;
+  opts.seed = 1;
+  opts.runs = 32;
+  opts.max_delay_ns = 120000;
+  const ExploreReport report = Explorer(opts).Explore(race);
+  ASSERT_TRUE(report.violation_found);
+  EXPECT_LE(report.runs_executed, 32u);
+  EXPECT_GE(report.violating.violation_count, 1u);
+  ASSERT_FALSE(report.minimized.entries.empty());
+  EXPECT_LE(report.minimized.entries.size(),
+            report.violating.trace.entries.size());
+
+  // Replaying the minimized trace is fully deterministic: two replays give
+  // the same schedule, the same report text, and reproduce every signature
+  // the original violating run had.
+  const RunOutcome r1 = Explorer::Replay(race, report.minimized);
+  const RunOutcome r2 = Explorer::Replay(race, report.minimized);
+  ASSERT_GE(r1.violation_count, 1u);
+  EXPECT_EQ(r1.divergences, 0u);
+  EXPECT_EQ(r1.final_vtime, r2.final_vtime);
+  EXPECT_EQ(r1.report_text, r2.report_text);
+  EXPECT_EQ(r1.violation_sigs, r2.violation_sigs);
+  for (const std::string& sig : report.violating.violation_sigs) {
+    EXPECT_NE(std::find(r1.violation_sigs.begin(), r1.violation_sigs.end(),
+                        sig),
+              r1.violation_sigs.end())
+        << "minimized trace lost signature " << sig;
+  }
+}
+
+TEST(ExploreSearchTest, FencedHandoffStaysCleanUnderExploration) {
+  EnvGuard guard("RSTORE_EXPLORE", nullptr);
+  const auto all = BuiltinWorkloads();
+  const Workload& fenced = FindWorkload(all, "fenced-handoff")->workload;
+  ExploreOptions opts;
+  opts.policy = "pct";
+  opts.pct_depth = 3;
+  opts.seed = 1;
+  opts.runs = 8;
+  opts.max_delay_ns = 120000;
+  const ExploreReport report = Explorer(opts).Explore(fenced);
+  EXPECT_FALSE(report.violation_found);
+  EXPECT_EQ(report.runs_executed, 8u);
+  EXPECT_GT(report.total_choices, 0u);
+}
+
+// ------------------------------------------------- env-variable attach ----
+
+TEST(ExploreEnvTest, ValidSpecAttachesPolicyPerSimulation) {
+  EnvGuard guard("RSTORE_EXPLORE", "random:5:2");
+  sim::Simulation sim;
+  ASSERT_NE(sim.policy(), nullptr);
+  EXPECT_EQ(sim.policy()->name(), "random");
+  // Seeds cycle through the spec's `runs` derived seeds; which one this
+  // instance gets depends on how many Simulations the process already made.
+  const uint64_t seed = sim.policy()->seed();
+  EXPECT_TRUE(seed == 5u || seed == 6u) << seed;
+  sim::Simulation sim2;
+  ASSERT_NE(sim2.policy(), nullptr);
+  EXPECT_NE(sim2.policy(), sim.policy());  // each gets its own instance
+}
+
+TEST(ExploreEnvTest, InvalidSpecAttachesNothing) {
+  EnvGuard guard("RSTORE_EXPLORE", "bogus:zzz");
+  sim::Simulation sim;
+  EXPECT_EQ(sim.policy(), nullptr);
+}
+
+// ----------------------------------------------------- obs counters ----
+
+TEST(ExploreObsTest, CountersExportedOnShutdown) {
+  EnvGuard guard("RSTORE_EXPLORE", nullptr);
+  RandomWalkPolicy policy(9, PerturbConfig{0, 0, 0});
+  obs::Telemetry telemetry;
+  {
+    sim::Simulation sim;
+    sim.AttachTelemetry(&telemetry);
+    sim.AttachPolicy(&policy);
+    // Two events at the same instant force one tie-break consultation.
+    sim.At(sim::Nanos{10}, [] {});
+    sim.At(sim::Nanos{10}, [] {});
+    sim.Run();
+  }
+  obs::NodeMetrics& host = telemetry.metrics().ForNode(~0u, "host");
+  EXPECT_EQ(host.GetCounter("explore.runs").value(), 1u);
+  EXPECT_GE(policy.choices(), 1u);
+  EXPECT_EQ(host.GetCounter("explore.choices").value(), policy.choices());
+  EXPECT_EQ(host.GetCounter("explore.divergences").value(), 0u);
+}
+
+}  // namespace
+}  // namespace rstore

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "explore/policy.h"
 #include "sim/cost_model.h"
 #include "sim/simulation.h"
 #include "sim/time.h"
@@ -81,6 +82,41 @@ TEST(SimulationTest, SameInstantEventsRunInScheduleOrder) {
   sim.At(50, [&] { order.push_back(0); });
   sim.Run();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+// THE equal-vtime tie-break rule, documented on Event in sim/simulation.h:
+// events at one virtual instant dispatch in FIFO order of *scheduling* —
+// the heap orders by (t, seq) and thread wakes and plain callbacks share
+// one seq counter, so kind never matters. The baseline exploration policy
+// must preserve exactly this order (its pick 0 *is* this order).
+TEST(SimulationTest, SameInstantEventsDispatchInFifoOrder) {
+  auto run = [](explore::SchedulePolicy* policy) {
+    Simulation sim;
+    if (policy != nullptr) sim.AttachPolicy(policy);
+    Node& n = sim.AddNode("a");
+    CondVar cv(sim);
+    std::vector<int> order;
+    for (int i = 0; i < 2; ++i) {
+      n.Spawn("waiter", [&, i] {
+        cv.Wait();
+        order.push_back(10 + i);
+      });
+    }
+    // From a driver callback at t=100, interleave thread wakes with plain
+    // callbacks at the same instant: wake(w0), cb(0), wake(w1), cb(1).
+    sim.At(100, [&] {
+      cv.NotifyOne();
+      sim.At(100, [&] { order.push_back(0); });
+      cv.NotifyOne();
+      sim.At(100, [&] { order.push_back(1); });
+    });
+    sim.Run();
+    return order;
+  };
+  const std::vector<int> expected{10, 0, 11, 1};
+  EXPECT_EQ(run(nullptr), expected);
+  explore::BaselinePolicy baseline;
+  EXPECT_EQ(run(&baseline), expected);
 }
 
 TEST(SimulationTest, RunUntilStopsAtDeadline) {

@@ -1,0 +1,266 @@
+// rexplore: search schedules for rcheck violations, replay saved decision
+// traces, and minimize them to the smallest reproducing schedule.
+//
+//   rexplore list
+//   rexplore run --workload=race-unfenced --policy=pct --depth=3
+//       --seed=1 --runs=32 --max-delay=120000 --out=trace.json
+//   rexplore replay --trace=trace.json [--workload=...]
+//   rexplore minimize --trace=trace.json --out=trace.min.json
+//
+// Exit status: 0 = clean, 1 = a violation was found/reproduced, 2 = usage
+// or I/O error. `run` writes the *minimized* trace of the first violation
+// to --out; `replay` re-executes a trace and prints the rcheck report;
+// `minimize` shrinks an existing trace against the violations it
+// reproduces.
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "explore/explorer.h"
+#include "explore/policy.h"
+#include "explore/trace_json.h"
+#include "explore/workloads.h"
+
+namespace {
+
+using rstore::explore::BuiltinWorkloads;
+using rstore::explore::DecisionTrace;
+using rstore::explore::Explorer;
+using rstore::explore::ExploreOptions;
+using rstore::explore::ExploreReport;
+using rstore::explore::FindWorkload;
+using rstore::explore::NamedWorkload;
+using rstore::explore::RunOutcome;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rexplore <command> [flags]\n"
+      "  list                               show built-in workloads\n"
+      "  run      --workload=W [--policy=random|pct|baseline] [--seed=N]\n"
+      "           [--runs=N] [--depth=D] [--max-delay=NS] [--out=FILE]\n"
+      "           [--no-minimize] [--minimize-budget=N]\n"
+      "  replay   --trace=FILE [--workload=W]\n"
+      "  minimize --trace=FILE [--workload=W] [--out=FILE]\n"
+      "           [--minimize-budget=N]\n");
+  return 2;
+}
+
+struct Flags {
+  std::string workload;
+  std::string trace_path;
+  std::string out_path;
+  ExploreOptions opts;
+  bool ok = true;
+};
+
+bool ParseU64(std::string_view s, uint64_t* out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&arg](std::string_view prefix) {
+      return std::string(arg.substr(prefix.size()));
+    };
+    uint64_t n = 0;
+    if (arg.rfind("--workload=", 0) == 0) {
+      f.workload = value("--workload=");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      f.trace_path = value("--trace=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      f.out_path = value("--out=");
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      f.opts.policy = value("--policy=");
+    } else if (arg.rfind("--seed=", 0) == 0 && ParseU64(value("--seed="), &n)) {
+      f.opts.seed = n;
+    } else if (arg.rfind("--runs=", 0) == 0 && ParseU64(value("--runs="), &n)) {
+      f.opts.runs = static_cast<uint32_t>(n);
+    } else if (arg.rfind("--depth=", 0) == 0 &&
+               ParseU64(value("--depth="), &n)) {
+      f.opts.pct_depth = static_cast<uint32_t>(n);
+    } else if (arg.rfind("--max-delay=", 0) == 0 &&
+               ParseU64(value("--max-delay="), &n)) {
+      f.opts.max_delay_ns = n;
+    } else if (arg.rfind("--minimize-budget=", 0) == 0 &&
+               ParseU64(value("--minimize-budget="), &n)) {
+      f.opts.minimize_budget = n;
+    } else if (arg == "--no-minimize") {
+      f.opts.minimize = false;
+    } else {
+      std::fprintf(stderr, "rexplore: unknown flag '%s'\n", argv[i]);
+      f.ok = false;
+    }
+  }
+  return f;
+}
+
+const NamedWorkload* ResolveWorkload(const std::vector<NamedWorkload>& all,
+                                     const std::string& from_flag,
+                                     const std::string& from_trace) {
+  const std::string& name = !from_flag.empty() ? from_flag : from_trace;
+  if (name.empty()) {
+    std::fprintf(stderr,
+                 "rexplore: no workload (pass --workload, or use a trace "
+                 "with a 'workload' field)\n");
+    return nullptr;
+  }
+  const NamedWorkload* w = FindWorkload(all, name);
+  if (w == nullptr) {
+    std::fprintf(stderr, "rexplore: unknown workload '%s' (see list)\n",
+                 name.c_str());
+  }
+  return w;
+}
+
+bool LoadTrace(const std::string& path, DecisionTrace* out) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    std::fprintf(stderr, "rexplore: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  auto trace = rstore::explore::TraceFromJson(text.str());
+  if (!trace.ok()) {
+    std::fprintf(stderr, "rexplore: bad trace '%s': %s\n", path.c_str(),
+                 std::string(trace.status().message()).c_str());
+    return false;
+  }
+  *out = std::move(*trace);
+  return true;
+}
+
+bool SaveTrace(const std::string& path, const DecisionTrace& trace) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    std::fprintf(stderr, "rexplore: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  f << rstore::explore::ToJson(trace);
+  return true;
+}
+
+void PrintOutcome(const RunOutcome& o) {
+  std::printf("  choices=%llu divergences=%llu violations=%zu vtime=%llu\n",
+              static_cast<unsigned long long>(o.choices),
+              static_cast<unsigned long long>(o.divergences),
+              o.violation_count,
+              static_cast<unsigned long long>(o.final_vtime));
+  if (!o.report_text.empty()) std::fputs(o.report_text.c_str(), stdout);
+}
+
+int CmdList() {
+  std::printf("built-in workloads:\n");
+  for (const NamedWorkload& w : BuiltinWorkloads()) {
+    std::printf("  %-16s %.*s\n", std::string(w.name).c_str(),
+                static_cast<int>(w.description.size()), w.description.data());
+  }
+  return 0;
+}
+
+int CmdRun(const Flags& f) {
+  const auto all = BuiltinWorkloads();
+  const NamedWorkload* w = ResolveWorkload(all, f.workload, {});
+  if (w == nullptr) return 2;
+  Explorer explorer(f.opts);
+  std::printf("exploring '%s' with policy=%s seed=%llu runs=%u "
+              "max-delay=%lluns\n",
+              std::string(w->name).c_str(), f.opts.policy.c_str(),
+              static_cast<unsigned long long>(f.opts.seed), f.opts.runs,
+              static_cast<unsigned long long>(f.opts.max_delay_ns));
+  const ExploreReport report = explorer.Explore(w->workload);
+  std::printf("runs=%u total_choices=%llu\n", report.runs_executed,
+              static_cast<unsigned long long>(report.total_choices));
+  if (!report.violation_found) {
+    std::printf("no violations found\n");
+    return 0;
+  }
+  std::printf("VIOLATION on run %llu (seed %llu):\n",
+              static_cast<unsigned long long>(report.violating.run_index),
+              static_cast<unsigned long long>(report.violating.seed));
+  PrintOutcome(report.violating);
+  std::printf("minimized: %zu -> %zu trace entries (%llu replays)\n",
+              report.violating.trace.entries.size(),
+              report.minimized.entries.size(),
+              static_cast<unsigned long long>(report.minimize_replays));
+  DecisionTrace to_save = report.minimized;
+  to_save.workload = std::string(w->name);
+  const std::string out =
+      f.out_path.empty() ? "explore_trace.json" : f.out_path;
+  if (SaveTrace(out, to_save)) {
+    std::printf("repro trace written to %s (replay with: rexplore replay "
+                "--trace=%s)\n",
+                out.c_str(), out.c_str());
+  }
+  return 1;
+}
+
+int CmdReplay(const Flags& f) {
+  if (f.trace_path.empty()) return Usage();
+  DecisionTrace trace;
+  if (!LoadTrace(f.trace_path, &trace)) return 2;
+  const auto all = BuiltinWorkloads();
+  const NamedWorkload* w = ResolveWorkload(all, f.workload, trace.workload);
+  if (w == nullptr) return 2;
+  std::printf("replaying %zu-entry %s trace on '%s'\n", trace.entries.size(),
+              trace.policy.c_str(), std::string(w->name).c_str());
+  const RunOutcome o = Explorer::Replay(w->workload, trace);
+  PrintOutcome(o);
+  if (o.divergences > 0) {
+    std::printf("warning: %llu divergences — the workload no longer matches "
+                "this trace\n",
+                static_cast<unsigned long long>(o.divergences));
+  }
+  return o.violation_count > 0 ? 1 : 0;
+}
+
+int CmdMinimize(const Flags& f) {
+  if (f.trace_path.empty()) return Usage();
+  DecisionTrace trace;
+  if (!LoadTrace(f.trace_path, &trace)) return 2;
+  const auto all = BuiltinWorkloads();
+  const NamedWorkload* w = ResolveWorkload(all, f.workload, trace.workload);
+  if (w == nullptr) return 2;
+  const RunOutcome before = Explorer::Replay(w->workload, trace);
+  if (before.violation_count == 0) {
+    std::printf("trace does not reproduce any violation; nothing to "
+                "minimize\n");
+    return 2;
+  }
+  uint64_t replays = 0;
+  DecisionTrace minimized =
+      Explorer::Minimize(w->workload, trace, before.violation_sigs,
+                         f.opts.minimize_budget, &replays);
+  minimized.workload = std::string(w->name);
+  std::printf("minimized: %zu -> %zu trace entries (%llu replays)\n",
+              trace.entries.size(), minimized.entries.size(),
+              static_cast<unsigned long long>(replays));
+  const std::string out =
+      f.out_path.empty() ? f.trace_path + ".min.json" : f.out_path;
+  if (!SaveTrace(out, minimized)) return 2;
+  std::printf("written to %s\n", out.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string_view cmd = argv[1];
+  const Flags f = ParseFlags(argc, argv);
+  if (!f.ok) return Usage();
+  if (cmd == "list") return CmdList();
+  if (cmd == "run") return CmdRun(f);
+  if (cmd == "replay") return CmdReplay(f);
+  if (cmd == "minimize") return CmdMinimize(f);
+  return Usage();
+}
