@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__GLIBC__)
@@ -35,14 +36,17 @@ struct WallclockResult {
   uint64_t events = 0;          // scheduler events dispatched
   uint64_t slices = 0;          // events that were OS thread handoffs
   uint64_t sim_bytes = 0;       // bytes moved through the fabric
+  uint64_t virtual_nanos = 0;   // exact end-of-run virtual clock
   double virtual_seconds = 0;   // simulated time covered
   double wall_seconds = 0;      // host time spent
 };
 
 // One full cluster lifetime: build, run to quiescence, tear down. Setup
 // and teardown are included — they are real simulator work (thread spawn
-// and unwind) that any experiment pays too.
-WallclockResult RunSaturationWorkload() {
+// and unwind) that any experiment pays too. host_threads = 0 runs the
+// legacy single-loop scheduler; N >= 1 runs per-node partitions on N host
+// worker threads (virtual time must not depend on N — asserted in main).
+WallclockResult RunSaturationWorkload(uint32_t host_threads = 0) {
   constexpr uint32_t kMachines = 12;
   constexpr uint64_t kSlab = 1ULL << 20;            // 1 MiB striping
   constexpr uint64_t kRegionBytes = kMachines * kSlab;  // one slab/server
@@ -59,6 +63,7 @@ WallclockResult RunSaturationWorkload() {
   cfg.server_capacity = kMachines * kSlab + (8ULL << 20);
   cfg.master.slab_size = kSlab;
   cfg.seed = 42;
+  cfg.host_threads = host_threads;
   core::TestCluster cluster(cfg);
 
   for (uint32_t c = 0; c < kMachines; ++c) {
@@ -118,6 +123,7 @@ WallclockResult RunSaturationWorkload() {
   r.slices = cluster.sim().thread_slices();
   r.events = cluster.sim().events_processed();
   r.sim_bytes = cluster.net().fabric().total_bytes();
+  r.virtual_nanos = cluster.sim().NowNanos();
   r.virtual_seconds = sim::ToSeconds(cluster.sim().NowNanos());
   r.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -159,6 +165,37 @@ int main() {
     }
   }
 
+  // Partitioned-scheduler rows: the same workload on per-node event-loop
+  // partitions with 1 and 8 host worker threads. Virtual time must be
+  // bit-identical across worker counts (the tentpole determinism claim);
+  // the wall-clock ratio is the parallel speedup on this host.
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  constexpr uint32_t kThreadRows[] = {1, 8};
+  rstore::bench::WallclockResult part[2];
+  for (size_t t = 0; t < 2; ++t) {
+    for (int i = 0; i < kReps; ++i) {
+      auto r = rstore::bench::RunSaturationWorkload(kThreadRows[t]);
+      std::printf("threads=%u rep %d: %.3fs wall, %" PRIu64
+                  " events, vtime %.6fs\n",
+                  kThreadRows[t], i, r.wall_seconds, r.events,
+                  r.virtual_seconds);
+      if (part[t].wall_seconds == 0 ||
+          r.wall_seconds < part[t].wall_seconds) {
+        part[t] = r;
+      }
+    }
+  }
+  if (part[0].virtual_nanos != part[1].virtual_nanos ||
+      part[0].events != part[1].events) {
+    std::fprintf(stderr,
+                 "FATAL: partitioned run diverged across host-thread "
+                 "counts: vnanos %" PRIu64 " vs %" PRIu64 ", events %" PRIu64
+                 " vs %" PRIu64 "\n",
+                 part[0].virtual_nanos, part[1].virtual_nanos,
+                 part[0].events, part[1].events);
+    return 1;
+  }
+
   const double events_per_sec =
       static_cast<double>(best.events) / best.wall_seconds;
   const double sim_bytes_per_sec =
@@ -172,6 +209,11 @@ int main() {
   std::printf("  wall seconds      : %.3f\n", best.wall_seconds);
   std::printf("  events/sec        : %.3fM\n", events_per_sec / 1e6);
   std::printf("  sim bytes/sec     : %.1f MB/s\n", sim_bytes_per_sec / 1e6);
+  for (size_t t = 0; t < 2; ++t) {
+    std::printf("  partitioned x%u    : %.3fs wall (%.2fx vs legacy)\n",
+                kThreadRows[t], part[t].wall_seconds,
+                best.wall_seconds / part[t].wall_seconds);
+  }
 
   // The tier-1 suite cannot be timed from inside one of its own build's
   // binaries; CI (or the operator) passes it in when known.
@@ -194,6 +236,15 @@ int main() {
                  "  \"events_per_sec\": %.0f,\n"
                  "  \"sim_bytes_per_real_sec\": %.0f,\n"
                  "  \"tier1_suite_seconds\": %.2f,\n"
+                 "  \"host_cores\": %u,\n"
+                 "  \"partitioned\": [\n"
+                 "    {\"host_threads\": %u, \"wall_seconds\": %.3f,\n"
+                 "     \"events_per_sec\": %.0f,\n"
+                 "     \"speedup_vs_legacy\": %.3f},\n"
+                 "    {\"host_threads\": %u, \"wall_seconds\": %.3f,\n"
+                 "     \"events_per_sec\": %.0f,\n"
+                 "     \"speedup_vs_legacy\": %.3f}\n"
+                 "  ],\n"
                  "  \"baseline_pre_batching\": {\n"
                  "    \"wall_seconds\": 0.688,\n"
                  "    \"events_dispatched\": 56424,\n"
@@ -203,7 +254,13 @@ int main() {
                  "}\n",
                  best.events, best.slices, best.sim_bytes,
                  best.virtual_seconds, best.wall_seconds, events_per_sec,
-                 sim_bytes_per_sec, suite_seconds);
+                 sim_bytes_per_sec, suite_seconds, host_cores,
+                 kThreadRows[0], part[0].wall_seconds,
+                 static_cast<double>(part[0].events) / part[0].wall_seconds,
+                 best.wall_seconds / part[0].wall_seconds,
+                 kThreadRows[1], part[1].wall_seconds,
+                 static_cast<double>(part[1].events) / part[1].wall_seconds,
+                 best.wall_seconds / part[1].wall_seconds);
     std::fclose(f);
     std::printf("  wrote BENCH_wallclock.json\n");
   }

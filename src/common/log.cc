@@ -1,7 +1,9 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <utility>
 
 namespace rstore {
@@ -10,7 +12,10 @@ namespace {
 LogLevel g_level = LogLevel::kInfo;
 std::function<uint64_t()> g_now;  // virtual-time source, optional
 std::function<void(LogLevel)> g_emit_hook;
-uint64_t g_emit_counts[4] = {0, 0, 0, 0};
+// Atomic: partitions of the parallel scheduler emit concurrently, and the
+// per-level counts must stay exact (tests assert "no warnings" on them).
+std::atomic<uint64_t> g_emit_counts[4] = {};
+std::mutex g_emit_mu;  // keeps concurrently-emitted lines whole on stderr
 
 const char* LevelTag(LogLevel level) noexcept {
   switch (level) {
@@ -39,11 +44,12 @@ void SetTimestampSource(std::function<uint64_t()> now_nanos) {
 }
 
 uint64_t LogEmitCount(LogLevel level) noexcept {
-  return g_emit_counts[static_cast<int>(level)];
+  return g_emit_counts[static_cast<int>(level)].load(
+      std::memory_order_relaxed);
 }
 
 void ResetLogEmitCounts() noexcept {
-  for (uint64_t& c : g_emit_counts) c = 0;
+  for (auto& c : g_emit_counts) c.store(0, std::memory_order_relaxed);
 }
 
 void SetLogEmitHook(std::function<void(LogLevel)> hook) {
@@ -55,9 +61,11 @@ namespace log_internal {
 LogLevel GlobalLevel() noexcept { return g_level; }
 
 void Emit(LogLevel level, const std::string& message) {
-  ++g_emit_counts[static_cast<int>(level)];
+  g_emit_counts[static_cast<int>(level)].fetch_add(1,
+                                                   std::memory_order_relaxed);
   if (g_emit_hook) g_emit_hook(level);
   const uint64_t t = NowNanos();
+  std::lock_guard<std::mutex> lock(g_emit_mu);
   std::fprintf(stderr, "[%s %9.3fms] %s\n", LevelTag(level),
                static_cast<double>(t) / 1e6, message.c_str());
 }

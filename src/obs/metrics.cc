@@ -61,14 +61,17 @@ void AppendJsonString(std::string& out, std::string_view s) {
 }
 
 Counter& NodeMetrics::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return Lookup(counters_, name);
 }
 
 Gauge& NodeMetrics::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return Lookup(gauges_, name);
 }
 
 Timer& NodeMetrics::GetTimer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   return Lookup(timers_, name);
 }
 
@@ -137,6 +140,7 @@ void NodeMetrics::AppendJson(std::string& out) const {
 }
 
 NodeMetrics& MetricsRegistry::ForNode(uint32_t id, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = nodes_.find(id);
   if (it == nodes_.end()) {
     it = nodes_

@@ -10,11 +10,20 @@
 // Zero-probe-effect rule: nothing in this file touches the virtual clock,
 // the event queue, or any RNG. Recording a metric can never change a
 // simulated outcome; enabling telemetry costs wall-clock time only.
+//
+// Thread-safety (partitioned scheduler): Counter increments are atomic
+// (relaxed — counts only, no ordering guarantees needed), and instrument/
+// node creation is mutex-guarded, so instruments shared across partitions
+// (e.g. a sender incrementing the receiver's bytes_in) stay exact.
+// Gauge and Timer remain owner-partition-only: every site that mutates
+// one does so from the partition that owns the instrumented node.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -22,14 +31,20 @@
 
 namespace rstore::obs {
 
-// Monotonic event count.
+// Monotonic event count. Increments are atomic so partitions running on
+// different host threads may share one counter; relaxed ordering suffices
+// because counters are read only at barriers or after the run.
 class Counter {
  public:
-  void Inc(uint64_t delta = 1) noexcept { value_ += delta; }
-  [[nodiscard]] uint64_t value() const noexcept { return value_; }
+  void Inc(uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 // Instantaneous level with a high-water mark (e.g. egress queue depth).
@@ -68,11 +83,22 @@ class Timer {
 
 // The instruments of one simulated node. Lookups are by name; returned
 // pointers stay valid for the registry's lifetime (node-local maps never
-// erase), which is what lets callers cache them.
+// erase), which is what lets callers cache them. Creation is serialized
+// by a per-node mutex so concurrent partitions may resolve instruments
+// lazily; the steady-state path (mutating a cached pointer) takes no lock.
 class NodeMetrics {
  public:
   NodeMetrics(uint32_t id, std::string name)
       : id_(id), name_(std::move(name)) {}
+
+  // Movable (Merged() returns by value); the mutex is not state, so the
+  // moved-to object simply gets a fresh one. Move only quiescent objects.
+  NodeMetrics(NodeMetrics&& other) noexcept
+      : id_(other.id_),
+        name_(std::move(other.name_)),
+        counters_(std::move(other.counters_)),
+        gauges_(std::move(other.gauges_)),
+        timers_(std::move(other.timers_)) {}
 
   [[nodiscard]] uint32_t id() const noexcept { return id_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
@@ -95,13 +121,16 @@ class NodeMetrics {
 
   uint32_t id_;
   std::string name_;
+  mutable std::mutex mu_;  // guards map insertion only, never the values
   InstrumentMap<Counter> counters_;
   InstrumentMap<Gauge> gauges_;
   InstrumentMap<Timer> timers_;
 };
 
 // All nodes of one cluster. ForNode() creates on first use, so layers can
-// record against nodes the registry has not seen yet.
+// record against nodes the registry has not seen yet; creation is
+// mutex-guarded so partitions on different host threads may do so
+// concurrently. Returned references never move (node entries never erase).
 class MetricsRegistry {
  public:
   [[nodiscard]] NodeMetrics& ForNode(uint32_t id, std::string_view name = {});
@@ -115,6 +144,7 @@ class MetricsRegistry {
   [[nodiscard]] size_t node_count() const noexcept { return nodes_.size(); }
 
  private:
+  mutable std::mutex mu_;  // guards node-map insertion only
   std::map<uint32_t, std::unique_ptr<NodeMetrics>> nodes_;
 };
 

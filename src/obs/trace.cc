@@ -38,17 +38,20 @@ void AppendMicros(std::string& out, uint64_t ns) {
 }  // namespace
 
 void Tracer::RegisterNode(uint32_t id, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   node_names_[id] = std::string(name);
 }
 
 void Tracer::SetThreadName(uint32_t node, uint64_t tid,
                            std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   thread_names_[{node, tid}] = std::string(name);
 }
 
 void Tracer::RecordSpan(uint32_t node, uint64_t tid, std::string_view category,
                         std::string_view name, uint64_t start_ns,
                         uint64_t end_ns, std::vector<TraceArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -68,6 +71,7 @@ void Tracer::RecordSpan(uint32_t node, uint64_t tid, std::string_view category,
 void Tracer::Instant(uint32_t node, uint64_t tid, std::string_view category,
                      std::string_view name, uint64_t ts_ns,
                      std::vector<TraceArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -84,6 +88,7 @@ void Tracer::Instant(uint32_t node, uint64_t tid, std::string_view category,
 }
 
 void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
   dropped_ = 0;
 }

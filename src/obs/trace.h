@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -38,6 +39,12 @@ struct TraceArg {
 // Collects events in memory; WriteChromeTrace() renders them. Capacity is
 // capped so a runaway bench cannot exhaust host memory — overflow events
 // are counted, not stored.
+//
+// Mutation (RegisterNode/SetThreadName/RecordSpan/Instant) is mutex-
+// guarded: registration happens from partition threads even when span
+// recording is off (tracing itself serializes dispatch, so recording
+// order — and therefore the exported trace — stays deterministic).
+// events() and WriteChromeTrace() are post-run reads.
 class Tracer {
  public:
   struct Event {
@@ -73,6 +80,7 @@ class Tracer {
   [[nodiscard]] Status WriteChromeTrace(const std::string& path) const;
 
  private:
+  std::mutex mu_;  // guards the containers below during a run
   std::vector<Event> events_;
   std::map<uint32_t, std::string> node_names_;
   std::map<std::pair<uint32_t, uint64_t>, std::string> thread_names_;

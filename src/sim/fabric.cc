@@ -5,11 +5,37 @@
 
 #include "explore/policy.h"
 #include "obs/trace.h"
+#include "sim/cost_model.h"
 
 namespace rstore::sim {
 
 Fabric::Fabric(Simulation& sim, NicConfig config)
-    : sim_(sim), config_(config) {}
+    : sim_(sim), config_(config) {
+  pools_.emplace_back();
+  if (sim_.partitioned()) {
+    // The fabric is the cross-partition channel: its base propagation
+    // delay bounds how soon one node's work can affect another, which is
+    // the epoch lookahead of the partitioned scheduler.
+    sim_.ProposeLookahead(ConservativeLookahead(config_));
+    sim_.AtPartitionedRunStart([this] { PrepareForPartitionedRun(); });
+  }
+}
+
+void Fabric::PrepareForPartitionedRun() {
+  // Pre-size every shared container and pre-resolve telemetry
+  // instruments so the parallel phase mutates nothing but per-port state
+  // owned by the dispatching partition (egress on the source port,
+  // ingress on the destination port) and atomic counters.
+  const auto n = static_cast<uint32_t>(sim_.node_count());
+  if (n > 0) (void)port(n - 1);
+  for (uint32_t i = 0; i < n; ++i) {
+    PortState& p = ports_[i];
+    if (p.egress_by_dst.size() < n) p.egress_by_dst.resize(n);
+    if (p.last_first_bit_by_dst.size() < n) p.last_first_bit_by_dst.resize(n);
+    EnsureObs(i, p);
+  }
+  while (pools_.size() < sim_.node_count() + 1) pools_.emplace_back();
+}
 
 Fabric::PortState& Fabric::port(uint32_t node) {
   if (node >= ports_.size()) ports_.resize(node + 1);
@@ -41,19 +67,20 @@ void Fabric::EnsureObs(uint32_t node, PortState& p) {
 }
 
 Fabric::Message* Fabric::AcquireMessage() {
-  if (free_messages_.empty()) {
-    message_arena_.emplace_back();
-    return &message_arena_.back();
+  MsgPool& pool = pools_[sim_.CurrentPartitionIndex()];
+  if (pool.free.empty()) {
+    pool.arena.emplace_back();
+    return &pool.arena.back();
   }
-  Message* msg = free_messages_.back();
-  free_messages_.pop_back();
+  Message* msg = pool.free.back();
+  pool.free.pop_back();
   return msg;
 }
 
 void Fabric::ReleaseMessage(Message* msg) {
   msg->on_delivered.Reset();
   msg->on_dropped.Reset();
-  free_messages_.push_back(msg);
+  pools_[sim_.CurrentPartitionIndex()].free.push_back(msg);
 }
 
 void Fabric::SetLinkDown(uint32_t a, uint32_t b, bool down) {
@@ -66,6 +93,15 @@ void Fabric::SetLinkDown(uint32_t a, uint32_t b, bool down) {
 
 bool Fabric::LinkUp(uint32_t a, uint32_t b) const {
   return !down_links_.contains(LinkKey(a, b));
+}
+
+uint64_t Fabric::total_bytes() const noexcept {
+  // Every accepted Send increments exactly one port's bytes_out, so the
+  // sum is the historical cumulative counter (and needs no shared
+  // accumulator under concurrent partitions).
+  uint64_t n = 0;
+  for (const auto& p : ports_) n += p.bytes_out;
+  return n;
 }
 
 uint64_t Fabric::bytes_out(uint32_t node) const {
@@ -94,15 +130,29 @@ void Fabric::Send(uint32_t src, uint32_t dst, uint64_t payload_bytes,
   PortState& sp = port(src);
   sp.bytes_out += payload_bytes;
   sp.messages_out += 1;
-  PortState& dp = port(dst);
-  dp.bytes_in += payload_bytes;
-  total_bytes_ += payload_bytes;
-  EnsureObs(src, sp);
-  if (sp.obs_bytes_out != nullptr) {
-    sp.obs_bytes_out->Inc(payload_bytes);
-    sp.obs_msgs_out->Inc();
-    EnsureObs(dst, dp);
-    dp.obs_bytes_in->Inc(payload_bytes);
+  if (!sim_.partitioned()) {
+    PortState& dp = port(dst);
+    dp.bytes_in += payload_bytes;
+    EnsureObs(src, sp);
+    if (sp.obs_bytes_out != nullptr) {
+      sp.obs_bytes_out->Inc(payload_bytes);
+      sp.obs_msgs_out->Inc();
+      EnsureObs(dst, dp);
+      dp.obs_bytes_in->Inc(payload_bytes);
+    }
+  } else {
+    // Partitioned: the caller runs in src's partition, so only src-port
+    // state may be touched here; dst ingress accounting happens in
+    // ApplyIngress on dst's partition. Instruments were pre-resolved by
+    // the run-start hook (counters are atomic).
+    if (sp.obs_bytes_out != nullptr) {
+      sp.obs_bytes_out->Inc(payload_bytes);
+      sp.obs_msgs_out->Inc();
+    }
+    if (src == dst) {
+      sp.bytes_in += payload_bytes;
+      if (sp.obs_bytes_in != nullptr) sp.obs_bytes_in->Inc(payload_bytes);
+    }
   }
 
   if (src == dst) {
@@ -214,13 +264,44 @@ void Fabric::PumpEgress(uint32_t node) {
   if (explore::SchedulePolicy* pol = sim_.policy(); pol != nullptr) {
     extra = pol->FabricDelayNs();
   }
-  PortState& q = port(msg->dst);
-  const Nanos first_bit = now + config_.base_latency + extra;
-  const Nanos service_start = std::max(first_bit, q.ingress_free_at);
-  q.ingress_free_at = service_start + msg->wire_time;
-  sim_.At(q.ingress_free_at, [this, msg] { Deliver(msg); });
+  if (!sim_.partitioned()) {
+    PortState& q = port(msg->dst);
+    const Nanos first_bit = now + config_.base_latency + extra;
+    const Nanos service_start = std::max(first_bit, q.ingress_free_at);
+    q.ingress_free_at = service_start + msg->wire_time;
+    sim_.At(q.ingress_free_at, [this, msg] { Deliver(msg); });
+  } else {
+    // Partitioned: the ingress reservation belongs to dst's partition.
+    // Hand the message over at its first-bit instant — which is at least
+    // one lookahead (base_latency) ahead of this partition's clock, so
+    // the post is never clamped and arrives at exactly first_bit. The
+    // epoch merge orders cross-partition arrivals by (t, src partition,
+    // post order) = first-bit order, so ApplyIngress reservations are
+    // FIFO-by-first-bit just like the legacy in-pump reservation. The
+    // per-(src,dst) clamp keeps that order FIFO per path even when a
+    // policy injects unequal per-message delays.
+    auto& last = p.last_first_bit_by_dst;
+    if (msg->dst >= last.size()) last.resize(msg->dst + 1);
+    Nanos first_bit = now + config_.base_latency + extra;
+    if (first_bit <= last[msg->dst]) first_bit = last[msg->dst] + 1;
+    last[msg->dst] = first_bit;
+    msg->first_bit = first_bit;
+    sim_.PostToNode(msg->dst, first_bit, [this, msg] { ApplyIngress(msg); });
+  }
 
   if (p.egress_backlog > 0) SchedulePump(node, p.egress_free_at);
+}
+
+void Fabric::ApplyIngress(Message* msg) {
+  // Runs on the destination's partition at the first-bit arrival instant:
+  // applies the monotone ingress reservation and schedules delivery
+  // locally.
+  PortState& q = port(msg->dst);
+  q.bytes_in += msg->payload_bytes;
+  if (q.obs_bytes_in != nullptr) q.obs_bytes_in->Inc(msg->payload_bytes);
+  const Nanos service_start = std::max(msg->first_bit, q.ingress_free_at);
+  q.ingress_free_at = service_start + msg->wire_time;
+  sim_.At(q.ingress_free_at, [this, msg] { Deliver(msg); });
 }
 
 void Fabric::Deliver(Message* msg) {
@@ -235,7 +316,10 @@ void Fabric::Deliver(Message* msg) {
       // end of egress queueing/serialization and delivery.
       const Nanos wire = now - msg->tx_start - msg->wire_time;
       PortState& sp = port(msg->src);
-      EnsureObs(msg->src, sp);
+      // Partitioned: sp belongs to another partition — read-only access
+      // to the pre-resolved instrument pointer plus an atomic Inc is
+      // safe; lazy resolution (a write) is not, so it is legacy-only.
+      if (!sim_.partitioned()) EnsureObs(msg->src, sp);
       if (sp.obs_wire_ns != nullptr) {
         sp.obs_wire_ns->Inc(static_cast<uint64_t>(wire));
       }
@@ -259,9 +343,18 @@ void Fabric::Deliver(Message* msg) {
     ReleaseMessage(msg);
     cb();
   } else if (msg->on_dropped) {
-    // The destination died (or the link partitioned) in flight.
+    // The destination died (or the link partitioned) in flight. The drop
+    // callback belongs to the sender (verbs maps it to a retry-exceeded
+    // completion on the initiator), so in partitioned mode it is routed
+    // back to the source's partition.
     const Nanos detect = msg->sent_at + config_.drop_detect_latency;
-    sim_.At(std::max(detect, sim_.NowNanos()), std::move(msg->on_dropped));
+    const Nanos at = std::max(detect, sim_.NowNanos());
+    if (sim_.partitioned() && !sim_.InContextOfNode(msg->src)) {
+      sim_.PostToNode(msg->src, at,
+                      [cb = std::move(msg->on_dropped)]() mutable { cb(); });
+    } else {
+      sim_.At(at, std::move(msg->on_dropped));
+    }
     ReleaseMessage(msg);
   } else {
     ReleaseMessage(msg);

@@ -90,7 +90,7 @@ class Fabric {
   [[nodiscard]] uint64_t bytes_out(uint32_t node) const;
   [[nodiscard]] uint64_t bytes_in(uint32_t node) const;
   [[nodiscard]] uint64_t messages_out(uint32_t node) const;
-  [[nodiscard]] uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] uint64_t total_bytes() const noexcept;
 
  private:
   // Messages are pooled: acquired on Send, released after delivery/drop.
@@ -106,7 +106,8 @@ class Fabric {
     FabricFn on_delivered;
     FabricFn on_dropped;
     Nanos sent_at;
-    Nanos tx_start;  // egress transmission start (set by PumpEgress)
+    Nanos tx_start;   // egress transmission start (set by PumpEgress)
+    Nanos first_bit;  // arrival of the first bit at dst (partitioned mode)
   };
 
   struct PortState {
@@ -129,8 +130,18 @@ class Fabric {
     // constant, first-bit order equals transmission-start order, so
     // reserving the ingress port at egress-pump time (which runs in
     // virtual-time order) is exactly FIFO-by-first-bit — without an
-    // arrival event or a queue.
+    // arrival event or a queue. In partitioned mode the reservation is
+    // applied on the *destination's* partition (ApplyIngress), which
+    // receives cross-partition messages merged in first-bit order — the
+    // same FIFO-by-first-bit result without cross-partition writes.
     Nanos ingress_free_at = 0;
+    // Partitioned mode: last first-bit instant sent towards each
+    // destination. Injected per-message delays (kFabricDelay) are clamped
+    // so first bits per (src,dst) pair stay strictly increasing, which
+    // preserves RC same-path FIFO delivery under the first-bit-order
+    // merge rule (the legacy path gets this from reservation-in-pump-
+    // order instead).
+    std::vector<Nanos> last_first_bit_by_dst;
 
     uint64_t bytes_out = 0;
     uint64_t bytes_in = 0;
@@ -156,7 +167,9 @@ class Fabric {
   void ReleaseMessage(Message* msg);
   void PumpEgress(uint32_t node);
   void SchedulePump(uint32_t node, Nanos at);
+  void ApplyIngress(Message* msg);
   void Deliver(Message* msg);
+  void PrepareForPartitionedRun();
   [[nodiscard]] static uint64_t LinkKey(uint32_t a, uint32_t b) noexcept {
     if (a > b) std::swap(a, b);
     return (static_cast<uint64_t>(a) << 32) | b;
@@ -165,14 +178,22 @@ class Fabric {
   Simulation& sim_;
   NicConfig config_;
   // deque: grows without invalidating references (delivery callbacks can
-  // trigger nested Sends that add ports).
+  // trigger nested Sends that add ports). In partitioned mode the prepare
+  // hook pre-sizes it to the node count so the parallel phase never
+  // mutates the container (each partition then only writes its own port's
+  // egress state and its own port's ingress state).
   std::deque<PortState> ports_;
   std::unordered_set<uint64_t> down_links_;
-  uint64_t total_bytes_ = 0;
 
-  // Message pool (stable storage + freelist).
-  std::deque<Message> message_arena_;
-  std::vector<Message*> free_messages_;
+  // Message pools (stable storage + freelist), one per partition index so
+  // concurrent partitions never contend: acquired from the sender's pool,
+  // released into the releasing context's pool — pool membership does not
+  // affect the timeline. Legacy mode uses pool 0 only.
+  struct MsgPool {
+    std::deque<Message> arena;
+    std::vector<Message*> free;
+  };
+  std::deque<MsgPool> pools_;
 
   // Pooled scratch for the explorable egress arbitration in PumpEgress.
   std::vector<uint32_t> egress_cand_scratch_;

@@ -21,13 +21,50 @@
 namespace rstore::sim {
 
 // ---------------------------------------------------------------------------
+// SimPartition: one event queue + clock + thread-handoff channel. Legacy
+// mode has exactly one (every node shares it — the historical global
+// scheduler). Partitioned mode gives every node its own, plus partition 0
+// for driver-scheduled events; partitions dispatch independently inside
+// conservative epochs and exchange cross-partition events through
+// `outbox`, merged deterministically at epoch barriers (FlushOutboxes).
+// ---------------------------------------------------------------------------
+struct SimPartition {
+  using Event = Simulation::Event;
+
+  Simulation* sim = nullptr;
+  uint32_t index = 0;
+  Nanos now = 0;
+  uint64_t next_seq = 0;
+  uint64_t events_processed = 0;
+  uint64_t thread_slices = 0;
+  // Event queue as a manual binary min-heap over a reserved vector: the
+  // storage is pooled across the run (no reallocation churn once warm)
+  // and the top entry can be moved out instead of copied.
+  std::vector<Event> events;
+  // Cross-partition posts created while this partition dispatches, as
+  // (destination partition index, event) in post order. Only the owning
+  // dispatcher appends; only the driver thread drains, at barriers.
+  std::vector<std::pair<uint32_t, Event>> outbox;
+  // Livelock-guard streak for ExploreTieBreak (per partition: a pure
+  // function of this partition's schedule).
+  Nanos tie_streak_t = kNever;
+  uint64_t tie_streak = 0;
+  // Handoff state: mu orders the handoff edges; active is additionally
+  // atomic so the dispatcher can spin-wait for the slice end without
+  // taking the mutex (see RunThreadSlice).
+  std::mutex mu;
+  std::condition_variable scheduler_cv;
+  std::atomic<SimThread*> active = nullptr;
+};
+
+// ---------------------------------------------------------------------------
 // SimThread: one cooperative thread. The handoff protocol keeps the
-// invariant that at any instant exactly one of {scheduler, one SimThread}
-// is executing:
+// invariant that at any instant exactly one of {dispatcher, one SimThread}
+// is executing per partition:
 //
-//   scheduler -> thread : set sim.active_ = t (under mu_), notify t->cv_
-//   thread -> scheduler : set sim.active_ = nullptr (under mu_),
-//                         notify sim.scheduler_cv_
+//   dispatcher -> thread : set part.active = t (under part.mu), notify cv_
+//   thread -> dispatcher : set part.active = nullptr (under part.mu),
+//                          notify part.scheduler_cv
 //
 // A thread "yields" by calling Block(), which performs the second handoff
 // and waits to be re-activated. Wake events carry the generation number of
@@ -41,6 +78,7 @@ class SimThread {
             std::function<void()> fn)
       : node_(node),
         sim_(node.sim()),
+        part_(*node.partition_),
         name_(std::move(name)),
         tid_(tid),
         fn_(std::move(fn)),
@@ -54,8 +92,8 @@ class SimThread {
   SimThread(const SimThread&) = delete;
   SimThread& operator=(const SimThread&) = delete;
 
-  // The scheduler reads these after the handoff's release/acquire edge on
-  // sim.active_, but they are atomic so the ThreadSanitizer build can
+  // The dispatcher reads these after the handoff's release/acquire edge on
+  // part.active, but they are atomic so the ThreadSanitizer build can
   // verify the protocol instead of trusting this comment.
   [[nodiscard]] bool exited() const noexcept {
     return exited_.load(std::memory_order_relaxed);
@@ -93,12 +131,12 @@ class SimThread {
   [[nodiscard]] bool ShuttingDown() const noexcept;
 
   void YieldToScheduler() {
-    std::unique_lock<std::mutex> lock(sim_.mu_);
+    std::unique_lock<std::mutex> lock(part_.mu);
     blocked_.store(true, std::memory_order_relaxed);
-    sim_.active_.store(nullptr, std::memory_order_release);
-    sim_.scheduler_cv_.notify_one();
+    part_.active.store(nullptr, std::memory_order_release);
+    part_.scheduler_cv.notify_one();
     cv_.wait(lock, [this] {
-      return sim_.active_.load(std::memory_order_relaxed) == this;
+      return part_.active.load(std::memory_order_relaxed) == this;
     });
     blocked_.store(false, std::memory_order_relaxed);
     // Invalidate any other pending wakes for the finished block.
@@ -109,6 +147,7 @@ class SimThread {
 
   Node& node_;
   Simulation& sim_;
+  SimPartition& part_;
   const std::string name_;
   const uint64_t tid_;  // simulation-unique id for trace attribution
   std::function<void()> fn_;
@@ -124,6 +163,11 @@ class SimThread {
 
 namespace {
 thread_local SimThread* g_current_thread = nullptr;
+// Set on a host thread (driver or epoch worker) for the duration of one
+// partition's dispatch, so scheduler-context callbacks resolve their
+// clock and event queue. Node threads resolve through g_current_thread
+// instead (they run on their own OS threads).
+thread_local SimPartition* g_current_partition = nullptr;
 
 SimThread* Current() {
   SimThread* t = g_current_thread;
@@ -137,15 +181,20 @@ SimThread* Current() {
 }
 }  // namespace
 
-bool SimThread::ShuttingDown() const noexcept { return sim_.shutting_down_; }
+bool PartitionedEnvRequested() {
+  const char* e = std::getenv("RSTORE_HOST_THREADS");
+  return e != nullptr && *e != '\0' && std::strtol(e, nullptr, 10) > 0;
+}
+
+bool SimThread::ShuttingDown() const noexcept { return sim_.shutting_down(); }
 
 void SimThread::ThreadMain() {
   g_current_thread = this;
   {
     // First activation mirrors the tail of YieldToScheduler().
-    std::unique_lock<std::mutex> lock(sim_.mu_);
+    std::unique_lock<std::mutex> lock(part_.mu);
     cv_.wait(lock, [this] {
-      return sim_.active_.load(std::memory_order_relaxed) == this;
+      return part_.active.load(std::memory_order_relaxed) == this;
     });
     blocked_.store(false, std::memory_order_relaxed);
     gen_.fetch_add(1, std::memory_order_relaxed);
@@ -161,10 +210,10 @@ void SimThread::ThreadMain() {
     }
   }
   // Exit handoff: give control back to the scheduler permanently.
-  std::lock_guard<std::mutex> lock(sim_.mu_);
+  std::lock_guard<std::mutex> lock(part_.mu);
   exited_.store(true, std::memory_order_relaxed);
-  sim_.active_.store(nullptr, std::memory_order_release);
-  sim_.scheduler_cv_.notify_one();
+  part_.active.store(nullptr, std::memory_order_release);
+  part_.scheduler_cv.notify_one();
 }
 
 // ---------------------------------------------------------------------------
@@ -176,11 +225,12 @@ Node::Node(Simulation& sim, uint32_t id, std::string name, uint64_t seed)
 Node::~Node() = default;
 
 void Node::Spawn(std::string thread_name, std::function<void()> fn) {
+  const uint64_t tid = sim_.AllocateTid();
   if (obs::Telemetry* tel = sim_.telemetry(); tel != nullptr) {
-    tel->tracer().SetThreadName(id_, sim_.next_tid_, thread_name);
+    tel->tracer().SetThreadName(id_, tid, thread_name);
   }
-  auto thread = std::make_unique<SimThread>(
-      *this, std::move(thread_name), sim_.AllocateTid(), std::move(fn));
+  auto thread = std::make_unique<SimThread>(*this, std::move(thread_name), tid,
+                                            std::move(fn));
   SimThread* t = thread.get();
   threads_.push_back(std::move(thread));
   sim_.ScheduleWake(t, t->gen(), sim_.NowNanos(), SimThread::kStart);
@@ -298,7 +348,27 @@ Nanos CondVar::NowInternal() const { return sim_.NowNanos(); }
 // ---------------------------------------------------------------------------
 Simulation::Simulation(SimConfig config)
     : config_(config), seeder_(config.seed) {
-  events_.reserve(1024);
+  // Partitioned mode: explicit config wins; otherwise the environment
+  // opts whole processes in (the bench --host-threads flag and the CI
+  // parallel-determinism gate both use the env).
+  if (config_.host_threads == 0) {
+    if (const char* e = std::getenv("RSTORE_HOST_THREADS");
+        e != nullptr && *e != '\0') {
+      const long v = std::strtol(e, nullptr, 10);
+      if (v > 0) {
+        config_.host_threads = static_cast<uint32_t>(std::min(v, 1024L));
+      }
+    }
+  }
+  if (const char* e = std::getenv("RSTORE_PARTITION_SERIAL");
+      e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
+    config_.serialize_dispatch = true;
+  }
+  partitioned_ = config_.host_threads >= 1;
+  partitions_.push_back(std::make_unique<Partition>());
+  partitions_.back()->sim = this;
+  partitions_.back()->index = 0;
+  partitions_.back()->events.reserve(1024);
   // Opt-in runtime verification for whole test/bench processes: every
   // simulation in the process gets its own checker, and Shutdown() turns
   // any violation into a report + abort (the CI rcheck gate).
@@ -336,11 +406,67 @@ Node& Simulation::AddNode(std::string name) {
   nodes_.push_back(
       std::make_unique<Node>(*this, id, std::move(name), seeder_.Next()));
   Node& node = *nodes_.back();
+  if (partitioned_) {
+    partitions_.push_back(std::make_unique<Partition>());
+    partitions_.back()->sim = this;
+    partitions_.back()->index = static_cast<uint32_t>(partitions_.size() - 1);
+    partitions_.back()->events.reserve(64);
+    node.partition_ = partitions_.back().get();
+  } else {
+    node.partition_ = partitions_.front().get();
+  }
   if (telemetry_ != nullptr) {
     (void)telemetry_->metrics().ForNode(id, node.name());
     telemetry_->tracer().RegisterNode(id, node.name());
   }
   return node;
+}
+
+Simulation::Partition* Simulation::CurrentPartition() const noexcept {
+  if (g_current_thread != nullptr &&
+      &g_current_thread->node().sim() == this) {
+    return g_current_thread->node().partition_;
+  }
+  if (g_current_partition != nullptr && g_current_partition->sim == this) {
+    return g_current_partition;
+  }
+  return nullptr;
+}
+
+Nanos Simulation::NowNanos() const noexcept {
+  const Partition* p = CurrentPartition();
+  return p != nullptr ? p->now : driver_now_;
+}
+
+uint32_t Simulation::CurrentPartitionIndex() const noexcept {
+  const Partition* p = CurrentPartition();
+  return p != nullptr ? p->index : 0;
+}
+
+bool Simulation::InContextOfNode(uint32_t node_id) const noexcept {
+  if (!partitioned_) return true;
+  const Partition* cur = CurrentPartition();
+  return cur == nullptr || cur == nodes_.at(node_id)->partition_;
+}
+
+uint64_t Simulation::events_processed() const noexcept {
+  uint64_t n = 0;
+  for (const auto& p : partitions_) n += p->events_processed;
+  return n;
+}
+
+uint64_t Simulation::thread_slices() const noexcept {
+  uint64_t n = 0;
+  for (const auto& p : partitions_) n += p->thread_slices;
+  return n;
+}
+
+void Simulation::AtPartitionedRunStart(std::function<void()> hook) {
+  prepare_hooks_.push_back(std::move(hook));
+}
+
+void Simulation::AtEpochBarrier(std::function<void()> hook) {
+  barrier_hooks_.push_back(std::move(hook));
 }
 
 void Simulation::AttachTelemetry(obs::Telemetry* telemetry) {
@@ -353,7 +479,7 @@ void Simulation::AttachTelemetry(obs::Telemetry* telemetry) {
   if (telemetry_ == nullptr) return;
   // The clock and thread-id sources read scheduler state only; they are
   // observation hooks, never inputs to the event timeline.
-  telemetry_->SetClock([this] { return static_cast<uint64_t>(now_); });
+  telemetry_->SetClock([this] { return static_cast<uint64_t>(NowNanos()); });
   telemetry_->SetTidSource([]() -> uint64_t {
     return g_current_thread != nullptr ? g_current_thread->tid() : 0;
   });
@@ -362,7 +488,9 @@ void Simulation::AttachTelemetry(obs::Telemetry* telemetry) {
     telemetry_->tracer().RegisterNode(node->id(), node->name());
   }
   // Route log emissions into a per-level counter on the emitting node
-  // (scheduler-context lines land on a synthetic "host" row).
+  // (scheduler-context lines land on a synthetic "host" row). Safe under
+  // concurrent partition threads: ForNode/GetCounter take the registry
+  // locks and counters are atomic.
   SetLogEmitHook([this](LogLevel level) {
     if (telemetry_ == nullptr) return;
     static constexpr std::string_view kCounterNames[] = {
@@ -380,7 +508,7 @@ void Simulation::AttachChecker(check::Checker* checker) {
   checker_ = checker;
   if (checker_ != nullptr) {
     // Observation hook only: the checker reads the clock, never drives it.
-    checker_->SetClock([this] { return static_cast<uint64_t>(now_); });
+    checker_->SetClock([this] { return static_cast<uint64_t>(NowNanos()); });
   }
 }
 
@@ -388,48 +516,81 @@ void Simulation::AttachPolicy(explore::SchedulePolicy* policy) {
   policy_ = policy;
 }
 
-void Simulation::PushEvent(Event e) {
-  events_.push_back(std::move(e));
-  std::push_heap(events_.begin(), events_.end(), std::greater<>{});
+void Simulation::PushEvent(Partition& p, Event e) {
+  p.events.push_back(std::move(e));
+  std::push_heap(p.events.begin(), p.events.end(), std::greater<>{});
 }
 
-Simulation::Event Simulation::PopEvent() {
-  std::pop_heap(events_.begin(), events_.end(), std::greater<>{});
-  Event e = std::move(events_.back());
-  events_.pop_back();
+Simulation::Event Simulation::PopEvent(Partition& p) {
+  std::pop_heap(p.events.begin(), p.events.end(), std::greater<>{});
+  Event e = std::move(p.events.back());
+  p.events.pop_back();
   return e;
 }
 
 void Simulation::At(Nanos t, EventFn fn) {
+  Partition* cur = CurrentPartition();
+  Partition& p = cur != nullptr ? *cur : *partitions_.front();
   Event e;
-  e.t = std::max(t, now_);
-  e.seq = next_seq_++;
+  e.t = std::max(t, cur != nullptr ? cur->now : driver_now_);
+  e.seq = p.next_seq++;
   e.fn = std::move(fn);
-  PushEvent(std::move(e));
+  PushEvent(p, std::move(e));
 }
 
 void Simulation::After(Nanos delay, EventFn fn) {
-  At(now_ + delay, std::move(fn));
+  At(NowNanos() + delay, std::move(fn));
+}
+
+void Simulation::PostToNode(uint32_t node_id, Nanos t, EventFn fn) {
+  Partition& target = *nodes_.at(node_id)->partition_;
+  Partition* cur = CurrentPartition();
+  Event e;
+  e.fn = std::move(fn);
+  if (cur != nullptr && cur != &target) {
+    // Cross-partition: buffered in post order, merged at the next epoch
+    // barrier (seq stamped there, under the merge rule).
+    e.t = t;
+    e.seq = 0;
+    cur->outbox.emplace_back(target.index, std::move(e));
+    return;
+  }
+  // Same partition, or driver context between runs (no dispatcher is
+  // touching any heap): push directly.
+  e.t = std::max(t, cur != nullptr ? cur->now : driver_now_);
+  e.seq = target.next_seq++;
+  PushEvent(target, std::move(e));
 }
 
 void Simulation::ScheduleWake(SimThread* t, uint64_t gen, Nanos at,
                               int reason) {
+  Partition& target = *t->node().partition_;
+  Partition* cur = CurrentPartition();
   Event e;
-  e.t = std::max(at, now_);
-  e.seq = next_seq_++;
   e.wake_target = t;
   e.wake_gen = gen;
   e.wake_reason = reason;
-  PushEvent(std::move(e));
+  if (cur != nullptr && cur != &target) {
+    // Cross-partition notify (e.g. a CondVar poked from another node's
+    // context under serialized dispatch): routed through the epoch
+    // boundary; the generation check makes late arrivals safe.
+    e.t = std::max(at, cur->now);
+    e.seq = 0;
+    cur->outbox.emplace_back(target.index, std::move(e));
+    return;
+  }
+  e.t = std::max(at, cur != nullptr ? cur->now : driver_now_);
+  e.seq = target.next_seq++;
+  PushEvent(target, std::move(e));
 }
 
-void Simulation::RunThreadSlice(SimThread* t) {
+void Simulation::RunThreadSlice(Partition& p, SimThread* t) {
   // Scheduler hand-off edge: tick the node's clock component so shadow
   // stamps taken on either side of the slice boundary stay distinct.
   if (checker_ != nullptr) checker_->OnThreadSlice(t->node().id());
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    active_.store(t, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(p.mu);
+    p.active.store(t, std::memory_order_release);
   }
   t->cv_.notify_one();
   // Slices are typically a few microseconds of real work, so poll for the
@@ -444,13 +605,13 @@ void Simulation::RunThreadSlice(SimThread* t) {
   if (kUniprocessor) {
     constexpr int kYieldIters = 64;
     for (int i = 0; i < kYieldIters; ++i) {
-      if (active_.load(std::memory_order_acquire) == nullptr) return;
+      if (p.active.load(std::memory_order_acquire) == nullptr) return;
       std::this_thread::yield();
     }
   } else {
     constexpr int kSpinIters = 4096;
     for (int i = 0; i < kSpinIters; ++i) {
-      if (active_.load(std::memory_order_acquire) == nullptr) return;
+      if (p.active.load(std::memory_order_acquire) == nullptr) return;
 #if defined(__x86_64__) || defined(__i386__)
       __builtin_ia32_pause();
 #elif defined(__aarch64__)
@@ -458,13 +619,13 @@ void Simulation::RunThreadSlice(SimThread* t) {
 #endif
     }
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  scheduler_cv_.wait(lock, [this] {
-    return active_.load(std::memory_order_relaxed) == nullptr;
+  std::unique_lock<std::mutex> lock(p.mu);
+  p.scheduler_cv.wait(lock, [&p] {
+    return p.active.load(std::memory_order_relaxed) == nullptr;
   });
 }
 
-Simulation::Event Simulation::ExploreTieBreak(Event first) {
+Simulation::Event Simulation::ExploreTieBreak(Partition& p, Event first) {
   // Gather every candidate at this instant. Stale wakes are discarded
   // here instead of at dispatch — staleness is permanent (generations
   // only grow), so early discard is behaviour-identical to the baseline's
@@ -472,8 +633,8 @@ Simulation::Event Simulation::ExploreTieBreak(Event first) {
   tie_events_.clear();
   tie_events_.push_back(std::move(first));
   const Nanos t = tie_events_.front().t;
-  while (!events_.empty() && events_.front().t == t) {
-    Event e = PopEvent();
+  while (!p.events.empty() && p.events.front().t == t) {
+    Event e = PopEvent(p);
     if (e.wake_target != nullptr) {
       SimThread* th = e.wake_target;
       if (th->exited() || !th->blocked() || th->gen() != e.wake_gen) {
@@ -484,11 +645,11 @@ Simulation::Event Simulation::ExploreTieBreak(Event first) {
   }
   size_t pick = 0;
   if (tie_events_.size() > 1) {
-    if (t != tie_streak_t_) {
-      tie_streak_t_ = t;
-      tie_streak_ = 0;
+    if (t != p.tie_streak_t) {
+      p.tie_streak_t = t;
+      p.tie_streak = 0;
     }
-    if (++tie_streak_ <= kMaxSameInstantPicks) {
+    if (++p.tie_streak <= kMaxSameInstantPicks) {
       tie_lanes_.clear();
       for (const Event& e : tie_events_) {
         tie_lanes_.push_back(e.wake_target != nullptr
@@ -502,7 +663,7 @@ Simulation::Event Simulation::ExploreTieBreak(Event first) {
   }
   Event chosen = std::move(tie_events_[pick]);
   for (size_t i = 0; i < tie_events_.size(); ++i) {
-    if (i != pick) PushEvent(std::move(tie_events_[i]));
+    if (i != pick) PushEvent(p, std::move(tie_events_[i]));
   }
   tie_events_.clear();
   return chosen;
@@ -510,11 +671,15 @@ Simulation::Event Simulation::ExploreTieBreak(Event first) {
 
 void Simulation::Run() { RunUntil(kNever); }
 
-void Simulation::RunUntil(Nanos deadline) {
-  assert(!InSimThread() && "Run must be driven from outside the simulation");
-  stop_requested_ = false;
-  while (!events_.empty() && !stop_requested_) {
-    Event e = PopEvent();
+void Simulation::DispatchPartition(Partition& p, Nanos deadline, Nanos until,
+                                   bool obey_stop) {
+  while (!p.events.empty()) {
+    if (obey_stop && stop_requested_.load(std::memory_order_relaxed)) return;
+    // Conservative epoch horizon: nothing at or past `until` may run this
+    // epoch (cross-partition arrivals up to the horizon are already
+    // merged; later ones are not yet visible).
+    if (until != kNever && p.events.front().t >= until) return;
+    Event e = PopEvent(p);
     if (e.wake_target != nullptr) {
       SimThread* t = e.wake_target;
       if (t->exited() || !t->blocked() || t->gen() != e.wake_gen) {
@@ -524,14 +689,14 @@ void Simulation::RunUntil(Nanos deadline) {
     // Same-instant tie-break: only consulted when a policy is attached
     // and another event shares this instant, so the un-explored fast
     // path is one branch.
-    if (policy_ != nullptr && !events_.empty() &&
-        events_.front().t == e.t && e.t <= deadline) {
-      e = ExploreTieBreak(std::move(e));
+    if (policy_ != nullptr && !p.events.empty() &&
+        p.events.front().t == e.t && e.t <= deadline) {
+      e = ExploreTieBreak(p, std::move(e));
     }
     if (e.t > deadline) {
       // Put it back and stop at the deadline.
-      PushEvent(std::move(e));
-      now_ = std::max(now_, deadline);
+      PushEvent(p, std::move(e));
+      p.now = std::max(p.now, deadline);
       return;
     }
     if (e.t > config_.horizon) {
@@ -541,34 +706,226 @@ void Simulation::RunUntil(Nanos deadline) {
                    ToSeconds(config_.horizon));
       std::abort();
     }
-    now_ = std::max(now_, e.t);
-    ++events_processed_;
+    p.now = std::max(p.now, e.t);
+    ++p.events_processed;
     if (e.wake_target != nullptr) {
-      ++thread_slices_;
+      ++p.thread_slices;
       e.wake_target->wake_reason_ =
           static_cast<SimThread::WakeReason>(e.wake_reason);
-      RunThreadSlice(e.wake_target);
+      RunThreadSlice(p, e.wake_target);
     } else {
       e.fn();
     }
   }
 }
 
+void Simulation::DispatchShare(uint32_t worker, uint32_t stride,
+                               Nanos deadline, Nanos until) {
+  const size_t count = partitions_.size();
+  for (size_t i = worker; i < count; i += stride) {
+    Partition& p = *partitions_[i];
+    if (p.events.empty()) continue;
+    g_current_partition = &p;
+    DispatchPartition(p, deadline, until, /*obey_stop=*/false);
+    g_current_partition = nullptr;
+  }
+}
+
+void Simulation::FlushOutboxes() {
+  // Ascending source partition id, each outbox in post order: the gather
+  // order per destination is (source partition, post order), and the
+  // stable sort by t refines it to (t, source partition, post order) —
+  // THE cross-partition merge rule. Destination seqs are stamped in that
+  // order, so merged events obey the normal same-instant FIFO tie-break.
+  for (auto& sp : partitions_) {
+    for (auto& [dst, ev] : sp->outbox) {
+      if (merge_scratch_[dst].empty()) merge_dirty_.push_back(dst);
+      merge_scratch_[dst].push_back(std::move(ev));
+    }
+    sp->outbox.clear();
+  }
+  for (const uint32_t dst : merge_dirty_) {
+    auto& arrivals = merge_scratch_[dst];
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Event& a, const Event& b) { return a.t < b.t; });
+    Partition& d = *partitions_[dst];
+    for (Event& ev : arrivals) {
+      ev.seq = d.next_seq++;
+      PushEvent(d, std::move(ev));
+    }
+    arrivals.clear();
+  }
+  merge_dirty_.clear();
+}
+
+// Epoch rendezvous for the worker pool: the driver publishes
+// (gen, deadline, until) and waits for `outstanding` to drain; workers
+// dispatch their static share (partition i goes to worker i % workers, so
+// the assignment — though not the timeline, which doesn't depend on it —
+// is reproducible too).
+struct Simulation::EpochSync {
+  std::mutex mu;
+  std::condition_variable go_cv;
+  std::condition_variable done_cv;
+  uint64_t gen = 0;
+  uint32_t outstanding = 0;
+  Nanos deadline = 0;
+  Nanos until = 0;
+  bool quit = false;
+};
+
+void Simulation::RunPartitionedUntil(Nanos deadline) {
+  merge_scratch_.resize(partitions_.size());
+  // Run-start hooks: models pre-size per-partition pools and pre-resolve
+  // telemetry instruments so the parallel phase never mutates shared
+  // tables.
+  for (auto& hook : prepare_hooks_) hook();
+  const auto count = static_cast<uint32_t>(partitions_.size());
+  // A checker, a policy, or span tracing observes one global order:
+  // dispatch partitions serially (in id order) on this thread. The
+  // timeline is identical to parallel dispatch by construction — the
+  // epoch structure, merges, and per-partition orders do not depend on
+  // which host thread dispatches a partition — so serialized runs are
+  // valid goldens for parallel ones and vice versa.
+  const bool serialize =
+      config_.serialize_dispatch || checker_ != nullptr ||
+      policy_ != nullptr ||
+      (telemetry_ != nullptr && telemetry_->tracing());
+  const uint32_t workers =
+      serialize ? 1 : std::min(config_.host_threads, count);
+
+  EpochSync sync;
+  std::vector<std::thread> pool;
+  pool.reserve(workers > 0 ? workers - 1 : 0);
+  for (uint32_t w = 1; w < workers; ++w) {
+    pool.emplace_back([this, &sync, w, workers] {
+      uint64_t seen = 0;
+      for (;;) {
+        Nanos dl = 0;
+        Nanos hor = 0;
+        {
+          std::unique_lock<std::mutex> lock(sync.mu);
+          sync.go_cv.wait(lock,
+                          [&] { return sync.quit || sync.gen != seen; });
+          if (sync.quit) return;
+          seen = sync.gen;
+          dl = sync.deadline;
+          hor = sync.until;
+        }
+        DispatchShare(w, workers, dl, hor);
+        {
+          std::lock_guard<std::mutex> lock(sync.mu);
+          --sync.outstanding;
+        }
+        sync.done_cv.notify_one();
+      }
+    });
+  }
+
+  for (;;) {
+    FlushOutboxes();
+    for (auto& hook : barrier_hooks_) hook();
+    // Stop requests take effect at epoch boundaries only — sampling the
+    // flag mid-epoch would make the dispatched set depend on worker
+    // timing.
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+    Nanos tmin = kNever;
+    for (const auto& p : partitions_) {
+      if (!p->events.empty() && p->events.front().t < tmin) {
+        tmin = p->events.front().t;
+      }
+    }
+    if (tmin == kNever) break;  // quiescent
+    if (tmin > deadline) {
+      for (auto& p : partitions_) p->now = std::max(p->now, deadline);
+      break;
+    }
+    // Epochs are event-driven (they start at the global minimum, jumping
+    // idle gaps) and extend one lookahead past it: every cross-partition
+    // effect of an event at t lands at t + lookahead or later, so events
+    // strictly below the horizon can never be invalidated by another
+    // partition's work in the same epoch. Without a finite positive
+    // lookahead (no fabric attached, or a zero-latency one), fall back to
+    // one virtual instant per epoch: partitions may interact at the next
+    // instant (driver callbacks poking node state, KillNode), so running
+    // any further ahead could reorder cross-partition effects — and
+    // instant-sized epochs also keep RequestStop sampling prompt.
+    const Nanos la =
+        (lookahead_ == kNever || lookahead_ == 0) ? 1 : lookahead_;
+    const Nanos until = la >= kNever - tmin ? kNever : tmin + la;
+    if (workers > 1) {
+      {
+        std::lock_guard<std::mutex> lock(sync.mu);
+        ++sync.gen;
+        sync.outstanding = workers - 1;
+        sync.deadline = deadline;
+        sync.until = until;
+      }
+      sync.go_cv.notify_all();
+      DispatchShare(0, workers, deadline, until);
+      std::unique_lock<std::mutex> lock(sync.mu);
+      sync.done_cv.wait(lock, [&] { return sync.outstanding == 0; });
+    } else {
+      DispatchShare(0, 1, deadline, until);
+    }
+  }
+
+  if (!pool.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(sync.mu);
+      sync.quit = true;
+    }
+    sync.go_cv.notify_all();
+    for (auto& t : pool) t.join();
+  }
+  Nanos max_now = driver_now_;
+  for (const auto& p : partitions_) max_now = std::max(max_now, p->now);
+  driver_now_ = max_now;
+}
+
+void Simulation::RunUntil(Nanos deadline) {
+  assert(!InSimThread() && "Run must be driven from outside the simulation");
+  stop_requested_.store(false, std::memory_order_relaxed);
+  if (partitioned_) {
+    RunPartitionedUntil(deadline);
+    return;
+  }
+  Partition& p = *partitions_.front();
+  g_current_partition = &p;
+  DispatchPartition(p, deadline, kNever, /*obey_stop=*/true);
+  g_current_partition = nullptr;
+  driver_now_ = p.now;
+}
+
 void Simulation::KillNode(uint32_t id) {
   Node& node = *nodes_.at(id);
-  if (!node.alive_) return;
-  node.alive_ = false;
+  Partition& target = *node.partition_;
+  Partition* cur = CurrentPartition();
+  if (cur != nullptr && cur != &target) {
+    // Cross-partition kill: routed through the epoch boundary so the
+    // takedown lands at a deterministic point in the target's timeline.
+    PostToNode(id, cur->now, [this, &node] {
+      if (!node.alive()) return;
+      node.alive_.store(false, std::memory_order_relaxed);
+      SweepKilledThreads(node);
+    });
+    return;
+  }
+  if (!node.alive()) return;
+  node.alive_.store(false, std::memory_order_relaxed);
   // Sweep at the current instant: wake every still-blocked thread so it
   // unwinds. Gens are read at fire time, so threads that ran in between
   // are still caught (their next Block() throws on the alive_ check).
-  At(now_, [this, &node] {
-    for (auto& t : node.threads_) {
-      if (!t->exited() && t->blocked()) {
-        t->wake_reason_ = SimThread::kKilled;
-        RunThreadSlice(t.get());
-      }
+  PostToNode(id, NowNanos(), [this, &node] { SweepKilledThreads(node); });
+}
+
+void Simulation::SweepKilledThreads(Node& node) {
+  for (auto& t : node.threads_) {
+    if (!t->exited() && t->blocked()) {
+      t->wake_reason_ = SimThread::kKilled;
+      RunThreadSlice(*node.partition_, t.get());
     }
-  });
+  }
 }
 
 size_t Simulation::live_thread_count() const noexcept {
@@ -578,7 +935,7 @@ size_t Simulation::live_thread_count() const noexcept {
 }
 
 void Simulation::Shutdown() {
-  shutting_down_ = true;
+  shutting_down_.store(true, std::memory_order_relaxed);
   // A caller-attached checker may already be destroyed by the time the
   // simulation unwinds (it is usually declared after the TestCluster that
   // owns us). Everything it could observe below is forced teardown, so
@@ -586,11 +943,11 @@ void Simulation::Shutdown() {
   // observing.
   if (checker_ != owned_checker_.get()) checker_ = nullptr;
   for (auto& node : nodes_) {
-    node->alive_ = false;
+    node->alive_.store(false, std::memory_order_relaxed);
     for (auto& t : node->threads_) {
       if (!t->exited() && t->blocked()) {
         t->wake_reason_ = SimThread::kKilled;
-        RunThreadSlice(t.get());
+        RunThreadSlice(*node->partition_, t.get());
       }
     }
   }
@@ -601,8 +958,10 @@ void Simulation::Shutdown() {
     }
   }
   // Join now rather than from ~Node: members are destroyed in reverse
-  // declaration order, so scheduler_cv_ dies before nodes_, and an
-  // exiting thread may still be inside its final notify_one.
+  // declaration order, so the partitions (and their condvars) die before
+  // nodes_, and an exiting thread may still be inside its final
+  // notify_one — except partitions_ is declared first, so they outlive
+  // nodes_; the explicit clear below keeps the historical join point.
   for (auto& node : nodes_) {
     node->threads_.clear();
   }

@@ -4,8 +4,9 @@
 // servers, clients, sorters, graph workers) run against a modelled network
 // without real hardware. Each simulated node hosts one or more cooperative
 // threads; a discrete-event scheduler guarantees that exactly one thread
-// (or event callback) executes at a time, and that execution order is a
-// pure function of the event timeline — so every run is bit-reproducible.
+// (or event callback) executes at a time *per partition*, and that
+// execution order is a pure function of the event timeline — so every run
+// is bit-reproducible.
 //
 // Concurrency model
 // -----------------
@@ -19,6 +20,21 @@
 //     code charges compute costs explicitly via Sleep()/cost models
 //     (see cost_model.h) — which keeps performance accounting explicit,
 //     documented, and machine-independent.
+//
+// Partitioned (parallel) mode
+// ---------------------------
+//   With SimConfig::host_threads >= 1 (or RSTORE_HOST_THREADS set), every
+//   node gets its own event queue and clock — a *partition* — and
+//   partitions execute independently inside barrier-synced virtual-time
+//   epochs bounded by the conservative lookahead (the minimum
+//   cross-partition fabric latency, see ProposeLookahead). Cross-partition
+//   events are exchanged at epoch boundaries through a deterministic merge
+//   rule (sort by timestamp, then by (source partition, post order)), so
+//   the timeline is a pure function of the workload and NOT of the host
+//   thread count: --host-threads=8 is bit-identical to --host-threads=1.
+//   host_threads == 0 (the default) selects the original single-queue
+//   scheduler, byte-for-byte unchanged. See DESIGN.md "Parallel
+//   simulation".
 //
 // Failure injection
 // -----------------
@@ -67,6 +83,12 @@ class Simulation;
 class Node;
 class SimThread;
 
+// True when the RSTORE_HOST_THREADS environment variable requests
+// partitioned scheduling for every Simulation in the process (the CI
+// parallel-determinism gate). Tests that pin exact *legacy-scheduler*
+// timelines use this to skip themselves under the gate.
+[[nodiscard]] bool PartitionedEnvRequested();
+
 // Thrown out of blocking calls when the hosting node has been killed (or
 // the simulation is shutting down). Node programs should let it propagate;
 // Node::Spawn catches it at the top of every thread.
@@ -87,7 +109,9 @@ class Node {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] Simulation& sim() noexcept { return sim_; }
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
-  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  [[nodiscard]] bool alive() const noexcept {
+    return alive_.load(std::memory_order_relaxed);
+  }
 
   // Starts a new cooperative thread on this node at the current virtual
   // time. `fn` runs as if it were a process on the machine.
@@ -98,12 +122,19 @@ class Node {
 
  private:
   friend class Simulation;
+  friend class SimThread;
 
   Simulation& sim_;
   const uint32_t id_;
   const std::string name_;
   Rng rng_;
-  bool alive_ = true;
+  // Relaxed atomic: flipped only from the owning partition's context (or
+  // while all partitions are quiesced), but *read* by other partitions on
+  // the fabric path-up check, so the TSan build needs the atomic.
+  std::atomic<bool> alive_ = true;
+  // The event queue this node's events live on. Legacy mode: the single
+  // shared partition 0. Partitioned mode: a dedicated partition per node.
+  struct SimPartition* partition_ = nullptr;
   std::vector<std::unique_ptr<SimThread>> threads_;
 };
 
@@ -130,6 +161,13 @@ void Yield();
 // CondVar: virtual-time condition variable. The only blocking primitive
 // besides Sleep; everything higher (completion queues, RPC futures, BSP
 // barriers) is built from it.
+//
+// Partitioned mode: a CondVar must only be notified from its waiters' own
+// node (or from scheduler callbacks running on that node's partition) —
+// which every simulator primitive (CQs, RPC futures, BSP barriers)
+// already satisfies, since they are per-node objects poked by delivery
+// events on that node. Cross-partition notification is routed through the
+// epoch boundary and is only safe under serialized dispatch.
 // ---------------------------------------------------------------------------
 class CondVar {
  public:
@@ -174,12 +212,27 @@ class CondVar {
 };
 
 // ---------------------------------------------------------------------------
-// Simulation: owns the clock, the event queue, and the nodes.
+// Simulation: owns the clock, the event queue(s), and the nodes.
 // ---------------------------------------------------------------------------
 struct SimConfig {
   uint64_t seed = 1;
   // Safety valve: Run() aborts the process if virtual time passes this.
   Nanos horizon = Seconds(36000);
+  // 0 (default): the original single-queue scheduler, byte-for-byte the
+  // historical behaviour. N >= 1: partitioned scheduling with one event
+  // queue per node and up to N host worker threads dispatching epochs in
+  // parallel. The *timeline* is identical for every N >= 1 — only wall
+  // clock changes — so N=1 is the golden reference for the N=8 run.
+  // Overridden by RSTORE_HOST_THREADS when left 0.
+  uint32_t host_threads = 0;
+  // Force epochs to dispatch partitions one at a time (in partition-id
+  // order) on the calling thread, regardless of host_threads. Used by the
+  // CI full-suite determinism gate, and switched on automatically when a
+  // checker, an exploration policy, or span tracing is attached — those
+  // layers observe a single global order, and serialized dispatch
+  // produces the *same timeline* as parallel dispatch by construction.
+  // Also via RSTORE_PARTITION_SERIAL.
+  bool serialize_dispatch = false;
 };
 
 class Simulation {
@@ -196,26 +249,66 @@ class Simulation {
   [[nodiscard]] Node& node(uint32_t id) { return *nodes_.at(id); }
   [[nodiscard]] size_t node_count() const noexcept { return nodes_.size(); }
 
-  [[nodiscard]] Nanos NowNanos() const noexcept { return now_; }
+  // Current virtual time of the calling context: a node thread or a
+  // partition dispatch callback sees its partition's clock; the driver
+  // (outside Run) sees the maximum over partitions. In legacy mode all of
+  // these are the single global clock.
+  [[nodiscard]] Nanos NowNanos() const noexcept;
   [[nodiscard]] uint64_t seed() const noexcept { return config_.seed; }
 
-  // Events dispatched so far (callbacks run + thread slices; stale wakes
-  // excluded). The denominator of the wall-clock harness's events/sec.
-  [[nodiscard]] uint64_t events_processed() const noexcept {
-    return events_processed_;
+  // True when this simulation runs the partitioned scheduler
+  // (host_threads >= 1).
+  [[nodiscard]] bool partitioned() const noexcept { return partitioned_; }
+  [[nodiscard]] uint32_t host_threads() const noexcept {
+    return config_.host_threads;
   }
+  // Conservative lookahead bounding each epoch (minimum cross-partition
+  // latency proposed by the fabric(s); kNever until one is proposed).
+  [[nodiscard]] Nanos lookahead() const noexcept { return lookahead_; }
+  // Minimum over all proposals wins. Models register the smallest latency
+  // at which they send work across partitions (the fabric proposes its
+  // base propagation delay, see cost_model.h ConservativeLookahead).
+  void ProposeLookahead(Nanos l) noexcept {
+    lookahead_ = l < lookahead_ ? l : lookahead_;
+  }
+
+  // Partition index of the calling context: node threads and partition
+  // callbacks return their partition; the driver returns 0. Legacy mode
+  // always returns 0. Used by pooled allocators (fabric messages, verbs
+  // wire ops) to pick a per-partition freelist.
+  [[nodiscard]] uint32_t CurrentPartitionIndex() const noexcept;
+  // True when the calling context may touch `node_id`'s state directly:
+  // legacy mode, driver context between runs, or the node's own
+  // partition. Cross-partition work must instead be posted via
+  // PostToNode.
+  [[nodiscard]] bool InContextOfNode(uint32_t node_id) const noexcept;
+
+  // Events dispatched so far (callbacks run + thread slices; stale wakes
+  // excluded), summed over partitions. The denominator of the wall-clock
+  // harness's events/sec.
+  [[nodiscard]] uint64_t events_processed() const noexcept;
   // Subset of events_processed() that handed control to an OS thread —
   // each costs a real context-switch round trip, so the slice share of
   // the event mix is what wall-clock tuning watches.
-  [[nodiscard]] uint64_t thread_slices() const noexcept {
-    return thread_slices_;
-  }
+  [[nodiscard]] uint64_t thread_slices() const noexcept;
 
   // Schedules `fn` to run in scheduler context at virtual time `t`
   // (clamped to now). Callbacks must not block; they may notify CondVars
-  // and schedule further events.
+  // and schedule further events. The event lands on the calling context's
+  // partition (driver context: partition 0).
   void At(Nanos t, EventFn fn);
   void After(Nanos delay, EventFn fn);
+
+  // Schedules `fn` at virtual time `t` on the partition owning `node_id`,
+  // from any context. Same-partition (and legacy) posts are ordinary At()
+  // events; cross-partition posts are buffered in the source partition's
+  // outbox and merged at the next epoch boundary under the deterministic
+  // merge rule — sorted by t, then (source partition, post order) — and
+  // fire at max(t, destination clock). Posts at least `lookahead()` ahead
+  // of the source clock are therefore never clamped and fire at exactly
+  // `t`; nearer posts (completion acks) may be deferred to the boundary,
+  // deterministically.
+  void PostToNode(uint32_t node_id, Nanos t, EventFn fn);
 
   // Runs until the event queue drains (quiescence: every thread exited or
   // blocked indefinitely with no pending event that could wake it) or a
@@ -225,14 +318,32 @@ class Simulation {
   // exceed `deadline`.
   void RunUntil(Nanos deadline);
 
-  // Asks the dispatch loop to return after the current slice. Callable
-  // from node threads and scheduler callbacks; the natural way for a
-  // workload driver to end a simulation whose background services
+  // Asks the dispatch loop to return after the current slice (legacy) or
+  // at the current epoch boundary (partitioned — sampling the flag only
+  // at barriers is what keeps the timeline thread-count-independent).
+  // Callable from node threads and scheduler callbacks; the natural way
+  // for a workload driver to end a simulation whose background services
   // (heartbeats, sweepers) would otherwise generate events forever.
-  void RequestStop() noexcept { stop_requested_ = true; }
+  void RequestStop() noexcept {
+    stop_requested_.store(true, std::memory_order_relaxed);
+  }
 
-  // Failure injection: marks the node dead and unwinds its threads.
+  // Failure injection: marks the node dead and unwinds its threads. From
+  // a different partition's context this is routed through the epoch
+  // boundary (the kill lands deterministically at the next barrier).
   void KillNode(uint32_t id);
+
+  // Registers a hook run on the driver thread at the start of every
+  // partitioned Run/RunUntil, before workers exist. Models use it to
+  // pre-size per-partition pools and pre-resolve telemetry instruments so
+  // the parallel phase never mutates shared tables.
+  void AtPartitionedRunStart(std::function<void()> hook);
+  // Registers a hook run on the driver thread at every epoch boundary
+  // (all partitions quiescent). Used to publish cross-partition snapshot
+  // state (e.g. the master's live-server count) with epoch granularity —
+  // readers in epoch k see the value as of the end of epoch k-1, which is
+  // a pure function of virtual time, not of worker interleaving.
+  void AtEpochBarrier(std::function<void()> hook);
 
   // Connects an observability sink (owned by the caller, may outlive this
   // simulation and aggregate several runs). Installs the virtual clock and
@@ -254,7 +365,10 @@ class Simulation {
   // "0"), the constructor attaches an owned checker automatically and
   // Shutdown() prints its reports, dumps them as JSON (into
   // $RSTORE_RCHECK_OUT or ./rcheck_report.json), and aborts if any
-  // violation was found — the CI gate.
+  // violation was found — the CI gate. In partitioned mode an attached
+  // checker serializes epoch dispatch, so its vector clocks observe one
+  // global order and its reports are identical for every host thread
+  // count.
   void AttachChecker(check::Checker* checker);
   [[nodiscard]] check::Checker* checker() const noexcept { return checker_; }
 
@@ -271,7 +385,9 @@ class Simulation {
   // Simulation instances in the process cycle through `runs` derived
   // seeds, and on an rcheck violation Shutdown() writes the replayable
   // decision trace next to the rcheck report (into $RSTORE_EXPLORE_OUT or
-  // ./explore_trace.json) before aborting.
+  // ./explore_trace.json) before aborting. In partitioned mode a policy
+  // serializes epoch dispatch (partitions in id order), so choice points
+  // fire in one canonical order under any host thread count.
   void AttachPolicy(explore::SchedulePolicy* policy);
   [[nodiscard]] explore::SchedulePolicy* policy() const noexcept {
     return policy_;
@@ -280,7 +396,9 @@ class Simulation {
   // True once destruction has begun and threads are being unwound. Blocking
   // primitives use this to decide whether the object they were waiting on
   // is still safe to touch while a ThreadKilled exception propagates.
-  [[nodiscard]] bool shutting_down() const noexcept { return shutting_down_; }
+  [[nodiscard]] bool shutting_down() const noexcept {
+    return shutting_down_.load(std::memory_order_relaxed);
+  }
 
   // Total threads ever spawned / still live, for tests.
   [[nodiscard]] size_t live_thread_count() const noexcept;
@@ -289,6 +407,7 @@ class Simulation {
   friend class Node;
   friend class SimThread;
   friend class CondVar;
+  friend struct SimPartition;
   friend Nanos Now();
   friend void Sleep(Nanos);
   friend void Yield();
@@ -301,14 +420,15 @@ class Simulation {
   // Equal-vtime ordering (THE tie-break rule — pinned by
   // SameInstantEventsDispatchInFifoOrder in sim_test.cc): the heap orders
   // by (t, seq), and seq is a single monotonically increasing counter
-  // assigned at *scheduling* time (At/After/ScheduleWake all stamp
-  // next_seq_++). Events at the same virtual instant therefore dispatch
-  // in FIFO scheduling order — first scheduled, first run — regardless of
-  // kind (callback vs thread wake) or which node they belong to. An
-  // attached explore::SchedulePolicy may permute same-instant candidates
-  // (ExploreTieBreak), with pick 0 defined as exactly this baseline
-  // order, which is what makes the baseline policy bit-identical to
-  // running with no policy at all.
+  // *per partition* assigned at scheduling time (At/After/ScheduleWake
+  // all stamp the partition's next_seq++; cross-partition arrivals are
+  // stamped at the epoch merge, in merge-rule order). Events at the same
+  // virtual instant therefore dispatch in FIFO scheduling order — first
+  // scheduled, first run — regardless of kind (callback vs thread wake).
+  // An attached explore::SchedulePolicy may permute same-instant
+  // candidates (ExploreTieBreak), with pick 0 defined as exactly this
+  // baseline order, which is what makes the baseline policy bit-identical
+  // to running with no policy at all.
   struct Event {
     Nanos t;
     uint64_t seq;
@@ -320,59 +440,81 @@ class Simulation {
       return t != o.t ? t > o.t : seq > o.seq;
     }
   };
+  using Partition = struct SimPartition;
+  struct EpochSync;
 
-  // Scheduler internals (see .cc for the handoff protocol).
-  void RunThreadSlice(SimThread* t);
+  // Scheduler internals (see .cc for the handoff protocol and the epoch
+  // loop).
+  void RunThreadSlice(Partition& p, SimThread* t);
   void ScheduleWake(SimThread* t, uint64_t gen, Nanos at, int reason);
-  void PushEvent(Event e);
-  Event PopEvent();
+  void PushEvent(Partition& p, Event e);
+  Event PopEvent(Partition& p);
   // Exploration hook: `first` was popped and more events share its
   // instant. Gathers the same-t candidates, lets policy_ pick one, and
   // re-pushes the rest (seqs preserved, so the baseline order survives).
-  Event ExploreTieBreak(Event first);
+  // Only reached under serialized dispatch (attaching a policy
+  // serializes), so the shared scratch vectors are safe.
+  Event ExploreTieBreak(Partition& p, Event first);
+  // The dispatch loop shared by every mode. Runs events with t <= deadline
+  // and (when `until` != kNever) t < until, on one partition. `obey_stop`
+  // checks stop_requested_ before every event (legacy semantics); epochs
+  // pass false and sample the flag at barriers instead.
+  void DispatchPartition(Partition& p, Nanos deadline, Nanos until,
+                         bool obey_stop);
+  void DispatchShare(uint32_t worker, uint32_t stride, Nanos deadline,
+                     Nanos until);
+  void RunPartitionedUntil(Nanos deadline);
+  void SweepKilledThreads(Node& node);
+  // Deterministic epoch merge: drains every partition's outbox (ascending
+  // partition id, each in post order), stable-sorts each destination's
+  // arrivals by t — yielding (t, source partition, post order) total
+  // order — and stamps destination seqs in that order.
+  void FlushOutboxes();
+  [[nodiscard]] Partition* CurrentPartition() const noexcept;
   void Shutdown();
-  [[nodiscard]] uint64_t AllocateTid() noexcept { return next_tid_++; }
+  [[nodiscard]] uint64_t AllocateTid() noexcept {
+    return next_tid_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   SimConfig config_;
+  bool partitioned_ = false;
   Rng seeder_;
-  Nanos now_ = 0;
-  uint64_t next_seq_ = 0;
-  uint64_t events_processed_ = 0;
-  uint64_t thread_slices_ = 0;
-  // Event queue as a manual binary min-heap over a reserved vector: the
-  // storage is pooled across the run (no reallocation churn once warm)
-  // and the top entry can be moved out instead of copied.
-  std::vector<Event> events_;
+  // Virtual clock seen by the driver between runs: the max over partition
+  // clocks at the last dispatch exit (legacy: the single global clock).
+  Nanos driver_now_ = 0;
+  Nanos lookahead_ = kNever;
+  // Partitions are stable (unique_ptr) and declared before nodes_ so node
+  // teardown can still reach its partition. Legacy mode: exactly one.
+  // Partitioned mode: partition 0 carries driver-scheduled events; node i
+  // owns partition i+1.
+  std::vector<std::unique_ptr<Partition>> partitions_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  bool shutting_down_ = false;
-  bool stop_requested_ = false;
+  std::atomic<bool> shutting_down_ = false;
+  std::atomic<bool> stop_requested_ = false;
   obs::Telemetry* telemetry_ = nullptr;
   check::Checker* checker_ = nullptr;
   std::unique_ptr<check::Checker> owned_checker_;  // RSTORE_RCHECK=1 mode
   explore::SchedulePolicy* policy_ = nullptr;
   std::unique_ptr<explore::SchedulePolicy> owned_policy_;  // RSTORE_EXPLORE
   // Pooled scratch for ExploreTieBreak / CondVar waiter picks — only ever
-  // touched from scheduler context / the single active thread.
+  // touched from scheduler context / the single active thread (policies
+  // force serialized dispatch).
   std::vector<Event> tie_events_;
   std::vector<uint32_t> tie_lanes_;
   std::vector<size_t> waiter_pick_scratch_;
   std::vector<uint32_t> waiter_lane_scratch_;
+  // Epoch-merge scratch (driver thread only, at barriers).
+  std::vector<std::vector<Event>> merge_scratch_;
+  std::vector<uint32_t> merge_dirty_;
+  std::vector<std::function<void()>> prepare_hooks_;
+  std::vector<std::function<void()>> barrier_hooks_;
   // Livelock guard: a policy that keeps favouring a Yield-spinning lane
   // could pin virtual time forever. After this many consecutive
   // same-instant tie-break consultations the scheduler falls back to the
   // baseline FIFO pick until time advances. Deterministic (a pure
   // function of the schedule), so replay is unaffected.
   static constexpr uint64_t kMaxSameInstantPicks = 65536;
-  Nanos tie_streak_t_ = kNever;
-  uint64_t tie_streak_ = 0;
-  uint64_t next_tid_ = 1;  // SimThread trace ids; 0 = scheduler context
-
-  // Handoff state: mu_ orders the handoff edges; active_ is additionally
-  // atomic so the scheduler can spin-wait for the slice end without
-  // taking the mutex (see RunThreadSlice).
-  std::mutex mu_;
-  std::condition_variable scheduler_cv_;
-  std::atomic<SimThread*> active_ = nullptr;
+  std::atomic<uint64_t> next_tid_ = 1;  // SimThread ids; 0 = scheduler ctx
 };
 
 }  // namespace rstore::sim

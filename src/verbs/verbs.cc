@@ -259,7 +259,13 @@ CompletionQueue& Device::CreateCq() {
 
 QueuePair& Device::CreateQueuePair(QpConfig config, CompletionQueue* send_cq,
                                    CompletionQueue* recv_cq) {
-  const uint32_t num = network_.next_qp_num_++;
+  // Per-device numbering, a pure function of this device's creation
+  // count — deterministic under the partitioned scheduler (a global
+  // counter would be raced by concurrent partitions and hand out
+  // interleaving-dependent numbers). The node-id stride keeps numbers
+  // cluster-unique for readable logs; correctness only needs per-device
+  // uniqueness (FindQp is per-device).
+  const uint32_t num = 100 + node_id() * 100000 + next_qp_index_++;
   auto qp = std::unique_ptr<QueuePair>(
       new QueuePair(*this, num, send_cq, recv_cq, config));
   QueuePair* raw = qp.get();
@@ -502,6 +508,29 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
     op->src_node = src;
     op->dst_node = peer_node_;
     op->dst_qp = peer_qp_num_;
+    if (net.sim().partitioned()) {
+      // Bounce buffer: snapshot the outgoing data on the initiator's
+      // partition, at doorbell time — the target then never reads the
+      // initiator's memory (which its partition may be mutating
+      // concurrently). Matches HCA semantics: the NIC reads the source
+      // buffers when it processes the descriptor.
+      switch (wr.opcode) {
+        case Opcode::kSend:
+        case Opcode::kRdmaWrite:
+        case Opcode::kRdmaWriteWithImm:
+          op->payload.reserve(wr.total_length());
+          for (uint32_t s = 0; s < wr.num_sge; ++s) {
+            const Sge& g = wr.sge(s);
+            if (g.length > 0) {
+              op->payload.insert(op->payload.end(), g.addr,
+                                 g.addr + g.length);
+            }
+          }
+          break;
+        default:
+          break;  // READ fills the buffer at the target; atomics are scalar
+      }
+    }
 
     net.fabric().Send(
         src, peer_node_, request_bytes,
@@ -510,7 +539,8 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
           Device& target = pnet->device(op->dst_node);
           QueuePair* tqp = target.FindQp(op->dst_qp);
           if (tqp == nullptr || tqp->state_ == State::kError) {
-            op->initiator->CompleteSq(op->seq, WcStatus::kRetryExceeded, 0);
+            op->initiator->CompleteSqFromWire(op->seq,
+                                              WcStatus::kRetryExceeded, 0);
             pnet->ReleaseWireOp(op);
             return;
           }
@@ -518,27 +548,32 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
         },
         /*on_dropped=*/
         [pnet, op] {
-          op->initiator->CompleteSq(op->seq, WcStatus::kRetryExceeded, 0);
+          op->initiator->CompleteSqFromWire(op->seq, WcStatus::kRetryExceeded,
+                                            0);
           pnet->ReleaseWireOp(op);
         });
   }
 }
 
-// Target-side execution of an arriving request, in scheduler context.
-// Owns `op`: every path releases it exactly once — immediately for ops
-// that finish here, or when the response message's wire event fires.
+// Target-side execution of an arriving request, in scheduler context (the
+// target's partition when the scheduler is partitioned). Owns `op`: every
+// path releases it exactly once — immediately for ops that finish here,
+// or when the response message's wire event fires. Initiator-side
+// completions are routed through CompleteSqFromWire, which hops back to
+// the initiator's partition when needed.
 void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
                                 WireOp* op) {
   const SendWr& wr = op->wr;
   const uint64_t seq = op->seq;
+  const bool part = net.sim().partitioned();
   check::Checker* ck = net.sim().checker();
   switch (wr.opcode) {
     case Opcode::kSend:
       tqp.AcceptSend(wr, op->src_node,
                      [this, seq](WcStatus st, uint32_t len) {
-                       CompleteSq(seq, st, len);
+                       CompleteSqFromWire(seq, st, len);
                      },
-                     /*data_already_placed=*/false);
+                     /*data_already_placed=*/false, std::move(op->payload));
       net.ReleaseWireOp(op);
       return;
 
@@ -548,28 +583,37 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
       if (mr == nullptr || !mr->Covers(wr.remote_addr, total) ||
           (mr->access() & kRemoteWrite) == 0) {
-        CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        CompleteSqFromWire(seq, WcStatus::kRemAccessErr, 0);
         net.ReleaseWireOp(op);
         return;
       }
       if (ck != nullptr && wr.check_ref != 0) ck->OnExecute(wr.check_ref);
-      // Gather: local SGEs land back-to-back in the remote range.
       auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
-      for (uint32_t i = 0; i < wr.num_sge; ++i) {
-        const Sge& s = wr.sge(i);
-        if (s.length > 0) {
-          std::memcpy(dst, s.addr, s.length);
-          dst += s.length;
+      if (part) {
+        // The data was snapshotted into the bounce buffer at doorbell
+        // time; the initiator's memory is never read here.
+        if (!op->payload.empty()) {
+          std::memcpy(dst, op->payload.data(), op->payload.size());
+        }
+      } else {
+        // Gather: local SGEs land back-to-back in the remote range.
+        for (uint32_t i = 0; i < wr.num_sge; ++i) {
+          const Sge& s = wr.sge(i);
+          if (s.length > 0) {
+            std::memcpy(dst, s.addr, s.length);
+            dst += s.length;
+          }
         }
       }
       if (wr.opcode == Opcode::kRdmaWriteWithImm) {
         tqp.AcceptSend(wr, op->src_node,
                        [this, seq](WcStatus st, uint32_t len) {
-                         CompleteSq(seq, st, len);
+                         CompleteSqFromWire(seq, st, len);
                        },
                        /*data_already_placed=*/true);
       } else {
-        CompleteSq(seq, WcStatus::kSuccess, static_cast<uint32_t>(total));
+        CompleteSqFromWire(seq, WcStatus::kSuccess,
+                           static_cast<uint32_t>(total));
       }
       net.ReleaseWireOp(op);
       return;
@@ -580,22 +624,34 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
       if (mr == nullptr || !mr->Covers(wr.remote_addr, total) ||
           (mr->access() & kRemoteRead) == 0) {
-        CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        CompleteSqFromWire(seq, WcStatus::kRemAccessErr, 0);
         net.ReleaseWireOp(op);
         return;
       }
       if (ck != nullptr && wr.check_ref != 0) ck->OnExecute(wr.check_ref);
+      if (part && total > 0) {
+        // Snapshot the target range into the bounce buffer now, on the
+        // target's partition (the NIC reads the MR when it serves the
+        // request); the response scatters from the buffer on the
+        // initiator's partition at delivery.
+        op->payload.resize(total);
+        std::memcpy(op->payload.data(),
+                    reinterpret_cast<const std::byte*>(wr.remote_addr), total);
+      }
       // Response: payload travels target -> initiator; bytes are copied
-      // at response delivery (initiator buffer contents are undefined
-      // until the completion, per RDMA semantics). The op carries the
-      // scatter list until then.
+      // into the local SGEs at response delivery (initiator buffer
+      // contents are undefined until the completion, per RDMA semantics).
+      // The op carries the scatter list until then.
       Network* pnet = &net;
       net.fabric().Send(
           target.node_id(), device_.node_id(), total,
           [pnet, op] {
             const SendWr& w = op->wr;
             // Scatter: the contiguous remote range fills the SGEs in order.
-            const auto* src = reinterpret_cast<const std::byte*>(w.remote_addr);
+            const auto* src =
+                op->payload.empty()
+                    ? reinterpret_cast<const std::byte*>(w.remote_addr)
+                    : op->payload.data();
             for (uint32_t i = 0; i < w.num_sge; ++i) {
               const Sge& s = w.sge(i);
               if (s.length > 0) {
@@ -603,13 +659,14 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
                 src += s.length;
               }
             }
-            op->initiator->CompleteSq(
+            op->initiator->CompleteSqFromWire(
                 op->seq, WcStatus::kSuccess,
                 static_cast<uint32_t>(w.total_length()));
             pnet->ReleaseWireOp(op);
           },
           [pnet, op] {
-            op->initiator->CompleteSq(op->seq, WcStatus::kRetryExceeded, 0);
+            op->initiator->CompleteSqFromWire(op->seq,
+                                              WcStatus::kRetryExceeded, 0);
             pnet->ReleaseWireOp(op);
           });
       return;
@@ -620,12 +677,12 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
       if (mr == nullptr || !mr->Covers(wr.remote_addr, 8) ||
           (mr->access() & kRemoteAtomic) == 0) {
-        CompleteSq(seq, WcStatus::kRemAccessErr, 0);
+        CompleteSqFromWire(seq, WcStatus::kRemAccessErr, 0);
         net.ReleaseWireOp(op);
         return;
       }
       if (wr.remote_addr % 8 != 0) {
-        CompleteSq(seq, WcStatus::kRemOpErr, 0);
+        CompleteSqFromWire(seq, WcStatus::kRemOpErr, 0);
         net.ReleaseWireOp(op);
         return;
       }
@@ -638,7 +695,9 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
         *cell = old + wr.swap_or_add;
       }
       // The response needs only scalars; the op can go back to the pool
-      // before the wire event fires.
+      // before the wire event fires. The delivery callback runs on the
+      // initiator's partition (it is the message destination), so writing
+      // the result buffer there is partition-local.
       std::byte* result_addr = wr.local.addr;
       net.ReleaseWireOp(op);
       net.fabric().Send(
@@ -647,7 +706,9 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
             std::memcpy(result_addr, &old, 8);
             CompleteSq(seq, WcStatus::kSuccess, 8);
           },
-          [this, seq] { CompleteSq(seq, WcStatus::kRetryExceeded, 0); });
+          [this, seq] {
+            CompleteSqFromWire(seq, WcStatus::kRetryExceeded, 0);
+          });
       return;
     }
 
@@ -660,24 +721,25 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
 // Target side of SEND / WRITE_WITH_IMM: consume a posted RECV or park in
 // the RNR buffer. `on_executed` reports the initiator completion.
 void QueuePair::AcceptSend(const SendWr& wr, uint32_t src_node,
-                           CompletionFn on_executed,
-                           bool data_already_placed) {
+                           CompletionFn on_executed, bool data_already_placed,
+                           std::vector<std::byte> payload) {
   if (rq_.empty()) {
     if (rnr_buffer_.size() >= kMaxRnrBuffered) {
       on_executed(WcStatus::kRnrRetryExceeded, 0);
       EnterError();
       return;
     }
-    rnr_buffer_.push_back(
-        RnrEntry{wr, src_node, std::move(on_executed), data_already_placed});
+    rnr_buffer_.push_back(RnrEntry{wr, src_node, std::move(on_executed),
+                                   data_already_placed, std::move(payload)});
     rnr_buffer_.back().wr.next = nullptr;
     return;
   }
-  MatchRecv(wr, src_node, on_executed, data_already_placed);
+  MatchRecv(wr, src_node, on_executed, data_already_placed, payload);
 }
 
 void QueuePair::MatchRecv(const SendWr& wr, uint32_t src_node,
-                          CompletionFn& done, bool data_already_placed) {
+                          CompletionFn& done, bool data_already_placed,
+                          const std::vector<std::byte>& payload) {
   RecvWr recv = rq_.front();
   rq_.pop_front();
   const auto total = static_cast<uint32_t>(wr.total_length());
@@ -694,11 +756,19 @@ void QueuePair::MatchRecv(const SendWr& wr, uint32_t src_node,
       return;
     }
     std::byte* dst = recv.local.addr;
-    for (uint32_t i = 0; i < wr.num_sge; ++i) {
-      const Sge& s = wr.sge(i);
-      if (s.length > 0) {
-        std::memcpy(dst, s.addr, s.length);
-        dst += s.length;
+    if (device_.network().sim().partitioned()) {
+      // Partitioned: the data arrived in the bounce buffer (the sender's
+      // SGE memory belongs to another partition).
+      if (!payload.empty()) {
+        std::memcpy(dst, payload.data(), payload.size());
+      }
+    } else {
+      for (uint32_t i = 0; i < wr.num_sge; ++i) {
+        const Sge& s = wr.sge(i);
+        if (s.length > 0) {
+          std::memcpy(dst, s.addr, s.length);
+          dst += s.length;
+        }
       }
     }
   }
@@ -723,9 +793,26 @@ Status QueuePair::PostRecv(const RecvWr& wr) {
     RnrEntry entry = std::move(rnr_buffer_.front());
     rnr_buffer_.pop_front();
     MatchRecv(entry.wr, entry.src_node, entry.on_executed,
-              entry.data_already_placed);
+              entry.data_already_placed, entry.payload);
   }
   return Status::Ok();
+}
+
+void QueuePair::CompleteSqFromWire(uint64_t seq, WcStatus status,
+                                   uint32_t byte_len) {
+  sim::Simulation& sim = device_.network().sim();
+  if (sim.partitioned() && !sim.InContextOfNode(device_.node_id())) {
+    // Target-side code finishing an op: the send queue and send CQ belong
+    // to the initiator's partition, so hop there. The event carries the
+    // current virtual instant — completion time is unchanged; arrivals
+    // merge deterministically at the epoch barrier.
+    sim.PostToNode(device_.node_id(), sim.NowNanos(),
+                   [this, seq, status, byte_len] {
+                     CompleteSq(seq, status, byte_len);
+                   });
+    return;
+  }
+  CompleteSq(seq, status, byte_len);
 }
 
 void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
@@ -809,7 +896,16 @@ void QueuePair::EnterError() {
 // ---------------------------------------------------------------------------
 Network::Network(sim::Simulation& sim, sim::NicConfig nic,
                  sim::CpuCostModel cpu)
-    : sim_(sim), fabric_(sim, nic), cpu_(cpu) {}
+    : sim_(sim), fabric_(sim, nic), cpu_(cpu) {
+  op_pools_.emplace_back();
+  if (sim_.partitioned()) {
+    sim_.AtPartitionedRunStart([this] { PrepareForPartitionedRun(); });
+  }
+}
+
+void Network::PrepareForPartitionedRun() {
+  while (op_pools_.size() < sim_.node_count() + 1) op_pools_.emplace_back();
+}
 
 Device& Network::AddDevice(sim::Node& node) {
   const uint32_t id = node.id();
@@ -827,16 +923,20 @@ Device& Network::device(uint32_t node_id) {
 }
 
 WireOp* Network::AcquireWireOp() {
-  if (free_wire_ops_.empty()) {
-    wire_op_arena_.emplace_back();
-    return &wire_op_arena_.back();
+  OpPool& pool = op_pools_[sim_.CurrentPartitionIndex()];
+  if (pool.free.empty()) {
+    pool.arena.emplace_back();
+    return &pool.arena.back();
   }
-  WireOp* op = free_wire_ops_.back();
-  free_wire_ops_.pop_back();
+  WireOp* op = pool.free.back();
+  pool.free.pop_back();
   return op;
 }
 
-void Network::ReleaseWireOp(WireOp* op) { free_wire_ops_.push_back(op); }
+void Network::ReleaseWireOp(WireOp* op) {
+  op->payload.clear();  // keep capacity for reuse
+  op_pools_[sim_.CurrentPartitionIndex()].free.push_back(op);
+}
 
 Network::Listener::Listener(Network& net, Device& dev, uint32_t service_id,
                             QpConfig config, CompletionQueue* send_cq,
@@ -858,6 +958,7 @@ Network::Listener& Network::Listen(Device& device, uint32_t service_id,
                                    CompletionQueue* recv_cq) {
   const uint64_t key =
       (static_cast<uint64_t>(device.node_id()) << 32) | service_id;
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   auto it = listeners_.find(key);
   if (it == listeners_.end()) {
     it = listeners_
@@ -895,8 +996,15 @@ Result<QueuePair*> Network::Connect(Device& device, uint32_t remote_node,
       client_node, remote_node, kCmMessageBytes,
       /*on_delivered=*/
       [this, key, client_node, client_qp_num, remote_node, state] {
-        auto it = listeners_.find(key);
-        if (it == listeners_.end()) {
+        Listener* found = nullptr;
+        {
+          // This CM handler runs on the server's partition; Listen may run
+          // concurrently on other partitions.
+          std::lock_guard<std::mutex> lock(listeners_mu_);
+          auto it = listeners_.find(key);
+          if (it != listeners_.end()) found = it->second.get();
+        }
+        if (found == nullptr) {
           // Reject travels back as a CM message.
           fabric_.Send(remote_node, client_node, kCmMessageBytes, [state] {
             state->done = true;
@@ -904,7 +1012,7 @@ Result<QueuePair*> Network::Connect(Device& device, uint32_t remote_node,
           });
           return;
         }
-        Listener& listener = *it->second;
+        Listener& listener = *found;
         // Server-side QP programming, then the accept reply.
         sim_.After(qp_setup_cost(), [this, &listener, client_node,
                                      client_qp_num, state] {

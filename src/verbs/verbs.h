@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -218,6 +219,13 @@ struct WireOp {
   uint32_t src_node = 0;
   uint32_t dst_node = 0;
   uint32_t dst_qp = 0;
+  // Partitioned mode: the op's data travels in this bounce buffer instead
+  // of being read through raw SGE/MR pointers at the far end, so no
+  // partition ever touches another partition's memory. Gathered from the
+  // source SGEs at doorbell time (SEND/WRITE), or filled from the target
+  // MR at execute time (READ response). Capacity persists across pool
+  // reuse. Legacy mode leaves it empty and copies directly, as before.
+  std::vector<std::byte> payload;
 };
 
 // Completion queue. Unbounded (real CQ overflow is a provisioning bug the
@@ -364,6 +372,10 @@ class QueuePair {
     uint32_t src_node;
     CompletionFn on_executed;
     bool data_already_placed;
+    // Partitioned mode: the parked SEND's data (the initiator's buffers
+    // may be reused the instant its completion fires, so the RNR buffer
+    // must own a copy). Empty in legacy mode.
+    std::vector<std::byte> payload;
   };
 
   QueuePair(Device& device, uint32_t qp_num, CompletionQueue* send_cq,
@@ -380,12 +392,22 @@ class QueuePair {
   void ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
                        WireOp* op);
   // Target side of SEND / WRITE_WITH_IMM: consume a RECV or park in RNR.
+  // `payload` carries the data in partitioned mode (bounce buffer, moved
+  // into the RNR entry if parked); empty in legacy mode.
   void AcceptSend(const SendWr& wr, uint32_t src_node,
-                  CompletionFn on_executed, bool data_already_placed);
+                  CompletionFn on_executed, bool data_already_placed,
+                  std::vector<std::byte> payload = {});
   void MatchRecv(const SendWr& wr, uint32_t src_node, CompletionFn& done,
-                 bool data_already_placed);
+                 bool data_already_placed,
+                 const std::vector<std::byte>& payload);
   // Initiator-side completion of sq entry `seq` (scheduler context).
   void CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len);
+  // Same, callable from any partition: routes to the initiator's
+  // partition when the caller runs elsewhere (target-side execution,
+  // response drops), at the current virtual instant — the modelled
+  // completion time is unchanged, only the mutation site moves. Legacy
+  // mode calls CompleteSq directly, byte-identical to before.
+  void CompleteSqFromWire(uint64_t seq, WcStatus status, uint32_t byte_len);
   void FlushAll(WcStatus status);
   void EnterError();
 
@@ -455,6 +477,11 @@ class Device {
   Network& network_;
   sim::Node& node_;
   uint32_t next_key_ = 1;
+  // QP numbers are allocated per device (FindQp is per-device, and both
+  // CreateQueuePair call sites — client connect, server accept — run on
+  // the owning node's partition), so numbering is deterministic under the
+  // partitioned scheduler regardless of host-thread interleaving.
+  uint32_t next_qp_index_ = 0;
 
   std::vector<std::unique_ptr<ProtectionDomain>> pds_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
@@ -530,18 +557,30 @@ class Network {
   friend class ProtectionDomain;
   friend class Device;
 
-  // Wire-op pool (stable storage + freelist); see WireOp.
+  // Wire-op pool (stable storage + freelist); see WireOp. One pool per
+  // partition index so concurrent partitions never contend — acquired
+  // from the doorbell-ringing partition, released into whichever
+  // partition fires the op's last wire event (pool membership does not
+  // affect the timeline). Legacy mode uses pool 0 only.
   WireOp* AcquireWireOp();
   void ReleaseWireOp(WireOp* op);
+  void PrepareForPartitionedRun();
 
   sim::Simulation& sim_;
   sim::Fabric fabric_;
   sim::CpuCostModel cpu_;
   std::vector<std::unique_ptr<Device>> devices_;             // by node id
+  // Guards the listener map: Listen runs on the server's partition while
+  // Connect resolves the key on the *connecting* side's CM message
+  // arrival. Listener objects themselves are only touched on their
+  // owning node's partition.
+  std::mutex listeners_mu_;
   std::unordered_map<uint64_t, std::unique_ptr<Listener>> listeners_;
-  uint32_t next_qp_num_ = 100;
-  std::deque<WireOp> wire_op_arena_;
-  std::vector<WireOp*> free_wire_ops_;
+  struct OpPool {
+    std::deque<WireOp> arena;
+    std::vector<WireOp*> free;
+  };
+  std::deque<OpPool> op_pools_;
 };
 
 }  // namespace rstore::verbs

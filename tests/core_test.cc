@@ -4,6 +4,7 @@
 // failure handling).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <numeric>
 #include <set>
@@ -417,7 +418,9 @@ TEST(MapCacheTest, RunmapDropsCache) {
 // --------------------------------------------------------------- atomics --
 TEST(AtomicTest, FetchAddAcrossClients) {
   TestCluster cluster(SmallCluster());
-  int finished = 0;
+  // Atomic: the two clients finish on different partitions, possibly on
+  // concurrent host threads under the partitioned scheduler.
+  std::atomic<int> finished{0};
   for (size_t c = 0; c < 2; ++c) {
     cluster.SpawnClient(c, [&finished, c](RStoreClient& client) {
       if (c == 0) {
@@ -446,8 +449,8 @@ TEST(AtomicTest, FetchAddAcrossClients) {
 
 TEST(AtomicTest, CompareSwapElectsSingleWinner) {
   TestCluster cluster(SmallCluster());
-  int winners = 0;
-  int finished = 0;
+  std::atomic<int> winners{0};
+  std::atomic<int> finished{0};
   for (size_t c = 0; c < 2; ++c) {
     cluster.SpawnClient(c, [&, c](RStoreClient& client) {
       if (c == 0) {
@@ -641,7 +644,7 @@ TEST(SharingTest, ConcurrentClientsReadDisjointStripes) {
   ClusterConfig cfg = SmallCluster();
   cfg.client_nodes = 4;
   TestCluster cluster(cfg);
-  int done = 0;
+  std::atomic<int> done{0};
   for (size_t c = 0; c < 4; ++c) {
     cluster.SpawnClient(c, [&, c](RStoreClient& client) {
       if (c == 0) {

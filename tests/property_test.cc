@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <map>
 #include <vector>
@@ -178,7 +179,10 @@ TEST_P(FabricPropertyTest, EveryMessageDeliversOnceAndRespectsLatencyFloor) {
   sim::Fabric fabric(sim, sim::NicConfig{});
 
   Rng rng(seed);
-  int delivered = 0, dropped = 0;
+  // Atomic: deliveries on different destination nodes can run on
+  // concurrent host threads under the partitioned scheduler.
+  std::atomic<int> delivered{0};
+  std::atomic<int> dropped{0};
   int sent = 0;
   uint64_t bytes_sent = 0;
   for (int i = 0; i < 400; ++i) {
@@ -343,7 +347,12 @@ TEST(DeterminismProperty, MixedWorkloadTimelineIsReproducible) {
     cfg.server_capacity = 8ULL << 20;
     cfg.seed = 12345;
     TestCluster cluster(cfg);
-    std::vector<sim::Nanos> marks;
+    // One slot per client: the clients live on different nodes, so under
+    // the partitioned scheduler they may finish on concurrent host
+    // threads — indexing by client id keeps the collection race-free and
+    // the comparison order-independent (the timestamps themselves are the
+    // determinism claim).
+    std::vector<sim::Nanos> marks(2, 0);
     for (uint32_t c = 0; c < 2; ++c) {
       cluster.SpawnClient(c, [&, c](RStoreClient& client) {
         const std::string mine = "r" + std::to_string(c);
@@ -357,7 +366,7 @@ TEST(DeterminismProperty, MixedWorkloadTimelineIsReproducible) {
           (void)client.NotifyInc("tick");
         }
         (void)client.WaitNotify("tick", 20);
-        marks.push_back(sim::Now());
+        marks[c] = sim::Now();
       });
     }
     cluster.sim().Run();

@@ -55,9 +55,13 @@ TEST(SimulationTest, ComputeIsInstantInVirtualTime) {
 }
 
 TEST(SimulationTest, ThreadsInterleaveDeterministically) {
-  // Two runs with the same seed produce the same interleaving.
+  // Two runs with the same seed produce the same interleaving. The trace
+  // is ONE host vector shared by threads on three nodes: the global order
+  // of same-instant pushes from different partitions is defined only
+  // under serialized dispatch (virtual time is deterministic either way),
+  // so pin serialize_dispatch for the partitioned-scheduler gate.
   auto run = [] {
-    Simulation sim(SimConfig{.seed = 77});
+    Simulation sim(SimConfig{.seed = 77, .serialize_dispatch = true});
     std::vector<std::string> trace;
     for (int i = 0; i < 3; ++i) {
       Node& n = sim.AddNode("n" + std::to_string(i));
@@ -90,6 +94,15 @@ TEST(SimulationTest, SameInstantEventsRunInScheduleOrder) {
 // one seq counter, so kind never matters. The baseline exploration policy
 // must preserve exactly this order (its pick 0 *is* this order).
 TEST(SimulationTest, SameInstantEventsDispatchInFifoOrder) {
+  // This pins the *legacy* single-queue interleaving: a driver callback
+  // notifying a node-owned CondVar interleaved with same-instant driver
+  // callbacks shares one seq counter. Under the partitioned scheduler the
+  // driver and node "a" live on different partitions, so that interleaving
+  // cannot exist (cross-partition wakes merge at epoch boundaries) — the
+  // per-partition FIFO rule is pinned by partition_test.cc instead.
+  if (PartitionedEnvRequested()) {
+    GTEST_SKIP() << "pins legacy single-queue interleaving";
+  }
   auto run = [](explore::SchedulePolicy* policy) {
     Simulation sim;
     if (policy != nullptr) sim.AttachPolicy(policy);
