@@ -21,12 +21,27 @@
 namespace rstore::bench {
 namespace {
 
-constexpr uint32_t kClients = 4;
 constexpr uint64_t kKeys = 2048;
 constexpr int kOpsPerClient = 400;
 
+// Shared workload-shape grammar (bench_util.h): --sessions maps to the
+// closed-loop client count, --skew to the zipf theta, --duration bounds
+// the measurement window in virtual time (default: a fixed op count).
+// --offered-load is parsed but ignored — E11 is closed loop; E13 is the
+// open-loop experiment.
+uint32_t Clients() {
+  const LoadFlags& flags = GetLoadFlags();
+  if (flags.sessions <= 0) return 4;
+  return static_cast<uint32_t>(std::min<int64_t>(flags.sessions, 64));
+}
+
 void RunMix(benchmark::State& state, double read_fraction,
             uint32_t cache_slots = 0) {
+  const uint32_t kClients = Clients();
+  const LoadFlags& flags = GetLoadFlags();
+  const double theta = flags.skew >= 0 ? flags.skew : 0.99;
+  const sim::Nanos window =
+      flags.duration_ms > 0 ? sim::Millis(flags.duration_ms) : 0;
   double kops = 0;
   uint64_t conflicts = 0;
   uint64_t cache_hits = 0;
@@ -40,6 +55,7 @@ void RunMix(benchmark::State& state, double read_fraction,
     core::TestCluster cluster(cfg);
     sim::Nanos t_begin = sim::kNever, t_end = 0;
     uint64_t total_conflicts = 0;
+    uint64_t total_ops = 0;
     for (uint32_t c = 0; c < kClients; ++c) {
       cluster.SpawnClient(c, [&, c](core::RStoreClient& client) {
         Result<std::unique_ptr<kv::KvStore>> kv(ErrorCode::kInternal, "");
@@ -63,19 +79,30 @@ void RunMix(benchmark::State& state, double read_fraction,
         (void)client.NotifyInc("armed");
         (void)client.WaitNotify("armed", kClients);
 
-        ZipfGenerator zipf(kKeys, 0.99, 1000 + c);
+        ZipfGenerator zipf(kKeys, theta, 1000 + c);
         Rng dice(2000 + c);
         std::vector<std::byte> value(100);
         const sim::Nanos t0 = sim::Now();
-        for (int i = 0; i < kOpsPerClient; ++i) {
+        uint64_t ops = 0;
+        // Fixed op count by default; --duration switches to a
+        // virtual-time-bounded window instead.
+        for (int i = 0;
+             window > 0 ? sim::Now() - t0 < window : i < kOpsPerClient;
+             ++i) {
           const std::string key = "user" + std::to_string(zipf.Next());
           if (dice.NextDouble() < read_fraction) {
             (void)(*kv)->Get(key);
+            ++ops;
           } else {
             Status st = (*kv)->Put(key, value);
-            if (!st.ok() && st.code() == ErrorCode::kAborted) --i;  // retry
+            if (!st.ok() && st.code() == ErrorCode::kAborted) {
+              --i;  // retry
+            } else {
+              ++ops;
+            }
           }
         }
+        total_ops += ops;
         t_begin = std::min(t_begin, t0);
         t_end = std::max(t_end, sim::Now());
         total_conflicts += (*kv)->stats().version_retries;
@@ -84,7 +111,7 @@ void RunMix(benchmark::State& state, double read_fraction,
     }
     cluster.sim().Run();
     const double secs = sim::ToSeconds(t_end - t_begin);
-    kops = kClients * kOpsPerClient / secs / 1e3;
+    kops = static_cast<double>(total_ops) / secs / 1e3;
     conflicts = total_conflicts;
     ReportVirtualTime(state, secs);
   }

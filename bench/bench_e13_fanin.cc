@@ -1,0 +1,353 @@
+// E13 — extension: massive-fan-in serving under open-loop load.
+//
+// 10,000+ client sessions (lightweight state machines, ~2,500 per client
+// machine) drive YCSB mixes against one RKV table through the src/load
+// dataplane: sessions multiplexed ~156:1 onto a bounded pool of verbs
+// QPs, per-server admission control, load-adaptive doorbell batching.
+// The arrival process is open loop and latency is measured from each
+// op's *intended* send time (coordinated-omission-safe), so the
+// tail-latency-vs-offered-load curve is honest past the saturation knee.
+//
+// Sweeps offered load x admission control, zipf skew, session count, and
+// the YCSB mixes; emits the curve to BENCH_fanin.json and hard-fails
+// (exit 1) if the virtual end time or event count diverges across
+// partitioned-scheduler host thread counts.
+//
+// Flags (see bench_util.h): --offered-load/--sessions/--duration/--skew
+// override the sweep's default point grammar; --smoke shrinks everything
+// for CI; --no-determinism skips the host-thread cross-check; --rcheck /
+// --host-threads / --json / --trace as everywhere else.
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "bench/bench_util.h"
+#include "common/log.h"
+#include "core/cluster.h"
+#include "load/engine.h"
+#include "sim/time.h"
+
+namespace rstore::bench {
+namespace {
+
+struct FaninPoint {
+  std::string label;
+  double offered = 0;       // ops/s
+  double theta = 0;
+  uint32_t sessions = 0;
+  bool admission = true;
+  char mix = 'b';
+  // --- results ---
+  uint64_t arrivals = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t shed = 0;
+  uint64_t deferred = 0;
+  uint64_t retries = 0;
+  uint64_t p50 = 0, p99 = 0, p999 = 0;  // ns, intended -> done
+  double achieved_kops = 0;
+  uint32_t qps = 0;
+  double sessions_per_qp = 0;
+  double mean_chain = 0;    // WRs per doorbell chain
+  uint32_t inflight_hw = 0;
+  uint64_t virtual_nanos = 0;
+  uint64_t events = 0;
+  double wall_seconds = 0;
+};
+
+constexpr uint32_t kServers = 8;
+constexpr uint32_t kClients = 4;
+
+FaninPoint RunFanin(const load::LoadOptions& base, double offered,
+                    double theta, uint32_t sessions, bool admission,
+                    char mix, uint32_t host_threads = 0) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  load::LoadOptions opts = base;
+  opts.offered_load = offered;
+  opts.theta = theta;
+  opts.sessions = sessions;
+  opts.admission = admission;
+  opts.mix = load::WorkloadMix::Ycsb(mix);
+
+  core::ClusterConfig cfg;
+  cfg.telemetry = ActiveTelemetry();
+  cfg.memory_servers = kServers;
+  cfg.client_nodes = kClients;
+  const uint64_t table_bytes =
+      opts.buckets() * opts.slot_bytes + 4096;
+  cfg.server_capacity = table_bytes / kServers + (8ULL << 20);
+  cfg.master.slab_size = 1ULL << 20;
+  cfg.seed = opts.seed;
+  cfg.host_threads = host_threads;
+  core::TestCluster cluster(cfg);
+
+  std::vector<load::EngineStats> per_engine(kClients);
+  std::vector<Status> engine_status(kClients, Status::Ok());
+  for (uint32_t c = 0; c < kClients; ++c) {
+    cluster.SpawnClient(c, [&, c](core::RStoreClient& client) {
+      if (c == 0) {
+        engine_status[c] = load::LoadEngine::PreloadTable(client, "fanin",
+                                                          opts);
+        if (!engine_status[c].ok()) return;
+        (void)client.NotifyInc("e13.loaded");
+      }
+      auto loaded = client.WaitNotify("e13.loaded", 1);
+      if (!loaded.ok()) {
+        engine_status[c] = loaded.status();
+        return;
+      }
+      load::LoadEngine engine(client, "fanin", opts, c, kClients);
+      engine_status[c] = engine.Run();
+      per_engine[c] = engine.stats();
+    });
+  }
+  cluster.sim().Run();
+
+  FaninPoint p;
+  p.offered = offered;
+  p.theta = theta;
+  p.sessions = sessions;
+  p.admission = admission;
+  p.mix = mix;
+  for (uint32_t c = 0; c < kClients; ++c) {
+    if (!engine_status[c].ok()) {
+      std::fprintf(stderr, "FATAL: engine %u: %s\n", c,
+                   engine_status[c].message().c_str());
+      std::exit(1);
+    }
+  }
+  LatencyHistogram merged(1.04);
+  sim::Nanos window_start = sim::kNever;
+  sim::Nanos drained = 0;
+  uint64_t chains = 0, wrs = 0;
+  for (const load::EngineStats& s : per_engine) {
+    p.arrivals += s.arrivals;
+    p.completed += s.completed;
+    p.errors += s.errors;
+    p.shed += s.shed;
+    p.deferred += s.admission.deferred;
+    p.retries += s.retries;
+    p.qps += s.qps;
+    p.inflight_hw = std::max(p.inflight_hw, s.admission.inflight_high_water);
+    merged.Merge(s.latency);
+    window_start = std::min(window_start, s.window_start);
+    drained = std::max(drained, s.drained_at);
+    chains += s.mux.chains_posted;
+    wrs += s.mux.wrs_posted;
+  }
+  p.p50 = merged.Quantile(0.50);
+  p.p99 = merged.Quantile(0.99);
+  p.p999 = merged.Quantile(0.999);
+  const double secs = sim::ToSeconds(drained - window_start);
+  p.achieved_kops = secs > 0 ? p.completed / secs / 1e3 : 0;
+  p.sessions_per_qp =
+      p.qps > 0 ? static_cast<double>(sessions) / p.qps : 0;
+  p.mean_chain = chains > 0 ? static_cast<double>(wrs) / chains : 0;
+  p.virtual_nanos = cluster.sim().NowNanos();
+  p.events = cluster.sim().events_processed();
+  p.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return p;
+}
+
+void Print(const FaninPoint& p) {
+  std::printf(
+      "%-26s offered %8.0fk ach %8.1fk  p50 %7.1fus p99 %8.1fus p999 "
+      "%9.1fus  shed %6" PRIu64 " defer %6" PRIu64 " chain %.1f\n",
+      p.label.c_str(), p.offered / 1e3, p.achieved_kops,
+      p.p50 / 1e3, p.p99 / 1e3, p.p999 / 1e3, p.shed, p.deferred,
+      p.mean_chain);
+}
+
+}  // namespace
+}  // namespace rstore::bench
+
+int main(int argc, char** argv) {
+  using namespace rstore;
+  using namespace rstore::bench;
+  SetLogLevel(LogLevel::kWarn);
+
+#if defined(__GLIBC__)
+  (void)mallopt(M_MMAP_THRESHOLD, 256 << 20);
+  (void)mallopt(M_TRIM_THRESHOLD, -1);
+#endif
+
+  ParseObsArgs(&argc, argv);
+  bool smoke = false;
+  bool determinism = true;
+  char sweep_mix = 'a';
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--no-determinism") == 0) determinism = false;
+    if (std::strcmp(argv[i], "--mix") == 0 && i + 1 < argc) {
+      sweep_mix = argv[i + 1][0];
+    }
+  }
+
+  load::LoadOptions base;
+  base.sessions = smoke ? 1200 : 10000;
+  base.preload_keys = smoke ? 4096 : 16384;
+  base.duration = smoke ? sim::Millis(5) : sim::Millis(25);
+  base.seed = 7;
+  const LoadFlags& flags = GetLoadFlags();
+  if (flags.sessions > 0) base.sessions = static_cast<uint32_t>(flags.sessions);
+  if (flags.duration_ms > 0) base.duration = sim::Millis(flags.duration_ms);
+  const double default_theta = flags.skew >= 0 ? flags.skew : 0.99;
+
+  // Offered-load sweep (aggregate ops/s). --offered-load pins a single
+  // point; otherwise sweep through and past the saturation knee.
+  std::vector<double> loads;
+  if (flags.offered_load > 0) {
+    loads = {flags.offered_load};
+  } else if (smoke) {
+    loads = {100e3, 400e3};
+  } else {
+    loads = {100e3, 250e3, 500e3, 1e6, 2e6, 4e6};
+  }
+
+  const unsigned host_cores = std::thread::hardware_concurrency();
+  std::vector<FaninPoint> points;
+  int rc = 0;
+
+  // Warmup: fault in buffers; result dropped.
+  (void)RunFanin(base, loads[0], default_theta, base.sessions,
+                 /*admission=*/true, 'b');
+
+  // Determinism cross-check: the smallest point must land on the same
+  // virtual end time on the legacy scheduler and on partitioned
+  // schedulers with different worker counts, and the same event count
+  // across partitioned worker counts (the partitioned scheduler posts
+  // extra cross-partition bridging events, so its event count is only
+  // comparable to other partitioned runs — same contract as
+  // bench_scaling).
+  if (determinism) {
+    FaninPoint ref = RunFanin(base, loads[0], default_theta, base.sessions,
+                              true, sweep_mix);
+    uint64_t part_events = 0;
+    for (uint32_t t : {1u, 4u}) {
+      FaninPoint p = RunFanin(base, loads[0], default_theta, base.sessions,
+                              true, sweep_mix, t);
+      if (p.virtual_nanos != ref.virtual_nanos) {
+        std::fprintf(stderr,
+                     "FATAL: host_threads=%u diverged: vnanos %" PRIu64
+                     " vs %" PRIu64 "\n",
+                     t, p.virtual_nanos, ref.virtual_nanos);
+        rc = 1;
+      }
+      if (part_events == 0) {
+        part_events = p.events;
+      } else if (p.events != part_events) {
+        std::fprintf(stderr,
+                     "FATAL: host_threads=%u event count diverged: %" PRIu64
+                     " vs %" PRIu64 "\n",
+                     t, p.events, part_events);
+        rc = 1;
+      }
+    }
+    std::printf("determinism: host_threads {default,1,4} %s (vtime %.6fs, "
+                "%" PRIu64 " events)\n",
+                rc == 0 ? "bit-identical" : "DIVERGED",
+                sim::ToSeconds(ref.virtual_nanos), ref.events);
+  }
+
+  // 1) Tail latency vs offered load, with and without admission control.
+  // Update-heavy by default (--mix to override): seqlock contention on
+  // the zipf head is what bends the curve, and admission control is what
+  // keeps the completed-op tail bounded past the knee.
+  for (const double offered : loads) {
+    for (const bool admission : {true, false}) {
+      FaninPoint p = RunFanin(base, offered, default_theta, base.sessions,
+                              admission, sweep_mix);
+      p.label = std::string("load/") + (admission ? "admit" : "open");
+      Print(p);
+      points.push_back(std::move(p));
+    }
+  }
+
+  if (flags.offered_load <= 0 && flags.skew < 0) {
+    // 2) Skew sweep at a saturating load.
+    const double mid = smoke ? 400e3 : 1e6;
+    for (const double theta : {0.5, 1.2}) {
+      FaninPoint p =
+          RunFanin(base, mid, theta, base.sessions, true, 'b');
+      p.label = "skew";
+      Print(p);
+      points.push_back(std::move(p));
+    }
+    // 3) Session-count sweep (fan-in scaling at fixed offered load).
+    if (!smoke && flags.sessions <= 0) {
+      for (const uint32_t n : {2500u, 20000u}) {
+        FaninPoint p = RunFanin(base, mid, default_theta, n, true, 'b');
+        p.label = "sessions";
+        Print(p);
+        points.push_back(std::move(p));
+      }
+    }
+    // 4) YCSB mix coverage (A..F) at a moderate load.
+    const double mixload = smoke ? 100e3 : 500e3;
+    for (const char mix : {'a', 'c', 'd', 'e', 'f'}) {
+      FaninPoint p = RunFanin(base, mixload, default_theta, base.sessions,
+                              true, mix);
+      p.label = std::string("mix/") + mix;
+      Print(p);
+      points.push_back(std::move(p));
+    }
+  }
+
+  FILE* f = std::fopen("BENCH_fanin.json", "w");
+  if (f != nullptr) {
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"experiment\": \"E13 massive-fan-in serving\",\n"
+        "  \"workload\": \"open-loop YCSB over RKV, %u servers, %u client "
+        "machines, QP-multiplexed sessions\",\n"
+        "  \"latency\": \"ns from intended send time "
+        "(coordinated-omission-safe)\",\n"
+        "  \"host_cores\": %u,\n"
+        "  \"note\": \"wall_seconds depends on host_cores; CI runners are "
+        "often 1-2 cores, so compare virtual metrics only\",\n"
+        "  \"smoke\": %s,\n"
+        "  \"deterministic\": %s,\n"
+        "  \"points\": [\n",
+        kServers, kClients, host_cores, smoke ? "true" : "false",
+        rc == 0 ? "true" : "false");
+    for (size_t i = 0; i < points.size(); ++i) {
+      const FaninPoint& p = points[i];
+      std::fprintf(
+          f,
+          "    {\"label\": \"%s\", \"mix\": \"%c\", \"offered_ops\": %.0f, "
+          "\"theta\": %.2f, \"sessions\": %u, \"admission\": %s, "
+          "\"arrivals\": %" PRIu64 ", \"completed\": %" PRIu64
+          ", \"errors\": %" PRIu64 ", \"shed\": %" PRIu64
+          ", \"deferred\": %" PRIu64 ", \"retries\": %" PRIu64
+          ", \"p50_ns\": %" PRIu64 ", \"p99_ns\": %" PRIu64
+          ", \"p999_ns\": %" PRIu64 ", \"achieved_kops\": %.1f, "
+          "\"qps\": %u, \"sessions_per_qp\": %.1f, \"mean_chain\": %.2f, "
+          "\"inflight_high_water\": %u, \"virtual_seconds\": %.6f, "
+          "\"events\": %" PRIu64 ", \"wall_seconds\": %.3f}%s\n",
+          p.label.c_str(), p.mix, p.offered, p.theta, p.sessions,
+          p.admission ? "true" : "false", p.arrivals, p.completed, p.errors,
+          p.shed, p.deferred, p.retries, p.p50, p.p99, p.p999,
+          p.achieved_kops, p.qps, p.sessions_per_qp, p.mean_chain,
+          p.inflight_hw, sim::ToSeconds(p.virtual_nanos), p.events,
+          p.wall_seconds, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_fanin.json\n");
+  }
+  return rc;
+}

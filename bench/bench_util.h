@@ -105,6 +105,28 @@ inline ObsConfig& GetObsConfig() {
   return config;
 }
 
+// Shared workload-shape grammar for the serving benchmarks (E9/E11/E13):
+//
+//   --offered-load <ops_per_s>   aggregate open-loop arrival rate
+//   --sessions <n>               logical client sessions (or clients,
+//                                for closed-loop benchmarks)
+//   --duration <ms>              measurement window, milliseconds
+//   --skew <theta>               zipf skew over the key space
+//
+// Unset fields keep each benchmark's own default; a closed-loop benchmark
+// documents which fields it honors (E11 ignores --offered-load).
+struct LoadFlags {
+  double offered_load = -1.0;  // < 0 = benchmark default
+  int64_t sessions = -1;
+  double duration_ms = -1.0;
+  double skew = -1.0;
+};
+
+inline LoadFlags& GetLoadFlags() {
+  static LoadFlags flags;
+  return flags;
+}
+
 // The binary-wide telemetry sink, or null when neither flag was given.
 // Benchmarks pass this as ClusterConfig::telemetry (or AttachTelemetry it
 // onto hand-built simulations); one sink aggregates every iteration.
@@ -160,6 +182,22 @@ inline void ParseObsArgs(int* argc, char** argv) {
                                    : std::string(arg.substr(10));
       setenv("RSTORE_EXPLORE", spec.c_str(), /*overwrite=*/1);
       setenv("RSTORE_RCHECK", "1", /*overwrite=*/1);
+    } else if ((arg == "--offered-load" && i + 1 < *argc) ||
+               arg.rfind("--offered-load=", 0) == 0) {
+      GetLoadFlags().offered_load = std::atof(
+          arg == "--offered-load" ? argv[++i] : arg.substr(15).data());
+    } else if ((arg == "--sessions" && i + 1 < *argc) ||
+               arg.rfind("--sessions=", 0) == 0) {
+      GetLoadFlags().sessions = std::atoll(
+          arg == "--sessions" ? argv[++i] : arg.substr(11).data());
+    } else if ((arg == "--duration" && i + 1 < *argc) ||
+               arg.rfind("--duration=", 0) == 0) {
+      GetLoadFlags().duration_ms = std::atof(
+          arg == "--duration" ? argv[++i] : arg.substr(11).data());
+    } else if ((arg == "--skew" && i + 1 < *argc) ||
+               arg.rfind("--skew=", 0) == 0) {
+      GetLoadFlags().skew =
+          std::atof(arg == "--skew" ? argv[++i] : arg.substr(7).data());
     } else {
       argv[out++] = argv[i];
     }

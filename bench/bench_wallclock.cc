@@ -237,6 +237,10 @@ int main() {
                  "  \"sim_bytes_per_real_sec\": %.0f,\n"
                  "  \"tier1_suite_seconds\": %.2f,\n"
                  "  \"host_cores\": %u,\n"
+                 "  \"partitioned_note\": \"speedup_vs_legacy is only "
+                 "meaningful when host_cores > host_threads; CI runners are "
+                 "often 1-2 cores, where the epoch workers time-slice one "
+                 "core and the rows below measure overhead, not scaling\",\n"
                  "  \"partitioned\": [\n"
                  "    {\"host_threads\": %u, \"wall_seconds\": %.3f,\n"
                  "     \"events_per_sec\": %.0f,\n"

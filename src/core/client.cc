@@ -1125,6 +1125,23 @@ Result<IoFuture> MappedRegion::WriteV(std::span<const IoVec> segments) {
   return future;
 }
 
+Result<RemoteSpan> MappedRegion::Resolve(uint64_t offset,
+                                         uint64_t length) const {
+  if (offset > desc_.size || length > desc_.size - offset) {
+    return Result<RemoteSpan>(ErrorCode::kInvalidArgument,
+                              "range past end of region '" + desc_.name + "'");
+  }
+  const uint64_t slab_idx = offset / desc_.slab_size;
+  const uint64_t in_slab = offset % desc_.slab_size;
+  if (length > desc_.slab_size - in_slab) {
+    return Result<RemoteSpan>(
+        ErrorCode::kInvalidArgument,
+        "range crosses a slab boundary in region '" + desc_.name + "'");
+  }
+  const SlabLocation& slab = desc_.slabs.at(slab_idx);
+  return RemoteSpan{slab.server_node, slab.rkey, slab.remote_addr + in_slab};
+}
+
 Result<uint64_t> MappedRegion::FetchAdd(uint64_t offset, uint64_t delta) {
   return client_.SubmitAtomic(*this, offset, verbs::Opcode::kFetchAdd, 0,
                               delta);

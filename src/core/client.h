@@ -101,6 +101,14 @@ struct IoVec {
   uint64_t length = 0;
 };
 
+// The one-sided target of a contiguous region range: everything needed to
+// post a verbs WR at it directly (see MappedRegion::Resolve).
+struct RemoteSpan {
+  uint32_t server_node = 0;
+  uint32_t rkey = 0;
+  uint64_t remote_addr = 0;
+};
+
 // A mapped distributed region. Obtained from RStoreClient::Rmap; owned by
 // the client (pointers stay valid until Runmap/Rfree or client teardown).
 class MappedRegion {
@@ -126,6 +134,15 @@ class MappedRegion {
   // slices) where per-segment round trips would dominate.
   [[nodiscard]] Result<IoFuture> ReadV(std::span<const IoVec> segments);
   [[nodiscard]] Result<IoFuture> WriteV(std::span<const IoVec> segments);
+
+  // Resolves a byte range that lies entirely inside one slab to its
+  // one-sided target (primary copy). This is the escape hatch for
+  // dataplanes that manage their own QPs — the session multiplexer in
+  // src/load posts raw verbs against the returned span — and fails with
+  // kInvalidArgument when the range crosses a slab boundary or falls
+  // outside the region.
+  [[nodiscard]] Result<RemoteSpan> Resolve(uint64_t offset,
+                                           uint64_t length) const;
 
   // Remote 8-byte atomics (offset must be 8-aligned). Return the value
   // observed at the memory server before the operation.

@@ -41,20 +41,34 @@ struct OpObs {
   uint64_t t0 = 0;
 };
 
-// Slot layout (offsets within the slot):
-//   0  u64 version   even = stable, odd = writer holds the seqlock;
-//                    0 with key_len 0 = never used (ends probe chains)
-//   8  u16 key_len   0 with version > 0 = tombstone
-//  10  u16 (pad)
-//  12  u32 val_len
-//  16  (pad to 24)
-//  24  key bytes, then value bytes
-constexpr uint64_t kVersionOff = 0;
-constexpr uint64_t kKeyLenOff = 8;
-constexpr uint64_t kValLenOff = 12;
-constexpr uint64_t kPayloadOff = 24;
+// Slot layout lives in kv.h (SlotLayout) so other dataplanes can speak
+// the same bytes; these aliases keep the implementation terse.
+constexpr uint64_t kVersionOff = SlotLayout::kVersionOff;
+constexpr uint64_t kKeyLenOff = SlotLayout::kKeyLenOff;
+constexpr uint64_t kValLenOff = SlotLayout::kValLenOff;
+constexpr uint64_t kPayloadOff = SlotLayout::kPayloadOff;
 
 }  // namespace
+
+uint64_t SlotLayout::HomeSlot(std::string_view key,
+                              uint64_t buckets) noexcept {
+  return StableHash64(key) % buckets;
+}
+
+void SlotLayout::Compose(std::byte* dst, uint32_t slot_bytes,
+                         uint64_t version, std::string_view key,
+                         std::span<const std::byte> value) noexcept {
+  std::memset(dst, 0, slot_bytes);
+  const auto key_len = static_cast<uint16_t>(key.size());
+  const auto val_len = static_cast<uint32_t>(value.size());
+  std::memcpy(dst + kVersionOff, &version, 8);
+  std::memcpy(dst + kKeyLenOff, &key_len, 2);
+  std::memcpy(dst + kValLenOff, &val_len, 4);
+  std::memcpy(dst + kPayloadOff, key.data(), key.size());
+  if (!value.empty()) {
+    std::memcpy(dst + kPayloadOff + key.size(), value.data(), value.size());
+  }
+}
 
 KvStore::KvStore(core::RStoreClient& client, core::MappedRegion* region,
                  KvOptions options)

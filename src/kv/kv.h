@@ -35,6 +35,43 @@
 
 namespace rstore::kv {
 
+// The on-region table format, public so other dataplanes (the open-loop
+// load engine in src/load composes slot IO with raw verbs, the bulk
+// loader composes whole table images locally) speak exactly the byte
+// layout KvStore reads and writes. Offsets are within one slot:
+//   0  u64 version   even = stable, odd = writer holds the seqlock;
+//                    0 with key_len 0 = never used (ends probe chains)
+//   8  u16 key_len   0 with version > 0 = tombstone
+//  10  u16 (pad)
+//  12  u32 val_len
+//  16  (pad to 24)
+//  24  key bytes, then value bytes
+// The region starts with a 64-byte header: magic, buckets, slot_bytes,
+// max_probe (see KvStore::Create).
+struct SlotLayout {
+  static constexpr uint64_t kMagic = 0x524b563144424d53ULL;  // "RKV1DBMS"
+  static constexpr uint64_t kHeaderBytes = 64;
+  static constexpr uint32_t kSlotHeader = 24;
+  static constexpr uint64_t kVersionOff = 0;
+  static constexpr uint64_t kKeyLenOff = 8;
+  static constexpr uint64_t kValLenOff = 12;
+  static constexpr uint64_t kPayloadOff = 24;
+
+  // Byte offset of `slot` within the region.
+  [[nodiscard]] static constexpr uint64_t SlotOffset(
+      uint64_t slot, uint32_t slot_bytes) noexcept {
+    return kHeaderBytes + slot * slot_bytes;
+  }
+  // Home slot of a key (the probe chain starts here).
+  [[nodiscard]] static uint64_t HomeSlot(std::string_view key,
+                                         uint64_t buckets) noexcept;
+  // Composes a stable slot image (even `version`, key, value) into
+  // `dst[0, slot_bytes)`. Requires key+value to fit the slot.
+  static void Compose(std::byte* dst, uint32_t slot_bytes, uint64_t version,
+                      std::string_view key,
+                      std::span<const std::byte> value) noexcept;
+};
+
 struct KvOptions {
   uint64_t buckets = 4096;   // slots in the table (fixed at create time)
   uint32_t slot_bytes = 256; // per-slot storage incl. 24-byte header
@@ -98,9 +135,9 @@ class KvStore {
   }
 
  private:
-  static constexpr uint64_t kMagic = 0x524b563144424d53ULL;  // "RKV1DBMS"
-  static constexpr uint64_t kHeaderBytes = 64;
-  static constexpr uint32_t kSlotHeader = 24;  // version + key_len + val_len
+  static constexpr uint64_t kMagic = SlotLayout::kMagic;
+  static constexpr uint64_t kHeaderBytes = SlotLayout::kHeaderBytes;
+  static constexpr uint32_t kSlotHeader = SlotLayout::kSlotHeader;
 
   KvStore(core::RStoreClient& client, core::MappedRegion* region,
           KvOptions options);

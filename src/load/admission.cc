@@ -1,0 +1,55 @@
+#include "load/admission.h"
+
+#include <algorithm>
+
+namespace rstore::load {
+
+AdmissionController::AdmissionController(uint32_t servers, bool enabled,
+                                         uint32_t window_per_server,
+                                         uint32_t max_deferred)
+    : enabled_(enabled),
+      window_(std::max(window_per_server, 1u)),
+      max_deferred_(max_deferred),
+      inflight_(servers, 0),
+      queues_(servers) {}
+
+Admit AdmissionController::TryAdmit(uint32_t server, uint32_t session_tag) {
+  uint32_t& inflight = inflight_.at(server);
+  if (!enabled_ || inflight < window_) {
+    ++inflight;
+    ++total_inflight_;
+    ++stats_.admitted;
+    stats_.inflight_high_water = std::max(stats_.inflight_high_water,
+                                          inflight);
+    return Admit::kAdmit;
+  }
+  std::deque<uint32_t>& q = queues_.at(server);
+  if (q.size() >= max_deferred_) {
+    ++stats_.shed;
+    return Admit::kShed;
+  }
+  q.push_back(session_tag);
+  ++stats_.deferred;
+  stats_.deferred_high_water = std::max(
+      stats_.deferred_high_water, static_cast<uint32_t>(q.size()));
+  return Admit::kDefer;
+}
+
+int64_t AdmissionController::Release(uint32_t server) {
+  uint32_t& inflight = inflight_.at(server);
+  --inflight;
+  --total_inflight_;
+  std::deque<uint32_t>& q = queues_.at(server);
+  if (q.empty()) return -1;
+  const uint32_t tag = q.front();
+  q.pop_front();
+  // The freed slot transfers to the deferred op: it is in flight from
+  // this instant.
+  ++inflight;
+  ++total_inflight_;
+  stats_.inflight_high_water = std::max(stats_.inflight_high_water,
+                                        inflight);
+  return static_cast<int64_t>(tag);
+}
+
+}  // namespace rstore::load

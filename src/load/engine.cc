@@ -1,0 +1,961 @@
+#include "load/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/cost_model.h"
+#include "sim/simulation.h"
+
+namespace rstore::load {
+
+using kv::SlotLayout;
+
+namespace {
+
+uint64_t Load64(const std::byte* p) noexcept {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void Store64(std::byte* p, uint64_t v) noexcept {
+  std::memcpy(p, &v, sizeof(v));
+}
+
+std::string_view KeyView(const std::byte* key) noexcept {
+  return {reinterpret_cast<const char*>(key), 8};
+}
+
+}  // namespace
+
+LoadEngine::LoadEngine(core::RStoreClient& client, std::string table,
+                       const LoadOptions& options, uint32_t engine_index,
+                       uint32_t engine_count)
+    : client_(client),
+      table_(std::move(table)),
+      options_(options),
+      engine_index_(engine_index),
+      engine_count_(engine_count),
+      mux_(client.device()) {}
+
+LoadEngine::~LoadEngine() {
+  if (arena_mr_ != nullptr && pd_ != nullptr) {
+    (void)pd_->DeregisterMemory(arena_mr_);
+  }
+}
+
+void LoadEngine::EncodeKey(uint64_t id, std::byte out[8]) noexcept {
+  std::memcpy(out, &id, sizeof(id));
+}
+
+uint64_t LoadEngine::SlotOffset(uint64_t slot) const noexcept {
+  return SlotLayout::SlotOffset(slot, geometry_.slot_bytes);
+}
+
+std::byte* LoadEngine::Scratch(uint32_t s) noexcept {
+  return arena_.data() + static_cast<size_t>(s) * stride_;
+}
+
+uint64_t LoadEngine::Cookie(uint32_t s) const noexcept {
+  return (static_cast<uint64_t>(s) << 32) | sessions_[s].gen;
+}
+
+uint32_t LoadEngine::ServerIndexOf(uint64_t slot) {
+  // The slot's version cell (8 bytes at the slot start) never straddles a
+  // slab boundary (slab sizes are 8-aligned; validated in Setup), so the
+  // home server of an op is always well defined.
+  auto span = region_->Resolve(SlotOffset(slot) + SlotLayout::kVersionOff, 8);
+  if (!span.ok()) return 0;
+  return server_index_.at(span->server_node);
+}
+
+size_t LoadEngine::Moderation() const noexcept {
+  // CQ interrupt moderation: wait for a batch proportional to the
+  // in-flight count, so heavy load amortizes wakeups and light load
+  // stays prompt.
+  size_t m = static_cast<size_t>(inflight_wrs_ / 4);
+  m = std::clamp<size_t>(m, 1, options_.moderation_max);
+  return std::min<size_t>(m, static_cast<size_t>(inflight_wrs_));
+}
+
+verbs::SendWr LoadEngine::ReadWr(const core::RemoteSpan& span, std::byte* dst,
+                                 uint32_t len, uint64_t cookie,
+                                 bool signaled) {
+  verbs::SendWr wr;
+  wr.wr_id = cookie;
+  wr.opcode = verbs::Opcode::kRdmaRead;
+  wr.local = {dst, len, arena_mr_->lkey()};
+  wr.remote_addr = span.remote_addr;
+  wr.rkey = span.rkey;
+  wr.signaled = signaled;
+  return wr;
+}
+
+Status LoadEngine::CollectPieces(uint64_t offset, uint64_t length,
+                                 std::byte* local) {
+  pieces_.clear();
+  const uint64_t slab = region_->desc().slab_size;
+  while (length > 0) {
+    const uint64_t in_slab = offset % slab;
+    const uint64_t n = std::min(length, slab - in_slab);
+    auto span = region_->Resolve(offset, n);
+    if (!span.ok()) return span.status();
+    pieces_.push_back({*span, local, static_cast<uint32_t>(n)});
+    offset += n;
+    local += n;
+    length -= n;
+  }
+  return Status::Ok();
+}
+
+void LoadEngine::ResolveObs() {
+  obs::Telemetry* tel = client_.device().network().sim().telemetry();
+  if (tel == obs_owner_) return;
+  obs_owner_ = tel;
+  if (tel == nullptr) {
+    obs_latency_ = nullptr;
+    obs_completed_ = nullptr;
+    obs_shed_ = nullptr;
+    return;
+  }
+  obs::NodeMetrics& m =
+      tel->metrics().ForNode(client_.device().node_id());
+  obs_latency_ = &m.GetTimer("load.op_ns");
+  obs_completed_ = &m.GetCounter("load.completed");
+  obs_shed_ = &m.GetCounter("load.shed");
+}
+
+// ---------------------------------------------------------------------------
+// Setup and preload.
+
+Status LoadEngine::Setup() {
+  RSTORE_ASSIGN_OR_RETURN(region_, client_.Rmap(table_));
+  if (region_->desc().slab_size % 8 != 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "slab size must be 8-byte aligned");
+  }
+
+  // Table geometry comes from the header, like KvStore::Open.
+  RSTORE_ASSIGN_OR_RETURN(core::PinnedBuffer hdr,
+                          client_.AllocBuffer(SlotLayout::kHeaderBytes));
+  RSTORE_RETURN_IF_ERROR(region_->Read(0, hdr.data));
+  if (Load64(hdr.begin()) != SlotLayout::kMagic) {
+    return Status(ErrorCode::kInvalidArgument, "not an RKV table");
+  }
+  geometry_.buckets = Load64(hdr.begin() + 8);
+  std::memcpy(&geometry_.slot_bytes, hdr.begin() + 16, 4);
+  std::memcpy(&geometry_.max_probe, hdr.begin() + 20, 4);
+
+  // Dense server index in slab order (mux + admission addressing).
+  for (const auto& slab : region_->desc().slabs) {
+    if (server_index_.emplace(slab.server_node, server_nodes_.size()).second) {
+      server_nodes_.push_back(slab.server_node);
+    }
+  }
+  RSTORE_RETURN_IF_ERROR(mux_.Connect(server_nodes_, options_.qp_per_server));
+  admission_ = std::make_unique<AdmissionController>(
+      static_cast<uint32_t>(server_nodes_.size()), options_.admission,
+      options_.window_per_server, options_.max_deferred);
+
+  // One zipf generator per engine: its O(n) CDF is too heavy to clone per
+  // session, and sessions are stepped in deterministic order anyway.
+  zipf_ = std::make_unique<ZipfGenerator>(
+      options_.preload_keys, options_.theta,
+      options_.seed ^ (0x9e3779b97f4a7c15ULL * (engine_index_ + 1)));
+
+  // Block-partition the sessions over engines.
+  const uint32_t total = options_.sessions;
+  const uint32_t base = total / engine_count_;
+  const uint32_t rem = total % engine_count_;
+  const uint32_t count = base + (engine_index_ < rem ? 1 : 0);
+  first_global_session_ =
+      engine_index_ * base + std::min(engine_index_, rem);
+  if (count == 0) {
+    return Status(ErrorCode::kInvalidArgument, "engine has no sessions");
+  }
+  sessions_.resize(count);
+  for (uint32_t s = 0; s < count; ++s) {
+    const uint64_t gsid = first_global_session_ + s;
+    sessions_[s].rng =
+        Rng(options_.seed ^ (0x2545f4914f6cdd1dULL * (gsid + 1)));
+  }
+
+  // Scratch arena: per-session read/compose area plus three 8-byte cells
+  // (version validate, CAS result, unlock word).
+  const uint32_t slots =
+      options_.mix.scan > 0.0 ? std::max(options_.scan_len, 1u) : 1u;
+  read_area_ = static_cast<size_t>(geometry_.slot_bytes) * slots;
+  stride_ = (read_area_ + 24 + 7) & ~size_t{7};
+  arena_.assign(static_cast<size_t>(count) * stride_, std::byte{0});
+  pd_ = &client_.device().CreatePd();
+  RSTORE_ASSIGN_OR_RETURN(
+      arena_mr_,
+      pd_->RegisterMemory(arena_.data(), arena_.size(), verbs::kLocalWrite));
+  stats_.sessions = count;
+  stats_.qps = mux_.qp_count();
+  return Status::Ok();
+}
+
+Status LoadEngine::PreloadTable(core::RStoreClient& client,
+                                const std::string& name,
+                                const LoadOptions& options) {
+  kv::KvOptions geo;
+  geo.buckets = options.buckets();
+  geo.slot_bytes = options.slot_bytes;
+  geo.max_probe = options.max_probe;
+  RSTORE_ASSIGN_OR_RETURN(auto store, kv::KvStore::Create(client, name, geo));
+  (void)store;
+  RSTORE_ASSIGN_OR_RETURN(core::MappedRegion * region, client.Rmap(name));
+
+  // Compose the whole table locally, then stream it with one large write:
+  // the per-key Put protocol (probe, CAS, write, release) is pure waste
+  // when nobody else can observe the table yet.
+  const uint64_t table_bytes = geo.buckets * geo.slot_bytes;
+  RSTORE_ASSIGN_OR_RETURN(core::PinnedBuffer img,
+                          client.AllocBuffer(table_bytes));
+  std::memset(img.begin(), 0, table_bytes);
+  Rng values(options.seed ^ 0x6c078965ULL);
+  std::vector<std::byte> value(options.value_bytes);
+  uint64_t placed = 0;
+  for (uint64_t id = 0; id < options.preload_keys; ++id) {
+    std::byte kb[8];
+    EncodeKey(id, kb);
+    const uint64_t home = SlotLayout::HomeSlot(KeyView(kb), geo.buckets);
+    for (uint32_t p = 0; p < geo.max_probe; ++p) {
+      const uint64_t slot = (home + p) % geo.buckets;
+      std::byte* dst = img.begin() + slot * geo.slot_bytes;
+      if (Load64(dst + SlotLayout::kVersionOff) != 0) continue;
+      values.Fill(value.data(), value.size());
+      SlotLayout::Compose(dst, geo.slot_bytes, /*version=*/2, KeyView(kb),
+                          value);
+      ++placed;
+      break;
+    }
+  }
+  if (placed < options.preload_keys) {
+    return Status(ErrorCode::kOutOfMemory, "preload overflowed probe window");
+  }
+  return region->Write(SlotLayout::kHeaderBytes,
+                       std::span<const std::byte>(img.begin(), table_bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Arrival schedule.
+
+void LoadEngine::ScheduleFirstArrivals() {
+  for (uint32_t s = 0; s < sessions_.size(); ++s) {
+    sessions_[s].next_intended = t0_;
+    PushNextArrival(s);
+  }
+}
+
+void LoadEngine::PushNextArrival(uint32_t s) {
+  Session& ses = sessions_[s];
+  // Exponential gap at the curve's instantaneous per-session rate. The
+  // draw happens at schedule time, so the arrival process is open loop:
+  // completions never influence when the next op is due.
+  const double rate =
+      options_.curve.RateAt(options_.offered_load,
+                            ses.next_intended - t0_, options_.duration) /
+      static_cast<double>(options_.sessions);
+  if (!(rate > 0.0)) {
+    ses.next_intended = t_end_;
+    return;
+  }
+  const double u = ses.rng.NextDouble();
+  double gap_s = -std::log1p(-u) / rate;
+  if (!(gap_s >= 1e-9)) gap_s = 1e-9;
+  const double cap_s = sim::ToSeconds(options_.duration) + 1.0;
+  if (gap_s >= cap_s) {
+    ses.next_intended = t_end_;
+    return;
+  }
+  ses.next_intended += std::max<sim::Nanos>(
+      1, static_cast<sim::Nanos>(std::llround(gap_s * 1e9)));
+  if (ses.next_intended < t_end_) {
+    arrivals_.push({ses.next_intended, s});
+  }
+}
+
+void LoadEngine::OnArrival(uint32_t s, sim::Nanos intended) {
+  Session& ses = sessions_[s];
+  ++stats_.arrivals;
+  ++open_ops_;
+  // The intended time anchors the latency measurement even if the session
+  // is busy — the op starts late and the wait shows up in the histogram.
+  ses.backlog.push_back(intended);
+  PushNextArrival(s);
+  if (ses.phase == Phase::kIdle) StartNextFromBacklog(s);
+}
+
+void LoadEngine::StartNextFromBacklog(uint32_t s) {
+  Session& ses = sessions_[s];
+  while (ses.phase == Phase::kIdle && !ses.backlog.empty()) {
+    BeginOp(s);  // leaves phase == kIdle only when the op was shed
+  }
+}
+
+void LoadEngine::BeginOp(uint32_t s) {
+  Session& ses = sessions_[s];
+  ses.intended = ses.backlog.front();
+  ses.backlog.pop_front();
+  // Deadline shed: under sustained overload the per-session backlog is
+  // unbounded (open loop), so an op can be stale before it is even
+  // started. Starting it anyway just reports queueing delay the operator
+  // already chose to shed; dropping it here is what keeps the
+  // completed-op tail bounded.
+  if (options_.admission && options_.shed_deadline > 0 &&
+      sim::Now() > ses.intended + options_.shed_deadline) {
+    ++stats_.shed;
+    --open_ops_;
+    ResolveObs();
+    if (obs_shed_ != nullptr) obs_shed_->Inc();
+    return;  // phase stays kIdle; caller loop starts the next backlog op
+  }
+  DrawKey(s);
+  ses.retries_left = options_.op_retry_budget;
+  ses.probe = 0;
+  ses.reusable = -1;
+  ses.target = -1;
+  ses.failed = false;
+  ses.step_error = false;
+  ses.server_idx = ServerIndexOf(ses.home);
+  switch (admission_->TryAdmit(ses.server_idx, s)) {
+    case Admit::kAdmit:
+      BeginAdmitted(s);
+      break;
+    case Admit::kDefer:
+      ses.phase = Phase::kDeferred;
+      break;
+    case Admit::kShed:
+      ++stats_.shed;
+      --open_ops_;
+      ResolveObs();
+      if (obs_shed_ != nullptr) obs_shed_->Inc();
+      break;  // phase stays kIdle; caller loop starts the next backlog op
+  }
+}
+
+void LoadEngine::BeginAdmitted(uint32_t s) {
+  if (sessions_[s].op == OpType::kScan) {
+    StageScan(s);
+  } else {
+    StageProbe(s);
+  }
+}
+
+void LoadEngine::DrawKey(uint32_t s) {
+  Session& ses = sessions_[s];
+  ses.op = options_.mix.Pick(ses.rng);
+  if (ses.op == OpType::kInsert) {
+    // Globally unique fresh key: stripe the id space by session so no two
+    // inserts ever collide.
+    ses.key_id = options_.preload_keys +
+                 ses.insert_seq * options_.sessions +
+                 (first_global_session_ + s);
+    ++ses.insert_seq;
+  } else {
+    ses.key_id = zipf_->Next();
+  }
+  EncodeKey(ses.key_id, ses.key_bytes);
+  ses.home = SlotLayout::HomeSlot(KeyView(ses.key_bytes), geometry_.buckets);
+}
+
+// ---------------------------------------------------------------------------
+// Op state machine: staging.
+
+void LoadEngine::StageProbe(uint32_t s) {
+  Session& ses = sessions_[s];
+  const uint64_t slot = (ses.home + ses.probe) % geometry_.buckets;
+  std::byte* scratch = Scratch(s);
+  if (Status st =
+          CollectPieces(SlotOffset(slot), geometry_.slot_bytes, scratch);
+      !st.ok()) {
+    FinishOp(s, false);
+    return;
+  }
+  ++ses.gen;
+  const uint64_t cookie = Cookie(s);
+  if (pieces_.size() == 1) {
+    // Common case: the slot lives in one slab. Chain the full-slot read
+    // and the 8-byte version re-read on the same QP — RC execution order
+    // makes the re-read observe any version change that raced the slot
+    // read, which is the seqlock validation, in a single round trip.
+    const Piece& p = pieces_[0];
+    const uint32_t si = server_index_.at(p.span.server_node);
+    mux_.Stage(si, s, Lane::kSpeculative,
+               ReadWr(p.span, p.local, p.length, 0, /*signaled=*/false));
+    mux_.Stage(si, s, Lane::kSpeculative,
+               ReadWr(p.span, scratch + read_area_, 8, cookie,
+                      /*signaled=*/true));
+    ses.pending = 1;
+    inflight_wrs_ += 1;
+    ses.phase = Phase::kProbe;
+  } else {
+    // Slab-straddling slot: pieces may land on different QPs, so chained
+    // ordering cannot carry the validation — read the pieces first, then
+    // issue the version re-read as its own step (kProbeVerify).
+    for (const Piece& p : pieces_) {
+      mux_.Stage(server_index_.at(p.span.server_node), s, Lane::kSpeculative,
+                 ReadWr(p.span, p.local, p.length, cookie,
+                        /*signaled=*/true));
+    }
+    ses.pending = static_cast<uint32_t>(pieces_.size());
+    inflight_wrs_ += pieces_.size();
+    ses.phase = Phase::kProbePieces;
+  }
+}
+
+void LoadEngine::StageProbeVerify(uint32_t s) {
+  Session& ses = sessions_[s];
+  const uint64_t slot = (ses.home + ses.probe) % geometry_.buckets;
+  auto span = region_->Resolve(SlotOffset(slot) + SlotLayout::kVersionOff, 8);
+  if (!span.ok()) {
+    FinishOp(s, false);
+    return;
+  }
+  ++ses.gen;
+  mux_.Stage(server_index_.at(span->server_node), s, Lane::kSpeculative,
+             ReadWr(*span, Scratch(s) + read_area_, 8, Cookie(s),
+                    /*signaled=*/true));
+  ses.pending = 1;
+  inflight_wrs_ += 1;
+  ses.phase = Phase::kProbeVerify;
+}
+
+void LoadEngine::StageLockPeek(uint32_t s) {
+  Session& ses = sessions_[s];
+  auto span = region_->Resolve(
+      SlotOffset(static_cast<uint64_t>(ses.target)) + SlotLayout::kVersionOff,
+      8);
+  if (!span.ok()) {
+    FinishOp(s, false);
+    return;
+  }
+  ++ses.gen;
+  mux_.Stage(server_index_.at(span->server_node), s, Lane::kSpeculative,
+             ReadWr(*span, Scratch(s) + read_area_, 8, Cookie(s),
+                    /*signaled=*/true));
+  ses.pending = 1;
+  inflight_wrs_ += 1;
+  ses.phase = Phase::kLockPeek;
+}
+
+void LoadEngine::StageLockCas(uint32_t s) {
+  Session& ses = sessions_[s];
+  auto span = region_->Resolve(
+      SlotOffset(static_cast<uint64_t>(ses.target)) + SlotLayout::kVersionOff,
+      8);
+  if (!span.ok()) {
+    FinishOp(s, false);
+    return;
+  }
+  ++ses.gen;
+  verbs::SendWr wr;
+  wr.wr_id = Cookie(s);
+  wr.opcode = verbs::Opcode::kCompareSwap;
+  wr.local = {Scratch(s) + read_area_ + 8, 8, arena_mr_->lkey()};
+  wr.remote_addr = span->remote_addr;
+  wr.rkey = span->rkey;
+  wr.compare = ses.lock_compare;
+  wr.swap_or_add = ses.lock_compare + 1;  // even -> odd: locked
+  wr.signaled = true;
+  mux_.Stage(server_index_.at(span->server_node), s, Lane::kPlain, wr);
+  ses.pending = 1;
+  inflight_wrs_ += 1;
+  ses.phase = Phase::kLockCas;
+}
+
+void LoadEngine::StageRecheck(uint32_t s) {
+  Session& ses = sessions_[s];
+  std::byte* scratch = Scratch(s);
+  // The slot is locked, so a plain (checked) read is safe. The version
+  // word is ours — zero the local copy and read from key_len onward.
+  Store64(scratch + SlotLayout::kVersionOff, 0);
+  if (Status st = CollectPieces(
+          SlotOffset(static_cast<uint64_t>(ses.target)) +
+              SlotLayout::kKeyLenOff,
+          geometry_.slot_bytes - SlotLayout::kKeyLenOff,
+          scratch + SlotLayout::kKeyLenOff);
+      !st.ok()) {
+    FinishOp(s, false);
+    return;
+  }
+  ++ses.gen;
+  const uint64_t cookie = Cookie(s);
+  for (const Piece& p : pieces_) {
+    mux_.Stage(server_index_.at(p.span.server_node), s, Lane::kPlain,
+               ReadWr(p.span, p.local, p.length, cookie, /*signaled=*/true));
+  }
+  ses.pending = static_cast<uint32_t>(pieces_.size());
+  inflight_wrs_ += pieces_.size();
+  ses.phase = Phase::kRecheck;
+}
+
+void LoadEngine::StageWrite(uint32_t s) {
+  Session& ses = sessions_[s];
+  std::byte* img = Scratch(s);
+  // Compose the new slot image in place (the recheck bytes are spent) and
+  // write everything from key_len onward; the locked version word is
+  // untouched until the release.
+  std::memset(img, 0, SlotLayout::kSlotHeader);
+  const uint16_t key_len = 8;
+  const uint32_t val_len = options_.value_bytes;
+  std::memcpy(img + SlotLayout::kKeyLenOff, &key_len, sizeof(key_len));
+  std::memcpy(img + SlotLayout::kValLenOff, &val_len, sizeof(val_len));
+  std::memcpy(img + SlotLayout::kPayloadOff, ses.key_bytes, key_len);
+  ses.rng.Fill(img + SlotLayout::kPayloadOff + key_len, val_len);
+  const uint64_t write_len =
+      SlotLayout::kSlotHeader - SlotLayout::kKeyLenOff + key_len + val_len;
+  if (Status st = CollectPieces(
+          SlotOffset(static_cast<uint64_t>(ses.target)) +
+              SlotLayout::kKeyLenOff,
+          write_len, img + SlotLayout::kKeyLenOff);
+      !st.ok()) {
+    FinishOp(s, false);
+    return;
+  }
+  ++ses.gen;
+  const uint64_t cookie = Cookie(s);
+  for (const Piece& p : pieces_) {
+    verbs::SendWr wr;
+    wr.wr_id = cookie;
+    wr.opcode = verbs::Opcode::kRdmaWrite;
+    wr.local = {p.local, p.length, arena_mr_->lkey()};
+    wr.remote_addr = p.span.remote_addr;
+    wr.rkey = p.span.rkey;
+    // Signaled: the release below must not be posted until this write's
+    // completion is polled, both for the seqlock protocol and so rcheck
+    // sees the payload write retired before the release edge.
+    wr.signaled = true;
+    mux_.Stage(server_index_.at(p.span.server_node), s, Lane::kPlain, wr);
+  }
+  ses.pending = static_cast<uint32_t>(pieces_.size());
+  inflight_wrs_ += pieces_.size();
+  ses.phase = Phase::kWrite;
+}
+
+void LoadEngine::StageUnlock(uint32_t s) {
+  Session& ses = sessions_[s];
+  auto span = region_->Resolve(
+      SlotOffset(static_cast<uint64_t>(ses.target)) + SlotLayout::kVersionOff,
+      8);
+  if (!span.ok()) {
+    FinishOp(s, false);
+    return;
+  }
+  std::byte* cell = Scratch(s) + read_area_ + 16;
+  Store64(cell, ses.locked_version + 1);  // odd -> next even: released
+  ++ses.gen;
+  verbs::SendWr wr;
+  wr.wr_id = Cookie(s);
+  wr.opcode = verbs::Opcode::kRdmaWrite;
+  wr.local = {cell, 8, arena_mr_->lkey()};
+  wr.remote_addr = span->remote_addr;
+  wr.rkey = span->rkey;
+  wr.signaled = true;
+  mux_.Stage(server_index_.at(span->server_node), s, Lane::kSyncCell, wr);
+  ses.pending = 1;
+  inflight_wrs_ += 1;
+  ses.phase = Phase::kUnlock;
+}
+
+void LoadEngine::StageScan(uint32_t s) {
+  Session& ses = sessions_[s];
+  const uint64_t count =
+      std::min<uint64_t>(std::max(options_.scan_len, 1u),
+                         geometry_.buckets - ses.home);
+  if (Status st = CollectPieces(SlotOffset(ses.home),
+                                count * geometry_.slot_bytes, Scratch(s));
+      !st.ok()) {
+    FinishOp(s, false);
+    return;
+  }
+  ++ses.gen;
+  const uint64_t cookie = Cookie(s);
+  for (const Piece& p : pieces_) {
+    mux_.Stage(server_index_.at(p.span.server_node), s, Lane::kSpeculative,
+               ReadWr(p.span, p.local, p.length, cookie, /*signaled=*/true));
+  }
+  ses.pending = static_cast<uint32_t>(pieces_.size());
+  inflight_wrs_ += pieces_.size();
+  ses.phase = Phase::kScan;
+}
+
+// ---------------------------------------------------------------------------
+// Op state machine: completion handling.
+
+void LoadEngine::HandleCompletion(const verbs::WorkCompletion& wc) {
+  const auto s = static_cast<uint32_t>(wc.wr_id >> 32);
+  const auto gen = static_cast<uint32_t>(wc.wr_id & 0xffffffffu);
+  if (inflight_wrs_ > 0) --inflight_wrs_;
+  if (s >= sessions_.size()) {
+    ++stats_.stale_completions;
+    return;
+  }
+  Session& ses = sessions_[s];
+  if (gen != ses.gen || ses.pending == 0) {
+    ++stats_.stale_completions;
+    return;
+  }
+  --ses.pending;
+  if (!wc.ok()) ses.step_error = true;
+  if (ses.pending > 0) return;  // multi-piece step still draining
+  if (ses.step_error) {
+    FinishOp(s, false);
+    return;
+  }
+  switch (ses.phase) {
+    case Phase::kProbe:
+    case Phase::kProbeVerify:
+      OnProbeDone(s);
+      break;
+    case Phase::kProbePieces:
+      StageProbeVerify(s);
+      break;
+    case Phase::kLockPeek:
+      OnLockPeekDone(s);
+      break;
+    case Phase::kLockCas:
+      OnLockCasDone(s);
+      break;
+    case Phase::kRecheck:
+      OnRecheckDone(s);
+      break;
+    case Phase::kWrite:
+      StageUnlock(s);
+      break;
+    case Phase::kUnlock:
+      OnUnlockDone(s);
+      break;
+    case Phase::kScan:
+      OnScanDone(s);
+      break;
+    default:
+      ++stats_.stale_completions;
+      break;
+  }
+}
+
+void LoadEngine::OnProbeDone(uint32_t s) {
+  Session& ses = sessions_[s];
+  const std::byte* scratch = Scratch(s);
+  const uint64_t v_slot = Load64(scratch + SlotLayout::kVersionOff);
+  const uint64_t v_check = Load64(scratch + read_area_);
+  if ((v_slot & 1) != 0 || v_check != v_slot) {
+    RetryOp(s, /*backoff=*/true);  // torn or locked: seqlock retry
+    return;
+  }
+  uint16_t key_len;
+  std::memcpy(&key_len, scratch + SlotLayout::kKeyLenOff, sizeof(key_len));
+  const bool writes = ses.op == OpType::kUpdate || ses.op == OpType::kInsert;
+
+  if (v_slot == 0 && key_len == 0) {
+    // Never-used slot: the probe chain ends here.
+    if (!writes) {
+      FinishOp(s, true, /*found=*/false);
+    } else {
+      ses.target = ses.reusable >= 0
+                       ? ses.reusable
+                       : static_cast<int64_t>(
+                             (ses.home + ses.probe) % geometry_.buckets);
+      StageLockPeek(s);
+    }
+    return;
+  }
+  if (key_len == 8 &&
+      std::memcmp(scratch + SlotLayout::kPayloadOff, ses.key_bytes, 8) == 0) {
+    if (ses.op == OpType::kRead) {
+      FinishOp(s, true);
+    } else {
+      ses.target =
+          static_cast<int64_t>((ses.home + ses.probe) % geometry_.buckets);
+      StageLockPeek(s);
+    }
+    return;
+  }
+  if (key_len == 0 && ses.reusable < 0) {
+    // Tombstone: remember it for inserts, keep probing (the key may live
+    // further along the chain).
+    ses.reusable =
+        static_cast<int64_t>((ses.home + ses.probe) % geometry_.buckets);
+  }
+  if (++ses.probe >= geometry_.max_probe) {
+    if (!writes) {
+      FinishOp(s, true, /*found=*/false);
+    } else if (ses.reusable >= 0) {
+      ses.target = ses.reusable;
+      StageLockPeek(s);
+    } else {
+      FinishOp(s, false);  // probe window full
+    }
+    return;
+  }
+  StageProbe(s);
+}
+
+void LoadEngine::OnLockPeekDone(uint32_t s) {
+  Session& ses = sessions_[s];
+  const uint64_t ver = Load64(Scratch(s) + read_area_);
+  if ((ver & 1) != 0) {
+    RetryOp(s, /*backoff=*/true);  // someone holds the lock
+    return;
+  }
+  ses.lock_compare = ver;
+  StageLockCas(s);
+}
+
+void LoadEngine::OnLockCasDone(uint32_t s) {
+  Session& ses = sessions_[s];
+  const uint64_t old = Load64(Scratch(s) + read_area_ + 8);
+  if (old == ses.lock_compare) {
+    ses.locked_version = ses.lock_compare + 1;
+    StageRecheck(s);
+    return;
+  }
+  // CAS lost. If the winner still holds the lock, back off; otherwise
+  // re-peek immediately (same scheduling round).
+  RetryOp(s, /*backoff=*/(old & 1) != 0);
+}
+
+void LoadEngine::OnRecheckDone(uint32_t s) {
+  Session& ses = sessions_[s];
+  const std::byte* scratch = Scratch(s);
+  uint16_t key_len;
+  std::memcpy(&key_len, scratch + SlotLayout::kKeyLenOff, sizeof(key_len));
+  const bool ours =
+      key_len == 8 &&
+      std::memcmp(scratch + SlotLayout::kPayloadOff, ses.key_bytes, 8) == 0;
+  if (ours || key_len == 0) {
+    StageWrite(s);
+    return;
+  }
+  // The slot changed hands between the probe and the lock: release it and
+  // restart the whole op.
+  ses.failed = true;
+  StageUnlock(s);
+}
+
+void LoadEngine::OnUnlockDone(uint32_t s) {
+  Session& ses = sessions_[s];
+  if (ses.failed) {
+    ses.failed = false;
+    RetryOp(s, /*backoff=*/true);
+    return;
+  }
+  FinishOp(s, true);
+}
+
+void LoadEngine::OnScanDone(uint32_t s) {
+  // Best-effort snapshot scan (no per-slot seqlock validation); the read
+  // itself rode the speculative lane so rcheck knows it may race.
+  FinishOp(s, true);
+}
+
+void LoadEngine::RetryOp(uint32_t s, bool backoff) {
+  Session& ses = sessions_[s];
+  ++stats_.retries;
+  if (ses.retries_left == 0) {
+    FinishOp(s, false);
+    return;
+  }
+  --ses.retries_left;
+  // Lock-path conflicts resume at the peek (the target slot is known);
+  // everything else restarts the probe where it stood. A post-recheck
+  // restart re-probes from the home slot: the chain may have shifted.
+  Phase resume = Phase::kProbe;
+  if ((ses.phase == Phase::kLockPeek || ses.phase == Phase::kLockCas) &&
+      ses.target >= 0) {
+    resume = Phase::kLockPeek;
+  } else if (ses.phase == Phase::kUnlock) {
+    ses.probe = 0;
+    ses.reusable = -1;
+    ses.target = -1;
+  }
+  if (backoff) {
+    ses.resume = resume;
+    ses.phase = Phase::kBackoff;
+    retries_.push({sim::Now() + options_.retry_backoff, s});
+    return;
+  }
+  if (resume == Phase::kLockPeek) {
+    StageLockPeek(s);
+  } else {
+    StageProbe(s);
+  }
+}
+
+void LoadEngine::OnRetryTimer(uint32_t s) {
+  Session& ses = sessions_[s];
+  if (ses.phase != Phase::kBackoff) {
+    ++stats_.stale_completions;
+    return;
+  }
+  if (ses.resume == Phase::kLockPeek) {
+    StageLockPeek(s);
+  } else {
+    StageProbe(s);
+  }
+}
+
+void LoadEngine::FinishOp(uint32_t s, bool ok, bool found) {
+  Session& ses = sessions_[s];
+  const sim::Nanos now = sim::Now();
+  const int64_t readmit = admission_->Release(ses.server_idx);
+  if (ok) {
+    ++stats_.completed;
+    ++stats_.completed_by_type[static_cast<uint32_t>(ses.op)];
+    if (!found) ++stats_.not_found;
+    const uint64_t latency = now - ses.intended;
+    stats_.latency.Add(latency);
+    if (ses.op == OpType::kRead || ses.op == OpType::kScan) {
+      stats_.read_latency.Add(latency);
+    } else {
+      stats_.write_latency.Add(latency);
+    }
+    stats_.drained_at = now;
+    ResolveObs();
+    if (obs_latency_ != nullptr) {
+      obs_latency_->Record(latency);
+      obs_completed_->Inc();
+    }
+  } else {
+    ++stats_.errors;
+  }
+  --open_ops_;
+  ses.phase = Phase::kIdle;
+  StartNextFromBacklog(s);
+  if (readmit >= 0) BeginAdmitted(static_cast<uint32_t>(readmit));
+}
+
+// ---------------------------------------------------------------------------
+// Main loop.
+
+Status LoadEngine::Run() {
+  RSTORE_RETURN_IF_ERROR(Setup());
+  // Cross-engine start barrier: arrival schedules of every engine share
+  // the same t0, so offered load aggregates as configured.
+  RSTORE_RETURN_IF_ERROR(client_.NotifyInc("e13.armed"));
+  RSTORE_ASSIGN_OR_RETURN(uint64_t armed,
+                          client_.WaitNotify("e13.armed", engine_count_));
+  (void)armed;
+  t0_ = sim::Now();
+  t_end_ = t0_ + options_.duration;
+  stats_.window_start = t0_;
+  ScheduleFirstArrivals();
+  Status st = RunLoop();
+  stats_.admission = admission_->stats();
+  stats_.mux = mux_.stats();
+  return st;
+}
+
+namespace {
+
+// Deliveries that share a virtual instant can be queued around this
+// thread's wake in a scheduler-dependent order: the legacy single queue
+// stamps global post order, the partitioned merge stamps
+// (source partition, post order). Sorting the batch by completion cookie
+// makes processing a pure function of the batch contents, so the
+// engine's timeline is bit-identical across --host-threads settings.
+// stable_sort: split-probe pieces share one cookie and their handling is
+// commutative, but keeping their relative order costs nothing.
+void SortBatch(std::vector<verbs::WorkCompletion>& wcs) {
+  std::stable_sort(wcs.begin(), wcs.end(),
+                   [](const verbs::WorkCompletion& a,
+                      const verbs::WorkCompletion& b) {
+                     return a.wr_id < b.wr_id;
+                   });
+}
+
+}  // namespace
+
+Status LoadEngine::RunLoop() {
+  std::vector<verbs::WorkCompletion> wcs;
+  wcs.reserve(256);
+  while (true) {
+    const sim::Nanos now = sim::Now();
+    uint64_t steps = 0;
+    while (!retries_.empty() && retries_.top().at <= now) {
+      const uint32_t s = retries_.top().session;
+      retries_.pop();
+      OnRetryTimer(s);
+      ++steps;
+    }
+    while (!arrivals_.empty() && arrivals_.top().at <= now) {
+      const TimerEntry e = arrivals_.top();
+      arrivals_.pop();
+      OnArrival(e.session, e.at);
+      ++steps;
+    }
+    wcs.clear();
+    if (inflight_wrs_ > 0) {
+      // End-of-instant barrier before polling: a completion due *at* this
+      // instant may still be behind this thread's wake in the event queue
+      // (whether it is depends on scheduler tie order). Yielding reposts
+      // the wake behind every already-queued same-instant event, so the
+      // batch below holds exactly the completions due by `now` under any
+      // scheduler.
+      sim::Yield();
+      mux_.PollInto(wcs);
+      SortBatch(wcs);
+    }
+    for (const verbs::WorkCompletion& wc : wcs) {
+      HandleCompletion(wc);
+      ++steps;
+    }
+    if (steps > 0) {
+      // One flush per scheduling round: every WR the round staged rides
+      // one doorbell chain per (QP, lane) — chains widen exactly as load
+      // rises. The modeled CPU charge keeps virtual time honest about
+      // the session work this round did.
+      stats_.steps += steps;
+      if (options_.session_step_ns > 0) {
+        sim::ChargeCpu(steps * options_.session_step_ns);
+      }
+      RSTORE_ASSIGN_OR_RETURN(size_t posted, mux_.Flush());
+      (void)posted;
+      continue;
+    }
+    if (open_ops_ == 0 && arrivals_.empty() && retries_.empty()) break;
+    sim::Nanos next = sim::kNever;
+    if (!arrivals_.empty()) next = arrivals_.top().at;
+    if (!retries_.empty()) next = std::min(next, retries_.top().at);
+    if (inflight_wrs_ > 0) {
+      wcs.clear();
+      const sim::Nanos timeout =
+          next == sim::kNever ? sim::kNever : next - now;
+      mux_.WaitPollInto(wcs, Moderation(), timeout);
+      if (!wcs.empty()) {
+        // Same end-of-instant barrier as above: the CQ wake that ended
+        // the wait may precede sibling deliveries at this instant.
+        sim::Yield();
+        mux_.PollInto(wcs);  // appends the stragglers
+        SortBatch(wcs);
+      }
+      for (const verbs::WorkCompletion& wc : wcs) HandleCompletion(wc);
+      if (!wcs.empty()) {
+        stats_.steps += wcs.size();
+        if (options_.session_step_ns > 0) {
+          sim::ChargeCpu(wcs.size() * options_.session_step_ns);
+        }
+        RSTORE_ASSIGN_OR_RETURN(size_t posted, mux_.Flush());
+        (void)posted;
+      }
+      continue;
+    }
+    if (next != sim::kNever) {
+      sim::Sleep(next - now);
+      continue;
+    }
+    // Open ops but no WRs in flight and no timers: every path that parks
+    // an op either holds a WR, a timer, or an admission slot whose
+    // releaser holds one — reaching here means the machine leaked a step.
+    return Status(ErrorCode::kInternal, "load engine stalled with open ops");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rstore::load

@@ -1,0 +1,259 @@
+// LoadEngine: an open-loop workload engine driving thousands of client
+// sessions from ONE simulated thread per client node.
+//
+// Sessions are lightweight state machines, not SimThreads: a 10k-session
+// run costs 10k small structs, not 10k stacks. Each session follows a
+// deterministic open-loop arrival schedule (exponential gaps at the
+// curve's instantaneous rate, drawn from a per-session RNG) and runs one
+// RKV operation at a time through an asynchronous replica of KvStore's
+// slot protocol — speculative probe reads with seqlock validation, CAS
+// lock acquire, raw re-check under the lock, payload write, 8-byte
+// release — posted through the SessionMux and resumed by completion
+// cookies (wr_id = session << 32 | generation).
+//
+// Coordinated-omission safety: every operation's latency is measured
+// from its *intended* send time under the arrival schedule. When a
+// session falls behind (its previous op is still in flight, or admission
+// deferred it), the next op's intended time does not slip — the op
+// starts late and the queueing delay lands in the histogram, where it
+// belongs.
+//
+// The engine's main loop is also where load-adaptive doorbell batching
+// and CQ interrupt moderation live: each scheduling round drains ready
+// completions, resumes due retries, starts due arrivals, charges modeled
+// CPU for the session steps it ran, and flushes the mux once — so one
+// doorbell chain carries everything the round produced, and the CQ wake
+// threshold scales with the in-flight count.
+//
+// Determinism: one engine per client node, no shared mutable state
+// between engines (admission is engine-local; see admission.h), every
+// scheduling decision a pure function of simulated state — so runs are
+// bit-identical across --host-threads and clean under rcheck.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "core/client.h"
+#include "kv/kv.h"
+#include "load/admission.h"
+#include "load/session_mux.h"
+#include "load/workload.h"
+
+namespace rstore::obs {
+class Counter;
+class Timer;
+class Telemetry;
+}  // namespace rstore::obs
+
+namespace rstore::load {
+
+struct EngineStats {
+  uint64_t arrivals = 0;        // ops the schedule produced
+  uint64_t completed = 0;       // ops that finished with a recorded latency
+  uint64_t completed_by_type[kOpTypes] = {};
+  uint64_t not_found = 0;       // reads/rmws that missed (counted complete)
+  uint64_t errors = 0;          // ops abandoned (budget/probe window/verbs)
+  uint64_t shed = 0;            // ops rejected by admission
+  uint64_t retries = 0;         // seqlock conflicts + CAS losses
+  uint64_t stale_completions = 0;
+  uint64_t steps = 0;           // session state-machine steps executed
+  uint32_t sessions = 0;
+  uint32_t qps = 0;
+  sim::Nanos window_start = 0;
+  sim::Nanos drained_at = 0;    // when the last in-flight op finished
+  LatencyHistogram latency{1.04};       // all completed ops, intended->done
+  LatencyHistogram read_latency{1.04};
+  LatencyHistogram write_latency{1.04};  // update/insert/rmw
+  AdmissionStats admission;
+  MuxStats mux;
+};
+
+class LoadEngine {
+ public:
+  // One of `engine_count` engines jointly driving options.sessions; this
+  // engine runs the sessions whose global index ≡ engine_index (block
+  // partition). The table named `table` must already be preloaded.
+  LoadEngine(core::RStoreClient& client, std::string table,
+             const LoadOptions& options, uint32_t engine_index,
+             uint32_t engine_count);
+  ~LoadEngine();
+  LoadEngine(const LoadEngine&) = delete;
+  LoadEngine& operator=(const LoadEngine&) = delete;
+
+  // Connects the mux, arms the cross-engine start barrier, drives the
+  // open-loop window, and drains. Blocks the calling simulated thread.
+  Status Run();
+
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  // Bulk-loads `options.preload_keys` keys into a fresh RKV table by
+  // composing the entire table image locally and writing it with large
+  // sequential IO — seconds of per-key Puts collapse into one streaming
+  // write. Run by exactly one client before any engine starts.
+  static Status PreloadTable(core::RStoreClient& client,
+                             const std::string& name,
+                             const LoadOptions& options);
+
+  // The 8-byte binary key for key id `id` (shared by preload and ops).
+  static void EncodeKey(uint64_t id, std::byte out[8]) noexcept;
+
+ private:
+  enum class Phase : uint8_t {
+    kIdle,
+    kDeferred,     // admission parked the op; no WR in flight
+    kBackoff,      // seqlock conflict backoff; resumes via retries_ heap
+    kProbe,        // chained slot+version speculative read outstanding
+    kProbePieces,  // slab-split slot read outstanding (then verify)
+    kProbeVerify,  // post-split version validation read outstanding
+    kLockPeek,     // speculative 8-byte version read outstanding
+    kLockCas,      // seqlock CAS outstanding
+    kRecheck,      // raw re-read under the lock outstanding
+    kWrite,        // payload write outstanding
+    kUnlock,       // 8-byte release write outstanding
+    kScan,         // one or more scan-run reads outstanding
+  };
+
+  struct Session {
+    Rng rng{0};
+    sim::Nanos next_intended = 0;  // head of this session's schedule
+    // Ops whose intended time has passed but which have not started yet
+    // (the session was busy). Latency anchors pop from here.
+    std::deque<sim::Nanos> backlog;
+    // --- current op ---
+    Phase phase = Phase::kIdle;
+    Phase resume = Phase::kProbe;  // where a kBackoff wakeup re-enters
+    OpType op = OpType::kRead;
+    sim::Nanos intended = 0;
+    uint64_t key_id = 0;
+    std::byte key_bytes[8] = {};
+    uint64_t home = 0;       // home slot
+    uint32_t probe = 0;      // probe distance so far
+    int64_t reusable = -1;   // first tombstone seen during the probe
+    int64_t target = -1;     // slot being locked/written
+    uint64_t lock_compare = 0;   // version the CAS expects
+    uint64_t locked_version = 0; // odd version we hold
+    uint32_t server_idx = 0;     // admission charge (home slot's server)
+    uint32_t retries_left = 0;
+    bool failed = false;     // unlock-then-retry instead of complete
+    bool step_error = false; // a WR of the current step errored
+    uint32_t gen = 0;        // completion cookie generation
+    uint32_t pending = 0;    // signaled WRs outstanding for this step
+    uint64_t insert_seq = 0; // per-session unique-key counter
+  };
+
+  // One slab-contiguous piece of a slot range (slots may straddle slab
+  // boundaries: the 64-byte table header shifts slot addresses).
+  struct Piece {
+    core::RemoteSpan span;
+    std::byte* local;
+    uint32_t length;
+  };
+
+  // Timed wakeups (retry backoff) and arrivals share one comparator:
+  // earliest time first, session index breaking ties.
+  struct TimerEntry {
+    sim::Nanos at;
+    uint32_t session;
+    bool operator>(const TimerEntry& o) const noexcept {
+      return at != o.at ? at > o.at : session > o.session;
+    }
+  };
+  using TimerHeap =
+      std::priority_queue<TimerEntry, std::vector<TimerEntry>,
+                          std::greater<TimerEntry>>;
+
+  Status Setup();
+  Status RunLoop();
+  void ScheduleFirstArrivals();
+  void PushNextArrival(uint32_t s);
+
+  // State-machine steps. Each stages at most one mux step and returns.
+  void OnArrival(uint32_t s, sim::Nanos intended);
+  void StartNextFromBacklog(uint32_t s);
+  void BeginOp(uint32_t s);
+  void BeginAdmitted(uint32_t s);
+  void HandleCompletion(const verbs::WorkCompletion& wc);
+  void OnProbeDone(uint32_t s);
+  void OnLockPeekDone(uint32_t s);
+  void OnLockCasDone(uint32_t s);
+  void OnRecheckDone(uint32_t s);
+  void OnUnlockDone(uint32_t s);
+  void OnScanDone(uint32_t s);
+  void OnRetryTimer(uint32_t s);
+  void StageProbe(uint32_t s);
+  void StageProbeVerify(uint32_t s);
+  void StageLockPeek(uint32_t s);
+  void StageLockCas(uint32_t s);
+  void StageRecheck(uint32_t s);
+  void StageWrite(uint32_t s);
+  void StageUnlock(uint32_t s);
+  void StageScan(uint32_t s);
+  void RetryOp(uint32_t s, bool backoff);
+  void FinishOp(uint32_t s, bool ok, bool found = true);
+
+  // Helpers.
+  [[nodiscard]] uint64_t SlotOffset(uint64_t slot) const noexcept;
+  [[nodiscard]] uint32_t ServerIndexOf(uint64_t slot);
+  [[nodiscard]] std::byte* Scratch(uint32_t s) noexcept;
+  [[nodiscard]] uint64_t Cookie(uint32_t s) const noexcept;
+  [[nodiscard]] verbs::SendWr ReadWr(const core::RemoteSpan& span,
+                                     std::byte* dst, uint32_t len,
+                                     uint64_t cookie, bool signaled);
+  // Splits [offset, offset+length) at slab boundaries into pieces_.
+  Status CollectPieces(uint64_t offset, uint64_t length, std::byte* local);
+  void DrawKey(uint32_t s);
+  [[nodiscard]] size_t Moderation() const noexcept;
+  void ResolveObs();
+
+  core::RStoreClient& client_;
+  const std::string table_;
+  const LoadOptions options_;
+  const uint32_t engine_index_;
+  const uint32_t engine_count_;
+
+  core::MappedRegion* region_ = nullptr;
+  kv::KvOptions geometry_;  // from the table header
+  SessionMux mux_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+
+  std::vector<Session> sessions_;
+  uint32_t first_global_session_ = 0;
+  TimerHeap arrivals_;
+  TimerHeap retries_;
+  std::vector<Piece> pieces_;  // CollectPieces scratch
+
+  // One registered scratch arena, carved into per-session strides.
+  std::vector<std::byte> arena_;
+  verbs::ProtectionDomain* pd_ = nullptr;
+  verbs::MemoryRegion* arena_mr_ = nullptr;
+  size_t stride_ = 0;
+  size_t read_area_ = 0;  // bytes of the slot/scan read area in a stride
+
+  // server_node -> dense server index (admission + mux addressing).
+  std::vector<uint32_t> server_nodes_;
+  std::unordered_map<uint32_t, uint32_t> server_index_;
+
+  sim::Nanos t0_ = 0;
+  sim::Nanos t_end_ = 0;
+  uint64_t open_ops_ = 0;       // arrived but not finished (any phase)
+  uint64_t inflight_wrs_ = 0;   // signaled WRs outstanding
+  EngineStats stats_;
+
+  // PR3 observability (lazily resolved; null when detached).
+  obs::Telemetry* obs_owner_ = nullptr;
+  obs::Timer* obs_latency_ = nullptr;
+  obs::Counter* obs_completed_ = nullptr;
+  obs::Counter* obs_shed_ = nullptr;
+};
+
+}  // namespace rstore::load

@@ -1,0 +1,122 @@
+#include "load/session_mux.h"
+
+#include <algorithm>
+
+#include "check/check.h"
+#include "core/types.h"
+
+namespace rstore::load {
+
+SessionMux::SessionMux(verbs::Device& device) : device_(device) {}
+
+Status SessionMux::Connect(std::span<const uint32_t> server_nodes,
+                           uint32_t qp_per_server,
+                           const verbs::QpConfig& config) {
+  if (server_nodes.empty() || qp_per_server == 0) {
+    return Status(ErrorCode::kInvalidArgument, "empty QP pool");
+  }
+  qp_per_server_ = qp_per_server;
+  cq_ = &device_.CreateCq();
+  qps_.reserve(server_nodes.size() * qp_per_server);
+  for (const uint32_t server : server_nodes) {
+    for (uint32_t i = 0; i < qp_per_server; ++i) {
+      auto qp = device_.network().Connect(device_, server, core::kDataService,
+                                          config, cq_, cq_);
+      if (!qp.ok()) return qp.status();
+      qps_.push_back(*qp);
+    }
+  }
+  staging_.resize(qps_.size());
+  return Status::Ok();
+}
+
+void SessionMux::Stage(uint32_t server_idx, uint32_t session, Lane lane,
+                       const verbs::SendWr& wr) {
+  const uint32_t qi = QpIndexFor(server_idx, session);
+  LaneQueue& q = staging_.at(qi)[static_cast<uint32_t>(lane)];
+  q.wrs.push_back(wr);
+  q.wrs.back().next = nullptr;
+  ++staged_total_;
+  stats_.max_staged = std::max<uint64_t>(stats_.max_staged, staged_total_);
+}
+
+Result<size_t> SessionMux::Flush() {
+  ++stats_.flush_rounds;
+  size_t posted_total = 0;
+  bool stalled = false;
+  check::Checker* checker = device_.network().sim().checker();
+  // Lanes flush in forward-progress order: seqlock releases first (they
+  // unblock every contending writer), then data IO, then speculative
+  // probes. A session never has WRs in two lanes in the same round (one
+  // step in flight per session), so this never reorders a session's ops.
+  static constexpr Lane kLaneOrder[kLanes] = {Lane::kSyncCell, Lane::kPlain,
+                                              Lane::kSpeculative};
+  for (size_t qi = 0; qi < qps_.size(); ++qi) {
+    verbs::QueuePair* qp = qps_[qi];
+    size_t headroom = qp->send_headroom();
+    for (const Lane lane : kLaneOrder) {
+      LaneQueue& q = staging_[qi][static_cast<uint32_t>(lane)];
+      const size_t avail = q.wrs.size() - q.head;
+      if (avail == 0) {
+        if (q.head > 0) {
+          q.wrs.clear();
+          q.head = 0;
+        }
+        continue;
+      }
+      const size_t n = std::min(avail, headroom);
+      if (n == 0) {
+        stalled = true;
+        continue;
+      }
+      for (size_t i = 0; i + 1 < n; ++i) {
+        q.wrs[q.head + i].next = &q.wrs[q.head + i + 1];
+      }
+      q.wrs[q.head + n - 1].next = nullptr;
+      Status posted;
+      switch (lane) {
+        case Lane::kSpeculative: {
+          check::SpeculativeScope scope(checker);
+          posted = qp->PostSend(q.wrs[q.head]);
+          break;
+        }
+        case Lane::kSyncCell: {
+          check::SyncCellScope scope(checker);
+          posted = qp->PostSend(q.wrs[q.head]);
+          break;
+        }
+        case Lane::kPlain:
+          posted = qp->PostSend(q.wrs[q.head]);
+          break;
+      }
+      // Chain pointers reference the staging vector; sever them before it
+      // can grow again.
+      for (size_t i = 0; i < n; ++i) q.wrs[q.head + i].next = nullptr;
+      if (!posted.ok()) return posted;
+      q.head += n;
+      if (q.head == q.wrs.size()) {
+        q.wrs.clear();
+        q.head = 0;
+      }
+      staged_total_ -= n;
+      posted_total += n;
+      headroom -= n;
+      ++stats_.chains_posted;
+      stats_.wrs_posted += n;
+      stats_.chain_width.Add(n);
+    }
+  }
+  if (stalled) ++stats_.headroom_stalls;
+  return posted_total;
+}
+
+size_t SessionMux::PollInto(std::vector<verbs::WorkCompletion>& out) {
+  return cq_->PollInto(out);
+}
+
+size_t SessionMux::WaitPollInto(std::vector<verbs::WorkCompletion>& out,
+                                size_t min_entries, sim::Nanos timeout) {
+  return cq_->WaitPollInto(out, min_entries, SIZE_MAX, timeout);
+}
+
+}  // namespace rstore::load

@@ -134,6 +134,8 @@ void NodeMetrics::AppendJson(std::string& out) const {
     AppendU64(out, h.Quantile(0.90));
     out += ",\"p99\":";
     AppendU64(out, h.Quantile(0.99));
+    out += ",\"p999\":";
+    AppendU64(out, h.Quantile(0.999));
     out += '}';
   }
   out += "}}";

@@ -264,28 +264,24 @@ void Fabric::PumpEgress(uint32_t node) {
   if (explore::SchedulePolicy* pol = sim_.policy(); pol != nullptr) {
     extra = pol->FabricDelayNs();
   }
+  // The ingress reservation belongs to the destination: the message is
+  // handed over at its first-bit instant (in partitioned mode the post is
+  // at least one lookahead — base_latency — ahead of this partition's
+  // clock, so it is never clamped), staged, and reserved by the
+  // end-of-instant drain in (src, tx_seq) order. The per-(src,dst) clamp
+  // keeps first bits strictly increasing per path even when a policy
+  // injects unequal per-message delays, so the first-bit sort preserves
+  // RC same-path FIFO delivery.
+  auto& last = p.last_first_bit_by_dst;
+  if (msg->dst >= last.size()) last.resize(msg->dst + 1);
+  Nanos first_bit = now + config_.base_latency + extra;
+  if (first_bit <= last[msg->dst]) first_bit = last[msg->dst] + 1;
+  last[msg->dst] = first_bit;
+  msg->first_bit = first_bit;
+  msg->tx_seq = p.tx_seq++;
   if (!sim_.partitioned()) {
-    PortState& q = port(msg->dst);
-    const Nanos first_bit = now + config_.base_latency + extra;
-    const Nanos service_start = std::max(first_bit, q.ingress_free_at);
-    q.ingress_free_at = service_start + msg->wire_time;
-    sim_.At(q.ingress_free_at, [this, msg] { Deliver(msg); });
+    sim_.At(first_bit, [this, msg] { ApplyIngress(msg); });
   } else {
-    // Partitioned: the ingress reservation belongs to dst's partition.
-    // Hand the message over at its first-bit instant — which is at least
-    // one lookahead (base_latency) ahead of this partition's clock, so
-    // the post is never clamped and arrives at exactly first_bit. The
-    // epoch merge orders cross-partition arrivals by (t, src partition,
-    // post order) = first-bit order, so ApplyIngress reservations are
-    // FIFO-by-first-bit just like the legacy in-pump reservation. The
-    // per-(src,dst) clamp keeps that order FIFO per path even when a
-    // policy injects unequal per-message delays.
-    auto& last = p.last_first_bit_by_dst;
-    if (msg->dst >= last.size()) last.resize(msg->dst + 1);
-    Nanos first_bit = now + config_.base_latency + extra;
-    if (first_bit <= last[msg->dst]) first_bit = last[msg->dst] + 1;
-    last[msg->dst] = first_bit;
-    msg->first_bit = first_bit;
     sim_.PostToNode(msg->dst, first_bit, [this, msg] { ApplyIngress(msg); });
   }
 
@@ -293,15 +289,42 @@ void Fabric::PumpEgress(uint32_t node) {
 }
 
 void Fabric::ApplyIngress(Message* msg) {
-  // Runs on the destination's partition at the first-bit arrival instant:
-  // applies the monotone ingress reservation and schedules delivery
-  // locally.
+  // Runs on the destination's partition at the first-bit arrival instant.
+  // Arrivals that share the instant are staged and reserved together by
+  // DrainIngress: the drain event is posted *during* the instant, so it
+  // sorts behind every same-instant arrival under both schedulers (the
+  // legacy queue and the partitioned merge both order equal-time events
+  // by post order), and the stage then holds the complete tie set.
   PortState& q = port(msg->dst);
-  q.bytes_in += msg->payload_bytes;
-  if (q.obs_bytes_in != nullptr) q.obs_bytes_in->Inc(msg->payload_bytes);
-  const Nanos service_start = std::max(msg->first_bit, q.ingress_free_at);
-  q.ingress_free_at = service_start + msg->wire_time;
-  sim_.At(q.ingress_free_at, [this, msg] { Deliver(msg); });
+  if (sim_.partitioned()) {
+    q.bytes_in += msg->payload_bytes;
+    if (q.obs_bytes_in != nullptr) q.obs_bytes_in->Inc(msg->payload_bytes);
+  }
+  if (q.ingress_stage.empty()) {
+    const uint32_t node = msg->dst;
+    sim_.At(sim_.NowNanos(), [this, node] { DrainIngress(node); });
+  }
+  q.ingress_stage.push_back(msg);
+}
+
+void Fabric::DrainIngress(uint32_t node) {
+  // End-of-instant ingress arbitration: serve this instant's arrivals in
+  // (src, tx_seq) order — a pure function of the arrival set, so tied
+  // first bits resolve identically under any scheduler.
+  PortState& q = port(node);
+  if (q.ingress_stage.size() > 1) {
+    std::sort(q.ingress_stage.begin(), q.ingress_stage.end(),
+              [](const Message* a, const Message* b) {
+                return a->src != b->src ? a->src < b->src
+                                        : a->tx_seq < b->tx_seq;
+              });
+  }
+  for (Message* msg : q.ingress_stage) {
+    const Nanos service_start = std::max(msg->first_bit, q.ingress_free_at);
+    q.ingress_free_at = service_start + msg->wire_time;
+    sim_.At(q.ingress_free_at, [this, msg] { Deliver(msg); });
+  }
+  q.ingress_stage.clear();
 }
 
 void Fabric::Deliver(Message* msg) {

@@ -107,7 +107,8 @@ class Fabric {
     FabricFn on_dropped;
     Nanos sent_at;
     Nanos tx_start;   // egress transmission start (set by PumpEgress)
-    Nanos first_bit;  // arrival of the first bit at dst (partitioned mode)
+    Nanos first_bit;  // arrival of the first bit at dst
+    uint64_t tx_seq;  // per-source transmit sequence (ingress tie-break)
   };
 
   struct PortState {
@@ -126,22 +127,25 @@ class Fabric {
     Nanos egress_free_at = 0;
     bool pump_scheduled = false;  // a pump event exists at egress_free_at
     // Ingress service is likewise a reservation timestamp. Messages are
-    // served in first-bit arrival order; since base_latency is one global
-    // constant, first-bit order equals transmission-start order, so
-    // reserving the ingress port at egress-pump time (which runs in
-    // virtual-time order) is exactly FIFO-by-first-bit — without an
-    // arrival event or a queue. In partitioned mode the reservation is
-    // applied on the *destination's* partition (ApplyIngress), which
-    // receives cross-partition messages merged in first-bit order — the
-    // same FIFO-by-first-bit result without cross-partition writes.
+    // served in first-bit arrival order: every message is handed to the
+    // destination at its first-bit instant (ApplyIngress — an ordinary
+    // event in legacy mode, a cross-partition post in partitioned mode),
+    // staged per instant, and reserved in (first_bit, src, tx_seq) order
+    // by DrainIngress. The explicit per-instant sort makes the service
+    // order at *tied* first-bit instants a pure function of the arrival
+    // set — bit-identical under the legacy and partitioned schedulers —
+    // where the old scheme (legacy: reservation in pump order;
+    // partitioned: epoch-merge order) let the two schedulers pick
+    // different winners and diverge under contended fan-in.
     Nanos ingress_free_at = 0;
-    // Partitioned mode: last first-bit instant sent towards each
-    // destination. Injected per-message delays (kFabricDelay) are clamped
-    // so first bits per (src,dst) pair stay strictly increasing, which
-    // preserves RC same-path FIFO delivery under the first-bit-order
-    // merge rule (the legacy path gets this from reservation-in-pump-
-    // order instead).
+    // Same-instant arrivals staged for the end-of-instant drain.
+    std::vector<Message*> ingress_stage;
+    // Last first-bit instant sent towards each destination. Injected
+    // per-message delays (kFabricDelay) are clamped so first bits per
+    // (src,dst) pair stay strictly increasing, which preserves RC
+    // same-path FIFO delivery under the first-bit sort.
     std::vector<Nanos> last_first_bit_by_dst;
+    uint64_t tx_seq = 0;  // stamped onto outgoing messages at pump time
 
     uint64_t bytes_out = 0;
     uint64_t bytes_in = 0;
@@ -168,6 +172,7 @@ class Fabric {
   void PumpEgress(uint32_t node);
   void SchedulePump(uint32_t node, Nanos at);
   void ApplyIngress(Message* msg);
+  void DrainIngress(uint32_t node);
   void Deliver(Message* msg);
   void PrepareForPartitionedRun();
   [[nodiscard]] static uint64_t LinkKey(uint32_t a, uint32_t b) noexcept {

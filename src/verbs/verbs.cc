@@ -335,6 +335,15 @@ namespace {
 constexpr uint64_t kReadRequestBytes = 16;
 constexpr uint64_t kAtomicRequestBytes = 32;
 constexpr uint64_t kAtomicResponseBytes = 8;
+// RC acknowledgement riding back for writes and sends: initiator-side
+// completions fire when the responder's ack arrives, one base_latency
+// after target execution — the same round trip reads and atomics pay.
+// (Besides fidelity, this keeps every cross-node effect at fabric
+// latency, which the partitioned scheduler's lookahead requires for
+// legacy/partitioned bit-identical timelines; the old model completed
+// writes in zero time across nodes, which an epoch-based scheduler
+// cannot reproduce exactly.)
+constexpr uint64_t kAckBytes = 12;
 
 // Registers one queued WR with the rcheck shadow state: maps the opcode
 // onto the checker's transport classes, gathers the non-empty local SGEs,
@@ -508,12 +517,15 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
     op->src_node = src;
     op->dst_node = peer_node_;
     op->dst_qp = peer_qp_num_;
-    if (net.sim().partitioned()) {
-      // Bounce buffer: snapshot the outgoing data on the initiator's
-      // partition, at doorbell time — the target then never reads the
-      // initiator's memory (which its partition may be mutating
-      // concurrently). Matches HCA semantics: the NIC reads the source
-      // buffers when it processes the descriptor.
+    {
+      // Bounce buffer: snapshot the outgoing data at doorbell time — the
+      // target then never reads the initiator's memory. Matches HCA
+      // semantics: the NIC reads the source buffers when it processes the
+      // descriptor. Under the partitioned scheduler this is also what
+      // keeps the target off memory another partition may be mutating;
+      // it runs in legacy mode too so both schedulers sample racing
+      // buffers at the identical virtual instant (scheduler-invariant
+      // timelines need identical data, not just identical event times).
       switch (wr.opcode) {
         case Opcode::kSend:
         case Opcode::kRdmaWrite:
@@ -539,8 +551,11 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
           Device& target = pnet->device(op->dst_node);
           QueuePair* tqp = target.FindQp(op->dst_qp);
           if (tqp == nullptr || tqp->state_ == State::kError) {
-            op->initiator->CompleteSqFromWire(op->seq,
-                                              WcStatus::kRetryExceeded, 0);
+            // NAK rides the wire back; because acks are delivered in order
+            // per (src, dst) pair, this rejection cannot overtake an
+            // earlier op's in-flight ack and flush it prematurely.
+            op->initiator->CompleteSqViaAck(*pnet, op->dst_node, op->seq,
+                                            WcStatus::kRetryExceeded, 0);
             pnet->ReleaseWireOp(op);
             return;
           }
@@ -565,17 +580,19 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
                                 WireOp* op) {
   const SendWr& wr = op->wr;
   const uint64_t seq = op->seq;
-  const bool part = net.sim().partitioned();
   check::Checker* ck = net.sim().checker();
   switch (wr.opcode) {
-    case Opcode::kSend:
+    case Opcode::kSend: {
+      Network* pnet = &net;
+      const uint32_t tnode = target.node_id();
       tqp.AcceptSend(wr, op->src_node,
-                     [this, seq](WcStatus st, uint32_t len) {
-                       CompleteSqFromWire(seq, st, len);
+                     [this, pnet, tnode, seq](WcStatus st, uint32_t len) {
+                       CompleteSqViaAck(*pnet, tnode, seq, st, len);
                      },
                      /*data_already_placed=*/false, std::move(op->payload));
       net.ReleaseWireOp(op);
       return;
+    }
 
     case Opcode::kRdmaWrite:
     case Opcode::kRdmaWriteWithImm: {
@@ -583,37 +600,30 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
       if (mr == nullptr || !mr->Covers(wr.remote_addr, total) ||
           (mr->access() & kRemoteWrite) == 0) {
-        CompleteSqFromWire(seq, WcStatus::kRemAccessErr, 0);
+        // NAK rides the wire back like the success ack.
+        CompleteSqViaAck(net, target.node_id(), seq, WcStatus::kRemAccessErr,
+                         0);
         net.ReleaseWireOp(op);
         return;
       }
       if (ck != nullptr && wr.check_ref != 0) ck->OnExecute(wr.check_ref);
       auto* dst = reinterpret_cast<std::byte*>(wr.remote_addr);
-      if (part) {
-        // The data was snapshotted into the bounce buffer at doorbell
-        // time; the initiator's memory is never read here.
-        if (!op->payload.empty()) {
-          std::memcpy(dst, op->payload.data(), op->payload.size());
-        }
-      } else {
-        // Gather: local SGEs land back-to-back in the remote range.
-        for (uint32_t i = 0; i < wr.num_sge; ++i) {
-          const Sge& s = wr.sge(i);
-          if (s.length > 0) {
-            std::memcpy(dst, s.addr, s.length);
-            dst += s.length;
-          }
-        }
+      // The data was snapshotted into the bounce buffer at doorbell
+      // time; the initiator's memory is never read here.
+      if (!op->payload.empty()) {
+        std::memcpy(dst, op->payload.data(), op->payload.size());
       }
       if (wr.opcode == Opcode::kRdmaWriteWithImm) {
+        Network* pnet = &net;
+        const uint32_t tnode = target.node_id();
         tqp.AcceptSend(wr, op->src_node,
-                       [this, seq](WcStatus st, uint32_t len) {
-                         CompleteSqFromWire(seq, st, len);
+                       [this, pnet, tnode, seq](WcStatus st, uint32_t len) {
+                         CompleteSqViaAck(*pnet, tnode, seq, st, len);
                        },
                        /*data_already_placed=*/true);
       } else {
-        CompleteSqFromWire(seq, WcStatus::kSuccess,
-                           static_cast<uint32_t>(total));
+        CompleteSqViaAck(net, target.node_id(), seq, WcStatus::kSuccess,
+                         static_cast<uint32_t>(total));
       }
       net.ReleaseWireOp(op);
       return;
@@ -629,11 +639,13 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
         return;
       }
       if (ck != nullptr && wr.check_ref != 0) ck->OnExecute(wr.check_ref);
-      if (part && total > 0) {
-        // Snapshot the target range into the bounce buffer now, on the
-        // target's partition (the NIC reads the MR when it serves the
-        // request); the response scatters from the buffer on the
-        // initiator's partition at delivery.
+      if (total > 0) {
+        // Snapshot the target range into the bounce buffer now (the NIC
+        // reads the MR when it serves the request); the response scatters
+        // from the buffer at delivery. Both schedulers therefore sample
+        // the target memory at the same virtual instant even when a
+        // racing write lands between request service and response
+        // delivery.
         op->payload.resize(total);
         std::memcpy(op->payload.data(),
                     reinterpret_cast<const std::byte*>(wr.remote_addr), total);
@@ -756,20 +768,10 @@ void QueuePair::MatchRecv(const SendWr& wr, uint32_t src_node,
       return;
     }
     std::byte* dst = recv.local.addr;
-    if (device_.network().sim().partitioned()) {
-      // Partitioned: the data arrived in the bounce buffer (the sender's
-      // SGE memory belongs to another partition).
-      if (!payload.empty()) {
-        std::memcpy(dst, payload.data(), payload.size());
-      }
-    } else {
-      for (uint32_t i = 0; i < wr.num_sge; ++i) {
-        const Sge& s = wr.sge(i);
-        if (s.length > 0) {
-          std::memcpy(dst, s.addr, s.length);
-          dst += s.length;
-        }
-      }
+    // The data arrived in the doorbell-time bounce buffer; the sender's
+    // SGE memory is never read here (see IssueDoorbell).
+    if (!payload.empty()) {
+      std::memcpy(dst, payload.data(), payload.size());
     }
   }
   recv_cq_->Push(WorkCompletion{
@@ -813,6 +815,21 @@ void QueuePair::CompleteSqFromWire(uint64_t seq, WcStatus status,
     return;
   }
   CompleteSq(seq, status, byte_len);
+}
+
+// Completion via RC ack: ride a small message from the target back to the
+// initiator and complete when it is delivered, exactly as read responses
+// and atomic responses already do. The delivery callback runs on the
+// initiator's partition (it is the message destination), so CompleteSq is
+// partition-local there. A dropped ack surfaces as a retry-exceeded error
+// at the drop instant.
+void QueuePair::CompleteSqViaAck(Network& net, uint32_t target_node,
+                                 uint64_t seq, WcStatus status,
+                                 uint32_t byte_len) {
+  net.fabric().Send(
+      target_node, device_.node_id(), kAckBytes,
+      [this, seq, status, byte_len] { CompleteSq(seq, status, byte_len); },
+      [this, seq] { CompleteSqFromWire(seq, WcStatus::kRetryExceeded, 0); });
 }
 
 void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {

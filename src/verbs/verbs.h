@@ -355,6 +355,14 @@ class QueuePair {
 
   // Number of send WRs posted but not yet completed.
   [[nodiscard]] size_t outstanding() const noexcept { return sq_.size(); }
+  // Send-queue slots still free: a PostSend chain longer than this fails
+  // with kOutOfMemory. Multiplexers stage and re-flush against it instead
+  // of tripping the error (see load::SessionMux).
+  [[nodiscard]] size_t send_headroom() const noexcept {
+    return sq_.size() >= config_.max_send_wr
+               ? 0
+               : config_.max_send_wr - sq_.size();
+  }
 
  private:
   friend class Device;
@@ -408,6 +416,11 @@ class QueuePair {
   // completion time is unchanged, only the mutation site moves. Legacy
   // mode calls CompleteSq directly, byte-identical to before.
   void CompleteSqFromWire(uint64_t seq, WcStatus status, uint32_t byte_len);
+  // Initiator-side completion delivered by an RC ack message from the
+  // target: write/send completions ride the fabric back like read and
+  // atomic responses, so no cross-node completion is zero-latency.
+  void CompleteSqViaAck(Network& net, uint32_t target_node, uint64_t seq,
+                        WcStatus status, uint32_t byte_len);
   void FlushAll(WcStatus status);
   void EnterError();
 
