@@ -17,12 +17,21 @@
 // override the sweep's default point grammar; --smoke shrinks everything
 // for CI; --no-determinism skips the host-thread cross-check; --rcheck /
 // --host-threads / --json / --trace as everywhere else.
+//
+// rtrace: the sweep runs with per-op causal tracing in sampled mode by
+// default (--rtrace off|sampled|full to override). Every point's JSON row
+// carries the p999-band per-stage attribution, and the highest-load
+// admitted point's full report lands in BENCH_fanin_attr.json
+// (--attribution to relocate) for tools/rtail. The determinism gate
+// cross-checks that every rtrace mode is virtual-time bit-identical on
+// every scheduler (off/sampled/full x host-threads {0,1,4}).
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -63,6 +72,8 @@ struct FaninPoint {
   uint64_t virtual_nanos = 0;
   uint64_t events = 0;
   double wall_seconds = 0;
+  obs::RtraceReport rtrace;  // merged across engines (empty when off)
+  std::vector<load::HotKey> hotkeys;
 };
 
 constexpr uint32_t kServers = 8;
@@ -145,7 +156,27 @@ FaninPoint RunFanin(const load::LoadOptions& base, double offered,
     drained = std::max(drained, s.drained_at);
     chains += s.mux.chains_posted;
     wrs += s.mux.wrs_posted;
+    p.rtrace.config = s.rtrace.config;
+    p.rtrace.Merge(s.rtrace);
   }
+  // Merge the per-engine space-saving sketches by summing per-key
+  // estimates (the standard sketch merge: counts add, errors add).
+  std::map<uint64_t, load::HotKey> hot;
+  for (const load::EngineStats& s : per_engine) {
+    for (const load::HotKey& hk : s.hotkeys) {
+      load::HotKey& e = hot[hk.key_id];
+      e.key_id = hk.key_id;
+      e.count += hk.count;
+      e.error += hk.error;
+    }
+  }
+  for (const auto& [id, hk] : hot) p.hotkeys.push_back(hk);
+  std::sort(p.hotkeys.begin(), p.hotkeys.end(),
+            [](const load::HotKey& a, const load::HotKey& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key_id < b.key_id;
+            });
+  if (p.hotkeys.size() > 16) p.hotkeys.resize(16);
   p.p50 = merged.Quantile(0.50);
   p.p99 = merged.Quantile(0.99);
   p.p999 = merged.Quantile(0.999);
@@ -165,10 +196,25 @@ FaninPoint RunFanin(const load::LoadOptions& base, double offered,
 void Print(const FaninPoint& p) {
   std::printf(
       "%-26s offered %8.0fk ach %8.1fk  p50 %7.1fus p99 %8.1fus p999 "
-      "%9.1fus  shed %6" PRIu64 " defer %6" PRIu64 " chain %.1f\n",
+      "%9.1fus  shed %6" PRIu64 " defer %6" PRIu64 " chain %.1f",
       p.label.c_str(), p.offered / 1e3, p.achieved_kops,
       p.p50 / 1e3, p.p99 / 1e3, p.p999 / 1e3, p.shed, p.deferred,
       p.mean_chain);
+  if (p.rtrace.ops > 0) {
+    // The stage that owns the p999 band, straight from the attribution.
+    const obs::RtraceReport::Slice tail = p.rtrace.Attribution(0.999, 1.0);
+    uint32_t top = 0;
+    for (uint32_t i = 1; i < obs::kRtraceStageCount; ++i) {
+      if (tail.stage_ns[i] > tail.stage_ns[top]) top = i;
+    }
+    if (tail.total_ns > 0) {
+      std::printf("  tail:%s %.0f%%",
+                  std::string(obs::RtraceStageName(top)).c_str(),
+                  100.0 * static_cast<double>(tail.stage_ns[top]) /
+                      static_cast<double>(tail.total_ns));
+    }
+  }
+  std::printf("\n");
 }
 
 }  // namespace
@@ -206,6 +252,16 @@ int main(int argc, char** argv) {
   if (flags.duration_ms > 0) base.duration = sim::Millis(flags.duration_ms);
   const double default_theta = flags.skew >= 0 ? flags.skew : 0.99;
 
+  // rtrace: sampled by default so every point carries attribution; the
+  // mode never moves virtual time (the determinism gate below proves it).
+  base.rtrace.mode = obs::RtraceMode::kSampled;
+  if (!flags.rtrace.empty() &&
+      !obs::ParseRtraceMode(flags.rtrace, &base.rtrace.mode)) {
+    std::fprintf(stderr, "bad --rtrace mode '%s' (off|sampled|full)\n",
+                 flags.rtrace.c_str());
+    return 1;
+  }
+
   // Offered-load sweep (aggregate ops/s). --offered-load pins a single
   // point; otherwise sweep through and past the saturation knee.
   std::vector<double> loads;
@@ -233,31 +289,46 @@ int main(int argc, char** argv) {
   // comparable to other partitioned runs — same contract as
   // bench_scaling).
   if (determinism) {
-    FaninPoint ref = RunFanin(base, loads[0], default_theta, base.sessions,
+    // Probe-effect and scheduler cross-check: every rtrace mode must land
+    // on the reference virtual end time on the legacy scheduler and on
+    // partitioned schedulers with different worker counts — attaching the
+    // tracer never moves virtual time.
+    load::LoadOptions dbase = base;
+    dbase.rtrace.mode = obs::RtraceMode::kOff;
+    FaninPoint ref = RunFanin(dbase, loads[0], default_theta, base.sessions,
                               true, sweep_mix);
     uint64_t part_events = 0;
-    for (uint32_t t : {1u, 4u}) {
-      FaninPoint p = RunFanin(base, loads[0], default_theta, base.sessions,
-                              true, sweep_mix, t);
-      if (p.virtual_nanos != ref.virtual_nanos) {
-        std::fprintf(stderr,
-                     "FATAL: host_threads=%u diverged: vnanos %" PRIu64
-                     " vs %" PRIu64 "\n",
-                     t, p.virtual_nanos, ref.virtual_nanos);
-        rc = 1;
-      }
-      if (part_events == 0) {
-        part_events = p.events;
-      } else if (p.events != part_events) {
-        std::fprintf(stderr,
-                     "FATAL: host_threads=%u event count diverged: %" PRIu64
-                     " vs %" PRIu64 "\n",
-                     t, p.events, part_events);
-        rc = 1;
+    for (const obs::RtraceMode mode :
+         {obs::RtraceMode::kOff, obs::RtraceMode::kSampled,
+          obs::RtraceMode::kFull}) {
+      dbase.rtrace.mode = mode;
+      for (const uint32_t t : {0u, 1u, 4u}) {
+        if (mode == obs::RtraceMode::kOff && t == 0) continue;  // == ref
+        FaninPoint p = RunFanin(dbase, loads[0], default_theta,
+                                base.sessions, true, sweep_mix, t);
+        if (p.virtual_nanos != ref.virtual_nanos) {
+          std::fprintf(stderr,
+                       "FATAL: rtrace=%s host_threads=%u diverged: vnanos "
+                       "%" PRIu64 " vs %" PRIu64 "\n",
+                       std::string(obs::ToString(mode)).c_str(), t,
+                       p.virtual_nanos, ref.virtual_nanos);
+          rc = 1;
+        }
+        if (t == 0) continue;  // legacy event counts are not comparable
+        if (part_events == 0) {
+          part_events = p.events;
+        } else if (p.events != part_events) {
+          std::fprintf(stderr,
+                       "FATAL: rtrace=%s host_threads=%u event count "
+                       "diverged: %" PRIu64 " vs %" PRIu64 "\n",
+                       std::string(obs::ToString(mode)).c_str(), t, p.events,
+                       part_events);
+          rc = 1;
+        }
       }
     }
-    std::printf("determinism: host_threads {default,1,4} %s (vtime %.6fs, "
-                "%" PRIu64 " events)\n",
+    std::printf("determinism: rtrace {off,sampled,full} x host_threads "
+                "{default,1,4} %s (vtime %.6fs, %" PRIu64 " events)\n",
                 rc == 0 ? "bit-identical" : "DIVERGED",
                 sim::ToSeconds(ref.virtual_nanos), ref.events);
   }
@@ -321,9 +392,16 @@ int main(int argc, char** argv) {
         "often 1-2 cores, so compare virtual metrics only\",\n"
         "  \"smoke\": %s,\n"
         "  \"deterministic\": %s,\n"
-        "  \"points\": [\n",
+        "  \"rtrace_mode\": \"%s\",\n"
+        "  \"rtrace_stages\": [",
         kServers, kClients, host_cores, smoke ? "true" : "false",
-        rc == 0 ? "true" : "false");
+        rc == 0 ? "true" : "false",
+        std::string(obs::ToString(base.rtrace.mode)).c_str());
+    for (uint32_t i = 0; i < obs::kRtraceStageCount; ++i) {
+      std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                   std::string(obs::RtraceStageName(i)).c_str());
+    }
+    std::fprintf(f, "],\n  \"points\": [\n");
     for (size_t i = 0; i < points.size(); ++i) {
       const FaninPoint& p = points[i];
       std::fprintf(
@@ -337,17 +415,67 @@ int main(int argc, char** argv) {
           ", \"p999_ns\": %" PRIu64 ", \"achieved_kops\": %.1f, "
           "\"qps\": %u, \"sessions_per_qp\": %.1f, \"mean_chain\": %.2f, "
           "\"inflight_high_water\": %u, \"virtual_seconds\": %.6f, "
-          "\"events\": %" PRIu64 ", \"wall_seconds\": %.3f}%s\n",
+          "\"events\": %" PRIu64 ", \"wall_seconds\": %.3f",
           p.label.c_str(), p.mix, p.offered, p.theta, p.sessions,
           p.admission ? "true" : "false", p.arrivals, p.completed, p.errors,
           p.shed, p.deferred, p.retries, p.p50, p.p99, p.p999,
           p.achieved_kops, p.qps, p.sessions_per_qp, p.mean_chain,
           p.inflight_hw, sim::ToSeconds(p.virtual_nanos), p.events,
-          p.wall_seconds, i + 1 < points.size() ? "," : "");
+          p.wall_seconds);
+      // Per-stage attribution of the p999 band (virtual ns summed over
+      // the band's ops; the stages sum exactly to attr_p999_total_ns).
+      const obs::RtraceReport::Slice tail = p.rtrace.Attribution(0.999, 1.0);
+      std::fprintf(f,
+                   ", \"rtrace_ops\": %" PRIu64 ", \"attr_p999_count\": %" PRIu64
+                   ", \"attr_p999_total_ns\": %" PRIu64
+                   ", \"attr_p999_stage_ns\": [",
+                   p.rtrace.ops, tail.count, tail.total_ns);
+      for (uint32_t st = 0; st < obs::kRtraceStageCount; ++st) {
+        std::fprintf(f, "%s%" PRIu64, st == 0 ? "" : ", ",
+                     tail.stage_ns[st]);
+      }
+      std::fprintf(f, "], \"hotkeys\": [");
+      const size_t hk_n = std::min<size_t>(p.hotkeys.size(), 4);
+      for (size_t h = 0; h < hk_n; ++h) {
+        std::fprintf(f, "%s{\"key\": %" PRIu64 ", \"count\": %" PRIu64 "}",
+                     h == 0 ? "" : ", ", p.hotkeys[h].key_id,
+                     p.hotkeys[h].count);
+      }
+      std::fprintf(f, "]}%s\n", i + 1 < points.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote BENCH_fanin.json\n");
   }
+
+  // Full attribution report of the highest-load admitted point, for
+  // tools/rtail (quantiles, band tables, windows, kept slowest ops).
+  if (base.rtrace.mode != obs::RtraceMode::kOff) {
+    const FaninPoint* best = nullptr;
+    for (const FaninPoint& p : points) {
+      if (p.label != "load/admit" || p.rtrace.ops == 0) continue;
+      if (best == nullptr || p.offered > best->offered) best = &p;
+    }
+    if (best != nullptr) {
+      const std::string attr_path = flags.attribution.empty()
+                                        ? "BENCH_fanin_attr.json"
+                                        : flags.attribution;
+      std::string out;
+      obs::AppendRtraceJson(out, best->rtrace);
+      out += '\n';
+      FILE* af = std::fopen(attr_path.c_str(), "wb");
+      if (af != nullptr &&
+          std::fwrite(out.data(), 1, out.size(), af) == out.size()) {
+        std::printf("wrote %s (offered %.0fk, %" PRIu64 " ops)\n",
+                    attr_path.c_str(), best->offered / 1e3, best->rtrace.ops);
+      } else {
+        std::fprintf(stderr, "failed to write %s\n", attr_path.c_str());
+        rc = 1;
+      }
+      if (af != nullptr) std::fclose(af);
+    }
+  }
+  // Flush --json / --trace telemetry (rtrace flow events land here).
+  rc |= WriteObsOutputs();
   return rc;
 }

@@ -120,6 +120,12 @@ struct LoadFlags {
   int64_t sessions = -1;
   double duration_ms = -1.0;
   double skew = -1.0;
+  // --rtrace <off|sampled|full>: per-op causal tracing mode for the load
+  // engine (see obs/rtrace.h). Empty keeps the benchmark's default.
+  std::string rtrace;
+  // --attribution <path>: where the rtrace attribution JSON report lands
+  // (benchmarks with rtrace support write a default path when unset).
+  std::string attribution;
 };
 
 inline LoadFlags& GetLoadFlags() {
@@ -198,6 +204,14 @@ inline void ParseObsArgs(int* argc, char** argv) {
                arg.rfind("--skew=", 0) == 0) {
       GetLoadFlags().skew =
           std::atof(arg == "--skew" ? argv[++i] : arg.substr(7).data());
+    } else if ((arg == "--rtrace" && i + 1 < *argc) ||
+               arg.rfind("--rtrace=", 0) == 0) {
+      GetLoadFlags().rtrace =
+          arg == "--rtrace" ? argv[++i] : std::string(arg.substr(9));
+    } else if ((arg == "--attribution" && i + 1 < *argc) ||
+               arg.rfind("--attribution=", 0) == 0) {
+      GetLoadFlags().attribution =
+          arg == "--attribution" ? argv[++i] : std::string(arg.substr(14));
     } else {
       argv[out++] = argv[i];
     }

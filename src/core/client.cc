@@ -130,6 +130,7 @@ obs::Telemetry* RStoreClient::ObsTelemetry() {
     if (tel == nullptr) {
       obs_ops_ = obs_bytes_read_ = obs_bytes_written_ = nullptr;
       obs_fab_queue_ = obs_fab_ser_ = obs_fab_wire_ = nullptr;
+      obs_wc_egress_ = obs_wc_wire_ = obs_wc_server_ = obs_wc_ack_ = nullptr;
     } else {
       obs::NodeMetrics& m = tel->metrics().ForNode(device_.node_id());
       obs_ops_ = &m.GetCounter("client.data_ops");
@@ -138,6 +139,10 @@ obs::Telemetry* RStoreClient::ObsTelemetry() {
       obs_fab_queue_ = &m.GetCounter("fabric.queue_ns");
       obs_fab_ser_ = &m.GetCounter("fabric.serialization_ns");
       obs_fab_wire_ = &m.GetCounter("fabric.wire_ns");
+      obs_wc_egress_ = &m.GetCounter("client.wc_egress_ns");
+      obs_wc_wire_ = &m.GetCounter("client.wc_wire_ns");
+      obs_wc_server_ = &m.GetCounter("client.wc_server_ns");
+      obs_wc_ack_ = &m.GetCounter("client.wc_ack_ns");
     }
   }
   return tel;
@@ -652,6 +657,20 @@ void RStoreClient::PumpData(sim::Nanos timeout, size_t min_entries) {
       cached = state;
     }
     state->completed += 1;
+    if (obs_wc_egress_ != nullptr && wc.stamps.posted != 0) {
+      // Decompose the completion's dwell by its wire stamps (clamped
+      // monotone: loopback steps never enter the port model and leave the
+      // intermediate stamps zero).
+      const auto& st = wc.stamps;
+      const sim::Nanos tx = std::max(st.tx_start, st.posted);
+      const sim::Nanos fb = std::max(st.first_bit, tx);
+      const sim::Nanos ex = std::max(st.executed, fb);
+      const sim::Nanos pu = std::max(st.pushed, ex);
+      obs_wc_egress_->Inc(static_cast<uint64_t>(tx - st.posted));
+      obs_wc_wire_->Inc(static_cast<uint64_t>(fb - tx));
+      obs_wc_server_->Inc(static_cast<uint64_t>(ex - fb));
+      obs_wc_ack_->Inc(static_cast<uint64_t>(pu - ex));
+    }
     if (!wc.ok() && !state->failed) {
       state->failed = true;
       state->first_error =

@@ -408,6 +408,12 @@ class RStoreClient {
   obs::Counter* obs_fab_queue_ = nullptr;
   obs::Counter* obs_fab_ser_ = nullptr;
   obs::Counter* obs_fab_wire_ = nullptr;
+  // Wire-stamp legs of polled data-path completions (see verbs::WireStamps):
+  // NIC egress queueing, wire propagation, remote execution, ack return.
+  obs::Counter* obs_wc_egress_ = nullptr;
+  obs::Counter* obs_wc_wire_ = nullptr;
+  obs::Counter* obs_wc_server_ = nullptr;
+  obs::Counter* obs_wc_ack_ = nullptr;
   CacheModeObs cache_obs_[3];  // indexed by cache::CacheMode
 };
 

@@ -296,6 +296,15 @@ Result<std::vector<std::byte>> KvStore::Get(std::string_view key) {
   OpObs obs(client_, "kv.gets", "kv.get_ns");
   obs::ObsSpan span(obs.tel, obs.node, "app", "kv.get");
   const uint64_t home = StableHash64(key) % options_.buckets;
+  if (span.active()) {
+    // Server attribution: the home slot's owner serves (almost) every
+    // probe of this op, so rtrace flows and kv spans agree on the target.
+    span.Arg("home_slot", static_cast<double>(home));
+    if (auto sp = region_->Resolve(SlotOffset(home) + kVersionOff, 8);
+        sp.ok()) {
+      span.Arg("server_node", static_cast<double>(sp->server_node));
+    }
+  }
   for (uint32_t probe = 0; probe < options_.max_probe; ++probe) {
     const uint64_t slot = (home + probe) % options_.buckets;
     Result<uint64_t> version(0ULL);
@@ -333,6 +342,13 @@ Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
                   "key/value exceed slot capacity");
   }
   const uint64_t home = StableHash64(key) % options_.buckets;
+  if (span.active()) {
+    span.Arg("home_slot", static_cast<double>(home));
+    if (auto sp = region_->Resolve(SlotOffset(home) + kVersionOff, 8);
+        sp.ok()) {
+      span.Arg("server_node", static_cast<double>(sp->server_node));
+    }
+  }
   // Pass 1: find the key (overwrite) or the first reusable slot.
   int64_t target = -1;
   for (uint32_t probe = 0; probe < options_.max_probe; ++probe) {

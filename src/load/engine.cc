@@ -39,7 +39,8 @@ LoadEngine::LoadEngine(core::RStoreClient& client, std::string table,
       options_(options),
       engine_index_(engine_index),
       engine_count_(engine_count),
-      mux_(client.device()) {}
+      mux_(client.device()),
+      hotkeys_(options_.hotkey_capacity) {}
 
 LoadEngine::~LoadEngine() {
   if (arena_mr_ != nullptr && pd_ != nullptr) {
@@ -196,6 +197,9 @@ Status LoadEngine::Setup() {
       pd_->RegisterMemory(arena_.data(), arena_.size(), verbs::kLocalWrite));
   stats_.sessions = count;
   stats_.qps = mux_.qp_count();
+  if (options_.rtrace.mode != obs::RtraceMode::kOff) {
+    rtrace_ = std::make_unique<obs::RtraceCollector>(options_.rtrace);
+  }
   return Status::Ok();
 }
 
@@ -315,7 +319,21 @@ void LoadEngine::BeginOp(uint32_t s) {
     if (obs_shed_ != nullptr) obs_shed_->Inc();
     return;  // phase stays kIdle; caller loop starts the next backlog op
   }
+  if (rtrace_ != nullptr) {
+    // New op: reset the stage breakdown and charge everything between the
+    // intended send and this instant to backlog wait. From here on, each
+    // transition charges [tr_cursor, now] to exactly one stage, so the
+    // stages telescope to done - intended.
+    ses.op_id = ((static_cast<uint64_t>(first_global_session_) + s) << 32) |
+                ses.op_count;
+    ses.tr_stage = {};
+    ses.tr_last = {};
+    ses.tr_cursor = ses.intended;
+    ChargeStage(ses, obs::RtraceStage::kBacklog, sim::Now());
+  }
+  ++ses.op_count;
   DrawKey(s);
+  hotkeys_.Offer(ses.key_id);
   ses.retries_left = options_.op_retry_budget;
   ses.probe = 0;
   ses.reusable = -1;
@@ -340,6 +358,11 @@ void LoadEngine::BeginOp(uint32_t s) {
 }
 
 void LoadEngine::BeginAdmitted(uint32_t s) {
+  if (rtrace_ != nullptr) {
+    // Zero when admission admitted synchronously; the FIFO defer wait
+    // when this is the readmit callback of a released window slot.
+    ChargeStage(sessions_[s], obs::RtraceStage::kAdmit, sim::Now());
+  }
   if (sessions_[s].op == OpType::kScan) {
     StageScan(s);
   } else {
@@ -604,6 +627,9 @@ void LoadEngine::HandleCompletion(const verbs::WorkCompletion& wc) {
   --ses.pending;
   if (!wc.ok()) ses.step_error = true;
   if (ses.pending > 0) return;  // multi-piece step still draining
+  if (rtrace_ != nullptr) {
+    ChargeWireStages(ses, wc.stamps, sim::Now());
+  }
   if (ses.step_error) {
     FinishOp(s, false);
     return;
@@ -794,6 +820,9 @@ void LoadEngine::OnRetryTimer(uint32_t s) {
     ++stats_.stale_completions;
     return;
   }
+  if (rtrace_ != nullptr) {
+    ChargeStage(ses, obs::RtraceStage::kBackoff, sim::Now());
+  }
   if (ses.resume == Phase::kLockPeek) {
     StageLockPeek(s);
   } else {
@@ -822,6 +851,23 @@ void LoadEngine::FinishOp(uint32_t s, bool ok, bool found) {
       obs_latency_->Record(latency);
       obs_completed_->Inc();
     }
+    if (rtrace_ != nullptr) {
+      // Residue between the last stage charge and completion (zero when
+      // the op finished inside a completion handler) lands in cqpoll, so
+      // the stages sum exactly to `latency`.
+      ChargeStage(ses, obs::RtraceStage::kCqPoll, now);
+      obs::RtraceOp rec;
+      rec.op_id = ses.op_id;
+      rec.kind = static_cast<uint8_t>(ses.op);
+      rec.server_node = server_nodes_[ses.server_idx];
+      rec.intended_ns = static_cast<uint64_t>(ses.intended);
+      rec.done_ns = static_cast<uint64_t>(now);
+      rec.stage_ns = ses.tr_stage;
+      rec.posted_ns = static_cast<uint64_t>(ses.tr_last.posted);
+      rec.first_bit_ns = static_cast<uint64_t>(ses.tr_last.first_bit);
+      rec.executed_ns = static_cast<uint64_t>(ses.tr_last.executed);
+      rtrace_->Record(rtrace_seq_++, rec);
+    }
   } else {
     ++stats_.errors;
   }
@@ -829,6 +875,39 @@ void LoadEngine::FinishOp(uint32_t s, bool ok, bool found) {
   ses.phase = Phase::kIdle;
   StartNextFromBacklog(s);
   if (readmit >= 0) BeginAdmitted(static_cast<uint32_t>(readmit));
+}
+
+void LoadEngine::ChargeStage(Session& ses, obs::RtraceStage stage,
+                             sim::Nanos now) {
+  if (now > ses.tr_cursor) {
+    ses.tr_stage[static_cast<uint32_t>(stage)] +=
+        static_cast<uint64_t>(now - ses.tr_cursor);
+    ses.tr_cursor = now;
+  }
+}
+
+void LoadEngine::ChargeWireStages(Session& ses,
+                                  const verbs::WireStamps& stamps,
+                                  sim::Nanos now) {
+  // Subdivide [tr_cursor, now] by the step's stamp chain. Each stamp is
+  // clamped monotone into the interval, so absent stamps (loopback steps
+  // never enter the port model; the wire stages collapse to zero width)
+  // and any residue still telescope: the charges sum to now - tr_cursor.
+  sim::Nanos cur = ses.tr_cursor;
+  const auto charge = [&](obs::RtraceStage stage, sim::Nanos at) {
+    const sim::Nanos t = std::clamp(at, cur, now);
+    ses.tr_stage[static_cast<uint32_t>(stage)] +=
+        static_cast<uint64_t>(t - cur);
+    cur = t;
+  };
+  charge(obs::RtraceStage::kMux, stamps.posted);
+  charge(obs::RtraceStage::kEgress, stamps.tx_start);
+  charge(obs::RtraceStage::kWire, stamps.first_bit);
+  charge(obs::RtraceStage::kServer, stamps.executed);
+  charge(obs::RtraceStage::kAck, stamps.pushed);
+  charge(obs::RtraceStage::kCqPoll, now);
+  ses.tr_cursor = now;
+  ses.tr_last = stamps;
 }
 
 // ---------------------------------------------------------------------------
@@ -849,6 +928,30 @@ Status LoadEngine::Run() {
   Status st = RunLoop();
   stats_.admission = admission_->stats();
   stats_.mux = mux_.stats();
+  stats_.hotkeys = hotkeys_.TopK();
+  ResolveObs();
+  if (obs_owner_ != nullptr) {
+    // Heavy hitters as gauges: rank-indexed so the merged metrics JSON
+    // carries the sketch without a dedicated export path.
+    obs::NodeMetrics& m =
+        obs_owner_->metrics().ForNode(client_.device().node_id());
+    for (size_t r = 0; r < stats_.hotkeys.size(); ++r) {
+      const std::string prefix = "load.hotkeys." + std::to_string(r);
+      m.GetGauge(prefix + ".key_id")
+          .Set(static_cast<int64_t>(stats_.hotkeys[r].key_id));
+      m.GetGauge(prefix + ".count")
+          .Set(static_cast<int64_t>(stats_.hotkeys[r].count));
+    }
+  }
+  if (rtrace_ != nullptr) {
+    stats_.rtrace = rtrace_->Finalize();
+    // Post-run span/flow export: recording order is a pure function of
+    // the kept set, never of the schedule.
+    if (obs_owner_ != nullptr && obs_owner_->tracing()) {
+      obs::EmitRtraceTrace(obs_owner_->tracer(), stats_.rtrace,
+                           client_.device().node_id());
+    }
+  }
   return st;
 }
 

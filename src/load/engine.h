@@ -45,8 +45,10 @@
 #include "core/client.h"
 #include "kv/kv.h"
 #include "load/admission.h"
+#include "load/hotkeys.h"
 #include "load/session_mux.h"
 #include "load/workload.h"
+#include "obs/rtrace.h"
 
 namespace rstore::obs {
 class Counter;
@@ -75,6 +77,10 @@ struct EngineStats {
   LatencyHistogram write_latency{1.04};  // update/insert/rmw
   AdmissionStats admission;
   MuxStats mux;
+  // Per-op causal tracing report (empty when options.rtrace.mode == kOff).
+  obs::RtraceReport rtrace;
+  // Space-saving heavy hitters over the issued key ids, hottest first.
+  std::vector<HotKey> hotkeys;
 };
 
 class LoadEngine {
@@ -148,6 +154,12 @@ class LoadEngine {
     uint32_t gen = 0;        // completion cookie generation
     uint32_t pending = 0;    // signaled WRs outstanding for this step
     uint64_t insert_seq = 0; // per-session unique-key counter
+    // --- rtrace (maintained only when the collector is attached) ---
+    uint64_t op_id = 0;      // (global session id << 32) | op ordinal
+    uint64_t op_count = 0;   // ops this session has begun
+    sim::Nanos tr_cursor = 0;          // last instant charged to a stage
+    obs::RtraceStageNs tr_stage{};     // per-stage ns of the current op
+    verbs::WireStamps tr_last{};       // stamps of the last completed step
   };
 
   // One slab-contiguous piece of a slot range (slots may straddle slab
@@ -200,6 +212,14 @@ class LoadEngine {
   void RetryOp(uint32_t s, bool backoff);
   void FinishOp(uint32_t s, bool ok, bool found = true);
 
+  // rtrace stage accounting: charges [tr_cursor, now] to `stage` and
+  // advances the cursor; ChargeWireStages subdivides the interval by the
+  // step's wire stamps (mux/egress/wire/server/ack/cqpoll). Callers guard
+  // on rtrace_ so the disabled cost is one pointer compare.
+  void ChargeStage(Session& ses, obs::RtraceStage stage, sim::Nanos now);
+  void ChargeWireStages(Session& ses, const verbs::WireStamps& stamps,
+                        sim::Nanos now);
+
   // Helpers.
   [[nodiscard]] uint64_t SlotOffset(uint64_t slot) const noexcept;
   [[nodiscard]] uint32_t ServerIndexOf(uint64_t slot);
@@ -248,6 +268,12 @@ class LoadEngine {
   uint64_t open_ops_ = 0;       // arrived but not finished (any phase)
   uint64_t inflight_wrs_ = 0;   // signaled WRs outstanding
   EngineStats stats_;
+
+  // rtrace collector (null when options.rtrace.mode == kOff — every hook
+  // reduces to one pointer compare) and the heavy-hitter sketch.
+  std::unique_ptr<obs::RtraceCollector> rtrace_;
+  uint64_t rtrace_seq_ = 0;     // engine-local completed-op ordinal
+  SpaceSaving hotkeys_;
 
   // PR3 observability (lazily resolved; null when detached).
   obs::Telemetry* obs_owner_ = nullptr;

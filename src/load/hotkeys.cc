@@ -1,0 +1,41 @@
+#include "load/hotkeys.h"
+
+#include <algorithm>
+
+namespace rstore::load {
+
+void SpaceSaving::Offer(uint64_t key_id) {
+  ++offered_;
+  if (capacity_ == 0) return;
+  HotKey* min_entry = nullptr;
+  for (HotKey& e : entries_) {
+    if (e.key_id == key_id) {
+      ++e.count;
+      return;
+    }
+    if (min_entry == nullptr || e.count < min_entry->count) {
+      min_entry = &e;
+    }
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back({key_id, 1, 0});
+    return;
+  }
+  // Take over the minimum counter; its count becomes the new key's
+  // overestimation error (the new key may have occurred that often
+  // unseen, never more).
+  min_entry->error = min_entry->count;
+  min_entry->count += 1;
+  min_entry->key_id = key_id;
+}
+
+std::vector<HotKey> SpaceSaving::TopK() const {
+  std::vector<HotKey> out = entries_;
+  std::sort(out.begin(), out.end(), [](const HotKey& a, const HotKey& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key_id < b.key_id;
+  });
+  return out;
+}
+
+}  // namespace rstore::load

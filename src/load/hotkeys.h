@@ -1,0 +1,47 @@
+// Space-saving top-k heavy-hitter sketch over the key ids an engine
+// actually issued (Metwally et al., "Efficient computation of frequent
+// and top-k elements in data streams").
+//
+// The sketch keeps `capacity` (key, count, error) counters. A tracked
+// key increments its counter; an untracked key evicts the minimum
+// counter, inheriting its count as the new key's overestimation error.
+// The classic guarantee follows: any key with true frequency above
+// offered/capacity is tracked, and count - error lower-bounds the true
+// frequency.
+//
+// Determinism: counters live in a plain vector scanned linearly (k is
+// tens, not thousands), so the eviction victim — and therefore the whole
+// sketch — is a pure function of the offer sequence. Host-side
+// arithmetic only; the probe-effect rule of the obs layer applies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rstore::load {
+
+struct HotKey {
+  uint64_t key_id = 0;
+  uint64_t count = 0;  // estimated frequency (overestimate)
+  uint64_t error = 0;  // max overestimation inherited at takeover
+};
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(uint32_t capacity) : capacity_(capacity) {}
+
+  void Offer(uint64_t key_id);
+
+  // Tracked keys, highest estimated count first (key id breaking ties).
+  [[nodiscard]] std::vector<HotKey> TopK() const;
+
+  [[nodiscard]] uint64_t offered() const noexcept { return offered_; }
+  [[nodiscard]] uint32_t capacity() const noexcept { return capacity_; }
+
+ private:
+  uint32_t capacity_;
+  uint64_t offered_ = 0;
+  std::vector<HotKey> entries_;  // unsorted; linear scans keep it simple
+};
+
+}  // namespace rstore::load

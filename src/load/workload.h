@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "common/rng.h"
+#include "obs/rtrace.h"
 #include "sim/time.h"
 
 namespace rstore::load {
@@ -111,6 +112,11 @@ struct LoadOptions {
   uint32_t op_retry_budget = 64;    // seqlock conflicts before giving up
   sim::Nanos retry_backoff = sim::Micros(5);
   uint64_t seed = 1;
+  // --- observability ----------------------------------------------------
+  // Per-op causal tracing (see obs/rtrace.h). Off by default; enabling it
+  // never moves virtual time — timelines are bit-identical across modes.
+  obs::RtraceConfig rtrace;
+  uint32_t hotkey_capacity = 16;    // space-saving heavy-hitter counters
 
   // Table geometry derived from the preload size: 4x bucket headroom
   // keeps linear probing short at a 25% load factor.

@@ -1,0 +1,374 @@
+#include "obs/rtrace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rstore::obs {
+
+namespace {
+
+constexpr std::array<std::string_view, kRtraceStageCount> kStageNames = {
+    "backlog", "admit", "mux",    "egress",  "wire",
+    "server",  "ack",   "cqpoll", "backoff",
+};
+
+// Deterministic slowness order: larger total first; earlier op wins ties,
+// so the reservoir is a pure function of the recorded set.
+bool SlowerThan(const RtraceOp& a, const RtraceOp& b) noexcept {
+  if (a.total_ns() != b.total_ns()) return a.total_ns() > b.total_ns();
+  return a.op_id < b.op_id;
+}
+
+void AppendStageArray(std::string& out, const RtraceStageNs& v) {
+  out += '[';
+  for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(v[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string_view RtraceStageName(uint32_t stage) noexcept {
+  return stage < kRtraceStageCount ? kStageNames[stage] : "unknown";
+}
+
+std::string_view ToString(RtraceMode mode) noexcept {
+  switch (mode) {
+    case RtraceMode::kOff: return "off";
+    case RtraceMode::kSampled: return "sampled";
+    case RtraceMode::kFull: return "full";
+  }
+  return "unknown";
+}
+
+bool ParseRtraceMode(std::string_view s, RtraceMode* out) noexcept {
+  if (s == "off") {
+    *out = RtraceMode::kOff;
+  } else if (s == "sampled") {
+    *out = RtraceMode::kSampled;
+  } else if (s == "full") {
+    *out = RtraceMode::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// RtraceReport
+// ---------------------------------------------------------------------------
+size_t RtraceReport::BandFor(uint64_t total_ns) noexcept {
+  if (total_ns == 0) return 0;
+  const double b =
+      std::log(static_cast<double>(total_ns)) / std::log(kBandGrowth);
+  return 1 + static_cast<size_t>(b);
+}
+
+uint64_t RtraceReport::BandLow(size_t band) noexcept {
+  if (band == 0) return 0;
+  return static_cast<uint64_t>(
+      std::pow(kBandGrowth, static_cast<double>(band - 1)));
+}
+
+RtraceReport::Slice RtraceReport::Attribution(double q_lo, double q_hi) const {
+  Slice s;
+  if (total_hist.count() == 0) return s;
+  s.lo_ns = q_lo <= 0.0 ? total_hist.min() : total_hist.Quantile(q_lo);
+  s.hi_ns = q_hi >= 1.0 ? total_hist.max() : total_hist.Quantile(q_hi);
+  for (size_t b = 0; b < bands.size(); ++b) {
+    const Band& band = bands[b];
+    if (band.count == 0) continue;
+    const uint64_t lo = BandLow(b);
+    const uint64_t hi = BandLow(b + 1);
+    if (hi <= s.lo_ns || lo > s.hi_ns) continue;
+    s.count += band.count;
+    s.total_ns += band.total_ns;
+    for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+      s.stage_ns[i] += band.stage_ns[i];
+    }
+  }
+  return s;
+}
+
+void RtraceReport::Merge(const RtraceReport& other) {
+  ops += other.ops;
+  total_ns_sum += other.total_ns_sum;
+  sum_mismatches += other.sum_mismatches;
+  for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+    stage_ns_sum[i] += other.stage_ns_sum[i];
+  }
+  total_hist.Merge(other.total_hist);
+  if (bands.size() < other.bands.size()) bands.resize(other.bands.size());
+  for (size_t b = 0; b < other.bands.size(); ++b) {
+    bands[b].count += other.bands[b].count;
+    bands[b].total_ns += other.bands[b].total_ns;
+    for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+      bands[b].stage_ns[i] += other.bands[b].stage_ns[i];
+    }
+  }
+  if (windows.size() < other.windows.size()) {
+    windows.resize(other.windows.size());
+  }
+  for (size_t w = 0; w < other.windows.size(); ++w) {
+    windows[w].count += other.windows[w].count;
+    windows[w].total_ns += other.windows[w].total_ns;
+    for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+      windows[w].stage_ns[i] += other.windows[w].stage_ns[i];
+    }
+    windows[w].hist.Merge(other.windows[w].hist);
+  }
+  kept.insert(kept.end(), other.kept.begin(), other.kept.end());
+  std::sort(kept.begin(), kept.end(),
+            [](const RtraceOp& a, const RtraceOp& b) {
+              return a.op_id < b.op_id;
+            });
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const RtraceOp& a, const RtraceOp& b) {
+                           return a.op_id == b.op_id;
+                         }),
+             kept.end());
+}
+
+// ---------------------------------------------------------------------------
+// RtraceCollector
+// ---------------------------------------------------------------------------
+RtraceCollector::RtraceCollector(const RtraceConfig& config)
+    : config_(config) {
+  report_.config = config;
+}
+
+void RtraceCollector::Record(uint64_t op_seq, const RtraceOp& op) {
+  const uint64_t total = op.total_ns();
+  uint64_t sum = 0;
+  for (const uint64_t s : op.stage_ns) sum += s;
+  ++report_.ops;
+  report_.total_ns_sum += total;
+  if (sum != total) ++report_.sum_mismatches;
+  for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+    report_.stage_ns_sum[i] += op.stage_ns[i];
+  }
+  report_.total_hist.Add(total);
+
+  const size_t b = RtraceReport::BandFor(total);
+  if (b >= report_.bands.size()) report_.bands.resize(b + 1);
+  RtraceReport::Band& band = report_.bands[b];
+  band.count += 1;
+  band.total_ns += total;
+  for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+    band.stage_ns[i] += op.stage_ns[i];
+  }
+
+  const size_t w = config_.window_ns == 0
+                       ? 0
+                       : static_cast<size_t>(op.done_ns / config_.window_ns);
+  if (w >= report_.windows.size()) report_.windows.resize(w + 1);
+  RtraceReport::Window& win = report_.windows[w];
+  win.count += 1;
+  win.total_ns += total;
+  for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+    win.stage_ns[i] += op.stage_ns[i];
+  }
+  win.hist.Add(total);
+
+  const bool head = config_.mode == RtraceMode::kFull ||
+                    (config_.sample_period != 0 &&
+                     op_seq % config_.sample_period == 0);
+  if (head) {
+    sampled_.push_back(op);
+    sampled_.back().sampled = true;
+  }
+  if (config_.mode == RtraceMode::kSampled && config_.reservoir_k > 0) {
+    // Min-heap on slowness: the front is the least slow kept op, evicted
+    // when a slower one arrives.
+    reservoir_.push_back(op);
+    std::push_heap(reservoir_.begin(), reservoir_.end(), SlowerThan);
+    if (reservoir_.size() > config_.reservoir_k) {
+      std::pop_heap(reservoir_.begin(), reservoir_.end(), SlowerThan);
+      reservoir_.pop_back();
+    }
+  }
+}
+
+RtraceReport RtraceCollector::Finalize() const {
+  RtraceReport r = report_;
+  r.kept = sampled_;
+  r.kept.insert(r.kept.end(), reservoir_.begin(), reservoir_.end());
+  std::sort(r.kept.begin(), r.kept.end(),
+            [](const RtraceOp& a, const RtraceOp& b) {
+              if (a.op_id != b.op_id) return a.op_id < b.op_id;
+              return a.sampled && !b.sampled;  // keep the sampled copy
+            });
+  r.kept.erase(std::unique(r.kept.begin(), r.kept.end(),
+                           [](const RtraceOp& a, const RtraceOp& b) {
+                             return a.op_id == b.op_id;
+                           }),
+               r.kept.end());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------------
+void AppendRtraceJson(std::string& out, const RtraceReport& report) {
+  out += "{\"mode\":\"";
+  out += ToString(report.config.mode);
+  out += "\",\"sample_period\":";
+  out += std::to_string(report.config.sample_period);
+  out += ",\"reservoir_k\":";
+  out += std::to_string(report.config.reservoir_k);
+  out += ",\"window_ns\":";
+  out += std::to_string(report.config.window_ns);
+  out += ",\"stages\":[";
+  for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+    if (i != 0) out += ',';
+    AppendJsonString(out, RtraceStageName(i));
+  }
+  out += "],\"ops\":";
+  out += std::to_string(report.ops);
+  out += ",\"sum_mismatches\":";
+  out += std::to_string(report.sum_mismatches);
+  out += ",\"total_ns_sum\":";
+  out += std::to_string(report.total_ns_sum);
+  out += ",\"stage_ns_sum\":";
+  AppendStageArray(out, report.stage_ns_sum);
+  out += ",\"quantiles\":{\"p50_ns\":";
+  out += std::to_string(report.total_hist.Quantile(0.50));
+  out += ",\"p90_ns\":";
+  out += std::to_string(report.total_hist.Quantile(0.90));
+  out += ",\"p99_ns\":";
+  out += std::to_string(report.total_hist.Quantile(0.99));
+  out += ",\"p999_ns\":";
+  out += std::to_string(report.total_hist.Quantile(0.999));
+  out += ",\"max_ns\":";
+  out += std::to_string(report.total_hist.max());
+  out += "},\"attribution\":[";
+  struct NamedBand {
+    std::string_view name;
+    double lo, hi;
+  };
+  constexpr NamedBand kBands[] = {
+      {"p0-p50", 0.0, 0.50},
+      {"p50-p99", 0.50, 0.99},
+      {"p99-p999", 0.99, 0.999},
+      {"p999-p100", 0.999, 1.0},
+  };
+  bool first = true;
+  for (const NamedBand& nb : kBands) {
+    const RtraceReport::Slice s = report.Attribution(nb.lo, nb.hi);
+    if (!first) out += ',';
+    first = false;
+    out += "{\"band\":";
+    AppendJsonString(out, nb.name);
+    out += ",\"lo_ns\":";
+    out += std::to_string(s.lo_ns);
+    out += ",\"hi_ns\":";
+    out += std::to_string(s.hi_ns);
+    out += ",\"count\":";
+    out += std::to_string(s.count);
+    out += ",\"total_ns\":";
+    out += std::to_string(s.total_ns);
+    out += ",\"stage_ns\":";
+    AppendStageArray(out, s.stage_ns);
+    out += '}';
+  }
+  out += "],\"windows\":[";
+  first = true;
+  for (size_t w = 0; w < report.windows.size(); ++w) {
+    const RtraceReport::Window& win = report.windows[w];
+    if (!first) out += ',';
+    first = false;
+    out += "{\"start_ns\":";
+    out += std::to_string(w * report.config.window_ns);
+    out += ",\"count\":";
+    out += std::to_string(win.count);
+    out += ",\"p50_ns\":";
+    out += std::to_string(win.hist.Quantile(0.50));
+    out += ",\"p99_ns\":";
+    out += std::to_string(win.hist.Quantile(0.99));
+    out += ",\"p999_ns\":";
+    out += std::to_string(win.hist.Quantile(0.999));
+    out += ",\"stage_mean_ns\":[";
+    for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(win.count == 0 ? 0 : win.stage_ns[i] / win.count);
+    }
+    out += "]}";
+  }
+  out += "],\"slowest\":[";
+  std::vector<const RtraceOp*> slowest;
+  slowest.reserve(report.kept.size());
+  for (const RtraceOp& op : report.kept) slowest.push_back(&op);
+  std::sort(slowest.begin(), slowest.end(),
+            [](const RtraceOp* a, const RtraceOp* b) {
+              return SlowerThan(*a, *b);
+            });
+  const size_t k = report.config.reservoir_k == 0
+                       ? slowest.size()
+                       : std::min<size_t>(slowest.size(),
+                                          report.config.reservoir_k);
+  first = true;
+  for (size_t i = 0; i < k; ++i) {
+    const RtraceOp& op = *slowest[i];
+    if (!first) out += ',';
+    first = false;
+    out += "{\"op_id\":";
+    out += std::to_string(op.op_id);
+    out += ",\"kind\":";
+    out += std::to_string(op.kind);
+    out += ",\"server\":";
+    out += std::to_string(op.server_node);
+    out += ",\"intended_ns\":";
+    out += std::to_string(op.intended_ns);
+    out += ",\"total_ns\":";
+    out += std::to_string(op.total_ns());
+    out += ",\"stage_ns\":";
+    AppendStageArray(out, op.stage_ns);
+    out += '}';
+  }
+  out += "],\"kept\":";
+  out += std::to_string(report.kept.size());
+  out += '}';
+}
+
+// ---------------------------------------------------------------------------
+// Trace emission
+// ---------------------------------------------------------------------------
+void EmitRtraceTrace(Tracer& tracer, const RtraceReport& report,
+                     uint32_t client_node) {
+  for (const RtraceOp& op : report.kept) {
+    std::vector<TraceArg> args;
+    args.reserve(3 + kRtraceStageCount);
+    args.push_back({"op_id", true, static_cast<double>(op.op_id), {}});
+    args.push_back({"kind", true, static_cast<double>(op.kind), {}});
+    args.push_back({"total_ns", true, static_cast<double>(op.total_ns()), {}});
+    for (uint32_t i = 0; i < kRtraceStageCount; ++i) {
+      args.push_back({std::string(RtraceStageName(i)) + "_ns", true,
+                      static_cast<double>(op.stage_ns[i]),
+                      {}});
+    }
+    tracer.RecordSpan(client_node, 0, "rtrace", "rtrace.op", op.intended_ns,
+                      op.done_ns, std::move(args));
+    if (op.executed_ns != 0) {
+      // Server-side execution span of the op's final data-path step, tied
+      // to the client span by one flow (start inside the client span at
+      // the doorbell, step at execution, end bound to the completion).
+      tracer.RecordSpan(op.server_node, 0, "rtrace", "rtrace.server",
+                        op.first_bit_ns, op.executed_ns);
+      tracer.Flow('s', client_node, 0, "rtrace", "rtrace.flow",
+                  op.posted_ns != 0 ? op.posted_ns : op.intended_ns,
+                  op.op_id);
+      tracer.Flow('t', op.server_node, 0, "rtrace", "rtrace.flow",
+                  op.executed_ns, op.op_id);
+      tracer.Flow('f', client_node, 0, "rtrace", "rtrace.flow", op.done_ns,
+                  op.op_id);
+    }
+  }
+}
+
+}  // namespace rstore::obs

@@ -87,6 +87,25 @@ void Tracer::Instant(uint32_t node, uint64_t tid, std::string_view category,
   events_.push_back(std::move(e));
 }
 
+void Tracer::Flow(char phase, uint32_t node, uint64_t tid,
+                  std::string_view category, std::string_view name,
+                  uint64_t ts_ns, uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  Event e;
+  e.phase = phase;
+  e.node = node;
+  e.tid = tid;
+  e.ts_ns = ts_ns;
+  e.flow_id = id;
+  e.category = std::string(category);
+  e.name = std::string(name);
+  events_.push_back(std::move(e));
+}
+
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   events_.clear();
@@ -148,6 +167,11 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
     if (e.phase == 'X') {
       out += ",\"dur\":";
       AppendMicros(out, e.dur_ns);
+    } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+      out += ",\"id\":";
+      out += std::to_string(e.flow_id);
+      // Bind the flow end to the enclosing slice, as the viewer expects.
+      if (e.phase == 'f') out += ",\"bp\":\"e\"";
     } else {
       out += ",\"s\":\"t\"";  // instant scoped to its thread
     }

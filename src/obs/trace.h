@@ -48,11 +48,12 @@ struct TraceArg {
 class Tracer {
  public:
   struct Event {
-    char phase = 'X';  // 'X' complete span, 'i' instant
+    char phase = 'X';  // 'X' complete span, 'i' instant, 's'/'t'/'f' flow
     uint32_t node = 0;
     uint64_t tid = 0;
     uint64_t ts_ns = 0;
-    uint64_t dur_ns = 0;  // spans only
+    uint64_t dur_ns = 0;   // spans only
+    uint64_t flow_id = 0;  // flow events only ('s'/'t'/'f')
     std::string category;
     std::string name;
     std::vector<TraceArg> args;
@@ -67,6 +68,14 @@ class Tracer {
   void Instant(uint32_t node, uint64_t tid, std::string_view category,
                std::string_view name, uint64_t ts_ns,
                std::vector<TraceArg> args = {});
+  // Flow events tie spans on different nodes into one clickable arrow in
+  // the trace viewer: a start ('s') on the producing span, optional steps
+  // ('t'), and an end ('f', emitted with bp:"e" so it binds to the
+  // enclosing slice) on the consuming span — all sharing `id`. rtrace uses
+  // one flow per sampled op (id = op id) from the client span through the
+  // server-side execution back to the completion.
+  void Flow(char phase, uint32_t node, uint64_t tid, std::string_view category,
+            std::string_view name, uint64_t ts_ns, uint64_t id);
 
   [[nodiscard]] const std::vector<Event>& events() const noexcept {
     return events_;

@@ -230,6 +230,8 @@ Result<TraceCheckSummary> ValidateChromeTrace(const JsonValue& root) {
   }
   TraceCheckSummary summary;
   std::set<double> named_pids;
+  // Flow-event pairing: bit 0 = saw a start ('s'), bit 1 = saw an end ('f').
+  std::map<double, unsigned> flows;
   size_t index = 0;
   for (const JsonValue& e : events->array) {
     const std::string at = " (event " + std::to_string(index++) + ")";
@@ -268,8 +270,30 @@ Result<TraceCheckSummary> ValidateChromeTrace(const JsonValue& root) {
         return BadTrace("X event without non-negative dur" + at);
       }
       ++summary.complete_spans;
+    } else if (ph->str == "s" || ph->str == "t" || ph->str == "f") {
+      const JsonValue* id = e.Find("id");
+      if (id == nullptr || !id->Is(JsonValue::Type::kNumber)) {
+        return BadTrace("flow event without numeric id" + at);
+      }
+      ++summary.flow_events;
+      unsigned& bits = flows[id->number];
+      if (ph->str == "s") bits |= 1u;
+      if (ph->str == "f") bits |= 2u;
     }
   }
+  for (const auto& [id, bits] : flows) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f", id);
+    if ((bits & 1u) == 0) {
+      return BadTrace("dangling flow end: id " + std::string(buf) +
+                      " has no start event");
+    }
+    if ((bits & 2u) == 0) {
+      return BadTrace("unterminated flow: id " + std::string(buf) +
+                      " has no end event");
+    }
+  }
+  summary.flow_ids = flows.size();
   summary.processes = named_pids.size();
   return summary;
 }

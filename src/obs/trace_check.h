@@ -39,9 +39,11 @@ struct JsonValue {
 
 // What ValidateChromeTrace saw, for assertions and human output.
 struct TraceCheckSummary {
-  size_t total_events = 0;     // spans + instants (metadata excluded)
+  size_t total_events = 0;     // spans + instants + flows (metadata excluded)
   size_t complete_spans = 0;   // ph == "X"
   size_t processes = 0;        // distinct pids with a process_name
+  size_t flow_events = 0;      // ph in {"s","t","f"}
+  size_t flow_ids = 0;         // distinct flow ids
   std::map<std::string, size_t> events_by_category;
 
   [[nodiscard]] bool HasCategory(std::string_view cat) const {
@@ -51,7 +53,9 @@ struct TraceCheckSummary {
 
 // Structural validation of an exported trace: top-level object with a
 // traceEvents array; every event has string ph/name, numeric pid/tid/ts;
-// "X" events carry a non-negative dur.
+// "X" events carry a non-negative dur; flow events ("s"/"t"/"f") carry a
+// numeric id, and every flow id has at least one start and one end — a
+// dangling flow end (an "f" whose id never started) is an error.
 [[nodiscard]] Result<TraceCheckSummary> ValidateChromeTrace(
     const JsonValue& root);
 

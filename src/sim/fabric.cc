@@ -9,6 +9,17 @@
 
 namespace rstore::sim {
 
+namespace {
+// Stamps of the message whose on_delivered callback is executing on this
+// host thread (partitioned deliveries run concurrently, so the record is
+// per-thread). Null outside a delivery callback.
+thread_local const DeliveryStamps* g_current_delivery = nullptr;
+}  // namespace
+
+const DeliveryStamps* Fabric::CurrentDelivery() noexcept {
+  return g_current_delivery;
+}
+
 Fabric::Fabric(Simulation& sim, NicConfig config)
     : sim_(sim), config_(config) {
   pools_.emplace_back();
@@ -362,9 +373,17 @@ void Fabric::Deliver(Message* msg) {
                                  static_cast<uint64_t>(now), std::move(args));
       }
     }
+    // Expose the message's wire stamps to the callback (rtrace reads them
+    // into the op's breakdown); the previous value is restored so nested
+    // deliveries cannot leak stamps into an outer frame. Observation only
+    // — nothing here reads the stamps to make a scheduling decision.
+    const DeliveryStamps stamps{msg->sent_at, msg->tx_start, msg->first_bit};
     FabricFn cb = std::move(msg->on_delivered);
     ReleaseMessage(msg);
+    const DeliveryStamps* prev = g_current_delivery;
+    g_current_delivery = &stamps;
     cb();
+    g_current_delivery = prev;
   } else if (msg->on_dropped) {
     // The destination died (or the link partitioned) in flight. The drop
     // callback belongs to the sender (verbs maps it to a retry-exceeded

@@ -41,10 +41,20 @@ class Telemetry;
 
 namespace rstore::sim {
 
-// Delivery/drop callbacks on fabric messages. 56 bytes of inline capture
+// Delivery/drop callbacks on fabric messages. 64 bytes of inline capture
 // covers the verbs layer's {network, pooled wire-op} pointers plus a few
-// scalars without heap allocation.
-using FabricFn = common::SmallFn<void(), 56>;
+// scalars — including the RC ack's wire-stamp record — without heap
+// allocation.
+using FabricFn = common::SmallFn<void(), 64>;
+
+// Stamps of the message whose on_delivered callback is currently running
+// (see Fabric::CurrentDelivery). Pure observation for tracing layers:
+// reading them cannot affect the timeline.
+struct DeliveryStamps {
+  Nanos sent_at = 0;    // Send() call instant
+  Nanos tx_start = 0;   // egress transmission start
+  Nanos first_bit = 0;  // first-bit arrival at the destination port
+};
 
 struct NicConfig {
   // Per-port full-duplex bandwidth. Default 58.8 Gb/s: the paper's
@@ -85,6 +95,13 @@ class Fabric {
 
   [[nodiscard]] const NicConfig& config() const noexcept { return config_; }
   [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+
+  // Stamps of the message being delivered, valid only for the duration of
+  // an on_delivered callback (nullptr elsewhere — notably for loopback
+  // sends, which bypass the port model and carry no stamps). Thread-local
+  // so concurrent partitioned deliveries on different host threads each
+  // see their own message.
+  [[nodiscard]] static const DeliveryStamps* CurrentDelivery() noexcept;
 
   // Cumulative statistics, for tests and bandwidth accounting.
   [[nodiscard]] uint64_t bytes_out(uint32_t node) const;

@@ -517,6 +517,8 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
     op->src_node = src;
     op->dst_node = peer_node_;
     op->dst_qp = peer_qp_num_;
+    op->stamps = WireStamps{};
+    op->stamps.posted = net.sim().NowNanos();
     {
       // Bounce buffer: snapshot the outgoing data at doorbell time — the
       // target then never reads the initiator's memory. Matches HCA
@@ -548,6 +550,13 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
         src, peer_node_, request_bytes,
         /*on_delivered=*/
         [pnet, op] {
+          // Fabric egress/arrival stamps of the request message, recorded
+          // for the wire-trip breakdown (zero on loopback, which bypasses
+          // the egress model).
+          if (const sim::DeliveryStamps* d = sim::Fabric::CurrentDelivery()) {
+            op->stamps.tx_start = d->tx_start;
+            op->stamps.first_bit = d->first_bit;
+          }
           Device& target = pnet->device(op->dst_node);
           QueuePair* tqp = target.FindQp(op->dst_qp);
           if (tqp == nullptr || tqp->state_ == State::kError) {
@@ -555,7 +564,8 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
             // per (src, dst) pair, this rejection cannot overtake an
             // earlier op's in-flight ack and flush it prematurely.
             op->initiator->CompleteSqViaAck(*pnet, op->dst_node, op->seq,
-                                            WcStatus::kRetryExceeded, 0);
+                                            WcStatus::kRetryExceeded, 0,
+                                            op->stamps);
             pnet->ReleaseWireOp(op);
             return;
           }
@@ -564,7 +574,7 @@ void QueuePair::IssueDoorbell(uint64_t first_seq, uint32_t count) {
         /*on_dropped=*/
         [pnet, op] {
           op->initiator->CompleteSqFromWire(op->seq, WcStatus::kRetryExceeded,
-                                            0);
+                                            0, op->stamps);
           pnet->ReleaseWireOp(op);
         });
   }
@@ -580,14 +590,16 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
                                 WireOp* op) {
   const SendWr& wr = op->wr;
   const uint64_t seq = op->seq;
+  op->stamps.executed = net.sim().NowNanos();
   check::Checker* ck = net.sim().checker();
   switch (wr.opcode) {
     case Opcode::kSend: {
       Network* pnet = &net;
       const uint32_t tnode = target.node_id();
       tqp.AcceptSend(wr, op->src_node,
-                     [this, pnet, tnode, seq](WcStatus st, uint32_t len) {
-                       CompleteSqViaAck(*pnet, tnode, seq, st, len);
+                     [this, pnet, tnode, seq,
+                      stamps = op->stamps](WcStatus st, uint32_t len) {
+                       CompleteSqViaAck(*pnet, tnode, seq, st, len, stamps);
                      },
                      /*data_already_placed=*/false, std::move(op->payload));
       net.ReleaseWireOp(op);
@@ -602,7 +614,7 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
           (mr->access() & kRemoteWrite) == 0) {
         // NAK rides the wire back like the success ack.
         CompleteSqViaAck(net, target.node_id(), seq, WcStatus::kRemAccessErr,
-                         0);
+                         0, op->stamps);
         net.ReleaseWireOp(op);
         return;
       }
@@ -617,13 +629,14 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
         Network* pnet = &net;
         const uint32_t tnode = target.node_id();
         tqp.AcceptSend(wr, op->src_node,
-                       [this, pnet, tnode, seq](WcStatus st, uint32_t len) {
-                         CompleteSqViaAck(*pnet, tnode, seq, st, len);
+                       [this, pnet, tnode, seq,
+                        stamps = op->stamps](WcStatus st, uint32_t len) {
+                         CompleteSqViaAck(*pnet, tnode, seq, st, len, stamps);
                        },
                        /*data_already_placed=*/true);
       } else {
         CompleteSqViaAck(net, target.node_id(), seq, WcStatus::kSuccess,
-                         static_cast<uint32_t>(total));
+                         static_cast<uint32_t>(total), op->stamps);
       }
       net.ReleaseWireOp(op);
       return;
@@ -634,7 +647,7 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
       if (mr == nullptr || !mr->Covers(wr.remote_addr, total) ||
           (mr->access() & kRemoteRead) == 0) {
-        CompleteSqFromWire(seq, WcStatus::kRemAccessErr, 0);
+        CompleteSqFromWire(seq, WcStatus::kRemAccessErr, 0, op->stamps);
         net.ReleaseWireOp(op);
         return;
       }
@@ -673,12 +686,13 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
             }
             op->initiator->CompleteSqFromWire(
                 op->seq, WcStatus::kSuccess,
-                static_cast<uint32_t>(w.total_length()));
+                static_cast<uint32_t>(w.total_length()), op->stamps);
             pnet->ReleaseWireOp(op);
           },
           [pnet, op] {
             op->initiator->CompleteSqFromWire(op->seq,
-                                              WcStatus::kRetryExceeded, 0);
+                                              WcStatus::kRetryExceeded, 0,
+                                              op->stamps);
             pnet->ReleaseWireOp(op);
           });
       return;
@@ -689,12 +703,12 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       MemoryRegion* mr = target.FindMrByRkey(wr.rkey);
       if (mr == nullptr || !mr->Covers(wr.remote_addr, 8) ||
           (mr->access() & kRemoteAtomic) == 0) {
-        CompleteSqFromWire(seq, WcStatus::kRemAccessErr, 0);
+        CompleteSqFromWire(seq, WcStatus::kRemAccessErr, 0, op->stamps);
         net.ReleaseWireOp(op);
         return;
       }
       if (wr.remote_addr % 8 != 0) {
-        CompleteSqFromWire(seq, WcStatus::kRemOpErr, 0);
+        CompleteSqFromWire(seq, WcStatus::kRemOpErr, 0, op->stamps);
         net.ReleaseWireOp(op);
         return;
       }
@@ -706,20 +720,26 @@ void QueuePair::ExecuteAtTarget(Network& net, Device& target, QueuePair& tqp,
       } else {
         *cell = old + wr.swap_or_add;
       }
-      // The response needs only scalars; the op can go back to the pool
-      // before the wire event fires. The delivery callback runs on the
-      // initiator's partition (it is the message destination), so writing
-      // the result buffer there is partition-local.
-      std::byte* result_addr = wr.local.addr;
-      net.ReleaseWireOp(op);
+      // The op stays in flight until the response delivers so its wire
+      // stamps ride back with the completion (pool membership never
+      // affects the timeline — only the release site moved). The delivery
+      // callback runs on the initiator's partition (it is the message
+      // destination), so writing the result buffer there is
+      // partition-local.
+      Network* pnet = &net;
       net.fabric().Send(
           target.node_id(), device_.node_id(), kAtomicResponseBytes,
-          [this, seq, result_addr, old] {
-            std::memcpy(result_addr, &old, 8);
-            CompleteSq(seq, WcStatus::kSuccess, 8);
+          [pnet, op, old] {
+            std::memcpy(op->wr.local.addr, &old, 8);
+            op->initiator->CompleteSq(op->seq, WcStatus::kSuccess, 8,
+                                      op->stamps);
+            pnet->ReleaseWireOp(op);
           },
-          [this, seq] {
-            CompleteSqFromWire(seq, WcStatus::kRetryExceeded, 0);
+          [pnet, op] {
+            op->initiator->CompleteSqFromWire(op->seq,
+                                              WcStatus::kRetryExceeded, 0,
+                                              op->stamps);
+            pnet->ReleaseWireOp(op);
           });
       return;
     }
@@ -801,7 +821,7 @@ Status QueuePair::PostRecv(const RecvWr& wr) {
 }
 
 void QueuePair::CompleteSqFromWire(uint64_t seq, WcStatus status,
-                                   uint32_t byte_len) {
+                                   uint32_t byte_len, WireStamps stamps) {
   sim::Simulation& sim = device_.network().sim();
   if (sim.partitioned() && !sim.InContextOfNode(device_.node_id())) {
     // Target-side code finishing an op: the send queue and send CQ belong
@@ -809,12 +829,12 @@ void QueuePair::CompleteSqFromWire(uint64_t seq, WcStatus status,
     // current virtual instant — completion time is unchanged; arrivals
     // merge deterministically at the epoch barrier.
     sim.PostToNode(device_.node_id(), sim.NowNanos(),
-                   [this, seq, status, byte_len] {
-                     CompleteSq(seq, status, byte_len);
+                   [this, seq, status, byte_len, stamps] {
+                     CompleteSq(seq, status, byte_len, stamps);
                    });
     return;
   }
-  CompleteSq(seq, status, byte_len);
+  CompleteSq(seq, status, byte_len, stamps);
 }
 
 // Completion via RC ack: ride a small message from the target back to the
@@ -825,14 +845,17 @@ void QueuePair::CompleteSqFromWire(uint64_t seq, WcStatus status,
 // at the drop instant.
 void QueuePair::CompleteSqViaAck(Network& net, uint32_t target_node,
                                  uint64_t seq, WcStatus status,
-                                 uint32_t byte_len) {
+                                 uint32_t byte_len, WireStamps stamps) {
   net.fabric().Send(
       target_node, device_.node_id(), kAckBytes,
-      [this, seq, status, byte_len] { CompleteSq(seq, status, byte_len); },
+      [this, seq, status, byte_len, stamps] {
+        CompleteSq(seq, status, byte_len, stamps);
+      },
       [this, seq] { CompleteSqFromWire(seq, WcStatus::kRetryExceeded, 0); });
 }
 
-void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
+void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len,
+                           WireStamps stamps) {
   if (seq < sq_base_seq_) return;  // already flushed
   const size_t idx = seq - sq_base_seq_;
   if (idx >= sq_.size()) return;
@@ -840,7 +863,12 @@ void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
   entry.done = true;
   entry.status = status;
   entry.byte_len = byte_len;
+  entry.stamps = stamps;
 
+  // The pushed stamp is the instant the CQE actually enters the CQ — for
+  // entries held behind an unfinished predecessor (in-order drain) that is
+  // the predecessor's completion instant, not this ack's arrival.
+  const sim::Nanos now = device_.network().sim().NowNanos();
   check::Checker* ck = device_.network().sim().checker();
   if (status != WcStatus::kSuccess) {
     // An error moves the QP to the error state at once: every queued WR
@@ -856,9 +884,11 @@ void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
         ck->OnSettle(e.wr.check_ref, st == WcStatus::kSuccess);
       }
       if (st != WcStatus::kSuccess || e.wr.signaled) {
-        send_cq_->Push(WorkCompletion{e.wr.wr_id, st, e.wr.opcode,
-                                      e.byte_len, std::nullopt, qp_num_,
-                                      peer_node_, e.wr.check_ref});
+        WorkCompletion wc{e.wr.wr_id, st, e.wr.opcode, e.byte_len,
+                          std::nullopt, qp_num_, peer_node_, e.wr.check_ref};
+        wc.stamps = e.stamps;
+        wc.stamps.pushed = now;
+        send_cq_->Push(wc);
       }
     }
     EnterError();
@@ -874,9 +904,11 @@ void QueuePair::CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len) {
       ck->OnSettle(e.wr.check_ref, true);
     }
     if (e.wr.signaled) {
-      send_cq_->Push(WorkCompletion{e.wr.wr_id, e.status, e.wr.opcode,
-                                    e.byte_len, std::nullopt, qp_num_,
-                                    peer_node_, e.wr.check_ref});
+      WorkCompletion wc{e.wr.wr_id, e.status, e.wr.opcode, e.byte_len,
+                        std::nullopt, qp_num_, peer_node_, e.wr.check_ref};
+      wc.stamps = e.stamps;
+      wc.stamps.pushed = now;
+      send_cq_->Push(wc);
     }
   }
 }

@@ -91,9 +91,26 @@ std::string_view ToString(WcStatus status) noexcept;
 std::string_view ToString(Opcode op) noexcept;
 
 // Callback reporting the initiator-side outcome of a target-side step
-// (status, bytes transferred). Small-buffer: the hot path captures only
-// {queue pair, sequence number}.
-using CompletionFn = common::SmallFn<void(WcStatus, uint32_t), 32>;
+// (status, bytes transferred). Small-buffer: the ack path captures
+// {queue pair, sequence number, wire stamps}.
+using CompletionFn = common::SmallFn<void(WcStatus, uint32_t), 72>;
+
+// Virtual-time stamps of one work request's trip through the modelled
+// NIC and fabric, assigned as the op crosses each boundary and carried on
+// every internal copy (SqEntry, WireOp, the RC ack) back onto the
+// WorkCompletion. Pure observation: stamps are written with values the
+// scheduler already computed, never read to make a scheduling decision,
+// so carrying them cannot move virtual time (the rtrace zero-probe-effect
+// contract, see src/obs/rtrace.h). All zero when a stage was never
+// reached (loopback sends bypass the egress/wire model, recv-side
+// completions have no initiator-side doorbell).
+struct WireStamps {
+  sim::Nanos posted = 0;     // doorbell rang; request handed to the fabric
+  sim::Nanos tx_start = 0;   // egress serialization began at the initiator
+  sim::Nanos first_bit = 0;  // first bit reached the target NIC
+  sim::Nanos executed = 0;   // target-side execution instant (DRAM touched)
+  sim::Nanos pushed = 0;     // CQE entered the initiator's completion queue
+};
 
 // A completed work request.
 struct WorkCompletion {
@@ -106,6 +123,7 @@ struct WorkCompletion {
   uint32_t src_node = 0;            // peer node id (recv side convenience)
   uint32_t check_ref = 0;           // rcheck pending-op handle (0 = untracked)
   bool recv_side = false;           // completion surfaced on the receiver CQ
+  WireStamps stamps{};              // wire trip breakdown (initiator side)
 
   [[nodiscard]] bool ok() const noexcept {
     return status == WcStatus::kSuccess;
@@ -226,6 +244,9 @@ struct WireOp {
   // MR at execute time (READ response). Capacity persists across pool
   // reuse. Legacy mode leaves it empty and copies directly, as before.
   std::vector<std::byte> payload;
+  // Wire trip stamps accumulated as the op crosses each boundary; copied
+  // onto the initiator-side WorkCompletion (via the ack / response path).
+  WireStamps stamps{};
 };
 
 // Completion queue. Unbounded (real CQ overflow is a provisioning bug the
@@ -373,6 +394,7 @@ class QueuePair {
     bool done = false;
     WcStatus status = WcStatus::kSuccess;
     uint32_t byte_len = 0;
+    WireStamps stamps{};
   };
 
   struct RnrEntry {
@@ -409,18 +431,24 @@ class QueuePair {
                  bool data_already_placed,
                  const std::vector<std::byte>& payload);
   // Initiator-side completion of sq entry `seq` (scheduler context).
-  void CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len);
+  // `stamps` is the op's wire trip record (pushed is stamped here, at the
+  // instant the CQE actually enters the CQ — which for entries held by
+  // in-order draining is later than the ack arrival).
+  void CompleteSq(uint64_t seq, WcStatus status, uint32_t byte_len,
+                  WireStamps stamps = {});
   // Same, callable from any partition: routes to the initiator's
   // partition when the caller runs elsewhere (target-side execution,
   // response drops), at the current virtual instant — the modelled
   // completion time is unchanged, only the mutation site moves. Legacy
   // mode calls CompleteSq directly, byte-identical to before.
-  void CompleteSqFromWire(uint64_t seq, WcStatus status, uint32_t byte_len);
+  void CompleteSqFromWire(uint64_t seq, WcStatus status, uint32_t byte_len,
+                          WireStamps stamps = {});
   // Initiator-side completion delivered by an RC ack message from the
   // target: write/send completions ride the fabric back like read and
   // atomic responses, so no cross-node completion is zero-latency.
   void CompleteSqViaAck(Network& net, uint32_t target_node, uint64_t seq,
-                        WcStatus status, uint32_t byte_len);
+                        WcStatus status, uint32_t byte_len,
+                        WireStamps stamps = {});
   void FlushAll(WcStatus status);
   void EnterError();
 

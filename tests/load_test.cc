@@ -3,9 +3,12 @@
 // (YCSB mixes, arrival curves), session-to-QP multiplexing ratios, the
 // LoadEngine state machines end to end on a small cluster, determinism
 // across partitioned-scheduler host thread counts, rcheck cleanliness,
-// and coordinated-omission-safe latency anchoring under overload.
+// coordinated-omission-safe latency anchoring under overload, rtrace
+// per-op causal tracing (stage sums, slowest-K reservoir, probe-effect
+// bit-identity), and the space-saving hot-key sketch.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -13,8 +16,10 @@
 #include "core/cluster.h"
 #include "load/admission.h"
 #include "load/engine.h"
+#include "load/hotkeys.h"
 #include "load/session_mux.h"
 #include "load/workload.h"
+#include "obs/rtrace.h"
 #include "sim/time.h"
 
 namespace rstore::load {
@@ -290,6 +295,119 @@ TEST(LoadEngineTest, ChainWidthAdaptsToLoad) {
   const double hw = static_cast<double>(h.stats.mux.wrs_posted) /
                     static_cast<double>(h.stats.mux.chains_posted);
   EXPECT_GT(hw, lw);
+}
+
+// --------------------------------------------------------------- rtrace --
+TEST(LoadEngineTest, RtraceStageSumsEqualTotalForEveryOp) {
+  // The tentpole invariant: every op's per-stage nanoseconds sum to its
+  // coordinated-omission-anchored end-to-end latency, exactly.
+  LoadOptions opts = SmallOptions();
+  opts.rtrace.mode = obs::RtraceMode::kFull;
+  const RunResult r = RunEngine(opts);
+  const obs::RtraceReport& tr = r.stats.rtrace;
+  EXPECT_EQ(tr.ops, r.stats.completed);
+  EXPECT_EQ(tr.sum_mismatches, 0u);
+  uint64_t stage_total = 0;
+  for (const uint64_t v : tr.stage_ns_sum) stage_total += v;
+  EXPECT_EQ(stage_total, tr.total_ns_sum);
+  // kFull keeps a record for every completed op; re-check per op.
+  ASSERT_EQ(tr.kept.size(), tr.ops);
+  for (const obs::RtraceOp& op : tr.kept) {
+    uint64_t sum = 0;
+    for (const uint64_t v : op.stage_ns) sum += v;
+    EXPECT_EQ(sum, op.total_ns()) << "op " << op.op_id;
+  }
+  // The rtrace totals are the same numbers the latency histogram pins.
+  EXPECT_EQ(tr.total_hist.count(), r.stats.latency.count());
+  EXPECT_EQ(tr.total_hist.max(), r.stats.latency.max());
+}
+
+TEST(LoadEngineTest, RtraceReservoirRetainsTheTrueSlowestOp) {
+  // With head sampling effectively disabled, only the slowest-K reservoir
+  // keeps records — and it must never lose the true maximum.
+  LoadOptions opts = SmallOptions();
+  opts.offered_load = 2e6;  // overload: a long backlog tail
+  opts.admission = false;
+  opts.rtrace.mode = obs::RtraceMode::kSampled;
+  opts.rtrace.sample_period = 1u << 20;
+  opts.rtrace.reservoir_k = 4;
+  const RunResult r = RunEngine(opts);
+  const obs::RtraceReport& tr = r.stats.rtrace;
+  ASSERT_FALSE(tr.kept.empty());
+  EXPECT_LE(tr.kept.size(), 4u + 1u);  // reservoir + the op_seq 0 head keep
+  uint64_t kept_max = 0;
+  for (const obs::RtraceOp& op : tr.kept) {
+    kept_max = std::max(kept_max, op.total_ns());
+  }
+  EXPECT_EQ(kept_max, r.stats.latency.max());
+}
+
+TEST(LoadEngineTest, RtraceModesAreProbeFree) {
+  // The probe-effect contract: rtrace off / sampled / full land on the
+  // same virtual end time, on the legacy and the partitioned scheduler.
+  LoadOptions opts = SmallOptions();
+  opts.offered_load = 400e3;
+  opts.rtrace.mode = obs::RtraceMode::kOff;
+  const RunResult ref = RunEngine(opts, 0);
+  for (const obs::RtraceMode mode :
+       {obs::RtraceMode::kOff, obs::RtraceMode::kSampled,
+        obs::RtraceMode::kFull}) {
+    for (const uint32_t threads : {0u, 1u, 2u}) {
+      if (mode == obs::RtraceMode::kOff && threads == 0) continue;
+      LoadOptions o = opts;
+      o.rtrace.mode = mode;
+      const RunResult r = RunEngine(o, threads);
+      EXPECT_EQ(r.virtual_nanos, ref.virtual_nanos)
+          << "mode=" << obs::ToString(mode) << " threads=" << threads;
+      EXPECT_EQ(r.stats.completed, ref.stats.completed);
+      EXPECT_EQ(r.stats.latency.Quantile(0.999),
+                ref.stats.latency.Quantile(0.999));
+    }
+  }
+}
+
+TEST(LoadEngineTest, RcheckCleanWithFullTracing) {
+  LoadOptions opts = SmallOptions();
+  opts.offered_load = 400e3;
+  opts.rtrace.mode = obs::RtraceMode::kFull;
+  check::Checker checker;
+  const RunResult r = RunEngine(opts, 0, &checker);
+  EXPECT_GT(r.stats.rtrace.ops, 0u);
+  EXPECT_TRUE(checker.violations().empty())
+      << checker.violations().size() << " violations";
+}
+
+// -------------------------------------------------------------- hotkeys --
+TEST(SpaceSavingTest, TracksHeavyHitterWithErrorBound) {
+  SpaceSaving sketch(4);
+  // 100 hits on key 7 interleaved with 60 distinct singletons that churn
+  // the other counters.
+  for (uint64_t i = 0; i < 60; ++i) {
+    sketch.Offer(7);
+    if (i % 3 == 0) sketch.Offer(7);
+    sketch.Offer(1000 + i);
+  }
+  const std::vector<HotKey> top = sketch.TopK();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].key_id, 7u);
+  // Space-saving bounds: count overestimates by at most `error`.
+  EXPECT_GE(top[0].count, 80u);
+  EXPECT_LE(top[0].count - top[0].error, 80u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].count, top[i - 1].count);  // sorted by count
+  }
+}
+
+TEST(LoadEngineTest, HotKeysSurfaceTheZipfHead) {
+  const RunResult r = RunEngine(SmallOptions());
+  ASSERT_FALSE(r.stats.hotkeys.empty());
+  const HotKey& top = r.stats.hotkeys[0];
+  // The zipf head is far above the uniform share even after subtracting
+  // the sketch's worst-case overestimate.
+  EXPECT_GT(top.count - top.error, r.stats.arrivals / 1024);
+  for (size_t i = 1; i < r.stats.hotkeys.size(); ++i) {
+    EXPECT_LE(r.stats.hotkeys[i].count, r.stats.hotkeys[i - 1].count);
+  }
 }
 
 TEST(LoadEngineTest, InsertScanAndRmwMixesComplete) {

@@ -4,7 +4,9 @@
 // not, virtual times are bit-identical).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,7 @@
 #include "core/cluster.h"
 #include "kv/kv.h"
 #include "obs/metrics.h"
+#include "obs/rtrace.h"
 #include "obs/trace.h"
 #include "obs/trace_check.h"
 
@@ -249,6 +252,201 @@ TEST(ProbeEffectTest, PageRankVirtualTimeIdenticalWithTelemetry) {
                 .GetCounter("carafe.supersteps")
                 .value(),
             0u);
+}
+
+// --------------------------------------------------------------- rtrace --
+obs::RtraceOp MakeOp(uint64_t seq, uint64_t total) {
+  obs::RtraceOp op;
+  op.op_id = seq;
+  op.kind = 1;
+  op.server_node = 2;
+  op.intended_ns = 1000 * (seq + 1);
+  op.done_ns = op.intended_ns + total;
+  // Spread the total over four stages with the residue in kCqPoll, so the
+  // stage sum reproduces the total exactly — the invariant under test.
+  const uint64_t part = total / 4;
+  op.stage_ns[static_cast<uint32_t>(obs::RtraceStage::kBacklog)] = part;
+  op.stage_ns[static_cast<uint32_t>(obs::RtraceStage::kWire)] = part;
+  op.stage_ns[static_cast<uint32_t>(obs::RtraceStage::kServer)] = part;
+  op.stage_ns[static_cast<uint32_t>(obs::RtraceStage::kCqPoll)] =
+      total - 3 * part;
+  op.posted_ns = op.intended_ns + 1;
+  op.first_bit_ns = op.intended_ns + 2;
+  op.executed_ns = op.done_ns - 1;
+  return op;
+}
+
+TEST(RtraceTest, ModeParses) {
+  obs::RtraceMode mode;
+  EXPECT_TRUE(obs::ParseRtraceMode("off", &mode));
+  EXPECT_EQ(mode, obs::RtraceMode::kOff);
+  EXPECT_TRUE(obs::ParseRtraceMode("sampled", &mode));
+  EXPECT_EQ(mode, obs::RtraceMode::kSampled);
+  EXPECT_TRUE(obs::ParseRtraceMode("full", &mode));
+  EXPECT_EQ(mode, obs::RtraceMode::kFull);
+  EXPECT_FALSE(obs::ParseRtraceMode("verbose", &mode));
+  EXPECT_EQ(obs::ToString(obs::RtraceMode::kSampled), "sampled");
+}
+
+TEST(RtraceTest, FullCollectorKeepsEveryOpAndSumsExactly) {
+  obs::RtraceConfig cfg;
+  cfg.mode = obs::RtraceMode::kFull;
+  obs::RtraceCollector collector(cfg);
+  uint64_t want_total = 0;
+  for (uint64_t i = 0; i < 50; ++i) {
+    collector.Record(i, MakeOp(i, 100 + 10 * i));
+    want_total += 100 + 10 * i;
+  }
+  const obs::RtraceReport r = collector.Finalize();
+  EXPECT_EQ(r.ops, 50u);
+  EXPECT_EQ(r.sum_mismatches, 0u);
+  EXPECT_EQ(r.total_ns_sum, want_total);
+  uint64_t stage_total = 0;
+  for (const uint64_t v : r.stage_ns_sum) stage_total += v;
+  EXPECT_EQ(stage_total, want_total);
+  EXPECT_EQ(r.kept.size(), 50u);
+  EXPECT_EQ(r.total_hist.count(), 50u);
+  EXPECT_EQ(r.total_hist.max(), 100u + 10 * 49);
+}
+
+TEST(RtraceTest, SampledKeepsHeadSamplesPlusSlowestK) {
+  obs::RtraceConfig cfg;
+  cfg.mode = obs::RtraceMode::kSampled;
+  cfg.sample_period = 16;
+  cfg.reservoir_k = 2;
+  obs::RtraceCollector collector(cfg);
+  // Mostly-flat totals with two spikes at seq 7 and 33 — neither lands on
+  // a head-sample slot, so only the reservoir can retain them.
+  for (uint64_t i = 0; i < 64; ++i) {
+    const uint64_t total = i == 7 ? 100000 : i == 33 ? 50000 : 100 + i;
+    collector.Record(i, MakeOp(i, total));
+  }
+  const obs::RtraceReport r = collector.Finalize();
+  EXPECT_EQ(r.ops, 64u);  // aggregates always cover every op
+  std::set<uint64_t> kept_ids;
+  for (const obs::RtraceOp& op : r.kept) kept_ids.insert(op.op_id);
+  for (const uint64_t head : {0u, 16u, 32u, 48u}) {
+    EXPECT_TRUE(kept_ids.contains(head)) << "head sample " << head;
+  }
+  EXPECT_TRUE(kept_ids.contains(7));   // true max
+  EXPECT_TRUE(kept_ids.contains(33));  // runner-up
+  uint64_t kept_max = 0;
+  for (const obs::RtraceOp& op : r.kept) {
+    kept_max = std::max(kept_max, op.total_ns());
+  }
+  EXPECT_EQ(kept_max, 100000u);
+}
+
+TEST(RtraceTest, AttributionSlicesQuantileBands) {
+  obs::RtraceConfig cfg;
+  cfg.mode = obs::RtraceMode::kFull;
+  obs::RtraceCollector collector(cfg);
+  for (uint64_t i = 0; i < 200; ++i) {
+    collector.Record(i, MakeOp(i, 1000 + 100 * i));
+  }
+  const obs::RtraceReport r = collector.Finalize();
+  // The whole range reproduces the aggregates exactly.
+  const obs::RtraceReport::Slice all = r.Attribution(0.0, 1.0);
+  EXPECT_EQ(all.count, r.ops);
+  EXPECT_EQ(all.total_ns, r.total_ns_sum);
+  for (uint32_t s = 0; s < obs::kRtraceStageCount; ++s) {
+    EXPECT_EQ(all.stage_ns[s], r.stage_ns_sum[s]) << "stage " << s;
+  }
+  // A tail band is a strict subset whose stages still sum to its total.
+  const obs::RtraceReport::Slice tail = r.Attribution(0.9, 1.0);
+  EXPECT_GT(tail.count, 0u);
+  EXPECT_LT(tail.count, r.ops);
+  uint64_t tail_stages = 0;
+  for (const uint64_t v : tail.stage_ns) tail_stages += v;
+  EXPECT_EQ(tail_stages, tail.total_ns);
+}
+
+TEST(RtraceTest, MergeAggregatesAndReselectsSlowest) {
+  obs::RtraceConfig cfg;
+  cfg.mode = obs::RtraceMode::kSampled;
+  cfg.sample_period = 8;
+  cfg.reservoir_k = 2;
+  obs::RtraceCollector a(cfg);
+  obs::RtraceCollector b(cfg);
+  for (uint64_t i = 0; i < 32; ++i) {
+    a.Record(i, MakeOp(i, 100 + i));
+    b.Record(i, MakeOp(1000 + i, i == 5 ? 99999 : 200 + i));
+  }
+  obs::RtraceReport merged = a.Finalize();
+  merged.Merge(b.Finalize());
+  EXPECT_EQ(merged.ops, 64u);
+  EXPECT_EQ(merged.sum_mismatches, 0u);
+  uint64_t stage_total = 0;
+  for (const uint64_t v : merged.stage_ns_sum) stage_total += v;
+  EXPECT_EQ(stage_total, merged.total_ns_sum);
+  uint64_t kept_max = 0;
+  for (const obs::RtraceOp& op : merged.kept) {
+    kept_max = std::max(kept_max, op.total_ns());
+  }
+  EXPECT_EQ(kept_max, 99999u);  // b's spike survives the merge
+  EXPECT_EQ(merged.total_hist.count(), 64u);
+}
+
+TEST(RtraceTest, JsonParsesAndFlowsValidate) {
+  obs::RtraceConfig cfg;
+  cfg.mode = obs::RtraceMode::kFull;
+  obs::RtraceCollector collector(cfg);
+  for (uint64_t i = 0; i < 12; ++i) {
+    collector.Record(i, MakeOp(i, 500 + 50 * i));
+  }
+  const obs::RtraceReport r = collector.Finalize();
+
+  std::string json;
+  obs::AppendRtraceJson(json, r);
+  auto parsed = obs::ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const obs::JsonValue* stages = parsed->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  EXPECT_EQ(stages->array.size(), obs::kRtraceStageCount);
+  const obs::JsonValue* attr = parsed->Find("attribution");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->array.size(), 4u);  // p0-50, p50-99, p99-999, p999-100
+  EXPECT_EQ(parsed->Find("sum_mismatches")->number, 0.0);
+
+  obs::Telemetry tel;
+  tel.EnableTracing(true);
+  obs::EmitRtraceTrace(tel.tracer(), r, /*client_node=*/1);
+  const std::string path = ::testing::TempDir() + "/rtrace_flows.json";
+  ASSERT_TRUE(tel.WriteTrace(path).ok());
+  auto summary = obs::ValidateChromeTraceFile(path);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_TRUE(summary->HasCategory("rtrace"));
+  EXPECT_EQ(summary->flow_ids, 12u);        // one flow per kept op
+  EXPECT_EQ(summary->flow_events, 3 * 12u);  // s + t + f each
+}
+
+TEST(TraceCheckTest, DanglingAndUnterminatedFlowsAreErrors) {
+  const char* kDangling =
+      R"({"traceEvents":[{"ph":"f","name":"x","cat":"c","pid":1,"tid":0,)"
+      R"("ts":5,"id":7,"bp":"e"}]})";
+  auto parsed = obs::ParseJson(kDangling);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto summary = obs::ValidateChromeTrace(*parsed);
+  EXPECT_FALSE(summary.ok());
+
+  const char* kUnterminated =
+      R"({"traceEvents":[{"ph":"s","name":"x","cat":"c","pid":1,"tid":0,)"
+      R"("ts":5,"id":7}]})";
+  parsed = obs::ParseJson(kUnterminated);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  summary = obs::ValidateChromeTrace(*parsed);
+  EXPECT_FALSE(summary.ok());
+
+  const char* kPaired =
+      R"({"traceEvents":[{"ph":"s","name":"x","cat":"c","pid":1,"tid":0,)"
+      R"("ts":5,"id":7},{"ph":"f","name":"x","cat":"c","pid":1,"tid":0,)"
+      R"("ts":9,"id":7,"bp":"e"}]})";
+  parsed = obs::ParseJson(kPaired);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  summary = obs::ValidateChromeTrace(*parsed);
+  ASSERT_TRUE(summary.ok()) << summary.status();
+  EXPECT_EQ(summary->flow_ids, 1u);
+  EXPECT_EQ(summary->flow_events, 2u);
 }
 
 }  // namespace

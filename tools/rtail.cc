@@ -1,0 +1,227 @@
+// rtail: renders an rtrace tail-latency attribution report.
+//
+//   rtail <attribution.json> [--band p99-p999] [--windows] [--slowest N]
+//
+// The input is the JSON object AppendRtraceJson emits (or any JSON
+// document containing one — rtail finds the first object with "stages"
+// and "attribution" members, so a whole bench result file works as-is).
+//
+// rtail re-checks the rtrace invariant before printing anything: the
+// exporter's sum_mismatches counter must be zero and the per-stage sums
+// must reproduce the total virtual time exactly. Exit 0 means the report
+// is both well-formed and internally consistent; 1 otherwise.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace_check.h"
+
+namespace {
+
+using rstore::obs::JsonValue;
+
+const JsonValue* FindReport(const JsonValue& v, int depth) {
+  if (v.Is(JsonValue::Type::kObject)) {
+    if (v.Find("stages") != nullptr && v.Find("attribution") != nullptr) {
+      return &v;
+    }
+    if (depth < 4) {
+      for (const auto& [key, child] : v.object) {
+        if (const JsonValue* r = FindReport(child, depth + 1)) return r;
+      }
+    }
+  } else if (v.Is(JsonValue::Type::kArray) && depth < 4) {
+    for (const JsonValue& child : v.array) {
+      if (const JsonValue* r = FindReport(child, depth + 1)) return r;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t AsU64(const JsonValue* v) {
+  return v != nullptr && v->Is(JsonValue::Type::kNumber)
+             ? static_cast<uint64_t>(v->number)
+             : 0;
+}
+
+std::vector<uint64_t> AsU64Array(const JsonValue* v) {
+  std::vector<uint64_t> out;
+  if (v != nullptr && v->Is(JsonValue::Type::kArray)) {
+    out.reserve(v->array.size());
+    for (const JsonValue& e : v->array) {
+      out.push_back(static_cast<uint64_t>(e.number));
+    }
+  }
+  return out;
+}
+
+void PrintStageTable(const std::vector<std::string>& stages,
+                     const std::vector<uint64_t>& ns, uint64_t total,
+                     uint64_t count) {
+  for (size_t i = 0; i < stages.size() && i < ns.size(); ++i) {
+    if (ns[i] == 0) continue;
+    const double share =
+        total > 0 ? 100.0 * static_cast<double>(ns[i]) / total : 0.0;
+    const double mean =
+        count > 0 ? static_cast<double>(ns[i]) / count : 0.0;
+    std::printf("    %-8s %14" PRIu64 " ns  %5.1f%%  (%.0f ns/op)\n",
+                stages[i].c_str(), ns[i], share, mean);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string only_band;
+  bool show_windows = false;
+  long slowest = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--band" && i + 1 < argc) {
+      only_band = argv[++i];
+    } else if (arg == "--windows") {
+      show_windows = true;
+    } else if (arg == "--slowest" && i + 1 < argc) {
+      slowest = std::strtol(argv[++i], nullptr, 10);
+    } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: rtail <attribution.json> [--band NAME] "
+                   "[--windows] [--slowest N]\n");
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "rtail: no attribution file given\n");
+    return 1;
+  }
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!file) {
+    std::fprintf(stderr, "rtail: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0) {
+    text.append(buf, n);
+  }
+  auto parsed = rstore::obs::ParseJson(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "rtail: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  const JsonValue* report = FindReport(parsed.value(), 0);
+  if (report == nullptr) {
+    std::fprintf(stderr, "rtail: %s holds no rtrace report\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> stages;
+  if (const JsonValue* sv = report->Find("stages");
+      sv != nullptr && sv->Is(JsonValue::Type::kArray)) {
+    for (const JsonValue& s : sv->array) stages.push_back(s.str);
+  }
+  const uint64_t ops = AsU64(report->Find("ops"));
+  const uint64_t mismatches = AsU64(report->Find("sum_mismatches"));
+  const uint64_t total_sum = AsU64(report->Find("total_ns_sum"));
+  const std::vector<uint64_t> stage_sum =
+      AsU64Array(report->Find("stage_ns_sum"));
+
+  // The invariant, re-checked from the serialized numbers: the exporter
+  // saw no per-op mismatch, and the aggregate stages reproduce the
+  // aggregate total exactly.
+  uint64_t stage_total = 0;
+  for (const uint64_t v : stage_sum) stage_total += v;
+  int rc = 0;
+  if (mismatches != 0) {
+    std::fprintf(stderr, "rtail: %" PRIu64 " ops failed stage-sum == total\n",
+                 mismatches);
+    rc = 1;
+  }
+  if (stage_total != total_sum) {
+    std::fprintf(stderr,
+                 "rtail: aggregate stage sum %" PRIu64
+                 " != total %" PRIu64 "\n",
+                 stage_total, total_sum);
+    rc = 1;
+  }
+
+  std::printf("rtrace attribution: %s\n", path.c_str());
+  std::printf("  mode=%s ops=%" PRIu64 " (stage sums verified exact)\n",
+              report->Find("mode") != nullptr ? report->Find("mode")->str.c_str()
+                                              : "?",
+              ops);
+  if (const JsonValue* q = report->Find("quantiles")) {
+    std::printf("  p50=%" PRIu64 " ns  p90=%" PRIu64 " ns  p99=%" PRIu64
+                " ns  p999=%" PRIu64 " ns  max=%" PRIu64 " ns\n",
+                AsU64(q->Find("p50_ns")), AsU64(q->Find("p90_ns")),
+                AsU64(q->Find("p99_ns")), AsU64(q->Find("p999_ns")),
+                AsU64(q->Find("max_ns")));
+  }
+
+  if (const JsonValue* attr = report->Find("attribution");
+      attr != nullptr && attr->Is(JsonValue::Type::kArray)) {
+    for (const JsonValue& band : attr->array) {
+      const std::string name =
+          band.Find("band") != nullptr ? band.Find("band")->str : "?";
+      if (!only_band.empty() && name != only_band) continue;
+      const uint64_t count = AsU64(band.Find("count"));
+      const uint64_t total = AsU64(band.Find("total_ns"));
+      std::printf("  band %-9s [%" PRIu64 ", %" PRIu64 "] ns  %" PRIu64
+                  " ops  %" PRIu64 " ns total\n",
+                  name.c_str(), AsU64(band.Find("lo_ns")),
+                  AsU64(band.Find("hi_ns")), count, total);
+      PrintStageTable(stages, AsU64Array(band.Find("stage_ns")), total, count);
+    }
+  }
+
+  if (show_windows) {
+    if (const JsonValue* wins = report->Find("windows");
+        wins != nullptr && wins->Is(JsonValue::Type::kArray)) {
+      std::printf("  windows (start_ns count p50 p99 p999):\n");
+      for (const JsonValue& w : wins->array) {
+        std::printf("    %12" PRIu64 " %8" PRIu64 " %10" PRIu64 " %10" PRIu64
+                    " %10" PRIu64 "\n",
+                    AsU64(w.Find("start_ns")), AsU64(w.Find("count")),
+                    AsU64(w.Find("p50_ns")), AsU64(w.Find("p99_ns")),
+                    AsU64(w.Find("p999_ns")));
+      }
+    }
+  }
+
+  if (slowest > 0) {
+    if (const JsonValue* slow = report->Find("slowest");
+        slow != nullptr && slow->Is(JsonValue::Type::kArray)) {
+      std::printf("  slowest ops:\n");
+      long shown = 0;
+      for (const JsonValue& op : slow->array) {
+        if (shown++ >= slowest) break;
+        std::printf("    op %" PRIu64 "  total %" PRIu64 " ns  server %" PRIu64
+                    "\n",
+                    AsU64(op.Find("op_id")), AsU64(op.Find("total_ns")),
+                    AsU64(op.Find("server")));
+        const std::vector<uint64_t> per = AsU64Array(op.Find("stage_ns"));
+        uint64_t per_total = 0;
+        for (const uint64_t v : per) per_total += v;
+        if (per_total != AsU64(op.Find("total_ns"))) {
+          std::fprintf(stderr,
+                       "rtail: op %" PRIu64 " stage sum != total\n",
+                       AsU64(op.Find("op_id")));
+          rc = 1;
+        }
+        PrintStageTable(stages, per, per_total, 1);
+      }
+    }
+  }
+  return rc;
+}

@@ -2,11 +2,12 @@
 // obs layer (bench --trace). Exits 0 and prints a summary when the file
 // is structurally valid; exits 1 with a diagnostic otherwise.
 //
-//   trace_check trace.json [--require-category cat]...
+//   trace_check trace.json [--require-category cat]... [--require-flows]
 //
 // --require-category fails the check unless at least one span/instant of
 // that category is present — CI uses it to assert every instrumented
-// layer actually emitted.
+// layer actually emitted. --require-flows fails unless at least one
+// complete flow (start + end, validated by the checker) is present.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -16,16 +17,19 @@
 int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required;
+  bool require_flows = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--require-category" && i + 1 < argc) {
       required.emplace_back(argv[++i]);
+    } else if (arg == "--require-flows") {
+      require_flows = true;
     } else if (!arg.empty() && arg[0] != '-' && path.empty()) {
       path = arg;
     } else {
       std::fprintf(stderr,
                    "usage: trace_check <trace.json> "
-                   "[--require-category cat]...\n");
+                   "[--require-category cat]... [--require-flows]\n");
       return 1;
     }
   }
@@ -41,9 +45,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("%s: %zu events (%zu spans) across %zu processes\n",
-              path.c_str(), summary->total_events, summary->complete_spans,
-              summary->processes);
+  std::printf(
+      "%s: %zu events (%zu spans, %zu flow events / %zu flows) "
+      "across %zu processes\n",
+      path.c_str(), summary->total_events, summary->complete_spans,
+      summary->flow_events, summary->flow_ids, summary->processes);
   for (const auto& [category, count] : summary->events_by_category) {
     std::printf("  %-10s %zu\n", category.c_str(), count);
   }
@@ -55,6 +61,10 @@ int main(int argc, char** argv) {
                    category.c_str());
       rc = 1;
     }
+  }
+  if (require_flows && summary->flow_ids == 0) {
+    std::fprintf(stderr, "trace_check: no flow events found\n");
+    rc = 1;
   }
   return rc;
 }
