@@ -24,7 +24,9 @@
 // admitted point's full report lands in BENCH_fanin_attr.json
 // (--attribution to relocate) for tools/rtail. The determinism gate
 // cross-checks that every rtrace mode is virtual-time bit-identical on
-// every scheduler (off/sampled/full x host-threads {0,1,4}).
+// every scheduler (off/sampled/full x host-threads {0,1,4}), and that
+// attaching the rlin linearizability checker (--rlin / RSTORE_RLIN) is
+// likewise a zero-probe-effect observer on every scheduler.
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
@@ -327,8 +329,37 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::printf("determinism: rtrace {off,sampled,full} x host_threads "
-                "{default,1,4} %s (vtime %.6fs, %" PRIu64 " events)\n",
+    // rlin probe-effect gate: attaching the linearizability checker
+    // (recording the full per-op KV history) must not move virtual time
+    // either — same reference point, every scheduler. Event counts follow
+    // the same partitioned-only comparability rule as above. The env var
+    // is read per-Simulation, exactly like --rlin sets it binary-wide
+    // (in which case it is already on and stays on after the gate).
+    const bool rlin_already_on = std::getenv("RSTORE_RLIN") != nullptr;
+    setenv("RSTORE_RLIN", "1", /*overwrite=*/1);
+    dbase.rtrace.mode = obs::RtraceMode::kOff;
+    for (const uint32_t t : {0u, 1u, 4u}) {
+      FaninPoint p = RunFanin(dbase, loads[0], default_theta, base.sessions,
+                              true, sweep_mix, t);
+      if (p.virtual_nanos != ref.virtual_nanos) {
+        std::fprintf(stderr,
+                     "FATAL: rlin=on host_threads=%u diverged: vnanos "
+                     "%" PRIu64 " vs %" PRIu64 "\n",
+                     t, p.virtual_nanos, ref.virtual_nanos);
+        rc = 1;
+      }
+      if (t != 0 && p.events != part_events) {
+        std::fprintf(stderr,
+                     "FATAL: rlin=on host_threads=%u event count diverged: "
+                     "%" PRIu64 " vs %" PRIu64 "\n",
+                     t, p.events, part_events);
+        rc = 1;
+      }
+    }
+    if (!rlin_already_on) unsetenv("RSTORE_RLIN");
+    std::printf("determinism: (rtrace {off,sampled,full} + rlin) x "
+                "host_threads {default,1,4} %s (vtime %.6fs, %" PRIu64
+                " events)\n",
                 rc == 0 ? "bit-identical" : "DIVERGED",
                 sim::ToSeconds(ref.virtual_nanos), ref.events);
   }

@@ -27,6 +27,13 @@
 //                   which src/sim reads per-Simulation; violating runs dump
 //                   a replayable trace for tools/rexplore.
 //
+//   --rlin          run the whole binary under the per-key linearizability
+//                   checker (RSTORE_RLIN, see check/lin.h). Recording is
+//                   observe-only: virtual times are bit-identical with the
+//                   flag off or on. A violation prints the counterexample,
+//                   writes rlin_report.json (or into RSTORE_RLIN_OUT), and
+//                   aborts.
+//
 //   --host-threads <N>
 //                   run every simulation on the partitioned scheduler with
 //                   N host worker threads (RSTORE_HOST_THREADS). Virtual
@@ -144,8 +151,8 @@ inline obs::Telemetry* ActiveTelemetry() {
   return &telemetry;
 }
 
-// Strips --json/--trace/--rcheck/--explore (space- or =-separated) from
-// argv before benchmark::Initialize, which rejects unknown flags.
+// Strips --json/--trace/--rcheck/--rlin/--explore (space- or =-separated)
+// from argv before benchmark::Initialize, which rejects unknown flags.
 inline void ParseObsArgs(int* argc, char** argv) {
   ObsConfig& config = GetObsConfig();
   if (*argc > 0) {
@@ -177,6 +184,11 @@ inline void ParseObsArgs(int* argc, char** argv) {
       // env var (not a global) because every Simulation the benchmarks
       // construct reads RSTORE_RCHECK in its constructor.
       setenv("RSTORE_RCHECK", "1", /*overwrite=*/1);
+    } else if (arg == "--rlin") {
+      // Runs the whole binary under the per-key linearizability checker
+      // (see check/lin.h); same env-var mechanism as --rcheck. A violation
+      // prints the counterexample and aborts on Simulation shutdown.
+      setenv("RSTORE_RLIN", "1", /*overwrite=*/1);
     } else if ((arg == "--explore" && i + 1 < *argc) ||
                arg.rfind("--explore=", 0) == 0) {
       // Schedule exploration, same env-var mechanism as --rcheck: every

@@ -1,10 +1,13 @@
 #include "explore/explorer.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <sstream>
 #include <utility>
 
 #include "check/check.h"
+#include "check/lin.h"
 #include "sim/simulation.h"
 
 namespace rstore::explore {
@@ -12,6 +15,7 @@ namespace rstore::explore {
 void RunContext::Attach(sim::Simulation& sim) const {
   if (policy != nullptr) sim.AttachPolicy(policy);
   if (checker != nullptr) sim.AttachChecker(checker);
+  if (lin != nullptr) sim.AttachLinChecker(lin);
 }
 
 std::string Explorer::SignatureOf(const check::Violation& v) {
@@ -35,34 +39,53 @@ std::string Explorer::SignatureOf(const check::Violation& v) {
   return s;
 }
 
+std::string Explorer::SignatureOf(const check::LinViolation& v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%" PRIx64, v.key);
+  return std::string("lin@key") + buf;
+}
+
 namespace {
 
 RunOutcome RunWith(const Workload& workload, SchedulePolicy& policy,
                    uint64_t run_index) {
   check::Checker checker;
+  check::LinChecker lin;
   RunOutcome out;
   RunContext ctx;
   ctx.policy = &policy;
   ctx.checker = &checker;
+  ctx.lin = &lin;
   ctx.out_final_vtime = &out.final_vtime;
   ctx.out_events = &out.events;
   workload(ctx);
+  lin.Finalize();
   out.run_index = run_index;
   out.seed = policy.seed();
   out.choices = policy.choices();
   out.divergences = policy.divergences();
-  out.violation_count = checker.violation_count();
+  out.lin_violation_count = lin.violation_count();
+  out.violation_count = checker.violation_count() + lin.violation_count();
   out.violation_sigs.reserve(out.violation_count);
   for (const check::Violation& v : checker.violations()) {
+    out.violation_sigs.push_back(Explorer::SignatureOf(v));
+  }
+  for (const check::LinViolation& v : lin.violations()) {
     out.violation_sigs.push_back(Explorer::SignatureOf(v));
   }
   if (out.violation_count > 0) {
     std::ostringstream text;
     checker.PrintReports(text);
+    lin.PrintReports(text);
     out.report_text = text.str();
     std::ostringstream json;
     checker.DumpJson(json);
     out.report_json = json.str();
+  }
+  if (lin.violation_count() > 0) {
+    std::ostringstream json;
+    lin.DumpJson(json);
+    out.lin_report_json = json.str();
   }
   out.trace = policy.Trace();
   return out;

@@ -1,7 +1,9 @@
 // The search driver: runs a workload repeatedly under different schedule
-// policies with rcheck attached as the oracle, records each schedule as a
-// replayable DecisionTrace, and greedily minimizes the first violating
-// trace to the smallest schedule that still reproduces the violation.
+// policies with two oracles attached — rcheck (happens-before memory
+// contract) and rlin (per-key linearizability of the KV history) —
+// records each schedule as a replayable DecisionTrace, and greedily
+// minimizes the first violating trace to the smallest schedule that
+// still reproduces the violation.
 //
 // A Workload is any callable that builds a sim::Simulation, calls
 // RunContext::Attach on it *before* spawning work, and runs to completion.
@@ -18,6 +20,8 @@
 
 namespace rstore::check {
 class Checker;
+class LinChecker;
+struct LinViolation;
 struct Violation;
 }  // namespace rstore::check
 namespace rstore::sim {
@@ -32,10 +36,11 @@ namespace rstore::explore {
 struct RunContext {
   SchedulePolicy* policy = nullptr;
   check::Checker* checker = nullptr;
+  check::LinChecker* lin = nullptr;  // second oracle: linearizability
   uint64_t* out_final_vtime = nullptr;
   uint64_t* out_events = nullptr;
 
-  // Attaches policy and checker (those that are non-null) to `sim`.
+  // Attaches policy and checkers (those that are non-null) to `sim`.
   void Attach(sim::Simulation& sim) const;
 };
 
@@ -49,10 +54,12 @@ struct RunOutcome {
   uint64_t divergences = 0;
   uint64_t final_vtime = 0;
   uint64_t events = 0;
-  size_t violation_count = 0;
+  size_t violation_count = 0;      // rcheck + rlin violations combined
+  size_t lin_violation_count = 0;  // rlin's share of violation_count
   std::vector<std::string> violation_sigs;  // stable ids, see SignatureOf
-  std::string report_text;                  // Checker::PrintReports output
-  std::string report_json;                  // Checker::DumpJson output
+  std::string report_text;      // Print output of both checkers
+  std::string report_json;      // Checker::DumpJson output (rcheck)
+  std::string lin_report_json;  // LinChecker::DumpJson counterexample
   DecisionTrace trace;
 };
 
@@ -99,6 +106,9 @@ class Explorer {
   // endpoint kinds — deliberately not virtual times, which legitimately
   // shift as the trace shrinks.
   [[nodiscard]] static std::string SignatureOf(const check::Violation& v);
+  // Same contract for a linearizability violation: the key alone (op
+  // counts and vtimes shift as the trace shrinks).
+  [[nodiscard]] static std::string SignatureOf(const check::LinViolation& v);
 
  private:
   ExploreOptions opts_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "check/check.h"
+#include "check/lin.h"
 #include "common/rng.h"
 #include "obs/trace.h"
 #include "sim/cost_model.h"
@@ -289,7 +290,83 @@ Status KvStore::UnlockSlot(uint64_t slot, uint64_t locked_version) {
                         std::span<const std::byte>(version_buf_.begin(), 8));
 }
 
+// rlin history capture (see check/lin.h): each public op wrapper records
+// one (kind, key-hash, value-digest, [inv, resp]) entry with a
+// LinChecker when one is attached to the simulation. Pure host-side
+// observation — no simulator events, RNG draws, or cost charges — so
+// virtual time is bit-identical with the checker on or off; with no
+// checker attached the wrappers cost one pointer compare.
 Result<std::vector<std::byte>> KvStore::Get(std::string_view key) {
+  check::LinChecker* lin = client_.device().network().sim().lin();
+  if (lin == nullptr) return GetImpl(key);
+  const auto inv =
+      static_cast<uint64_t>(client_.device().network().sim().NowNanos());
+  Result<std::vector<std::byte>> r = GetImpl(key);
+  const auto resp =
+      static_cast<uint64_t>(client_.device().network().sim().NowNanos());
+  const uint64_t k = StableHash64(key);
+  if (r.ok()) {
+    lin->RecordOp(client_.device().node_id(), check::LinOpKind::kRead, k,
+                  check::LinChecker::Digest(r->data(), r->size()), inv, resp);
+  } else if (r.code() == ErrorCode::kNotFound) {
+    lin->RecordOp(client_.device().node_id(), check::LinOpKind::kRead, k,
+                  check::kLinAbsent, inv, resp);
+  }
+  // Other errors (seqlock contention, transport) returned no answer:
+  // reads are no-ops, legal to drop.
+  return r;
+}
+
+Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
+  check::LinChecker* lin = client_.device().network().sim().lin();
+  if (lin == nullptr) return PutImpl(key, value);
+  const auto inv =
+      static_cast<uint64_t>(client_.device().network().sim().NowNanos());
+  lin_wrote_payload_ = false;
+  const Status st = PutImpl(key, value);
+  const auto resp =
+      static_cast<uint64_t>(client_.device().network().sim().NowNanos());
+  const uint64_t k = StableHash64(key);
+  const uint64_t digest = check::LinChecker::Digest(value.data(), value.size());
+  if (st.ok()) {
+    lin->RecordOp(client_.device().node_id(), check::LinOpKind::kWrite, k,
+                  digest, inv, resp);
+  } else if (lin_wrote_payload_) {
+    // The payload write was posted before the failure: the value may or
+    // may not be visible. Pending = may linearize any time >= inv, or
+    // never.
+    lin->RecordPending(client_.device().node_id(), check::LinOpKind::kWrite,
+                       k, digest, inv);
+  }
+  return st;
+}
+
+Status KvStore::Delete(std::string_view key) {
+  check::LinChecker* lin = client_.device().network().sim().lin();
+  if (lin == nullptr) return DeleteImpl(key);
+  const auto inv =
+      static_cast<uint64_t>(client_.device().network().sim().NowNanos());
+  lin_wrote_payload_ = false;
+  const Status st = DeleteImpl(key);
+  const auto resp =
+      static_cast<uint64_t>(client_.device().network().sim().NowNanos());
+  const uint64_t k = StableHash64(key);
+  if (st.ok()) {
+    // Delete is a write of "absent".
+    lin->RecordOp(client_.device().node_id(), check::LinOpKind::kWrite, k,
+                  check::kLinAbsent, inv, resp);
+  } else if (st.code() == ErrorCode::kNotFound) {
+    // Observed no mapping for the key — semantically a read of absent.
+    lin->RecordOp(client_.device().node_id(), check::LinOpKind::kRead, k,
+                  check::kLinAbsent, inv, resp);
+  } else if (lin_wrote_payload_) {
+    lin->RecordPending(client_.device().node_id(), check::LinOpKind::kWrite,
+                       k, check::kLinAbsent, inv);
+  }
+  return st;
+}
+
+Result<std::vector<std::byte>> KvStore::GetImpl(std::string_view key) {
   ++stats_.gets;
   check::OpLabelScope label(client_.device().network().sim().checker(),
                             "kv.get");
@@ -330,7 +407,8 @@ Result<std::vector<std::byte>> KvStore::Get(std::string_view key) {
                                         "key not found (probe window)");
 }
 
-Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
+Status KvStore::PutImpl(std::string_view key,
+                        std::span<const std::byte> value) {
   ++stats_.puts;
   check::OpLabelScope label(client_.device().network().sim().checker(),
                             "kv.put");
@@ -404,6 +482,7 @@ Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
   if (!value.empty()) {
     std::memcpy(out + kPayloadOff + key.size(), value.data(), value.size());
   }
+  lin_wrote_payload_ = true;
   Status wrote = region_->Write(
       SlotOffset(slot) + kKeyLenOff,
       std::span<const std::byte>(out + kKeyLenOff,
@@ -427,7 +506,7 @@ Status KvStore::Put(std::string_view key, std::span<const std::byte> value) {
   return unlocked;
 }
 
-Status KvStore::Delete(std::string_view key) {
+Status KvStore::DeleteImpl(std::string_view key) {
   ++stats_.deletes;
   check::OpLabelScope label(client_.device().network().sim().checker(),
                             "kv.delete");
@@ -457,6 +536,7 @@ Status KvStore::Delete(std::string_view key) {
     // Tombstone: key_len = 0 (version stays > 0 so probes continue past).
     std::byte* out = write_buf_.begin();
     std::memset(out, 0, 16);
+    lin_wrote_payload_ = true;
     Status wrote = region_->Write(
         SlotOffset(slot) + kKeyLenOff,
         std::span<const std::byte>(out, 8));  // clears key_len + val_len

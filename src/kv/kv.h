@@ -165,6 +165,12 @@ class KvStore {
   };
   [[nodiscard]] SlotView Parse(const std::byte* slot) const;
 
+  // Op bodies; the public wrappers add rlin history capture (observe-only,
+  // see check/lin.h) around them when the simulation has a LinChecker.
+  Result<std::vector<std::byte>> GetImpl(std::string_view key);
+  Status PutImpl(std::string_view key, std::span<const std::byte> value);
+  Status DeleteImpl(std::string_view key);
+
   // Slot-cache bookkeeping (only active when options_.cache_slots > 0).
   struct CachedSlot {
     uint64_t version = 0;
@@ -184,6 +190,11 @@ class KvStore {
   std::unordered_map<uint64_t, CachedSlot> slot_cache_;
   std::list<uint64_t> slot_lru_;  // front = most recently used
   KvStats stats_;
+  // Set by PutImpl/DeleteImpl once the payload/tombstone write has been
+  // posted: a failure after this point leaves the op's effect undefined,
+  // so the wrapper records it as *pending* (may have happened) rather
+  // than dropping it. KvStore is client-thread-local, so a plain bool.
+  bool lin_wrote_payload_ = false;
 };
 
 }  // namespace rstore::kv

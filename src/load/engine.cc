@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "check/lin.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/cost_model.h"
@@ -133,6 +134,7 @@ void LoadEngine::ResolveObs() {
 // Setup and preload.
 
 Status LoadEngine::Setup() {
+  lin_ = client_.device().network().sim().lin();
   RSTORE_ASSIGN_OR_RETURN(region_, client_.Rmap(table_));
   if (region_->desc().slab_size % 8 != 0) {
     return Status(ErrorCode::kInvalidArgument,
@@ -235,6 +237,12 @@ Status LoadEngine::PreloadTable(core::RStoreClient& client,
       values.Fill(value.data(), value.size());
       SlotLayout::Compose(dst, geo.slot_bytes, /*version=*/2, KeyView(kb),
                           value);
+      // rlin: the preloaded value is the key's initial register state.
+      if (check::LinChecker* lin = client.device().network().sim().lin();
+          lin != nullptr) {
+        lin->RecordInit(id,
+                        check::LinChecker::Digest(value.data(), value.size()));
+      }
       ++placed;
       break;
     }
@@ -340,6 +348,7 @@ void LoadEngine::BeginOp(uint32_t s) {
   ses.target = -1;
   ses.failed = false;
   ses.step_error = false;
+  ses.lin_staged = false;
   ses.server_idx = ServerIndexOf(ses.home);
   switch (admission_->TryAdmit(ses.server_idx, s)) {
     case Admit::kAdmit:
@@ -558,6 +567,14 @@ void LoadEngine::StageWrite(uint32_t s) {
   }
   ses.pending = static_cast<uint32_t>(pieces_.size());
   inflight_wrs_ += pieces_.size();
+  // rlin: the payload leaves the client here. Recorded as the op's write
+  // digest on success, or as a pending maybe-write if the op fails after
+  // this point.
+  if (lin_ != nullptr) {
+    ses.lin_write_digest = check::LinChecker::Digest(
+        img + SlotLayout::kPayloadOff + key_len, val_len);
+    ses.lin_staged = true;
+  }
   ses.phase = Phase::kWrite;
 }
 
@@ -834,6 +851,47 @@ void LoadEngine::FinishOp(uint32_t s, bool ok, bool found) {
   Session& ses = sessions_[s];
   const sim::Nanos now = sim::Now();
   const int64_t readmit = admission_->Release(ses.server_idx);
+  // rlin history capture, before StartNextFromBacklog can reuse the
+  // session's scratch. The invocation edge is the coordinated-omission
+  // anchor (ses.intended): widening the interval only adds legal
+  // linearization orders, so this stays sound (zero false positives)
+  // while it may mask violations an exact-send anchor would expose.
+  // Shed and never-admitted deferred ops never reach FinishOp, so they
+  // never appear as completed responses. Scans are not single-register
+  // ops and are skipped.
+  if (lin_ != nullptr && ses.op != OpType::kScan) {
+    const uint32_t lin_client = first_global_session_ + s;
+    const auto inv = static_cast<uint64_t>(ses.intended);
+    if (ok) {
+      const bool is_write =
+          ses.op == OpType::kUpdate || ses.op == OpType::kInsert ||
+          (ses.op == OpType::kReadModifyWrite && found);
+      if (is_write) {
+        lin_->RecordOp(lin_client, check::LinOpKind::kWrite, ses.key_id,
+                       ses.lin_write_digest, inv, static_cast<uint64_t>(now));
+      } else {
+        // Read path (including rmw that found no mapping): digest the
+        // value bytes still in this session's scratch slot image.
+        uint64_t digest = check::kLinAbsent;
+        if (found) {
+          const std::byte* scratch = Scratch(s);
+          uint32_t val_len = 0;
+          std::memcpy(&val_len, scratch + SlotLayout::kValLenOff,
+                      sizeof(val_len));
+          digest = check::LinChecker::Digest(
+              scratch + SlotLayout::kPayloadOff + 8, val_len);
+        }
+        lin_->RecordOp(lin_client, check::LinOpKind::kRead, ses.key_id,
+                       digest, inv, static_cast<uint64_t>(now));
+      }
+    } else if (ses.lin_staged) {
+      // The op failed after its payload write was posted: the value may
+      // or may not be visible to readers. Pending = may linearize at any
+      // point after invocation, or never.
+      lin_->RecordPending(lin_client, check::LinOpKind::kWrite, ses.key_id,
+                          ses.lin_write_digest, inv);
+    }
+  }
   if (ok) {
     ++stats_.completed;
     ++stats_.completed_by_type[static_cast<uint32_t>(ses.op)];

@@ -56,6 +56,10 @@ class Timer;
 class Telemetry;
 }  // namespace rstore::obs
 
+namespace rstore::check {
+class LinChecker;
+}  // namespace rstore::check
+
 namespace rstore::load {
 
 struct EngineStats {
@@ -160,6 +164,9 @@ class LoadEngine {
     sim::Nanos tr_cursor = 0;          // last instant charged to a stage
     obs::RtraceStageNs tr_stage{};     // per-stage ns of the current op
     verbs::WireStamps tr_last{};       // stamps of the last completed step
+    // --- rlin (maintained only when a LinChecker is attached) ---
+    uint64_t lin_write_digest = 0;  // digest of the last staged payload
+    bool lin_staged = false;        // a payload write was posted this op
   };
 
   // One slab-contiguous piece of a slot range (slots may straddle slab
@@ -268,6 +275,10 @@ class LoadEngine {
   uint64_t open_ops_ = 0;       // arrived but not finished (any phase)
   uint64_t inflight_wrs_ = 0;   // signaled WRs outstanding
   EngineStats stats_;
+
+  // rlin history capture (null unless a LinChecker is attached to the
+  // simulation; resolved once in Setup). Observe-only: see check/lin.h.
+  check::LinChecker* lin_ = nullptr;
 
   // rtrace collector (null when options.rtrace.mode == kOff — every hook
   // reduces to one pointer compare) and the heavy-hitter sketch.

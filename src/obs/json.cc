@@ -1,0 +1,234 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace rstore::obs {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    Status s = ParseValue(v, 0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Status ParseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return ParseString(out.str);
+      case 't':
+      case 'f': return ParseLiteral(out);
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return Expect("null");
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '"') return Fail("expected object key");
+      std::string key;
+      if (Status s = ParseString(key); !s.ok()) return s;
+      SkipWhitespace();
+      if (Peek() != ':') return Fail("expected ':' after object key");
+      ++pos_;
+      JsonValue value;
+      if (Status s = ParseValue(value, depth + 1); !s.ok()) return s;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue& out, int depth) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      if (Status s = ParseValue(value, depth + 1); !s.ok()) return s;
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      const char c = Peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Status::Ok();
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return Fail("dangling escape");
+        const char esc = text_[pos_ + 1];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 5 >= text_.size()) return Fail("short \\u escape");
+            // Keep the escape verbatim; the validator only needs
+            // round-trip fidelity for ASCII content.
+            out.append(text_.substr(pos_, 6));
+            pos_ += 6;
+            continue;
+          }
+          default: return Fail("unknown escape");
+        }
+        pos_ += 2;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseLiteral(JsonValue& out) {
+    out.type = JsonValue::Type::kBool;
+    if (text_[pos_] == 't') {
+      out.boolean = true;
+      return Expect("true");
+    }
+    out.boolean = false;
+    return Expect("false");
+  }
+
+  Status ParseNumber(JsonValue& out) {
+    const size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Fail("malformed number");
+    out.type = JsonValue::Type::kNumber;
+    return Status::Ok();
+  }
+
+  Status Expect(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Fail("malformed literal");
+    }
+    pos_ += word.size();
+    return Status::Ok();
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char Peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  Status Fail(std::string_view what) const {
+    return Status(ErrorCode::kInvalidArgument,
+                  "JSON parse error at offset " + std::to_string(pos_) + ": " +
+                      std::string(what));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Result<JsonValue> ParseJsonFile(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!file) {
+    return Status(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0) {
+    text.append(buf, n);
+  }
+  return ParseJson(text);
+}
+
+}  // namespace rstore::obs

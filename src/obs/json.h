@@ -1,0 +1,46 @@
+// Minimal dependency-free JSON parser shared by the observability and
+// verification layers.
+//
+// One implementation serves every consumer that round-trips this repo's
+// own emissions — Chrome traces (trace_check), rcheck violation dumps
+// (tools/rcheck_report), rtrace attribution reports (tools/rtail), and
+// rlin linearizability counterexamples (tools/rlin) — so tests and the
+// CI tools can verify well-formedness without an external dependency.
+// Not a general JSON library: numbers parse as double, \uXXXX escapes
+// outside ASCII are preserved verbatim as their escape text. Values that
+// need all 64 bits (key hashes, value digests) are therefore emitted as
+// hex *strings* by the writers, never as numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rstore::obs {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  // Insertion order preserved (duplicate keys keep the last value).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+  [[nodiscard]] bool Is(Type t) const noexcept { return type == t; }
+};
+
+// Parses a complete JSON document; trailing garbage is an error.
+[[nodiscard]] Result<JsonValue> ParseJson(std::string_view text);
+
+// Convenience: reads `path` entirely and parses it.
+[[nodiscard]] Result<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace rstore::obs

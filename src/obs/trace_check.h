@@ -1,41 +1,19 @@
-// Minimal JSON parser + Chrome trace_event validator.
+// Chrome trace_event validator over the shared obs/json.h parser.
 //
-// Just enough JSON to round-trip what this repo emits (DumpJson snapshots
-// and WriteChromeTrace files) so tests and the `trace_check` CI tool can
-// verify well-formedness without an external dependency. Not a general
-// JSON library: numbers parse as double, \uXXXX escapes outside ASCII are
-// preserved verbatim as their escape text.
+// Verifies what this repo emits (WriteChromeTrace files) so tests and the
+// `trace_check` CI tool can check well-formedness without an external
+// dependency.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <string>
 #include <string_view>
-#include <utility>
-#include <vector>
 
 #include "common/status.h"
+#include "obs/json.h"
 
 namespace rstore::obs {
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string str;
-  std::vector<JsonValue> array;
-  // Insertion order preserved (duplicate keys keep the last value).
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
-  [[nodiscard]] bool Is(Type t) const noexcept { return type == t; }
-};
-
-// Parses a complete JSON document; trailing garbage is an error.
-[[nodiscard]] Result<JsonValue> ParseJson(std::string_view text);
 
 // What ValidateChromeTrace saw, for assertions and human output.
 struct TraceCheckSummary {

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "check/check.h"
+#include "check/lin.h"
 #include "common/log.h"
 #include "explore/policy.h"
 #include "explore/trace_json.h"
@@ -377,6 +378,14 @@ Simulation::Simulation(SimConfig config)
     owned_checker_ = std::make_unique<check::Checker>();
     AttachChecker(owned_checker_.get());
   }
+  // Opt-in linearizability checking (the rlin gate): same process-wide
+  // contract as rcheck — each simulation gets its own history, Shutdown()
+  // finalizes and aborts on violation.
+  if (const char* e = std::getenv("RSTORE_RLIN");
+      e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0) {
+    owned_lin_ = std::make_unique<check::LinChecker>();
+    AttachLinChecker(owned_lin_.get());
+  }
   // Opt-in schedule exploration: every simulation in the process gets its
   // own policy instance, cycling through the spec's derived seeds so one
   // bench/test invocation covers `runs` distinct schedules.
@@ -511,6 +520,8 @@ void Simulation::AttachChecker(check::Checker* checker) {
     checker_->SetClock([this] { return static_cast<uint64_t>(NowNanos()); });
   }
 }
+
+void Simulation::AttachLinChecker(check::LinChecker* lin) { lin_ = lin; }
 
 void Simulation::AttachPolicy(explore::SchedulePolicy* policy) {
   policy_ = policy;
@@ -789,7 +800,7 @@ void Simulation::RunPartitionedUntil(Nanos deadline) {
   // valid goldens for parallel ones and vice versa.
   const bool serialize =
       config_.serialize_dispatch || checker_ != nullptr ||
-      policy_ != nullptr ||
+      lin_ != nullptr || policy_ != nullptr ||
       (telemetry_ != nullptr && telemetry_->tracing());
   const uint32_t workers =
       serialize ? 1 : std::min(config_.host_threads, count);
@@ -942,6 +953,7 @@ void Simulation::Shutdown() {
   // detach it now; the owned checker lives until ~Simulation and keeps
   // observing.
   if (checker_ != owned_checker_.get()) checker_ = nullptr;
+  if (lin_ != owned_lin_.get()) lin_ = nullptr;
   for (auto& node : nodes_) {
     node->alive_.store(false, std::memory_order_relaxed);
     for (auto& t : node->threads_) {
@@ -972,6 +984,10 @@ void Simulation::Shutdown() {
   // explore.violations counts the owned (env-attached) checker only; a
   // caller-attached checker belongs to the explorer driver, which reads
   // it directly.
+  // The env-attached lin checker finalizes here, before the explore-trace
+  // dump, so a PCT-found linearizability violation also gets its
+  // replayable schedule written.
+  if (owned_lin_ != nullptr) owned_lin_->Finalize();
   if (policy_ != nullptr) {
     if (telemetry_ != nullptr) {
       obs::NodeMetrics& host = telemetry_->metrics().ForNode(~0u, "host");
@@ -983,8 +999,10 @@ void Simulation::Shutdown() {
             .Inc(owned_checker_->violation_count());
       }
     }
-    if (owned_policy_ != nullptr && owned_checker_ != nullptr &&
-        owned_checker_->violation_count() > 0) {
+    if (owned_policy_ != nullptr &&
+        ((owned_checker_ != nullptr &&
+          owned_checker_->violation_count() > 0) ||
+         (owned_lin_ != nullptr && owned_lin_->violation_count() > 0))) {
       static int trace_seq = 0;
       std::string path = "explore_trace.json";
       if (const char* out = std::getenv("RSTORE_EXPLORE_OUT");
@@ -1019,7 +1037,25 @@ void Simulation::Shutdown() {
     }
     std::abort();
   }
+  // Environment-attached lin checker: same contract as rcheck above.
+  if (owned_lin_ != nullptr && owned_lin_->violation_count() > 0) {
+    owned_lin_->PrintReports(std::cerr);
+    static int lin_dump_seq = 0;
+    std::string path = "rlin_report.json";
+    if (const char* out = std::getenv("RSTORE_RLIN_OUT");
+        out != nullptr && *out != '\0') {
+      path = std::string(out) + "/rlin-" + std::to_string(getpid()) + "-" +
+             std::to_string(lin_dump_seq++) + ".json";
+    }
+    std::ofstream f(path);
+    if (f.is_open()) {
+      owned_lin_->DumpJson(f);
+      std::cerr << "rlin: counterexample written to " << path << '\n';
+    }
+    std::abort();
+  }
   checker_ = nullptr;
+  lin_ = nullptr;
   // Detach telemetry last: teardown may still log, and the hooks capture
   // `this`.
   AttachTelemetry(nullptr);

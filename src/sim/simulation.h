@@ -65,6 +65,7 @@ class Telemetry;
 
 namespace rstore::check {
 class Checker;
+class LinChecker;
 }  // namespace rstore::check
 
 namespace rstore::explore {
@@ -372,6 +373,20 @@ class Simulation {
   void AttachChecker(check::Checker* checker);
   [[nodiscard]] check::Checker* checker() const noexcept { return checker_; }
 
+  // Connects the rlin linearizability checker (src/check/lin.h). Another
+  // observe-only oracle: capture sites in the RKV client and the load
+  // engine record per-op histories into it; recording is pure host-side
+  // computation, so virtual time is bit-identical with it on or off.
+  // Owned by the caller; pass nullptr to detach. When the RSTORE_RLIN
+  // environment variable is set (and not "0"), the constructor attaches
+  // an owned checker automatically and Shutdown() finalizes it, prints
+  // reports, dumps them as JSON (into $RSTORE_RLIN_OUT or
+  // ./rlin_report.json), and aborts on any violation — the CI gate. Like
+  // rcheck, an attached lin checker serializes epoch dispatch in
+  // partitioned mode so capture sites record in one global order.
+  void AttachLinChecker(check::LinChecker* lin);
+  [[nodiscard]] check::LinChecker* lin() const noexcept { return lin_; }
+
   // Connects a schedule-exploration policy (src/explore). Unlike telemetry
   // and the checker, a policy is an *input*: it decides scheduler
   // tie-breaks (equal-vtime event order, CondVar waiter wake order), NIC
@@ -494,6 +509,8 @@ class Simulation {
   obs::Telemetry* telemetry_ = nullptr;
   check::Checker* checker_ = nullptr;
   std::unique_ptr<check::Checker> owned_checker_;  // RSTORE_RCHECK=1 mode
+  check::LinChecker* lin_ = nullptr;
+  std::unique_ptr<check::LinChecker> owned_lin_;  // RSTORE_RLIN=1 mode
   explore::SchedulePolicy* policy_ = nullptr;
   std::unique_ptr<explore::SchedulePolicy> owned_policy_;  // RSTORE_EXPLORE
   // Pooled scratch for ExploreTieBreak / CondVar waiter picks — only ever

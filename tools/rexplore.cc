@@ -9,9 +9,10 @@
 //
 // Exit status: 0 = clean, 1 = a violation was found/reproduced, 2 = usage
 // or I/O error. `run` writes the *minimized* trace of the first violation
-// to --out; `replay` re-executes a trace and prints the rcheck report;
-// `minimize` shrinks an existing trace against the violations it
-// reproduces.
+// to --out (and, when rlin fired, the linearizability counterexample to
+// <out>.rlin.json — render it with tools/rlin); `replay` re-executes a
+// trace and prints both oracle reports; `minimize` shrinks an existing
+// trace against the violations it reproduces.
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -149,6 +150,21 @@ bool SaveTrace(const std::string& path, const DecisionTrace& trace) {
   return true;
 }
 
+// Writes the rlin counterexample JSON (if any) next to a saved trace so CI
+// can upload it and operators can render it with tools/rlin.
+void SaveLinReport(const std::string& trace_path, const RunOutcome& o) {
+  if (o.lin_report_json.empty()) return;
+  const std::string path = trace_path + ".rlin.json";
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    std::fprintf(stderr, "rexplore: cannot write '%s'\n", path.c_str());
+    return;
+  }
+  f << o.lin_report_json;
+  std::printf("rlin counterexample written to %s (render with: rlin %s)\n",
+              path.c_str(), path.c_str());
+}
+
 void PrintOutcome(const RunOutcome& o) {
   std::printf("  choices=%llu divergences=%llu violations=%zu vtime=%llu\n",
               static_cast<unsigned long long>(o.choices),
@@ -200,6 +216,7 @@ int CmdRun(const Flags& f) {
     std::printf("repro trace written to %s (replay with: rexplore replay "
                 "--trace=%s)\n",
                 out.c_str(), out.c_str());
+    SaveLinReport(out, report.violating);
   }
   return 1;
 }
@@ -215,6 +232,7 @@ int CmdReplay(const Flags& f) {
               trace.policy.c_str(), std::string(w->name).c_str());
   const RunOutcome o = Explorer::Replay(w->workload, trace);
   PrintOutcome(o);
+  if (!f.out_path.empty()) SaveLinReport(f.out_path, o);
   if (o.divergences > 0) {
     std::printf("warning: %llu divergences — the workload no longer matches "
                 "this trace\n",

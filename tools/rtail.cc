@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "obs/trace_check.h"
+#include "obs/json.h"
 
 namespace {
 
