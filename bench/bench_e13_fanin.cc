@@ -84,7 +84,7 @@ constexpr uint32_t kClients = 4;
 FaninPoint RunFanin(const load::LoadOptions& base, double offered,
                     double theta, uint32_t sessions, bool admission,
                     char mix, uint32_t host_threads = 0) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(rdet-wallclock) harness wall-time
 
   load::LoadOptions opts = base;
   opts.offered_load = offered;
@@ -190,6 +190,7 @@ FaninPoint RunFanin(const load::LoadOptions& base, double offered,
   p.virtual_nanos = cluster.sim().NowNanos();
   p.events = cluster.sim().events_processed();
   p.wall_seconds =
+      // NOLINTNEXTLINE(rdet-wallclock): harness wall-time
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return p;

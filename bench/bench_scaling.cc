@@ -47,7 +47,7 @@ ScalePoint RunScaleWorkload(uint32_t machines, uint32_t host_threads) {
   constexpr uint64_t kSlab = 256ULL << 10;
   const uint64_t region_bytes = servers * kSlab;  // one slab per server
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(rdet-wallclock) harness wall-time
 
   core::ClusterConfig cfg;
   cfg.memory_servers = servers;
@@ -112,6 +112,7 @@ ScalePoint RunScaleWorkload(uint32_t machines, uint32_t host_threads) {
   p.events = cluster.sim().events_processed();
   p.virtual_nanos = cluster.sim().NowNanos();
   p.wall_seconds =
+      // NOLINTNEXTLINE(rdet-wallclock): harness wall-time
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return p;

@@ -55,7 +55,7 @@ WallclockResult RunSaturationWorkload(uint32_t host_threads = 0) {
   constexpr uint64_t kScatterBytes = 4096;
   constexpr int kAtomicOps = 32;
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(rdet-wallclock) harness wall-time
 
   core::ClusterConfig cfg;
   cfg.memory_servers = kMachines;
@@ -126,6 +126,7 @@ WallclockResult RunSaturationWorkload(uint32_t host_threads = 0) {
   r.virtual_nanos = cluster.sim().NowNanos();
   r.virtual_seconds = sim::ToSeconds(cluster.sim().NowNanos());
   r.wall_seconds =
+      // NOLINTNEXTLINE(rdet-wallclock): harness wall-time
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return r;

@@ -191,18 +191,23 @@ void RegionCache::DropPage(uint64_t region_id, uint64_t page) {
 }
 
 void RegionCache::DropRegion(uint64_t region_id) {
-  for (auto it = index_.begin(); it != index_.end();) {
-    if (it->first.region_id == region_id) {
-      Frame* frame = it->second;
-      it = index_.erase(it);
-      LruUnlink(frame);
-      frame->resident = false;
-      free_.push_back(frame);
-      ++stats_.invalidations;
-      if (on_evict_) on_evict_(frame->region_id, frame->page);
-    } else {
-      ++it;
-    }
+  // Drop in page order, not hash order: the evict observer feeds the
+  // rcheck layer, and the free list decides future frame reuse — both
+  // must be deterministic across runs.
+  std::vector<Frame*> victims;
+  // rdet:order-independent (collect, then sort)
+  for (const auto& [key, frame] : index_) {
+    if (key.region_id == region_id) victims.push_back(frame);
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Frame* a, const Frame* b) { return a->page < b->page; });
+  for (Frame* frame : victims) {
+    index_.erase(PageKey{frame->region_id, frame->page});
+    LruUnlink(frame);
+    frame->resident = false;
+    free_.push_back(frame);
+    ++stats_.invalidations;
+    if (on_evict_) on_evict_(frame->region_id, frame->page);
   }
 }
 

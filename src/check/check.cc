@@ -290,7 +290,15 @@ void Checker::CheckCacheContract(const PendingOp& op) {
         [&](const std::unordered_map<uint32_t, IntervalSet>& sets,
             const char* contract, const char* holder_label,
             const char* why) {
-          for (const auto& [holder, set] : sets) {
+          // Violation emission order is part of the deterministic run
+          // output; visit holders in id order, not hash order.
+          std::vector<uint32_t> holders;
+          holders.reserve(sets.size());
+          // rdet:order-independent (collect, then sort)
+          for (const auto& [holder, set] : sets) holders.push_back(holder);
+          std::sort(holders.begin(), holders.end());
+          for (const uint32_t holder : holders) {
+            const IntervalSet& set = sets.at(holder);
             if (holder == op.initiator) continue;
             uint64_t vlo = 0;
             uint64_t vhi = 0;
@@ -451,8 +459,17 @@ void Checker::OnObserve(uint32_t ref, uint32_t node, bool recv_side,
 }
 
 void Checker::OnDeregister(uint32_t node, uint64_t lo, uint64_t hi) {
-  for (auto& [ref, op] : pending_) {
-    if (op.initiator != node || op.settled) continue;
+  // Violation emission order is part of the deterministic run output;
+  // visit pending ops in ref order, not hash order.
+  std::vector<uint32_t> refs;
+  refs.reserve(pending_.size());
+  // rdet:order-independent (collect, then sort)
+  for (const auto& [ref, op] : pending_) {
+    if (op.initiator == node && !op.settled) refs.push_back(ref);
+  }
+  std::sort(refs.begin(), refs.end());
+  for (const uint32_t ref : refs) {
+    const PendingOp& op = pending_.at(ref);
     for (const LocalRange& r : op.sges) {
       if (r.hi <= lo || r.lo >= hi) continue;
       Violation v;
@@ -526,11 +543,20 @@ void Checker::OnRegionFree(uint64_t region_id) {
 
 void Checker::OnRegionGrow(uint64_t region_id, uint32_t master_node) {
   auto rit = regions_.find(region_id);
+  // Violation emission order is part of the deterministic run output;
+  // visit pending ops in ref order, not hash order.
+  std::vector<uint32_t> refs;
+  refs.reserve(pending_.size());
+  // rdet:order-independent (collect, then sort)
   for (const auto& [ref, op] : pending_) {
-    if (op.region_id != region_id || op.settled ||
-        op.cls == OpClass::kMessage) {
-      continue;
+    if (op.region_id == region_id && !op.settled &&
+        op.cls != OpClass::kMessage) {
+      refs.push_back(ref);
     }
+  }
+  std::sort(refs.begin(), refs.end());
+  for (const uint32_t ref : refs) {
+    const PendingOp& op = pending_.at(ref);
     Violation v;
     v.type = ViolationType::kGrowRace;
     v.target_node = op.target;

@@ -354,6 +354,7 @@ void LinChecker::Finalize() {
 
   std::vector<uint64_t> keys;
   keys.reserve(by_key.size());
+  // rdet:order-independent (collect, then sort)
   for (const auto& [key, ops] : by_key) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
 

@@ -31,6 +31,9 @@ uint64_t NowNanos() {
   if (g_now) return g_now();
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // Host-process fallback for log timestamps when no virtual-time
+          // source is installed; never feeds simulation state.
+          // NOLINTNEXTLINE(rdet-wallclock)
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

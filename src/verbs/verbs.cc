@@ -224,7 +224,9 @@ Status ProtectionDomain::DeregisterMemory(MemoryRegion* mr) {
   // Look the region up by pointer identity rather than by reading keys
   // through `mr`: a double-deregister hands in a dangling pointer, which
   // must be rejected without ever being dereferenced. Registered-region
-  // counts are small, so the scan is cheap.
+  // counts are small, so the scan is cheap. Visit order cannot leak: at
+  // most one entry matches, and nothing else observes the walk.
+  // rdet:order-independent (unique match, erase-and-return)
   for (auto it = dev.mrs_by_lkey_.begin(); it != dev.mrs_by_lkey_.end();
        ++it) {
     if (it->second.get() == mr) {

@@ -1,0 +1,223 @@
+// Edge-case tests for the shared JSON parser (src/obs/json.h). Every
+// downstream consumer — trace_check, rcheck_report, rtail, rlin — trusts
+// this parser with machine-generated input plus whatever a human hands
+// the CLI tools, so hostile/degenerate input must fail with a clean
+// Status, never crash, hang, or blow the stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+
+namespace rstore::obs {
+namespace {
+
+// ------------------------------------------------------------- escapes --
+
+TEST(JsonEscapes, SimpleEscapesDecode) {
+  const auto r = ParseJson(R"("a\nb\tc\rd\be\ff\"g\\h\/i")");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->str, "a\nb\tc\rd\be\ff\"g\\h/i");
+}
+
+TEST(JsonEscapes, UnicodeEscapeKeptVerbatim) {
+  // Documented contract: \uXXXX is preserved as its escape text, so
+  // writers that emit only ASCII round-trip exactly.
+  const auto r = ParseJson(R"("pre\u0041post")");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->str, "pre\\u0041post");
+}
+
+TEST(JsonEscapes, DanglingBackslashFails) {
+  const auto r = ParseJson("\"abc\\");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(JsonEscapes, ShortUnicodeEscapeFails) {
+  EXPECT_FALSE(ParseJson("\"\\u12\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\u123").ok());
+}
+
+TEST(JsonEscapes, UnknownEscapeFails) {
+  const auto r = ParseJson(R"("\q")");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown escape"), std::string::npos);
+}
+
+TEST(JsonEscapes, UnterminatedStringFails) {
+  EXPECT_FALSE(ParseJson("\"never closed").ok());
+  EXPECT_FALSE(ParseJson("\"").ok());
+}
+
+// ------------------------------------------------------------- nesting --
+
+std::string Nested(int depth, char open, char close) {
+  std::string s;
+  s.append(static_cast<size_t>(depth), open);
+  s.append(static_cast<size_t>(depth), close);
+  return s;
+}
+
+TEST(JsonNesting, ModerateDepthParses) {
+  const auto r = ParseJson(Nested(60, '[', ']'));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->Is(JsonValue::Type::kArray));
+}
+
+TEST(JsonNesting, ExcessiveDepthFailsCleanly) {
+  // The depth cap must kick in as a Status long before the recursion
+  // could threaten the stack.
+  const auto arr = ParseJson(Nested(100000, '[', ']'));
+  ASSERT_FALSE(arr.ok());
+  EXPECT_NE(arr.status().message().find("nesting too deep"),
+            std::string::npos);
+
+  std::string obj;
+  for (int i = 0; i < 100000; ++i) obj += "{\"k\":";
+  obj += "0";
+  for (int i = 0; i < 100000; ++i) obj += "}";
+  EXPECT_FALSE(ParseJson(obj).ok());
+}
+
+TEST(JsonNesting, DepthCapBoundaryIsExact) {
+  // ParseValue admits depth <= 64; the document nesting the cap allows
+  // must parse and one level deeper must not, so the cap can't drift
+  // silently.
+  int deepest_ok = 0;
+  for (int d = 1; d <= 70; ++d) {
+    if (ParseJson(Nested(d, '[', ']')).ok()) deepest_ok = d;
+  }
+  EXPECT_EQ(deepest_ok, 65);  // depth counter starts at 0 => 65 brackets
+}
+
+// ------------------------------------------------------------- numbers --
+
+TEST(JsonNumbers, OrdinaryForms) {
+  EXPECT_DOUBLE_EQ(ParseJson("0")->number, 0.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-0.5e3")->number, -500.0);
+  EXPECT_DOUBLE_EQ(ParseJson("1E2")->number, 100.0);
+}
+
+TEST(JsonNumbers, OverlongNumberDoesNotCrash) {
+  // 1 followed by 400 zeros overflows double; strtod saturates to
+  // infinity and the parse either succeeds with inf or fails — both are
+  // acceptable, crashing or mangling memory is not.
+  std::string huge = "1";
+  huge.append(400, '0');
+  const auto r = ParseJson(huge);
+  if (r.ok()) {
+    EXPECT_TRUE(std::isinf(r->number));
+  }
+
+  const auto exp = ParseJson("1e999999");
+  if (exp.ok()) {
+    EXPECT_TRUE(std::isinf(exp->number));
+  }
+
+  std::string digits;
+  digits.append(100000, '9');
+  const auto wide = ParseJson(digits);
+  if (wide.ok()) {
+    EXPECT_TRUE(std::isinf(wide->number));
+  }
+}
+
+TEST(JsonNumbers, MalformedNumbersFail) {
+  for (const char* bad : {"1.2.3", "--1", "+", "-", ".", "1e", "1e+",
+                          "0x10", "1..e", "e9"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << bad;
+  }
+}
+
+// ----------------------------------------------------- truncation fuzz --
+
+TEST(JsonTruncation, EveryPrefixFailsCleanly) {
+  // Chop a representative document at every byte boundary. Prefixes that
+  // happen to stay valid (e.g. "12" of "123") may parse; everything else
+  // must return a Status. The assertion is simply that we get an answer.
+  const std::string doc =
+      R"({"spans":[{"name":"op","ts":1.5,"ok":true,"tags":null},)"
+      R"({"name":"q\"x","ts":-2e3,"deep":[[[{"k":"v"}]]]}],"n":3})";
+  ASSERT_TRUE(ParseJson(doc).ok());
+  for (size_t len = 0; len < doc.size(); ++len) {
+    const auto r = ParseJson(std::string_view(doc).substr(0, len));
+    if (r.ok()) {
+      // Only a complete scalar prefix could legitimately parse; a doc
+      // starting with '{' never has a valid proper prefix.
+      ADD_FAILURE() << "prefix of length " << len << " parsed";
+    }
+  }
+}
+
+TEST(JsonTruncation, SingleByteCorruptionDoesNotCrash) {
+  const std::string doc = R"({"a":[1,true,"x\n"],"b":{"c":null}})";
+  ASSERT_TRUE(ParseJson(doc).ok());
+  for (size_t i = 0; i < doc.size(); ++i) {
+    for (const char c : {'\\', '"', '{', '}', '[', ']', ',', ':', '\0',
+                         '\x7f'}) {
+      std::string mutated = doc;
+      mutated[i] = c;
+      (void)ParseJson(mutated);  // any Status is fine; crashing is not
+    }
+  }
+}
+
+TEST(JsonTruncation, EmptyAndWhitespaceOnlyFail) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("   \t\n  ").ok());
+}
+
+TEST(JsonTruncation, TrailingGarbageFails) {
+  const auto r = ParseJson("{} x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing"), std::string::npos);
+}
+
+// ------------------------------------------------------------- objects --
+
+TEST(JsonObjects, DuplicateKeysLastWins) {
+  const auto r = ParseJson(R"({"k":1,"k":2})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->object.size(), 2u);  // insertion order preserved
+  const JsonValue* v = r->Find("k");
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->number, 2.0);
+}
+
+TEST(JsonObjects, MissingColonOrCommaFails) {
+  EXPECT_FALSE(ParseJson(R"({"k" 1})").ok());
+  EXPECT_FALSE(ParseJson(R"({"k":1 "j":2})").ok());
+  EXPECT_FALSE(ParseJson(R"({1:2})").ok());
+  EXPECT_FALSE(ParseJson(R"([1 2])").ok());
+}
+
+// ---------------------------------------------------------------- file --
+
+TEST(JsonFile, MissingFileIsNotFound) {
+  const auto r = ParseJsonFile("/nonexistent/rstore-json-test");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+}
+
+TEST(JsonFile, RoundTripsThroughDisk) {
+  const std::string path = testing::TempDir() + "json_test_roundtrip.json";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string doc = R"({"a":[1,2,3],"b":"x"})";
+    ASSERT_EQ(std::fwrite(doc.data(), 1, doc.size(), f), doc.size());
+    std::fclose(f);
+  }
+  const auto r = ParseJsonFile(path);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const JsonValue* a = r->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->array.size(), 3u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rstore::obs

@@ -1,0 +1,324 @@
+// Clang AST-matcher engine for rdet. Compiled only when Clang dev headers
+// are available (see tools/rdet/CMakeLists.txt); the CI rdet job builds it
+// against the pinned distro LLVM. Where the token engine approximates
+// container types with a cross-file declaration table, this engine
+// resolves them through the AST, sees through typedefs/auto, and matches
+// through macro expansions. Findings are reported raw; the shared
+// pipeline in rdet_core.cc applies scopes, inline suppressions, and the
+// allowlist so both engines have identical suppression semantics.
+//
+// API surface is kept to what is stable across LLVM 14..18:
+// CommonOptionsParser-free ClangTool construction, MatchFinder, and
+// ArgumentsAdjusters.
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/Diagnostic.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Tooling/ArgumentsAdjusters.h"
+#include "clang/Tooling/CompilationDatabase.h"
+#include "clang/Tooling/Tooling.h"
+#include "llvm/Support/raw_ostream.h"
+
+#include "rdet.h"
+
+namespace rdet {
+namespace {
+
+using namespace clang;              // NOLINT
+using namespace clang::ast_matchers;  // NOLINT
+
+struct CheckSpec {
+  Check check;
+  std::string message;
+  std::string note;
+};
+
+class Collector : public MatchFinder::MatchCallback {
+ public:
+  explicit Collector(std::vector<Finding>& out) : out_(out) {}
+
+  void Register(const std::string& bind_id, CheckSpec spec) {
+    specs_[bind_id] = std::move(spec);
+  }
+
+  void run(const MatchFinder::MatchResult& result) override {
+    const SourceManager& sm = *result.SourceManager;
+    for (const auto& [id, spec] : specs_) {
+      SourceLocation loc;
+      if (const auto* stmt = result.Nodes.getNodeAs<Stmt>(id)) {
+        loc = stmt->getBeginLoc();
+      } else if (const auto* decl = result.Nodes.getNodeAs<Decl>(id)) {
+        loc = decl->getBeginLoc();
+      } else if (const auto* tl = result.Nodes.getNodeAs<TypeLoc>(id)) {
+        loc = tl->getBeginLoc();
+      } else {
+        continue;
+      }
+      if (loc.isInvalid()) continue;
+      const SourceLocation expansion = sm.getExpansionLoc(loc);
+      if (sm.isInSystemHeader(expansion)) continue;
+      const FileEntry* fe =
+          sm.getFileEntryForID(sm.getFileID(expansion));
+      if (fe == nullptr) continue;
+      Finding fd;
+      fd.check = spec.check;
+      llvm::StringRef real = fe->tryGetRealPathName();
+      fd.file = real.empty() ? std::string(fe->getName()) : real.str();
+      fd.line = static_cast<int>(sm.getExpansionLineNumber(expansion));
+      fd.col = static_cast<int>(sm.getExpansionColumnNumber(expansion));
+      fd.message = spec.message;
+      if (!spec.note.empty()) fd.notes.push_back(spec.note);
+      out_.push_back(std::move(fd));
+    }
+  }
+
+ private:
+  std::vector<Finding>& out_;
+  std::map<std::string, CheckSpec> specs_;
+};
+
+void AddMatchers(MatchFinder& finder, Collector& cb,
+                 const Options& opts) {
+  const auto enabled = [&](Check c) {
+    return opts.enabled[static_cast<size_t>(c)];
+  };
+
+  // --- rdet-wallclock ------------------------------------------------------
+  if (enabled(Check::kWallclock)) {
+    cb.Register("wallclock",
+                {Check::kWallclock,
+                 "wall-clock time source — host time is nondeterministic "
+                 "across runs and hosts",
+                 "use the simulation's virtual clock (sim::Simulation::Now) "
+                 "for anything sim-visible; annotate host-side measurement "
+                 "harnesses with // NOLINT(rdet-wallclock) and a rationale"});
+    const auto clock_class = cxxRecordDecl(
+        hasAnyName("::std::chrono::system_clock", "::std::chrono::steady_clock",
+                   "::std::chrono::high_resolution_clock"));
+    finder.addMatcher(
+        callExpr(callee(cxxMethodDecl(hasName("now"), ofClass(clock_class))),
+                 unless(isExpansionInSystemHeader()))
+            .bind("wallclock"),
+        &cb);
+    finder.addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::gettimeofday", "::clock_gettime", "::time",
+                     "::timespec_get", "::ftime", "::localtime", "::gmtime",
+                     "::mktime", "__rdtsc", "__rdtscp",
+                     "__builtin_readcyclecounter", "__builtin_ia32_rdtsc"))),
+                 unless(isExpansionInSystemHeader()))
+            .bind("wallclock"),
+        &cb);
+    finder.addMatcher(
+        typeLoc(loc(qualType(hasDeclaration(clock_class))),
+                unless(isExpansionInSystemHeader()))
+            .bind("wallclock"),
+        &cb);
+  }
+
+  // --- rdet-unseeded-random ------------------------------------------------
+  if (enabled(Check::kUnseededRandom)) {
+    cb.Register("random",
+                {Check::kUnseededRandom,
+                 "unseeded randomness source — draws differ on every run",
+                 "construct a seeded generator instead (common/rng.h "
+                 "Rng(seed), or std::mt19937 with an explicit seed)"});
+    finder.addMatcher(
+        typeLoc(loc(qualType(hasDeclaration(
+                    cxxRecordDecl(hasName("::std::random_device"))))),
+                unless(isExpansionInSystemHeader()))
+            .bind("random"),
+        &cb);
+    finder.addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::rand", "::srand", "::random", "::srandom", "::drand48",
+                     "::lrand48", "::mrand48", "::arc4random",
+                     "::arc4random_uniform", "::arc4random_buf",
+                     "::getentropy", "::getrandom"))),
+                 unless(isExpansionInSystemHeader()))
+            .bind("random"),
+        &cb);
+  }
+
+  // --- rdet-unordered-iter -------------------------------------------------
+  if (enabled(Check::kUnorderedIter)) {
+    cb.Register(
+        "uiter",
+        {Check::kUnorderedIter,
+         "iteration over an unordered container — iteration order is "
+         "implementation-defined and leaks into anything it feeds",
+         "if every iteration is provably order-independent, annotate the "
+         "loop with // rdet:order-independent; otherwise iterate keys in "
+         "sorted order or switch to an ordered container"});
+    const auto unordered_type = qualType(hasUnqualifiedDesugaredType(
+        recordType(hasDeclaration(classTemplateSpecializationDecl(hasAnyName(
+            "::std::unordered_map", "::std::unordered_set",
+            "::std::unordered_multimap", "::std::unordered_multiset"))))));
+    finder.addMatcher(
+        cxxForRangeStmt(hasRangeInit(expr(ignoringParenImpCasts(
+                            expr(hasType(unordered_type))))),
+                        unless(isExpansionInSystemHeader()))
+            .bind("uiter"),
+        &cb);
+    finder.addMatcher(
+        forStmt(hasLoopInit(declStmt(hasSingleDecl(varDecl(hasInitializer(
+                    ignoringImplicit(cxxMemberCallExpr(
+                        callee(cxxMethodDecl(hasAnyName("begin", "cbegin"))),
+                        on(expr(hasType(unordered_type)))))))))),
+                unless(isExpansionInSystemHeader()))
+            .bind("uiter"),
+        &cb);
+  }
+
+  // --- rdet-ptr-order ------------------------------------------------------
+  if (enabled(Check::kPtrOrder)) {
+    cb.Register("ptrhash",
+                {Check::kPtrOrder,
+                 "std::hash over a raw pointer — hashes the address, which "
+                 "differs run to run (ASLR) and orders buckets "
+                 "nondeterministically",
+                 "hash a stable identity (id, name, offset) instead"});
+    finder.addMatcher(
+        typeLoc(loc(qualType(hasUnqualifiedDesugaredType(
+                    recordType(hasDeclaration(classTemplateSpecializationDecl(
+                        hasName("::std::hash"),
+                        hasTemplateArgument(0,
+                                            refersToType(pointerType())))))))),
+                unless(isExpansionInSystemHeader()))
+            .bind("ptrhash"),
+        &cb);
+
+    cb.Register("ptrorder",
+                {Check::kPtrOrder,
+                 "pointer value cast to an integer and fed to an "
+                 "ordering/serialization/output sink — addresses differ run "
+                 "to run",
+                 "derive ordering and output from stable identities (ids, "
+                 "region offsets), never from addresses"});
+    const auto ptr_to_int = cxxReinterpretCastExpr(
+        hasDestinationType(isInteger()),
+        hasSourceExpression(hasType(pointerType())));
+    finder.addMatcher(
+        cxxReinterpretCastExpr(
+            ptr_to_int,
+            anyOf(hasAncestor(callExpr(callee(functionDecl(hasAnyName(
+                      "sort", "stable_sort", "nth_element", "partial_sort",
+                      "min_element", "max_element", "lower_bound",
+                      "upper_bound", "binary_search", "Append", "AppendJson",
+                      "arg", "Arg", "AddArg", "Note", "Trace", "Span",
+                      "Record", "Emit", "Print", "printf", "fprintf",
+                      "snprintf", "sprintf", "Serialize", "Encode", "Str",
+                      "U32", "U64", "Hash", "hash", "Mix", "Combine",
+                      "Key"))))),
+                  hasParent(binaryOperator(anyOf(
+                      hasOperatorName("<"), hasOperatorName(">"),
+                      hasOperatorName("<="), hasOperatorName(">="),
+                      hasOperatorName("<<"))))),
+            unless(isExpansionInSystemHeader()))
+            .bind("ptrorder"),
+        &cb);
+  }
+
+  // --- rdet-ptr-key --------------------------------------------------------
+  if (enabled(Check::kPtrKey)) {
+    cb.Register("ptrkey",
+                {Check::kPtrKey,
+                 "ordered container keyed by a raw pointer — comparison "
+                 "order is the address order, which differs run to run",
+                 "key by a stable identity, or use an unordered container "
+                 "and never iterate it into sim-visible state"});
+    finder.addMatcher(
+        typeLoc(loc(qualType(hasUnqualifiedDesugaredType(
+                    recordType(hasDeclaration(classTemplateSpecializationDecl(
+                        hasAnyName("::std::map", "::std::set",
+                                   "::std::multimap", "::std::multiset"),
+                        hasTemplateArgument(0,
+                                            refersToType(pointerType())))))))),
+                unless(isExpansionInSystemHeader()))
+            .bind("ptrkey"),
+        &cb);
+  }
+
+  // --- rdet-blocking -------------------------------------------------------
+  if (enabled(Check::kBlocking)) {
+    cb.Register("blocking",
+                {Check::kBlocking,
+                 "blocking call / file IO in simulation-reachable code",
+                 "simulation callbacks must not block on host time or host "
+                 "IO; if this is a report-dump or CLI path, add it to "
+                 "tools/rdet/rdet-allow.txt with a rationale"});
+    finder.addMatcher(
+        callExpr(callee(functionDecl(hasAnyName(
+                     "::sleep", "::usleep", "::nanosleep", "::fopen",
+                     "::freopen", "::fread", "::fwrite", "::fgets", "::fputs",
+                     "::fscanf", "::fclose", "::system", "::popen", "::fork",
+                     "::std::this_thread::sleep_for",
+                     "::std::this_thread::sleep_until"))),
+                 unless(isExpansionInSystemHeader()))
+            .bind("blocking"),
+        &cb);
+    // `std::ifstream` & co are typedefs; desugar to the basic_* records.
+    finder.addMatcher(
+        typeLoc(loc(qualType(hasUnqualifiedDesugaredType(recordType(
+                    hasDeclaration(classTemplateSpecializationDecl(hasAnyName(
+                        "::std::basic_ifstream", "::std::basic_ofstream",
+                        "::std::basic_fstream"))))))),
+                unless(isExpansionInSystemHeader()))
+            .bind("blocking"),
+        &cb);
+  }
+}
+
+}  // namespace
+
+bool ClangEngineAvailable() { return true; }
+
+bool RunClangEngine(const Options& opts, const std::vector<std::string>& tus,
+                    std::vector<Finding>& out, std::string& error) {
+  std::unique_ptr<tooling::CompilationDatabase> db;
+  if (!opts.compile_commands_dir.empty()) {
+    std::string load_error;
+    db = tooling::CompilationDatabase::autoDetectFromDirectory(
+        opts.compile_commands_dir, load_error);
+    if (!db) {
+      error = "cannot load compile_commands.json from " +
+              opts.compile_commands_dir + ": " + load_error;
+      return false;
+    }
+  } else {
+    // Self-contained sources (fixture mode): a fixed command line.
+    db = std::make_unique<tooling::FixedCompilationDatabase>(
+        ".", std::vector<std::string>{"-std=c++20"});
+  }
+
+  tooling::ClangTool tool(*db, tus);
+#ifdef RDET_CLANG_RESOURCE_DIR
+  tool.appendArgumentsAdjuster(tooling::getInsertArgumentAdjuster(
+      {"-resource-dir", RDET_CLANG_RESOURCE_DIR},
+      tooling::ArgumentInsertPosition::END));
+#endif
+  // The engine only needs the AST; compiler warnings are clang-vs-gcc
+  // noise here (the real builds keep -Wall -Wextra).
+  tool.appendArgumentsAdjuster(tooling::getInsertArgumentAdjuster(
+      "-Wno-everything", tooling::ArgumentInsertPosition::END));
+  IgnoringDiagConsumer quiet;
+  tool.setDiagnosticConsumer(&quiet);
+
+  Collector cb(out);
+  MatchFinder finder;
+  AddMatchers(finder, cb, opts);
+  const int rc =
+      tool.run(tooling::newFrontendActionFactory(&finder).get());
+  // rc==1 means some TU failed to parse completely; matches from the
+  // parts that did parse were still collected. Only a hard tool failure
+  // (no compilation database entries at all) is fatal.
+  (void)rc;
+  return true;
+}
+
+}  // namespace rdet

@@ -1,0 +1,17 @@
+// Stub compiled when Clang dev headers are unavailable at configure time
+// (see tools/rdet/CMakeLists.txt). The token engine is the fallback; the
+// CI rdet job builds the real engine against the pinned distro LLVM.
+#include "rdet.h"
+
+namespace rdet {
+
+bool ClangEngineAvailable() { return false; }
+
+bool RunClangEngine(const Options& /*opts*/,
+                    const std::vector<std::string>& /*tus*/,
+                    std::vector<Finding>& /*out*/, std::string& error) {
+  error = "rdet was built without Clang dev headers";
+  return false;
+}
+
+}  // namespace rdet

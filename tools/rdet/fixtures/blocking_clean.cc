@@ -1,0 +1,26 @@
+// rdet fixture: negative — simulation-style code: waits are virtual-time
+// events, "IO" is in-memory, reports accumulate for the shutdown dump
+// (which lives in an allowlisted path, not here).
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct EventQueue {
+  std::vector<std::pair<uint64_t, int>> events;
+  void ScheduleAt(uint64_t vt, int ev) { events.emplace_back(vt, ev); }
+};
+
+std::string RenderReport(int violations) {
+  return "violations=" + std::to_string(violations);
+}
+
+}  // namespace
+
+int main() {
+  EventQueue q;
+  q.ScheduleAt(10, 1);
+  return RenderReport(0).empty() ? 1 : 0;
+}

@@ -1,0 +1,44 @@
+// rdet fixture: rdet-blocking must fire on sleeps and file IO — in the
+// simulator's hot path these stall virtual time against the host.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+namespace {
+
+void NapMicros() {
+  usleep(100);  // expect-diag: rdet-blocking
+}
+
+void NapChrono() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // expect-diag: rdet-blocking
+}
+
+long CountBytes(const char* path) {
+  std::ifstream in(path);  // expect-diag: rdet-blocking
+  long n = 0;
+  while (in.get() != -1) ++n;
+  return n;
+}
+
+void Dump(const char* path) {
+  std::FILE* f = fopen(path, "w");  // expect-diag: rdet-blocking
+  if (f != nullptr) {
+    fputs("x", f);  // expect-diag: rdet-blocking
+    fclose(f);  // expect-diag: rdet-blocking
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    NapMicros();
+    NapChrono();
+    Dump(argv[1]);
+    return CountBytes(argv[1]) > 0 ? 0 : 1;
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// rdet fixture: negative — value keys in ordered containers and pointer
+// VALUES (not keys) are fine; keying by a stable id is the pattern the
+// check pushes people toward.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace {
+
+struct Node {
+  int id;
+};
+
+struct Tracker {
+  std::map<uint64_t, Node*> by_id_;
+  std::set<std::string> names_;
+};
+
+}  // namespace
+
+int main() {
+  Tracker t;
+  Node n{1};
+  t.by_id_.emplace(1, &n);
+  t.names_.insert("n1");
+  return static_cast<int>(t.by_id_.size() + t.names_.size()) == 2 ? 0 : 1;
+}

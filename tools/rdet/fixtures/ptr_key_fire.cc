@@ -1,0 +1,22 @@
+// rdet fixture: rdet-ptr-key must fire on raw-pointer keys in ordered
+// containers — the "ordered" iteration order is really allocation order.
+#include <map>
+#include <set>
+
+namespace {
+
+struct Node {
+  int id;
+};
+
+struct Tracker {
+  std::map<Node*, int> refcounts_;  // expect-diag: rdet-ptr-key
+  std::set<const Node*> live_;  // expect-diag: rdet-ptr-key
+};
+
+}  // namespace
+
+int main() {
+  Tracker t;
+  return static_cast<int>(t.refcounts_.size() + t.live_.size());
+}

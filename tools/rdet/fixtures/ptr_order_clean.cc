@@ -1,0 +1,31 @@
+// rdet fixture: negative — sorting by stable identity is fine, and a
+// pointer->integer cast that never reaches ordering or output (address
+// bookkeeping against a registered range) is fine.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+struct Session {
+  int id;
+};
+
+void SortById(std::vector<Session*>& sessions) {
+  std::sort(sessions.begin(), sessions.end(),
+            [](const Session* a, const Session* b) { return a->id < b->id; });
+}
+
+bool InRegisteredRange(const Session* s, uintptr_t lo, uintptr_t hi) {
+  const auto addr = reinterpret_cast<uintptr_t>(s);
+  return addr >= lo && addr < hi;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Session*> v;
+  SortById(v);
+  Session s{1};
+  return InRegisteredRange(&s, 0, ~uintptr_t{0}) ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// rdet fixture: rdet-ptr-order must fire when pointer values feed
+// ordering or hashing — heap layout then decides observable order.
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace {
+
+struct Session {
+  int id;
+};
+
+void SortByAddress(std::vector<Session*>& sessions) {
+  std::sort(sessions.begin(), sessions.end(), [](Session* a, Session* b) {
+    return reinterpret_cast<uintptr_t>(a) <  // expect-diag: rdet-ptr-order
+           reinterpret_cast<uintptr_t>(b);  // expect-diag: rdet-ptr-order
+  });
+}
+
+std::size_t HashAddress(Session* s) {
+  std::hash<Session*> hasher;  // expect-diag: rdet-ptr-order
+  return hasher(s);
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Session*> v;
+  SortByAddress(v);
+  Session s{1};
+  return HashAddress(&s) != 0 ? 0 : 1;
+}

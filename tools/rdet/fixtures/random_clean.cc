@@ -1,0 +1,29 @@
+// rdet fixture: negative — seeded, reproducible randomness is fine.
+#include <cstdint>
+#include <random>
+
+namespace {
+
+uint64_t DrawDeterministic(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint64_t> dist(0, 99);
+  return dist(rng);
+}
+
+// Hand-rolled xorshift seeded from config, in the style of common/rng.h.
+struct Mixer {
+  uint64_t state;
+  uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Mixer m{42};
+  return DrawDeterministic(7) + m.Next() > 0 ? 0 : 1;
+}

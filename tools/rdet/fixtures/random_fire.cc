@@ -1,0 +1,26 @@
+// rdet fixture: rdet-unseeded-random must fire on entropy sources that
+// are not derived from the run's seed.
+#include <cstdlib>
+#include <random>
+
+namespace {
+
+unsigned HostEntropySeed() {
+  std::random_device rd;  // expect-diag: rdet-unseeded-random
+  return rd();
+}
+
+int LibcRand() {
+  return rand();  // expect-diag: rdet-unseeded-random
+}
+
+void SeedLibc(unsigned s) {
+  srand(s);  // expect-diag: rdet-unseeded-random
+}
+
+}  // namespace
+
+int main() {
+  SeedLibc(1);
+  return static_cast<int>((HostEntropySeed() + LibcRand()) % 2);
+}

@@ -1,0 +1,47 @@
+// rdet fixture: negative — ordered containers are quiet, lookups into
+// unordered containers are quiet, and a hash-order loop whose body is
+// genuinely commutative is suppressible with rdet:order-independent.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace {
+
+struct Catalog {
+  std::map<int, int> ordered_;
+  std::unordered_map<int, int> index_;
+};
+
+int SumOrdered(const Catalog& c) {
+  int acc = 0;
+  for (const auto& [k, v] : c.ordered_) acc += k + v;
+  return acc;
+}
+
+int SumCommutative(const Catalog& c) {
+  int acc = 0;
+  // Integer sum is commutative, so hash order cannot leak out.
+  // rdet:order-independent
+  for (const auto& [k, v] : c.index_) acc += k + v;
+  return acc;
+}
+
+int Lookup(const Catalog& c, int k) {
+  auto it = c.index_.find(k);
+  return it == c.index_.end() ? 0 : it->second;
+}
+
+// The outer container decides iteration order: a vector of unordered
+// maps iterates deterministically even though `>>` closes both lists.
+int SumRows(const std::vector<std::unordered_map<int, int>>& rows) {
+  int n = 0;
+  for (const auto& row : rows) n += static_cast<int>(row.size());
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  Catalog c;
+  return SumOrdered(c) + SumCommutative(c) + Lookup(c, 1) + SumRows({});
+}

@@ -1,0 +1,48 @@
+// rdet fixture: rdet-unordered-iter must fire on loops whose visit order
+// depends on hashing (range-for and explicit iterator loops).
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace {
+
+struct Registry {
+  std::unordered_map<int, int> by_id_;
+  std::unordered_set<std::string> names_;
+};
+
+int SumRange(const Registry& r) {
+  int acc = 0;
+  for (const auto& [id, v] : r.by_id_) {  // expect-diag: rdet-unordered-iter
+    acc += id + v;
+  }
+  return acc;
+}
+
+int CountIter(const Registry& r) {
+  int n = 0;
+  // expect-diag: rdet-unordered-iter
+  for (auto it = r.names_.begin(); it != r.names_.end(); ++it) {
+    ++n;
+  }
+  return n;
+}
+
+// Nested template arguments close with a single `>>` token; the outer
+// container still decides iteration order.
+int SumNested() {
+  std::unordered_map<int, std::vector<int>> by_key;
+  int n = 0;
+  for (const auto& [key, vals] : by_key) {  // expect-diag: rdet-unordered-iter
+    n += key + static_cast<int>(vals.size());
+  }
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  Registry r;
+  return SumRange(r) + CountIter(r) + SumNested();
+}

@@ -1,0 +1,35 @@
+// rdet fixture: negative — virtual-time code is quiet, and host-side
+// harness measurement is suppressible with NOLINT / NOLINTNEXTLINE.
+#include <chrono>
+#include <cstdint>
+
+namespace {
+
+struct VirtualClock {
+  uint64_t now_ns = 0;
+  uint64_t Now() const { return now_ns; }
+  void Advance(uint64_t dt) { now_ns += dt; }
+};
+
+uint64_t Elapsed(const VirtualClock& clock) { return clock.Now(); }
+
+double HarnessWallSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(rdet-wallclock) host-side harness timing
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+double HarnessWallSeconds2() {
+  // NOLINTNEXTLINE(rdet-wallclock): host-side harness timing
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+}  // namespace
+
+int main() {
+  VirtualClock c;
+  c.Advance(5);
+  const bool ok = Elapsed(c) == 5 && HarnessWallSeconds() >= 0.0 &&
+                  HarnessWallSeconds2() >= 0.0;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// rdet fixture: rdet-wallclock must fire on every wall-clock source.
+// Simulation code must take time from the virtual clock, never the host.
+#include <chrono>
+#include <ctime>
+
+namespace {
+
+long long HostNanos() {
+  const auto now = std::chrono::steady_clock::now();  // expect-diag: rdet-wallclock
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long long HostSeconds() {
+  return static_cast<long long>(time(nullptr));  // expect-diag: rdet-wallclock
+}
+
+long long SystemNow() {
+  // expect-diag: rdet-wallclock
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long long CoarseClock() {
+  timespec ts{};
+  clock_gettime(0, &ts);  // expect-diag: rdet-wallclock
+  return ts.tv_sec;
+}
+
+}  // namespace
+
+int main() {
+  return HostNanos() + HostSeconds() + SystemNow() + CoarseClock() > 0 ? 0 : 1;
+}

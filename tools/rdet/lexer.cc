@@ -1,0 +1,321 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace rdet {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '$';
+}
+bool IsIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '$';
+}
+
+// Operators we want kept whole. Longest-match; everything else is emitted
+// one character at a time. Three-character operators decompose harmlessly
+// for our purposes (`<<=` -> `<<` `=`).
+constexpr std::string_view kTwoCharOps[] = {
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "++", "--", "+=", "-=", "*=", "/=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(LexedFile& f) : f_(f), s_(f.content) {}
+
+  void Run() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\n') {
+        Advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexDirective();
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentOrLiteralPrefix();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))) != 0)) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral();
+        continue;
+      }
+      LexPunct();
+    }
+    // Fill the line->has-code map.
+    f_.line_has_code.assign(static_cast<size_t>(line_ + 2), false);
+    for (const Token& t : f_.tokens) {
+      if (static_cast<size_t>(t.line) < f_.line_has_code.size()) {
+        f_.line_has_code[static_cast<size_t>(t.line)] = true;
+      }
+    }
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < s_.size() ? s_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (s_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void AdvanceN(size_t n) {
+    for (size_t i = 0; i < n && pos_ < s_.size(); ++i) Advance();
+  }
+
+  void Emit(TokKind kind, size_t start, int line, int col) {
+    f_.tokens.push_back(Token{kind,
+                              std::string_view(s_).substr(start, pos_ - start),
+                              line, col});
+  }
+
+  void LexLineComment() {
+    const int line = line_;
+    const bool owns = at_line_start_ || !LineHasCodeSoFar(line);
+    const size_t text_start = pos_ + 2;
+    while (pos_ < s_.size() && s_[pos_] != '\n') Advance();
+    f_.comments.push_back(Comment{
+        line, line, owns,
+        std::string_view(s_).substr(text_start, pos_ - text_start)});
+  }
+
+  void LexBlockComment() {
+    const int line = line_;
+    const bool owns = at_line_start_ || !LineHasCodeSoFar(line);
+    const size_t text_start = pos_ + 2;
+    AdvanceN(2);
+    size_t text_end = s_.size();
+    while (pos_ < s_.size()) {
+      if (s_[pos_] == '*' && Peek(1) == '/') {
+        text_end = pos_;
+        AdvanceN(2);
+        break;
+      }
+      Advance();
+    }
+    f_.comments.push_back(Comment{
+        line, line_, owns,
+        std::string_view(s_).substr(text_start, text_end - text_start)});
+  }
+
+  // Skips a preprocessor directive line (honoring backslash continuations),
+  // capturing `#include` targets on the way.
+  void LexDirective() {
+    Advance();  // '#'
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t')) {
+      Advance();
+    }
+    size_t name_start = pos_;
+    while (pos_ < s_.size() && IsIdentCont(s_[pos_])) Advance();
+    const std::string_view name =
+        std::string_view(s_).substr(name_start, pos_ - name_start);
+    if (name == "include") {
+      while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) {
+        Advance();
+      }
+      const char open = pos_ < s_.size() ? s_[pos_] : '\0';
+      const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+      if (close != '\0') {
+        Advance();
+        const size_t inc_start = pos_;
+        while (pos_ < s_.size() && s_[pos_] != close && s_[pos_] != '\n') {
+          Advance();
+        }
+        f_.includes.emplace_back(s_.substr(inc_start, pos_ - inc_start));
+      }
+    }
+    // Consume to end of line, honoring continuations and comments that
+    // could hide the newline.
+    while (pos_ < s_.size() && s_[pos_] != '\n') {
+      if (s_[pos_] == '\\' && Peek(1) == '\n') {
+        AdvanceN(2);
+        continue;
+      }
+      if (s_[pos_] == '/' && Peek(1) == '/') {
+        LexLineComment();
+        break;
+      }
+      if (s_[pos_] == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      Advance();
+    }
+    at_line_start_ = true;
+  }
+
+  void LexIdentOrLiteralPrefix() {
+    const size_t start = pos_;
+    const int line = line_, col = col_;
+    while (pos_ < s_.size() && IsIdentCont(s_[pos_])) Advance();
+    const std::string_view id =
+        std::string_view(s_).substr(start, pos_ - start);
+    if (pos_ < s_.size() && s_[pos_] == '"' &&
+        (id == "R" || id == "u8R" || id == "uR" || id == "LR")) {
+      LexRawString(start);
+      return;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '"' &&
+        (id == "u8" || id == "u" || id == "L")) {
+      LexString(start);
+      return;
+    }
+    if (pos_ < s_.size() && s_[pos_] == '\'' &&
+        (id == "u8" || id == "u" || id == "L")) {
+      LexCharLiteral();
+      return;
+    }
+    f_.tokens.push_back(Token{TokKind::kIdent, id, line, col});
+  }
+
+  void LexNumber() {
+    const size_t start = pos_;
+    const int line = line_, col = col_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (IsIdentCont(c) || c == '.' || c == '\'') {
+        Advance();
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = s_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          Advance();
+          continue;
+        }
+      }
+      break;
+    }
+    Emit(TokKind::kNumber, start, line, col);
+  }
+
+  void LexString(size_t start) {
+    const int line = line_, col = col_;
+    Advance();  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        AdvanceN(2);
+        continue;
+      }
+      Advance();
+      if (c == '"' || c == '\n') break;  // '\n': unterminated, bail
+    }
+    Emit(TokKind::kString, start, line, col);
+  }
+
+  void LexRawString(size_t start) {
+    const int line = line_, col = col_;
+    Advance();  // opening quote
+    const size_t delim_start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != '(') Advance();
+    const std::string closer =
+        ")" + s_.substr(delim_start, pos_ - delim_start) + "\"";
+    while (pos_ < s_.size() &&
+           s_.compare(pos_, closer.size(), closer) != 0) {
+      Advance();
+    }
+    AdvanceN(closer.size());
+    Emit(TokKind::kString, start, line, col);
+  }
+
+  void LexCharLiteral() {
+    const size_t start = pos_;
+    const int line = line_, col = col_;
+    Advance();  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '\\') {
+        AdvanceN(2);
+        continue;
+      }
+      Advance();
+      if (c == '\'' || c == '\n') break;
+    }
+    Emit(TokKind::kChar, start, line, col);
+  }
+
+  void LexPunct() {
+    const size_t start = pos_;
+    const int line = line_, col = col_;
+    for (std::string_view op : kTwoCharOps) {
+      if (s_.compare(pos_, op.size(), op) == 0) {
+        AdvanceN(op.size());
+        Emit(TokKind::kPunct, start, line, col);
+        return;
+      }
+    }
+    Advance();
+    Emit(TokKind::kPunct, start, line, col);
+  }
+
+  // True if a token was already emitted on `line` (used to decide whether a
+  // comment "owns" its line, i.e. is not trailing code).
+  bool LineHasCodeSoFar(int line) const {
+    return !f_.tokens.empty() && f_.tokens.back().line == line;
+  }
+
+  LexedFile& f_;
+  const std::string& s_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+void LexCpp(LexedFile& f) {
+  f.tokens.clear();
+  f.comments.clear();
+  f.includes.clear();
+  Lexer(f).Run();
+}
+
+bool LineHasCommentNeedle(const LexedFile& f, int line,
+                          std::string_view needle) {
+  for (const Comment& c : f.comments) {
+    if (line < c.line || line > c.end_line) continue;
+    if (c.text.find(needle) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace rdet

@@ -1,0 +1,52 @@
+// Minimal C++ lexer for the rdet token engine.
+//
+// Produces a flat token stream (identifiers, numbers, literals, operators)
+// with line/column positions, a side list of comments (needed for the
+// suppression annotations and fixture `expect-diag:` markers), and the
+// `#include` targets of the file (needed to assemble the cross-file
+// declaration table). It deliberately does not preprocess: directive lines
+// are skipped wholesale except for include capture, so tokens under
+// `#ifdef` branches are all scanned (conservative for a lint).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdet {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string_view text;  // views into LexedFile::content
+  int line = 0;           // 1-based
+  int col = 0;            // 1-based
+};
+
+struct Comment {
+  int line = 0;      // first line the comment occupies
+  int end_line = 0;  // last line (same as `line` for // comments)
+  bool owns_line = false;  // nothing but whitespace precedes it on `line`
+  std::string_view text;   // without the // or /* */ markers
+};
+
+struct LexedFile {
+  std::string path;     // as given to the scanner (normalized, '/'-separated)
+  std::string content;  // owns the bytes all string_views point into
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<std::string> includes;  // "#include" targets, quotes/brackets stripped
+  std::vector<bool> line_has_code;    // 1-based; true if any token on the line
+};
+
+// Lexes f.content into tokens/comments/includes. Handles //, /* */, string
+// and char literals (including raw strings and encoding prefixes), numbers
+// (pp-number rules, good enough), and multi-char operators. `::` is emitted
+// as one token so a lone `:` unambiguously separates a range-for.
+void LexCpp(LexedFile& f);
+
+// True if any comment that covers `line` contains `needle`.
+bool LineHasCommentNeedle(const LexedFile& f, int line, std::string_view needle);
+
+}  // namespace rdet

@@ -1,0 +1,172 @@
+// rdet — a determinism lint for this repository.
+//
+// The repo's core guarantee is bit-identical virtual time across host
+// thread counts, schedulers, and checker on/off. That guarantee is
+// enforced at runtime by bench gates; rdet rejects the *sources* of
+// nondeterminism at compile/lint time instead. Six repo-specific checks:
+//
+//   rdet-wallclock        wall-clock/time sources (std::chrono clocks,
+//                         time(), gettimeofday, clock_gettime, rdtsc)
+//   rdet-unseeded-random  std::random_device / rand / arc4random & friends
+//   rdet-unordered-iter   range-for / iterator loops over
+//                         std::unordered_{map,set}: iteration order is
+//                         implementation-defined and leaks into any output
+//                         it feeds. Suppressible per-loop with a
+//                         `// rdet:order-independent` annotation.
+//   rdet-ptr-order        pointer values escaping into ordering or output:
+//                         std::hash<T*>, pointer->integer reinterpret_casts
+//                         fed to comparators/serializers/trace sinks
+//   rdet-ptr-key          raw-pointer keys in ordered containers
+//                         (std::map<T*,..> / std::set<T*>)
+//   rdet-blocking         blocking calls in src/: sleeps and file IO
+//                         outside the allowlisted obs-dump/CLI paths
+//
+// Two interchangeable engines produce raw findings:
+//   - the built-in token engine (always available, no dependencies):
+//     a C++ lexer plus a cross-file declaration table; and
+//   - a ClangTooling AST-matcher engine (compiled when Clang dev headers
+//     are available; `--engine=clang`), driven by compile_commands.json.
+// A shared pipeline then applies per-check path scopes, inline
+// NOLINT(rdet-*) / NOLINTNEXTLINE(rdet-*) / rdet:order-independent
+// suppressions, and the checked-in allowlist, and prints clang-style
+// diagnostics. Fixture tests (`--self-test`) assert every check both
+// fires and stays quiet via `// expect-diag:` markers.
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.h"
+
+namespace rdet {
+
+enum class Check {
+  kWallclock = 0,
+  kUnseededRandom,
+  kUnorderedIter,
+  kPtrOrder,
+  kPtrKey,
+  kBlocking,
+};
+inline constexpr int kNumChecks = 6;
+
+std::string_view CheckName(Check c);
+// Returns false for an unknown name.
+bool CheckFromName(std::string_view name, Check& out);
+
+struct Finding {
+  Check check;
+  std::string file;  // normalized path, relative to --root when possible
+  int line = 0;
+  int col = 0;
+  std::string message;
+  std::vector<std::string> notes;  // rendered as `note:` lines
+
+  // Orders diagnostics deterministically: (file, line, col, check).
+  bool operator<(const Finding& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (col != o.col) return col < o.col;
+    return static_cast<int>(check) < static_cast<int>(o.check);
+  }
+};
+
+// One allowlist entry: suppress `check` (or all checks, for "*") in any
+// file whose normalized path contains `path_substring`.
+struct AllowEntry {
+  bool all_checks = false;
+  Check check = Check::kWallclock;
+  std::string path_substring;
+};
+
+struct Options {
+  std::string root;                 // repo root; paths reported relative to it
+  std::vector<std::string> roots;   // scan roots relative to `root`
+  std::string compile_commands_dir; // -p: build dir with compile_commands.json
+  std::string allowlist_path;       // empty = <root>/tools/rdet/rdet-allow.txt
+  bool use_allowlist = true;
+  bool use_scopes = true;           // per-check path scopes (off in self-test)
+  bool verbose = false;
+  std::array<bool, kNumChecks> enabled{};  // default: all true
+
+  Options() { enabled.fill(true); }
+};
+
+// The scanned corpus: every lexed file keyed by normalized path, plus the
+// cross-file declaration table the token engine builds over it.
+struct Corpus {
+  // Keyed by normalized path. std::map: deterministic iteration order —
+  // rdet must itself be deterministic.
+  std::map<std::string, LexedFile> files;
+};
+
+// --- engines ----------------------------------------------------------------
+
+// Built-in engine: lexes nothing (corpus is pre-lexed), walks tokens.
+void RunTokenEngine(const Options& opts, const Corpus& corpus,
+                    std::vector<Finding>& out);
+
+// Clang AST engine; weak availability. Returns false (with `error` set)
+// when the binary was built without Clang dev headers or the tool failed
+// to run. Findings land unfiltered in `out`; the shared pipeline filters.
+bool RunClangEngine(const Options& opts, const std::vector<std::string>& tus,
+                    std::vector<Finding>& out, std::string& error);
+bool ClangEngineAvailable();
+
+// --- shared pipeline --------------------------------------------------------
+
+// Loads + lexes every *.h/*.cc/*.hpp/*.hh/*.cpp under opts.roots (paths
+// containing "/fixtures/" and build trees are skipped). Returns false on IO
+// error.
+bool LoadCorpus(const Options& opts, Corpus& corpus, std::string& error);
+
+// Loads a single file into the corpus (self-test mode).
+bool LoadFile(const std::string& path, const std::string& report_path,
+              Corpus& corpus, std::string& error);
+
+bool ParseAllowlist(const std::string& path, std::vector<AllowEntry>& out,
+                    std::string& error);
+
+// True when `check` applies to `file` (normalized, root-relative) at all.
+// Scope policy (documented in DESIGN.md):
+//   - rdet-blocking is scoped to src/ (tools/tests/bench are host-side
+//     CLIs where file IO is the product);
+//   - rdet-unordered-iter is scoped to src/ and tools/ (what they iterate
+//     reaches sim-visible state or emitted reports);
+//   - every other check applies everywhere it is run.
+bool CheckInScope(Check check, std::string_view file);
+
+struct FilterStats {
+  int suppressed_inline = 0;
+  int allowlisted = 0;
+  int out_of_scope = 0;
+};
+
+// Applies scope, inline suppressions (read from the corpus' comments), and
+// the allowlist; returns surviving findings sorted deterministically.
+std::vector<Finding> FilterFindings(const Options& opts, const Corpus& corpus,
+                                    const std::vector<AllowEntry>& allow,
+                                    std::vector<Finding> raw,
+                                    FilterStats& stats);
+
+// Prints clang-style "file:line:col: warning: ... [rdet-x]" diagnostics.
+void PrintFindings(const std::vector<Finding>& findings);
+
+// --- self-test --------------------------------------------------------------
+
+// Runs the fixture harness over every *.cc/*.h in `dir`: each file is
+// analyzed in isolation with all scopes disabled and no allowlist;
+// `// expect-diag: rdet-<check>` comments (trailing = this line, on a line
+// of their own = next code line) must match the produced findings exactly.
+// Returns the number of mismatches (0 = pass).
+int RunSelfTest(const std::string& dir, bool use_clang_engine,
+                const std::string& compile_commands_dir);
+
+// --- small utilities --------------------------------------------------------
+
+std::string NormalizePath(std::string path);
+
+}  // namespace rdet

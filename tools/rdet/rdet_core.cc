@@ -1,0 +1,421 @@
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rdet.h"
+
+namespace rdet {
+namespace {
+
+constexpr std::string_view kCheckNames[kNumChecks] = {
+    "rdet-wallclock",    "rdet-unseeded-random", "rdet-unordered-iter",
+    "rdet-ptr-order",    "rdet-ptr-key",         "rdet-blocking",
+};
+
+bool HasSourceExtension(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".hpp" || ext == ".hh" ||
+         ext == ".cpp" || ext == ".cxx";
+}
+
+bool ReadFileToString(const std::string& path, std::string& out,
+                      std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Does `text` carry `marker` (NOLINT / NOLINTNEXTLINE) that suppresses
+// `name`? Bare marker (no parenthesized list) suppresses everything, for
+// clang-tidy compatibility; a list must contain the check name, `rdet-*`,
+// or `*`.
+bool MatchesNolint(std::string_view text, std::string_view marker,
+                   std::string_view name) {
+  size_t pos = 0;
+  while ((pos = text.find(marker, pos)) != std::string_view::npos) {
+    const size_t after = pos + marker.size();
+    pos = after;
+    // Reject a prefix match ("NOLINT" inside "NOLINTNEXTLINE").
+    if (after < text.size() &&
+        (std::isalnum(static_cast<unsigned char>(text[after])) != 0 ||
+         text[after] == '_')) {
+      continue;
+    }
+    if (after >= text.size() || text[after] != '(') return true;  // bare
+    const size_t close = text.find(')', after);
+    if (close == std::string_view::npos) return true;
+    std::string_view list = text.substr(after + 1, close - after - 1);
+    while (!list.empty()) {
+      const size_t comma = list.find(',');
+      std::string_view entry = Trim(list.substr(0, comma));
+      if (entry == name || entry == "rdet-*" || entry == "*") return true;
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+  }
+  return false;
+}
+
+bool InlineSuppressed(const LexedFile& f, const Finding& fd) {
+  const std::string_view name = CheckName(fd.check);
+  for (const Comment& c : f.comments) {
+    const bool on_line = fd.line >= c.line && fd.line <= c.end_line;
+    const bool on_prev = fd.line - 1 >= c.line && fd.line - 1 <= c.end_line;
+    if (on_line && MatchesNolint(c.text, "NOLINT", name)) return true;
+    if (on_prev && MatchesNolint(c.text, "NOLINTNEXTLINE", name)) return true;
+    if (fd.check == Check::kUnorderedIter && (on_line || on_prev) &&
+        c.text.find("rdet:order-independent") != std::string_view::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view CheckName(Check c) {
+  return kCheckNames[static_cast<size_t>(c)];
+}
+
+bool CheckFromName(std::string_view name, Check& out) {
+  for (int i = 0; i < kNumChecks; ++i) {
+    if (kCheckNames[i] == name) {
+      out = static_cast<Check>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string NormalizePath(std::string path) {
+  std::string out = std::filesystem::path(path).lexically_normal()
+                        .generic_string();
+  if (out.size() > 2 && out.compare(0, 2, "./") == 0) out = out.substr(2);
+  return out;
+}
+
+bool LoadFile(const std::string& path, const std::string& report_path,
+              Corpus& corpus, std::string& error) {
+  LexedFile f;
+  f.path = NormalizePath(report_path);
+  if (!ReadFileToString(path, f.content, error)) return false;
+  LexCpp(f);
+  corpus.files.emplace(f.path, std::move(f));
+  return true;
+}
+
+bool LoadCorpus(const Options& opts, Corpus& corpus, std::string& error) {
+  namespace fs = std::filesystem;
+  for (const std::string& root : opts.roots) {
+    const fs::path base = fs::path(opts.root) / root;
+    std::error_code ec;
+    if (!fs::exists(base, ec)) {
+      error = "scan root does not exist: " + base.string();
+      return false;
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const fs::path& p = it->path();
+      if (!HasSourceExtension(p)) continue;
+      const std::string rel =
+          NormalizePath(fs::path(root) / p.lexically_relative(base));
+      // rdet's own lint fixtures intentionally contain findings.
+      if (rel.find("/fixtures/") != std::string::npos) continue;
+      if (!LoadFile(p.string(), rel, corpus, error)) return false;
+    }
+    if (ec) {
+      error = "walking " + base.string() + ": " + ec.message();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseAllowlist(const std::string& path, std::vector<AllowEntry>& out,
+                    std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open allowlist " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view s = Trim(line);
+    if (const size_t hash = s.find('#'); hash != std::string_view::npos) {
+      s = Trim(s.substr(0, hash));
+    }
+    if (s.empty()) continue;
+    const size_t sp = s.find_first_of(" \t");
+    if (sp == std::string_view::npos) {
+      error = path + ":" + std::to_string(lineno) +
+              ": expected '<check> <path-substring>'";
+      return false;
+    }
+    AllowEntry e;
+    const std::string_view check_name = s.substr(0, sp);
+    if (check_name == "*") {
+      e.all_checks = true;
+    } else if (!CheckFromName(check_name, e.check)) {
+      error = path + ":" + std::to_string(lineno) + ": unknown check '" +
+              std::string(check_name) + "'";
+      return false;
+    }
+    e.path_substring = std::string(Trim(s.substr(sp + 1)));
+    if (e.path_substring.empty()) {
+      error = path + ":" + std::to_string(lineno) + ": empty path pattern";
+      return false;
+    }
+    out.push_back(std::move(e));
+  }
+  return true;
+}
+
+bool CheckInScope(Check check, std::string_view file) {
+  const auto under = [&](std::string_view prefix) {
+    return file.size() > prefix.size() &&
+           file.compare(0, prefix.size(), prefix) == 0 &&
+           file[prefix.size()] == '/';
+  };
+  switch (check) {
+    case Check::kBlocking:
+      return under("src");
+    case Check::kUnorderedIter:
+      return under("src") || under("tools");
+    default:
+      return true;
+  }
+}
+
+std::vector<Finding> FilterFindings(const Options& opts, const Corpus& corpus,
+                                    const std::vector<AllowEntry>& allow,
+                                    std::vector<Finding> raw,
+                                    FilterStats& stats) {
+  std::vector<Finding> kept;
+  for (Finding& fd : raw) {
+    if (!opts.enabled[static_cast<size_t>(fd.check)]) continue;
+    auto fit = corpus.files.find(fd.file);
+    if (fit == corpus.files.end()) {
+      // Outside the scanned tree (system header seen by the clang engine).
+      ++stats.out_of_scope;
+      continue;
+    }
+    if (opts.use_scopes && !CheckInScope(fd.check, fd.file)) {
+      ++stats.out_of_scope;
+      continue;
+    }
+    if (InlineSuppressed(fit->second, fd)) {
+      ++stats.suppressed_inline;
+      continue;
+    }
+    bool allowed = false;
+    for (const AllowEntry& e : allow) {
+      if (!e.all_checks && e.check != fd.check) continue;
+      if (fd.file.find(e.path_substring) != std::string::npos) {
+        allowed = true;
+        break;
+      }
+    }
+    if (allowed) {
+      ++stats.allowlisted;
+      continue;
+    }
+    kept.push_back(std::move(fd));
+  }
+  std::sort(kept.begin(), kept.end());
+  // Engines can report one site several times (a matcher firing per
+  // template instantiation, or nested TypeLocs for one written type);
+  // collapse to one finding per (file, line, check).
+  kept.erase(std::unique(kept.begin(), kept.end(),
+                         [](const Finding& a, const Finding& b) {
+                           return a.file == b.file && a.line == b.line &&
+                                  a.check == b.check;
+                         }),
+             kept.end());
+  return kept;
+}
+
+void PrintFindings(const std::vector<Finding>& findings) {
+  for (const Finding& fd : findings) {
+    std::cout << fd.file << ':' << fd.line << ':' << fd.col
+              << ": warning: " << fd.message << " ["
+              << CheckName(fd.check) << "]\n";
+    for (const std::string& n : fd.notes) {
+      std::cout << fd.file << ':' << fd.line << ':' << fd.col
+                << ": note: " << n << "\n";
+    }
+  }
+}
+
+// --- self-test --------------------------------------------------------------
+
+namespace {
+
+struct Expectation {
+  int line;
+  Check check;
+  bool operator<(const Expectation& o) const {
+    if (line != o.line) return line < o.line;
+    return static_cast<int>(check) < static_cast<int>(o.check);
+  }
+  bool operator==(const Expectation& o) const {
+    return line == o.line && check == o.check;
+  }
+};
+
+int NextCodeLine(const LexedFile& f, int after) {
+  for (size_t l = static_cast<size_t>(after) + 1; l < f.line_has_code.size();
+       ++l) {
+    if (f.line_has_code[l]) return static_cast<int>(l);
+  }
+  return after + 1;
+}
+
+std::vector<Expectation> ParseExpectations(const LexedFile& f,
+                                           std::vector<std::string>& errors) {
+  std::vector<Expectation> out;
+  for (const Comment& c : f.comments) {
+    size_t pos = c.text.find("expect-diag:");
+    if (pos == std::string_view::npos) continue;
+    std::string_view rest = c.text.substr(pos + 12);
+    const int line = c.owns_line ? NextCodeLine(f, c.end_line) : c.line;
+    // Whitespace/comma-separated list of check names.
+    std::string token;
+    std::istringstream ss{std::string(rest)};
+    while (ss >> token) {
+      while (!token.empty() && token.back() == ',') token.pop_back();
+      if (token.empty()) continue;
+      Check check;
+      if (!CheckFromName(token, check)) {
+        errors.push_back(f.path + ":" + std::to_string(c.line) +
+                         ": unknown check in expect-diag: '" + token + "'");
+        continue;
+      }
+      out.push_back(Expectation{line, check});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int RunSelfTest(const std::string& dir, bool use_clang_engine,
+                const std::string& compile_commands_dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; it != end && !ec;
+       it.increment(ec)) {
+    if (it->is_regular_file() && HasSourceExtension(it->path())) {
+      files.push_back(it->path().string());
+    }
+  }
+  if (ec || files.empty()) {
+    std::cout << "rdet self-test: no fixtures under " << dir << "\n";
+    return 1;
+  }
+  std::sort(files.begin(), files.end());
+
+  int mismatches = 0;
+  int total_expected = 0;
+  for (const std::string& path : files) {
+    Corpus corpus;
+    std::string error;
+    const std::string report = fs::path(path).filename().string();
+    if (!LoadFile(path, report, corpus, error)) {
+      std::cout << "rdet self-test: " << error << "\n";
+      ++mismatches;
+      continue;
+    }
+    const LexedFile& lexed = corpus.files.begin()->second;
+    std::vector<std::string> parse_errors;
+    std::vector<Expectation> expected = ParseExpectations(lexed, parse_errors);
+    for (const std::string& e : parse_errors) {
+      std::cout << e << "\n";
+      ++mismatches;
+    }
+    total_expected += static_cast<int>(expected.size());
+
+    Options opts;
+    opts.use_scopes = false;
+    opts.use_allowlist = false;
+    std::vector<Finding> raw;
+    if (use_clang_engine) {
+      std::string engine_error;
+      Options clang_opts = opts;
+      clang_opts.compile_commands_dir = compile_commands_dir;
+      if (!RunClangEngine(clang_opts, {path}, raw, engine_error)) {
+        std::cout << "rdet self-test: clang engine failed on " << path << ": "
+                  << engine_error << "\n";
+        ++mismatches;
+        continue;
+      }
+      // The clang engine reports absolute paths; remap onto the fixture's
+      // report name so suppression lookup and comparison line up.
+      for (Finding& fd : raw) fd.file = report;
+    } else {
+      RunTokenEngine(opts, corpus, raw);
+    }
+    FilterStats stats;
+    std::vector<Finding> got =
+        FilterFindings(opts, corpus, {}, std::move(raw), stats);
+
+    std::vector<Expectation> actual;
+    actual.reserve(got.size());
+    for (const Finding& fd : got) {
+      actual.push_back(Expectation{fd.line, fd.check});
+    }
+    std::sort(actual.begin(), actual.end());
+
+    std::vector<Expectation> missing, unexpected;
+    std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                        actual.end(), std::back_inserter(missing));
+    std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                        expected.end(), std::back_inserter(unexpected));
+    for (const Expectation& e : missing) {
+      std::cout << report << ":" << e.line << ": expected diagnostic did not "
+                << "fire: [" << CheckName(e.check) << "]\n";
+      ++mismatches;
+    }
+    for (const Expectation& e : unexpected) {
+      std::cout << report << ":" << e.line << ": unexpected diagnostic: ["
+                << CheckName(e.check) << "]\n";
+      ++mismatches;
+    }
+  }
+  std::cout << "rdet self-test: " << files.size() << " fixtures, "
+            << total_expected << " expected diagnostics, " << mismatches
+            << " mismatch(es) [" << (use_clang_engine ? "clang" : "token")
+            << " engine]\n";
+  return mismatches;
+}
+
+}  // namespace rdet

@@ -1,0 +1,201 @@
+// rdet CLI. See rdet.h for the check catalogue and DESIGN.md ("Static
+// determinism lint") for the policy. Exit codes: 0 clean, 1 findings or
+// self-test mismatches, 2 usage/internal error.
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "rdet.h"
+
+namespace {
+
+void PrintUsage() {
+  std::cout <<
+      "usage: rdet [options] [scan-roots...]\n"
+      "\n"
+      "Determinism lint over this repository's sources. Default scan roots:\n"
+      "src tests bench tools (relative to --root).\n"
+      "\n"
+      "options:\n"
+      "  --root DIR          repository root (default: .)\n"
+      "  -p DIR              build dir containing compile_commands.json\n"
+      "                      (used by the clang engine for flags/TU list)\n"
+      "  --engine=token|clang  analysis engine (default: token; clang\n"
+      "                      requires a build with Clang dev headers)\n"
+      "  --check=rdet-NAME   run only the named check (repeatable)\n"
+      "  --allowlist FILE    allowlist path (default:\n"
+      "                      <root>/tools/rdet/rdet-allow.txt)\n"
+      "  --no-allowlist      ignore the allowlist\n"
+      "  --self-test DIR     run the fixture harness over DIR and exit\n"
+      "  --list-checks       print the check catalogue and exit\n"
+      "  -v                  verbose\n";
+}
+
+void PrintChecks() {
+  using rdet::Check;
+  const struct { Check c; const char* what; } rows[] = {
+      {Check::kWallclock, "wall-clock/time sources (chrono clocks, time, "
+                          "gettimeofday, clock_gettime, rdtsc)"},
+      {Check::kUnseededRandom, "unseeded randomness (std::random_device, "
+                               "rand, arc4random & friends)"},
+      {Check::kUnorderedIter, "range-for/iterator loops over "
+                              "std::unordered_{map,set}; suppress with "
+                              "// rdet:order-independent"},
+      {Check::kPtrOrder, "pointer values escaping into ordering or output "
+                         "(std::hash<T*>, ptr->int casts fed to sinks)"},
+      {Check::kPtrKey, "raw-pointer keys in ordered containers "
+                       "(std::map<T*,..>, std::set<T*>)"},
+      {Check::kBlocking, "blocking calls/file IO in src/ outside the "
+                         "allowlisted obs-dump/CLI paths"},
+  };
+  for (const auto& r : rows) {
+    std::cout << "  " << rdet::CheckName(r.c) << "\n      " << r.what << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rdet::Options opts;
+  opts.root = ".";
+  std::string engine = "token";
+  std::string self_test_dir;
+  bool checks_restricted = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "rdet: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (arg == "--list-checks") {
+      PrintChecks();
+      return 0;
+    } else if (arg == "--root") {
+      opts.root = need_value("--root");
+    } else if (arg == "-p") {
+      opts.compile_commands_dir = need_value("-p");
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      engine = std::string(arg.substr(9));
+    } else if (arg.rfind("--check=", 0) == 0) {
+      if (!checks_restricted) {
+        opts.enabled.fill(false);
+        checks_restricted = true;
+      }
+      rdet::Check c;
+      if (!rdet::CheckFromName(arg.substr(8), c)) {
+        std::cerr << "rdet: unknown check '" << arg.substr(8)
+                  << "' (see --list-checks)\n";
+        return 2;
+      }
+      opts.enabled[static_cast<size_t>(c)] = true;
+    } else if (arg == "--allowlist") {
+      opts.allowlist_path = need_value("--allowlist");
+    } else if (arg == "--no-allowlist") {
+      opts.use_allowlist = false;
+    } else if (arg == "--self-test") {
+      self_test_dir = need_value("--self-test");
+    } else if (arg == "-v") {
+      opts.verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "rdet: unknown option " << arg << "\n";
+      PrintUsage();
+      return 2;
+    } else {
+      opts.roots.emplace_back(arg);
+    }
+  }
+
+  if (engine != "token" && engine != "clang") {
+    std::cerr << "rdet: unknown engine '" << engine << "'\n";
+    return 2;
+  }
+  const bool use_clang = engine == "clang";
+  if (use_clang && !rdet::ClangEngineAvailable()) {
+    std::cerr << "rdet: this binary was built without the Clang engine "
+                 "(configure with Clang dev headers installed; see "
+                 "tools/rdet/CMakeLists.txt)\n";
+    return 2;
+  }
+
+  if (!self_test_dir.empty()) {
+    return rdet::RunSelfTest(self_test_dir, use_clang,
+                             opts.compile_commands_dir) == 0 ? 0 : 1;
+  }
+
+  if (opts.roots.empty()) opts.roots = {"src", "tests", "bench", "tools"};
+  std::error_code ec;
+  const auto abs_root = std::filesystem::absolute(opts.root, ec);
+  if (!ec) opts.root = abs_root.string();
+
+  rdet::Corpus corpus;
+  std::string error;
+  if (!rdet::LoadCorpus(opts, corpus, error)) {
+    std::cerr << "rdet: " << error << "\n";
+    return 2;
+  }
+  if (opts.verbose) {
+    std::cout << "rdet: scanning " << corpus.files.size() << " files under "
+              << opts.root << " [" << engine << " engine]\n";
+  }
+
+  std::vector<rdet::AllowEntry> allow;
+  if (opts.use_allowlist) {
+    std::string path = opts.allowlist_path;
+    if (path.empty()) path = opts.root + "/tools/rdet/rdet-allow.txt";
+    if (std::filesystem::exists(path)) {
+      if (!rdet::ParseAllowlist(path, allow, error)) {
+        std::cerr << "rdet: " << error << "\n";
+        return 2;
+      }
+    } else if (!opts.allowlist_path.empty()) {
+      std::cerr << "rdet: " << error << "allowlist not found: " << path
+                << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<rdet::Finding> raw;
+  if (use_clang) {
+    std::vector<std::string> tus;
+    for (const auto& [path, file] : corpus.files) {
+      const std::string ext =
+          std::filesystem::path(path).extension().string();
+      if (ext == ".cc" || ext == ".cpp" || ext == ".cxx") {
+        tus.push_back(opts.root + "/" + path);
+      }
+    }
+    if (!rdet::RunClangEngine(opts, tus, raw, error)) {
+      std::cerr << "rdet: clang engine: " << error << "\n";
+      return 2;
+    }
+    // Remap absolute paths under the root back to corpus-relative form.
+    const std::string prefix = opts.root + "/";
+    for (rdet::Finding& fd : raw) {
+      fd.file = rdet::NormalizePath(fd.file);
+      if (fd.file.rfind(prefix, 0) == 0) {
+        fd.file = fd.file.substr(prefix.size());
+      }
+    }
+  } else {
+    rdet::RunTokenEngine(opts, corpus, raw);
+  }
+
+  rdet::FilterStats stats;
+  std::vector<rdet::Finding> findings =
+      rdet::FilterFindings(opts, corpus, allow, std::move(raw), stats);
+  rdet::PrintFindings(findings);
+  std::cout << "rdet: " << findings.size() << " finding(s) across "
+            << corpus.files.size() << " files (" << stats.suppressed_inline
+            << " suppressed inline, " << stats.allowlisted
+            << " allowlisted)\n";
+  return findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,618 @@
+// Built-in (dependency-free) rdet engine: token-level analysis over the
+// lexed corpus. Where the Clang engine resolves types through the AST,
+// this engine approximates with a cross-file declaration table: every
+// variable/member declared (anywhere in the corpus) as an unordered
+// container is recorded by name, and includes are resolved so the nearest
+// declaration wins when two files declare the same identifier with
+// different container kinds (e.g. `pending_` is a std::map in rpc.h but an
+// unordered_map in check.h). Heuristic by design; the suppression
+// annotations exist for the residue, and the fixture suite pins the
+// behavior of every check.
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rdet.h"
+
+namespace rdet {
+namespace {
+
+using SvSet = std::set<std::string_view>;
+
+const SvSet kUnorderedNames = {"unordered_map", "unordered_set",
+                               "unordered_multimap", "unordered_multiset"};
+// Ordered/sequence containers recorded as anti-entries so a nearer
+// ordered declaration of the same name overrides a distant unordered one.
+const SvSet kOrderedNames = {"map",  "set",   "multimap", "multiset",
+                             "vector", "deque", "array",  "list",
+                             "string", "span"};
+
+// rdet-wallclock: flagged wherever the identifier appears.
+const SvSet kWallclockIdents = {
+    "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
+    "clock_gettime", "timespec_get", "ftime", "__rdtsc", "__rdtscp", "_rdtsc",
+    "__builtin_readcyclecounter", "__builtin_ia32_rdtsc", "localtime",
+    "gmtime", "mktime", "QueryPerformanceCounter"};
+// Flagged only in call position (too generic to flag bare).
+const SvSet kWallclockCalls = {"time"};
+
+// rdet-unseeded-random.
+const SvSet kRandomIdents = {"random_device",     "arc4random",
+                             "arc4random_uniform", "arc4random_buf",
+                             "drand48",           "lrand48",
+                             "mrand48",           "getentropy",
+                             "getrandom"};
+const SvSet kRandomCalls = {"rand", "srand", "random", "srandom"};
+
+// rdet-blocking (scoped to src/ by the shared pipeline).
+const SvSet kBlockingIdents = {
+    "usleep",  "nanosleep", "sleep_for", "sleep_until", "ifstream",
+    "ofstream", "fstream",  "fopen",     "freopen",     "fread",
+    "fwrite",  "fgets",     "fputs",     "fscanf",      "fclose",
+    "system",  "popen",     "fork"};
+const SvSet kBlockingCalls = {"sleep"};
+
+// rdet-ptr-order: call names that count as ordering/serialization/output
+// sinks for a pointer->integer reinterpret_cast.
+const SvSet kSinkNames = {
+    "sort",       "stable_sort", "nth_element", "partial_sort",
+    "min_element", "max_element", "lower_bound", "upper_bound",
+    "binary_search", "Append",   "AppendJson",  "arg",
+    "Arg",        "AddArg",      "Note",        "Trace",
+    "Span",       "Record",      "Emit",        "Print",
+    "printf",     "fprintf",     "snprintf",    "sprintf",
+    "Serialize",  "Encode",      "Str",         "U32",
+    "U64",        "Hash",        "hash",        "Mix",
+    "Combine",    "Key"};
+
+const SvSet kIntTypeNames = {"uint64_t", "uintptr_t", "intptr_t", "size_t",
+                             "int64_t",  "uint32_t",  "int32_t",  "long",
+                             "int",      "unsigned",  "uint_fast64_t",
+                             "ptrdiff_t"};
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+// Finds the index of the `>` matching the `<` at tokens[open] (which must
+// be "<"). Returns -1 when this is not a template argument list after all
+// (statement/bracket boundaries, unmatched close, or scan cap). A `>>`
+// token closes two levels; if it closes past zero it still counts as the
+// closer.
+int MatchAngle(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  int paren = 0;
+  const size_t cap = std::min(toks.size(), open + 256);
+  for (size_t i = open; i < cap; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(") ++paren;
+    else if (t.text == ")") {
+      if (paren == 0) return -1;  // comparison inside a call arg list
+      --paren;
+    } else if (paren > 0) {
+      continue;
+    } else if (t.text == "<") {
+      ++depth;
+    } else if (t.text == ">") {
+      if (--depth == 0) return static_cast<int>(i);
+    } else if (t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return static_cast<int>(i);
+    } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+      return -1;
+    }
+  }
+  return -1;
+}
+
+// Declaration table entry: is the declared name an unordered container,
+// and how many include hops away was the declaration from the file being
+// analyzed (0 = same file)?
+struct DeclEntry {
+  bool unordered = false;
+  int distance = 1 << 30;
+};
+
+struct FileDecls {
+  // name -> declared-as-unordered (per declaring file)
+  std::map<std::string_view, bool> decls;
+};
+
+// Collects `using X = std::unordered_map<...>;` / typedef alias names
+// across the whole corpus (aliases are type names; globally distinctive).
+void CollectAliases(const LexedFile& f, std::set<std::string>& aliases) {
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (IsIdent(toks[i], "using") && toks[i + 1].kind == TokKind::kIdent &&
+        IsPunct(toks[i + 2], "=")) {
+      for (size_t j = i + 3; j < toks.size() && !IsPunct(toks[j], ";"); ++j) {
+        if (toks[j].kind == TokKind::kIdent &&
+            kUnorderedNames.count(toks[j].text) != 0 && j + 1 < toks.size() &&
+            IsPunct(toks[j + 1], "<")) {
+          aliases.insert(std::string(toks[i + 1].text));
+          break;
+        }
+      }
+    } else if (IsIdent(toks[i], "typedef")) {
+      bool unordered = false;
+      size_t last_ident = 0;
+      bool have_last = false;
+      for (size_t j = i + 1; j < toks.size() && !IsPunct(toks[j], ";"); ++j) {
+        if (toks[j].kind != TokKind::kIdent) continue;
+        if (kUnorderedNames.count(toks[j].text) != 0) unordered = true;
+        last_ident = j;
+        have_last = true;
+      }
+      if (unordered && have_last) {
+        aliases.insert(std::string(toks[last_ident].text));
+      }
+    }
+  }
+}
+
+void CollectDecls(const LexedFile& f, const std::set<std::string>& aliases,
+                  FileDecls& out) {
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    const bool is_unordered = kUnorderedNames.count(t.text) != 0;
+    const bool is_ordered =
+        kOrderedNames.count(t.text) != 0 && i > 0 && IsPunct(toks[i - 1], "::");
+    if ((is_unordered || is_ordered) && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "<")) {
+      const int close = MatchAngle(toks, i + 1);
+      if (close < 0) continue;
+      size_t k = static_cast<size_t>(close) + 1;
+      while (k < toks.size() &&
+             (IsPunct(toks[k], "&") || IsPunct(toks[k], "*") ||
+              IsIdent(toks[k], "const"))) {
+        ++k;
+      }
+      if (k < toks.size() && toks[k].kind == TokKind::kIdent &&
+          !IsIdent(toks[k], "const")) {
+        out.decls[toks[k].text] = is_unordered;
+      }
+      // The outermost container decides iteration order, so resume the
+      // scan after its template-argument list. Without this, a nested
+      // container name (`unordered_map<K, vector<V>> m`) re-matches the
+      // shared `>>` closer and claims the same declared name.
+      i = static_cast<size_t>(close);
+      continue;
+    }
+    // Alias used as a declaration type: `SlotIndex index_;`
+    if (aliases.count(std::string(t.text)) != 0 && i + 1 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent) {
+      out.decls[toks[i + 1].text] = true;
+    }
+  }
+}
+
+// Resolves include strings against corpus paths by suffix match.
+std::vector<const std::string*> ResolveInclude(const Corpus& corpus,
+                                               const std::string& inc) {
+  std::vector<const std::string*> out;
+  for (const auto& [path, file] : corpus.files) {
+    if (path == inc ||
+        (path.size() > inc.size() + 1 &&
+         path.compare(path.size() - inc.size(), inc.size(), inc) == 0 &&
+         path[path.size() - inc.size() - 1] == '/')) {
+      out.push_back(&path);
+    }
+  }
+  return out;
+}
+
+class TokenEngine {
+ public:
+  TokenEngine(const Options& opts, const Corpus& corpus,
+              std::vector<Finding>& out)
+      : opts_(opts), corpus_(corpus), out_(out) {}
+
+  void Run() {
+    for (const auto& [path, file] : corpus_.files) {
+      CollectAliases(file, aliases_);
+    }
+    for (const auto& [path, file] : corpus_.files) {
+      CollectDecls(file, aliases_, decls_by_file_[path]);
+    }
+    for (const auto& [path, file] : corpus_.files) {
+      AnalyzeFile(file);
+    }
+  }
+
+ private:
+  bool Enabled(Check c) const {
+    return opts_.enabled[static_cast<size_t>(c)];
+  }
+
+  void Add(Check check, const LexedFile& f, const Token& at,
+           std::string message, std::vector<std::string> notes = {}) {
+    Finding fd;
+    fd.check = check;
+    fd.file = f.path;
+    fd.line = at.line;
+    fd.col = at.col;
+    fd.message = std::move(message);
+    fd.notes = std::move(notes);
+    out_.push_back(std::move(fd));
+  }
+
+  // Effective declaration table for `path`: BFS over resolved includes,
+  // nearest declaration wins; ties prefer unordered (conservative).
+  std::map<std::string_view, DeclEntry> EffectiveDecls(
+      const std::string& path) {
+    std::map<std::string_view, DeclEntry> effective;
+    // foo.cc's own foo.h is authoritative when member names collide
+    // across headers (e.g. two classes both naming a map `regions_`):
+    // treat the primary header as distance 0, same as the file itself.
+    std::string stem = path;
+    if (const size_t dot = stem.rfind('.'); dot != std::string::npos) {
+      stem.resize(dot);
+    }
+    const auto is_primary_header = [&stem](const std::string& p) {
+      const size_t dot = p.rfind('.');
+      if (dot == std::string::npos || p.compare(0, dot, stem) != 0) {
+        return false;
+      }
+      const std::string_view ext = std::string_view(p).substr(dot);
+      return ext == ".h" || ext == ".hh" || ext == ".hpp";
+    };
+    std::map<std::string, int> dist;
+    std::deque<std::string> queue;
+    dist[path] = 0;
+    queue.push_back(path);
+    while (!queue.empty()) {
+      const std::string cur = queue.front();
+      queue.pop_front();
+      const int d = dist[cur];
+      auto fit = corpus_.files.find(cur);
+      if (fit == corpus_.files.end()) continue;
+      const FileDecls& fd = decls_by_file_[cur];
+      for (const auto& [name, unordered] : fd.decls) {
+        DeclEntry& e = effective[name];
+        if (d < e.distance) {
+          e.distance = d;
+          e.unordered = unordered;
+        } else if (d == e.distance) {
+          e.unordered = e.unordered || unordered;
+        }
+      }
+      for (const std::string& inc : fit->second.includes) {
+        for (const std::string* resolved : ResolveInclude(corpus_, inc)) {
+          const int nd = is_primary_header(*resolved) ? 0 : d + 1;
+          auto [it, inserted] = dist.emplace(*resolved, nd);
+          if (inserted) {
+            queue.push_back(*resolved);
+          } else if (nd < it->second) {
+            it->second = nd;
+            queue.push_back(*resolved);
+          }
+        }
+      }
+    }
+    return effective;
+  }
+
+  // True when tokens[i] looks like a free-function call rather than a
+  // member access, parameter name, or declaration. Heuristic: must be
+  // followed by `(`; must not be preceded by `.`/`->`; a preceding
+  // identifier means a declaration (`uint64_t time(...)`), except
+  // `return f(...)` / `co_return`.
+  bool IsCallPosition(const std::vector<Token>& toks, size_t i) const {
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) return false;
+    if (i == 0) return true;
+    const Token& prev = toks[i - 1];
+    if (IsPunct(prev, ".") || IsPunct(prev, "->")) return false;
+    if (prev.kind == TokKind::kIdent && prev.text != "return" &&
+        prev.text != "co_return" && prev.text != "co_await") {
+      return false;
+    }
+    return true;
+  }
+
+  void AnalyzeFile(const LexedFile& f) {
+    const auto effective = EffectiveDecls(f.path);
+    const auto& toks = f.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+
+      if (Enabled(Check::kWallclock)) CheckWallclock(f, toks, i);
+      if (Enabled(Check::kUnseededRandom)) CheckRandom(f, toks, i);
+      if (Enabled(Check::kBlocking)) CheckBlocking(f, toks, i);
+      if (Enabled(Check::kUnorderedIter) && t.text == "for") {
+        CheckForLoop(f, toks, i, effective);
+      }
+      if (Enabled(Check::kPtrOrder)) CheckPtrOrder(f, toks, i);
+      if (Enabled(Check::kPtrKey)) CheckPtrKey(f, toks, i);
+    }
+  }
+
+  void CheckWallclock(const LexedFile& f, const std::vector<Token>& toks,
+                      size_t i) {
+    const Token& t = toks[i];
+    if (kWallclockIdents.count(t.text) != 0) {
+      Add(Check::kWallclock, f, t,
+          "wall-clock time source '" + std::string(t.text) +
+              "' — host time is nondeterministic across runs and hosts",
+          {"use the simulation's virtual clock (sim::Simulation::Now) for "
+           "anything sim-visible; annotate host-side measurement harnesses "
+           "with // NOLINT(rdet-wallclock) and a rationale"});
+      return;
+    }
+    if (kWallclockCalls.count(t.text) != 0 && IsCallPosition(toks, i)) {
+      Add(Check::kWallclock, f, t,
+          "call to wall-clock function '" + std::string(t.text) + "()'",
+          {"use virtual time for anything sim-visible"});
+    }
+  }
+
+  void CheckRandom(const LexedFile& f, const std::vector<Token>& toks,
+                   size_t i) {
+    const Token& t = toks[i];
+    if (kRandomIdents.count(t.text) != 0) {
+      Add(Check::kUnseededRandom, f, t,
+          "unseeded randomness source '" + std::string(t.text) +
+              "' — draws differ on every run",
+          {"construct a seeded generator instead (common/rng.h Rng(seed), "
+           "or std::mt19937 with an explicit seed)"});
+      return;
+    }
+    if (kRandomCalls.count(t.text) != 0 && IsCallPosition(toks, i)) {
+      Add(Check::kUnseededRandom, f, t,
+          "call to global-state RNG '" + std::string(t.text) +
+              "()' — hidden global seed state is nondeterministic under "
+              "threads and across translation units",
+          {"use a locally seeded generator (common/rng.h Rng)"});
+    }
+  }
+
+  void CheckBlocking(const LexedFile& f, const std::vector<Token>& toks,
+                     size_t i) {
+    const Token& t = toks[i];
+    const bool named = kBlockingIdents.count(t.text) != 0;
+    const bool call = kBlockingCalls.count(t.text) != 0 &&
+                      IsCallPosition(toks, i);
+    if (!named && !call) return;
+    Add(Check::kBlocking, f, t,
+        "blocking call / file IO '" + std::string(t.text) +
+            "' in simulation-reachable code",
+        {"simulation callbacks must not block on host time or host IO; "
+         "if this is a report-dump or CLI path, add it to "
+         "tools/rdet/rdet-allow.txt with a rationale"});
+  }
+
+  void CheckForLoop(const LexedFile& f, const std::vector<Token>& toks,
+                    size_t i,
+                    const std::map<std::string_view, DeclEntry>& effective) {
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) return;
+    // Find the matching ')' of the for-header.
+    int depth = 0;
+    size_t close = 0;
+    for (size_t j = i + 1; j < toks.size() && j < i + 512; ++j) {
+      if (IsPunct(toks[j], "(")) ++depth;
+      else if (IsPunct(toks[j], ")")) {
+        if (--depth == 0) {
+          close = j;
+          break;
+        }
+      }
+    }
+    if (close == 0) return;
+
+    // Range-for: a ':' at depth 1 and no ';' at depth 1.
+    size_t colon = 0;
+    bool has_semi = false;
+    depth = 0;
+    for (size_t j = i + 1; j < close; ++j) {
+      if (IsPunct(toks[j], "(")) ++depth;
+      else if (IsPunct(toks[j], ")")) --depth;
+      else if (depth == 1 && IsPunct(toks[j], ";")) has_semi = true;
+      else if (depth == 1 && IsPunct(toks[j], ":")) colon = j;
+    }
+
+    if (!has_semi && colon != 0) {
+      for (size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind != TokKind::kIdent) continue;
+        auto it = effective.find(toks[j].text);
+        if (it != effective.end() && it->second.unordered) {
+          ReportUnorderedIter(f, toks[i], toks[j].text, "range-for over");
+          return;
+        }
+      }
+      return;
+    }
+    if (has_semi) {
+      // Iterator loop: `for (auto it = m.begin(); ...` in the init part.
+      size_t init_end = close;
+      depth = 0;
+      for (size_t j = i + 1; j < close; ++j) {
+        if (IsPunct(toks[j], "(")) ++depth;
+        else if (IsPunct(toks[j], ")")) --depth;
+        else if (depth == 1 && IsPunct(toks[j], ";")) {
+          init_end = j;
+          break;
+        }
+      }
+      for (size_t j = i + 2; j + 2 < init_end; ++j) {
+        if (toks[j].kind != TokKind::kIdent) continue;
+        auto it = effective.find(toks[j].text);
+        if (it == effective.end() || !it->second.unordered) continue;
+        if ((IsPunct(toks[j + 1], ".") || IsPunct(toks[j + 1], "->")) &&
+            (IsIdent(toks[j + 2], "begin") || IsIdent(toks[j + 2], "cbegin"))) {
+          ReportUnorderedIter(f, toks[i], toks[j].text, "iterator loop over");
+          return;
+        }
+      }
+    }
+  }
+
+  void ReportUnorderedIter(const LexedFile& f, const Token& at,
+                           std::string_view name, std::string_view how) {
+    Add(Check::kUnorderedIter, f, at,
+        std::string(how) + " unordered container '" + std::string(name) +
+            "' — iteration order is implementation-defined and leaks into "
+            "anything it feeds",
+        {"if every iteration is provably order-independent (commutative "
+         "reduce, per-element writes to distinct slots), annotate the loop "
+         "with // rdet:order-independent; otherwise iterate keys in sorted "
+         "order or switch to an ordered container"});
+  }
+
+  void CheckPtrOrder(const LexedFile& f, const std::vector<Token>& toks,
+                     size_t i) {
+    const Token& t = toks[i];
+    // std::hash<T*>
+    if (t.text == "hash" && i > 0 && IsPunct(toks[i - 1], "::") &&
+        i + 1 < toks.size() && IsPunct(toks[i + 1], "<")) {
+      const int close = MatchAngle(toks, i + 1);
+      if (close > 0 && AngleArgsContainTopLevelStar(toks, i + 1,
+                                                    static_cast<size_t>(close))) {
+        Add(Check::kPtrOrder, f, t,
+            "std::hash over a raw pointer — hashes the address, which "
+            "differs run to run (ASLR) and orders buckets nondeterministically",
+            {"hash a stable identity (id, name, offset) instead"});
+      }
+      return;
+    }
+    // reinterpret_cast<integer>(ptr) fed to an ordering/serialization sink.
+    if (t.text != "reinterpret_cast" || i + 1 >= toks.size() ||
+        !IsPunct(toks[i + 1], "<")) {
+      return;
+    }
+    const int close = MatchAngle(toks, i + 1);
+    if (close < 0) return;
+    bool has_star = false;
+    bool has_int = false;
+    for (size_t j = i + 2; j < static_cast<size_t>(close); ++j) {
+      if (IsPunct(toks[j], "*")) has_star = true;
+      if (toks[j].kind == TokKind::kIdent &&
+          kIntTypeNames.count(toks[j].text) != 0) {
+        has_int = true;
+      }
+    }
+    if (has_star || !has_int) return;  // not a pointer-to-integer cast
+
+    // Comparison / stream-insert adjacency.
+    const size_t after_type = static_cast<size_t>(close) + 1;
+    size_t cast_end = after_type;
+    if (after_type < toks.size() && IsPunct(toks[after_type], "(")) {
+      int d = 0;
+      for (size_t j = after_type; j < toks.size() && j < after_type + 256;
+           ++j) {
+        if (IsPunct(toks[j], "(")) ++d;
+        else if (IsPunct(toks[j], ")") && --d == 0) {
+          cast_end = j;
+          break;
+        }
+      }
+    }
+    static const SvSet kCmp = {"<", ">", "<=", ">=", "<<"};
+    const bool cmp_after =
+        cast_end + 1 < toks.size() && toks[cast_end + 1].kind == TokKind::kPunct &&
+        kCmp.count(toks[cast_end + 1].text) != 0;
+    const bool cmp_before =
+        i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+        kCmp.count(toks[i - 1].text) != 0;
+
+    bool sink = cmp_after || cmp_before;
+    if (!sink) {
+      // Walk outward: does an enclosing call (up to the statement start)
+      // have a sink name?
+      int d = 0;
+      for (size_t j = i; j-- > 0;) {
+        if (IsPunct(toks[j], ")")) ++d;
+        else if (IsPunct(toks[j], "(")) {
+          if (d > 0) {
+            --d;
+          } else if (j > 0 && toks[j - 1].kind == TokKind::kIdent &&
+                     kSinkNames.count(toks[j - 1].text) != 0) {
+            sink = true;
+            break;
+          }
+        } else if (d == 0 && (IsPunct(toks[j], ";") || IsPunct(toks[j], "{") ||
+                              IsPunct(toks[j], "}"))) {
+          break;
+        }
+      }
+    }
+    if (sink) {
+      Add(Check::kPtrOrder, f, t,
+          "pointer value cast to an integer and fed to an "
+          "ordering/serialization/output sink — addresses differ run to run",
+          {"derive ordering and output from stable identities (ids, region "
+           "offsets), never from addresses"});
+    }
+  }
+
+  void CheckPtrKey(const LexedFile& f, const std::vector<Token>& toks,
+                   size_t i) {
+    const Token& t = toks[i];
+    static const SvSet kOrderedAssoc = {"map", "set", "multimap", "multiset"};
+    if (kOrderedAssoc.count(t.text) == 0) return;
+    if (i == 0 || !IsPunct(toks[i - 1], "::")) return;
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "<")) return;
+    const int close = MatchAngle(toks, i + 1);
+    if (close < 0) return;
+    // First top-level template argument: until a top-level ',' or close.
+    int depth = 0;
+    size_t last = 0;
+    bool have_last = false;
+    for (size_t j = i + 2; j < static_cast<size_t>(close); ++j) {
+      const Token& a = toks[j];
+      if (a.kind == TokKind::kPunct) {
+        if (a.text == "<" || a.text == "(") ++depth;
+        else if (a.text == ">" || a.text == ")") --depth;
+        else if (a.text == ">>") depth -= 2;
+        else if (a.text == "," && depth == 0) break;
+      }
+      last = j;
+      have_last = true;
+    }
+    if (have_last && IsPunct(toks[last], "*")) {
+      Add(Check::kPtrKey, f, t,
+          "ordered container keyed by a raw pointer — comparison order is "
+          "the address order, which differs run to run",
+          {"key by a stable identity, or use an unordered container and "
+           "never iterate it into sim-visible state"});
+    }
+  }
+
+  bool AngleArgsContainTopLevelStar(const std::vector<Token>& toks,
+                                    size_t open, size_t close) const {
+    int depth = 0;
+    for (size_t j = open + 1; j < close; ++j) {
+      const Token& a = toks[j];
+      if (a.kind != TokKind::kPunct) continue;
+      if (a.text == "<" || a.text == "(") ++depth;
+      else if (a.text == ">" || a.text == ")") --depth;
+      else if (a.text == "*" && depth == 0) return true;
+    }
+    return false;
+  }
+
+  const Options& opts_;
+  const Corpus& corpus_;
+  std::vector<Finding>& out_;
+  std::set<std::string> aliases_;
+  std::map<std::string, FileDecls> decls_by_file_;
+};
+
+}  // namespace
+
+void RunTokenEngine(const Options& opts, const Corpus& corpus,
+                    std::vector<Finding>& out) {
+  TokenEngine(opts, corpus, out).Run();
+}
+
+}  // namespace rdet
